@@ -1,0 +1,61 @@
+//! Criterion bench for the ablation study: how the STP sweeper's runtime
+//! responds to disabling the paper's individual design choices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stp_sweep::{sweeper, SweepConfig};
+use workloads::{hwmcc_suite, Scale};
+
+fn ablation_benches(c: &mut Criterion) {
+    let suite = hwmcc_suite(Scale::Tiny);
+    let bench_circuit = suite
+        .iter()
+        .find(|b| b.name == "oski15a07b0s")
+        .expect("benchmark exists");
+    let base = SweepConfig {
+        num_initial_patterns: 128,
+        ..SweepConfig::default()
+    };
+    let variants = [
+        ("full", base),
+        (
+            "no_window_refinement",
+            SweepConfig {
+                window_refinement: false,
+                ..base
+            },
+        ),
+        (
+            "no_sat_guided_patterns",
+            SweepConfig {
+                sat_guided_patterns: false,
+                ..base
+            },
+        ),
+        (
+            "window_limit_6",
+            SweepConfig {
+                window_limit: 6,
+                ..base
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("ablation_sweeper");
+    for (name, config) in variants {
+        group.bench_with_input(
+            BenchmarkId::new(name, bench_circuit.name),
+            &bench_circuit.aig,
+            |b, aig| {
+                b.iter(|| sweeper::sweep_stp(aig, &config));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for Table II: the baseline FRAIG-style sweeper vs. the
+//! STP sweeper on a fixed subset of the HWMCC/IWLS-analog suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stp_sweep::{fraig, sweeper, SweepConfig};
+use workloads::{hwmcc_suite, Scale};
+
+const SELECTED: &[&str] = &["6s20", "beemfwt4b1", "oski15a07b0s", "b18"];
+
+fn sweeping_benches(c: &mut Criterion) {
+    let suite = hwmcc_suite(Scale::Tiny);
+    let baseline_config = SweepConfig {
+        num_initial_patterns: 128,
+        ..SweepConfig::baseline()
+    };
+    let stp_config = SweepConfig {
+        num_initial_patterns: 128,
+        ..SweepConfig::default()
+    };
+
+    let mut group = c.benchmark_group("table2_sweeping");
+    for bench in suite.iter().filter(|b| SELECTED.contains(&b.name)) {
+        group.bench_with_input(
+            BenchmarkId::new("fraig_baseline", bench.name),
+            &bench.aig,
+            |b, aig| {
+                b.iter(|| fraig::sweep_fraig(aig, &baseline_config));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stp_sweeper", bench.name),
+            &bench.aig,
+            |b, aig| {
+                b.iter(|| sweeper::sweep_stp(aig, &stp_config));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sweeping_benches
+}
+criterion_main!(benches);

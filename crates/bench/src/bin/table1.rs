@@ -1,0 +1,102 @@
+//! Regenerates **Table I** of the paper: circuit-simulation runtime on the
+//! EPFL-analog suite.
+//!
+//! For every benchmark the harness measures four runtimes:
+//!
+//! * `TA(base)` — word-parallel bitwise simulation of the AIG (the
+//!   Mockturtle baseline);
+//! * `TA(stp)`  — STP simulation of the same network expressed as 2-LUTs;
+//! * `TL(base)` — per-pattern bitwise simulation of the 6-LUT network;
+//! * `TL(stp)`  — STP simulation of the 6-LUT network.
+//!
+//! The paper reports parity on `TA` and a ~7.2× average speed-up on `TL`;
+//! the shape (not the absolute numbers) is what this harness reproduces.
+//!
+//! Usage: `cargo run -p bench --release --bin table1 -- [--scale tiny|small|large] [--patterns N] [--lut-k K]`
+
+use bench::{arg_value, geometric_mean, parse_scale, timed};
+use bitsim::{AigSimulator, LutSimulator, PatternSet};
+use netlist::lutmap;
+use stp_sweep::stp_sim::StpSimulator;
+use workloads::epfl_suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_scale(&args);
+    let num_patterns: usize = arg_value(&args, "--patterns")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4096);
+    let lut_k: usize = arg_value(&args, "--lut-k")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
+
+    println!("Table I analog: circuit simulation on the EPFL-analog suite");
+    println!("scale = {scale:?}, patterns = {num_patterns}, k = {lut_k}\n");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>7} {:>10} {:>10} {:>7}",
+        "benchmark", "gates", "TA base", "TA stp", "xA", "TL base", "TL stp", "xL"
+    );
+
+    let mut ta_ratios = Vec::new();
+    let mut tl_ratios = Vec::new();
+    let mut ta_base_all = Vec::new();
+    let mut tl_base_all = Vec::new();
+    let mut ta_stp_all = Vec::new();
+    let mut tl_stp_all = Vec::new();
+
+    for bench in epfl_suite(scale) {
+        let aig = &bench.aig;
+        let patterns = PatternSet::random(aig.num_inputs(), num_patterns, 0xEB5);
+
+        // TA baseline: word-parallel AIG simulation.
+        let (_, ta_base) = timed(|| AigSimulator::new(aig).run(&patterns));
+        // TA STP: the AIG expressed as a 2-LUT network, simulated by STP.
+        let aig_as_luts = lutmap::map_to_luts(aig, 2);
+        let stp2 = StpSimulator::new(&aig_as_luts);
+        let (_, ta_stp) = timed(|| stp2.simulate_all(&patterns));
+
+        // TL: the 6-LUT mapping of the benchmark.
+        let lut_net = lutmap::map_to_luts(aig, lut_k);
+        let (_, tl_base) = timed(|| LutSimulator::new(&lut_net).run(&patterns));
+        let stp6 = StpSimulator::new(&lut_net);
+        let (_, tl_stp) = timed(|| stp6.simulate_all(&patterns));
+
+        let xa = ta_base.as_secs_f64() / ta_stp.as_secs_f64().max(1e-9);
+        let xl = tl_base.as_secs_f64() / tl_stp.as_secs_f64().max(1e-9);
+        ta_ratios.push(xa);
+        tl_ratios.push(xl);
+        ta_base_all.push(ta_base.as_secs_f64());
+        tl_base_all.push(tl_base.as_secs_f64());
+        ta_stp_all.push(ta_stp.as_secs_f64());
+        tl_stp_all.push(tl_stp.as_secs_f64());
+
+        println!(
+            "{:<12} {:>8} {:>9.3}s {:>9.3}s {:>6.2}x {:>9.3}s {:>9.3}s {:>6.2}x",
+            bench.name,
+            aig.num_ands(),
+            ta_base.as_secs_f64(),
+            ta_stp.as_secs_f64(),
+            xa,
+            tl_base.as_secs_f64(),
+            tl_stp.as_secs_f64(),
+            xl
+        );
+    }
+
+    println!(
+        "\n{:<12} {:>8} {:>9.3}s {:>9.3}s {:>6.2}x {:>9.3}s {:>9.3}s {:>6.2}x",
+        "Geo.",
+        "",
+        geometric_mean(ta_base_all),
+        geometric_mean(ta_stp_all),
+        geometric_mean(ta_ratios.iter().copied()),
+        geometric_mean(tl_base_all),
+        geometric_mean(tl_stp_all),
+        geometric_mean(tl_ratios.iter().copied()),
+    );
+    println!(
+        "Imp. (old/new): TA = {:.2}x, TL = {:.2}x   (paper: TA 0.99x, TL 7.18x)",
+        geometric_mean(ta_ratios),
+        geometric_mean(tl_ratios)
+    );
+}

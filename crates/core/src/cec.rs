@@ -1,0 +1,178 @@
+//! Combinational equivalence checking (the `&cec` analog).
+//!
+//! Every sweep in the test-suite and the benchmark harness is verified with
+//! this checker, mirroring the paper's "all results are verified by `&cec`".
+//! The checker builds a miter of the two networks, filters with random
+//! simulation and finishes with SAT.
+
+use crate::patterns;
+use bitsim::AigSimulator;
+use netlist::{Aig, Lit};
+use satsolver::{CircuitSat, EquivOutcome};
+
+/// Result of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CecResult {
+    /// `true` if the two networks were proved equivalent.
+    pub equivalent: bool,
+    /// A distinguishing input assignment, when one was found.
+    pub counterexample: Option<Vec<bool>>,
+    /// `true` if the SAT budget ran out before a verdict.
+    pub undetermined: bool,
+}
+
+/// Builds the miter of two networks: shared inputs, one output that is 1 iff
+/// any pair of corresponding outputs differs.
+///
+/// # Panics
+///
+/// Panics if the networks have different input or output counts.
+pub fn build_miter(a: &Aig, b: &Aig) -> Aig {
+    assert_eq!(
+        a.num_inputs(),
+        b.num_inputs(),
+        "miter requires equal input counts"
+    );
+    assert_eq!(
+        a.num_outputs(),
+        b.num_outputs(),
+        "miter requires equal output counts"
+    );
+    let mut miter = Aig::new();
+    let inputs: Vec<Lit> = (0..a.num_inputs())
+        .map(|i| miter.add_input(a.input_name(i).to_string()))
+        .collect();
+    let outs_a = miter.append(a, &inputs);
+    let outs_b = miter.append(b, &inputs);
+    let diffs: Vec<Lit> = outs_a
+        .iter()
+        .zip(outs_b.iter())
+        .map(|(&x, &y)| miter.xor(x, y))
+        .collect();
+    let any_diff = miter.or_many(&diffs);
+    miter.add_output("miter", any_diff);
+    miter
+}
+
+/// Checks whether two networks are combinationally equivalent.
+///
+/// Random simulation is used first (a cheap refutation filter); if no
+/// difference shows up the miter output is proved constant-false with SAT
+/// using the given conflict budget.
+pub fn check_equivalence(a: &Aig, b: &Aig, conflict_limit: u64) -> CecResult {
+    let miter = build_miter(a, b);
+    // Simulation filter.
+    let sim_patterns = patterns::random_patterns(&miter, 256, 0xCEC);
+    let state = AigSimulator::new(&miter).run(&sim_patterns);
+    let out_sig = state.output_signature(&miter, 0);
+    if !out_sig.is_const0() {
+        let pattern = (0..out_sig.len())
+            .find(|&p| out_sig.get_bit(p))
+            .expect("a set bit exists");
+        return CecResult {
+            equivalent: false,
+            counterexample: Some(sim_patterns.assignment(pattern)),
+            undetermined: false,
+        };
+    }
+    // SAT proof.
+    let miter_out = miter.outputs()[0].lit;
+    let mut sat = CircuitSat::new(&miter);
+    match sat.prove_constant(miter_out, false, conflict_limit) {
+        EquivOutcome::Equivalent => CecResult {
+            equivalent: true,
+            counterexample: None,
+            undetermined: false,
+        },
+        EquivOutcome::CounterExample(ce) => CecResult {
+            equivalent: false,
+            counterexample: Some(ce),
+            undetermined: false,
+        },
+        EquivOutcome::Undetermined => CecResult {
+            equivalent: false,
+            counterexample: None,
+            undetermined: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adder(width: usize, structural_variant: bool) -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_inputs("a", width);
+        let b = aig.add_inputs("b", width);
+        let mut carry = Lit::FALSE;
+        for i in 0..width {
+            let (sum, cout) = if structural_variant {
+                // Majority/XOR full adder.
+                let s1 = aig.xor(a[i], b[i]);
+                let sum = aig.xor(s1, carry);
+                let cout = aig.maj(a[i], b[i], carry);
+                (sum, cout)
+            } else {
+                // AND/OR full adder.
+                let s1 = aig.xor(a[i], b[i]);
+                let sum = aig.xor(s1, carry);
+                let c1 = aig.and(a[i], b[i]);
+                let c2 = aig.and(s1, carry);
+                let cout = aig.or(c1, c2);
+                (sum, cout)
+            };
+            aig.add_output(format!("s{i}"), sum);
+            carry = cout;
+        }
+        aig.add_output("cout", carry);
+        aig
+    }
+
+    #[test]
+    fn equivalent_adders_are_proved() {
+        let a = adder(4, false);
+        let b = adder(4, true);
+        let result = check_equivalence(&a, &b, 100_000);
+        assert!(result.equivalent, "structural variants compute the same sum");
+        assert!(result.counterexample.is_none());
+    }
+
+    #[test]
+    fn different_networks_yield_counterexample() {
+        let a = adder(3, false);
+        let mut b = adder(3, false);
+        // Corrupt one output of b.
+        let last = b.num_outputs() - 1;
+        let flipped = !b.outputs()[last].lit;
+        b.set_output_lit(last, flipped);
+        let result = check_equivalence(&a, &b, 100_000);
+        assert!(!result.equivalent);
+        let ce = result.counterexample.expect("counter-example exists");
+        assert_ne!(a.evaluate(&ce), b.evaluate(&ce));
+    }
+
+    #[test]
+    fn identical_networks_trivially_equivalent() {
+        let a = adder(2, true);
+        let result = check_equivalence(&a, &a.clone(), 10_000);
+        assert!(result.equivalent);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal input counts")]
+    fn mismatched_interfaces_panic() {
+        let a = adder(2, false);
+        let b = adder(3, false);
+        let _ = check_equivalence(&a, &b, 1_000);
+    }
+
+    #[test]
+    fn miter_structure() {
+        let a = adder(2, false);
+        let b = adder(2, true);
+        let miter = build_miter(&a, &b);
+        assert_eq!(miter.num_inputs(), a.num_inputs());
+        assert_eq!(miter.num_outputs(), 1);
+    }
+}

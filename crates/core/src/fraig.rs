@@ -1,0 +1,99 @@
+//! The baseline SAT sweeper (the `&fraig -x` analog of Table II).
+//!
+//! The baseline shares the proving machinery of [`crate::sweeper`] but uses
+//! the conventional strategy the paper compares against:
+//!
+//! * purely random initial simulation patterns;
+//! * candidates processed in topological order, compared against their class
+//!   representative only;
+//! * every counter-example triggers a full bit-parallel resimulation of the
+//!   network (no cut windows, no exhaustive refinement);
+//! * no up-front constant substitution pass unless explicitly enabled in the
+//!   configuration.
+
+use crate::report::{SweepConfig, SweepResult};
+use crate::sweeper::{run_sweep, Engine};
+use netlist::Aig;
+
+/// Runs the baseline FRAIG-style sweeper on `aig`.
+///
+/// The flags of `config` that correspond to the paper's additions
+/// (`sat_guided_patterns`, `window_refinement`) are ignored — the baseline
+/// never uses them; start from [`SweepConfig::baseline`] for the canonical
+/// baseline setting.
+pub fn sweep_fraig(aig: &Aig, config: &SweepConfig) -> SweepResult {
+    let baseline_config = SweepConfig {
+        sat_guided_patterns: false,
+        window_refinement: false,
+        ..*config
+    };
+    run_sweep(aig, &baseline_config, Engine::Baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cec::check_equivalence;
+    use crate::sweeper::sweep_stp;
+
+    fn redundant_circuit() -> Aig {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs("x", 5);
+        let f1 = aig.and(xs[0], xs[1]);
+        let f2_inner = aig.nand(xs[0], xs[1]);
+        let f2 = !f2_inner;
+        let g1 = aig.xor(xs[2], xs[3]);
+        let g2_t = aig.or(xs[2], xs[3]);
+        let g2_b = aig.nand(xs[2], xs[3]);
+        let g2 = aig.and(g2_t, g2_b);
+        let o1 = aig.mux(xs[4], f1, g2);
+        let o2 = aig.mux(xs[4], g1, f2);
+        aig.add_output("o1", o1);
+        aig.add_output("o2", o2);
+        aig
+    }
+
+    #[test]
+    fn baseline_sweep_preserves_function_and_reduces() {
+        let aig = redundant_circuit();
+        let result = sweep_fraig(&aig, &SweepConfig::baseline());
+        assert!(result.aig.num_ands() < aig.num_ands());
+        assert!(check_equivalence(&aig, &result.aig, 100_000).equivalent);
+    }
+
+    #[test]
+    fn baseline_and_stp_agree_on_final_size() {
+        let aig = redundant_circuit();
+        let baseline = sweep_fraig(&aig, &SweepConfig::baseline());
+        let stp = sweep_stp(&aig, &SweepConfig::default());
+        // Both engines prove the same merges on this small circuit; only the
+        // effort spent differs (cf. the "Result" column of Table II).
+        assert_eq!(baseline.aig.num_ands(), stp.aig.num_ands());
+    }
+
+    #[test]
+    fn stp_needs_no_more_sat_calls_than_baseline() {
+        let aig = redundant_circuit();
+        let baseline = sweep_fraig(&aig, &SweepConfig::baseline());
+        let stp = sweep_stp(&aig, &SweepConfig::default());
+        assert!(
+            stp.report.sat_calls_sat <= baseline.report.sat_calls_sat,
+            "STP sweeping should not need more satisfiable SAT calls ({} vs {})",
+            stp.report.sat_calls_sat,
+            baseline.report.sat_calls_sat
+        );
+    }
+
+    #[test]
+    fn baseline_ignores_stp_only_flags() {
+        let aig = redundant_circuit();
+        let config = SweepConfig {
+            sat_guided_patterns: true,
+            window_refinement: true,
+            ..SweepConfig::baseline()
+        };
+        let result = sweep_fraig(&aig, &config);
+        assert_eq!(result.report.proved_by_simulation, 0);
+        assert_eq!(result.report.disproved_by_simulation, 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # stp_sweep — STP-based circuit simulation and SAT-sweeping
+//!
+//! This crate is the reproduction of the paper's contribution:
+//!
+//! * [`stp_sim`] — the STP-based simulator of k-LUT networks (Algorithm 1)
+//!   together with the cut algorithm of Section III-B: non-target logic is
+//!   collapsed into k-LUTs whose truth tables are obtained by semi-tensor
+//!   (logic-matrix) composition, so that only the nodes of interest are
+//!   simulated — with exhaustive patterns whenever the window is small.
+//! * [`equiv`] — the candidate equivalence-class manager of Fig. 2.
+//! * [`patterns`] — SAT-guided initial simulation patterns and constant-node
+//!   detection (Section IV-A, after [Amarù et al., DAC'20]).
+//! * [`fraig`] — the baseline SAT sweeper (the `&fraig -x` analog): random
+//!   simulation, equivalence classes, SAT queries, bitwise counter-example
+//!   resimulation.
+//! * [`sweeper`] — the proposed STP-based SAT sweeper (Algorithm 2):
+//!   SAT-guided patterns, constant substitution, reverse topological
+//!   processing, a TFI/driver budget, don't-touch marking on `unDET`, and
+//!   exhaustive STP window refinement that disproves most false candidates
+//!   without calling the SAT solver.
+//! * [`cec`] — combinational equivalence checking used to verify every sweep
+//!   (the `&cec` analog).
+//!
+//! ```
+//! use netlist::Aig;
+//! use stp_sweep::{sweeper, SweepConfig};
+//!
+//! # fn main() {
+//! let mut aig = Aig::new();
+//! let a = aig.add_input("a");
+//! let b = aig.add_input("b");
+//! let f = aig.and(a, b);
+//! let g = aig.and(f, b); // redundant: equals f
+//! let y = aig.xor(f, g);
+//! aig.add_output("y", y);
+//!
+//! let result = sweeper::sweep_stp(&aig, &SweepConfig::default());
+//! assert!(result.aig.num_ands() <= aig.num_ands());
+//! assert!(stp_sweep::cec::check_equivalence(&aig, &result.aig, 1_000).equivalent);
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cec;
+pub mod equiv;
+pub mod fraig;
+pub mod patterns;
+pub mod report;
+pub mod stp_sim;
+pub mod sweeper;
+pub mod window;
+
+pub use report::{SweepConfig, SweepReport, SweepResult};

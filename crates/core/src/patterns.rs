@@ -1,0 +1,233 @@
+//! SAT-guided initial simulation patterns (Section IV-A of the paper).
+//!
+//! Purely random patterns leave two weaknesses that inflate the candidate
+//! equivalence classes:
+//!
+//! 1. nodes that happen to simulate to all-zeros or all-ones look like
+//!    constants even when they are not, and
+//! 2. nodes with very unbalanced signatures (almost all zeros or almost all
+//!    ones) collide with many other unbalanced nodes.
+//!
+//! The two-round SAT-guided scheme (after Amarù et al., DAC'20) fixes both:
+//! round one asks the SAT solver for assignments that flip would-be-constant
+//! nodes to their missing value; round two asks for assignments that raise
+//! the toggle count of low-diversity nodes.  Every satisfying assignment
+//! becomes an additional simulation pattern.
+
+use bitsim::{AigSimulator, PatternSet};
+use netlist::{Aig, Lit};
+use satsolver::CircuitSat;
+use std::collections::HashSet;
+
+/// Configuration of the SAT-guided pattern generator.
+#[derive(Debug, Clone, Copy)]
+pub struct PatternGenConfig {
+    /// Number of purely random base patterns.
+    pub num_random: usize,
+    /// Seed of the random generator.
+    pub seed: u64,
+    /// Maximum number of SAT queries spent in round one (constants).
+    pub round1_budget: usize,
+    /// Maximum number of SAT queries spent in round two (low diversity).
+    pub round2_budget: usize,
+    /// Conflict limit per SAT query.
+    pub conflict_limit: u64,
+    /// A node whose fraction of ones lies outside `[bias, 1 - bias]` is
+    /// considered low-diversity in round two.
+    pub bias: f64,
+}
+
+impl Default for PatternGenConfig {
+    fn default() -> Self {
+        PatternGenConfig {
+            num_random: 256,
+            seed: 0xC0FFEE,
+            round1_budget: 64,
+            round2_budget: 64,
+            conflict_limit: 1_000,
+            bias: 0.05,
+        }
+    }
+}
+
+/// Statistics of a pattern-generation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatternGenStats {
+    /// Patterns contributed by round one (constant disproval).
+    pub round1_patterns: usize,
+    /// Patterns contributed by round two (toggle improvement).
+    pub round2_patterns: usize,
+    /// Nodes whose constant-ness round one could not disprove (true
+    /// constant candidates handed to the sweeper).
+    pub constant_candidates: usize,
+}
+
+/// Generates purely random patterns (the baseline sweeper's initial
+/// simulation).
+pub fn random_patterns(aig: &Aig, num_patterns: usize, seed: u64) -> PatternSet {
+    PatternSet::random(aig.num_inputs(), num_patterns, seed)
+}
+
+/// Generates SAT-guided initial patterns: random base patterns plus the two
+/// guided rounds described in Section IV-A.
+///
+/// The function reuses the caller's [`CircuitSat`] instance so that clauses
+/// learned while generating patterns stay available to the sweeping queries
+/// that follow.
+pub fn sat_guided_patterns(
+    aig: &Aig,
+    sat: &mut CircuitSat<'_>,
+    config: &PatternGenConfig,
+) -> (PatternSet, PatternGenStats) {
+    let mut stats = PatternGenStats::default();
+    let mut patterns = random_patterns(aig, config.num_random.max(1), config.seed);
+    let mut extra: Vec<Vec<bool>> = Vec::new();
+    let mut seen: HashSet<Vec<bool>> = HashSet::new();
+
+    let state = AigSimulator::new(aig).run(&patterns);
+
+    // Round one: try to disprove all-zero / all-one signatures.
+    let mut round1_queries = 0usize;
+    for id in aig.and_ids() {
+        if round1_queries >= config.round1_budget {
+            break;
+        }
+        let sig = state.signature(id);
+        let target = if sig.is_const0() {
+            Some(Lit::positive(id))
+        } else if sig.is_const1() {
+            Some(!Lit::positive(id))
+        } else {
+            None
+        };
+        let Some(goal) = target else { continue };
+        round1_queries += 1;
+        match sat.find_assignment(&[goal], config.conflict_limit) {
+            Some(assignment) => {
+                if seen.insert(assignment.clone()) {
+                    extra.push(assignment);
+                    stats.round1_patterns += 1;
+                }
+            }
+            None => {
+                stats.constant_candidates += 1;
+            }
+        }
+    }
+
+    // Round two: improve diversity of strongly biased signatures.
+    let mut round2_queries = 0usize;
+    let n = state.num_patterns() as f64;
+    for id in aig.and_ids() {
+        if round2_queries >= config.round2_budget {
+            break;
+        }
+        let sig = state.signature(id);
+        if sig.is_const0() || sig.is_const1() {
+            continue; // handled by round one
+        }
+        let ones_fraction = sig.count_ones() as f64 / n;
+        let goal = if ones_fraction < config.bias {
+            Some(Lit::positive(id))
+        } else if ones_fraction > 1.0 - config.bias {
+            Some(!Lit::positive(id))
+        } else {
+            None
+        };
+        let Some(goal) = goal else { continue };
+        round2_queries += 1;
+        if let Some(assignment) = sat.find_assignment(&[goal], config.conflict_limit) {
+            if seen.insert(assignment.clone()) {
+                extra.push(assignment);
+                stats.round2_patterns += 1;
+            }
+        }
+    }
+
+    for assignment in extra {
+        patterns.push_pattern(&assignment);
+    }
+    (patterns, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitsim::AigSimulator;
+
+    /// An AIG with a node that random simulation almost always sees as
+    /// constant zero: a wide AND of many inputs.
+    fn biased_aig(width: usize) -> (Aig, Lit) {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs("x", width);
+        let wide_and = aig.and_many(&xs);
+        let other = aig.xor(xs[0], xs[1]);
+        let out = aig.or(wide_and, other);
+        aig.add_output("y", out);
+        (aig, wide_and)
+    }
+
+    #[test]
+    fn round1_disproves_fake_constants() {
+        let (aig, wide_and) = biased_aig(10);
+        let mut sat = CircuitSat::new(&aig);
+        let config = PatternGenConfig {
+            num_random: 64,
+            ..PatternGenConfig::default()
+        };
+        let (patterns, stats) = sat_guided_patterns(&aig, &mut sat, &config);
+        assert!(patterns.num_patterns() > 64, "guided patterns were added");
+        assert!(stats.round1_patterns > 0, "the wide AND was disproved");
+        // After simulation with the guided patterns, the wide AND is no
+        // longer a constant candidate.
+        let state = AigSimulator::new(&aig).run(&patterns);
+        assert!(!state.signature(wide_and.node()).is_const0());
+    }
+
+    #[test]
+    fn true_constants_are_reported_not_flipped() {
+        // h = (a & b) & !a is constant false no matter what.
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let t = aig.and(a, b);
+        let h = aig.and(t, !a);
+        aig.add_output("h", h);
+        let mut sat = CircuitSat::new(&aig);
+        let config = PatternGenConfig {
+            num_random: 16,
+            ..PatternGenConfig::default()
+        };
+        let (_, stats) = sat_guided_patterns(&aig, &mut sat, &config);
+        assert!(stats.constant_candidates >= 1);
+    }
+
+    #[test]
+    fn round2_raises_toggle_diversity() {
+        let (aig, wide_and) = biased_aig(8);
+        let mut sat = CircuitSat::new(&aig);
+        // Make the base set large enough that the wide AND is (rarely) hit,
+        // so it lands in round two rather than round one.
+        let config = PatternGenConfig {
+            num_random: 2048,
+            bias: 0.05,
+            ..PatternGenConfig::default()
+        };
+        let (patterns, stats) = sat_guided_patterns(&aig, &mut sat, &config);
+        let state = AigSimulator::new(&aig).run(&patterns);
+        let ones = state.signature(wide_and.node()).count_ones();
+        // Either round added a pattern that sets the node, or it was already
+        // diverse enough to skip — in both cases at least one `1` exists.
+        assert!(ones >= 1);
+        assert_eq!(patterns.num_inputs(), 8);
+        let _ = stats;
+    }
+
+    #[test]
+    fn random_patterns_are_reproducible() {
+        let (aig, _) = biased_aig(5);
+        let a = random_patterns(&aig, 100, 3);
+        let b = random_patterns(&aig, 100, 3);
+        assert_eq!(a, b);
+    }
+}

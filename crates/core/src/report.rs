@@ -1,0 +1,169 @@
+//! Configuration and reporting types shared by both sweepers.
+
+use netlist::Aig;
+use std::fmt;
+use std::time::Duration;
+
+/// Configuration of a SAT-sweeping run.
+///
+/// The defaults correspond to the setting of the paper's evaluation: a TFI /
+/// driver budget of 1000 (Algorithm 2, line 1), exhaustive simulation
+/// windows of fewer than 16 leaves, and a finite conflict budget per SAT
+/// query so that hard queries come back as `unDET`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Number of initial simulation patterns.
+    pub num_initial_patterns: usize,
+    /// Conflict budget per SAT query (`unDET` when exhausted).
+    pub conflict_limit: u64,
+    /// Maximum number of candidate drivers examined per candidate node
+    /// (the paper's TFI limit `n = 1000`).
+    pub tfi_limit: usize,
+    /// Maximum number of leaves of an exhaustive simulation window
+    /// (the paper restricts windows to fewer than 16 leaves).
+    pub window_limit: usize,
+    /// Seed of the pseudo-random pattern generator.
+    pub seed: u64,
+    /// Generate the initial patterns with SAT guidance (two-round scheme of
+    /// Section IV-A) instead of purely at random.
+    pub sat_guided_patterns: bool,
+    /// Detect and substitute constant nodes before pairwise merging.
+    pub constant_substitution: bool,
+    /// Refine candidate equivalence classes by exhaustive STP window
+    /// simulation before calling the SAT solver.
+    pub window_refinement: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            num_initial_patterns: 256,
+            conflict_limit: 20_000,
+            tfi_limit: 1000,
+            window_limit: 8,
+            seed: 0xC0FFEE,
+            sat_guided_patterns: true,
+            constant_substitution: true,
+            window_refinement: true,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The configuration used by the baseline FRAIG-style sweeper: random
+    /// patterns, no constant substitution pass, no window refinement.
+    pub fn baseline() -> Self {
+        SweepConfig {
+            sat_guided_patterns: false,
+            constant_substitution: false,
+            window_refinement: false,
+            ..SweepConfig::default()
+        }
+    }
+}
+
+/// Measurements of one sweeping run — the columns of Table II.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SweepReport {
+    /// AND gates before sweeping.
+    pub gates_before: usize,
+    /// AND gates after sweeping and cleanup.
+    pub gates_after: usize,
+    /// Logic levels of the original network.
+    pub levels: usize,
+    /// Number of proved node merges.
+    pub merges: usize,
+    /// Number of nodes substituted by constants.
+    pub constants: usize,
+    /// Satisfiable SAT calls (each produced a counter-example).
+    pub sat_calls_sat: u64,
+    /// Unsatisfiable SAT calls (each proved a merge or constant).
+    pub sat_calls_unsat: u64,
+    /// SAT calls that exhausted their conflict budget.
+    pub sat_calls_undet: u64,
+    /// Total SAT calls.
+    pub sat_calls_total: u64,
+    /// Candidate pairs disproved by simulation alone (no SAT call needed).
+    pub disproved_by_simulation: u64,
+    /// Candidate pairs proved by exhaustive window simulation alone.
+    pub proved_by_simulation: u64,
+    /// Time spent simulating (initial + counter-example simulation).
+    pub simulation_time: Duration,
+    /// Time spent inside the SAT solver.
+    pub sat_time: Duration,
+    /// End-to-end runtime of the sweep.
+    pub total_time: Duration,
+}
+
+impl SweepReport {
+    /// Fraction of gates removed by the sweep.
+    pub fn reduction(&self) -> f64 {
+        if self.gates_before == 0 {
+            0.0
+        } else {
+            1.0 - self.gates_after as f64 / self.gates_before as f64
+        }
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gates {} -> {} ({} merges, {} constants), SAT {}/{} sat/total ({} undet), sim {:.3}s, total {:.3}s",
+            self.gates_before,
+            self.gates_after,
+            self.merges,
+            self.constants,
+            self.sat_calls_sat,
+            self.sat_calls_total,
+            self.sat_calls_undet,
+            self.simulation_time.as_secs_f64(),
+            self.total_time.as_secs_f64()
+        )
+    }
+}
+
+/// The outcome of a sweeping run: the optimised network plus measurements.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The swept (functionally equivalent, smaller or equal) network.
+    pub aig: Aig,
+    /// Measurements of the run.
+    pub report: SweepReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_enables_paper_features() {
+        let c = SweepConfig::default();
+        assert!(c.sat_guided_patterns);
+        assert!(c.constant_substitution);
+        assert!(c.window_refinement);
+        assert_eq!(c.tfi_limit, 1000);
+        assert!(c.window_limit < 16);
+    }
+
+    #[test]
+    fn baseline_config_disables_paper_features() {
+        let c = SweepConfig::baseline();
+        assert!(!c.sat_guided_patterns);
+        assert!(!c.constant_substitution);
+        assert!(!c.window_refinement);
+    }
+
+    #[test]
+    fn report_reduction() {
+        let report = SweepReport {
+            gates_before: 100,
+            gates_after: 80,
+            ..SweepReport::default()
+        };
+        assert!((report.reduction() - 0.2).abs() < 1e-9);
+        assert_eq!(SweepReport::default().reduction(), 0.0);
+        assert!(report.to_string().contains("100 -> 80"));
+    }
+}

@@ -1,0 +1,493 @@
+//! The STP-based SAT-sweeping engine (Algorithm 2 of the paper) and the
+//! shared sweeping machinery used by the baseline engine in [`crate::fraig`].
+//!
+//! The sweep proceeds as in Fig. 2: initial simulation builds candidate
+//! equivalence classes (including constant candidates), the nodes are then
+//! visited and every candidate is compared against a preceding *driver* of
+//! its class; the SAT solver proves or disproves the merge, and each
+//! counter-example is simulated to refine the remaining classes.
+//!
+//! The STP engine differs from the baseline in exactly the ways the paper
+//! describes:
+//!
+//! * the initial patterns are SAT-guided (Section IV-A);
+//! * constant nodes are detected and substituted before pairwise merging;
+//! * candidates are processed in reverse topological order, classes are
+//!   considered together with their complements, and at most `tfi_limit`
+//!   drivers are examined per candidate;
+//! * candidates that come back `unDET` are marked *don't touch*;
+//! * before any SAT call the pair is checked by **exhaustive STP window
+//!   simulation** ([`crate::window`]), which disproves most false candidates
+//!   and proves window-complete ones without touching the solver;
+//! * counter-examples are simulated only on the equivalence-class nodes via
+//!   the cut windows instead of re-simulating the whole network.
+
+use crate::equiv::EquivClasses;
+use crate::patterns::{self, PatternGenConfig};
+use crate::report::{SweepConfig, SweepReport, SweepResult};
+use crate::window::WindowIndex;
+use bitsim::{AigSimulator, PatternSet, Signature};
+use netlist::{Aig, Lit, NodeId};
+use satsolver::{CircuitSat, EquivOutcome};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Which sweeping engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Engine {
+    /// Baseline FRAIG-style sweeping: random initial patterns, representative
+    /// drivers only, full bitwise counter-example resimulation.
+    Baseline,
+    /// The paper's STP-based sweeping (Algorithm 2).
+    Stp,
+}
+
+/// Runs the STP-based SAT sweeper (Algorithm 2) on `aig`.
+///
+/// The returned network is functionally equivalent to the input (verified by
+/// the crate's tests via [`crate::cec`]) and never larger.
+pub fn sweep_stp(aig: &Aig, config: &SweepConfig) -> SweepResult {
+    run_sweep(aig, config, Engine::Stp)
+}
+
+/// Runs the STP sweeper repeatedly until no further gates are removed (or
+/// `max_rounds` is reached).  Merging can expose new structural sharing
+/// (the cleanup re-hashes the network), so a second pass occasionally finds
+/// additional merges; the reports of all rounds are accumulated.
+pub fn sweep_stp_to_fixpoint(aig: &Aig, config: &SweepConfig, max_rounds: usize) -> SweepResult {
+    let mut current = aig.clone();
+    let mut accumulated = SweepReport {
+        gates_before: aig.num_ands(),
+        levels: aig.depth(),
+        ..SweepReport::default()
+    };
+    for _ in 0..max_rounds.max(1) {
+        let round = run_sweep(&current, config, Engine::Stp);
+        accumulated.merges += round.report.merges;
+        accumulated.constants += round.report.constants;
+        accumulated.sat_calls_sat += round.report.sat_calls_sat;
+        accumulated.sat_calls_unsat += round.report.sat_calls_unsat;
+        accumulated.sat_calls_undet += round.report.sat_calls_undet;
+        accumulated.sat_calls_total += round.report.sat_calls_total;
+        accumulated.proved_by_simulation += round.report.proved_by_simulation;
+        accumulated.disproved_by_simulation += round.report.disproved_by_simulation;
+        accumulated.simulation_time += round.report.simulation_time;
+        accumulated.sat_time += round.report.sat_time;
+        accumulated.total_time += round.report.total_time;
+        let converged = round.aig.num_ands() == current.num_ands();
+        current = round.aig;
+        if converged {
+            break;
+        }
+    }
+    accumulated.gates_after = current.num_ands();
+    SweepResult {
+        aig: current,
+        report: accumulated,
+    }
+}
+
+pub(crate) fn run_sweep(aig: &Aig, config: &SweepConfig, engine: Engine) -> SweepResult {
+    let total_start = Instant::now();
+    let original = aig.clone();
+    let mut result = aig.clone();
+    let mut report = SweepReport {
+        gates_before: original.num_ands(),
+        levels: original.depth(),
+        ..SweepReport::default()
+    };
+
+    let mut sat = CircuitSat::new(&original);
+
+    // ------------------------------------------------------------------
+    // Initial simulation (random or SAT-guided).
+    // ------------------------------------------------------------------
+    let sim_start = Instant::now();
+    let mut pattern_set = if engine == Engine::Stp && config.sat_guided_patterns {
+        let gen_config = PatternGenConfig {
+            num_random: config.num_initial_patterns,
+            seed: config.seed,
+            conflict_limit: config.conflict_limit.min(2_000),
+            ..PatternGenConfig::default()
+        };
+        let (p, _) = patterns::sat_guided_patterns(&original, &mut sat, &gen_config);
+        p
+    } else {
+        patterns::random_patterns(&original, config.num_initial_patterns, config.seed)
+    };
+    let state = AigSimulator::new(&original).run(&pattern_set);
+    let and_signatures: HashMap<NodeId, Signature> = original
+        .and_ids()
+        .map(|id| (id, state.signature(id).clone()))
+        .collect();
+    report.simulation_time += sim_start.elapsed();
+    // SAT queries spent on pattern generation are not sweeping queries; the
+    // Table II counters start after the initial simulation, as in the paper.
+    let pattern_gen_stats = sat.query_stats();
+
+    let mut classes = EquivClasses::from_signatures(&and_signatures);
+
+    // Window index used by the STP engine for exhaustive refinement and for
+    // counter-example simulation restricted to class nodes.
+    let windows = if engine == Engine::Stp {
+        Some(WindowIndex::build(&original, config.window_limit))
+    } else {
+        None
+    };
+
+    // Tracks nodes that have been merged away (and into what) and nodes
+    // marked don't-touch.
+    let mut merged: Vec<Option<Lit>> = vec![None; original.num_nodes()];
+    let mut dont_touch = vec![false; original.num_nodes()];
+
+    // ------------------------------------------------------------------
+    // Constant-node substitution.
+    // ------------------------------------------------------------------
+    if config.constant_substitution {
+        let candidates: Vec<_> = classes.constants().to_vec();
+        for candidate in candidates {
+            let lit = Lit::positive(candidate.node);
+            let sat_start = Instant::now();
+            let outcome = sat.prove_constant(lit, candidate.value, config.conflict_limit);
+            report.sat_time += sat_start.elapsed();
+            match outcome {
+                EquivOutcome::Equivalent => {
+                    let constant = if candidate.value { Lit::TRUE } else { Lit::FALSE };
+                    result.replace_node(candidate.node, constant);
+                    merged[candidate.node] = Some(constant);
+                    classes.remove(candidate.node);
+                    report.constants += 1;
+                }
+                EquivOutcome::CounterExample(ce) => {
+                    refine_with_counterexample(
+                        &original,
+                        &ce,
+                        &mut pattern_set,
+                        &mut classes,
+                        windows.as_ref(),
+                        &mut report,
+                        engine,
+                    );
+                }
+                EquivOutcome::Undetermined => {
+                    dont_touch[candidate.node] = true;
+                    classes.remove(candidate.node);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pairwise merging.
+    // ------------------------------------------------------------------
+    let mut order: Vec<NodeId> = original.and_ids().collect();
+    if engine == Engine::Stp {
+        // Algorithm 2 traverses the circuit from outputs to inputs.
+        order.reverse();
+    }
+
+    for candidate in order {
+        let mut attempts = 0usize;
+        // The driver list is recomputed from the candidate's *current* class
+        // whenever a counter-example refines the classes, so no effort is
+        // spent on pairs that simulation has already distinguished.
+        'candidate: loop {
+            if merged[candidate].is_some() || dont_touch[candidate] || attempts >= config.tfi_limit
+            {
+                break;
+            }
+            let Some(class) = classes.class_of(candidate) else {
+                break;
+            };
+            if class.representative() == candidate {
+                break;
+            }
+            // Candidate drivers: class members that precede the candidate in
+            // topological order, bounded by the TFI limit.
+            let candidate_phase = class.phase_of(candidate);
+            let drivers: Vec<(NodeId, bool)> = class
+                .members()
+                .iter()
+                .zip(class.members().iter().map(|&m| class.phase_of(m)))
+                .filter(|&(&m, _)| m < candidate && merged[m].is_none() && !dont_touch[m])
+                .map(|(&m, phase)| (m, phase != candidate_phase))
+                .take(config.tfi_limit - attempts)
+                .collect();
+            if drivers.is_empty() {
+                break;
+            }
+            for (driver, complemented) in drivers {
+                attempts += 1;
+                // Exhaustive STP window refinement before any SAT call.
+                if engine == Engine::Stp && config.window_refinement {
+                    if let Some(index) = windows.as_ref() {
+                        match index.compare(&original, candidate, driver, complemented) {
+                            Some(false) => {
+                                report.disproved_by_simulation += 1;
+                                continue;
+                            }
+                            Some(true) => {
+                                report.proved_by_simulation += 1;
+                                apply_merge(
+                                    &mut result,
+                                    candidate,
+                                    driver,
+                                    complemented,
+                                    &mut merged,
+                                    &mut classes,
+                                    &mut report,
+                                );
+                                break 'candidate;
+                            }
+                            None => {}
+                        }
+                    }
+                }
+                let sat_start = Instant::now();
+                let outcome = sat.prove_equivalent(
+                    Lit::positive(candidate),
+                    Lit::new(driver, complemented),
+                    config.conflict_limit,
+                );
+                report.sat_time += sat_start.elapsed();
+                match outcome {
+                    EquivOutcome::Equivalent => {
+                        apply_merge(
+                            &mut result,
+                            candidate,
+                            driver,
+                            complemented,
+                            &mut merged,
+                            &mut classes,
+                            &mut report,
+                        );
+                        break 'candidate;
+                    }
+                    EquivOutcome::CounterExample(ce) => {
+                        refine_with_counterexample(
+                            &original,
+                            &ce,
+                            &mut pattern_set,
+                            &mut classes,
+                            windows.as_ref(),
+                            &mut report,
+                            engine,
+                        );
+                        // Re-derive the drivers from the refined classes.
+                        continue 'candidate;
+                    }
+                    EquivOutcome::Undetermined => {
+                        // Don't-touch: stop spending effort on this candidate.
+                        dont_touch[candidate] = true;
+                        classes.remove(candidate);
+                        break 'candidate;
+                    }
+                }
+            }
+            // Every driver was examined without a counter-example forcing a
+            // re-derivation: nothing more to do for this candidate.
+            break;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cleanup and reporting.
+    // ------------------------------------------------------------------
+    let query_stats = sat.query_stats();
+    report.sat_calls_total = query_stats.total_calls - pattern_gen_stats.total_calls;
+    report.sat_calls_sat = query_stats.sat_calls - pattern_gen_stats.sat_calls;
+    report.sat_calls_unsat = query_stats.unsat_calls - pattern_gen_stats.unsat_calls;
+    report.sat_calls_undet =
+        query_stats.undetermined_calls - pattern_gen_stats.undetermined_calls;
+
+    let (cleaned, _) = result.cleanup();
+    report.gates_after = cleaned.num_ands();
+    report.total_time = total_start.elapsed();
+    SweepResult {
+        aig: cleaned,
+        report,
+    }
+}
+
+/// Applies a proved merge: redirects `candidate`'s fanouts to `driver`
+/// (complemented as required) in the working copy.
+fn apply_merge(
+    result: &mut Aig,
+    candidate: NodeId,
+    driver: NodeId,
+    complemented: bool,
+    merged: &mut [Option<Lit>],
+    classes: &mut EquivClasses,
+    report: &mut SweepReport,
+) {
+    let replacement = Lit::new(driver, complemented);
+    result.replace_node(candidate, replacement);
+    merged[candidate] = Some(replacement);
+    classes.remove(candidate);
+    report.merges += 1;
+}
+
+/// Simulates a counter-example and refines the candidate classes.
+///
+/// The baseline engine re-simulates the whole network bit-parallel; the STP
+/// engine simulates only the nodes that are still members of some candidate
+/// class (or constant candidates) through their cut windows.
+fn refine_with_counterexample(
+    original: &Aig,
+    counterexample: &[bool],
+    pattern_set: &mut PatternSet,
+    classes: &mut EquivClasses,
+    windows: Option<&WindowIndex>,
+    report: &mut SweepReport,
+    engine: Engine,
+) {
+    let sim_start = Instant::now();
+    pattern_set.push_pattern(counterexample);
+    let new_signatures: HashMap<NodeId, Signature> = match (engine, windows) {
+        (Engine::Stp, Some(index)) => {
+            // Only class members and constant candidates need new values.
+            let mut targets: Vec<NodeId> = classes
+                .classes()
+                .iter()
+                .flat_map(|c| c.members().iter().copied())
+                .collect();
+            targets.extend(classes.constants().iter().map(|c| c.node));
+            targets.sort_unstable();
+            targets.dedup();
+            let mut ce_only = PatternSet::new(original.num_inputs());
+            ce_only.push_pattern(counterexample);
+            index.simulate_targets(original, &ce_only, &targets)
+        }
+        _ => {
+            // Full bitwise resimulation with the complete (grown) pattern set.
+            let state = AigSimulator::new(original).run(pattern_set);
+            original
+                .and_ids()
+                .map(|id| (id, state.signature(id).clone()))
+                .collect()
+        }
+    };
+    classes.refine(&new_signatures);
+    report.simulation_time += sim_start.elapsed();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cec::check_equivalence;
+
+    /// A circuit with planted redundancy: the same functions built twice with
+    /// different structure, plus a constant-false cone.
+    fn redundant_circuit() -> Aig {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs("x", 6);
+        // Version 1 of a few functions.
+        let f1 = aig.and(xs[0], xs[1]);
+        let g1 = aig.xor(xs[2], xs[3]);
+        let h1 = aig.maj(xs[3], xs[4], xs[5]);
+        // Version 2, structurally different but equivalent.
+        let f2_a = aig.nand(xs[0], xs[1]);
+        let f2 = !f2_a;
+        let g2_t = aig.or(xs[2], xs[3]);
+        let g2_b = aig.nand(xs[2], xs[3]);
+        let g2 = aig.and(g2_t, g2_b);
+        let h2_ab = aig.and(xs[3], xs[4]);
+        let h2_ac = aig.and(xs[3], xs[5]);
+        let h2_bc = aig.and(xs[4], xs[5]);
+        let h2_t = aig.or(h2_ab, h2_ac);
+        let h2 = aig.or(h2_t, h2_bc);
+        // A constant-false cone that is not structurally obvious.
+        let c_t = aig.and(xs[0], xs[2]);
+        let c = aig.and(c_t, !xs[0]);
+        // Outputs mix both versions so that the redundancy is observable.
+        let o1 = aig.xor(f1, g2);
+        let o2 = aig.xor(f2, g1);
+        let o3 = aig.or(h1, c);
+        let o4 = aig.and(h2, o1);
+        aig.add_output("o1", o1);
+        aig.add_output("o2", o2);
+        aig.add_output("o3", o3);
+        aig.add_output("o4", o4);
+        aig
+    }
+
+    #[test]
+    fn stp_sweep_reduces_and_preserves_function() {
+        let aig = redundant_circuit();
+        let result = sweep_stp(&aig, &SweepConfig::default());
+        assert!(
+            result.aig.num_ands() < aig.num_ands(),
+            "redundant logic should be merged ({} -> {})",
+            aig.num_ands(),
+            result.aig.num_ands()
+        );
+        assert!(result.report.merges + result.report.constants > 0);
+        let cec = check_equivalence(&aig, &result.aig, 100_000);
+        assert!(cec.equivalent, "sweeping must preserve functionality");
+    }
+
+    #[test]
+    fn stp_sweep_substitutes_constants() {
+        let aig = redundant_circuit();
+        let result = sweep_stp(&aig, &SweepConfig::default());
+        assert!(result.report.constants >= 1, "the planted constant cone is found");
+    }
+
+    #[test]
+    fn window_refinement_reduces_sat_calls() {
+        let aig = redundant_circuit();
+        let with_windows = sweep_stp(&aig, &SweepConfig::default());
+        let without_windows = sweep_stp(
+            &aig,
+            &SweepConfig {
+                window_refinement: false,
+                ..SweepConfig::default()
+            },
+        );
+        assert!(
+            with_windows.report.sat_calls_total <= without_windows.report.sat_calls_total,
+            "window refinement must not increase SAT calls ({} vs {})",
+            with_windows.report.sat_calls_total,
+            without_windows.report.sat_calls_total
+        );
+        // Both variants agree on the final size.
+        assert_eq!(
+            with_windows.aig.num_ands(),
+            without_windows.aig.num_ands()
+        );
+    }
+
+    #[test]
+    fn sweep_is_idempotent_on_irredundant_networks() {
+        let aig = redundant_circuit();
+        let once = sweep_stp(&aig, &SweepConfig::default());
+        let twice = sweep_stp(&once.aig, &SweepConfig::default());
+        assert_eq!(once.aig.num_ands(), twice.aig.num_ands());
+        assert_eq!(twice.report.merges, 0);
+    }
+
+    #[test]
+    fn fixpoint_sweeping_converges_and_accumulates() {
+        let aig = redundant_circuit();
+        let once = sweep_stp(&aig, &SweepConfig::default());
+        let fixed = sweep_stp_to_fixpoint(&aig, &SweepConfig::default(), 4);
+        assert!(fixed.aig.num_ands() <= once.aig.num_ands());
+        assert!(fixed.report.merges >= once.report.merges);
+        assert!(check_equivalence(&aig, &fixed.aig, 100_000).equivalent);
+        assert_eq!(fixed.report.gates_before, aig.num_ands());
+        assert_eq!(fixed.report.gates_after, fixed.aig.num_ands());
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let aig = redundant_circuit();
+        let result = sweep_stp(&aig, &SweepConfig::default());
+        let r = &result.report;
+        assert_eq!(
+            r.sat_calls_total,
+            r.sat_calls_sat + r.sat_calls_unsat + r.sat_calls_undet
+        );
+        assert!(r.gates_after <= r.gates_before);
+        assert!(r.total_time >= r.sat_time);
+    }
+}

@@ -1,0 +1,491 @@
+//! AIGER readers and writers (ASCII `aag` and binary `aig` formats).
+//!
+//! Sequential elements (latches) are supported by *combinational
+//! abstraction*: each latch output becomes an extra primary input and each
+//! latch next-state function becomes an extra primary output.  This matches
+//! how a combinational SAT sweeper treats the HWMCC model-checking
+//! benchmarks referenced in the paper.
+
+use crate::{Aig, AigNode, Lit};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Errors produced while reading or writing AIGER files.
+#[derive(Debug)]
+pub enum AigerError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not follow the AIGER format.
+    Format(String),
+}
+
+impl fmt::Display for AigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AigerError::Io(e) => write!(f, "aiger i/o error: {e}"),
+            AigerError::Format(msg) => write!(f, "invalid aiger file: {msg}"),
+        }
+    }
+}
+
+impl Error for AigerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AigerError::Io(e) => Some(e),
+            AigerError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for AigerError {
+    fn from(e: std::io::Error) -> Self {
+        AigerError::Io(e)
+    }
+}
+
+fn format_err(msg: impl Into<String>) -> AigerError {
+    AigerError::Format(msg.into())
+}
+
+/// Reads an AIGER file (ASCII or binary, detected from the header).
+///
+/// # Errors
+///
+/// Returns [`AigerError`] on I/O failure or malformed content.
+pub fn read_aiger(path: impl AsRef<Path>) -> Result<Aig, AigerError> {
+    let bytes = fs::read(path)?;
+    read_aiger_bytes(&bytes)
+}
+
+/// Parses an ASCII AIGER description from a string.
+///
+/// # Errors
+///
+/// Returns [`AigerError::Format`] on malformed content.
+pub fn read_aiger_str(text: &str) -> Result<Aig, AigerError> {
+    read_aiger_bytes(text.as_bytes())
+}
+
+/// Parses AIGER content from raw bytes (ASCII `aag` or binary `aig`).
+///
+/// # Errors
+///
+/// Returns [`AigerError::Format`] on malformed content.
+pub fn read_aiger_bytes(bytes: &[u8]) -> Result<Aig, AigerError> {
+    let header_end = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| format_err("missing header line"))?;
+    let header = std::str::from_utf8(&bytes[..header_end])
+        .map_err(|_| format_err("header is not utf-8"))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 6 {
+        return Err(format_err("header must be '<fmt> M I L O A'"));
+    }
+    let parse = |s: &str| -> Result<usize, AigerError> {
+        s.parse::<usize>()
+            .map_err(|_| format_err(format!("invalid number '{s}' in header")))
+    };
+    let m = parse(fields[1])?;
+    let i = parse(fields[2])?;
+    let l = parse(fields[3])?;
+    let o = parse(fields[4])?;
+    let a = parse(fields[5])?;
+    // The ASCII format allows M to exceed I+L+A (unused variable indices);
+    // the binary format requires equality.
+    if m < i + l + a || (fields[0] == "aig" && m != i + l + a) {
+        return Err(format_err(format!(
+            "inconsistent header: M={m} but I+L+A={}",
+            i + l + a
+        )));
+    }
+    match fields[0] {
+        "aag" => {
+            let body = std::str::from_utf8(&bytes[header_end + 1..])
+                .map_err(|_| format_err("ascii body is not utf-8"))?;
+            read_ascii(body, m, i, l, o, a)
+        }
+        "aig" => read_binary(&bytes[header_end + 1..], m, i, l, o, a),
+        other => Err(format_err(format!("unknown format tag '{other}'"))),
+    }
+}
+
+/// Maps an AIGER literal to a [`Lit`] using `var_map` (AIGER variable index
+/// to node id).
+fn map_lit(aiger_lit: usize, var_map: &[Option<Lit>]) -> Result<Lit, AigerError> {
+    let var = aiger_lit / 2;
+    let base = var_map
+        .get(var)
+        .copied()
+        .flatten()
+        .ok_or_else(|| format_err(format!("literal {aiger_lit} references undefined var {var}")))?;
+    Ok(base.complement_if(aiger_lit % 2 == 1))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    mut aig: Aig,
+    var_map: &[Option<Lit>],
+    latch_next: &[usize],
+    output_lits: &[usize],
+) -> Result<Aig, AigerError> {
+    for (idx, &lit) in output_lits.iter().enumerate() {
+        let lit = map_lit(lit, var_map)?;
+        aig.add_output(format!("po{idx}"), lit);
+    }
+    for (idx, &next) in latch_next.iter().enumerate() {
+        let lit = map_lit(next, var_map)?;
+        aig.add_output(format!("latch_next{idx}"), lit);
+    }
+    Ok(aig)
+}
+
+fn read_ascii(
+    body: &str,
+    m: usize,
+    i: usize,
+    l: usize,
+    o: usize,
+    a: usize,
+) -> Result<Aig, AigerError> {
+    let mut lines = body.lines();
+    let mut next_line = |what: &str| -> Result<&str, AigerError> {
+        lines
+            .next()
+            .ok_or_else(|| format_err(format!("unexpected end of file while reading {what}")))
+    };
+    let mut aig = Aig::new();
+    let mut var_map: Vec<Option<Lit>> = vec![None; m + 1];
+    var_map[0] = Some(Lit::FALSE);
+
+    // Inputs.
+    for idx in 0..i {
+        let line = next_line("inputs")?;
+        let lit: usize = line
+            .trim()
+            .parse()
+            .map_err(|_| format_err(format!("invalid input literal '{line}'")))?;
+        if lit % 2 != 0 {
+            return Err(format_err("input literal must be even"));
+        }
+        let input = aig.add_input(format!("pi{idx}"));
+        var_map[lit / 2] = Some(input);
+    }
+    // Latches: output side becomes an extra PI.
+    let mut latch_next = Vec::with_capacity(l);
+    for idx in 0..l {
+        let line = next_line("latches")?;
+        let mut parts = line.split_whitespace();
+        let q: usize = parts
+            .next()
+            .ok_or_else(|| format_err("latch line missing literal"))?
+            .parse()
+            .map_err(|_| format_err("invalid latch literal"))?;
+        let next: usize = parts
+            .next()
+            .ok_or_else(|| format_err("latch line missing next-state literal"))?
+            .parse()
+            .map_err(|_| format_err("invalid latch next-state literal"))?;
+        let latch = aig.add_input(format!("latch{idx}"));
+        var_map[q / 2] = Some(latch);
+        latch_next.push(next);
+    }
+    // Outputs.
+    let mut output_lits = Vec::with_capacity(o);
+    for _ in 0..o {
+        let line = next_line("outputs")?;
+        let lit: usize = line
+            .trim()
+            .parse()
+            .map_err(|_| format_err(format!("invalid output literal '{line}'")))?;
+        output_lits.push(lit);
+    }
+    // AND gates.  The ASCII format allows definitions in any order, so gather
+    // them first and insert in passes until every fanin is defined.
+    let mut pending: Vec<(usize, usize, usize)> = Vec::with_capacity(a);
+    for _ in 0..a {
+        let line = next_line("and gates")?;
+        let mut parts = line.split_whitespace();
+        let mut next_num = |what: &str| -> Result<usize, AigerError> {
+            parts
+                .next()
+                .ok_or_else(|| format_err(format!("and line missing {what}")))?
+                .parse()
+                .map_err(|_| format_err(format!("invalid {what}")))
+        };
+        let lhs = next_num("lhs")?;
+        let rhs0 = next_num("rhs0")?;
+        let rhs1 = next_num("rhs1")?;
+        if lhs % 2 != 0 {
+            return Err(format_err("and gate lhs must be even"));
+        }
+        pending.push((lhs, rhs0, rhs1));
+    }
+    while !pending.is_empty() {
+        let before = pending.len();
+        pending.retain(|&(lhs, rhs0, rhs1)| {
+            let ready = var_map[rhs0 / 2].is_some() && var_map[rhs1 / 2].is_some();
+            if ready {
+                let f0 = map_lit(rhs0, &var_map).expect("fanin checked defined");
+                let f1 = map_lit(rhs1, &var_map).expect("fanin checked defined");
+                // Constant folding or structural hashing may return any
+                // literal (possibly complemented); the map stores it as-is.
+                let lit = aig.and(f0, f1);
+                var_map[lhs / 2] = Some(lit);
+            }
+            !ready
+        });
+        if pending.len() == before {
+            return Err(format_err(
+                "cyclic or dangling and-gate definitions in aag body",
+            ));
+        }
+    }
+    finish(aig, &var_map, &latch_next, &output_lits)
+}
+
+fn read_binary(
+    body: &[u8],
+    m: usize,
+    i: usize,
+    l: usize,
+    o: usize,
+    a: usize,
+) -> Result<Aig, AigerError> {
+    let mut aig = Aig::new();
+    let mut var_map: Vec<Option<Lit>> = vec![None; m + 1];
+    var_map[0] = Some(Lit::FALSE);
+    // In the binary format inputs are implicitly variables 1..=i.
+    for idx in 0..i {
+        let input = aig.add_input(format!("pi{idx}"));
+        var_map[idx + 1] = Some(input);
+    }
+    let mut cursor = 0usize;
+    let read_line = |cursor: &mut usize| -> Result<String, AigerError> {
+        let start = *cursor;
+        while *cursor < body.len() && body[*cursor] != b'\n' {
+            *cursor += 1;
+        }
+        let line = std::str::from_utf8(&body[start..*cursor])
+            .map_err(|_| format_err("non-utf8 text section"))?
+            .to_string();
+        *cursor += 1; // skip newline
+        Ok(line)
+    };
+    // Latches: "<next>" per line; latch outputs are variables i+1..=i+l.
+    let mut latch_next = Vec::with_capacity(l);
+    for idx in 0..l {
+        let line = read_line(&mut cursor)?;
+        let next: usize = line
+            .trim()
+            .parse()
+            .map_err(|_| format_err("invalid latch next-state literal"))?;
+        let latch = aig.add_input(format!("latch{idx}"));
+        var_map[i + idx + 1] = Some(latch);
+        latch_next.push(next);
+    }
+    // Outputs.
+    let mut output_lits = Vec::with_capacity(o);
+    for _ in 0..o {
+        let line = read_line(&mut cursor)?;
+        let lit: usize = line
+            .trim()
+            .parse()
+            .map_err(|_| format_err("invalid output literal"))?;
+        output_lits.push(lit);
+    }
+    // AND gates, delta-encoded.
+    let read_delta = |cursor: &mut usize| -> Result<usize, AigerError> {
+        let mut value = 0usize;
+        let mut shift = 0u32;
+        loop {
+            if *cursor >= body.len() {
+                return Err(format_err("unexpected end of binary and-gate section"));
+            }
+            let byte = body[*cursor];
+            *cursor += 1;
+            value |= ((byte & 0x7f) as usize) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    };
+    for idx in 0..a {
+        let lhs = 2 * (i + l + idx + 1);
+        let delta0 = read_delta(&mut cursor)?;
+        let delta1 = read_delta(&mut cursor)?;
+        let rhs0 = lhs
+            .checked_sub(delta0)
+            .ok_or_else(|| format_err("invalid delta0"))?;
+        let rhs1 = rhs0
+            .checked_sub(delta1)
+            .ok_or_else(|| format_err("invalid delta1"))?;
+        let f0 = map_lit(rhs0, &var_map)?;
+        let f1 = map_lit(rhs1, &var_map)?;
+        let lit = aig.and(f0, f1);
+        var_map[lhs / 2] = Some(lit);
+    }
+    finish(aig, &var_map, &latch_next, &output_lits)
+}
+
+/// Serialises an AIG to the ASCII AIGER format.
+pub fn write_aiger_string(aig: &Aig) -> String {
+    // Assign AIGER variable indices: inputs first, then AND nodes in
+    // topological (index) order.
+    let mut var_of_node: Vec<usize> = vec![0; aig.num_nodes()];
+    let mut next_var = 1usize;
+    for &input in aig.inputs() {
+        var_of_node[input] = next_var;
+        next_var += 1;
+    }
+    let mut and_nodes = Vec::new();
+    for id in aig.node_ids() {
+        if aig.node(id).is_and() {
+            var_of_node[id] = next_var;
+            next_var += 1;
+            and_nodes.push(id);
+        }
+    }
+    let lit_of = |lit: Lit| -> usize { 2 * var_of_node[lit.node()] + lit.is_complemented() as usize };
+    let m = next_var - 1;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "aag {} {} 0 {} {}\n",
+        m,
+        aig.num_inputs(),
+        aig.num_outputs(),
+        and_nodes.len()
+    ));
+    for &input in aig.inputs() {
+        out.push_str(&format!("{}\n", 2 * var_of_node[input]));
+    }
+    for output in aig.outputs() {
+        out.push_str(&format!("{}\n", lit_of(output.lit)));
+    }
+    for &id in &and_nodes {
+        if let AigNode::And { fanin0, fanin1 } = aig.node(id) {
+            out.push_str(&format!(
+                "{} {} {}\n",
+                2 * var_of_node[id],
+                lit_of(*fanin0),
+                lit_of(*fanin1)
+            ));
+        }
+    }
+    out
+}
+
+/// Writes an AIG to a file in ASCII AIGER format.
+///
+/// # Errors
+///
+/// Returns [`AigerError::Io`] on I/O failure.
+pub fn write_aiger(aig: &Aig, path: impl AsRef<Path>) -> Result<(), AigerError> {
+    fs::write(path, write_aiger_string(aig))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_aig() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let x = aig.xor(a, b);
+        let y = aig.and(x, c);
+        aig.add_output("po0", y);
+        aig.add_output("po1", !x);
+        aig
+    }
+
+    #[test]
+    fn ascii_round_trip_preserves_function() {
+        let original = sample_aig();
+        let text = write_aiger_string(&original);
+        let parsed = read_aiger_str(&text).unwrap();
+        assert_eq!(parsed.num_inputs(), original.num_inputs());
+        assert_eq!(parsed.num_outputs(), original.num_outputs());
+        for i in 0..8usize {
+            let assignment: Vec<bool> = (0..3).map(|j| (i >> j) & 1 == 1).collect();
+            assert_eq!(parsed.evaluate(&assignment), original.evaluate(&assignment));
+        }
+    }
+
+    #[test]
+    fn parses_reference_ascii_example() {
+        // Half adder from the AIGER specification.
+        let text = "aag 7 2 0 2 3\n2\n4\n6\n12\n6 13 15\n12 2 4\n14 3 5\n";
+        let aig = read_aiger_str(text).unwrap();
+        assert_eq!(aig.num_inputs(), 2);
+        assert_eq!(aig.num_outputs(), 2);
+        // Output 0 is the sum (xor), output 1 is the carry (and).
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let values = aig.evaluate(&[a, b]);
+            assert_eq!(values[0], a ^ b, "sum for {a} {b}");
+            assert_eq!(values[1], a && b, "carry for {a} {b}");
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_via_reference_bytes() {
+        // The same half adder in binary format: header + delta-coded ANDs.
+        // and gates: lhs 8: rhs 2,4 -> deltas 6,? ... easier: encode with our
+        // own writer is ASCII-only, so craft the binary content manually.
+        // Variables: inputs 1,2; ands 3,4,5.
+        //   6 = 2 & 4        (lhs 6, deltas 4, 2)... lhs must be 2*(i+l+idx+1)
+        // idx0: lhs=6 rhs0=4 rhs1=2 -> deltas 2,2
+        // idx1: lhs=8 rhs0=5 rhs1=3 -> deltas 3,2
+        // idx2: lhs=10 rhs0=9 rhs1=7 -> deltas 1,2
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"aig 5 2 0 2 3\n");
+        bytes.extend_from_slice(b"10\n6\n"); // outputs: po0=10 (xor), po1=6 (carry-ish)
+        for delta in [2u8, 2, 3, 2, 1, 2] {
+            bytes.push(delta);
+        }
+        let aig = read_aiger_bytes(&bytes).unwrap();
+        assert_eq!(aig.num_inputs(), 2);
+        assert_eq!(aig.num_outputs(), 2);
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let values = aig.evaluate(&[a, b]);
+            // out0 = !( (a&b) ... ) construction: node6 = a&b, node8 = !a&!b,
+            // node10 = !node6 & !node8 = xor
+            assert_eq!(values[0], a ^ b);
+            assert_eq!(values[1], a && b);
+        }
+    }
+
+    #[test]
+    fn latches_become_inputs_and_outputs() {
+        let text = "aag 3 1 1 1 1\n2\n4 6\n6\n6 2 4\n";
+        let aig = read_aiger_str(text).unwrap();
+        // One real PI plus one latch-output PI; one PO plus one latch-next PO.
+        assert_eq!(aig.num_inputs(), 2);
+        assert_eq!(aig.num_outputs(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        assert!(read_aiger_str("garbage\n").is_err());
+        assert!(read_aiger_str("aag 1 1 0 0\n").is_err());
+        assert!(read_aiger_str("aag 5 1 0 0 1\n2\n").is_err());
+        assert!(read_aiger_str("xyz 0 0 0 0 0\n").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("netlist_aiger_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.aag");
+        let original = sample_aig();
+        write_aiger(&original, &path).unwrap();
+        let parsed = read_aiger(&path).unwrap();
+        assert_eq!(parsed.num_ands(), original.num_ands());
+        std::fs::remove_file(&path).ok();
+    }
+}

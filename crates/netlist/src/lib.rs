@@ -1,0 +1,50 @@
+//! # netlist — logic network substrate
+//!
+//! The data structures every other crate builds on:
+//!
+//! * [`Aig`] — an And-Inverter Graph with complemented edges, structural
+//!   hashing, constant propagation at construction time, fanout counts,
+//!   levels, transitive-fanin queries and node substitution (the operations
+//!   SAT-sweeping needs).
+//! * [`Lit`] — an AIGER-style literal (`2 * node + complement`).
+//! * [`LutNetwork`] — a k-LUT network whose nodes carry explicit truth
+//!   tables; the target representation of the paper's STP simulator.
+//! * [`aiger`] — ASCII and binary AIGER readers/writers.
+//! * [`cuts`] — k-feasible cut enumeration with cut truth tables.
+//! * [`lutmap`] — a depth-oriented LUT mapper turning an AIG into a
+//!   [`LutNetwork`] (the "map the nodes … to k-LUTs" step of the paper).
+//!
+//! ```
+//! use netlist::{Aig, lutmap};
+//!
+//! # fn main() {
+//! let mut aig = Aig::new();
+//! let a = aig.add_input("a");
+//! let b = aig.add_input("b");
+//! let c = aig.add_input("c");
+//! let g = aig.and(a, b);
+//! let h = aig.or(g, c);
+//! aig.add_output("y", h);
+//! let lut = lutmap::map_to_luts(&aig, 4);
+//! assert_eq!(lut.num_pis(), 3);
+//! assert_eq!(lut.num_pos(), 1);
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aig;
+pub mod aiger;
+pub mod blif;
+pub mod cuts;
+pub mod lut;
+pub mod lutmap;
+pub mod stats;
+
+pub use aig::{Aig, AigNode, Lit, NodeId};
+pub use aiger::{read_aiger, read_aiger_str, write_aiger, write_aiger_string, AigerError};
+pub use blif::{read_blif, read_blif_str, write_blif, write_blif_string, BlifError};
+pub use cuts::{Cut, CutSet};
+pub use lut::{LutNetwork, LutNode, LutNodeId};
+pub use stats::NetworkStats;

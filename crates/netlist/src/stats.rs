@@ -1,0 +1,50 @@
+//! Compact summary statistics for logic networks.
+
+use std::fmt;
+
+/// Size and depth statistics of a logic network, matching the "Statistics"
+/// columns of Table II in the paper (PI/PO, Lev, Gate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct NetworkStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of internal gates (AND nodes for an AIG, LUTs for a k-LUT
+    /// network).
+    pub gates: usize,
+    /// Logic depth (number of gate levels on the longest input-to-output
+    /// path).
+    pub depth: usize,
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pi={} po={} gates={} depth={}",
+            self.inputs, self.outputs, self.gates, self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        let s = NetworkStats {
+            inputs: 3,
+            outputs: 1,
+            gates: 7,
+            depth: 4,
+        };
+        assert_eq!(s.to_string(), "pi=3 po=1 gates=7 depth=4");
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        assert_eq!(NetworkStats::default().gates, 0);
+    }
+}

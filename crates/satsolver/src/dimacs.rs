@@ -1,0 +1,170 @@
+//! DIMACS CNF parsing and solving.
+//!
+//! The sweeping engine talks to the solver through the circuit front-end,
+//! but a standalone DIMACS interface makes the solver testable against
+//! standard CNF instances and usable as a drop-in library solver.
+
+use crate::cnf::{Cnf, SatLit, Var};
+use crate::solver::{SolveResult, Solver};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when DIMACS text cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    message: String,
+}
+
+impl ParseDimacsError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseDimacsError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid dimacs: {}", self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses a DIMACS CNF document into a [`Cnf`].
+///
+/// Comment lines (`c …`) are skipped; the `p cnf V C` header is validated
+/// against the actual clause count only loosely (extra or missing clauses
+/// are tolerated, as many real-world files get the header wrong).
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] when the header is missing or a literal is
+/// not an integer.
+pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut cnf = Cnf::new();
+    let mut declared_vars = None;
+    let mut current: Vec<SatLit> = Vec::new();
+    let mut allocated = 0usize;
+
+    let ensure_var = |cnf: &mut Cnf, allocated: &mut usize, index: usize| {
+        while *allocated < index {
+            cnf.new_var();
+            *allocated += 1;
+        }
+    };
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.len() < 3 || fields[0] != "cnf" {
+                return Err(ParseDimacsError::new("header must be 'p cnf <vars> <clauses>'"));
+            }
+            let vars: usize = fields[1]
+                .parse()
+                .map_err(|_| ParseDimacsError::new("invalid variable count"))?;
+            declared_vars = Some(vars);
+            ensure_var(&mut cnf, &mut allocated, vars);
+            continue;
+        }
+        if declared_vars.is_none() {
+            return Err(ParseDimacsError::new("clause before the 'p cnf' header"));
+        }
+        for token in line.split_whitespace() {
+            let value: i64 = token
+                .parse()
+                .map_err(|_| ParseDimacsError::new(format!("invalid literal '{token}'")))?;
+            if value == 0 {
+                cnf.add_clause(&current);
+                current.clear();
+            } else {
+                let var_index = value.unsigned_abs() as usize;
+                ensure_var(&mut cnf, &mut allocated, var_index);
+                let var = Var::from_index(var_index - 1);
+                current.push(if value < 0 {
+                    SatLit::negative(var)
+                } else {
+                    SatLit::positive(var)
+                });
+            }
+        }
+    }
+    if !current.is_empty() {
+        cnf.add_clause(&current);
+    }
+    Ok(cnf)
+}
+
+/// Loads a [`Cnf`] into a fresh [`Solver`] and solves it.
+///
+/// Returns the result together with the solver (so the model can be
+/// inspected on `Sat`).
+pub fn solve_dimacs(text: &str) -> Result<(SolveResult, Solver), ParseDimacsError> {
+    let cnf = parse_dimacs(text)?;
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..cnf.num_vars()).map(|_| solver.new_var()).collect();
+    let _ = vars;
+    for clause in cnf.clauses() {
+        solver.add_clause(clause);
+    }
+    let result = solver.solve();
+    Ok((result, solver))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_solves_satisfiable_instance() {
+        let text = "c a comment\np cnf 3 3\n1 -2 0\n2 3 0\n-1 0\n";
+        let (result, solver) = solve_dimacs(text).unwrap();
+        assert_eq!(result, SolveResult::Sat);
+        // x1 = false forces x2 = false (clause 1), hence x3 = true.
+        assert_eq!(solver.model_value(Var::from_index(0)), Some(false));
+        assert_eq!(solver.model_value(Var::from_index(2)), Some(true));
+    }
+
+    #[test]
+    fn parses_and_solves_unsatisfiable_instance() {
+        let text = "p cnf 2 4\n1 2 0\n-1 2 0\n1 -2 0\n-1 -2 0\n";
+        let (result, _) = solve_dimacs(text).unwrap();
+        assert_eq!(result, SolveResult::Unsat);
+    }
+
+    #[test]
+    fn multi_line_clauses_and_trailing_clause() {
+        let text = "p cnf 3 2\n1 2\n3 0\n-3 -1 0";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.clauses()[0].len(), 3);
+    }
+
+    #[test]
+    fn grows_variable_pool_beyond_header() {
+        let text = "p cnf 1 1\n5 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(cnf.num_vars(), 5);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_dimacs("1 2 0\n").is_err());
+        assert!(parse_dimacs("p cnf x y\n").is_err());
+        assert!(parse_dimacs("p cnf 2 1\n1 two 0\n").is_err());
+    }
+
+    #[test]
+    fn round_trips_with_cnf_to_dimacs() {
+        let text = "p cnf 3 2\n1 -2 0\n2 -3 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        let rendered = cnf.to_dimacs();
+        let reparsed = parse_dimacs(&rendered).unwrap();
+        assert_eq!(reparsed.num_clauses(), cnf.num_clauses());
+        assert_eq!(reparsed.num_vars(), cnf.num_vars());
+    }
+}

@@ -1,0 +1,43 @@
+//! # satsolver — CDCL SAT solving with a circuit front-end
+//!
+//! SAT-sweeping needs a solver that can (dis)prove the equivalence of two
+//! nodes of an AIG and hand back counter-examples (Section II-C of the
+//! paper).  This crate provides:
+//!
+//! * [`Solver`] — a from-scratch CDCL solver: two-literal watching, first-UIP
+//!   clause learning, VSIDS branching, phase saving, Luby restarts, learnt
+//!   clause database reduction, incremental solving under assumptions and a
+//!   conflict budget that yields [`SolveResult::Unknown`] (the paper's
+//!   `unDET` outcome).
+//! * [`cnf`] — CNF formula containers and the Tseitin transformation of AIG
+//!   cones.
+//! * [`CircuitSat`] — the incremental circuit front-end used by the SAT
+//!   sweeper: it lazily encodes transitive-fanin cones and answers
+//!   constant-ness and pairwise-equivalence queries with counter-examples
+//!   expressed at the primary inputs.
+//!
+//! ```
+//! use satsolver::{SatLit, Solver, SolveResult};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause(&[SatLit::positive(a), SatLit::positive(b)]);
+//! solver.add_clause(&[SatLit::negative(a)]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.model_value(b), Some(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod cnf;
+pub mod dimacs;
+mod heap;
+mod solver;
+
+pub use circuit::{CircuitSat, EquivOutcome};
+pub use cnf::{Cnf, Var};
+pub use dimacs::{parse_dimacs, solve_dimacs, ParseDimacsError};
+pub use solver::{SatLit, SolveResult, Solver, SolverConfig, SolverStats};

@@ -1,0 +1,177 @@
+use crate::Matrix;
+use std::fmt;
+
+/// A Boolean value represented as a column vector of the set `B`
+/// (Equation (1) of the paper):
+///
+/// * `True  = [1, 0]ᵀ`
+/// * `False = [0, 1]ᵀ`
+///
+/// In the delta notation of the STP literature these are `δ₂¹` and `δ₂²`.
+///
+/// ```
+/// use stp::BoolVec;
+///
+/// assert_eq!(BoolVec::from(true), BoolVec::TRUE);
+/// assert_eq!(BoolVec::TRUE.negate(), BoolVec::FALSE);
+/// assert!(bool::from(BoolVec::TRUE));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BoolVec {
+    /// `true` iff the vector is `[1, 0]ᵀ`.
+    value: bool,
+}
+
+impl BoolVec {
+    /// The vector `[1, 0]ᵀ`.
+    pub const TRUE: BoolVec = BoolVec { value: true };
+    /// The vector `[0, 1]ᵀ`.
+    pub const FALSE: BoolVec = BoolVec { value: false };
+
+    /// Creates a Boolean vector from a `bool`.
+    pub fn new(value: bool) -> Self {
+        BoolVec { value }
+    }
+
+    /// The underlying Boolean value.
+    pub fn value(self) -> bool {
+        self.value
+    }
+
+    /// Logical negation, i.e. multiplication by the structural matrix `M¬`.
+    #[must_use]
+    pub fn negate(self) -> Self {
+        BoolVec { value: !self.value }
+    }
+
+    /// The delta index of this vector: `δ₂¹` for true (index 1), `δ₂²` for
+    /// false (index 2), following the column convention of logic matrices.
+    pub fn delta_index(self) -> usize {
+        if self.value {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// The row of the vector that contains the `1`: `0` for true, `1` for
+    /// false.  This is the index used when a logic matrix column is selected
+    /// by an STP multiplication.
+    pub fn selector(self) -> usize {
+        if self.value {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// Converts to a dense `2 × 1` [`Matrix`].
+    pub fn to_matrix(self) -> Matrix {
+        if self.value {
+            Matrix::column(&[1, 0])
+        } else {
+            Matrix::column(&[0, 1])
+        }
+    }
+
+    /// Parses a dense `2 × 1` matrix back into a Boolean vector, returning
+    /// `None` when the matrix is not an element of `B`.
+    pub fn from_matrix(m: &Matrix) -> Option<Self> {
+        if m.shape() != (2, 1) {
+            return None;
+        }
+        match (m.get(0, 0)?, m.get(1, 0)?) {
+            (1, 0) => Some(BoolVec::TRUE),
+            (0, 1) => Some(BoolVec::FALSE),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for BoolVec {
+    fn from(value: bool) -> Self {
+        BoolVec { value }
+    }
+}
+
+impl From<BoolVec> for bool {
+    fn from(v: BoolVec) -> Self {
+        v.value
+    }
+}
+
+impl fmt::Display for BoolVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.value {
+            write!(f, "[1 0]ᵀ")
+        } else {
+            write!(f, "[0 1]ᵀ")
+        }
+    }
+}
+
+/// Computes the column index selected by a sequence of Boolean vectors when
+/// they multiply a `2 × 2ⁿ` logic matrix from the right.
+///
+/// The paper reads truth-table columns *right to left*: the assignment
+/// `x₁ = 1, …, xₙ = 1` selects column 0 and the all-false assignment selects
+/// column `2ⁿ - 1`.  Equivalently the selected column is the big-endian
+/// number formed by the *selector* bits of the arguments.
+pub(crate) fn column_index(args: &[BoolVec]) -> usize {
+    let mut idx = 0usize;
+    for a in args {
+        idx = (idx << 1) | a.selector();
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_conversion() {
+        assert!(BoolVec::TRUE.value());
+        assert!(!BoolVec::FALSE.value());
+        assert_eq!(BoolVec::from(true), BoolVec::TRUE);
+        assert_eq!(bool::from(BoolVec::FALSE), false);
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(BoolVec::TRUE.negate(), BoolVec::FALSE);
+        assert_eq!(BoolVec::FALSE.negate(), BoolVec::TRUE);
+    }
+
+    #[test]
+    fn delta_and_selector() {
+        assert_eq!(BoolVec::TRUE.delta_index(), 1);
+        assert_eq!(BoolVec::FALSE.delta_index(), 2);
+        assert_eq!(BoolVec::TRUE.selector(), 0);
+        assert_eq!(BoolVec::FALSE.selector(), 1);
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        for v in [BoolVec::TRUE, BoolVec::FALSE] {
+            assert_eq!(BoolVec::from_matrix(&v.to_matrix()), Some(v));
+        }
+        let not_bool = Matrix::column(&[1, 1]);
+        assert_eq!(BoolVec::from_matrix(&not_bool), None);
+    }
+
+    #[test]
+    fn column_index_convention() {
+        // All-true selects column 0; all-false selects the last column.
+        assert_eq!(column_index(&[BoolVec::TRUE, BoolVec::TRUE]), 0);
+        assert_eq!(column_index(&[BoolVec::TRUE, BoolVec::FALSE]), 1);
+        assert_eq!(column_index(&[BoolVec::FALSE, BoolVec::TRUE]), 2);
+        assert_eq!(column_index(&[BoolVec::FALSE, BoolVec::FALSE]), 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BoolVec::TRUE.to_string(), "[1 0]ᵀ");
+        assert_eq!(BoolVec::FALSE.to_string(), "[0 1]ᵀ");
+    }
+}

@@ -1,0 +1,345 @@
+//! Boolean-expression AST and canonical-form construction.
+//!
+//! Property 3 of the paper states that any logic expression
+//! `Φ(x₁, …, xₙ)` can be written as `Φ = M_Φ ⋉ x₁ ⋉ … ⋉ xₙ` with a single
+//! `2 × 2ⁿ` logic matrix `M_Φ`.  [`canonical_form`] builds `M_Φ` purely by
+//! STP algebra (structural matrices, retrieval matrices and the
+//! power-reducing matrix), while [`canonical_form_enumerated`] builds it by
+//! brute-force evaluation; the two agree on every expression, which is one of
+//! the crate's property tests.
+
+use crate::swap::{power_reducing_matrix, retrieval_matrix};
+use crate::{BoolVec, LogicMatrix, Matrix, StpError};
+
+/// A Boolean expression over variables `x₁ … xₙ` (1-based in the paper,
+/// 0-based in [`Expr::Var`]).
+///
+/// ```
+/// use stp::{canonical_form, BoolVec, Expr};
+///
+/// // Φ(a, b) = a → b over two variables.
+/// let phi = Expr::implies(Expr::var(0), Expr::var(1));
+/// let m = canonical_form(&phi, 2)?;
+/// assert_eq!(m.apply(&[BoolVec::FALSE, BoolVec::TRUE]), BoolVec::TRUE);
+/// # Ok::<(), stp::StpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A constant.
+    Const(bool),
+    /// The variable with the given 0-based index.
+    Var(usize),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Exclusive or.
+    Xor(Box<Expr>, Box<Expr>),
+    /// Implication `lhs → rhs`.
+    Implies(Box<Expr>, Box<Expr>),
+    /// Equivalence `lhs ↔ rhs`.
+    Iff(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// The variable `x_{index+1}`.
+    pub fn var(index: usize) -> Expr {
+        Expr::Var(index)
+    }
+
+    /// A constant expression.
+    pub fn constant(value: bool) -> Expr {
+        Expr::Const(value)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: Expr) -> Expr {
+        Expr::Not(Box::new(e))
+    }
+
+    /// Conjunction.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::And(Box::new(a), Box::new(b))
+    }
+
+    /// Disjunction.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Exclusive or.
+    pub fn xor(a: Expr, b: Expr) -> Expr {
+        Expr::Xor(Box::new(a), Box::new(b))
+    }
+
+    /// Implication.
+    pub fn implies(a: Expr, b: Expr) -> Expr {
+        Expr::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// Equivalence.
+    pub fn iff(a: Expr, b: Expr) -> Expr {
+        Expr::Iff(Box::new(a), Box::new(b))
+    }
+
+    /// Evaluates the expression under an assignment (index `i` gives the
+    /// value of `Var(i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range of the assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(i) => assignment[*i],
+            Expr::Not(e) => !e.eval(assignment),
+            Expr::And(a, b) => a.eval(assignment) && b.eval(assignment),
+            Expr::Or(a, b) => a.eval(assignment) || b.eval(assignment),
+            Expr::Xor(a, b) => a.eval(assignment) ^ b.eval(assignment),
+            Expr::Implies(a, b) => !a.eval(assignment) || b.eval(assignment),
+            Expr::Iff(a, b) => a.eval(assignment) == b.eval(assignment),
+        }
+    }
+
+    /// The largest variable index referenced, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        match self {
+            Expr::Const(_) => None,
+            Expr::Var(i) => Some(*i),
+            Expr::Not(e) => e.max_var(),
+            Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Xor(a, b)
+            | Expr::Implies(a, b)
+            | Expr::Iff(a, b) => match (a.max_var(), b.max_var()) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (Some(x), None) | (None, Some(x)) => Some(x),
+                (None, None) => None,
+            },
+        }
+    }
+}
+
+/// Builds the canonical form `M_Φ` of an expression over `num_vars`
+/// variables by **pure STP algebra**: each sub-expression is normalised to a
+/// dense `2 × 2ⁿ` matrix acting on the stacked vector `x₍ₙ₎`, binary
+/// operators are merged with the identity
+/// `(M₁ x₍ₙ₎)(M₂ x₍ₙ₎) = M₁ (I₂ⁿ ⊗ M₂) M_r(2ⁿ) x₍ₙ₎`,
+/// and variables are introduced with retrieval matrices.
+///
+/// # Errors
+///
+/// Returns [`StpError::VariableOutOfRange`] if the expression references a
+/// variable `≥ num_vars`.
+///
+/// # Panics
+///
+/// Panics if `num_vars` exceeds 12 — the dense normalisation materialises a
+/// `2 × 4ⁿ` intermediate, so larger supports should use
+/// [`canonical_form_enumerated`].
+pub fn canonical_form(expr: &Expr, num_vars: usize) -> Result<LogicMatrix, StpError> {
+    assert!(
+        num_vars <= 12,
+        "algebraic canonical form limited to 12 variables; use canonical_form_enumerated"
+    );
+    if let Some(max) = expr.max_var() {
+        if max >= num_vars {
+            return Err(StpError::VariableOutOfRange {
+                variable: max,
+                num_vars,
+            });
+        }
+    }
+    let n = num_vars.max(1);
+    let dense = normalise(expr, n);
+    let logic = LogicMatrix::from_matrix(&dense).expect("normalisation yields a logic matrix");
+    if num_vars == 0 {
+        // Collapse the padding variable introduced for constants.
+        let value = logic.column(0);
+        let mut constant = LogicMatrix::constant_false(0);
+        constant.set_column(0, value);
+        return Ok(constant);
+    }
+    Ok(logic)
+}
+
+/// Normalises `expr` into a dense `2 × 2ⁿ` matrix `M` with
+/// `expr = M ⋉ x₍ₙ₎`.
+fn normalise(expr: &Expr, n: usize) -> Matrix {
+    let width = 1usize << n;
+    match expr {
+        Expr::Const(c) => {
+            let value = if *c {
+                Matrix::column(&[1, 0])
+            } else {
+                Matrix::column(&[0, 1])
+            };
+            value.kron(&Matrix::ones_row(width))
+        }
+        Expr::Var(i) => retrieval_matrix(i + 1, n),
+        Expr::Not(e) => {
+            let inner = normalise(e, n);
+            LogicMatrix::not()
+                .to_matrix()
+                .mul(&inner)
+                .expect("2x2 times 2x2^n is conformable")
+        }
+        Expr::And(a, b) => merge_binary(&LogicMatrix::and(), a, b, n),
+        Expr::Or(a, b) => merge_binary(&LogicMatrix::or(), a, b, n),
+        Expr::Xor(a, b) => merge_binary(&LogicMatrix::xor(), a, b, n),
+        Expr::Implies(a, b) => merge_binary(&LogicMatrix::implies(), a, b, n),
+        Expr::Iff(a, b) => merge_binary(&LogicMatrix::xnor(), a, b, n),
+    }
+}
+
+/// Implements `M_σ ⋉ (M₁ x₍ₙ₎) ⋉ (M₂ x₍ₙ₎) = M_σ ⋉ M₁ ⋉ (I₂ⁿ ⊗ M₂) ⋉ M_r(2ⁿ) ⋉ x₍ₙ₎`.
+fn merge_binary(op: &LogicMatrix, a: &Expr, b: &Expr, n: usize) -> Matrix {
+    let m1 = normalise(a, n);
+    let m2 = normalise(b, n);
+    let width = 1usize << n;
+    let op_dense = op.to_matrix();
+    op_dense
+        .stp(&m1)
+        .stp(&Matrix::identity(width).kron(&m2))
+        .stp(&power_reducing_matrix(width))
+}
+
+/// Builds the canonical form `M_Φ` by enumerating all `2ⁿ` assignments.
+///
+/// This is the practical constructor used by the simulator; it agrees with
+/// [`canonical_form`] on every expression (property-tested) but has no limit
+/// other than [`LogicMatrix::MAX_ARITY`].
+///
+/// # Errors
+///
+/// Returns [`StpError::VariableOutOfRange`] if the expression references a
+/// variable `≥ num_vars`.
+pub fn canonical_form_enumerated(expr: &Expr, num_vars: usize) -> Result<LogicMatrix, StpError> {
+    if let Some(max) = expr.max_var() {
+        if max >= num_vars {
+            return Err(StpError::VariableOutOfRange {
+                variable: max,
+                num_vars,
+            });
+        }
+    }
+    Ok(LogicMatrix::from_fn(num_vars, |args| expr.eval(args)))
+}
+
+/// Evaluates `Φ(args)` by repeated STP partial application of the canonical
+/// form, mirroring the step-by-step computation of Example 2 of the paper.
+pub fn simulate_canonical(matrix: &LogicMatrix, args: &[BoolVec]) -> BoolVec {
+    let mut current = matrix.clone();
+    for &arg in args {
+        current = current.apply_first(arg);
+    }
+    current.column(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example1_implication() {
+        // a → b and ¬a ∨ b have the same canonical form.
+        let lhs = Expr::implies(Expr::var(0), Expr::var(1));
+        let rhs = Expr::or(Expr::not(Expr::var(0)), Expr::var(1));
+        let m1 = canonical_form(&lhs, 2).unwrap();
+        let m2 = canonical_form(&rhs, 2).unwrap();
+        assert_eq!(m1, m2);
+        assert_eq!(m1, LogicMatrix::implies());
+    }
+
+    #[test]
+    fn example2_liars() {
+        // Φ(a, b, c) = (a ↔ ¬b) ∧ (b ↔ ¬c) ∧ (c ↔ ¬a ∧ ¬b)
+        let a = || Expr::var(0);
+        let b = || Expr::var(1);
+        let c = || Expr::var(2);
+        let phi = Expr::and(
+            Expr::and(
+                Expr::iff(a(), Expr::not(b())),
+                Expr::iff(b(), Expr::not(c())),
+            ),
+            Expr::iff(c(), Expr::and(Expr::not(a()), Expr::not(b()))),
+        );
+        let m = canonical_form(&phi, 3).unwrap();
+        // The paper's canonical form has a single satisfying column at index 5
+        // (assignment a = false, b = true, c = false).
+        let row0: Vec<bool> = (0..8).map(|j| m.column(j).value()).collect();
+        assert_eq!(
+            row0,
+            vec![false, false, false, false, false, true, false, false]
+        );
+        // Simulating the pattern 010 (b honest, a and c liars) yields true.
+        let value = simulate_canonical(&m, &[BoolVec::FALSE, BoolVec::TRUE, BoolVec::FALSE]);
+        assert_eq!(value, BoolVec::TRUE);
+        // Every other assignment is false.
+        for i in 0..8usize {
+            let args: Vec<BoolVec> = (0..3).map(|j| BoolVec::new((i >> j) & 1 == 1)).collect();
+            let expected = i == 2; // a=0, b=1, c=0 with var0 = LSB.
+            assert_eq!(m.apply(&args).value(), expected);
+        }
+    }
+
+    #[test]
+    fn algebraic_matches_enumerated_on_fixed_expressions() {
+        let exprs = vec![
+            Expr::constant(true),
+            Expr::constant(false),
+            Expr::var(2),
+            Expr::xor(Expr::var(0), Expr::xor(Expr::var(1), Expr::var(2))),
+            Expr::and(
+                Expr::or(Expr::var(0), Expr::not(Expr::var(1))),
+                Expr::implies(Expr::var(2), Expr::var(0)),
+            ),
+            Expr::iff(
+                Expr::and(Expr::var(0), Expr::var(1)),
+                Expr::or(Expr::var(2), Expr::var(3)),
+            ),
+        ];
+        for e in exprs {
+            let n = e.max_var().map_or(0, |m| m + 1).max(1);
+            let alg = canonical_form(&e, n).unwrap();
+            let enu = canonical_form_enumerated(&e, n).unwrap();
+            assert_eq!(alg, enu, "mismatch for {e:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_variable_is_rejected() {
+        let e = Expr::var(4);
+        assert!(matches!(
+            canonical_form(&e, 3),
+            Err(StpError::VariableOutOfRange {
+                variable: 4,
+                num_vars: 3
+            })
+        ));
+        assert!(canonical_form_enumerated(&e, 3).is_err());
+    }
+
+    #[test]
+    fn simulate_canonical_matches_apply() {
+        let e = Expr::or(
+            Expr::and(Expr::var(0), Expr::not(Expr::var(1))),
+            Expr::xor(Expr::var(2), Expr::var(0)),
+        );
+        let m = canonical_form_enumerated(&e, 3).unwrap();
+        for i in 0..8usize {
+            let args: Vec<BoolVec> = (0..3).map(|j| BoolVec::new((i >> j) & 1 == 1)).collect();
+            assert_eq!(simulate_canonical(&m, &args), m.apply(&args));
+        }
+    }
+
+    #[test]
+    fn constant_expression_canonical_form() {
+        let m = canonical_form(&Expr::constant(true), 0).unwrap();
+        assert_eq!(m.arity(), 0);
+        assert_eq!(m.column(0), BoolVec::TRUE);
+    }
+}

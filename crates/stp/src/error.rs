@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by semi-tensor product operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StpError {
+    /// The dimensions of two matrices are incompatible for the requested
+    /// operation (e.g. an ordinary product of a `2×3` by a `2×2` matrix).
+    DimensionMismatch {
+        /// Dimensions of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Dimensions of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+        /// The operation that was attempted.
+        operation: &'static str,
+    },
+    /// A matrix expected to be a logic matrix (columns in `B`) is not.
+    NotLogicMatrix {
+        /// Index of the offending column.
+        column: usize,
+    },
+    /// A variable index is outside the declared support of an expression.
+    VariableOutOfRange {
+        /// The offending variable index.
+        variable: usize,
+        /// The declared number of variables.
+        num_vars: usize,
+    },
+    /// The number of argument vectors does not match the arity of the matrix.
+    ArityMismatch {
+        /// Arity expected by the logic matrix.
+        expected: usize,
+        /// Number of arguments supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for StpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StpError::DimensionMismatch {
+                left,
+                right,
+                operation,
+            } => write!(
+                f,
+                "dimension mismatch in {operation}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            StpError::NotLogicMatrix { column } => {
+                write!(f, "column {column} is not a Boolean basis vector")
+            }
+            StpError::VariableOutOfRange { variable, num_vars } => write!(
+                f,
+                "variable x{variable} out of range for an expression over {num_vars} variables"
+            ),
+            StpError::ArityMismatch { expected, actual } => write!(
+                f,
+                "logic matrix of arity {expected} applied to {actual} arguments"
+            ),
+        }
+    }
+}
+
+impl Error for StpError {}

@@ -1,0 +1,49 @@
+//! # stp — semi-tensor product of matrices
+//!
+//! This crate implements the matrix algebra used by the STP-based circuit
+//! simulator of *"A Semi-Tensor Product based Circuit Simulation for
+//! SAT-sweeping"* (DATE 2024):
+//!
+//! * [`Matrix`] — dense integer matrices with the ordinary product, the
+//!   Kronecker product and the **semi-tensor product** (Definition 1 of the
+//!   paper): `X ⋉ Y = (X ⊗ I_{t/n}) · (Y ⊗ I_{t/p})` with `t = lcm(n, p)`.
+//! * [`BoolVec`] — Boolean values as the column vectors
+//!   `True = [1, 0]ᵀ`, `False = [0, 1]ᵀ` (the set `B` of the paper).
+//! * [`LogicMatrix`] — `2 × 2ⁿ` logic matrices whose columns are elements of
+//!   `B`, stored bit-packed.  A logic matrix is exactly a truth table read in
+//!   the paper's right-to-left column convention; the *structural matrix*
+//!   `M_σ` of an operator `σ` is provided for all common Boolean operators.
+//! * [`swap`] — the swap matrix `W[m,n]`, the power-reducing matrix and the
+//!   variable-retrieval matrices used when normalising STP expressions.
+//! * [`Expr`] and [`canonical_form`] — a tiny Boolean-expression AST and the
+//!   algebraic construction of the canonical form `M_Φ` such that
+//!   `Φ(x₁,…,xₙ) = M_Φ ⋉ x₁ ⋉ … ⋉ xₙ` (Property 3 of the paper).
+//!
+//! ```
+//! use stp::{BoolVec, LogicMatrix};
+//!
+//! // Prove a → b = ¬a ∨ b (Example 1 of the paper).
+//! let implies = LogicMatrix::implies();
+//! let or_not = LogicMatrix::or().stp_logic(&LogicMatrix::not());
+//! assert_eq!(implies, or_not);
+//!
+//! // Simulate with the pattern a = false, b = true.
+//! let value = implies.apply(&[BoolVec::FALSE, BoolVec::TRUE]);
+//! assert_eq!(value, BoolVec::TRUE);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod boolean;
+mod canonical;
+mod error;
+mod logic_matrix;
+mod matrix;
+pub mod swap;
+
+pub use boolean::BoolVec;
+pub use canonical::{canonical_form, canonical_form_enumerated, simulate_canonical, Expr};
+pub use error::StpError;
+pub use logic_matrix::LogicMatrix;
+pub use matrix::Matrix;

@@ -1,0 +1,521 @@
+use crate::boolean::column_index;
+use crate::{BoolVec, Matrix, StpError};
+use std::fmt;
+
+/// A *logic matrix*: a `2 × 2ᵏ` matrix whose columns are elements of `B`
+/// (Definition 2 of the paper).
+///
+/// A logic matrix is the STP representation of a `k`-input Boolean function —
+/// it is exactly a truth table read in the paper's right-to-left column
+/// convention: **column 0 is the output for the all-true assignment** of
+/// `(x₁, …, xₖ)` and column `2ᵏ − 1` is the output for the all-false
+/// assignment.  The *structural matrix* `M_σ` of an operator `σ` is the logic
+/// matrix of that operator.
+///
+/// Internally only the top row is stored, bit-packed, because each column is
+/// one of the two basis vectors.
+///
+/// ```
+/// use stp::{BoolVec, LogicMatrix};
+///
+/// // The structural matrix of NAND and its application to (true, true).
+/// let nand = LogicMatrix::nand();
+/// assert_eq!(nand.apply(&[BoolVec::TRUE, BoolVec::TRUE]), BoolVec::FALSE);
+/// assert_eq!(nand.apply(&[BoolVec::FALSE, BoolVec::TRUE]), BoolVec::TRUE);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LogicMatrix {
+    /// Number of Boolean arguments `k`; the matrix has `2ᵏ` columns.
+    arity: usize,
+    /// Bit `j` of this packed vector is 1 iff column `j` equals `[1, 0]ᵀ`.
+    /// Words are stored little-endian (`bits[0]` holds columns 0..64).
+    bits: Vec<u64>,
+}
+
+fn words_for(arity: usize) -> usize {
+    let cols = 1usize << arity;
+    cols.div_ceil(64).max(1)
+}
+
+impl LogicMatrix {
+    /// Maximum supported arity.  `2ᵏ` columns are materialised, so the limit
+    /// keeps memory bounded (2²⁴ columns = 2 MiB).
+    pub const MAX_ARITY: usize = 24;
+
+    /// Creates the logic matrix of the constant-false function of the given
+    /// arity (all columns `[0, 1]ᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity > Self::MAX_ARITY`.
+    pub fn constant_false(arity: usize) -> Self {
+        assert!(arity <= Self::MAX_ARITY, "logic matrix arity too large");
+        LogicMatrix {
+            arity,
+            bits: vec![0; words_for(arity)],
+        }
+    }
+
+    /// Creates the logic matrix of the constant-true function of the given
+    /// arity (all columns `[1, 0]ᵀ`).
+    pub fn constant_true(arity: usize) -> Self {
+        let mut m = Self::constant_false(arity);
+        let cols = 1usize << arity;
+        for j in 0..cols {
+            m.set_column(j, BoolVec::TRUE);
+        }
+        m
+    }
+
+    /// Builds the logic matrix of an arbitrary function by enumerating all
+    /// assignments.  `f` receives the argument values `(x₁, …, xₖ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity > Self::MAX_ARITY`.
+    pub fn from_fn<F: FnMut(&[bool]) -> bool>(arity: usize, mut f: F) -> Self {
+        let mut m = Self::constant_false(arity);
+        let cols = 1usize << arity;
+        let mut args = vec![false; arity];
+        for j in 0..cols {
+            // Column j: x_m is true iff bit (k - m) of j is 0 (right-to-left TT).
+            for (m_idx, arg) in args.iter_mut().enumerate() {
+                let bit = (j >> (arity - 1 - m_idx)) & 1;
+                *arg = bit == 0;
+            }
+            if f(&args) {
+                m.set_column(j, BoolVec::TRUE);
+            }
+        }
+        m
+    }
+
+    /// Builds a logic matrix from truth-table words in the *variable-0 is the
+    /// least-significant index* convention used by the `truthtable` crate:
+    /// bit `i` of the table is the output when variable `j` takes the value
+    /// `(i >> j) & 1`, with `x₁` mapped to variable 0.
+    pub fn from_truth_table_bits(arity: usize, table: &[u64]) -> Self {
+        Self::from_fn(arity, |args| {
+            let mut index = 0usize;
+            for (j, &a) in args.iter().enumerate() {
+                if a {
+                    index |= 1 << j;
+                }
+            }
+            (table[index / 64] >> (index % 64)) & 1 == 1
+        })
+    }
+
+    /// Exports the function as truth-table words in the `truthtable`-crate
+    /// convention (see [`LogicMatrix::from_truth_table_bits`]).
+    pub fn to_truth_table_bits(&self) -> Vec<u64> {
+        let bits = 1usize << self.arity;
+        let mut table = vec![0u64; bits.div_ceil(64).max(1)];
+        let mut args = vec![BoolVec::FALSE; self.arity];
+        for i in 0..bits {
+            for (j, arg) in args.iter_mut().enumerate() {
+                *arg = BoolVec::new((i >> j) & 1 == 1);
+            }
+            if self.apply(&args).value() {
+                table[i / 64] |= 1 << (i % 64);
+            }
+        }
+        table
+    }
+
+    /// The structural matrix `M¬` of negation.
+    pub fn not() -> Self {
+        Self::from_fn(1, |a| !a[0])
+    }
+
+    /// The structural matrix `M∧` of conjunction: `[1 0 0 0; 0 1 1 1]`.
+    pub fn and() -> Self {
+        Self::from_fn(2, |a| a[0] && a[1])
+    }
+
+    /// The structural matrix `M∨` of disjunction: `[1 1 1 0; 0 0 0 1]`.
+    pub fn or() -> Self {
+        Self::from_fn(2, |a| a[0] || a[1])
+    }
+
+    /// The structural matrix `M⊕` of exclusive or.
+    pub fn xor() -> Self {
+        Self::from_fn(2, |a| a[0] ^ a[1])
+    }
+
+    /// The structural matrix of NAND.
+    pub fn nand() -> Self {
+        Self::from_fn(2, |a| !(a[0] && a[1]))
+    }
+
+    /// The structural matrix of NOR.
+    pub fn nor() -> Self {
+        Self::from_fn(2, |a| !(a[0] || a[1]))
+    }
+
+    /// The structural matrix `M↔` of equivalence (XNOR).
+    pub fn xnor() -> Self {
+        Self::from_fn(2, |a| a[0] == a[1])
+    }
+
+    /// The structural matrix `M→` of implication: `[1 0 1 1; 0 1 0 0]`.
+    pub fn implies() -> Self {
+        Self::from_fn(2, |a| !a[0] || a[1])
+    }
+
+    /// The structural matrix of the 3-input if-then-else `ite(s, t, e)`.
+    pub fn ite() -> Self {
+        Self::from_fn(3, |a| if a[0] { a[1] } else { a[2] })
+    }
+
+    /// The structural matrix of the 3-input majority function.
+    pub fn maj3() -> Self {
+        Self::from_fn(3, |a| {
+            (a[0] as u8 + a[1] as u8 + a[2] as u8) >= 2
+        })
+    }
+
+    /// Number of Boolean arguments `k`.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of columns, `2ᵏ`.
+    pub fn num_columns(&self) -> usize {
+        1usize << self.arity
+    }
+
+    /// Returns column `j` of the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= 2ᵏ`.
+    pub fn column(&self, j: usize) -> BoolVec {
+        assert!(j < self.num_columns(), "column index out of range");
+        BoolVec::new((self.bits[j / 64] >> (j % 64)) & 1 == 1)
+    }
+
+    /// Sets column `j` of the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= 2ᵏ`.
+    pub fn set_column(&mut self, j: usize, value: BoolVec) {
+        assert!(j < self.num_columns(), "column index out of range");
+        if value.value() {
+            self.bits[j / 64] |= 1 << (j % 64);
+        } else {
+            self.bits[j / 64] &= !(1 << (j % 64));
+        }
+    }
+
+    /// Applies the matrix to a full argument list: `M ⋉ x₁ ⋉ … ⋉ xₖ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of arguments differs from the arity.
+    pub fn apply(&self, args: &[BoolVec]) -> BoolVec {
+        assert_eq!(
+            args.len(),
+            self.arity,
+            "logic matrix of arity {} applied to {} arguments",
+            self.arity,
+            args.len()
+        );
+        self.column(column_index(args))
+    }
+
+    /// Fallible variant of [`LogicMatrix::apply`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StpError::ArityMismatch`] when the argument count differs
+    /// from the arity.
+    pub fn try_apply(&self, args: &[BoolVec]) -> Result<BoolVec, StpError> {
+        if args.len() != self.arity {
+            return Err(StpError::ArityMismatch {
+                expected: self.arity,
+                actual: args.len(),
+            });
+        }
+        Ok(self.column(column_index(args)))
+    }
+
+    /// Partial application `M ⋉ x₁`: multiplying by the first argument keeps
+    /// the half of the columns selected by it, producing a logic matrix of
+    /// arity `k − 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has arity 0.
+    #[must_use]
+    pub fn apply_first(&self, x1: BoolVec) -> LogicMatrix {
+        assert!(self.arity > 0, "cannot partially apply a constant");
+        let half = 1usize << (self.arity - 1);
+        let offset = if x1.value() { 0 } else { half };
+        let mut out = LogicMatrix::constant_false(self.arity - 1);
+        for j in 0..half {
+            out.set_column(j, self.column(offset + j));
+        }
+        out
+    }
+
+    /// Left-composes with negation: returns `M¬ · M`, the logic matrix of the
+    /// complemented function.
+    #[must_use]
+    pub fn negate(&self) -> LogicMatrix {
+        let mut out = self.clone();
+        let cols = self.num_columns();
+        for j in 0..cols {
+            out.set_column(j, self.column(j).negate());
+        }
+        out
+    }
+
+    /// Semi-tensor product of two logic matrices, `self ⋉ rhs`.
+    ///
+    /// If `self` encodes `σ(y₁, …, y_m)` and `rhs` encodes `ψ(z₁, …, z_k)`,
+    /// the product encodes the composition
+    /// `σ(ψ(z₁, …, z_k), y₂, …, y_m)` over `k + m − 1` arguments — exactly
+    /// what `M_∨ ⋉ M_¬ = M_→` computes in Example 1 of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` has arity 0 (a constant cannot absorb an argument) or
+    /// if the resulting arity would exceed [`LogicMatrix::MAX_ARITY`].
+    #[must_use]
+    pub fn stp_logic(&self, rhs: &LogicMatrix) -> LogicMatrix {
+        assert!(self.arity > 0, "cannot compose into a constant logic matrix");
+        let result_arity = rhs.arity + self.arity - 1;
+        assert!(
+            result_arity <= Self::MAX_ARITY,
+            "composed logic matrix arity {result_arity} too large"
+        );
+        let mut out = LogicMatrix::constant_false(result_arity);
+        let cols = 1usize << result_arity;
+        let rest = self.arity - 1;
+        for j in 0..cols {
+            // The first rhs.arity argument positions feed ψ; the remaining
+            // `rest` positions are the trailing arguments of σ.
+            let inner_cols = j >> rest;
+            let tail = j & ((1usize << rest) - 1);
+            let inner = rhs.column(inner_cols);
+            let outer_index = (inner.selector() << rest) | tail;
+            out.set_column(j, self.column(outer_index));
+        }
+        out
+    }
+
+    /// Converts into a dense [`Matrix`] (both rows materialised).
+    pub fn to_matrix(&self) -> Matrix {
+        let cols = self.num_columns();
+        let mut m = Matrix::zeros(2, cols);
+        for j in 0..cols {
+            if self.column(j).value() {
+                m[(0, j)] = 1;
+            } else {
+                m[(1, j)] = 1;
+            }
+        }
+        m
+    }
+
+    /// Parses a dense `2 × 2ᵏ` matrix into a logic matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StpError::NotLogicMatrix`] if any column is not a Boolean
+    /// basis vector, and [`StpError::DimensionMismatch`] if the matrix does
+    /// not have two rows or a power-of-two column count.
+    pub fn from_matrix(m: &Matrix) -> Result<Self, StpError> {
+        let (rows, cols) = m.shape();
+        if rows != 2 || !cols.is_power_of_two() {
+            return Err(StpError::DimensionMismatch {
+                left: m.shape(),
+                right: (2, cols.next_power_of_two()),
+                operation: "logic matrix conversion",
+            });
+        }
+        let arity = cols.trailing_zeros() as usize;
+        let mut out = LogicMatrix::constant_false(arity);
+        for j in 0..cols {
+            match (m.get(0, j), m.get(1, j)) {
+                (Some(1), Some(0)) => out.set_column(j, BoolVec::TRUE),
+                (Some(0), Some(1)) => out.set_column(j, BoolVec::FALSE),
+                _ => return Err(StpError::NotLogicMatrix { column: j }),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `true` if the function is constant (all columns equal).
+    pub fn is_constant(&self) -> Option<BoolVec> {
+        let first = self.column(0);
+        let cols = self.num_columns();
+        for j in 1..cols {
+            if self.column(j) != first {
+                return None;
+            }
+        }
+        Some(first)
+    }
+}
+
+impl fmt::Debug for LogicMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LogicMatrix(arity={}, row0=", self.arity)?;
+        for j in 0..self.num_columns() {
+            write!(f, "{}", if self.column(j).value() { '1' } else { '0' })?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for LogicMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_assignments(k: usize) -> Vec<Vec<BoolVec>> {
+        let mut out = Vec::new();
+        for i in 0..(1usize << k) {
+            out.push(
+                (0..k)
+                    .map(|j| BoolVec::new((i >> j) & 1 == 1))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn structural_matrices_match_paper() {
+        // M¬ = [0 1; 1 0]
+        let not = LogicMatrix::not();
+        assert_eq!(not.column(0), BoolVec::FALSE);
+        assert_eq!(not.column(1), BoolVec::TRUE);
+
+        // M∨ = [1 1 1 0; 0 0 0 1]
+        let or = LogicMatrix::or();
+        let row0: Vec<bool> = (0..4).map(|j| or.column(j).value()).collect();
+        assert_eq!(row0, vec![true, true, true, false]);
+
+        // M→ = [1 0 1 1; 0 1 0 0]
+        let imp = LogicMatrix::implies();
+        let row0: Vec<bool> = (0..4).map(|j| imp.column(j).value()).collect();
+        assert_eq!(row0, vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn example1_implication_identity() {
+        // a → b = ¬a ∨ b, i.e. M∨ ⋉ M¬ = M→ (Example 1).
+        let composed = LogicMatrix::or().stp_logic(&LogicMatrix::not());
+        assert_eq!(composed, LogicMatrix::implies());
+    }
+
+    #[test]
+    fn apply_matches_semantics() {
+        let and = LogicMatrix::and();
+        for args in all_assignments(2) {
+            let expected = args[0].value() && args[1].value();
+            assert_eq!(and.apply(&args).value(), expected);
+        }
+        let ite = LogicMatrix::ite();
+        for args in all_assignments(3) {
+            let expected = if args[0].value() {
+                args[1].value()
+            } else {
+                args[2].value()
+            };
+            assert_eq!(ite.apply(&args).value(), expected);
+        }
+    }
+
+    #[test]
+    fn apply_first_is_cofactoring() {
+        let imp = LogicMatrix::implies();
+        let when_true = imp.apply_first(BoolVec::TRUE);
+        let when_false = imp.apply_first(BoolVec::FALSE);
+        // a=1: a→b ≡ b; a=0: a→b ≡ 1.
+        assert_eq!(when_true.column(0), BoolVec::TRUE);
+        assert_eq!(when_true.column(1), BoolVec::FALSE);
+        assert_eq!(when_false.is_constant(), Some(BoolVec::TRUE));
+    }
+
+    #[test]
+    fn stp_logic_agrees_with_dense_stp() {
+        let pairs = [
+            (LogicMatrix::or(), LogicMatrix::not()),
+            (LogicMatrix::and(), LogicMatrix::xor()),
+            (LogicMatrix::xnor(), LogicMatrix::nand()),
+            (LogicMatrix::ite(), LogicMatrix::or()),
+        ];
+        for (a, b) in pairs {
+            let dense = a.to_matrix().stp(&b.to_matrix());
+            let composed = a.stp_logic(&b);
+            assert_eq!(LogicMatrix::from_matrix(&dense).unwrap(), composed);
+        }
+    }
+
+    #[test]
+    fn try_apply_arity_mismatch() {
+        let and = LogicMatrix::and();
+        assert!(matches!(
+            and.try_apply(&[BoolVec::TRUE]),
+            Err(StpError::ArityMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn truth_table_round_trip() {
+        // x1 ⊕ x2 ⊕ x3 in the LSB-var0 convention has table 0x96.
+        let m = LogicMatrix::from_truth_table_bits(3, &[0x96]);
+        for args in all_assignments(3) {
+            let expected = args[0].value() ^ args[1].value() ^ args[2].value();
+            assert_eq!(m.apply(&args).value(), expected);
+        }
+        assert_eq!(m.to_truth_table_bits(), vec![0x96]);
+    }
+
+    #[test]
+    fn dense_round_trip_and_validation() {
+        let maj = LogicMatrix::maj3();
+        let dense = maj.to_matrix();
+        assert!(dense.is_column_stochastic_boolean());
+        assert_eq!(LogicMatrix::from_matrix(&dense).unwrap(), maj);
+
+        let bad = Matrix::from_rows(&[&[1, 1], &[1, 0]]);
+        assert!(matches!(
+            LogicMatrix::from_matrix(&bad),
+            Err(StpError::NotLogicMatrix { column: 0 })
+        ));
+    }
+
+    #[test]
+    fn constants_detection() {
+        assert_eq!(
+            LogicMatrix::constant_true(3).is_constant(),
+            Some(BoolVec::TRUE)
+        );
+        assert_eq!(
+            LogicMatrix::constant_false(2).is_constant(),
+            Some(BoolVec::FALSE)
+        );
+        assert_eq!(LogicMatrix::xor().is_constant(), None);
+    }
+
+    #[test]
+    fn negate_composes_with_not() {
+        let and = LogicMatrix::and();
+        assert_eq!(and.negate(), LogicMatrix::nand());
+        assert_eq!(and.negate().negate(), and);
+    }
+}

@@ -1,0 +1,380 @@
+use crate::StpError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense matrix over unsigned integers.
+///
+/// The semi-tensor product only ever needs 0/1 entries when manipulating
+/// logic matrices, but the general algebra (Kronecker products, identity
+/// padding, swap matrices) is defined over arbitrary integer matrices, so the
+/// element type is `u64` to keep intermediate products exact.
+///
+/// Storage is row-major.
+///
+/// ```
+/// use stp::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1, 2], &[3, 4]]);
+/// let i = Matrix::identity(2);
+/// assert_eq!(a.mul(&i).unwrap(), a);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix `I_n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are empty or have inconsistent lengths.
+    pub fn from_rows(rows: &[&[u64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a column vector from a slice.
+    pub fn column(entries: &[u64]) -> Self {
+        assert!(!entries.is_empty(), "column vector must be non-empty");
+        Matrix {
+            rows: entries.len(),
+            cols: 1,
+            data: entries.to_vec(),
+        }
+    }
+
+    /// Builds a row vector from a slice.
+    pub fn row(entries: &[u64]) -> Self {
+        assert!(!entries.is_empty(), "row vector must be non-empty");
+        Matrix {
+            rows: 1,
+            cols: entries.len(),
+            data: entries.to_vec(),
+        }
+    }
+
+    /// Builds a `1 × n` row of ones (written `1ₙᵀ` in the STP literature).
+    pub fn ones_row(n: usize) -> Self {
+        Matrix {
+            rows: 1,
+            cols: n,
+            data: vec![1; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Dimensions as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns the entry at `(row, col)`, or `None` if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> Option<u64> {
+        if row < self.rows && col < self.cols {
+            Some(self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Ordinary matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StpError::DimensionMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn mul(&self, rhs: &Matrix) -> Result<Matrix, StpError> {
+        if self.cols != rhs.rows {
+            return Err(StpError::DimensionMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                operation: "ordinary matrix product",
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out.data[i * rhs.cols + j] += a * rhs.data[k * rhs.cols + j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Kronecker product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let rows = self.rows * rhs.rows;
+        let cols = self.cols * rhs.cols;
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self.data[i * self.cols + j];
+                if a == 0 {
+                    continue;
+                }
+                for p in 0..rhs.rows {
+                    for q in 0..rhs.cols {
+                        out.data[(i * rhs.rows + p) * cols + (j * rhs.cols + q)] =
+                            a * rhs.data[p * rhs.cols + q];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Semi-tensor product `self ⋉ rhs` (Definition 1).
+    ///
+    /// `X ⋉ Y = (X ⊗ I_{t/n}) · (Y ⊗ I_{t/p})` where `n = X.cols()`,
+    /// `p = Y.rows()` and `t = lcm(n, p)`.  The STP is defined for matrices
+    /// of arbitrary dimensions, so this never fails.
+    pub fn stp(&self, rhs: &Matrix) -> Matrix {
+        let n = self.cols;
+        let p = rhs.rows;
+        let t = lcm(n, p);
+        let left = if t / n == 1 {
+            self.clone()
+        } else {
+            self.kron(&Matrix::identity(t / n))
+        };
+        let right = if t / p == 1 {
+            rhs.clone()
+        } else {
+            rhs.kron(&Matrix::identity(t / p))
+        };
+        left.mul(&right)
+            .expect("STP padding guarantees conformable dimensions")
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if every column contains exactly one `1` and zeros
+    /// elsewhere — i.e. the matrix is a *logic matrix* when it has two rows.
+    pub fn is_column_stochastic_boolean(&self) -> bool {
+        for j in 0..self.cols {
+            let mut ones = 0usize;
+            for i in 0..self.rows {
+                match self.data[i * self.cols + j] {
+                    0 => {}
+                    1 => ones += 1,
+                    _ => return false,
+                }
+            }
+            if ones != 1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = u64;
+
+    fn index(&self, (row, col): (usize, usize)) -> &u64 {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut u64 {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{} ", self.data[i * self.cols + j])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Greatest common divisor.
+pub(crate) fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Least common multiple.
+pub(crate) fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral_for_mul() {
+        let a = Matrix::from_rows(&[&[1, 2, 3], &[4, 5, 6]]);
+        assert_eq!(a.mul(&Matrix::identity(3)).unwrap(), a);
+        assert_eq!(Matrix::identity(2).mul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn mul_rejects_bad_dims() {
+        let a = Matrix::from_rows(&[&[1, 2], &[3, 4]]);
+        let b = Matrix::from_rows(&[&[1, 2, 3]]);
+        assert!(matches!(
+            a.mul(&b),
+            Err(StpError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let a = Matrix::from_rows(&[&[1, 2]]);
+        let b = Matrix::from_rows(&[&[0, 3], &[4, 0]]);
+        let k = a.kron(&b);
+        assert_eq!(k.shape(), (2, 4));
+        assert_eq!(k[(0, 1)], 3);
+        assert_eq!(k[(0, 3)], 6);
+        assert_eq!(k[(1, 0)], 4);
+        assert_eq!(k[(1, 2)], 8);
+    }
+
+    #[test]
+    fn stp_reduces_to_ordinary_product_when_conformable() {
+        let a = Matrix::from_rows(&[&[1, 0], &[0, 1]]);
+        let b = Matrix::from_rows(&[&[2, 1], &[1, 2]]);
+        assert_eq!(a.stp(&b), a.mul(&b).unwrap());
+    }
+
+    #[test]
+    fn stp_dimension_rule() {
+        // X in M_{2x4}, Y = I_2: t = lcm(4, 2) = 4, result stays 2x4 and equals X.
+        let x = Matrix::from_rows(&[&[1, 1, 1, 0], &[0, 0, 0, 1]]);
+        let y = Matrix::identity(2);
+        let r = x.stp(&y);
+        assert_eq!(r.shape(), (2, 4));
+        assert_eq!(r, x);
+    }
+
+    #[test]
+    fn stp_associativity_on_small_matrices() {
+        let a = Matrix::from_rows(&[&[1, 0, 1], &[0, 1, 1]]);
+        let b = Matrix::from_rows(&[&[1, 1], &[0, 1], &[1, 0]]);
+        let c = Matrix::from_rows(&[&[1], &[2]]);
+        let left = a.stp(&b).stp(&c);
+        let right = a.stp(&b.stp(&c));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn swap_property_row_vector() {
+        // Property 1: A ⋉ Z_r = Z_r ⋉ (I_t ⊗ A) for a row vector Z_r of length t.
+        let a = Matrix::from_rows(&[&[1, 2], &[3, 4]]);
+        let z = Matrix::row(&[5, 6, 7]);
+        let left = a.stp(&z);
+        let right = z.stp(&Matrix::identity(3).kron(&a));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn swap_property_column_vector() {
+        // Property 1: Z_c ⋉ A = (I_t ⊗ A) ⋉ Z_c for a column vector Z_c of length t.
+        let a = Matrix::from_rows(&[&[1, 2], &[3, 4]]);
+        let z = Matrix::column(&[5, 6, 7]);
+        let left = z.stp(&a);
+        let right = Matrix::identity(3).kron(&a).stp(&z);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1, 2, 3], &[4, 5, 6]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn column_stochastic_detection() {
+        let good = Matrix::from_rows(&[&[1, 0, 1, 1], &[0, 1, 0, 0]]);
+        assert!(good.is_column_stochastic_boolean());
+        let bad = Matrix::from_rows(&[&[1, 0], &[1, 1]]);
+        assert!(!bad.is_column_stochastic_boolean());
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(gcd(12, 8), 4);
+        assert_eq!(lcm(12, 8), 24);
+        assert_eq!(lcm(1, 7), 7);
+    }
+}

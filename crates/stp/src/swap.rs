@@ -1,0 +1,144 @@
+//! Auxiliary structural matrices used when normalising STP expressions:
+//! the swap matrix, the power-reducing matrix and variable-retrieval
+//! matrices.
+//!
+//! These matrices let any STP expression over Boolean column vectors be
+//! rewritten into the canonical form `M_Φ ⋉ x₁ ⋉ … ⋉ xₙ` of Property 3:
+//!
+//! * the **swap matrix** `W[m, n]` reorders factors: `x ⋉ y = W[m, n] ⋉ y ⋉ x`
+//!   for column vectors `x ∈ ℝᵐ`, `y ∈ ℝⁿ`;
+//! * the **power-reducing matrix** `M_r(k)` removes duplicated factors:
+//!   `z ⋉ z = M_r(k) ⋉ z` for any canonical basis vector `z ∈ ℝᵏ`;
+//! * the **retrieval matrix** `S_i^n` extracts a single variable from the
+//!   stacked vector `x₍ₙ₎ = x₁ ⋉ … ⋉ xₙ`: `x_i = S_i^n ⋉ x₍ₙ₎`.
+
+use crate::Matrix;
+
+/// The swap matrix `W[m, n]`, an `mn × mn` permutation matrix such that for
+/// column vectors `x ∈ ℝᵐ` and `y ∈ ℝⁿ`:
+///
+/// `W[m, n] ⋉ x ⋉ y = y ⋉ x`.
+///
+/// ```
+/// use stp::{swap, BoolVec, Matrix};
+///
+/// let x = BoolVec::TRUE.to_matrix();
+/// let y = BoolVec::FALSE.to_matrix();
+/// let swapped = swap::swap_matrix(2, 2).stp(&x).stp(&y);
+/// assert_eq!(swapped, y.stp(&x));
+/// ```
+pub fn swap_matrix(m: usize, n: usize) -> Matrix {
+    let dim = m * n;
+    let mut w = Matrix::zeros(dim, dim);
+    // Column index of x ⊗ y for basis vectors e_i ⊗ e_j is i*n + j; the swap
+    // matrix sends it to e_j ⊗ e_i at position j*m + i.
+    for i in 0..m {
+        for j in 0..n {
+            w[(j * m + i, i * n + j)] = 1;
+        }
+    }
+    w
+}
+
+/// The generalised power-reducing matrix `M_r(k)`, a `k² × k` matrix such
+/// that `z ⋉ z = M_r(k) ⋉ z` for every canonical basis vector `z ∈ ℝᵏ`.
+///
+/// For `k = 2` this is the classical `M_r = δ₄[1, 4]` of the STP literature.
+pub fn power_reducing_matrix(k: usize) -> Matrix {
+    let mut m = Matrix::zeros(k * k, k);
+    for i in 0..k {
+        m[(i * k + i, i)] = 1;
+    }
+    m
+}
+
+/// The retrieval matrix `S_i^n` (1-based `i`), a `2 × 2ⁿ` matrix such that
+/// `x_i = S_i^n ⋉ x₍ₙ₎` where `x₍ₙ₎ = x₁ ⋉ … ⋉ xₙ` is the stacked argument
+/// vector of `n` Boolean variables.
+///
+/// # Panics
+///
+/// Panics if `i` is zero or greater than `n`.
+pub fn retrieval_matrix(i: usize, n: usize) -> Matrix {
+    assert!(i >= 1 && i <= n, "retrieval index out of range");
+    let front = Matrix::ones_row(1usize << (i - 1));
+    let back = Matrix::ones_row(1usize << (n - i));
+    front.kron(&Matrix::identity(2)).kron(&back)
+}
+
+/// Stacks a sequence of Boolean basis column vectors into the single column
+/// vector `x₍ₙ₎ = x₁ ⋉ … ⋉ xₙ` of dimension `2ⁿ`.
+pub fn stack_arguments(args: &[crate::BoolVec]) -> Matrix {
+    let mut acc = Matrix::identity(1);
+    for a in args {
+        acc = acc.kron(&a.to_matrix());
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BoolVec;
+
+    #[test]
+    fn swap_matrix_swaps_boolean_vectors() {
+        for a in [BoolVec::TRUE, BoolVec::FALSE] {
+            for b in [BoolVec::TRUE, BoolVec::FALSE] {
+                let left = swap_matrix(2, 2)
+                    .stp(&a.to_matrix())
+                    .stp(&b.to_matrix());
+                let right = b.to_matrix().stp(&a.to_matrix());
+                assert_eq!(left, right);
+            }
+        }
+    }
+
+    #[test]
+    fn swap_matrix_rectangular() {
+        // x in R^2, y in R^4 (a stacked pair).
+        let x = BoolVec::TRUE.to_matrix();
+        let y = stack_arguments(&[BoolVec::FALSE, BoolVec::TRUE]);
+        let left = swap_matrix(2, 4).stp(&x).stp(&y);
+        let right = y.stp(&x);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn power_reduction() {
+        for k_log in 1..=3usize {
+            let k = 1usize << k_log;
+            let mr = power_reducing_matrix(k);
+            for idx in 0..k {
+                let mut entries = vec![0u64; k];
+                entries[idx] = 1;
+                let z = Matrix::column(&entries);
+                let squared = z.kron(&z);
+                assert_eq!(mr.stp(&z), squared);
+            }
+        }
+    }
+
+    #[test]
+    fn retrieval_extracts_each_variable() {
+        let args = [BoolVec::TRUE, BoolVec::FALSE, BoolVec::TRUE, BoolVec::FALSE];
+        let stacked = stack_arguments(&args);
+        for (i, expected) in args.iter().enumerate() {
+            let s = retrieval_matrix(i + 1, args.len());
+            assert_eq!(s.stp(&stacked), expected.to_matrix());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "retrieval index out of range")]
+    fn retrieval_rejects_zero() {
+        retrieval_matrix(0, 3);
+    }
+
+    #[test]
+    fn stack_dimensions() {
+        let stacked = stack_arguments(&[BoolVec::TRUE; 5]);
+        assert_eq!(stacked.shape(), (32, 1));
+        assert_eq!(stacked[(0, 0)], 1);
+    }
+}

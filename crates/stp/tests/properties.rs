@@ -1,0 +1,130 @@
+//! Property-based tests of the semi-tensor product algebra.
+
+use proptest::prelude::*;
+use stp::swap::{power_reducing_matrix, retrieval_matrix, stack_arguments, swap_matrix};
+use stp::{BoolVec, LogicMatrix, Matrix};
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(0u64..4, rows * cols).prop_map(move |data| {
+            let mut m = Matrix::zeros(rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    m[(r, c)] = data[r * cols + c];
+                }
+            }
+            m
+        })
+    })
+}
+
+fn arb_logic_matrix(max_arity: usize) -> impl Strategy<Value = LogicMatrix> {
+    (0..=max_arity).prop_flat_map(|arity| {
+        proptest::collection::vec(any::<bool>(), 1 << arity).prop_map(move |bits| {
+            let mut m = LogicMatrix::constant_false(arity);
+            for (j, &b) in bits.iter().enumerate() {
+                m.set_column(j, BoolVec::new(b));
+            }
+            m
+        })
+    })
+}
+
+fn arb_args(arity: usize) -> impl Strategy<Value = Vec<BoolVec>> {
+    proptest::collection::vec(any::<bool>().prop_map(BoolVec::new), arity)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Definition 1: the dimensions of X ⋉ Y are (m·t/n, q·t/p).
+    #[test]
+    fn stp_dimension_rule(x in arb_matrix(4), y in arb_matrix(4)) {
+        let (m, n) = x.shape();
+        let (p, q) = y.shape();
+        let t = {
+            // lcm
+            fn gcd(a: usize, b: usize) -> usize { if b == 0 { a } else { gcd(b, a % b) } }
+            n / gcd(n, p) * p
+        };
+        let r = x.stp(&y);
+        prop_assert_eq!(r.shape(), (m * t / n, q * t / p));
+    }
+
+    /// The STP is associative.
+    #[test]
+    fn stp_is_associative(a in arb_matrix(3), b in arb_matrix(3), c in arb_matrix(3)) {
+        let left = a.stp(&b).stp(&c);
+        let right = a.stp(&b.stp(&c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// Property 1 (swap with a column vector): Z ⋉ A = (I_t ⊗ A) ⋉ Z.
+    #[test]
+    fn stp_column_swap_property(a in arb_matrix(3), entries in proptest::collection::vec(0u64..4, 1..4)) {
+        let z = Matrix::column(&entries);
+        let left = z.stp(&a);
+        let right = Matrix::identity(entries.len()).kron(&a).stp(&z);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Logic-matrix composition agrees with dense STP (Definition 2 +
+    /// Example 1 generalised).
+    #[test]
+    fn logic_composition_matches_dense(a in arb_logic_matrix(3), b in arb_logic_matrix(3)) {
+        prop_assume!(a.arity() >= 1);
+        prop_assume!(a.arity() + b.arity() - 1 <= 8);
+        let composed = a.stp_logic(&b);
+        let dense = a.to_matrix().stp(&b.to_matrix());
+        prop_assert_eq!(LogicMatrix::from_matrix(&dense).expect("still a logic matrix"), composed);
+    }
+
+    /// Applying a logic matrix column by column equals full application.
+    #[test]
+    fn partial_application_is_consistent(m in arb_logic_matrix(4), flip in any::<bool>()) {
+        prop_assume!(m.arity() >= 1);
+        let args: Vec<BoolVec> = (0..m.arity()).map(|i| BoolVec::new((i % 2 == 0) ^ flip)).collect();
+        let mut current = m.clone();
+        for &a in &args {
+            current = current.apply_first(a);
+        }
+        prop_assert_eq!(current.column(0), m.apply(&args));
+    }
+
+    /// The swap matrix really swaps stacked Boolean arguments.
+    #[test]
+    fn swap_matrix_swaps(a in any::<bool>(), b in any::<bool>()) {
+        let x = BoolVec::new(a).to_matrix();
+        let y = BoolVec::new(b).to_matrix();
+        let swapped = swap_matrix(2, 2).stp(&x).stp(&y);
+        prop_assert_eq!(swapped, y.stp(&x));
+    }
+
+    /// The power-reducing matrix removes duplicated basis vectors.
+    #[test]
+    fn power_reduction_on_stacked_arguments(args in arb_args(3)) {
+        let stacked = stack_arguments(&args);
+        let dim = stacked.rows();
+        let squared = stacked.kron(&stacked);
+        prop_assert_eq!(power_reducing_matrix(dim).stp(&stacked), squared);
+    }
+
+    /// Retrieval matrices extract each stacked variable.
+    #[test]
+    fn retrieval_matrices_extract(args in arb_args(4)) {
+        prop_assume!(!args.is_empty());
+        let stacked = stack_arguments(&args);
+        for (i, expected) in args.iter().enumerate() {
+            let s = retrieval_matrix(i + 1, args.len());
+            prop_assert_eq!(s.stp(&stacked), expected.to_matrix());
+        }
+    }
+
+    /// Truth-table round trips preserve the function.
+    #[test]
+    fn truth_table_round_trip(m in arb_logic_matrix(5)) {
+        let bits = m.to_truth_table_bits();
+        let back = LogicMatrix::from_truth_table_bits(m.arity(), &bits);
+        prop_assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,123 @@
+//! Functional composition of truth tables.
+
+use crate::TruthTable;
+
+/// Composes an outer function with one inner function per input.
+///
+/// `outer` is a table over `k` variables; `inners[i]` supplies the function
+/// feeding input `i`, and all inner tables must share the same variable
+/// count `n`.  The result is the table of
+/// `outer(inners[0](x), …, inners[k-1](x))` over those `n` variables.
+///
+/// This is how the STP-based simulator folds a cut into a single k-LUT: the
+/// truth tables of the cut's internal nodes are composed bottom-up into the
+/// truth table of the cut root expressed over the cut leaves
+/// (Section III-B of the paper).
+///
+/// # Panics
+///
+/// Panics if the number of inner functions differs from the arity of
+/// `outer`, or if the inner functions do not all have the same variable
+/// count.
+///
+/// ```
+/// use truthtable::{compose, TruthTable};
+///
+/// // outer = AND(a, b); feed it with x0 XOR x1 and x2.
+/// let outer = TruthTable::from_hex(2, "8")?;
+/// let xor = TruthTable::from_hex(3, "66")?; // x0 ^ x1 over 3 vars
+/// let x2 = TruthTable::variable(3, 2);
+/// let f = compose(&outer, &[xor, x2]);
+/// assert_eq!(f.evaluate(&[true, false, true]), true);
+/// assert_eq!(f.evaluate(&[true, true, true]), false);
+/// # Ok::<(), truthtable::ParseTruthTableError>(())
+/// ```
+pub fn compose(outer: &TruthTable, inners: &[TruthTable]) -> TruthTable {
+    assert_eq!(
+        inners.len(),
+        outer.num_vars(),
+        "compose requires one inner function per outer variable"
+    );
+    if inners.is_empty() {
+        return outer.clone();
+    }
+    let n = inners[0].num_vars();
+    assert!(
+        inners.iter().all(|t| t.num_vars() == n),
+        "all inner functions must have the same variable count"
+    );
+
+    // Shannon-style evaluation: for every minterm of the result, evaluate the
+    // inner functions, form the outer index and look it up.  For the small
+    // windows used by exhaustive simulation (n ≤ 16) this is fast enough and
+    // has no intermediate blow-up.
+    let mut result = TruthTable::zeros(n);
+    for i in 0..(1usize << n) {
+        let mut outer_index = 0usize;
+        for (k, inner) in inners.iter().enumerate() {
+            if inner.get_bit(i) {
+                outer_index |= 1 << k;
+            }
+        }
+        if outer.get_bit(outer_index) {
+            result.set_bit(i, true);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_identity() {
+        // outer = projection of input 0 composed with (f) gives f back.
+        let f = TruthTable::from_hex(3, "e8").unwrap();
+        let proj = TruthTable::variable(1, 0);
+        assert_eq!(compose(&proj, &[f.clone()]), f);
+    }
+
+    #[test]
+    fn compose_with_variables_is_remapping() {
+        let and2 = TruthTable::from_hex(2, "8").unwrap();
+        let x1 = TruthTable::variable(3, 1);
+        let x2 = TruthTable::variable(3, 2);
+        let composed = compose(&and2, &[x1, x2]);
+        for i in 0..8usize {
+            let args: Vec<bool> = (0..3).map(|j| (i >> j) & 1 == 1).collect();
+            assert_eq!(composed.evaluate(&args), args[1] && args[2]);
+        }
+    }
+
+    #[test]
+    fn compose_nested_nand_tree() {
+        // NAND(NAND(a, b), NAND(b, c)) over 3 leaves.
+        let nand = TruthTable::from_binary_str(2, "0111").unwrap();
+        let a = TruthTable::variable(3, 0);
+        let b = TruthTable::variable(3, 1);
+        let c = TruthTable::variable(3, 2);
+        let left = compose(&nand, &[a.clone(), b.clone()]);
+        let right = compose(&nand, &[b.clone(), c.clone()]);
+        let root = compose(&nand, &[left, right]);
+        for i in 0..8usize {
+            let args: Vec<bool> = (0..3).map(|j| (i >> j) & 1 == 1).collect();
+            let expected = !((!(args[0] && args[1])) && (!(args[1] && args[2])));
+            assert_eq!(root.evaluate(&args), expected);
+        }
+    }
+
+    #[test]
+    fn compose_zero_arity_outer() {
+        let constant = TruthTable::ones(0);
+        assert_eq!(compose(&constant, &[]), constant);
+    }
+
+    #[test]
+    #[should_panic(expected = "one inner function per outer variable")]
+    fn compose_arity_mismatch() {
+        let and2 = TruthTable::from_hex(2, "8").unwrap();
+        let x = TruthTable::variable(2, 0);
+        let _ = compose(&and2, &[x]);
+    }
+}

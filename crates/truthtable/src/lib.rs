@@ -1,0 +1,35 @@
+//! # truthtable — dynamic bit-packed truth tables
+//!
+//! Truth tables are the simulation signatures of exhaustive simulation
+//! (Section II-A of the paper) and the functions stored at the nodes of a
+//! k-LUT network.  This crate provides a kitty-style dynamic truth table:
+//! a bit-packed table over a fixed number of variables with the usual
+//! Boolean operations, cofactoring, support computation and composition.
+//!
+//! Convention: bit `i` of the table is the function value for the assignment
+//! where variable `j` takes the value `(i >> j) & 1` (variable 0 is the
+//! least-significant index).  This is the same convention the `stp` crate
+//! uses for [`LogicMatrix::from_truth_table_bits`].
+//!
+//! ```
+//! use truthtable::TruthTable;
+//!
+//! let a = TruthTable::variable(3, 0);
+//! let b = TruthTable::variable(3, 1);
+//! let c = TruthTable::variable(3, 2);
+//! let maj = (&(&a & &b) | &(&(&a & &c) | &(&b & &c)));
+//! assert_eq!(maj.count_ones(), 4);
+//! assert!(maj.support().eq([0, 1, 2]));
+//! ```
+//!
+//! [`LogicMatrix::from_truth_table_bits`]: https://docs.rs/stp
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compose;
+mod ops;
+mod table;
+
+pub use compose::compose;
+pub use table::{ParseTruthTableError, TruthTable};

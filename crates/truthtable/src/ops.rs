@@ -1,0 +1,138 @@
+//! Bitwise Boolean operators on truth tables.
+//!
+//! Operators are implemented for references so that tables are not consumed:
+//! `&a & &b`, `&a | &b`, `&a ^ &b`, `!&a`.  Owned variants are provided as
+//! well for convenience.
+
+use crate::table::TruthTable;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+fn zip_words(a: &TruthTable, b: &TruthTable, f: impl Fn(u64, u64) -> u64) -> TruthTable {
+    assert_eq!(
+        a.num_vars(),
+        b.num_vars(),
+        "truth table operands must have the same number of variables"
+    );
+    let words: Vec<u64> = a
+        .words()
+        .iter()
+        .zip(b.words().iter())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
+    TruthTable::from_words(a.num_vars(), &words)
+}
+
+impl BitAnd for &TruthTable {
+    type Output = TruthTable;
+
+    fn bitand(self, rhs: &TruthTable) -> TruthTable {
+        zip_words(self, rhs, |x, y| x & y)
+    }
+}
+
+impl BitOr for &TruthTable {
+    type Output = TruthTable;
+
+    fn bitor(self, rhs: &TruthTable) -> TruthTable {
+        zip_words(self, rhs, |x, y| x | y)
+    }
+}
+
+impl BitXor for &TruthTable {
+    type Output = TruthTable;
+
+    fn bitxor(self, rhs: &TruthTable) -> TruthTable {
+        zip_words(self, rhs, |x, y| x ^ y)
+    }
+}
+
+impl Not for &TruthTable {
+    type Output = TruthTable;
+
+    fn not(self) -> TruthTable {
+        let words: Vec<u64> = self.words().iter().map(|&x| !x).collect();
+        TruthTable::from_words(self.num_vars(), &words)
+    }
+}
+
+impl BitAnd for TruthTable {
+    type Output = TruthTable;
+
+    fn bitand(self, rhs: TruthTable) -> TruthTable {
+        &self & &rhs
+    }
+}
+
+impl BitOr for TruthTable {
+    type Output = TruthTable;
+
+    fn bitor(self, rhs: TruthTable) -> TruthTable {
+        &self | &rhs
+    }
+}
+
+impl BitXor for TruthTable {
+    type Output = TruthTable;
+
+    fn bitxor(self, rhs: TruthTable) -> TruthTable {
+        &self ^ &rhs
+    }
+}
+
+impl Not for TruthTable {
+    type Output = TruthTable;
+
+    fn not(self) -> TruthTable {
+        !&self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let a = TruthTable::variable(2, 0);
+        let b = TruthTable::variable(2, 1);
+        assert_eq!((&a & &b).to_hex(), "8");
+        assert_eq!((&a | &b).to_hex(), "e");
+        assert_eq!((&a ^ &b).to_hex(), "6");
+        assert_eq!((!&a).to_hex(), "5");
+    }
+
+    #[test]
+    fn owned_ops_match_reference_ops() {
+        let a = TruthTable::variable(3, 0);
+        let b = TruthTable::variable(3, 2);
+        assert_eq!(a.clone() & b.clone(), &a & &b);
+        assert_eq!(a.clone() | b.clone(), &a | &b);
+        assert_eq!(a.clone() ^ b.clone(), &a ^ &b);
+        assert_eq!(!a.clone(), !&a);
+    }
+
+    #[test]
+    fn negation_masks_unused_bits() {
+        let a = TruthTable::variable(2, 0);
+        let n = !&a;
+        // Only the low 4 bits may be set for a 2-variable table.
+        assert_eq!(n.words()[0] & !0xF, 0);
+        assert_eq!(!&n, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of variables")]
+    fn mismatched_vars_panics() {
+        let a = TruthTable::variable(2, 0);
+        let b = TruthTable::variable(3, 0);
+        let _ = &a & &b;
+    }
+
+    #[test]
+    fn de_morgan() {
+        let a = TruthTable::variable(4, 1);
+        let b = TruthTable::variable(4, 3);
+        assert_eq!(!&(&a & &b), &(!&a) | &(!&b));
+        assert_eq!(!&(&a | &b), &(!&a) & &(!&b));
+    }
+}

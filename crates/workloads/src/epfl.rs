@@ -1,0 +1,105 @@
+//! The EPFL-analog benchmark suite used by the Table I harness.
+//!
+//! The EPFL combinational benchmark suite contains ten arithmetic circuits
+//! (`adder`, `bar`, `div`, `hyp`, `log2`, `max`, `multiplier`, `sin`,
+//! `sqrt`, `square`) and ten random/control circuits (`arbiter`, `cavlc`,
+//! `ctrl`, `dec`, `i2c`, `int2float`, `mem_ctrl`, `priority`, `router`,
+//! `voter`).  This module generates one structural analog per original
+//! circuit, scaled by [`Scale`] so the whole table runs in seconds by
+//! default.
+
+use crate::generators as gen;
+use crate::Scale;
+use netlist::Aig;
+
+/// One named benchmark circuit.
+#[derive(Debug, Clone)]
+pub struct EpflBenchmark {
+    /// The EPFL circuit this analog stands in for.
+    pub name: &'static str,
+    /// Whether the original belongs to the arithmetic half of the suite.
+    pub arithmetic: bool,
+    /// The generated network.
+    pub aig: Aig,
+}
+
+/// Generates the full 20-circuit suite at the given scale.
+pub fn epfl_suite(scale: Scale) -> Vec<EpflBenchmark> {
+    let f = scale.factor();
+    let make = |name, arithmetic, aig| EpflBenchmark {
+        name,
+        arithmetic,
+        aig,
+    };
+    vec![
+        make("adder", true, gen::ripple_carry_adder(16 * f)),
+        make("bar", true, gen::barrel_shifter(16 * f)),
+        make("div", true, gen::restoring_divider(6 * f)),
+        make("hyp", true, gen::hypotenuse(5 * f)),
+        make("log2", true, gen::polynomial_datapath(5 * f, 3)),
+        make("max", true, gen::max_unit(16 * f)),
+        make("multiplier", true, gen::array_multiplier(5 * f)),
+        make("sin", true, gen::polynomial_datapath(4 * f, 4)),
+        make("sqrt", true, gen::restoring_sqrt(5 * f)),
+        make("square", true, gen::squarer(6 * f)),
+        make("arbiter", false, gen::round_robin_arbiter(8 * f.min(2))),
+        make("cavlc", false, gen::random_control(10, 160 * f, 11, 0xCA71C)),
+        make("ctrl", false, gen::random_control(7, 40 * f, 25, 0xC721)),
+        make("dec", false, gen::decoder(5 + scale_steps(scale))),
+        make("i2c", false, gen::random_control(16, 300 * f, 15, 0x12C)),
+        make("int2float", false, gen::random_control(11, 60 * f, 7, 0x1F10A7)),
+        make("mem_ctrl", false, gen::random_control(24, 900 * f, 22, 0xE3C7)),
+        make("priority", false, gen::priority_encoder(32 * f)),
+        make("router", false, gen::crossbar_router(4, 4 * f)),
+        make("voter", false, gen::majority_voter(8 * f + 1)),
+    ]
+}
+
+fn scale_steps(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 0,
+        Scale::Small => 1,
+        Scale::Large => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twenty_named_circuits() {
+        let suite = epfl_suite(Scale::Tiny);
+        assert_eq!(suite.len(), 20);
+        let names: Vec<&str> = suite.iter().map(|b| b.name).collect();
+        for expected in [
+            "adder", "bar", "div", "hyp", "log2", "max", "multiplier", "sin", "sqrt", "square",
+            "arbiter", "cavlc", "ctrl", "dec", "i2c", "int2float", "mem_ctrl", "priority",
+            "router", "voter",
+        ] {
+            assert!(names.contains(&expected), "{expected} missing");
+        }
+        assert_eq!(suite.iter().filter(|b| b.arithmetic).count(), 10);
+    }
+
+    #[test]
+    fn circuits_are_nontrivial_and_valid() {
+        for bench in epfl_suite(Scale::Tiny) {
+            assert!(bench.aig.num_ands() > 0, "{} is empty", bench.name);
+            assert!(bench.aig.num_outputs() > 0, "{} has no outputs", bench.name);
+            // Evaluate on one pattern to exercise the structure.
+            let zeros = vec![false; bench.aig.num_inputs()];
+            let _ = bench.aig.evaluate(&zeros);
+        }
+    }
+
+    #[test]
+    fn scaling_grows_circuits() {
+        let small = epfl_suite(Scale::Tiny);
+        let larger = epfl_suite(Scale::Small);
+        let sum = |suite: &[EpflBenchmark]| -> usize {
+            suite.iter().map(|b| b.aig.num_ands()).sum()
+        };
+        assert!(sum(&larger) > sum(&small));
+    }
+}

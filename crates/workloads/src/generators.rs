@@ -1,0 +1,682 @@
+//! Parametric circuit generators.
+//!
+//! Each generator produces a self-contained [`Aig`] whose function is easy
+//! to check against a software reference (the unit tests do exactly that).
+//! The generators cover the circuit families of the EPFL suite: arithmetic
+//! data paths (adder, multiplier, divider, square root, squarer,
+//! hypotenuse), shifters, comparators, and random/control logic (decoder,
+//! priority encoder, arbiter, crossbar router, voter, seeded random
+//! control).
+
+use netlist::{Aig, Lit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A single-bit full adder; returns `(sum, carry_out)`.
+fn full_adder(aig: &mut Aig, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+    let axb = aig.xor(a, b);
+    let sum = aig.xor(axb, cin);
+    let cout = aig.maj(a, b, cin);
+    (sum, cout)
+}
+
+/// Adds two `width`-bit vectors inside an existing AIG; returns `width + 1`
+/// sum bits (LSB first).
+fn add_vectors(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    assert_eq!(a.len(), b.len());
+    let mut carry = Lit::FALSE;
+    let mut sums = Vec::with_capacity(a.len() + 1);
+    for i in 0..a.len() {
+        let (s, c) = full_adder(aig, a[i], b[i], carry);
+        sums.push(s);
+        carry = c;
+    }
+    sums.push(carry);
+    sums
+}
+
+/// Subtracts `b` from `a` (two's complement) inside an existing AIG; returns
+/// `width` difference bits plus the final borrow-free flag (carry out, which
+/// is 1 when `a >= b`).
+fn sub_vectors(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Lit) {
+    assert_eq!(a.len(), b.len());
+    let mut carry = Lit::TRUE;
+    let mut diffs = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let nb = !b[i];
+        let (s, c) = full_adder(aig, a[i], nb, carry);
+        diffs.push(s);
+        carry = c;
+    }
+    (diffs, carry)
+}
+
+/// A ripple-carry adder of two `width`-bit operands (`adder` analog).
+///
+/// Inputs: `a0..a{w-1}`, `b0..b{w-1}`; outputs: `s0..s{w-1}`, `cout`.
+pub fn ripple_carry_adder(width: usize) -> Aig {
+    let mut aig = Aig::new();
+    let a = aig.add_inputs("a", width);
+    let b = aig.add_inputs("b", width);
+    let sums = add_vectors(&mut aig, &a, &b);
+    for (i, s) in sums[..width].iter().enumerate() {
+        aig.add_output(format!("s{i}"), *s);
+    }
+    aig.add_output("cout", sums[width]);
+    aig
+}
+
+/// A logarithmic barrel shifter (`bar` analog): shifts a `width`-bit word
+/// left by a `log2(width)`-bit amount, filling with zeros.
+///
+/// # Panics
+///
+/// Panics if `width` is not a power of two.
+pub fn barrel_shifter(width: usize) -> Aig {
+    assert!(width.is_power_of_two(), "width must be a power of two");
+    let stages = width.trailing_zeros() as usize;
+    let mut aig = Aig::new();
+    let data = aig.add_inputs("d", width);
+    let shift = aig.add_inputs("s", stages);
+    let mut current = data;
+    for (stage, &sel) in shift.iter().enumerate() {
+        let amount = 1usize << stage;
+        let mut next = Vec::with_capacity(width);
+        for i in 0..width {
+            let shifted = if i >= amount {
+                current[i - amount]
+            } else {
+                Lit::FALSE
+            };
+            next.push(aig.mux(sel, shifted, current[i]));
+        }
+        current = next;
+    }
+    for (i, bit) in current.iter().enumerate() {
+        aig.add_output(format!("q{i}"), *bit);
+    }
+    aig
+}
+
+/// An array multiplier of two `width`-bit operands (`multiplier` analog).
+pub fn array_multiplier(width: usize) -> Aig {
+    let mut aig = Aig::new();
+    let a = aig.add_inputs("a", width);
+    let b = aig.add_inputs("b", width);
+    let product = multiply_vectors(&mut aig, &a, &b);
+    for (i, bit) in product.iter().enumerate() {
+        aig.add_output(format!("p{i}"), *bit);
+    }
+    aig
+}
+
+fn multiply_vectors(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    let width = a.len();
+    let out_width = 2 * width;
+    let mut acc = vec![Lit::FALSE; out_width];
+    for (i, &bi) in b.iter().enumerate() {
+        // Partial product row shifted by i.
+        let mut row = vec![Lit::FALSE; out_width];
+        for (j, &aj) in a.iter().enumerate() {
+            row[i + j] = aig.and(aj, bi);
+        }
+        let summed = add_vectors(aig, &acc, &row);
+        acc = summed[..out_width].to_vec();
+    }
+    acc
+}
+
+/// A squarer (`square` analog): the product of one operand with itself.
+pub fn squarer(width: usize) -> Aig {
+    let mut aig = Aig::new();
+    let a = aig.add_inputs("a", width);
+    let product = multiply_vectors(&mut aig, &a.clone(), &a);
+    for (i, bit) in product.iter().enumerate() {
+        aig.add_output(format!("p{i}"), *bit);
+    }
+    aig
+}
+
+/// A hypotenuse-style datapath (`hyp` analog): `a*a + b*b` of two
+/// `width`-bit operands.
+pub fn hypotenuse(width: usize) -> Aig {
+    let mut aig = Aig::new();
+    let a = aig.add_inputs("a", width);
+    let b = aig.add_inputs("b", width);
+    let aa = multiply_vectors(&mut aig, &a.clone(), &a);
+    let bb = multiply_vectors(&mut aig, &b.clone(), &b);
+    let sum = add_vectors(&mut aig, &aa, &bb);
+    for (i, bit) in sum.iter().enumerate() {
+        aig.add_output(format!("h{i}"), *bit);
+    }
+    aig
+}
+
+/// A restoring divider (`div` analog): divides a `width`-bit dividend by a
+/// `width`-bit divisor, producing quotient and remainder.
+pub fn restoring_divider(width: usize) -> Aig {
+    let mut aig = Aig::new();
+    let dividend = aig.add_inputs("n", width);
+    let divisor = aig.add_inputs("d", width);
+    // Remainder register, processed from the MSB of the dividend down.
+    let mut remainder = vec![Lit::FALSE; width];
+    let mut quotient = vec![Lit::FALSE; width];
+    for step in (0..width).rev() {
+        // Shift the remainder left by one and bring in dividend bit `step`.
+        let mut shifted = Vec::with_capacity(width);
+        shifted.push(dividend[step]);
+        shifted.extend_from_slice(&remainder[..width - 1]);
+        // Trial subtraction.
+        let (diff, no_borrow) = sub_vectors(&mut aig, &shifted, &divisor);
+        quotient[step] = no_borrow;
+        remainder = (0..width)
+            .map(|i| aig.mux(no_borrow, diff[i], shifted[i]))
+            .collect();
+    }
+    for (i, q) in quotient.iter().enumerate() {
+        aig.add_output(format!("q{i}"), *q);
+    }
+    for (i, r) in remainder.iter().enumerate() {
+        aig.add_output(format!("r{i}"), *r);
+    }
+    aig
+}
+
+/// A restoring square root (`sqrt` analog) of a `2*width`-bit radicand,
+/// producing a `width`-bit root.
+pub fn restoring_sqrt(width: usize) -> Aig {
+    let mut aig = Aig::new();
+    let radicand = aig.add_inputs("x", 2 * width);
+    let mut root = vec![Lit::FALSE; width];
+    // Remainder wide enough to hold the partial radicand and trial value.
+    let rem_width = width + 2;
+    let mut remainder = vec![Lit::FALSE; rem_width];
+    for step in (0..width).rev() {
+        // Bring down the next two radicand bits.
+        let mut shifted = Vec::with_capacity(rem_width);
+        shifted.push(radicand[2 * step]);
+        shifted.push(radicand[2 * step + 1]);
+        shifted.extend_from_slice(&remainder[..rem_width - 2]);
+        // Trial value: (root << 2) | 01  == 4*root + 1.
+        let mut trial = vec![Lit::FALSE; rem_width];
+        trial[0] = Lit::TRUE;
+        for (i, &r) in root.iter().enumerate() {
+            if i + 2 < rem_width {
+                trial[i + 2] = r;
+            }
+        }
+        let (diff, no_borrow) = sub_vectors(&mut aig, &shifted, &trial);
+        remainder = (0..rem_width)
+            .map(|i| aig.mux(no_borrow, diff[i], shifted[i]))
+            .collect();
+        // Shift the root and set the new bit.
+        for i in (1..width).rev() {
+            root[i] = root[i - 1];
+        }
+        root[0] = no_borrow;
+    }
+    for (i, r) in root.iter().enumerate() {
+        aig.add_output(format!("root{i}"), *r);
+    }
+    aig
+}
+
+/// An unsigned maximum of two `width`-bit operands (`max` analog).
+pub fn max_unit(width: usize) -> Aig {
+    let mut aig = Aig::new();
+    let a = aig.add_inputs("a", width);
+    let b = aig.add_inputs("b", width);
+    let (_, a_ge_b) = sub_vectors(&mut aig, &a, &b);
+    for i in 0..width {
+        let out = aig.mux(a_ge_b, a[i], b[i]);
+        aig.add_output(format!("m{i}"), out);
+    }
+    aig.add_output("a_ge_b", a_ge_b);
+    aig
+}
+
+/// A majority voter over `n` single-bit inputs (`voter` analog): the output
+/// is 1 iff more than half of the inputs are 1.
+///
+/// # Panics
+///
+/// Panics if `n` is even or zero.
+pub fn majority_voter(n: usize) -> Aig {
+    assert!(n % 2 == 1 && n > 0, "voter needs an odd number of inputs");
+    let mut aig = Aig::new();
+    let xs = aig.add_inputs("v", n);
+    // Count the ones with a chain of small adders, then compare against n/2.
+    let bits = usize::BITS as usize - n.leading_zeros() as usize;
+    let mut count = vec![Lit::FALSE; bits];
+    for &x in &xs {
+        // count = count + x (ripple increment).
+        let mut carry = x;
+        for c in count.iter_mut() {
+            let sum = aig.xor(*c, carry);
+            carry = aig.and(*c, carry);
+            *c = sum;
+        }
+    }
+    // majority iff count > n/2, i.e. count >= n/2 + 1.
+    let threshold = n / 2 + 1;
+    let threshold_bits: Vec<Lit> = (0..bits)
+        .map(|i| {
+            if (threshold >> i) & 1 == 1 {
+                Lit::TRUE
+            } else {
+                Lit::FALSE
+            }
+        })
+        .collect();
+    let (_, count_ge_threshold) = sub_vectors(&mut aig, &count, &threshold_bits);
+    aig.add_output("majority", count_ge_threshold);
+    aig
+}
+
+/// A binary decoder (`dec` analog): `bits` select inputs, `2^bits` one-hot
+/// outputs.
+pub fn decoder(bits: usize) -> Aig {
+    let mut aig = Aig::new();
+    let sel = aig.add_inputs("s", bits);
+    for value in 0..(1usize << bits) {
+        let terms: Vec<Lit> = sel
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| if (value >> i) & 1 == 1 { s } else { !s })
+            .collect();
+        let out = aig.and_many(&terms);
+        aig.add_output(format!("o{value}"), out);
+    }
+    aig
+}
+
+/// A priority encoder (`priority` analog): outputs the index of the highest
+/// set request plus a `valid` flag.
+pub fn priority_encoder(width: usize) -> Aig {
+    let mut aig = Aig::new();
+    let req = aig.add_inputs("r", width);
+    let bits = (usize::BITS as usize - (width - 1).leading_zeros() as usize).max(1);
+    // For every input i (from the highest priority, which is the highest
+    // index, down), grant[i] = req[i] & !any_higher.
+    let mut any_higher = Lit::FALSE;
+    let mut grants = vec![Lit::FALSE; width];
+    for i in (0..width).rev() {
+        grants[i] = aig.and(req[i], !any_higher);
+        any_higher = aig.or(any_higher, req[i]);
+    }
+    // Encode the one-hot grant vector.
+    for b in 0..bits {
+        let selected: Vec<Lit> = (0..width)
+            .filter(|i| (i >> b) & 1 == 1)
+            .map(|i| grants[i])
+            .collect();
+        let out = aig.or_many(&selected);
+        aig.add_output(format!("idx{b}"), out);
+    }
+    aig.add_output("valid", any_higher);
+    aig
+}
+
+/// A combinational round-robin arbiter (`arbiter` analog): `n` request
+/// lines, a `log2(n)`-bit priority pointer, and `n` one-hot grant outputs.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn round_robin_arbiter(n: usize) -> Aig {
+    assert!(n.is_power_of_two(), "arbiter size must be a power of two");
+    let bits = n.trailing_zeros() as usize;
+    let mut aig = Aig::new();
+    let req = aig.add_inputs("r", n);
+    let ptr = aig.add_inputs("p", bits);
+    // ptr_is[k] = (pointer == k)
+    let ptr_is: Vec<Lit> = (0..n)
+        .map(|k| {
+            let terms: Vec<Lit> = ptr
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| if (k >> i) & 1 == 1 { p } else { !p })
+                .collect();
+            aig.and_many(&terms)
+        })
+        .collect();
+    // grant[i] = OR over start positions k of:
+    //   ptr==k AND req[i] AND no request in the window k..i (circular).
+    let mut grants = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut cases = Vec::with_capacity(n);
+        for k in 0..n {
+            // Requests strictly between k (inclusive) and i (exclusive),
+            // walking circularly, must all be 0.
+            let mut blockers = Vec::new();
+            let mut j = k;
+            while j != i {
+                blockers.push(!req[j]);
+                j = (j + 1) % n;
+            }
+            let free = aig.and_many(&blockers);
+            let t = aig.and(ptr_is[k], req[i]);
+            cases.push(aig.and(t, free));
+        }
+        grants.push(aig.or_many(&cases));
+    }
+    for (i, g) in grants.iter().enumerate() {
+        aig.add_output(format!("g{i}"), *g);
+    }
+    aig
+}
+
+/// A crossbar router (`router` analog): `n` data inputs of `width` bits and
+/// `n` select fields route data to `n` outputs.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn crossbar_router(n: usize, width: usize) -> Aig {
+    assert!(n.is_power_of_two(), "router size must be a power of two");
+    let sel_bits = n.trailing_zeros() as usize;
+    let mut aig = Aig::new();
+    let data: Vec<Vec<Lit>> = (0..n)
+        .map(|i| aig.add_inputs(&format!("d{i}_"), width))
+        .collect();
+    let selects: Vec<Vec<Lit>> = (0..n)
+        .map(|o| aig.add_inputs(&format!("sel{o}_"), sel_bits))
+        .collect();
+    for o in 0..n {
+        for b in 0..width {
+            // Output o bit b = data[sel[o]][b].
+            let mut cases = Vec::with_capacity(n);
+            for i in 0..n {
+                let match_terms: Vec<Lit> = selects[o]
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &s)| if (i >> k) & 1 == 1 { s } else { !s })
+                    .collect();
+                let is_sel = aig.and_many(&match_terms);
+                cases.push(aig.and(is_sel, data[i][b]));
+            }
+            let out = aig.or_many(&cases);
+            aig.add_output(format!("o{o}_{b}"), out);
+        }
+    }
+    aig
+}
+
+/// Seeded random control logic (analog of `cavlc`, `ctrl`, `i2c`,
+/// `int2float`, `mem_ctrl`, …): a layered random DAG of AND/OR/XOR/MUX
+/// gates.
+pub fn random_control(num_inputs: usize, num_gates: usize, num_outputs: usize, seed: u64) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut aig = Aig::new();
+    let inputs = aig.add_inputs("x", num_inputs);
+    let mut pool: Vec<Lit> = inputs;
+    for _ in 0..num_gates {
+        let pick = |rng: &mut StdRng, pool: &[Lit]| {
+            let lit = pool[rng.gen_range(0..pool.len())];
+            if rng.gen_bool(0.3) {
+                !lit
+            } else {
+                lit
+            }
+        };
+        let a = pick(&mut rng, &pool);
+        let b = pick(&mut rng, &pool);
+        let gate = match rng.gen_range(0..4) {
+            0 => aig.and(a, b),
+            1 => aig.or(a, b),
+            2 => aig.xor(a, b),
+            _ => {
+                let c = pick(&mut rng, &pool);
+                aig.mux(a, b, c)
+            }
+        };
+        pool.push(gate);
+    }
+    for i in 0..num_outputs {
+        // Prefer recently created gates as outputs so the logic is observable.
+        let idx = pool.len() - 1 - (i % pool.len().min(num_gates.max(1)));
+        aig.add_output(format!("y{i}"), pool[idx]);
+    }
+    aig
+}
+
+/// An iterated non-linear datapath standing in for `log2` / `sin`:
+/// alternating multiply-and-add stages over a `width`-bit operand.
+pub fn polynomial_datapath(width: usize, stages: usize) -> Aig {
+    let mut aig = Aig::new();
+    let x = aig.add_inputs("x", width);
+    let c = aig.add_inputs("c", width);
+    let mut acc = x.clone();
+    for _ in 0..stages {
+        let prod = multiply_vectors(&mut aig, &acc, &x);
+        let truncated: Vec<Lit> = prod[..width].to_vec();
+        let sum = add_vectors(&mut aig, &truncated, &c);
+        acc = sum[..width].to_vec();
+    }
+    for (i, bit) in acc.iter().enumerate() {
+        aig.add_output(format!("y{i}"), *bit);
+    }
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_bits(value: usize, width: usize) -> Vec<bool> {
+        (0..width).map(|i| (value >> i) & 1 == 1).collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> usize {
+        bits.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | ((b as usize) << i))
+    }
+
+    #[test]
+    fn adder_computes_sums() {
+        let aig = ripple_carry_adder(4);
+        for a in [0usize, 3, 9, 15] {
+            for b in [0usize, 1, 7, 15] {
+                let mut inputs = to_bits(a, 4);
+                inputs.extend(to_bits(b, 4));
+                let out = aig.evaluate(&inputs);
+                assert_eq!(from_bits(&out), a + b, "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_shifts() {
+        let aig = barrel_shifter(8);
+        for value in [0b1011_0010usize, 0b0000_0001] {
+            for shift in 0..8usize {
+                let mut inputs = to_bits(value, 8);
+                inputs.extend(to_bits(shift, 3));
+                let out = aig.evaluate(&inputs);
+                assert_eq!(from_bits(&out), (value << shift) & 0xFF, "{value} << {shift}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_and_squarer() {
+        let mult = array_multiplier(3);
+        let sq = squarer(3);
+        for a in 0..8usize {
+            for b in 0..8usize {
+                let mut inputs = to_bits(a, 3);
+                inputs.extend(to_bits(b, 3));
+                assert_eq!(from_bits(&mult.evaluate(&inputs)), a * b);
+            }
+            assert_eq!(from_bits(&sq.evaluate(&to_bits(a, 3))), a * a);
+        }
+    }
+
+    #[test]
+    fn hypotenuse_adds_squares() {
+        let aig = hypotenuse(3);
+        for a in 0..8usize {
+            for b in 0..8usize {
+                let mut inputs = to_bits(a, 3);
+                inputs.extend(to_bits(b, 3));
+                assert_eq!(from_bits(&aig.evaluate(&inputs)), a * a + b * b);
+            }
+        }
+    }
+
+    #[test]
+    fn divider_quotient_and_remainder() {
+        let aig = restoring_divider(4);
+        for n in 0..16usize {
+            for d in 1..16usize {
+                let mut inputs = to_bits(n, 4);
+                inputs.extend(to_bits(d, 4));
+                let out = aig.evaluate(&inputs);
+                let q = from_bits(&out[..4]);
+                let r = from_bits(&out[4..]);
+                assert_eq!(q, n / d, "{n} / {d}");
+                assert_eq!(r, n % d, "{n} % {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_is_integer_square_root() {
+        let aig = restoring_sqrt(3);
+        for x in 0..64usize {
+            let out = aig.evaluate(&to_bits(x, 6));
+            let root = from_bits(&out);
+            assert!(root * root <= x && (root + 1) * (root + 1) > x, "sqrt({x}) = {root}");
+        }
+    }
+
+    #[test]
+    fn max_selects_larger_operand() {
+        let aig = max_unit(4);
+        for a in [0usize, 5, 9, 15] {
+            for b in [0usize, 2, 9, 14] {
+                let mut inputs = to_bits(a, 4);
+                inputs.extend(to_bits(b, 4));
+                let out = aig.evaluate(&inputs);
+                assert_eq!(from_bits(&out[..4]), a.max(b));
+                assert_eq!(out[4], a >= b);
+            }
+        }
+    }
+
+    #[test]
+    fn voter_majority() {
+        let aig = majority_voter(5);
+        for bits in 0..32usize {
+            let inputs = to_bits(bits, 5);
+            let ones = inputs.iter().filter(|&&b| b).count();
+            assert_eq!(aig.evaluate(&inputs)[0], ones >= 3, "bits {bits:05b}");
+        }
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let aig = decoder(3);
+        for v in 0..8usize {
+            let out = aig.evaluate(&to_bits(v, 3));
+            for (i, &bit) in out.iter().enumerate() {
+                assert_eq!(bit, i == v);
+            }
+        }
+    }
+
+    #[test]
+    fn priority_encoder_picks_highest() {
+        let aig = priority_encoder(8);
+        for req in 0..256usize {
+            let out = aig.evaluate(&to_bits(req, 8));
+            let valid = *out.last().unwrap();
+            assert_eq!(valid, req != 0);
+            if req != 0 {
+                let expected = 63 - (req as u64).leading_zeros() as usize;
+                let idx = from_bits(&out[..3]);
+                assert_eq!(idx, expected, "req {req:08b}");
+            }
+        }
+    }
+
+    #[test]
+    fn arbiter_grants_one_requester() {
+        let aig = round_robin_arbiter(4);
+        for req in 0..16usize {
+            for ptr in 0..4usize {
+                let mut inputs = to_bits(req, 4);
+                inputs.extend(to_bits(ptr, 2));
+                let out = aig.evaluate(&inputs);
+                let granted: Vec<usize> =
+                    out.iter().enumerate().filter(|(_, &g)| g).map(|(i, _)| i).collect();
+                if req == 0 {
+                    assert!(granted.is_empty());
+                } else {
+                    assert_eq!(granted.len(), 1, "req {req:04b} ptr {ptr}");
+                    let g = granted[0];
+                    assert!((req >> g) & 1 == 1, "granted line must be requesting");
+                    // No requester strictly between ptr and g (circularly).
+                    let mut j = ptr;
+                    while j != g {
+                        assert_eq!((req >> j) & 1, 0, "requester {j} was skipped");
+                        j = (j + 1) % 4;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn router_routes_selected_input() {
+        let aig = crossbar_router(2, 3);
+        // Inputs: d0 (3 bits), d1 (3 bits), sel0 (1 bit), sel1 (1 bit).
+        for d0 in [0b101usize, 0b010] {
+            for d1 in [0b111usize, 0b001] {
+                for sel0 in 0..2usize {
+                    for sel1 in 0..2usize {
+                        let mut inputs = to_bits(d0, 3);
+                        inputs.extend(to_bits(d1, 3));
+                        inputs.push(sel0 == 1);
+                        inputs.push(sel1 == 1);
+                        let out = aig.evaluate(&inputs);
+                        let o0 = from_bits(&out[..3]);
+                        let o1 = from_bits(&out[3..]);
+                        assert_eq!(o0, if sel0 == 0 { d0 } else { d1 });
+                        assert_eq!(o1, if sel1 == 0 { d0 } else { d1 });
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_control_is_deterministic() {
+        let a = random_control(8, 50, 4, 7);
+        let b = random_control(8, 50, 4, 7);
+        assert_eq!(a.num_ands(), b.num_ands());
+        assert_eq!(a.num_outputs(), 4);
+        let c = random_control(8, 50, 4, 8);
+        // Different seeds almost surely give different structure.
+        assert!(a.num_ands() != c.num_ands() || a.evaluate(&vec![true; 8]) != c.evaluate(&vec![true; 8]));
+    }
+
+    #[test]
+    fn polynomial_datapath_has_expected_interface() {
+        let aig = polynomial_datapath(4, 2);
+        assert_eq!(aig.num_inputs(), 8);
+        assert_eq!(aig.num_outputs(), 4);
+        // Reference check: y = ((x*x + c)*x + c) mod 16.
+        for x in 0..16usize {
+            for c in [0usize, 3, 7] {
+                let mut inputs = to_bits(x, 4);
+                inputs.extend(to_bits(c, 4));
+                let out = aig.evaluate(&inputs);
+                let stage1 = (x * x + c) & 0xF;
+                let stage2 = (stage1 * x + c) & 0xF;
+                assert_eq!(from_bits(&out), stage2);
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Functional-redundancy injection.
+//!
+//! SAT-sweeping only has work to do when a network contains functionally
+//! equivalent but structurally different nodes.  Freshly generated,
+//! structurally hashed AIGs contain very few of those, so the Table II
+//! harness plants them deliberately: selected cones are re-expressed through
+//! their cut truth table using a Shannon (multiplexer) decomposition — a
+//! different structure computing the same function — and a share of the
+//! original fanout is rewired to the duplicate.  Sweeping the result back to
+//! the original size is exactly the task the HWMCC/IWLS benchmarks pose to
+//! the paper's engine.
+
+use netlist::cuts::{cut_truth_table, enumerate_cuts, CutParams};
+use netlist::{Aig, AigNode, Lit, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use truthtable::TruthTable;
+
+/// Rebuilds `aig` with functional redundancy injected.
+///
+/// Roughly `fraction` of the AND nodes (chosen pseudo-randomly from `seed`)
+/// are duplicated as Shannon-decomposed re-implementations over one of their
+/// cuts, and each fanout edge of a duplicated node is redirected to the
+/// duplicate with probability one half.  The returned network is
+/// functionally equivalent to the input (the crate's tests verify this by
+/// exhaustive/random simulation) but strictly larger, and contains pairs of
+/// provably equivalent nodes for a SAT sweeper to merge.
+pub fn inject_redundancy(aig: &Aig, fraction: f64, seed: u64) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cut_sets = enumerate_cuts(
+        aig,
+        CutParams {
+            max_leaves: 6,
+            max_cuts: 6,
+        },
+    );
+
+    let mut out = Aig::new();
+    // Map from original node to the literal to use for "original" references
+    // and optionally an alternative (duplicate) literal.
+    let mut primary: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
+    let mut duplicate: Vec<Option<Lit>> = vec![None; aig.num_nodes()];
+
+    for (pos, &input) in aig.inputs().iter().enumerate() {
+        primary[input] = out.add_input(aig.input_name(pos).to_string());
+    }
+
+    let resolve = |node: NodeId,
+                       complemented: bool,
+                       rng: &mut StdRng,
+                       duplicate: &[Option<Lit>],
+                       primary: &[Lit]| {
+        let base = match duplicate[node] {
+            Some(dup) if rng.gen_bool(0.5) => dup,
+            _ => primary[node],
+        };
+        base.complement_if(complemented)
+    };
+
+    for id in aig.node_ids() {
+        if let AigNode::And { fanin0, fanin1 } = aig.node(id) {
+            let f0 = resolve(fanin0.node(), fanin0.is_complemented(), &mut rng, &duplicate, &primary);
+            let f1 = resolve(fanin1.node(), fanin1.is_complemented(), &mut rng, &duplicate, &primary);
+            let lit = out.and(f0, f1);
+            primary[id] = lit;
+
+            // Decide whether to plant a duplicate of this node.
+            if !rng.gen_bool(fraction) {
+                continue;
+            }
+            // Pick the largest cut with at least three leaves, if any.
+            let Some(cut) = cut_sets[id]
+                .cuts()
+                .iter()
+                .filter(|c| c.size() >= 3)
+                .max_by_key(|c| c.size())
+            else {
+                continue;
+            };
+            let table = cut_truth_table(aig, id, cut);
+            let leaf_lits: Vec<Lit> = cut
+                .leaves()
+                .iter()
+                .map(|&leaf| primary[leaf])
+                .collect();
+            let dup = synthesize_shannon(&mut out, &table, &leaf_lits);
+            // Only keep duplicates that are structurally distinct (hashing
+            // may collapse trivial cases back onto the original).
+            if dup.node() != lit.node() {
+                duplicate[id] = Some(dup);
+            }
+        }
+    }
+
+    for output in aig.outputs() {
+        let lit = resolve(
+            output.lit.node(),
+            output.lit.is_complemented(),
+            &mut rng,
+            &duplicate,
+            &primary,
+        );
+        out.add_output(output.name.clone(), lit);
+    }
+    out
+}
+
+/// Synthesises a truth table as a Shannon (multiplexer) tree over the given
+/// leaf literals: structurally very different from the AND/OR form the
+/// generators produce, but functionally identical.
+pub fn synthesize_shannon(aig: &mut Aig, table: &TruthTable, leaves: &[Lit]) -> Lit {
+    assert_eq!(
+        table.num_vars(),
+        leaves.len(),
+        "one leaf literal per truth table variable"
+    );
+    shannon_rec(aig, table, leaves, table.num_vars())
+}
+
+fn shannon_rec(aig: &mut Aig, table: &TruthTable, leaves: &[Lit], vars_left: usize) -> Lit {
+    if table.is_const0() {
+        return Lit::FALSE;
+    }
+    if table.is_const1() {
+        return Lit::TRUE;
+    }
+    // Split on the highest remaining variable.
+    let var = vars_left - 1;
+    let hi = table.cofactor1(var);
+    let lo = table.cofactor0(var);
+    let hi_lit = shannon_rec(aig, &hi, leaves, vars_left - 1);
+    let lo_lit = shannon_rec(aig, &lo, leaves, vars_left - 1);
+    aig.mux(leaves[var], hi_lit, lo_lit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use bitsim::{AigSimulator, PatternSet};
+
+    fn assert_equivalent_by_simulation(a: &Aig, b: &Aig, patterns: usize, seed: u64) {
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        assert_eq!(a.num_outputs(), b.num_outputs());
+        let p = PatternSet::random(a.num_inputs(), patterns, seed);
+        let sa = AigSimulator::new(a).run(&p);
+        let sb = AigSimulator::new(b).run(&p);
+        for o in 0..a.num_outputs() {
+            assert_eq!(
+                sa.output_signature(a, o),
+                sb.output_signature(b, o),
+                "output {o} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn shannon_synthesis_matches_table() {
+        let mut aig = Aig::new();
+        let leaves = aig.add_inputs("x", 4);
+        let table = TruthTable::from_hex(4, "ca53").unwrap();
+        let lit = synthesize_shannon(&mut aig, &table, &leaves);
+        aig.add_output("f", lit);
+        for i in 0..16usize {
+            let assignment: Vec<bool> = (0..4).map(|j| (i >> j) & 1 == 1).collect();
+            assert_eq!(aig.evaluate(&assignment)[0], table.get_bit(i), "minterm {i}");
+        }
+    }
+
+    #[test]
+    fn injection_preserves_function_and_adds_gates() {
+        let base = generators::ripple_carry_adder(6);
+        let redundant = inject_redundancy(&base, 0.4, 11);
+        assert!(redundant.num_ands() > base.num_ands());
+        assert_equivalent_by_simulation(&base, &redundant, 512, 1);
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let base = generators::array_multiplier(3);
+        let a = inject_redundancy(&base, 0.3, 5);
+        let b = inject_redundancy(&base, 0.3, 5);
+        assert_eq!(a.num_ands(), b.num_ands());
+    }
+
+    #[test]
+    fn zero_fraction_changes_nothing_functionally() {
+        let base = generators::priority_encoder(8);
+        let same = inject_redundancy(&base, 0.0, 3);
+        assert_eq!(same.num_ands(), base.num_ands());
+        assert_equivalent_by_simulation(&base, &same, 256, 2);
+    }
+
+    #[test]
+    fn injection_on_control_logic() {
+        let base = generators::random_control(10, 80, 6, 23);
+        let redundant = inject_redundancy(&base, 0.5, 23);
+        assert_equivalent_by_simulation(&base, &redundant, 512, 3);
+    }
+}

@@ -1,0 +1,32 @@
+//! # stp-sat-sweep — facade crate
+//!
+//! Re-exports every crate of the workspace so that examples, integration
+//! tests and downstream users can depend on a single package.
+//!
+//! The workspace reproduces *"A Semi-Tensor Product based Circuit Simulation
+//! for SAT-sweeping"* (DATE 2024). See the repository `README.md` for the
+//! architecture overview and `DESIGN.md` for the system inventory.
+//!
+//! ```
+//! use stp_sat_sweep::netlist::Aig;
+//! use stp_sat_sweep::bitsim::PatternSet;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut aig = Aig::new();
+//! let a = aig.add_input("a");
+//! let b = aig.add_input("b");
+//! let g = aig.and(a, b);
+//! aig.add_output("y", g);
+//! let patterns = PatternSet::exhaustive(2);
+//! assert_eq!(patterns.num_patterns(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use bitsim;
+pub use netlist;
+pub use satsolver;
+pub use stp;
+pub use stp_sweep;
+pub use truthtable;
+pub use workloads;

@@ -1,0 +1,109 @@
+//! End-to-end integration tests spanning all crates: workload generation →
+//! redundancy injection → sweeping (both engines) → CEC verification, plus
+//! AIGER round trips of generated circuits.
+
+use stp_sat_sweep::netlist::{read_aiger_str, write_aiger_string};
+use stp_sat_sweep::stp_sweep::{cec, fraig, sweeper, SweepConfig};
+use stp_sat_sweep::workloads::{generators, hwmcc_suite, inject_redundancy, Scale};
+
+fn quick_config() -> SweepConfig {
+    SweepConfig {
+        num_initial_patterns: 64,
+        conflict_limit: 50_000,
+        ..SweepConfig::default()
+    }
+}
+
+#[test]
+fn stp_sweeping_recovers_injected_redundancy() {
+    let base = generators::ripple_carry_adder(6);
+    let redundant = inject_redundancy(&base, 0.5, 42);
+    assert!(redundant.num_ands() > base.num_ands());
+
+    let result = sweeper::sweep_stp(&redundant, &quick_config());
+    assert!(
+        result.aig.num_ands() < redundant.num_ands(),
+        "sweeping must remove part of the planted redundancy ({} -> {})",
+        redundant.num_ands(),
+        result.aig.num_ands()
+    );
+    assert!(cec::check_equivalence(&redundant, &result.aig, 500_000).equivalent);
+}
+
+#[test]
+fn both_engines_produce_equivalent_results_on_control_logic() {
+    let base = generators::random_control(12, 120, 8, 77);
+    let redundant = inject_redundancy(&base, 0.4, 77);
+
+    let baseline = fraig::sweep_fraig(&redundant, &SweepConfig {
+        num_initial_patterns: 64,
+        ..SweepConfig::baseline()
+    });
+    let stp = sweeper::sweep_stp(&redundant, &quick_config());
+
+    assert!(cec::check_equivalence(&redundant, &baseline.aig, 500_000).equivalent);
+    assert!(cec::check_equivalence(&redundant, &stp.aig, 500_000).equivalent);
+    // Both engines also stay equivalent to the original, irredundant circuit.
+    assert!(cec::check_equivalence(&base, &stp.aig, 500_000).equivalent);
+}
+
+#[test]
+fn stp_engine_uses_no_more_satisfiable_calls_than_baseline() {
+    let suite = hwmcc_suite(Scale::Tiny);
+    let mut stp_total = 0u64;
+    let mut baseline_total = 0u64;
+    for bench in suite.iter().take(5) {
+        let baseline = fraig::sweep_fraig(&bench.aig, &SweepConfig {
+            num_initial_patterns: 64,
+            ..SweepConfig::baseline()
+        });
+        let stp = sweeper::sweep_stp(&bench.aig, &quick_config());
+        baseline_total += baseline.report.sat_calls_sat;
+        stp_total += stp.report.sat_calls_sat;
+    }
+    assert!(
+        stp_total <= baseline_total,
+        "STP sweeping must reduce satisfiable SAT calls overall ({stp_total} vs {baseline_total})"
+    );
+}
+
+#[test]
+fn sweeping_never_grows_a_network() {
+    for (idx, bench) in hwmcc_suite(Scale::Tiny).into_iter().enumerate() {
+        if idx % 3 != 0 {
+            continue; // keep the test fast; the bench harness covers all
+        }
+        let result = sweeper::sweep_stp(&bench.aig, &quick_config());
+        assert!(
+            result.aig.num_ands() <= bench.aig.num_ands(),
+            "{} grew from {} to {}",
+            bench.name,
+            bench.aig.num_ands(),
+            result.aig.num_ands()
+        );
+    }
+}
+
+#[test]
+fn aiger_round_trip_of_generated_circuits() {
+    let circuits = vec![
+        generators::barrel_shifter(8),
+        generators::array_multiplier(3),
+        generators::priority_encoder(8),
+    ];
+    for aig in circuits {
+        let text = write_aiger_string(&aig);
+        let parsed = read_aiger_str(&text).expect("round trip parses");
+        assert!(cec::check_equivalence(&aig, &parsed, 200_000).equivalent);
+    }
+}
+
+#[test]
+fn swept_network_round_trips_through_aiger() {
+    let base = generators::max_unit(6);
+    let redundant = inject_redundancy(&base, 0.4, 3);
+    let swept = sweeper::sweep_stp(&redundant, &quick_config());
+    let text = write_aiger_string(&swept.aig);
+    let parsed = read_aiger_str(&text).expect("round trip parses");
+    assert!(cec::check_equivalence(&base, &parsed, 500_000).equivalent);
+}

@@ -1,0 +1,92 @@
+//! Cross-simulator consistency: the word-parallel AIG simulator, the
+//! per-pattern k-LUT baseline and the STP simulator (all-nodes and
+//! specified-nodes modes) must agree on every output for every workload.
+
+use stp_sat_sweep::bitsim::{AigSimulator, LutSimulator, PatternSet};
+use stp_sat_sweep::netlist::lutmap;
+use stp_sat_sweep::stp_sweep::stp_sim::StpSimulator;
+use stp_sat_sweep::stp_sweep::window::WindowIndex;
+use stp_sat_sweep::workloads::{epfl_suite, generators, Scale};
+
+#[test]
+fn all_three_simulators_agree_on_the_epfl_suite() {
+    for bench in epfl_suite(Scale::Tiny) {
+        let aig = &bench.aig;
+        let patterns = PatternSet::random(aig.num_inputs(), 128, 0xAB);
+        let aig_state = AigSimulator::new(aig).run(&patterns);
+        for k in [4, 6] {
+            let lut = lutmap::map_to_luts(aig, k);
+            let lut_state = LutSimulator::new(&lut).run(&patterns);
+            let stp_state = StpSimulator::new(&lut).simulate_all(&patterns);
+            for o in 0..aig.num_outputs() {
+                let reference = aig_state.output_signature(aig, o);
+                assert_eq!(
+                    reference,
+                    lut_state.output_signature(&lut, o),
+                    "{}: bitwise LUT simulation differs on output {o} (k={k})",
+                    bench.name
+                );
+                assert_eq!(
+                    reference,
+                    stp_state.output_signature(&lut, o),
+                    "{}: STP simulation differs on output {o} (k={k})",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn specified_node_simulation_agrees_with_full_simulation() {
+    let aig = generators::array_multiplier(4);
+    let lut = lutmap::map_to_luts(&aig, 6);
+    let patterns = PatternSet::random(aig.num_inputs(), 200, 0x5EED);
+    let sim = StpSimulator::new(&lut);
+    let all = sim.simulate_all(&patterns);
+    let targets: Vec<_> = lut.lut_ids().collect();
+    // Simulate in several small target batches, as the sweeper does.
+    for chunk in targets.chunks(3) {
+        let result = sim.simulate_nodes(&patterns, chunk);
+        for &t in chunk {
+            assert_eq!(&result[&t], all.signature(t), "node {t}");
+        }
+    }
+}
+
+#[test]
+fn window_simulation_agrees_with_bitwise_simulation() {
+    let circuits = vec![
+        generators::restoring_divider(4),
+        generators::majority_voter(9),
+        generators::random_control(10, 150, 8, 5),
+    ];
+    for aig in circuits {
+        let patterns = PatternSet::random(aig.num_inputs(), 96, 7);
+        let reference = AigSimulator::new(&aig).run(&patterns);
+        let index = WindowIndex::build(&aig, 10);
+        let targets: Vec<_> = aig.and_ids().collect();
+        let windowed = index.simulate_targets(&aig, &patterns, &targets);
+        for &t in &targets {
+            assert_eq!(&windowed[&t], reference.signature(t), "node {t}");
+        }
+    }
+}
+
+#[test]
+fn exhaustive_and_random_simulation_agree_on_small_circuits() {
+    let aig = generators::restoring_sqrt(3);
+    let exhaustive = PatternSet::exhaustive(aig.num_inputs());
+    let state = AigSimulator::new(&aig).run(&exhaustive);
+    for p in 0..exhaustive.num_patterns() {
+        let assignment = exhaustive.assignment(p);
+        let reference = aig.evaluate(&assignment);
+        for (o, &expected) in reference.iter().enumerate() {
+            assert_eq!(
+                state.output_signature(&aig, o).get_bit(p),
+                expected,
+                "pattern {p}, output {o}"
+            );
+        }
+    }
+}
