@@ -1,5 +1,4 @@
-//! Ablation study of the STP sweeper's design choices (the per-experiment
-//! index of DESIGN.md):
+//! Ablation study of the STP sweeper's design choices:
 //!
 //! * exhaustive window refinement on/off;
 //! * SAT-guided initial patterns on/off;

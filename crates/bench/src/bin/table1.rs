@@ -12,7 +12,10 @@
 //! The paper reports parity on `TA` and a ~7.2× average speed-up on `TL`;
 //! the shape (not the absolute numbers) is what this harness reproduces.
 //!
-//! Usage: `cargo run -p bench --release --bin table1 -- [--scale tiny|small|large] [--patterns N] [--lut-k K]`
+//! Usage: `cargo run -p bench --release --bin table1 -- [--scale tiny|small|large] [--patterns N] [--lut-k K] [--json PATH]`
+//!
+//! With `--json PATH` the measured numbers are also written as a JSON
+//! document (the format of the checked-in `BENCH_baseline.json`).
 
 use bench::{arg_value, geometric_mean, parse_scale, timed};
 use bitsim::{AigSimulator, LutSimulator, PatternSet};
@@ -43,6 +46,7 @@ fn main() {
     let mut tl_base_all = Vec::new();
     let mut ta_stp_all = Vec::new();
     let mut tl_stp_all = Vec::new();
+    let mut json_rows = Vec::new();
 
     for bench in epfl_suite(scale) {
         let aig = &bench.aig;
@@ -70,6 +74,20 @@ fn main() {
         ta_stp_all.push(ta_stp.as_secs_f64());
         tl_stp_all.push(tl_stp.as_secs_f64());
 
+        json_rows.push(format!(
+            "    {{\"benchmark\": \"{}\", \"gates\": {}, \"ta_base_s\": {:.6}, \
+             \"ta_stp_s\": {:.6}, \"xa\": {:.3}, \"tl_base_s\": {:.6}, \
+             \"tl_stp_s\": {:.6}, \"xl\": {:.3}}}",
+            bench.name,
+            aig.num_ands(),
+            ta_base.as_secs_f64(),
+            ta_stp.as_secs_f64(),
+            xa,
+            tl_base.as_secs_f64(),
+            tl_stp.as_secs_f64(),
+            xl
+        ));
+
         println!(
             "{:<12} {:>8} {:>9.3}s {:>9.3}s {:>6.2}x {:>9.3}s {:>9.3}s {:>6.2}x",
             bench.name,
@@ -96,7 +114,21 @@ fn main() {
     );
     println!(
         "Imp. (old/new): TA = {:.2}x, TL = {:.2}x   (paper: TA 0.99x, TL 7.18x)",
-        geometric_mean(ta_ratios),
-        geometric_mean(tl_ratios)
+        geometric_mean(ta_ratios.iter().copied()),
+        geometric_mean(tl_ratios.iter().copied())
     );
+
+    if let Some(path) = arg_value(&args, "--json") {
+        let document = format!(
+            "{{\n  \"table\": \"table1_simulation\",\n  \"scale\": \"{scale:?}\",\n  \
+             \"patterns\": {num_patterns},\n  \"lut_k\": {lut_k},\n  \"rows\": [\n{}\n  ],\n  \
+             \"geomean\": {{\"xa\": {:.3}, \"xl\": {:.3}}},\n  \
+             \"paper\": {{\"xa\": 0.99, \"xl\": 7.18}}\n}}\n",
+            json_rows.join(",\n"),
+            geometric_mean(ta_ratios),
+            geometric_mean(tl_ratios)
+        );
+        std::fs::write(&path, document).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
 }

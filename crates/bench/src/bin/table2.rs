@@ -57,8 +57,16 @@ fn main() {
         if verify {
             let b_ok = cec::check_equivalence(aig, &baseline.aig, 200_000);
             let s_ok = cec::check_equivalence(aig, &stp.aig, 200_000);
-            assert!(b_ok.equivalent, "{}: baseline sweep is not equivalent", bench.name);
-            assert!(s_ok.equivalent, "{}: STP sweep is not equivalent", bench.name);
+            assert!(
+                b_ok.equivalent,
+                "{}: baseline sweep is not equivalent",
+                bench.name
+            );
+            assert!(
+                s_ok.equivalent,
+                "{}: STP sweep is not equivalent",
+                bench.name
+            );
         }
 
         let rb = &baseline.report;

@@ -7,7 +7,7 @@
 //! * `table2` — regenerates Table II (SAT-sweeping: SAT calls, simulation
 //!   time and total runtime of the baseline FRAIG engine vs. the STP
 //!   engine on the HWMCC/IWLS-analog suite).
-//! * `ablation` — the design-choice ablations called out in DESIGN.md
+//! * `ablation` — the design-choice ablations
 //!   (window refinement on/off, SAT-guided patterns on/off, window limit).
 //!
 //! Criterion benches (`cargo bench -p bench`) cover the same comparisons on

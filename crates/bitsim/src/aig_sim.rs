@@ -3,6 +3,19 @@
 use crate::{PatternSet, Signature};
 use netlist::{Aig, AigNode, NodeId};
 
+/// The word-parallel AND of two fanin signatures with complements applied as
+/// branchless XOR masks; `words` bounds the output length.
+fn and_words(s0: &Signature, c0: bool, s1: &Signature, c1: bool, words: usize) -> Vec<u64> {
+    let m0 = if c0 { u64::MAX } else { 0 };
+    let m1 = if c1 { u64::MAX } else { 0 };
+    s0.words()
+        .iter()
+        .zip(s1.words())
+        .take(words)
+        .map(|(&a, &b)| (a ^ m0) & (b ^ m1))
+        .collect()
+}
+
 /// Simulation state: one packed signature per AIG node.
 #[derive(Debug, Clone)]
 pub struct AigSimState {
@@ -78,18 +91,13 @@ impl<'a> AigSimulator<'a> {
                 AigNode::And { fanin0, fanin1 } => {
                     let s0 = &signatures[fanin0.node()];
                     let s1 = &signatures[fanin1.node()];
-                    let mut out = vec![0u64; words];
-                    for w in 0..words {
-                        let mut a = s0.words()[w];
-                        let mut b = s1.words()[w];
-                        if fanin0.is_complemented() {
-                            a = !a;
-                        }
-                        if fanin1.is_complemented() {
-                            b = !b;
-                        }
-                        out[w] = a & b;
-                    }
+                    let out = and_words(
+                        s0,
+                        fanin0.is_complemented(),
+                        s1,
+                        fanin1.is_complemented(),
+                        words,
+                    );
                     Signature::from_words(n, out)
                 }
             };
@@ -142,18 +150,13 @@ impl<'a> AigSimulator<'a> {
                     let s0: &Signature = &signatures[fanin0.node()];
                     let s1: &Signature = &signatures[fanin1.node()];
                     let words = new_n.div_ceil(64).max(1);
-                    let mut out = vec![0u64; words];
-                    for w in 0..words {
-                        let mut a = s0.words()[w];
-                        let mut b = s1.words()[w];
-                        if fanin0.is_complemented() {
-                            a = !a;
-                        }
-                        if fanin1.is_complemented() {
-                            b = !b;
-                        }
-                        out[w] = a & b;
-                    }
+                    let out = and_words(
+                        s0,
+                        fanin0.is_complemented(),
+                        s1,
+                        fanin1.is_complemented(),
+                        words,
+                    );
                     Signature::from_words(new_n, out)
                 }
             };

@@ -69,8 +69,9 @@ impl<'a> LutSimulator<'a> {
             "pattern set input count must match the network"
         );
         let n = patterns.num_patterns();
-        let mut signatures: Vec<Signature> =
-            (0..self.net.num_nodes()).map(|_| Signature::zeros(n)).collect();
+        let mut signatures: Vec<Signature> = (0..self.net.num_nodes())
+            .map(|_| Signature::zeros(n))
+            .collect();
         // Per-pattern evaluation: this is intentionally the "slow" baseline.
         for p in 0..n {
             for id in self.net.node_ids() {
@@ -125,8 +126,8 @@ mod tests {
         for p in 0..32 {
             let assignment = patterns.assignment(p);
             let expected = lut.evaluate(&assignment);
-            for o in 0..lut.num_pos() {
-                assert_eq!(state.output_signature(&lut, o).get_bit(p), expected[o]);
+            for (o, &exp) in expected.iter().enumerate() {
+                assert_eq!(state.output_signature(&lut, o).get_bit(p), exp);
             }
         }
     }

@@ -59,9 +59,7 @@ impl PatternSet {
         assert!(num_inputs <= 24, "exhaustive pattern set too large");
         let num_patterns = 1usize << num_inputs;
         let inputs = (0..num_inputs)
-            .map(|i| {
-                Signature::from_bits((0..num_patterns).map(move |p| (p >> i) & 1 == 1))
-            })
+            .map(|i| Signature::from_bits((0..num_patterns).map(move |p| (p >> i) & 1 == 1)))
             .collect();
         PatternSet {
             inputs,
@@ -210,10 +208,7 @@ mod tests {
         // "0","1","1","0","1" → but with right-to-left storage pattern 9 is
         // the left-most column.
         let first_paper_pattern: Vec<bool> = (0..5).map(|i| p.value(i, 9)).collect();
-        assert_eq!(
-            first_paper_pattern,
-            vec![false, true, true, false, true]
-        );
+        assert_eq!(first_paper_pattern, vec![false, true, true, false, true]);
     }
 
     #[test]

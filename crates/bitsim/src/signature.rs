@@ -46,10 +46,7 @@ impl Signature {
 
     /// Builds a signature from packed words (little-endian bit order).
     pub fn from_words(len: usize, words: Vec<u64>) -> Self {
-        let mut s = Signature {
-            words,
-            len,
-        };
+        let mut s = Signature { words, len };
         s.words.resize(len.div_ceil(64).max(1), 0);
         s.mask_tail();
         s
@@ -217,12 +214,7 @@ impl fmt::Debug for Signature {
         if self.len <= 64 {
             write!(f, "Signature({})", self.to_binary_string())
         } else {
-            write!(
-                f,
-                "Signature(len={}, ones={})",
-                self.len,
-                self.count_ones()
-            )
+            write!(f, "Signature(len={}, ones={})", self.len, self.count_ones())
         }
     }
 }

@@ -134,7 +134,10 @@ mod tests {
         let a = adder(4, false);
         let b = adder(4, true);
         let result = check_equivalence(&a, &b, 100_000);
-        assert!(result.equivalent, "structural variants compute the same sum");
+        assert!(
+            result.equivalent,
+            "structural variants compute the same sum"
+        );
         assert!(result.counterexample.is_none());
     }
 

@@ -288,8 +288,14 @@ mod tests {
         assert_eq!(
             classes.constants(),
             &[
-                ConstantCandidate { node: 2, value: false },
-                ConstantCandidate { node: 4, value: true }
+                ConstantCandidate {
+                    node: 2,
+                    value: false
+                },
+                ConstantCandidate {
+                    node: 4,
+                    value: true
+                }
             ]
         );
         assert_eq!(classes.num_candidates(), 2);
@@ -304,13 +310,9 @@ mod tests {
         ]);
         assert_eq!(classes.classes()[0].len(), 3);
         // A counter-example distinguishes node 8 from 3 and 5.
-        let new: HashMap<NodeId, Signature> = [
-            (3, sig(&[0])),
-            (5, sig(&[0])),
-            (8, sig(&[1])),
-        ]
-        .into_iter()
-        .collect();
+        let new: HashMap<NodeId, Signature> = [(3, sig(&[0])), (5, sig(&[0])), (8, sig(&[1]))]
+            .into_iter()
+            .collect();
         let moved = classes.refine(&new);
         assert!(moved > 0);
         assert_eq!(classes.classes().len(), 1);
@@ -322,8 +324,9 @@ mod tests {
         let mut classes = build(&[(3, sig(&[0, 1])), (5, sig(&[1, 0]))]);
         assert_eq!(classes.classes().len(), 1);
         // New evidence consistent with complementation must not split them.
-        let new: HashMap<NodeId, Signature> =
-            [(3, sig(&[1, 1, 0])), (5, sig(&[0, 0, 1]))].into_iter().collect();
+        let new: HashMap<NodeId, Signature> = [(3, sig(&[1, 1, 0])), (5, sig(&[0, 0, 1]))]
+            .into_iter()
+            .collect();
         let moved = classes.refine(&new);
         assert_eq!(classes.classes().len(), 1);
         assert_eq!(moved, 0);

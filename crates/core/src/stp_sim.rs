@@ -244,10 +244,7 @@ impl<'a> StpSimulator<'a> {
             };
             values.insert(root, sig);
         }
-        targets
-            .iter()
-            .map(|&t| (t, values[&t].clone()))
-            .collect()
+        targets.iter().map(|&t| (t, values[&t].clone())).collect()
     }
 
     /// Collapses the transitive fanin of `targets` into cuts with at most
@@ -339,8 +336,7 @@ impl<'a> StpSimulator<'a> {
                         let inners: Vec<TruthTable> = fanins
                             .iter()
                             .map(|&f| {
-                                let exposed_f =
-                                    exposed[f].as_ref().expect("fanins precede node");
+                                let exposed_f = exposed[f].as_ref().expect("fanins precede node");
                                 if exposed_f.len() == 1 && exposed_f[0] == f {
                                     let pos = merged
                                         .iter()

@@ -152,7 +152,11 @@ pub(crate) fn run_sweep(aig: &Aig, config: &SweepConfig, engine: Engine) -> Swee
             report.sat_time += sat_start.elapsed();
             match outcome {
                 EquivOutcome::Equivalent => {
-                    let constant = if candidate.value { Lit::TRUE } else { Lit::FALSE };
+                    let constant = if candidate.value {
+                        Lit::TRUE
+                    } else {
+                        Lit::FALSE
+                    };
                     result.replace_node(candidate.node, constant);
                     merged[candidate.node] = Some(constant);
                     classes.remove(candidate.node);
@@ -297,8 +301,7 @@ pub(crate) fn run_sweep(aig: &Aig, config: &SweepConfig, engine: Engine) -> Swee
     report.sat_calls_total = query_stats.total_calls - pattern_gen_stats.total_calls;
     report.sat_calls_sat = query_stats.sat_calls - pattern_gen_stats.sat_calls;
     report.sat_calls_unsat = query_stats.unsat_calls - pattern_gen_stats.unsat_calls;
-    report.sat_calls_undet =
-        query_stats.undetermined_calls - pattern_gen_stats.undetermined_calls;
+    report.sat_calls_undet = query_stats.undetermined_calls - pattern_gen_stats.undetermined_calls;
 
     let (cleaned, _) = result.cleanup();
     report.gates_after = cleaned.num_ands();
@@ -430,7 +433,10 @@ mod tests {
     fn stp_sweep_substitutes_constants() {
         let aig = redundant_circuit();
         let result = sweep_stp(&aig, &SweepConfig::default());
-        assert!(result.report.constants >= 1, "the planted constant cone is found");
+        assert!(
+            result.report.constants >= 1,
+            "the planted constant cone is found"
+        );
     }
 
     #[test]
@@ -451,10 +457,7 @@ mod tests {
             without_windows.report.sat_calls_total
         );
         // Both variants agree on the final size.
-        assert_eq!(
-            with_windows.aig.num_ands(),
-            without_windows.aig.num_ands()
-        );
+        assert_eq!(with_windows.aig.num_ands(), without_windows.aig.num_ands());
     }
 
     #[test]

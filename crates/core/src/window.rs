@@ -93,12 +93,22 @@ impl WindowIndex {
                             // Both fanins are the same node (possibly with
                             // different polarity); express directly.
                             let v = TruthTable::variable(1, 0);
-                            let t0 = if fanin0.is_complemented() { !&v } else { v.clone() };
+                            let t0 = if fanin0.is_complemented() {
+                                !&v
+                            } else {
+                                v.clone()
+                            };
                             let t1 = if fanin1.is_complemented() { !&v } else { v };
                             &t0 & &t1
                         } else {
-                            let pos0 = leaves.iter().position(|&l| l == fanin0.node()).expect("present");
-                            let pos1 = leaves.iter().position(|&l| l == fanin1.node()).expect("present");
+                            let pos0 = leaves
+                                .iter()
+                                .position(|&l| l == fanin0.node())
+                                .expect("present");
+                            let pos1 = leaves
+                                .iter()
+                                .position(|&l| l == fanin1.node())
+                                .expect("present");
                             let v0 = TruthTable::variable(2, pos0);
                             let v1 = TruthTable::variable(2, pos1);
                             let t0 = if fanin0.is_complemented() { !&v0 } else { v0 };
@@ -138,17 +148,15 @@ impl WindowIndex {
     ///   (the pair is dropped as a merge candidate — never merged — so
     ///   soundness of the sweep is unaffected).
     /// * `None` — the windows are not comparable; a SAT query is needed.
-    pub fn compare(
-        &self,
-        aig: &Aig,
-        a: NodeId,
-        b: NodeId,
-        complemented: bool,
-    ) -> Option<bool> {
+    pub fn compare(&self, aig: &Aig, a: NodeId, b: NodeId, complemented: bool) -> Option<bool> {
         let wa = &self.windows[a];
         let wb = &self.windows[b];
         if wa.leaves == wb.leaves {
-            let tb = if complemented { !&wb.table } else { wb.table.clone() };
+            let tb = if complemented {
+                !&wb.table
+            } else {
+                wb.table.clone()
+            };
             let equal = wa.table == tb;
             if !equal {
                 return Some(false);

@@ -688,6 +688,8 @@ mod tests {
     }
 
     #[test]
+    // The expected majority value must stay in its textbook two-level form.
+    #[allow(clippy::nonminimal_bool)]
     fn derived_gates_are_correct() {
         let mut aig = Aig::new();
         let a = aig.add_input("a");

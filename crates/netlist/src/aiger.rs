@@ -78,8 +78,8 @@ pub fn read_aiger_bytes(bytes: &[u8]) -> Result<Aig, AigerError> {
         .iter()
         .position(|&b| b == b'\n')
         .ok_or_else(|| format_err("missing header line"))?;
-    let header = std::str::from_utf8(&bytes[..header_end])
-        .map_err(|_| format_err("header is not utf-8"))?;
+    let header =
+        std::str::from_utf8(&bytes[..header_end]).map_err(|_| format_err("header is not utf-8"))?;
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() < 6 {
         return Err(format_err("header must be '<fmt> M I L O A'"));
@@ -116,11 +116,11 @@ pub fn read_aiger_bytes(bytes: &[u8]) -> Result<Aig, AigerError> {
 /// to node id).
 fn map_lit(aiger_lit: usize, var_map: &[Option<Lit>]) -> Result<Lit, AigerError> {
     let var = aiger_lit / 2;
-    let base = var_map
-        .get(var)
-        .copied()
-        .flatten()
-        .ok_or_else(|| format_err(format!("literal {aiger_lit} references undefined var {var}")))?;
+    let base = var_map.get(var).copied().flatten().ok_or_else(|| {
+        format_err(format!(
+            "literal {aiger_lit} references undefined var {var}"
+        ))
+    })?;
     Ok(base.complement_if(aiger_lit % 2 == 1))
 }
 
@@ -167,7 +167,7 @@ fn read_ascii(
             .trim()
             .parse()
             .map_err(|_| format_err(format!("invalid input literal '{line}'")))?;
-        if lit % 2 != 0 {
+        if !lit.is_multiple_of(2) {
             return Err(format_err("input literal must be even"));
         }
         let input = aig.add_input(format!("pi{idx}"));
@@ -349,7 +349,8 @@ pub fn write_aiger_string(aig: &Aig) -> String {
             and_nodes.push(id);
         }
     }
-    let lit_of = |lit: Lit| -> usize { 2 * var_of_node[lit.node()] + lit.is_complemented() as usize };
+    let lit_of =
+        |lit: Lit| -> usize { 2 * var_of_node[lit.node()] + lit.is_complemented() as usize };
     let m = next_var - 1;
     let mut out = String::new();
     out.push_str(&format!(

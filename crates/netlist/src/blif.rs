@@ -80,9 +80,7 @@ pub fn write_blif_string(net: &LutNetwork, model_name: &str) -> String {
     out.push('\n');
 
     // The constant node, only when referenced.
-    let const_used = net
-        .node_ids()
-        .any(|id| net.node(id).fanins().contains(&0))
+    let const_used = net.node_ids().any(|id| net.node(id).fanins().contains(&0))
         || net.outputs().iter().any(|o| o.node == 0);
     if const_used {
         out.push_str(".names n0\n");
@@ -110,7 +108,11 @@ pub fn write_blif_string(net: &LutNetwork, model_name: &str) -> String {
 
     // Output drivers: a buffer or inverter per primary output.
     for output in net.outputs() {
-        out.push_str(&format!(".names {} {}\n", node_name(output.node), output.name));
+        out.push_str(&format!(
+            ".names {} {}\n",
+            node_name(output.node),
+            output.name
+        ));
         if output.complemented {
             out.push_str("0 1\n");
         } else {
@@ -126,7 +128,11 @@ pub fn write_blif_string(net: &LutNetwork, model_name: &str) -> String {
 /// # Errors
 ///
 /// Returns [`BlifError::Io`] on I/O failure.
-pub fn write_blif(net: &LutNetwork, model_name: &str, path: impl AsRef<Path>) -> Result<(), BlifError> {
+pub fn write_blif(
+    net: &LutNetwork,
+    model_name: &str,
+    path: impl AsRef<Path>,
+) -> Result<(), BlifError> {
     fs::write(path, write_blif_string(net, model_name))?;
     Ok(())
 }
@@ -144,8 +150,8 @@ pub fn read_blif_str(text: &str) -> Result<LutNetwork, BlifError> {
     let mut current = String::new();
     for raw in text.lines() {
         let line = raw.split('#').next().unwrap_or("").trim_end();
-        if line.ends_with('\\') {
-            current.push_str(&line[..line.len() - 1]);
+        if let Some(stripped) = line.strip_suffix('\\') {
+            current.push_str(stripped);
             current.push(' ');
             continue;
         }
@@ -187,10 +193,9 @@ pub fn read_blif_str(text: &str) -> Result<LutNetwork, BlifError> {
                     let parts: Vec<&str> = row_line.split_whitespace().collect();
                     match (fanins.is_empty(), parts.len()) {
                         (true, 1) => rows.push((String::new(), parts[0].chars().next().unwrap())),
-                        (false, 2) => rows.push((
-                            parts[0].to_string(),
-                            parts[1].chars().next().unwrap(),
-                        )),
+                        (false, 2) => {
+                            rows.push((parts[0].to_string(), parts[1].chars().next().unwrap()))
+                        }
                         _ => return Err(format_err(format!("malformed cover row '{row_line}'"))),
                     }
                 }
@@ -228,11 +233,7 @@ pub fn read_blif_str(text: &str) -> Result<LutNetwork, BlifError> {
                 continue;
             }
             let cover = slot.take().expect("checked above");
-            let fanin_ids: Vec<usize> = cover
-                .fanins
-                .iter()
-                .map(|f| by_name[f])
-                .collect();
+            let fanin_ids: Vec<usize> = cover.fanins.iter().map(|f| by_name[f]).collect();
             let num_vars = fanin_ids.len();
             let mut table = TruthTable::zeros(num_vars);
             for (pattern, value) in &cover.rows {
@@ -245,10 +246,7 @@ pub fn read_blif_str(text: &str) -> Result<LutNetwork, BlifError> {
                     indices = match ch {
                         '0' => indices,
                         '1' => indices.iter().map(|&x| x | (1 << j)).collect(),
-                        '-' => indices
-                            .iter()
-                            .flat_map(|&x| [x, x | (1 << j)])
-                            .collect(),
+                        '-' => indices.iter().flat_map(|&x| [x, x | (1 << j)]).collect(),
                         _ => return Err(format_err(format!("invalid cover character '{ch}'"))),
                     };
                 }
@@ -348,7 +346,11 @@ mod tests {
             let b = bits & 2 == 2;
             let sel = bits & 4 == 4;
             let expected = if sel { b } else { a };
-            assert_eq!(net.evaluate(&[a, b, sel]), vec![expected], "bits {bits:03b}");
+            assert_eq!(
+                net.evaluate(&[a, b, sel]),
+                vec![expected],
+                "bits {bits:03b}"
+            );
         }
     }
 

@@ -80,7 +80,9 @@ impl Cut {
         if self.leaves.len() > other.leaves.len() {
             return false;
         }
-        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+        self.leaves
+            .iter()
+            .all(|l| other.leaves.binary_search(l).is_ok())
     }
 }
 

@@ -30,7 +30,7 @@ struct MappedCut {
 ///
 /// Panics if `k` is zero or larger than [`TruthTable::MAX_VARS`].
 pub fn map_to_luts(aig: &Aig, k: usize) -> LutNetwork {
-    assert!(k >= 1 && k <= TruthTable::MAX_VARS, "invalid LUT size");
+    assert!((1..=TruthTable::MAX_VARS).contains(&k), "invalid LUT size");
     let params = CutParams {
         max_leaves: k,
         max_cuts: 8,
@@ -113,11 +113,7 @@ pub fn map_to_luts(aig: &Aig, k: usize) -> LutNetwork {
     for output in aig.outputs() {
         let driver = output.lit.node();
         let lut_id = instantiate(aig, driver, &best, &mut net, &mut node_map);
-        net.add_output(
-            output.name.clone(),
-            lut_id,
-            output.lit.is_complemented(),
-        );
+        net.add_output(output.name.clone(), lut_id, output.lit.is_complemented());
     }
     net
 }

@@ -17,7 +17,13 @@ fn arb_recipe() -> impl Strategy<Value = AigRecipe> {
     (
         2usize..6,
         proptest::collection::vec(
-            (0u8..5, any::<usize>(), any::<usize>(), any::<bool>(), any::<bool>()),
+            (
+                0u8..5,
+                any::<usize>(),
+                any::<usize>(),
+                any::<bool>(),
+                any::<bool>(),
+            ),
             1..30,
         ),
     )
@@ -53,8 +59,9 @@ fn build(recipe: &AigRecipe) -> Aig {
 fn exhaustive_outputs(aig: &Aig) -> Vec<Vec<bool>> {
     (0..(1usize << aig.num_inputs()))
         .map(|bits| {
-            let assignment: Vec<bool> =
-                (0..aig.num_inputs()).map(|j| (bits >> j) & 1 == 1).collect();
+            let assignment: Vec<bool> = (0..aig.num_inputs())
+                .map(|j| (bits >> j) & 1 == 1)
+                .collect();
             aig.evaluate(&assignment)
         })
         .collect()

@@ -211,7 +211,11 @@ impl<'a> CircuitSat<'a> {
     /// Finds an assignment satisfying all given AIG literals simultaneously
     /// (used by SAT-guided pattern generation).  Returns `None` if no such
     /// assignment exists or the budget ran out.
-    pub fn find_assignment(&mut self, constraints: &[Lit], conflict_budget: u64) -> Option<Vec<bool>> {
+    pub fn find_assignment(
+        &mut self,
+        constraints: &[Lit],
+        conflict_budget: u64,
+    ) -> Option<Vec<bool>> {
         let assumptions: Vec<SatLit> = constraints.iter().map(|&l| self.lit_to_sat(l)).collect();
         let result = self.solver.solve_limited(&assumptions, conflict_budget);
         self.record(result);
@@ -243,7 +247,10 @@ mod tests {
     fn proves_true_equivalence() {
         let (aig, f1, f2, _) = redundant_aig();
         let mut sat = CircuitSat::new(&aig);
-        assert_eq!(sat.prove_equivalent(f1, f2, 10_000), EquivOutcome::Equivalent);
+        assert_eq!(
+            sat.prove_equivalent(f1, f2, 10_000),
+            EquivOutcome::Equivalent
+        );
         assert_eq!(sat.query_stats().unsat_calls, 1);
     }
 

@@ -280,10 +280,8 @@ mod tests {
                         }
                     }
                     AigNode::And { fanin0, fanin1 } => {
-                        let v0 = assignment[vars[fanin0.node()].index()]
-                            ^ fanin0.is_complemented();
-                        let v1 = assignment[vars[fanin1.node()].index()]
-                            ^ fanin1.is_complemented();
+                        let v0 = assignment[vars[fanin0.node()].index()] ^ fanin0.is_complemented();
+                        let v1 = assignment[vars[fanin1.node()].index()] ^ fanin1.is_complemented();
                         v0 && v1
                     }
                 };

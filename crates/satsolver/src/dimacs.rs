@@ -62,7 +62,9 @@ pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
         if let Some(rest) = line.strip_prefix('p') {
             let fields: Vec<&str> = rest.split_whitespace().collect();
             if fields.len() < 3 || fields[0] != "cnf" {
-                return Err(ParseDimacsError::new("header must be 'p cnf <vars> <clauses>'"));
+                return Err(ParseDimacsError::new(
+                    "header must be 'p cnf <vars> <clauses>'",
+                ));
             }
             let vars: usize = fields[1]
                 .parse()

@@ -138,7 +138,10 @@ impl Solver {
 
     /// Number of original (problem) clauses added so far.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+        self.clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count()
     }
 
     /// Solver statistics.
@@ -494,8 +497,7 @@ impl Solver {
         let mut conflicts_this_call = 0u64;
         let mut restarts = 0u64;
         let mut next_restart = Self::luby(restarts) * self.config.restart_base;
-        let mut learnt_limit =
-            self.config.learnt_limit_base + self.clauses.len() / 3;
+        let mut learnt_limit = self.config.learnt_limit_base + self.clauses.len() / 3;
 
         loop {
             if let Some(conflict) = self.propagate() {
@@ -528,8 +530,8 @@ impl Solver {
                 if conflicts_this_call >= next_restart {
                     restarts += 1;
                     self.stats.restarts += 1;
-                    next_restart = conflicts_this_call
-                        + Self::luby(restarts) * self.config.restart_base;
+                    next_restart =
+                        conflicts_this_call + Self::luby(restarts) * self.config.restart_base;
                     self.cancel_until(0);
                 }
                 if self.num_learnts > learnt_limit {
@@ -667,13 +669,10 @@ mod tests {
             let clause: Vec<SatLit> = row.iter().map(|&v| SatLit::positive(v)).collect();
             s.add_clause(&clause);
         }
-        for h in 0..holes {
-            for p1 in 0..pigeons {
-                for p2 in (p1 + 1)..pigeons {
-                    s.add_clause(&[
-                        SatLit::negative(grid[p1][h]),
-                        SatLit::negative(grid[p2][h]),
-                    ]);
+        for (p1, row1) in grid.iter().enumerate() {
+            for row2 in &grid[p1 + 1..] {
+                for (&v1, &v2) in row1.iter().zip(row2.iter()) {
+                    s.add_clause(&[SatLit::negative(v1), SatLit::negative(v2)]);
                 }
             }
         }
@@ -692,7 +691,7 @@ mod tests {
         let (mut s, grid) = pigeonhole(4, 4);
         assert_eq!(s.solve(), SolveResult::Sat);
         // Each pigeon sits in exactly one hole of the model, no sharing.
-        let mut used = vec![false; 4];
+        let mut used = [false; 4];
         for row in &grid {
             let holes: Vec<usize> = row
                 .iter()
@@ -700,12 +699,9 @@ mod tests {
                 .filter(|(_, &v)| s.model_value(v) == Some(true))
                 .map(|(h, _)| h)
                 .collect();
-            assert!(!holes.is_empty());
-            for h in holes {
-                assert!(!used[h], "two pigeons share hole {h}");
-                used[h] = true;
-                break;
-            }
+            let h = *holes.first().expect("a satisfied pigeon clause");
+            assert!(!used[h], "two pigeons share hole {h}");
+            used[h] = true;
         }
     }
 

@@ -134,7 +134,7 @@ mod tests {
         assert!(BoolVec::TRUE.value());
         assert!(!BoolVec::FALSE.value());
         assert_eq!(BoolVec::from(true), BoolVec::TRUE);
-        assert_eq!(bool::from(BoolVec::FALSE), false);
+        assert!(!bool::from(BoolVec::FALSE));
     }
 
     #[test]

@@ -170,9 +170,7 @@ impl LogicMatrix {
 
     /// The structural matrix of the 3-input majority function.
     pub fn maj3() -> Self {
-        Self::from_fn(3, |a| {
-            (a[0] as u8 + a[1] as u8 + a[2] as u8) >= 2
-        })
+        Self::from_fn(3, |a| (a[0] as u8 + a[1] as u8 + a[2] as u8) >= 2)
     }
 
     /// Number of Boolean arguments `k`.
@@ -285,7 +283,10 @@ impl LogicMatrix {
     /// if the resulting arity would exceed [`LogicMatrix::MAX_ARITY`].
     #[must_use]
     pub fn stp_logic(&self, rhs: &LogicMatrix) -> LogicMatrix {
-        assert!(self.arity > 0, "cannot compose into a constant logic matrix");
+        assert!(
+            self.arity > 0,
+            "cannot compose into a constant logic matrix"
+        );
         let result_arity = rhs.arity + self.arity - 1;
         assert!(
             result_arity <= Self::MAX_ARITY,

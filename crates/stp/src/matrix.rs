@@ -231,14 +231,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = u64;
 
     fn index(&self, (row, col): (usize, usize)) -> &u64 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         &self.data[row * self.cols + col]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut u64 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         &mut self.data[row * self.cols + col]
     }
 }
@@ -292,10 +298,7 @@ mod tests {
     fn mul_rejects_bad_dims() {
         let a = Matrix::from_rows(&[&[1, 2], &[3, 4]]);
         let b = Matrix::from_rows(&[&[1, 2, 3]]);
-        assert!(matches!(
-            a.mul(&b),
-            Err(StpError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(a.mul(&b), Err(StpError::DimensionMismatch { .. })));
     }
 
     #[test]

@@ -85,9 +85,7 @@ mod tests {
     fn swap_matrix_swaps_boolean_vectors() {
         for a in [BoolVec::TRUE, BoolVec::FALSE] {
             for b in [BoolVec::TRUE, BoolVec::FALSE] {
-                let left = swap_matrix(2, 2)
-                    .stp(&a.to_matrix())
-                    .stp(&b.to_matrix());
+                let left = swap_matrix(2, 2).stp(&a.to_matrix()).stp(&b.to_matrix());
                 let right = b.to_matrix().stp(&a.to_matrix());
                 assert_eq!(left, right);
             }

@@ -75,7 +75,7 @@ mod tests {
         // outer = projection of input 0 composed with (f) gives f back.
         let f = TruthTable::from_hex(3, "e8").unwrap();
         let proj = TruthTable::variable(1, 0);
-        assert_eq!(compose(&proj, &[f.clone()]), f);
+        assert_eq!(compose(&proj, std::slice::from_ref(&f)), f);
     }
 
     #[test]
@@ -91,6 +91,9 @@ mod tests {
     }
 
     #[test]
+    // The expected value must stay written as NAND-of-NANDs, the structure
+    // under test.
+    #[allow(clippy::nonminimal_bool)]
     fn compose_nested_nand_tree() {
         // NAND(NAND(a, b), NAND(b, c)) over 3 leaves.
         let nand = TruthTable::from_binary_str(2, "0111").unwrap();

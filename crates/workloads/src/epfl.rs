@@ -43,12 +43,24 @@ pub fn epfl_suite(scale: Scale) -> Vec<EpflBenchmark> {
         make("sqrt", true, gen::restoring_sqrt(5 * f)),
         make("square", true, gen::squarer(6 * f)),
         make("arbiter", false, gen::round_robin_arbiter(8 * f.min(2))),
-        make("cavlc", false, gen::random_control(10, 160 * f, 11, 0xCA71C)),
+        make(
+            "cavlc",
+            false,
+            gen::random_control(10, 160 * f, 11, 0xCA71C),
+        ),
         make("ctrl", false, gen::random_control(7, 40 * f, 25, 0xC721)),
         make("dec", false, gen::decoder(5 + scale_steps(scale))),
         make("i2c", false, gen::random_control(16, 300 * f, 15, 0x12C)),
-        make("int2float", false, gen::random_control(11, 60 * f, 7, 0x1F10A7)),
-        make("mem_ctrl", false, gen::random_control(24, 900 * f, 22, 0xE3C7)),
+        make(
+            "int2float",
+            false,
+            gen::random_control(11, 60 * f, 7, 0x1F10A7),
+        ),
+        make(
+            "mem_ctrl",
+            false,
+            gen::random_control(24, 900 * f, 22, 0xE3C7),
+        ),
         make("priority", false, gen::priority_encoder(32 * f)),
         make("router", false, gen::crossbar_router(4, 4 * f)),
         make("voter", false, gen::majority_voter(8 * f + 1)),
@@ -73,9 +85,26 @@ mod tests {
         assert_eq!(suite.len(), 20);
         let names: Vec<&str> = suite.iter().map(|b| b.name).collect();
         for expected in [
-            "adder", "bar", "div", "hyp", "log2", "max", "multiplier", "sin", "sqrt", "square",
-            "arbiter", "cavlc", "ctrl", "dec", "i2c", "int2float", "mem_ctrl", "priority",
-            "router", "voter",
+            "adder",
+            "bar",
+            "div",
+            "hyp",
+            "log2",
+            "max",
+            "multiplier",
+            "sin",
+            "sqrt",
+            "square",
+            "arbiter",
+            "cavlc",
+            "ctrl",
+            "dec",
+            "i2c",
+            "int2float",
+            "mem_ctrl",
+            "priority",
+            "router",
+            "voter",
         ] {
             assert!(names.contains(&expected), "{expected} missing");
         }
@@ -97,9 +126,8 @@ mod tests {
     fn scaling_grows_circuits() {
         let small = epfl_suite(Scale::Tiny);
         let larger = epfl_suite(Scale::Small);
-        let sum = |suite: &[EpflBenchmark]| -> usize {
-            suite.iter().map(|b| b.aig.num_ands()).sum()
-        };
+        let sum =
+            |suite: &[EpflBenchmark]| -> usize { suite.iter().map(|b| b.aig.num_ands()).sum() };
         assert!(sum(&larger) > sum(&small));
     }
 }

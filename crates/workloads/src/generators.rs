@@ -345,7 +345,7 @@ pub fn round_robin_arbiter(n: usize) -> Aig {
     let mut grants = Vec::with_capacity(n);
     for i in 0..n {
         let mut cases = Vec::with_capacity(n);
-        for k in 0..n {
+        for (k, &ptr_k) in ptr_is.iter().enumerate() {
             // Requests strictly between k (inclusive) and i (exclusive),
             // walking circularly, must all be 0.
             let mut blockers = Vec::new();
@@ -355,7 +355,7 @@ pub fn round_robin_arbiter(n: usize) -> Aig {
                 j = (j + 1) % n;
             }
             let free = aig.and_many(&blockers);
-            let t = aig.and(ptr_is[k], req[i]);
+            let t = aig.and(ptr_k, req[i]);
             cases.push(aig.and(t, free));
         }
         grants.push(aig.or_many(&cases));
@@ -382,18 +382,18 @@ pub fn crossbar_router(n: usize, width: usize) -> Aig {
     let selects: Vec<Vec<Lit>> = (0..n)
         .map(|o| aig.add_inputs(&format!("sel{o}_"), sel_bits))
         .collect();
-    for o in 0..n {
+    for (o, select) in selects.iter().enumerate() {
         for b in 0..width {
             // Output o bit b = data[sel[o]][b].
             let mut cases = Vec::with_capacity(n);
-            for i in 0..n {
-                let match_terms: Vec<Lit> = selects[o]
+            for (i, data_word) in data.iter().enumerate() {
+                let match_terms: Vec<Lit> = select
                     .iter()
                     .enumerate()
                     .map(|(k, &s)| if (i >> k) & 1 == 1 { s } else { !s })
                     .collect();
                 let is_sel = aig.and_many(&match_terms);
-                cases.push(aig.and(is_sel, data[i][b]));
+                cases.push(aig.and(is_sel, data_word[b]));
             }
             let out = aig.or_many(&cases);
             aig.add_output(format!("o{o}_{b}"), out);
@@ -494,7 +494,11 @@ mod tests {
                 let mut inputs = to_bits(value, 8);
                 inputs.extend(to_bits(shift, 3));
                 let out = aig.evaluate(&inputs);
-                assert_eq!(from_bits(&out), (value << shift) & 0xFF, "{value} << {shift}");
+                assert_eq!(
+                    from_bits(&out),
+                    (value << shift) & 0xFF,
+                    "{value} << {shift}"
+                );
             }
         }
     }
@@ -547,7 +551,10 @@ mod tests {
         for x in 0..64usize {
             let out = aig.evaluate(&to_bits(x, 6));
             let root = from_bits(&out);
-            assert!(root * root <= x && (root + 1) * (root + 1) > x, "sqrt({x}) = {root}");
+            assert!(
+                root * root <= x && (root + 1) * (root + 1) > x,
+                "sqrt({x}) = {root}"
+            );
         }
     }
 
@@ -609,8 +616,12 @@ mod tests {
                 let mut inputs = to_bits(req, 4);
                 inputs.extend(to_bits(ptr, 2));
                 let out = aig.evaluate(&inputs);
-                let granted: Vec<usize> =
-                    out.iter().enumerate().filter(|(_, &g)| g).map(|(i, _)| i).collect();
+                let granted: Vec<usize> = out
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &g)| g)
+                    .map(|(i, _)| i)
+                    .collect();
                 if req == 0 {
                     assert!(granted.is_empty());
                 } else {
@@ -659,7 +670,7 @@ mod tests {
         assert_eq!(a.num_outputs(), 4);
         let c = random_control(8, 50, 4, 8);
         // Different seeds almost surely give different structure.
-        assert!(a.num_ands() != c.num_ands() || a.evaluate(&vec![true; 8]) != c.evaluate(&vec![true; 8]));
+        assert!(a.num_ands() != c.num_ands() || a.evaluate(&[true; 8]) != c.evaluate(&[true; 8]));
     }
 
     #[test]

@@ -104,7 +104,14 @@ mod tests {
     fn names_match_table2_rows() {
         let suite = hwmcc_suite(Scale::Tiny);
         let names: Vec<&str> = suite.iter().map(|b| b.name).collect();
-        for expected in ["6s100", "6s281b35", "beemfwt5b3", "oski2b1i", "b19", "leon2"] {
+        for expected in [
+            "6s100",
+            "6s281b35",
+            "beemfwt5b3",
+            "oski2b1i",
+            "b19",
+            "leon2",
+        ] {
             assert!(names.contains(&expected), "{expected} missing");
         }
     }

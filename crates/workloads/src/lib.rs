@@ -5,8 +5,8 @@
 //! here, so this crate generates *structural analogs*: circuits of the same
 //! families (arithmetic data paths, shifters, dividers, comparators,
 //! arbiters, decoders, seeded random control logic) whose DAG shape drives
-//! the simulators and sweepers through the same code paths.  See DESIGN.md
-//! for the substitution rationale.
+//! the simulators and sweepers through the same code paths.  See the
+//! repository `README.md` for the substitution rationale.
 //!
 //! * [`generators`] — parametric circuit generators (adders, multipliers,
 //!   barrel shifters, dividers, square roots, comparators, voters, decoders,

@@ -46,10 +46,10 @@ pub fn inject_redundancy(aig: &Aig, fraction: f64, seed: u64) -> Aig {
     }
 
     let resolve = |node: NodeId,
-                       complemented: bool,
-                       rng: &mut StdRng,
-                       duplicate: &[Option<Lit>],
-                       primary: &[Lit]| {
+                   complemented: bool,
+                   rng: &mut StdRng,
+                   duplicate: &[Option<Lit>],
+                   primary: &[Lit]| {
         let base = match duplicate[node] {
             Some(dup) if rng.gen_bool(0.5) => dup,
             _ => primary[node],
@@ -59,8 +59,20 @@ pub fn inject_redundancy(aig: &Aig, fraction: f64, seed: u64) -> Aig {
 
     for id in aig.node_ids() {
         if let AigNode::And { fanin0, fanin1 } = aig.node(id) {
-            let f0 = resolve(fanin0.node(), fanin0.is_complemented(), &mut rng, &duplicate, &primary);
-            let f1 = resolve(fanin1.node(), fanin1.is_complemented(), &mut rng, &duplicate, &primary);
+            let f0 = resolve(
+                fanin0.node(),
+                fanin0.is_complemented(),
+                &mut rng,
+                &duplicate,
+                &primary,
+            );
+            let f1 = resolve(
+                fanin1.node(),
+                fanin1.is_complemented(),
+                &mut rng,
+                &duplicate,
+                &primary,
+            );
             let lit = out.and(f0, f1);
             primary[id] = lit;
 
@@ -78,11 +90,7 @@ pub fn inject_redundancy(aig: &Aig, fraction: f64, seed: u64) -> Aig {
                 continue;
             };
             let table = cut_truth_table(aig, id, cut);
-            let leaf_lits: Vec<Lit> = cut
-                .leaves()
-                .iter()
-                .map(|&leaf| primary[leaf])
-                .collect();
+            let leaf_lits: Vec<Lit> = cut.leaves().iter().map(|&leaf| primary[leaf]).collect();
             let dup = synthesize_shannon(&mut out, &table, &leaf_lits);
             // Only keep duplicates that are structurally distinct (hashing
             // may collapse trivial cases back onto the original).
@@ -163,7 +171,11 @@ mod tests {
         aig.add_output("f", lit);
         for i in 0..16usize {
             let assignment: Vec<bool> = (0..4).map(|j| (i >> j) & 1 == 1).collect();
-            assert_eq!(aig.evaluate(&assignment)[0], table.get_bit(i), "minterm {i}");
+            assert_eq!(
+                aig.evaluate(&assignment)[0],
+                table.get_bit(i),
+                "minterm {i}"
+            );
         }
     }
 

@@ -12,7 +12,11 @@ use stp_sat_sweep::workloads::{epfl_suite, hwmcc_suite, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
-    let dir = PathBuf::from(args.get(1).cloned().unwrap_or_else(|| "benchmark-export".into()));
+    let dir = PathBuf::from(
+        args.get(1)
+            .cloned()
+            .unwrap_or_else(|| "benchmark-export".into()),
+    );
     let scale = match args.get(2).map(|s| s.as_str()) {
         Some("small") => Scale::Small,
         Some("large") => Scale::Large,

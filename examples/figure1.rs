@@ -6,8 +6,8 @@
 //! Run with: `cargo run --example figure1`
 
 use stp_sat_sweep::bitsim::PatternSet;
-use stp_sat_sweep::stp_sweep::stp_sim::{cut_limit, StpSimulator};
 use stp_sat_sweep::netlist::LutNetwork;
+use stp_sat_sweep::stp_sweep::stp_sim::{cut_limit, StpSimulator};
 use stp_sat_sweep::truthtable::TruthTable;
 
 fn main() {
@@ -44,7 +44,14 @@ fn main() {
 
     // Mode `a`: simulate every node.
     let all = sim.simulate_all(&patterns);
-    for (label, node) in [("6", n6), ("7", n7), ("8", n8), ("9", n9), ("10", n10), ("11", n11)] {
+    for (label, node) in [
+        ("6", n6),
+        ("7", n7),
+        ("8", n8),
+        ("9", n9),
+        ("10", n10),
+        ("11", n11),
+    ] {
         println!(
             "signature of node {label:>2}: {}",
             all.signature(node).to_binary_string()

@@ -12,7 +12,10 @@ use stp_sat_sweep::workloads::{epfl_suite, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let name = args.get(1).cloned().unwrap_or_else(|| "multiplier".to_string());
+    let name = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "multiplier".to_string());
     let num_patterns: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4096);
 
     let suite = epfl_suite(Scale::Small);

@@ -5,7 +5,7 @@
 //!
 //! The workspace reproduces *"A Semi-Tensor Product based Circuit Simulation
 //! for SAT-sweeping"* (DATE 2024). See the repository `README.md` for the
-//! architecture overview and `DESIGN.md` for the system inventory.
+//! architecture overview and the crate-dependency diagram.
 //!
 //! ```
 //! use stp_sat_sweep::netlist::Aig;

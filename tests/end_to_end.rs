@@ -35,10 +35,13 @@ fn both_engines_produce_equivalent_results_on_control_logic() {
     let base = generators::random_control(12, 120, 8, 77);
     let redundant = inject_redundancy(&base, 0.4, 77);
 
-    let baseline = fraig::sweep_fraig(&redundant, &SweepConfig {
-        num_initial_patterns: 64,
-        ..SweepConfig::baseline()
-    });
+    let baseline = fraig::sweep_fraig(
+        &redundant,
+        &SweepConfig {
+            num_initial_patterns: 64,
+            ..SweepConfig::baseline()
+        },
+    );
     let stp = sweeper::sweep_stp(&redundant, &quick_config());
 
     assert!(cec::check_equivalence(&redundant, &baseline.aig, 500_000).equivalent);
@@ -53,10 +56,13 @@ fn stp_engine_uses_no_more_satisfiable_calls_than_baseline() {
     let mut stp_total = 0u64;
     let mut baseline_total = 0u64;
     for bench in suite.iter().take(5) {
-        let baseline = fraig::sweep_fraig(&bench.aig, &SweepConfig {
-            num_initial_patterns: 64,
-            ..SweepConfig::baseline()
-        });
+        let baseline = fraig::sweep_fraig(
+            &bench.aig,
+            &SweepConfig {
+                num_initial_patterns: 64,
+                ..SweepConfig::baseline()
+            },
+        );
         let stp = sweeper::sweep_stp(&bench.aig, &quick_config());
         baseline_total += baseline.report.sat_calls_sat;
         stp_total += stp.report.sat_calls_sat;

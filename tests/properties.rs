@@ -1,6 +1,6 @@
 //! Property-based integration tests: random expressions, random circuits and
-//! random pattern sets exercising the cross-crate invariants listed in
-//! DESIGN.md §6.
+//! random pattern sets exercising the cross-crate invariants (canonical-form
+//! agreement, simulator agreement, sweep equivalence).
 
 use proptest::prelude::*;
 use stp_sat_sweep::bitsim::{AigSimulator, LutSimulator, PatternSet};
@@ -36,7 +36,19 @@ struct RandomAig {
 }
 
 fn arb_aig() -> impl Strategy<Value = RandomAig> {
-    (3usize..7, proptest::collection::vec((0u8..4, any::<usize>(), any::<usize>(), any::<bool>(), any::<bool>()), 1..40))
+    (
+        3usize..7,
+        proptest::collection::vec(
+            (
+                0u8..4,
+                any::<usize>(),
+                any::<usize>(),
+                any::<bool>(),
+                any::<bool>(),
+            ),
+            1..40,
+        ),
+    )
         .prop_map(|(num_inputs, gates)| RandomAig { num_inputs, gates })
 }
 

@@ -1,0 +1,53 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// A length specification for [`vec`]: an exact length or a range of lengths.
+pub trait IntoSizeRange {
+    /// Draws a concrete length.
+    fn pick_len(&self, rng: &mut StdRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn pick_len(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn pick_len(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn pick_len(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Generates a `Vec` whose elements are drawn from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S, L> {
+    element: S,
+    size: L,
+}
+
+impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = self.size.pick_len(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}

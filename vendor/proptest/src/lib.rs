@@ -1,0 +1,134 @@
+//! # proptest (offline stand-in)
+//!
+//! This workspace builds in environments without access to crates.io, so the
+//! external `proptest` dependency is replaced by this minimal, API-compatible
+//! stand-in. It implements the subset of the proptest 1.x interface the
+//! workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map`,
+//!   `prop_recursive` and `boxed`,
+//! * strategies for integer/bool [`any`], integer ranges, tuples (up to six
+//!   elements) and [`collection::vec`],
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`] and [`prop_assume!`] macros,
+//! * a [`test_runner::TestRunner`] driven by [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate are deliberate simplifications: cases are
+//! generated from a per-test deterministic seed (derived from the test name,
+//! overridable with the `PROPTEST_SEED` environment variable), and failing
+//! inputs are reported but not shrunk. Determinism makes every CI failure
+//! reproducible locally with no corpus directory.
+//!
+//! [`ProptestConfig`]: test_runner::ProptestConfig
+//! [`proptest!`]: crate::proptest
+//! [`prop_oneof!`]: crate::prop_oneof
+//! [`prop_assert!`]: crate::prop_assert
+//! [`prop_assert_eq!`]: crate::prop_assert_eq
+//! [`prop_assume!`]: crate::prop_assume
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares a block of property tests.
+///
+/// Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions whose
+/// arguments are drawn from strategies with `name in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@fns ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategy = ($($strat,)*);
+                let mut runner = $crate::test_runner::TestRunner::new($cfg);
+                runner.run(stringify!($name), &strategy, |($($arg,)*)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @fns ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Picks one of several strategies with equal probability.
+///
+/// All arms must produce the same value type; each arm is boxed into a
+/// [`strategy::Union`].
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test, failing the current case with
+/// both values in the message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            left,
+                            right,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,117 @@
+//! The test runner driving [`proptest!`] blocks.
+//!
+//! [`proptest!`]: crate::proptest
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Configuration for a [`TestRunner`], mirroring
+/// `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The outcome of a single failed or discarded test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's inputs did not satisfy a [`prop_assume!`] precondition.
+    ///
+    /// [`prop_assume!`]: crate::prop_assume
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// Runs a property test: draws inputs from a strategy and applies the test
+/// closure until the configured number of cases pass.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `test` against `config.cases` generated inputs, panicking on the
+    /// first failure.
+    ///
+    /// The RNG seed is derived from the test name (so every test draws a
+    /// distinct, deterministic stream) unless the `PROPTEST_SEED`
+    /// environment variable overrides it. Cases rejected by `prop_assume!`
+    /// are not counted; if the rejection count exceeds 100× the case count
+    /// the run panics (like the real proptest's "too many global rejects"),
+    /// so an always-false precondition cannot produce a vacuous green test.
+    pub fn run<S, F>(&mut self, name: &str, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+            Err(_) => fnv1a(name.as_bytes()),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut passed: u32 = 0;
+        let mut rejected: u64 = 0;
+        let max_rejects = u64::from(self.config.cases) * 100;
+        while passed < self.config.cases {
+            let value = strategy.new_value(&mut rng);
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "proptest {name}: too many prop_assume! rejects \
+                         ({rejected} rejects, {passed}/{} cases passed, seed {seed})",
+                        self.config.cases
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "proptest {name} failed at case {passed} (seed {seed}):\n{message}\n\
+                         rerun with PROPTEST_SEED={seed} to reproduce"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a, used to derive a per-test seed from the test name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
