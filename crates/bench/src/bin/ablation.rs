@@ -8,7 +8,7 @@
 //! Usage: `cargo run -p bench --release --bin ablation -- [--scale tiny|small|large]`
 
 use bench::{geometric_mean, parse_scale, secs};
-use stp_sweep::{sweeper, SweepConfig};
+use stp_sweep::{Engine, SweepConfig, Sweeper};
 use workloads::hwmcc_suite;
 
 struct Variant {
@@ -79,7 +79,10 @@ fn main() {
         let mut sim_time = Vec::new();
         let mut total_time = Vec::new();
         for bench in &suite {
-            let result = sweeper::sweep_stp(&bench.aig, &variant.config);
+            let result = Sweeper::new(Engine::Stp)
+                .config(variant.config)
+                .run(&bench.aig)
+                .expect("ablation variants are valid configs");
             let r = result.report;
             merges += r.merges + r.constants;
             sat_sat += r.sat_calls_sat;

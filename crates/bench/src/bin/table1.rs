@@ -15,13 +15,55 @@
 //! Usage: `cargo run -p bench --release --bin table1 -- [--scale tiny|small|large] [--patterns N] [--lut-k K] [--json PATH]`
 //!
 //! With `--json PATH` the measured numbers are also written as a JSON
-//! document (the format of the checked-in `BENCH_baseline.json`).
+//! document (the format of the checked-in `BENCH_baseline.json`).  The JSON
+//! additionally runs the standard sweeping pipeline (sweep → strash →
+//! sweep, `SweepConfig::fast`) on every benchmark and records the
+//! *per-pass* reports, so snapshots track where the gates and the time go
+//! pass by pass rather than only in aggregate.  No `verify` pass is run
+//! here: the CEC miters of the hard arithmetic benchmarks (`hyp`, `log2`,
+//! …) are intractable by design — sweep correctness is covered by the
+//! test-suite and by `table2` (which verifies on the sweeping suite).
 
 use bench::{arg_value, geometric_mean, parse_scale, timed};
 use bitsim::{AigSimulator, LutSimulator, PatternSet};
 use netlist::lutmap;
 use stp_sweep::stp_sim::StpSimulator;
+use stp_sweep::{Engine, Pipeline, SweepConfig};
 use workloads::epfl_suite;
+
+/// Runs the standard pipeline on one benchmark and renders its JSON row.
+fn pipeline_json_row(name: &str, aig: &netlist::Aig) -> String {
+    let outcome = Pipeline::new(SweepConfig::fast())
+        .sweep(Engine::Stp)
+        .strash()
+        .sweep(Engine::Stp)
+        .run(aig)
+        .unwrap_or_else(|e| panic!("{name}: pipeline failed: {e}"));
+    let passes: Vec<String> = outcome
+        .passes
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"name\": \"{}\", \"gates_before\": {}, \"gates_after\": {}, \
+                 \"sat_calls\": {}, \"time_s\": {:.6}}}",
+                p.name,
+                p.gates_before,
+                p.gates_after,
+                p.report.map(|r| r.sat_calls_total).unwrap_or(0),
+                p.time.as_secs_f64()
+            )
+        })
+        .collect();
+    format!(
+        "      {{\"benchmark\": \"{}\", \"gates_before\": {}, \"gates_after\": {}, \
+         \"total_s\": {:.6}, \"passes\": [{}]}}",
+        name,
+        outcome.report.gates_before,
+        outcome.report.gates_after,
+        outcome.report.total_time.as_secs_f64(),
+        passes.join(", ")
+    )
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -48,7 +90,8 @@ fn main() {
     let mut tl_stp_all = Vec::new();
     let mut json_rows = Vec::new();
 
-    for bench in epfl_suite(scale) {
+    let suite = epfl_suite(scale);
+    for bench in &suite {
         let aig = &bench.aig;
         let patterns = PatternSet::random(aig.num_inputs(), num_patterns, 0xEB5);
 
@@ -119,14 +162,24 @@ fn main() {
     );
 
     if let Some(path) = arg_value(&args, "--json") {
+        // The sweeping pipeline section: per-pass reports per benchmark.
+        println!("\nrunning the sweep pipeline (sweep -> strash -> sweep) per benchmark ...");
+        let pipeline_rows: Vec<String> = suite
+            .iter()
+            .map(|bench| pipeline_json_row(bench.name, &bench.aig))
+            .collect();
         let document = format!(
             "{{\n  \"table\": \"table1_simulation\",\n  \"scale\": \"{scale:?}\",\n  \
              \"patterns\": {num_patterns},\n  \"lut_k\": {lut_k},\n  \"rows\": [\n{}\n  ],\n  \
              \"geomean\": {{\"xa\": {:.3}, \"xl\": {:.3}}},\n  \
-             \"paper\": {{\"xa\": 0.99, \"xl\": 7.18}}\n}}\n",
+             \"paper\": {{\"xa\": 0.99, \"xl\": 7.18}},\n  \
+             \"pipeline\": {{\n    \"config\": \"fast\",\n    \
+             \"passes\": [\"sweep(stp)\", \"strash\", \"sweep(stp)\"],\n    \
+             \"rows\": [\n{}\n    ]\n  }}\n}}\n",
             json_rows.join(",\n"),
             geometric_mean(ta_ratios),
-            geometric_mean(tl_ratios)
+            geometric_mean(tl_ratios),
+            pipeline_rows.join(",\n")
         );
         std::fs::write(&path, document).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("wrote {path}");

@@ -11,7 +11,7 @@
 //! Usage: `cargo run -p bench --release --bin table2 -- [--scale tiny|small|large] [--patterns N] [--no-verify]`
 
 use bench::{arg_value, geometric_mean, parse_scale, secs};
-use stp_sweep::{cec, fraig, sweeper, SweepConfig};
+use stp_sweep::{cec, Engine, SweepConfig, Sweeper};
 use workloads::hwmcc_suite;
 
 fn main() {
@@ -51,8 +51,14 @@ fn main() {
 
     for bench in hwmcc_suite(scale) {
         let aig = &bench.aig;
-        let baseline = fraig::sweep_fraig(aig, &baseline_config);
-        let stp = sweeper::sweep_stp(aig, &stp_config);
+        let baseline = Sweeper::new(Engine::Baseline)
+            .config(baseline_config)
+            .run(aig)
+            .expect("valid baseline config");
+        let stp = Sweeper::new(Engine::Stp)
+            .config(stp_config)
+            .run(aig)
+            .expect("valid STP config");
 
         if verify {
             let b_ok = cec::check_equivalence(aig, &baseline.aig, 200_000);

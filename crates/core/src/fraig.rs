@@ -1,6 +1,6 @@
 //! The baseline SAT sweeper (the `&fraig -x` analog of Table II).
 //!
-//! The baseline shares the proving machinery of [`crate::sweeper`] but uses
+//! The baseline shares the proving machinery of [`crate::session`] but uses
 //! the conventional strategy the paper compares against:
 //!
 //! * purely random initial simulation patterns;
@@ -10,24 +10,46 @@
 //!   network (no cut windows, no exhaustive refinement);
 //! * no up-front constant substitution pass unless explicitly enabled in the
 //!   configuration.
+//!
+//! **Deprecated in favour of the builder API** — the one-line migration is
+//! `Sweeper::new(Engine::Baseline).config(config).run(&aig)?`; the engine
+//! normalisation that used to live here (the baseline ignores the paper's
+//! STP-only flags) now happens at the single dispatch point in
+//! [`crate::session`].
 
 use crate::report::{SweepConfig, SweepResult};
-use crate::sweeper::{run_sweep, Engine};
+use crate::session::{Engine, Sweeper};
 use netlist::Aig;
 
 /// Runs the baseline FRAIG-style sweeper on `aig`.
+///
+/// Legacy wrapper around [`Sweeper`]; panics on an invalid `config` (the
+/// builder API returns [`crate::SweepError::InvalidConfig`] instead).
 ///
 /// The flags of `config` that correspond to the paper's additions
 /// (`sat_guided_patterns`, `window_refinement`) are ignored — the baseline
 /// never uses them; start from [`SweepConfig::baseline`] for the canonical
 /// baseline setting.
+///
+/// ```
+/// use netlist::Aig;
+/// use stp_sweep::{fraig, SweepConfig};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// let f = aig.and(a, b);
+/// let g = aig.and(f, b); // redundant: equals f
+/// let y = aig.xor(f, g);
+/// aig.add_output("y", y);
+/// let result = fraig::sweep_fraig(&aig, &SweepConfig::baseline());
+/// assert!(result.aig.num_ands() <= aig.num_ands());
+/// ```
 pub fn sweep_fraig(aig: &Aig, config: &SweepConfig) -> SweepResult {
-    let baseline_config = SweepConfig {
-        sat_guided_patterns: false,
-        window_refinement: false,
-        ..*config
-    };
-    run_sweep(aig, &baseline_config, Engine::Baseline)
+    Sweeper::new(Engine::Baseline)
+        .config(*config)
+        .run(aig)
+        .expect("legacy wrapper: invalid SweepConfig")
 }
 
 #[cfg(test)]

@@ -10,22 +10,24 @@
 //! * [`equiv`] — the candidate equivalence-class manager of Fig. 2.
 //! * [`patterns`] — SAT-guided initial simulation patterns and constant-node
 //!   detection (Section IV-A, after [Amarù et al., DAC'20]).
-//! * [`fraig`] — the baseline SAT sweeper (the `&fraig -x` analog): random
-//!   simulation, equivalence classes, SAT queries, bitwise counter-example
-//!   resimulation.
-//! * [`sweeper`] — the proposed STP-based SAT sweeper (Algorithm 2):
-//!   SAT-guided patterns, constant substitution, reverse topological
-//!   processing, a TFI/driver budget, don't-touch marking on `unDET`, and
-//!   exhaustive STP window refinement that disproves most false candidates
-//!   without calling the SAT solver.
+//! * [`session`] — the sweeping engine behind both the baseline and the
+//!   STP sweeper (Algorithm 2), driven through the [`Sweeper`] builder:
+//!   engine selection ([`Engine`]), progress [`Observer`]s, resource
+//!   [`Budget`]s with partial results, and typed [`SweepError`]s.
+//! * [`pipeline`] — multi-pass composition ([`Pipeline`]): sweep → strash
+//!   cleanup → sweep → … → CEC verify, with per-pass reports.
+//! * [`fraig`] / [`sweeper`] — the legacy free-function wrappers
+//!   (`sweep_fraig`, `sweep_stp`, `sweep_stp_to_fixpoint`), kept as thin
+//!   shims over the builder.
 //! * [`cec`] — combinational equivalence checking used to verify every sweep
 //!   (the `&cec` analog).
 //!
+//! The entry point is the [`Sweeper`] builder:
+//!
 //! ```
 //! use netlist::Aig;
-//! use stp_sweep::{sweeper, SweepConfig};
+//! use stp_sweep::{cec, Engine, StatsObserver, SweepConfig, Sweeper};
 //!
-//! # fn main() {
 //! let mut aig = Aig::new();
 //! let a = aig.add_input("a");
 //! let b = aig.add_input("b");
@@ -34,22 +36,42 @@
 //! let y = aig.xor(f, g);
 //! aig.add_output("y", y);
 //!
-//! let result = sweeper::sweep_stp(&aig, &SweepConfig::default());
+//! let mut stats = StatsObserver::new();
+//! let result = Sweeper::new(Engine::Stp)
+//!     .config(SweepConfig::paper())
+//!     .observer(&mut stats)
+//!     .run(&aig)
+//!     .expect("valid config, unlimited budget");
 //! assert!(result.aig.num_ands() <= aig.num_ands());
-//! assert!(stp_sweep::cec::check_equivalence(&aig, &result.aig, 1_000).equivalent);
-//! # }
+//! assert!(cec::check_equivalence(&aig, &result.aig, 1_000).equivalent);
+//! assert_eq!(stats.merges, result.report.merges);
 //! ```
+//!
+//! Multi-pass flows compose through [`Pipeline`], and long runs stay
+//! interruptible through [`Budget`] (deadline, SAT-call cap,
+//! [`CancelToken`]) — a tripped budget returns the partial result inside
+//! [`SweepError::BudgetExhausted`] instead of discarding the work done.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod cec;
 pub mod equiv;
+pub mod error;
 pub mod fraig;
+pub mod observer;
 pub mod patterns;
+pub mod pipeline;
 pub mod report;
+pub mod session;
 pub mod stp_sim;
 pub mod sweeper;
 pub mod window;
 
+pub use budget::{Budget, BudgetCause, CancelToken};
+pub use error::SweepError;
+pub use observer::{NoopObserver, Observer, SatCallOutcome, StatsObserver};
+pub use pipeline::{PassReport, Pipeline, PipelineResult};
 pub use report::{SweepConfig, SweepReport, SweepResult};
+pub use session::{Engine, SweepSession, Sweeper};

@@ -1,0 +1,222 @@
+//! Progress observation for sweeping runs.
+//!
+//! An [`Observer`] receives the engine's events as they happen: round
+//! starts, SAT calls, class refinements, merges and counter-examples.  Every
+//! method has a no-op default, so an observer implements only what it needs
+//! (a progress bar wants [`Observer::on_round`] and [`Observer::on_merge`];
+//! a dashboard wants everything).
+//!
+//! [`StatsObserver`] is the built-in observer that counts events; the
+//! engine derives the countable fields of [`SweepReport`] from exactly
+//! these events, so an external `StatsObserver` attached to a run sees the
+//! same numbers the run returns.
+
+use crate::report::SweepReport;
+use netlist::{Lit, NodeId};
+
+/// Outcome of a single sweeping SAT query, as seen by observers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatCallOutcome {
+    /// Satisfiable: the pair was disproved and a counter-example follows.
+    Sat,
+    /// Unsatisfiable: the merge (or constant) was proved.
+    Unsat,
+    /// The conflict budget ran out (`unDET` in the paper).
+    Undetermined,
+}
+
+/// Receives engine events during a sweeping run.
+///
+/// All methods default to no-ops.  Observers are passed to
+/// [`crate::Sweeper::observer`] / [`crate::Pipeline::observer`] by mutable
+/// reference, so the caller keeps ownership and can inspect the observer
+/// after the run.
+pub trait Observer {
+    /// A sweep round starts: `round` is the zero-based round index (a plain
+    /// [`crate::Sweeper`] run is round 0; [`crate::Pipeline`] and fixpoint
+    /// sweeps advance it per pass), `gates` the AND count of the network
+    /// being swept.
+    fn on_round(&mut self, round: usize, gates: usize) {
+        let _ = (round, gates);
+    }
+
+    /// A counter-example refined the candidate classes: `num_classes`
+    /// classes remain and `moved` members changed class or were dropped.
+    fn on_class_refined(&mut self, num_classes: usize, moved: usize) {
+        let _ = (num_classes, moved);
+    }
+
+    /// A sweeping SAT query finished (pattern-generation queries are not
+    /// reported, mirroring the paper's Table II accounting).
+    fn on_sat_call(&mut self, outcome: SatCallOutcome) {
+        let _ = outcome;
+    }
+
+    /// `candidate` was proved equal to `replacement` and merged away.  A
+    /// constant `replacement` ([`Lit::is_constant`]) is a constant
+    /// substitution, anything else a pairwise merge.
+    fn on_merge(&mut self, candidate: NodeId, replacement: Lit) {
+        let _ = (candidate, replacement);
+    }
+
+    /// A satisfiable SAT query produced this distinguishing input
+    /// assignment (one `bool` per primary input).
+    fn on_counterexample(&mut self, assignment: &[bool]) {
+        let _ = assignment;
+    }
+
+    /// Exhaustive STP window simulation settled the pair `(candidate,
+    /// driver)` without a SAT call: `equivalent` tells whether the pair was
+    /// proved or disproved.
+    fn on_simulation_verdict(&mut self, candidate: NodeId, driver: NodeId, equivalent: bool) {
+        let _ = (candidate, driver, equivalent);
+    }
+}
+
+/// The no-op observer (every method keeps its default body).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {}
+
+/// Counts engine events; the source of the countable [`SweepReport`]
+/// fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsObserver {
+    /// Number of rounds started.
+    pub rounds: usize,
+    /// Pairwise merges applied.
+    pub merges: usize,
+    /// Constant substitutions applied.
+    pub constants: usize,
+    /// Satisfiable sweeping SAT calls.
+    pub sat_calls_sat: u64,
+    /// Unsatisfiable sweeping SAT calls.
+    pub sat_calls_unsat: u64,
+    /// Sweeping SAT calls that ran out of conflicts.
+    pub sat_calls_undet: u64,
+    /// Pairs proved by exhaustive window simulation alone.
+    pub proved_by_simulation: u64,
+    /// Pairs disproved by exhaustive window simulation alone.
+    pub disproved_by_simulation: u64,
+    /// Counter-examples simulated.
+    pub counterexamples: u64,
+    /// Class refinements triggered.
+    pub refinements: u64,
+}
+
+impl StatsObserver {
+    /// A fresh, all-zero counter set.
+    pub fn new() -> Self {
+        StatsObserver::default()
+    }
+
+    /// Total sweeping SAT calls of any outcome.
+    pub fn sat_calls_total(&self) -> u64 {
+        self.sat_calls_sat + self.sat_calls_unsat + self.sat_calls_undet
+    }
+
+    /// The counted fields as a [`SweepReport`] (gate counts and times are
+    /// zero — the session fills those from its own measurements).
+    pub fn counts(&self) -> SweepReport {
+        SweepReport {
+            merges: self.merges,
+            constants: self.constants,
+            sat_calls_sat: self.sat_calls_sat,
+            sat_calls_unsat: self.sat_calls_unsat,
+            sat_calls_undet: self.sat_calls_undet,
+            sat_calls_total: self.sat_calls_total(),
+            proved_by_simulation: self.proved_by_simulation,
+            disproved_by_simulation: self.disproved_by_simulation,
+            ..SweepReport::default()
+        }
+    }
+}
+
+impl Observer for StatsObserver {
+    fn on_round(&mut self, _round: usize, _gates: usize) {
+        self.rounds += 1;
+    }
+
+    fn on_class_refined(&mut self, _num_classes: usize, _moved: usize) {
+        self.refinements += 1;
+    }
+
+    fn on_sat_call(&mut self, outcome: SatCallOutcome) {
+        match outcome {
+            SatCallOutcome::Sat => self.sat_calls_sat += 1,
+            SatCallOutcome::Unsat => self.sat_calls_unsat += 1,
+            SatCallOutcome::Undetermined => self.sat_calls_undet += 1,
+        }
+    }
+
+    fn on_merge(&mut self, _candidate: NodeId, replacement: Lit) {
+        if replacement.is_constant() {
+            self.constants += 1;
+        } else {
+            self.merges += 1;
+        }
+    }
+
+    fn on_counterexample(&mut self, _assignment: &[bool]) {
+        self.counterexamples += 1;
+    }
+
+    fn on_simulation_verdict(&mut self, _candidate: NodeId, _driver: NodeId, equivalent: bool) {
+        if equivalent {
+            self.proved_by_simulation += 1;
+        } else {
+            self.disproved_by_simulation += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_observer_counts_every_event_kind() {
+        let mut stats = StatsObserver::new();
+        stats.on_round(0, 100);
+        stats.on_sat_call(SatCallOutcome::Sat);
+        stats.on_sat_call(SatCallOutcome::Unsat);
+        stats.on_sat_call(SatCallOutcome::Unsat);
+        stats.on_sat_call(SatCallOutcome::Undetermined);
+        stats.on_merge(7, Lit::positive(3));
+        stats.on_merge(9, Lit::TRUE);
+        stats.on_counterexample(&[true, false]);
+        stats.on_class_refined(4, 2);
+        stats.on_simulation_verdict(5, 3, true);
+        stats.on_simulation_verdict(6, 3, false);
+
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.merges, 1);
+        assert_eq!(stats.constants, 1);
+        assert_eq!(stats.sat_calls_sat, 1);
+        assert_eq!(stats.sat_calls_unsat, 2);
+        assert_eq!(stats.sat_calls_undet, 1);
+        assert_eq!(stats.sat_calls_total(), 4);
+        assert_eq!(stats.counterexamples, 1);
+        assert_eq!(stats.refinements, 1);
+        assert_eq!(stats.proved_by_simulation, 1);
+        assert_eq!(stats.disproved_by_simulation, 1);
+
+        let report = stats.counts();
+        assert_eq!(report.merges, 1);
+        assert_eq!(report.constants, 1);
+        assert_eq!(report.sat_calls_total, 4);
+        assert_eq!(report.gates_before, 0, "gate counts belong to the session");
+    }
+
+    #[test]
+    fn default_observer_methods_are_noops() {
+        let mut noop = NoopObserver;
+        noop.on_round(0, 10);
+        noop.on_sat_call(SatCallOutcome::Sat);
+        noop.on_merge(1, Lit::FALSE);
+        noop.on_counterexample(&[]);
+        noop.on_class_refined(0, 0);
+        noop.on_simulation_verdict(1, 2, true);
+    }
+}

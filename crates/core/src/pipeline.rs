@@ -1,0 +1,528 @@
+//! Multi-pass sweeping pipelines.
+//!
+//! A [`Pipeline`] composes passes — sweeps, structural-hashing cleanups and
+//! an equivalence verification against the pipeline input — into one
+//! budgeted, observable run:
+//!
+//! ```
+//! use netlist::Aig;
+//! use stp_sweep::{Engine, Pipeline, SweepConfig};
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.add_input("a");
+//! let b = aig.add_input("b");
+//! let f = aig.and(a, b);
+//! let g = aig.and(f, b); // redundant: equals f
+//! let y = aig.xor(f, g);
+//! aig.add_output("y", y);
+//!
+//! let outcome = Pipeline::new(SweepConfig::fast())
+//!     .sweep(Engine::Stp)
+//!     .strash()
+//!     .sweep(Engine::Stp)
+//!     .verify()
+//!     .run(&aig)
+//!     .expect("pipeline runs and verifies");
+//! assert!(outcome.aig.num_ands() <= aig.num_ands());
+//! assert_eq!(outcome.passes.len(), 4);
+//! ```
+//!
+//! The per-pass [`PassReport`]s record where the gates and the time went;
+//! the aggregate [`PipelineResult::report`] is the fold of all sweep passes
+//! via [`crate::SweepReport::merge`].  A fixpoint sweep
+//! ([`Pipeline::sweep_to_fixpoint`]) subsumes the legacy
+//! `sweep_stp_to_fixpoint` free function.
+
+use crate::budget::{Budget, BudgetCause};
+use crate::cec;
+use crate::error::SweepError;
+use crate::observer::Observer;
+use crate::report::{SweepConfig, SweepReport, SweepResult};
+use crate::session::{Engine, Sweeper};
+use netlist::Aig;
+use std::time::{Duration, Instant};
+
+/// Wraps the pipeline's current state into a budget-exhaustion error so the
+/// work done by the completed passes is handed back, not discarded.
+fn budget_stop(cause: BudgetCause, current: Aig, aggregate: SweepReport) -> SweepError {
+    SweepError::BudgetExhausted {
+        cause,
+        partial: Box::new(SweepResult {
+            aig: current,
+            report: aggregate,
+        }),
+    }
+}
+
+/// One pass of a [`Pipeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PassSpec {
+    /// A single sweep round of the given engine.
+    Sweep(Engine),
+    /// Sweep rounds of the given engine until no gate is removed (or the
+    /// round cap is reached).
+    SweepToFixpoint(Engine, usize),
+    /// Structural-hashing cleanup (re-hash and drop dead nodes).
+    Strash,
+    /// CEC verification of the current network against the pipeline input.
+    Verify,
+}
+
+/// Measurements of a single executed pass.
+#[derive(Debug, Clone)]
+pub struct PassReport {
+    /// Human-readable pass name (`"sweep(stp)"`, `"strash"`, `"verify"`,
+    /// `"sweep(stp) round 2"` …).
+    pub name: String,
+    /// AND gates entering the pass.
+    pub gates_before: usize,
+    /// AND gates leaving the pass.
+    pub gates_after: usize,
+    /// The full sweep report, for sweep passes.
+    pub report: Option<SweepReport>,
+    /// Wall-clock time of the pass.
+    pub time: Duration,
+}
+
+/// The outcome of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The final network.
+    pub aig: Aig,
+    /// Aggregate of all sweep passes (see [`SweepReport::merge`]).
+    pub report: SweepReport,
+    /// Per-pass measurements, in execution order.
+    pub passes: Vec<PassReport>,
+}
+
+impl PipelineResult {
+    /// Collapses the pipeline outcome into the single-sweep result shape.
+    pub fn into_sweep_result(self) -> SweepResult {
+        SweepResult {
+            aig: self.aig,
+            report: self.report,
+        }
+    }
+}
+
+/// Builder and executor of a multi-pass sweeping pipeline.
+///
+/// Passes run in the order they were added.  One [`Budget`] spans the whole
+/// pipeline: each sweep pass receives whatever remains, and an exhausted
+/// budget is also checked *before* every strash/verify pass (a running
+/// strash or verify is not interrupted mid-pass).  One [`Observer`] sees
+/// every sweep round with an increasing round index.
+pub struct Pipeline<'o> {
+    passes: Vec<PassSpec>,
+    config: SweepConfig,
+    budget: Budget,
+    observer: Option<&'o mut dyn Observer>,
+    verify_conflict_limit: u64,
+}
+
+impl Default for Pipeline<'_> {
+    fn default() -> Self {
+        Pipeline::new(SweepConfig::default())
+    }
+}
+
+impl<'o> Pipeline<'o> {
+    /// Starts an empty pipeline with the given sweep configuration.
+    pub fn new(config: SweepConfig) -> Self {
+        Pipeline {
+            passes: Vec::new(),
+            config,
+            budget: Budget::unlimited(),
+            observer: None,
+            verify_conflict_limit: 500_000,
+        }
+    }
+
+    /// Appends a single sweep round of `engine`.
+    pub fn sweep(mut self, engine: Engine) -> Self {
+        self.passes.push(PassSpec::Sweep(engine));
+        self
+    }
+
+    /// Appends a fixpoint sweep: rounds of `engine` until no further gate is
+    /// removed, capped at `max_rounds` (at least one round always runs).
+    pub fn sweep_to_fixpoint(mut self, engine: Engine, max_rounds: usize) -> Self {
+        self.passes
+            .push(PassSpec::SweepToFixpoint(engine, max_rounds));
+        self
+    }
+
+    /// Appends a structural-hashing cleanup pass.  Merging can expose new
+    /// structural sharing; a `strash` between sweeps lets the next round
+    /// find it.
+    pub fn strash(mut self) -> Self {
+        self.passes.push(PassSpec::Strash);
+        self
+    }
+
+    /// Appends a verification pass: the current network is CEC-checked
+    /// against the pipeline *input*; a mismatch aborts the pipeline with
+    /// [`SweepError::Inconsistent`].
+    pub fn verify(mut self) -> Self {
+        self.passes.push(PassSpec::Verify);
+        self
+    }
+
+    /// Sets the SAT conflict budget of `verify` passes (default 500 000).
+    pub fn verify_conflict_limit(mut self, limit: u64) -> Self {
+        self.verify_conflict_limit = limit;
+        self
+    }
+
+    /// Sets the budget spanning the whole pipeline.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches an observer to every sweep pass.
+    pub fn observer(mut self, observer: &'o mut dyn Observer) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Executes the pipeline on `aig`.
+    ///
+    /// On budget exhaustion, the aggregate partial result (the merges of
+    /// every completed and the truncated pass) is returned inside
+    /// [`SweepError::BudgetExhausted`].
+    pub fn run(mut self, aig: &Aig) -> Result<PipelineResult, SweepError> {
+        self.config.validate()?;
+        let started = Instant::now();
+        let mut current = aig.clone();
+        let mut aggregate = SweepReport {
+            gates_before: aig.num_ands(),
+            gates_after: aig.num_ands(),
+            levels: aig.depth(),
+            ..SweepReport::default()
+        };
+        let mut passes: Vec<PassReport> = Vec::new();
+        let mut round = 0usize;
+        let mut sat_calls_used = 0u64;
+
+        let specs = std::mem::take(&mut self.passes);
+        for spec in &specs {
+            match *spec {
+                PassSpec::Sweep(engine) => {
+                    let name = format!("sweep({engine})");
+                    self.run_sweep_pass(
+                        engine,
+                        name,
+                        &mut current,
+                        &mut aggregate,
+                        &mut passes,
+                        &mut round,
+                        &mut sat_calls_used,
+                        started,
+                    )?;
+                }
+                PassSpec::SweepToFixpoint(engine, max_rounds) => {
+                    for fix_round in 0..max_rounds.max(1) {
+                        let gates_entering = current.num_ands();
+                        let name = format!("sweep({engine}) round {fix_round}");
+                        self.run_sweep_pass(
+                            engine,
+                            name,
+                            &mut current,
+                            &mut aggregate,
+                            &mut passes,
+                            &mut round,
+                            &mut sat_calls_used,
+                            started,
+                        )?;
+                        if current.num_ands() == gates_entering {
+                            break;
+                        }
+                    }
+                }
+                PassSpec::Strash => {
+                    if let Some(cause) = self.budget.exceeded(started, sat_calls_used) {
+                        return Err(budget_stop(cause, current, aggregate));
+                    }
+                    let pass_start = Instant::now();
+                    let gates_before = current.num_ands();
+                    let (cleaned, _) = current.cleanup();
+                    current = cleaned;
+                    let time = pass_start.elapsed();
+                    aggregate.gates_after = current.num_ands();
+                    aggregate.total_time += time;
+                    passes.push(PassReport {
+                        name: "strash".into(),
+                        gates_before,
+                        gates_after: current.num_ands(),
+                        report: None,
+                        time,
+                    });
+                }
+                PassSpec::Verify => {
+                    if let Some(cause) = self.budget.exceeded(started, sat_calls_used) {
+                        return Err(budget_stop(cause, current, aggregate));
+                    }
+                    let pass_start = Instant::now();
+                    let check = cec::check_equivalence(aig, &current, self.verify_conflict_limit);
+                    let time = pass_start.elapsed();
+                    aggregate.total_time += time;
+                    passes.push(PassReport {
+                        name: "verify".into(),
+                        gates_before: current.num_ands(),
+                        gates_after: current.num_ands(),
+                        report: None,
+                        time,
+                    });
+                    if !check.equivalent {
+                        // An undetermined check means the CEC ran out of
+                        // conflicts, not that the sweep is wrong — but a
+                        // verification the pipeline promised could not be
+                        // completed, which callers must not mistake for a
+                        // verified result.
+                        return Err(SweepError::Inconsistent(if check.undetermined {
+                            "verify pass could not prove equivalence within its budget \
+                             (raise Pipeline::verify_conflict_limit)"
+                                .into()
+                        } else {
+                            "verify pass found the swept network inequivalent to the input".into()
+                        }));
+                    }
+                }
+            }
+        }
+        Ok(PipelineResult {
+            aig: current,
+            report: aggregate,
+            passes,
+        })
+    }
+
+    /// Runs one sweep round, folding its report into the aggregate and
+    /// recording a [`PassReport`].  On budget exhaustion the aggregate
+    /// partial result is wrapped and returned as the error.
+    #[allow(clippy::too_many_arguments)]
+    fn run_sweep_pass(
+        &mut self,
+        engine: Engine,
+        name: String,
+        current: &mut Aig,
+        aggregate: &mut SweepReport,
+        passes: &mut Vec<PassReport>,
+        round: &mut usize,
+        sat_calls_used: &mut u64,
+        started: Instant,
+    ) -> Result<(), SweepError> {
+        let remaining = self.budget.remaining(started.elapsed(), *sat_calls_used);
+        let mut sweeper = Sweeper::new(engine)
+            .config(self.config)
+            .budget(remaining)
+            .round_index(*round);
+        if let Some(obs) = self.observer.as_deref_mut() {
+            sweeper = sweeper.observer(obs);
+        }
+        *round += 1;
+        let gates_before = current.num_ands();
+        match sweeper.run(current) {
+            Ok(result) => {
+                aggregate.merge(&result.report);
+                *sat_calls_used += result.report.sat_calls_total;
+                passes.push(PassReport {
+                    name,
+                    gates_before,
+                    gates_after: result.aig.num_ands(),
+                    report: Some(result.report),
+                    time: result.report.total_time,
+                });
+                *current = result.aig;
+                Ok(())
+            }
+            Err(SweepError::BudgetExhausted { cause, partial }) => {
+                aggregate.merge(&partial.report);
+                passes.push(PassReport {
+                    name,
+                    gates_before,
+                    gates_after: partial.aig.num_ands(),
+                    report: Some(partial.report),
+                    time: partial.report.total_time,
+                });
+                Err(SweepError::BudgetExhausted {
+                    cause,
+                    partial: Box::new(SweepResult {
+                        aig: partial.aig,
+                        report: *aggregate,
+                    }),
+                })
+            }
+            Err(other) => Err(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cec::check_equivalence;
+    use crate::observer::StatsObserver;
+
+    fn redundant_circuit() -> Aig {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs("x", 5);
+        let f1 = aig.and(xs[0], xs[1]);
+        let f2_inner = aig.nand(xs[0], xs[1]);
+        let f2 = !f2_inner;
+        let g1 = aig.xor(xs[2], xs[3]);
+        let g2_t = aig.or(xs[2], xs[3]);
+        let g2_b = aig.nand(xs[2], xs[3]);
+        let g2 = aig.and(g2_t, g2_b);
+        let o1 = aig.mux(xs[4], f1, g2);
+        let o2 = aig.mux(xs[4], g1, f2);
+        aig.add_output("o1", o1);
+        aig.add_output("o2", o2);
+        aig
+    }
+
+    #[test]
+    fn pipeline_accumulates_per_pass_reports() {
+        let aig = redundant_circuit();
+        let outcome = Pipeline::new(SweepConfig::default())
+            .sweep(Engine::Stp)
+            .strash()
+            .sweep(Engine::Stp)
+            .verify()
+            .run(&aig)
+            .expect("pipeline verifies");
+        assert_eq!(outcome.passes.len(), 4);
+        assert_eq!(outcome.passes[0].name, "sweep(stp)");
+        assert_eq!(outcome.passes[1].name, "strash");
+        assert_eq!(outcome.passes[3].name, "verify");
+        // The aggregate merges exactly the two sweep passes.
+        let sweep_merges: usize = outcome
+            .passes
+            .iter()
+            .filter_map(|p| p.report.as_ref())
+            .map(|r| r.merges)
+            .sum();
+        assert_eq!(outcome.report.merges, sweep_merges);
+        assert_eq!(outcome.report.gates_before, aig.num_ands());
+        assert_eq!(outcome.report.gates_after, outcome.aig.num_ands());
+        assert!(check_equivalence(&aig, &outcome.aig, 100_000).equivalent);
+    }
+
+    #[test]
+    fn fixpoint_pass_converges() {
+        let aig = redundant_circuit();
+        let outcome = Pipeline::new(SweepConfig::default())
+            .sweep_to_fixpoint(Engine::Stp, 4)
+            .run(&aig)
+            .expect("runs");
+        assert!(!outcome.passes.is_empty());
+        assert!(outcome.passes.len() <= 4);
+        assert!(outcome.passes[0].name.contains("round 0"));
+        // The last round removed nothing (that is what convergence means),
+        // unless the cap cut the loop short.
+        if outcome.passes.len() < 4 {
+            let last = outcome.passes.last().unwrap();
+            assert_eq!(last.gates_before, last.gates_after);
+        }
+        assert!(check_equivalence(&aig, &outcome.aig, 100_000).equivalent);
+    }
+
+    #[test]
+    fn observer_sees_increasing_round_indices() {
+        let aig = redundant_circuit();
+        let mut stats = StatsObserver::new();
+        let outcome = Pipeline::new(SweepConfig::default())
+            .sweep(Engine::Stp)
+            .sweep(Engine::Stp)
+            .observer(&mut stats)
+            .run(&aig)
+            .expect("runs");
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.merges + stats.constants, {
+            outcome.report.merges + outcome.report.constants
+        });
+    }
+
+    #[test]
+    fn pipeline_budget_returns_aggregate_partial() {
+        let aig = redundant_circuit();
+        let err = Pipeline::new(SweepConfig::default())
+            .sweep(Engine::Stp)
+            .sweep(Engine::Stp)
+            .budget(Budget::unlimited().with_max_sat_calls(0))
+            .run(&aig)
+            .unwrap_err();
+        let partial = err.into_partial().expect("partial result");
+        assert_eq!(partial.report.sat_calls_total, 0);
+        assert_eq!(partial.report.gates_before, aig.num_ands());
+        assert!(check_equivalence(&aig, &partial.aig, 100_000).equivalent);
+    }
+
+    #[test]
+    fn exhausted_budget_stops_before_strash_and_verify() {
+        let aig = redundant_circuit();
+        let err = Pipeline::new(SweepConfig::default())
+            .strash()
+            .verify()
+            .budget(Budget::unlimited().with_deadline(Duration::ZERO))
+            .run(&aig)
+            .unwrap_err();
+        let partial = err.into_partial().expect("partial result");
+        assert_eq!(partial.aig.num_ands(), aig.num_ands());
+        assert_eq!(partial.report.merges, 0);
+    }
+
+    #[test]
+    fn default_pipeline_verify_budget_is_usable() {
+        // Pipeline::default() must behave like Pipeline::new(default config):
+        // a verify pass on a correct sweep passes instead of failing with a
+        // zero conflict budget.
+        let aig = redundant_circuit();
+        let outcome = Pipeline::default()
+            .sweep(Engine::Stp)
+            .verify()
+            .run(&aig)
+            .expect("default pipeline verifies");
+        assert!(check_equivalence(&aig, &outcome.aig, 100_000).equivalent);
+    }
+
+    #[test]
+    fn verify_pass_passes_on_a_correct_sweep() {
+        let aig = redundant_circuit();
+        let outcome = Pipeline::new(SweepConfig::default())
+            .sweep(Engine::Stp)
+            .verify()
+            .run(&aig)
+            .expect("a correct sweep verifies");
+        assert_eq!(outcome.passes.last().unwrap().name, "verify");
+    }
+
+    #[test]
+    fn starved_verify_pass_reports_inconsistency_not_success() {
+        // With a one-conflict budget the CEC proof cannot finish; the
+        // pipeline must surface that as `Inconsistent` instead of silently
+        // reporting a verified result.
+        let aig = redundant_circuit();
+        let err = Pipeline::new(SweepConfig::default())
+            .sweep(Engine::Stp)
+            .verify()
+            .verify_conflict_limit(1)
+            .run(&aig)
+            .unwrap_err();
+        assert!(matches!(err, SweepError::Inconsistent(_)));
+        assert!(err.to_string().contains("budget"), "{err}");
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity_with_empty_report() {
+        let aig = redundant_circuit();
+        let outcome = Pipeline::new(SweepConfig::default())
+            .run(&aig)
+            .expect("runs");
+        assert_eq!(outcome.aig.num_ands(), aig.num_ands());
+        assert_eq!(outcome.report.merges, 0);
+        assert!(outcome.passes.is_empty());
+        assert_eq!(outcome.report.gates_after, aig.num_ands());
+    }
+}

@@ -1,5 +1,6 @@
 //! Configuration and reporting types shared by both sweepers.
 
+use crate::error::SweepError;
 use netlist::Aig;
 use std::fmt;
 use std::time::Duration;
@@ -49,6 +50,10 @@ impl Default for SweepConfig {
     }
 }
 
+/// The largest window (number of leaves) the paper's exhaustive STP window
+/// simulation supports: Section III-B restricts windows to at most 16 leaves.
+pub const MAX_WINDOW_LIMIT: usize = 16;
+
 impl SweepConfig {
     /// The configuration used by the baseline FRAIG-style sweeper: random
     /// patterns, no constant substitution pass, no window refinement.
@@ -59,6 +64,102 @@ impl SweepConfig {
             window_refinement: false,
             ..SweepConfig::default()
         }
+    }
+
+    /// The exact setting of the paper's evaluation (alias of
+    /// [`SweepConfig::default`]): 256 SAT-guided patterns, a TFI budget of
+    /// 1000, windows of at most 8 leaves, all of Algorithm 2's features on.
+    pub fn paper() -> Self {
+        SweepConfig::default()
+    }
+
+    /// A cheap setting for interactive use and smoke tests: fewer patterns,
+    /// a small conflict budget, purely random patterns (SAT-guided pattern
+    /// generation itself costs SAT queries), small windows.
+    pub fn fast() -> Self {
+        SweepConfig {
+            num_initial_patterns: 64,
+            conflict_limit: 2_000,
+            tfi_limit: 100,
+            window_limit: 6,
+            sat_guided_patterns: false,
+            ..SweepConfig::default()
+        }
+    }
+
+    /// A high-effort setting: more initial patterns, a generous conflict
+    /// budget and a deep driver search, for runs where quality matters more
+    /// than latency.
+    pub fn thorough() -> Self {
+        SweepConfig {
+            num_initial_patterns: 1024,
+            conflict_limit: 100_000,
+            tfi_limit: 10_000,
+            window_limit: 12,
+            ..SweepConfig::default()
+        }
+    }
+
+    /// Sets the number of initial simulation patterns.
+    pub fn with_patterns(mut self, num: usize) -> Self {
+        self.num_initial_patterns = num;
+        self
+    }
+
+    /// Sets the conflict budget per SAT query.
+    pub fn with_conflict_limit(mut self, limit: u64) -> Self {
+        self.conflict_limit = limit;
+        self
+    }
+
+    /// Sets the maximum number of candidate drivers examined per node.
+    pub fn with_tfi_limit(mut self, limit: usize) -> Self {
+        self.tfi_limit = limit;
+        self
+    }
+
+    /// Sets the maximum number of leaves of an exhaustive simulation window.
+    pub fn with_window_limit(mut self, limit: usize) -> Self {
+        self.window_limit = limit;
+        self
+    }
+
+    /// Sets the seed of the pseudo-random pattern generator.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks the configuration for values the engines cannot work with.
+    ///
+    /// Invalid values used to be clamped or to silently misbehave; the
+    /// builder API rejects them up front with
+    /// [`SweepError::InvalidConfig`]:
+    ///
+    /// * `num_initial_patterns` must be nonzero (candidate classes are built
+    ///   from initial signatures);
+    /// * `conflict_limit` must be nonzero (a zero budget turns every SAT
+    ///   query into `unDET` and marks every candidate don't-touch);
+    /// * `window_limit` must be at most [`MAX_WINDOW_LIMIT`] (the paper
+    ///   restricts exhaustive windows to at most 16 leaves).
+    pub fn validate(&self) -> Result<(), SweepError> {
+        if self.num_initial_patterns == 0 {
+            return Err(SweepError::InvalidConfig(
+                "num_initial_patterns must be nonzero".into(),
+            ));
+        }
+        if self.conflict_limit == 0 {
+            return Err(SweepError::InvalidConfig(
+                "conflict_limit must be nonzero".into(),
+            ));
+        }
+        if self.window_limit > MAX_WINDOW_LIMIT {
+            return Err(SweepError::InvalidConfig(format!(
+                "window_limit {} exceeds the paper's maximum of {MAX_WINDOW_LIMIT} leaves",
+                self.window_limit
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -103,6 +204,27 @@ impl SweepReport {
         } else {
             1.0 - self.gates_after as f64 / self.gates_before as f64
         }
+    }
+
+    /// Folds the report of a later pass into this one.
+    ///
+    /// Counters and times are summed; `gates_before` and `levels` keep
+    /// describing the network this report started from while `gates_after`
+    /// is taken from the later pass.  This is the accumulation used by
+    /// [`crate::Pipeline`] and the fixpoint wrapper.
+    pub fn merge(&mut self, later: &SweepReport) {
+        self.gates_after = later.gates_after;
+        self.merges += later.merges;
+        self.constants += later.constants;
+        self.sat_calls_sat += later.sat_calls_sat;
+        self.sat_calls_unsat += later.sat_calls_unsat;
+        self.sat_calls_undet += later.sat_calls_undet;
+        self.sat_calls_total += later.sat_calls_total;
+        self.disproved_by_simulation += later.disproved_by_simulation;
+        self.proved_by_simulation += later.proved_by_simulation;
+        self.simulation_time += later.simulation_time;
+        self.sat_time += later.sat_time;
+        self.total_time += later.total_time;
     }
 }
 
@@ -153,6 +275,93 @@ mod tests {
         assert!(!c.sat_guided_patterns);
         assert!(!c.constant_substitution);
         assert!(!c.window_refinement);
+    }
+
+    #[test]
+    fn presets_are_valid_and_ordered_by_effort() {
+        for config in [
+            SweepConfig::paper(),
+            SweepConfig::fast(),
+            SweepConfig::thorough(),
+            SweepConfig::baseline(),
+        ] {
+            config.validate().expect("presets validate");
+        }
+        assert!(
+            SweepConfig::fast().num_initial_patterns < SweepConfig::paper().num_initial_patterns
+        );
+        assert!(
+            SweepConfig::paper().num_initial_patterns
+                < SweepConfig::thorough().num_initial_patterns
+        );
+        assert_eq!(SweepConfig::paper(), SweepConfig::default());
+    }
+
+    #[test]
+    fn chainable_setters_apply() {
+        let config = SweepConfig::fast()
+            .with_patterns(99)
+            .with_conflict_limit(7)
+            .with_tfi_limit(3)
+            .with_window_limit(5)
+            .with_seed(42);
+        assert_eq!(config.num_initial_patterns, 99);
+        assert_eq!(config.conflict_limit, 7);
+        assert_eq!(config.tfi_limit, 3);
+        assert_eq!(config.window_limit, 5);
+        assert_eq!(config.seed, 42);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        assert!(SweepConfig::default().with_patterns(0).validate().is_err());
+        assert!(SweepConfig::default()
+            .with_conflict_limit(0)
+            .validate()
+            .is_err());
+        assert!(SweepConfig::default()
+            .with_window_limit(MAX_WINDOW_LIMIT + 1)
+            .validate()
+            .is_err());
+        // The boundary value itself is allowed (the ablation sweeps it).
+        assert!(SweepConfig::default()
+            .with_window_limit(MAX_WINDOW_LIMIT)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn merge_accumulates_counts_and_keeps_origin() {
+        let mut first = SweepReport {
+            gates_before: 100,
+            gates_after: 80,
+            levels: 9,
+            merges: 5,
+            sat_calls_sat: 2,
+            sat_calls_total: 4,
+            simulation_time: Duration::from_millis(10),
+            ..SweepReport::default()
+        };
+        let second = SweepReport {
+            gates_before: 80,
+            gates_after: 70,
+            levels: 8,
+            merges: 3,
+            constants: 1,
+            sat_calls_sat: 1,
+            sat_calls_total: 2,
+            simulation_time: Duration::from_millis(5),
+            ..SweepReport::default()
+        };
+        first.merge(&second);
+        assert_eq!(first.gates_before, 100);
+        assert_eq!(first.levels, 9);
+        assert_eq!(first.gates_after, 70);
+        assert_eq!(first.merges, 8);
+        assert_eq!(first.constants, 1);
+        assert_eq!(first.sat_calls_sat, 3);
+        assert_eq!(first.sat_calls_total, 6);
+        assert_eq!(first.simulation_time, Duration::from_millis(15));
     }
 
     #[test]

@@ -1,0 +1,744 @@
+//! The sweeping session API: the [`Sweeper`] builder, the public [`Engine`]
+//! selector and the [`SweepSession`] that executes the Fig. 2 flow
+//! (simulate → classify → window-refine → SAT → resimulate) for *both*
+//! engines through one dispatch point.
+//!
+//! ```
+//! use netlist::Aig;
+//! use stp_sweep::{Engine, StatsObserver, SweepConfig, Sweeper};
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.add_input("a");
+//! let b = aig.add_input("b");
+//! let f = aig.and(a, b);
+//! let g = aig.and(f, b); // redundant: equals f
+//! let y = aig.xor(f, g);
+//! aig.add_output("y", y);
+//!
+//! let mut stats = StatsObserver::new();
+//! let result = Sweeper::new(Engine::Stp)
+//!     .config(SweepConfig::paper())
+//!     .observer(&mut stats)
+//!     .run(&aig)
+//!     .expect("valid config, no budget");
+//! assert!(result.aig.num_ands() <= aig.num_ands());
+//! assert_eq!(stats.merges, result.report.merges);
+//! ```
+
+use crate::budget::{Budget, BudgetCause};
+use crate::equiv::EquivClasses;
+use crate::error::SweepError;
+use crate::observer::{Observer, SatCallOutcome, StatsObserver};
+use crate::patterns::{self, PatternGenConfig};
+use crate::report::{SweepConfig, SweepResult};
+use crate::window::WindowIndex;
+use bitsim::{AigSimulator, PatternSet, Signature};
+use netlist::{Aig, Lit, NodeId};
+use satsolver::{CircuitSat, EquivOutcome};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which sweeping engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Baseline FRAIG-style sweeping: random initial patterns, representative
+    /// drivers only, full bitwise counter-example resimulation.
+    Baseline,
+    /// The paper's STP-based sweeping (Algorithm 2): SAT-guided patterns,
+    /// constant substitution, reverse topological processing and exhaustive
+    /// STP window refinement before any SAT call.
+    #[default]
+    Stp,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Engine::Baseline => write!(f, "baseline"),
+            Engine::Stp => write!(f, "stp"),
+        }
+    }
+}
+
+/// Builder of a sweeping run.
+///
+/// Collects the engine, [`SweepConfig`], [`Budget`] and an optional
+/// [`Observer`], then either runs to completion ([`Sweeper::run`]) or hands
+/// out a primed [`SweepSession`] ([`Sweeper::begin`]).
+#[derive(Default)]
+pub struct Sweeper<'o> {
+    engine: Engine,
+    config: SweepConfig,
+    budget: Budget,
+    observer: Option<&'o mut dyn Observer>,
+    round: usize,
+}
+
+impl<'o> Sweeper<'o> {
+    /// Starts building a run of the given engine with the default (paper)
+    /// configuration and an unlimited budget.
+    pub fn new(engine: Engine) -> Self {
+        Sweeper {
+            engine,
+            ..Sweeper::default()
+        }
+    }
+
+    /// Sets the configuration (validated when the run starts).
+    pub fn config(mut self, config: SweepConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches an observer; the caller keeps ownership and can inspect it
+    /// after the run.
+    pub fn observer(mut self, observer: &'o mut dyn Observer) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Sets the resource budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the round index reported to observers (used by
+    /// [`crate::Pipeline`] and the fixpoint wrapper; a plain run is round 0).
+    pub(crate) fn round_index(mut self, round: usize) -> Self {
+        self.round = round;
+        self
+    }
+
+    /// Validates the configuration and primes a [`SweepSession`]: the
+    /// initial patterns are generated, the network simulated and the
+    /// candidate classes built.
+    pub fn begin<'n>(self, aig: &'n Aig) -> Result<SweepSession<'n, 'o>, SweepError> {
+        SweepSession::new(aig, self)
+    }
+
+    /// Runs the sweep to completion (or until the budget trips).
+    ///
+    /// Shorthand for `self.begin(aig)?.run()`.
+    pub fn run(self, aig: &Aig) -> Result<SweepResult, SweepError> {
+        self.begin(aig)?.run()
+    }
+}
+
+/// An in-flight sweeping run over a borrowed network.
+///
+/// Created by [`Sweeper::begin`]; [`SweepSession::run`] executes the
+/// remaining phases (constant substitution, pairwise merging, cleanup) and
+/// returns the [`SweepResult`].  The session borrows the input network for
+/// its lifetime — the result is a fresh, functionally equivalent [`Aig`].
+pub struct SweepSession<'n, 'o> {
+    engine: Engine,
+    config: SweepConfig,
+    budget: Budget,
+    observer: Option<&'o mut dyn Observer>,
+    round: usize,
+    original: &'n Aig,
+    result: Aig,
+    sat: CircuitSat<'n>,
+    pattern_set: PatternSet,
+    classes: EquivClasses,
+    windows: Option<WindowIndex>,
+    merged: Vec<Option<Lit>>,
+    dont_touch: Vec<bool>,
+    stats: StatsObserver,
+    simulation_time: Duration,
+    sat_time: Duration,
+    started: Instant,
+    sweep_sat_calls: u64,
+    stopped: Option<BudgetCause>,
+}
+
+impl<'n, 'o> SweepSession<'n, 'o> {
+    fn new(aig: &'n Aig, builder: Sweeper<'o>) -> Result<Self, SweepError> {
+        builder.config.validate()?;
+        let mut config = builder.config;
+        // The single engine-normalisation point (previously duplicated in
+        // `fraig`): the baseline never uses the paper's additions.
+        if builder.engine == Engine::Baseline {
+            config.sat_guided_patterns = false;
+            config.window_refinement = false;
+        }
+
+        let started = Instant::now();
+        let mut sat = CircuitSat::new(aig);
+
+        // A budget that is already exhausted (pre-tripped cancel token, zero
+        // deadline) skips priming entirely: the run will return the input
+        // unchanged, so pattern generation, simulation and the window index
+        // would be wasted work.  An in-flight priming phase is not
+        // interruptible — budget checks resume at the first candidate.
+        let stopped = builder.budget.exceeded(started, 0);
+        if let Some(cause) = stopped {
+            let mut session = SweepSession {
+                engine: builder.engine,
+                config,
+                budget: builder.budget,
+                observer: builder.observer,
+                round: builder.round,
+                original: aig,
+                result: aig.clone(),
+                sat,
+                pattern_set: PatternSet::new(aig.num_inputs()),
+                classes: EquivClasses::default(),
+                windows: None,
+                merged: vec![None; aig.num_nodes()],
+                dont_touch: vec![false; aig.num_nodes()],
+                stats: StatsObserver::new(),
+                simulation_time: Duration::ZERO,
+                sat_time: Duration::ZERO,
+                started,
+                sweep_sat_calls: 0,
+                stopped: Some(cause),
+            };
+            session.notify_round_start();
+            return Ok(session);
+        }
+
+        // Initial simulation (random or SAT-guided).  SAT queries spent on
+        // pattern generation are not sweeping queries; they are neither
+        // reported to observers nor counted against the budget, as in the
+        // paper's Table II accounting.
+        let sim_start = Instant::now();
+        let pattern_set = if builder.engine == Engine::Stp && config.sat_guided_patterns {
+            let gen_config = PatternGenConfig {
+                num_random: config.num_initial_patterns,
+                seed: config.seed,
+                conflict_limit: config.conflict_limit.min(2_000),
+                ..PatternGenConfig::default()
+            };
+            let (p, _) = patterns::sat_guided_patterns(aig, &mut sat, &gen_config);
+            p
+        } else {
+            patterns::random_patterns(aig, config.num_initial_patterns, config.seed)
+        };
+        let state = AigSimulator::new(aig).run(&pattern_set);
+        let and_signatures: HashMap<NodeId, Signature> = aig
+            .and_ids()
+            .map(|id| (id, state.signature(id).clone()))
+            .collect();
+        let simulation_time = sim_start.elapsed();
+
+        let classes = EquivClasses::from_signatures(&and_signatures);
+
+        // Window index used by the STP engine for exhaustive refinement and
+        // for counter-example simulation restricted to class nodes.
+        let windows = if builder.engine == Engine::Stp {
+            Some(WindowIndex::build(aig, config.window_limit))
+        } else {
+            None
+        };
+
+        let mut session = SweepSession {
+            engine: builder.engine,
+            config,
+            budget: builder.budget,
+            observer: builder.observer,
+            round: builder.round,
+            original: aig,
+            result: aig.clone(),
+            sat,
+            pattern_set,
+            classes,
+            windows,
+            merged: vec![None; aig.num_nodes()],
+            dont_touch: vec![false; aig.num_nodes()],
+            stats: StatsObserver::new(),
+            simulation_time,
+            sat_time: Duration::ZERO,
+            started,
+            sweep_sat_calls: 0,
+            stopped: None,
+        };
+        session.notify_round_start();
+        Ok(session)
+    }
+
+    fn notify_round_start(&mut self) {
+        let gates = self.original.num_ands();
+        let round = self.round;
+        self.stats.on_round(round, gates);
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_round(round, gates);
+        }
+    }
+
+    /// The engine this session runs.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The (normalised) configuration of this session.
+    pub fn config(&self) -> &SweepConfig {
+        &self.config
+    }
+
+    /// Number of merge candidates remaining (class members beyond their
+    /// representatives, plus constant candidates).
+    pub fn num_candidates(&self) -> usize {
+        self.classes.num_candidates()
+    }
+
+    /// Executes the remaining phases and returns the result.
+    ///
+    /// On budget exhaustion the partial result — every merge proved so far,
+    /// functionally equivalent to the input — is returned inside
+    /// [`SweepError::BudgetExhausted`] rather than discarded.
+    pub fn run(mut self) -> Result<SweepResult, SweepError> {
+        self.constant_substitution();
+        self.pairwise_merging();
+        let stopped = self.stopped;
+        let result = self.finish();
+        match stopped {
+            None => Ok(result),
+            Some(cause) => Err(SweepError::BudgetExhausted {
+                cause,
+                partial: Box::new(result),
+            }),
+        }
+    }
+
+    /// Checks the budget; returns `false` (and records the cause) once the
+    /// run must stop.
+    fn within_budget(&mut self) -> bool {
+        if self.stopped.is_some() {
+            return false;
+        }
+        match self.budget.exceeded(self.started, self.sweep_sat_calls) {
+            Some(cause) => {
+                self.stopped = Some(cause);
+                false
+            }
+            None => true,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observer plumbing: every event goes to the internal stats counter
+    // (from which the report is derived) and to the user observer.
+    // ------------------------------------------------------------------
+
+    fn notify_sat_call(&mut self, outcome: SatCallOutcome) {
+        self.stats.on_sat_call(outcome);
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_sat_call(outcome);
+        }
+    }
+
+    fn notify_merge(&mut self, candidate: NodeId, replacement: Lit) {
+        self.stats.on_merge(candidate, replacement);
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_merge(candidate, replacement);
+        }
+    }
+
+    fn notify_counterexample(&mut self, assignment: &[bool]) {
+        self.stats.on_counterexample(assignment);
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_counterexample(assignment);
+        }
+    }
+
+    fn notify_class_refined(&mut self, num_classes: usize, moved: usize) {
+        self.stats.on_class_refined(num_classes, moved);
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_class_refined(num_classes, moved);
+        }
+    }
+
+    fn notify_simulation_verdict(&mut self, candidate: NodeId, driver: NodeId, equivalent: bool) {
+        self.stats
+            .on_simulation_verdict(candidate, driver, equivalent);
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_simulation_verdict(candidate, driver, equivalent);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SAT queries (timed, budgeted, observed).
+    // ------------------------------------------------------------------
+
+    fn prove_equivalent(&mut self, a: Lit, b: Lit) -> EquivOutcome {
+        let sat_start = Instant::now();
+        let outcome = self.sat.prove_equivalent(a, b, self.config.conflict_limit);
+        self.sat_time += sat_start.elapsed();
+        self.record_sat_outcome(&outcome);
+        outcome
+    }
+
+    fn prove_constant(&mut self, lit: Lit, value: bool) -> EquivOutcome {
+        let sat_start = Instant::now();
+        let outcome = self
+            .sat
+            .prove_constant(lit, value, self.config.conflict_limit);
+        self.sat_time += sat_start.elapsed();
+        self.record_sat_outcome(&outcome);
+        outcome
+    }
+
+    fn record_sat_outcome(&mut self, outcome: &EquivOutcome) {
+        self.sweep_sat_calls += 1;
+        let kind = match outcome {
+            EquivOutcome::Equivalent => SatCallOutcome::Unsat,
+            EquivOutcome::CounterExample(_) => SatCallOutcome::Sat,
+            EquivOutcome::Undetermined => SatCallOutcome::Undetermined,
+        };
+        self.notify_sat_call(kind);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase: constant-node substitution.
+    // ------------------------------------------------------------------
+
+    fn constant_substitution(&mut self) {
+        if !self.config.constant_substitution {
+            return;
+        }
+        let candidates: Vec<_> = self.classes.constants().to_vec();
+        for candidate in candidates {
+            if !self.within_budget() {
+                return;
+            }
+            let lit = Lit::positive(candidate.node);
+            match self.prove_constant(lit, candidate.value) {
+                EquivOutcome::Equivalent => {
+                    let constant = if candidate.value {
+                        Lit::TRUE
+                    } else {
+                        Lit::FALSE
+                    };
+                    self.apply_merge_lit(candidate.node, constant);
+                }
+                EquivOutcome::CounterExample(ce) => self.refine_with_counterexample(&ce),
+                EquivOutcome::Undetermined => {
+                    self.dont_touch[candidate.node] = true;
+                    self.classes.remove(candidate.node);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase: pairwise merging.
+    // ------------------------------------------------------------------
+
+    fn pairwise_merging(&mut self) {
+        let mut order: Vec<NodeId> = self.original.and_ids().collect();
+        if self.engine == Engine::Stp {
+            // Algorithm 2 traverses the circuit from outputs to inputs.
+            order.reverse();
+        }
+
+        for candidate in order {
+            if !self.within_budget() {
+                return;
+            }
+            if self.merge_candidate(candidate).is_none() {
+                return;
+            }
+        }
+    }
+
+    /// Processes one candidate node; returns `None` when the budget tripped
+    /// mid-candidate.
+    fn merge_candidate(&mut self, candidate: NodeId) -> Option<()> {
+        let mut attempts = 0usize;
+        // The driver list is recomputed from the candidate's *current* class
+        // whenever a counter-example refines the classes, so no effort is
+        // spent on pairs that simulation has already distinguished.
+        'candidate: loop {
+            if self.merged[candidate].is_some()
+                || self.dont_touch[candidate]
+                || attempts >= self.config.tfi_limit
+            {
+                return Some(());
+            }
+            let Some(class) = self.classes.class_of(candidate) else {
+                return Some(());
+            };
+            if class.representative() == candidate {
+                return Some(());
+            }
+            // Candidate drivers: class members that precede the candidate in
+            // topological order, bounded by the TFI limit.
+            let candidate_phase = class.phase_of(candidate);
+            let drivers: Vec<(NodeId, bool)> = class
+                .members()
+                .iter()
+                .zip(class.members().iter().map(|&m| class.phase_of(m)))
+                .filter(|&(&m, _)| m < candidate && self.merged[m].is_none() && !self.dont_touch[m])
+                .map(|(&m, phase)| (m, phase != candidate_phase))
+                .take(self.config.tfi_limit - attempts)
+                .collect();
+            if drivers.is_empty() {
+                return Some(());
+            }
+            for (driver, complemented) in drivers {
+                attempts += 1;
+                // Exhaustive STP window refinement before any SAT call.
+                if self.engine == Engine::Stp && self.config.window_refinement {
+                    if let Some(index) = self.windows.as_ref() {
+                        match index.compare(self.original, candidate, driver, complemented) {
+                            Some(false) => {
+                                self.notify_simulation_verdict(candidate, driver, false);
+                                continue;
+                            }
+                            Some(true) => {
+                                self.notify_simulation_verdict(candidate, driver, true);
+                                self.apply_merge(candidate, driver, complemented);
+                                return Some(());
+                            }
+                            None => {}
+                        }
+                    }
+                }
+                if !self.within_budget() {
+                    return None;
+                }
+                let outcome =
+                    self.prove_equivalent(Lit::positive(candidate), Lit::new(driver, complemented));
+                match outcome {
+                    EquivOutcome::Equivalent => {
+                        self.apply_merge(candidate, driver, complemented);
+                        return Some(());
+                    }
+                    EquivOutcome::CounterExample(ce) => {
+                        self.refine_with_counterexample(&ce);
+                        // Re-derive the drivers from the refined classes.
+                        continue 'candidate;
+                    }
+                    EquivOutcome::Undetermined => {
+                        // Don't-touch: stop spending effort on this candidate.
+                        self.dont_touch[candidate] = true;
+                        self.classes.remove(candidate);
+                        return Some(());
+                    }
+                }
+            }
+            // Every driver was examined without a counter-example forcing a
+            // re-derivation: nothing more to do for this candidate.
+            return Some(());
+        }
+    }
+
+    /// Applies a proved merge: redirects `candidate`'s fanouts to `driver`
+    /// (complemented as required) in the working copy.
+    fn apply_merge(&mut self, candidate: NodeId, driver: NodeId, complemented: bool) {
+        self.apply_merge_lit(candidate, Lit::new(driver, complemented));
+    }
+
+    fn apply_merge_lit(&mut self, candidate: NodeId, replacement: Lit) {
+        self.result.replace_node(candidate, replacement);
+        self.merged[candidate] = Some(replacement);
+        self.classes.remove(candidate);
+        self.notify_merge(candidate, replacement);
+    }
+
+    /// Simulates a counter-example and refines the candidate classes.
+    ///
+    /// The baseline engine re-simulates the whole network bit-parallel; the
+    /// STP engine simulates only the nodes that are still members of some
+    /// candidate class (or constant candidates) through their cut windows.
+    fn refine_with_counterexample(&mut self, counterexample: &[bool]) {
+        self.notify_counterexample(counterexample);
+        let sim_start = Instant::now();
+        self.pattern_set.push_pattern(counterexample);
+        let new_signatures: HashMap<NodeId, Signature> = match (self.engine, &self.windows) {
+            (Engine::Stp, Some(index)) => {
+                // Only class members and constant candidates need new values.
+                let mut targets: Vec<NodeId> = self
+                    .classes
+                    .classes()
+                    .iter()
+                    .flat_map(|c| c.members().iter().copied())
+                    .collect();
+                targets.extend(self.classes.constants().iter().map(|c| c.node));
+                targets.sort_unstable();
+                targets.dedup();
+                let mut ce_only = PatternSet::new(self.original.num_inputs());
+                ce_only.push_pattern(counterexample);
+                index.simulate_targets(self.original, &ce_only, &targets)
+            }
+            _ => {
+                // Full bitwise resimulation with the complete (grown) set.
+                let state = AigSimulator::new(self.original).run(&self.pattern_set);
+                self.original
+                    .and_ids()
+                    .map(|id| (id, state.signature(id).clone()))
+                    .collect()
+            }
+        };
+        let moved = self.classes.refine(&new_signatures);
+        self.simulation_time += sim_start.elapsed();
+        let num_classes = self.classes.classes().len();
+        self.notify_class_refined(num_classes, moved);
+    }
+
+    // ------------------------------------------------------------------
+    // Cleanup and reporting.
+    // ------------------------------------------------------------------
+
+    /// Cleans up the working copy and derives the report from the internal
+    /// stats counter plus the session's own gate/time measurements.
+    fn finish(self) -> SweepResult {
+        let (cleaned, _) = self.result.cleanup();
+        let mut report = self.stats.counts();
+        report.gates_before = self.original.num_ands();
+        report.levels = self.original.depth();
+        report.gates_after = cleaned.num_ands();
+        report.simulation_time = self.simulation_time;
+        report.sat_time = self.sat_time;
+        report.total_time = self.started.elapsed();
+        SweepResult {
+            aig: cleaned,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::CancelToken;
+    use crate::cec::check_equivalence;
+
+    /// A circuit with planted redundancy: the same functions built twice
+    /// with different structure, plus a constant-false cone.
+    fn redundant_circuit() -> Aig {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs("x", 6);
+        let f1 = aig.and(xs[0], xs[1]);
+        let g1 = aig.xor(xs[2], xs[3]);
+        let h1 = aig.maj(xs[3], xs[4], xs[5]);
+        let f2_a = aig.nand(xs[0], xs[1]);
+        let f2 = !f2_a;
+        let g2_t = aig.or(xs[2], xs[3]);
+        let g2_b = aig.nand(xs[2], xs[3]);
+        let g2 = aig.and(g2_t, g2_b);
+        let h2_ab = aig.and(xs[3], xs[4]);
+        let h2_ac = aig.and(xs[3], xs[5]);
+        let h2_bc = aig.and(xs[4], xs[5]);
+        let h2_t = aig.or(h2_ab, h2_ac);
+        let h2 = aig.or(h2_t, h2_bc);
+        let c_t = aig.and(xs[0], xs[2]);
+        let c = aig.and(c_t, !xs[0]);
+        let o1 = aig.xor(f1, g2);
+        let o2 = aig.xor(f2, g1);
+        let o3 = aig.or(h1, c);
+        let o4 = aig.and(h2, o1);
+        aig.add_output("o1", o1);
+        aig.add_output("o2", o2);
+        aig.add_output("o3", o3);
+        aig.add_output("o4", o4);
+        aig
+    }
+
+    #[test]
+    fn builder_run_matches_defaults() {
+        let aig = redundant_circuit();
+        let result = Sweeper::new(Engine::Stp).run(&aig).expect("runs");
+        assert!(result.aig.num_ands() < aig.num_ands());
+        assert!(check_equivalence(&aig, &result.aig, 100_000).equivalent);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_up_front() {
+        let aig = redundant_circuit();
+        let err = Sweeper::new(Engine::Stp)
+            .config(SweepConfig::default().with_patterns(0))
+            .run(&aig)
+            .unwrap_err();
+        assert!(matches!(err, SweepError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn external_stats_observer_matches_returned_report() {
+        let aig = redundant_circuit();
+        let mut stats = StatsObserver::new();
+        let result = Sweeper::new(Engine::Stp)
+            .observer(&mut stats)
+            .run(&aig)
+            .expect("runs");
+        let r = &result.report;
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.merges, r.merges);
+        assert_eq!(stats.constants, r.constants);
+        assert_eq!(stats.sat_calls_sat, r.sat_calls_sat);
+        assert_eq!(stats.sat_calls_unsat, r.sat_calls_unsat);
+        assert_eq!(stats.sat_calls_undet, r.sat_calls_undet);
+        assert_eq!(stats.sat_calls_total(), r.sat_calls_total);
+        assert_eq!(stats.proved_by_simulation, r.proved_by_simulation);
+        assert_eq!(stats.disproved_by_simulation, r.disproved_by_simulation);
+        assert_eq!(stats.counterexamples, r.sat_calls_sat);
+    }
+
+    #[test]
+    fn zero_deadline_returns_equivalent_partial_result() {
+        let aig = redundant_circuit();
+        let err = Sweeper::new(Engine::Stp)
+            .budget(Budget::unlimited().with_deadline(Duration::ZERO))
+            .run(&aig)
+            .unwrap_err();
+        let SweepError::BudgetExhausted { cause, partial } = err else {
+            panic!("expected budget exhaustion");
+        };
+        assert_eq!(cause, BudgetCause::Deadline);
+        assert!(check_equivalence(&aig, &partial.aig, 100_000).equivalent);
+        // Nothing was attempted: no SAT calls at all.
+        assert_eq!(partial.report.sat_calls_total, 0);
+    }
+
+    #[test]
+    fn sat_call_budget_truncates_but_stays_equivalent() {
+        let aig = redundant_circuit();
+        let unlimited = Sweeper::new(Engine::Stp).run(&aig).expect("runs");
+        assert!(unlimited.report.sat_calls_total >= 1);
+
+        // A zero-call budget trips at the first candidate boundary.
+        let err = Sweeper::new(Engine::Stp)
+            .budget(Budget::unlimited().with_max_sat_calls(0))
+            .run(&aig)
+            .unwrap_err();
+        let partial = err.into_partial().expect("carries the partial result");
+        assert_eq!(partial.report.sat_calls_total, 0);
+        assert!(check_equivalence(&aig, &partial.aig, 100_000).equivalent);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_the_run() {
+        let aig = redundant_circuit();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = Sweeper::new(Engine::Stp)
+            .budget(Budget::unlimited().with_cancel_token(token))
+            .run(&aig)
+            .unwrap_err();
+        let SweepError::BudgetExhausted { cause, partial } = err else {
+            panic!("expected budget exhaustion");
+        };
+        assert_eq!(cause, BudgetCause::Cancelled);
+        assert!(check_equivalence(&aig, &partial.aig, 100_000).equivalent);
+    }
+
+    #[test]
+    fn session_exposes_engine_config_and_candidates() {
+        let aig = redundant_circuit();
+        let session = Sweeper::new(Engine::Baseline)
+            .config(SweepConfig {
+                sat_guided_patterns: true, // normalised away for the baseline
+                ..SweepConfig::default()
+            })
+            .begin(&aig)
+            .expect("valid config");
+        assert_eq!(session.engine(), Engine::Baseline);
+        assert!(!session.config().sat_guided_patterns);
+        assert!(session.num_candidates() > 0);
+        let result = session.run().expect("runs");
+        assert!(check_equivalence(&aig, &result.aig, 100_000).equivalent);
+    }
+}

@@ -24,7 +24,7 @@ use truthtable::{compose, TruthTable};
 /// Hard ceiling on the number of leaves of a collapsed cut (beyond this the
 /// cut is split; composing larger truth tables would cost more than it
 /// saves, cf. the paper's "fewer than 16 leaf nodes" restriction).
-const MAX_CUT_LEAVES: usize = 16;
+pub const MAX_CUT_LEAVES: usize = 16;
 
 /// Result of an all-nodes STP simulation: one signature per node.
 #[derive(Debug, Clone)]

@@ -1,383 +1,94 @@
-//! The STP-based SAT-sweeping engine (Algorithm 2 of the paper) and the
-//! shared sweeping machinery used by the baseline engine in [`crate::fraig`].
+//! Legacy free-function entry points of the STP sweeper.
 //!
-//! The sweep proceeds as in Fig. 2: initial simulation builds candidate
-//! equivalence classes (including constant candidates), the nodes are then
-//! visited and every candidate is compared against a preceding *driver* of
-//! its class; the SAT solver proves or disproves the merge, and each
-//! counter-example is simulated to refine the remaining classes.
+//! **Deprecated in favour of the builder API** — these wrappers remain for
+//! source compatibility and forward to [`crate::Sweeper`] / [`crate::Pipeline`].
+//! The one-line migration:
 //!
-//! The STP engine differs from the baseline in exactly the ways the paper
-//! describes:
+//! ```text
+//! sweeper::sweep_stp(&aig, &config)                 // before
+//! Sweeper::new(Engine::Stp).config(config).run(&aig)?  // after
 //!
-//! * the initial patterns are SAT-guided (Section IV-A);
-//! * constant nodes are detected and substituted before pairwise merging;
-//! * candidates are processed in reverse topological order, classes are
-//!   considered together with their complements, and at most `tfi_limit`
-//!   drivers are examined per candidate;
-//! * candidates that come back `unDET` are marked *don't touch*;
-//! * before any SAT call the pair is checked by **exhaustive STP window
-//!   simulation** ([`crate::window`]), which disproves most false candidates
-//!   and proves window-complete ones without touching the solver;
-//! * counter-examples are simulated only on the equivalence-class nodes via
-//!   the cut windows instead of re-simulating the whole network.
+//! sweeper::sweep_stp_to_fixpoint(&aig, &config, n)  // before
+//! Pipeline::new(config).sweep_to_fixpoint(Engine::Stp, n).run(&aig)?  // after
+//! ```
+//!
+//! The builder additionally offers progress [`crate::Observer`]s, a
+//! [`crate::Budget`] (deadline, SAT-call cap, cancellation) with partial
+//! results, and typed [`crate::SweepError`]s instead of silent misbehaviour.
+//! See [`crate::session`] for the engine itself (Algorithm 2 of the paper)
+//! and [`crate::pipeline`] for multi-pass composition.
 
-use crate::equiv::EquivClasses;
-use crate::patterns::{self, PatternGenConfig};
-use crate::report::{SweepConfig, SweepReport, SweepResult};
-use crate::window::WindowIndex;
-use bitsim::{AigSimulator, PatternSet, Signature};
-use netlist::{Aig, Lit, NodeId};
-use satsolver::{CircuitSat, EquivOutcome};
-use std::collections::HashMap;
-use std::time::Instant;
+pub use crate::session::Engine;
 
-/// Which sweeping engine to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Engine {
-    /// Baseline FRAIG-style sweeping: random initial patterns, representative
-    /// drivers only, full bitwise counter-example resimulation.
-    Baseline,
-    /// The paper's STP-based sweeping (Algorithm 2).
-    Stp,
-}
+use crate::pipeline::Pipeline;
+use crate::report::{SweepConfig, SweepResult};
+use crate::session::Sweeper;
+use netlist::Aig;
 
 /// Runs the STP-based SAT sweeper (Algorithm 2) on `aig`.
 ///
+/// Legacy wrapper around [`Sweeper`]; panics on an invalid `config` (the
+/// builder API returns [`crate::SweepError::InvalidConfig`] instead).
+///
 /// The returned network is functionally equivalent to the input (verified by
 /// the crate's tests via [`crate::cec`]) and never larger.
+///
+/// ```
+/// use netlist::Aig;
+/// use stp_sweep::{sweeper, SweepConfig};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// let f = aig.and(a, b);
+/// let g = aig.and(f, b); // redundant: equals f
+/// let y = aig.xor(f, g);
+/// aig.add_output("y", y);
+/// let result = sweeper::sweep_stp(&aig, &SweepConfig::default());
+/// assert!(result.aig.num_ands() <= aig.num_ands());
+/// ```
 pub fn sweep_stp(aig: &Aig, config: &SweepConfig) -> SweepResult {
-    run_sweep(aig, config, Engine::Stp)
+    Sweeper::new(Engine::Stp)
+        .config(*config)
+        .run(aig)
+        .expect("legacy wrapper: invalid SweepConfig")
 }
 
 /// Runs the STP sweeper repeatedly until no further gates are removed (or
-/// `max_rounds` is reached).  Merging can expose new structural sharing
-/// (the cleanup re-hashes the network), so a second pass occasionally finds
-/// additional merges; the reports of all rounds are accumulated.
-pub fn sweep_stp_to_fixpoint(aig: &Aig, config: &SweepConfig, max_rounds: usize) -> SweepResult {
-    let mut current = aig.clone();
-    let mut accumulated = SweepReport {
-        gates_before: aig.num_ands(),
-        levels: aig.depth(),
-        ..SweepReport::default()
-    };
-    for _ in 0..max_rounds.max(1) {
-        let round = run_sweep(&current, config, Engine::Stp);
-        accumulated.merges += round.report.merges;
-        accumulated.constants += round.report.constants;
-        accumulated.sat_calls_sat += round.report.sat_calls_sat;
-        accumulated.sat_calls_unsat += round.report.sat_calls_unsat;
-        accumulated.sat_calls_undet += round.report.sat_calls_undet;
-        accumulated.sat_calls_total += round.report.sat_calls_total;
-        accumulated.proved_by_simulation += round.report.proved_by_simulation;
-        accumulated.disproved_by_simulation += round.report.disproved_by_simulation;
-        accumulated.simulation_time += round.report.simulation_time;
-        accumulated.sat_time += round.report.sat_time;
-        accumulated.total_time += round.report.total_time;
-        let converged = round.aig.num_ands() == current.num_ands();
-        current = round.aig;
-        if converged {
-            break;
-        }
-    }
-    accumulated.gates_after = current.num_ands();
-    SweepResult {
-        aig: current,
-        report: accumulated,
-    }
-}
-
-pub(crate) fn run_sweep(aig: &Aig, config: &SweepConfig, engine: Engine) -> SweepResult {
-    let total_start = Instant::now();
-    let original = aig.clone();
-    let mut result = aig.clone();
-    let mut report = SweepReport {
-        gates_before: original.num_ands(),
-        levels: original.depth(),
-        ..SweepReport::default()
-    };
-
-    let mut sat = CircuitSat::new(&original);
-
-    // ------------------------------------------------------------------
-    // Initial simulation (random or SAT-guided).
-    // ------------------------------------------------------------------
-    let sim_start = Instant::now();
-    let mut pattern_set = if engine == Engine::Stp && config.sat_guided_patterns {
-        let gen_config = PatternGenConfig {
-            num_random: config.num_initial_patterns,
-            seed: config.seed,
-            conflict_limit: config.conflict_limit.min(2_000),
-            ..PatternGenConfig::default()
-        };
-        let (p, _) = patterns::sat_guided_patterns(&original, &mut sat, &gen_config);
-        p
-    } else {
-        patterns::random_patterns(&original, config.num_initial_patterns, config.seed)
-    };
-    let state = AigSimulator::new(&original).run(&pattern_set);
-    let and_signatures: HashMap<NodeId, Signature> = original
-        .and_ids()
-        .map(|id| (id, state.signature(id).clone()))
-        .collect();
-    report.simulation_time += sim_start.elapsed();
-    // SAT queries spent on pattern generation are not sweeping queries; the
-    // Table II counters start after the initial simulation, as in the paper.
-    let pattern_gen_stats = sat.query_stats();
-
-    let mut classes = EquivClasses::from_signatures(&and_signatures);
-
-    // Window index used by the STP engine for exhaustive refinement and for
-    // counter-example simulation restricted to class nodes.
-    let windows = if engine == Engine::Stp {
-        Some(WindowIndex::build(&original, config.window_limit))
-    } else {
-        None
-    };
-
-    // Tracks nodes that have been merged away (and into what) and nodes
-    // marked don't-touch.
-    let mut merged: Vec<Option<Lit>> = vec![None; original.num_nodes()];
-    let mut dont_touch = vec![false; original.num_nodes()];
-
-    // ------------------------------------------------------------------
-    // Constant-node substitution.
-    // ------------------------------------------------------------------
-    if config.constant_substitution {
-        let candidates: Vec<_> = classes.constants().to_vec();
-        for candidate in candidates {
-            let lit = Lit::positive(candidate.node);
-            let sat_start = Instant::now();
-            let outcome = sat.prove_constant(lit, candidate.value, config.conflict_limit);
-            report.sat_time += sat_start.elapsed();
-            match outcome {
-                EquivOutcome::Equivalent => {
-                    let constant = if candidate.value {
-                        Lit::TRUE
-                    } else {
-                        Lit::FALSE
-                    };
-                    result.replace_node(candidate.node, constant);
-                    merged[candidate.node] = Some(constant);
-                    classes.remove(candidate.node);
-                    report.constants += 1;
-                }
-                EquivOutcome::CounterExample(ce) => {
-                    refine_with_counterexample(
-                        &original,
-                        &ce,
-                        &mut pattern_set,
-                        &mut classes,
-                        windows.as_ref(),
-                        &mut report,
-                        engine,
-                    );
-                }
-                EquivOutcome::Undetermined => {
-                    dont_touch[candidate.node] = true;
-                    classes.remove(candidate.node);
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Pairwise merging.
-    // ------------------------------------------------------------------
-    let mut order: Vec<NodeId> = original.and_ids().collect();
-    if engine == Engine::Stp {
-        // Algorithm 2 traverses the circuit from outputs to inputs.
-        order.reverse();
-    }
-
-    for candidate in order {
-        let mut attempts = 0usize;
-        // The driver list is recomputed from the candidate's *current* class
-        // whenever a counter-example refines the classes, so no effort is
-        // spent on pairs that simulation has already distinguished.
-        'candidate: loop {
-            if merged[candidate].is_some() || dont_touch[candidate] || attempts >= config.tfi_limit
-            {
-                break;
-            }
-            let Some(class) = classes.class_of(candidate) else {
-                break;
-            };
-            if class.representative() == candidate {
-                break;
-            }
-            // Candidate drivers: class members that precede the candidate in
-            // topological order, bounded by the TFI limit.
-            let candidate_phase = class.phase_of(candidate);
-            let drivers: Vec<(NodeId, bool)> = class
-                .members()
-                .iter()
-                .zip(class.members().iter().map(|&m| class.phase_of(m)))
-                .filter(|&(&m, _)| m < candidate && merged[m].is_none() && !dont_touch[m])
-                .map(|(&m, phase)| (m, phase != candidate_phase))
-                .take(config.tfi_limit - attempts)
-                .collect();
-            if drivers.is_empty() {
-                break;
-            }
-            for (driver, complemented) in drivers {
-                attempts += 1;
-                // Exhaustive STP window refinement before any SAT call.
-                if engine == Engine::Stp && config.window_refinement {
-                    if let Some(index) = windows.as_ref() {
-                        match index.compare(&original, candidate, driver, complemented) {
-                            Some(false) => {
-                                report.disproved_by_simulation += 1;
-                                continue;
-                            }
-                            Some(true) => {
-                                report.proved_by_simulation += 1;
-                                apply_merge(
-                                    &mut result,
-                                    candidate,
-                                    driver,
-                                    complemented,
-                                    &mut merged,
-                                    &mut classes,
-                                    &mut report,
-                                );
-                                break 'candidate;
-                            }
-                            None => {}
-                        }
-                    }
-                }
-                let sat_start = Instant::now();
-                let outcome = sat.prove_equivalent(
-                    Lit::positive(candidate),
-                    Lit::new(driver, complemented),
-                    config.conflict_limit,
-                );
-                report.sat_time += sat_start.elapsed();
-                match outcome {
-                    EquivOutcome::Equivalent => {
-                        apply_merge(
-                            &mut result,
-                            candidate,
-                            driver,
-                            complemented,
-                            &mut merged,
-                            &mut classes,
-                            &mut report,
-                        );
-                        break 'candidate;
-                    }
-                    EquivOutcome::CounterExample(ce) => {
-                        refine_with_counterexample(
-                            &original,
-                            &ce,
-                            &mut pattern_set,
-                            &mut classes,
-                            windows.as_ref(),
-                            &mut report,
-                            engine,
-                        );
-                        // Re-derive the drivers from the refined classes.
-                        continue 'candidate;
-                    }
-                    EquivOutcome::Undetermined => {
-                        // Don't-touch: stop spending effort on this candidate.
-                        dont_touch[candidate] = true;
-                        classes.remove(candidate);
-                        break 'candidate;
-                    }
-                }
-            }
-            // Every driver was examined without a counter-example forcing a
-            // re-derivation: nothing more to do for this candidate.
-            break;
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Cleanup and reporting.
-    // ------------------------------------------------------------------
-    let query_stats = sat.query_stats();
-    report.sat_calls_total = query_stats.total_calls - pattern_gen_stats.total_calls;
-    report.sat_calls_sat = query_stats.sat_calls - pattern_gen_stats.sat_calls;
-    report.sat_calls_unsat = query_stats.unsat_calls - pattern_gen_stats.unsat_calls;
-    report.sat_calls_undet = query_stats.undetermined_calls - pattern_gen_stats.undetermined_calls;
-
-    let (cleaned, _) = result.cleanup();
-    report.gates_after = cleaned.num_ands();
-    report.total_time = total_start.elapsed();
-    SweepResult {
-        aig: cleaned,
-        report,
-    }
-}
-
-/// Applies a proved merge: redirects `candidate`'s fanouts to `driver`
-/// (complemented as required) in the working copy.
-fn apply_merge(
-    result: &mut Aig,
-    candidate: NodeId,
-    driver: NodeId,
-    complemented: bool,
-    merged: &mut [Option<Lit>],
-    classes: &mut EquivClasses,
-    report: &mut SweepReport,
-) {
-    let replacement = Lit::new(driver, complemented);
-    result.replace_node(candidate, replacement);
-    merged[candidate] = Some(replacement);
-    classes.remove(candidate);
-    report.merges += 1;
-}
-
-/// Simulates a counter-example and refines the candidate classes.
+/// `max_rounds` is reached), accumulating the reports of all rounds.
 ///
-/// The baseline engine re-simulates the whole network bit-parallel; the STP
-/// engine simulates only the nodes that are still members of some candidate
-/// class (or constant candidates) through their cut windows.
-fn refine_with_counterexample(
-    original: &Aig,
-    counterexample: &[bool],
-    pattern_set: &mut PatternSet,
-    classes: &mut EquivClasses,
-    windows: Option<&WindowIndex>,
-    report: &mut SweepReport,
-    engine: Engine,
-) {
-    let sim_start = Instant::now();
-    pattern_set.push_pattern(counterexample);
-    let new_signatures: HashMap<NodeId, Signature> = match (engine, windows) {
-        (Engine::Stp, Some(index)) => {
-            // Only class members and constant candidates need new values.
-            let mut targets: Vec<NodeId> = classes
-                .classes()
-                .iter()
-                .flat_map(|c| c.members().iter().copied())
-                .collect();
-            targets.extend(classes.constants().iter().map(|c| c.node));
-            targets.sort_unstable();
-            targets.dedup();
-            let mut ce_only = PatternSet::new(original.num_inputs());
-            ce_only.push_pattern(counterexample);
-            index.simulate_targets(original, &ce_only, &targets)
-        }
-        _ => {
-            // Full bitwise resimulation with the complete (grown) pattern set.
-            let state = AigSimulator::new(original).run(pattern_set);
-            original
-                .and_ids()
-                .map(|id| (id, state.signature(id).clone()))
-                .collect()
-        }
-    };
-    classes.refine(&new_signatures);
-    report.simulation_time += sim_start.elapsed();
+/// Legacy wrapper around [`Pipeline::sweep_to_fixpoint`]; panics on an
+/// invalid `config`.
+///
+/// ```
+/// use netlist::Aig;
+/// use stp_sweep::{sweeper, SweepConfig};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// let f = aig.and(a, b);
+/// let g = aig.and(f, b);
+/// let y = aig.xor(f, g);
+/// aig.add_output("y", y);
+/// let fixed = sweeper::sweep_stp_to_fixpoint(&aig, &SweepConfig::default(), 4);
+/// assert_eq!(fixed.report.gates_before, aig.num_ands());
+/// assert_eq!(fixed.report.gates_after, fixed.aig.num_ands());
+/// ```
+pub fn sweep_stp_to_fixpoint(aig: &Aig, config: &SweepConfig, max_rounds: usize) -> SweepResult {
+    Pipeline::new(*config)
+        .sweep_to_fixpoint(Engine::Stp, max_rounds)
+        .run(aig)
+        .expect("legacy wrapper: invalid SweepConfig")
+        .into_sweep_result()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cec::check_equivalence;
+    use crate::report::SweepReport;
+    use netlist::Aig;
 
     /// A circuit with planted redundancy: the same functions built twice with
     /// different structure, plus a constant-false cone.
@@ -492,5 +203,25 @@ mod tests {
         );
         assert!(r.gates_after <= r.gates_before);
         assert!(r.total_time >= r.sat_time);
+    }
+
+    // The wrapper forwards to the builder, so this pins wrapper-forwarding
+    // fidelity (config/engine drift) and run-to-run determinism, not an
+    // independent engine implementation.
+    #[test]
+    fn legacy_wrapper_matches_builder_exactly() {
+        let aig = redundant_circuit();
+        let legacy = sweep_stp(&aig, &SweepConfig::default());
+        let builder = crate::Sweeper::new(Engine::Stp)
+            .run(&aig)
+            .expect("valid default config");
+        assert_eq!(legacy.aig.num_ands(), builder.aig.num_ands());
+        let strip = |r: &SweepReport| SweepReport {
+            simulation_time: Default::default(),
+            sat_time: Default::default(),
+            total_time: Default::default(),
+            ..*r
+        };
+        assert_eq!(strip(&legacy.report), strip(&builder.report));
     }
 }

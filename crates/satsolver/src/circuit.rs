@@ -4,7 +4,7 @@
 //! *is node `a` equivalent to node `b` (possibly complemented)?* and *is node
 //! `a` a constant?*  [`CircuitSat`] answers both by lazily Tseitin-encoding
 //! the transitive-fanin cones of the queried literals into one incremental
-//! [`Solver`] (this mirrors the "circuit-based SAT solver [with] direct
+//! [`Solver`] (this mirrors the "circuit-based SAT solver \[with\] direct
 //! access to the network" used in the paper), and translates satisfying
 //! assignments back into counter-example patterns over the primary inputs.
 

@@ -4,8 +4,9 @@
 
 use stp_sat_sweep::bitsim::{AigSimulator, PatternSet};
 use stp_sat_sweep::netlist::{lutmap, Aig};
+use stp_sat_sweep::stp_sweep::cec;
 use stp_sat_sweep::stp_sweep::stp_sim::StpSimulator;
-use stp_sat_sweep::stp_sweep::{cec, sweeper, SweepConfig};
+use stp_sat_sweep::{Engine, SweepConfig, Sweeper};
 
 fn main() {
     // 1. Build an AIG with some planted redundancy: the same XOR computed
@@ -40,7 +41,10 @@ fn main() {
     );
 
     // 3. SAT-sweep the network with the paper's STP engine.
-    let result = sweeper::sweep_stp(&aig, &SweepConfig::default());
+    let result = Sweeper::new(Engine::Stp)
+        .config(SweepConfig::paper())
+        .run(&aig)
+        .expect("valid config, unlimited budget");
     println!("after sweeping: {}", result.aig.stats());
     println!("report: {}", result.report);
 

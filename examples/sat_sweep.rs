@@ -4,8 +4,9 @@
 //! Run with: `cargo run --release --example sat_sweep -- [benchmark]`
 //! (default: `oski15a07b0s`)
 
-use stp_sat_sweep::stp_sweep::{cec, fraig, sweeper, SweepConfig};
+use stp_sat_sweep::stp_sweep::cec;
 use stp_sat_sweep::workloads::{hwmcc_suite, Scale};
+use stp_sat_sweep::{Engine, StatsObserver, SweepConfig, Sweeper};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -26,11 +27,25 @@ fn main() {
         bench.baseline_gates
     );
 
-    let baseline = fraig::sweep_fraig(&bench.aig, &SweepConfig::baseline());
+    let baseline = Sweeper::new(Engine::Baseline)
+        .config(SweepConfig::baseline())
+        .run(&bench.aig)
+        .expect("valid config");
     println!("\nbaseline &fraig-style sweeper:\n  {}", baseline.report);
 
-    let stp = sweeper::sweep_stp(&bench.aig, &SweepConfig::default());
+    // Observe the STP engine while it runs: the same counters the report is
+    // derived from are visible to any `Observer` implementation.
+    let mut stats = StatsObserver::new();
+    let stp = Sweeper::new(Engine::Stp)
+        .config(SweepConfig::paper())
+        .observer(&mut stats)
+        .run(&bench.aig)
+        .expect("valid config");
     println!("STP sweeper (Algorithm 2):\n  {}", stp.report);
+    println!(
+        "  observer saw {} counter-examples and {} class refinements",
+        stats.counterexamples, stats.refinements
+    );
     println!(
         "  window refinement avoided SAT on {} pairs ({} proved, {} disproved)",
         stp.report.proved_by_simulation + stp.report.disproved_by_simulation,

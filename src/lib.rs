@@ -7,21 +7,32 @@
 //! for SAT-sweeping"* (DATE 2024). See the repository `README.md` for the
 //! architecture overview and the crate-dependency diagram.
 //!
+//! The sweeping entry point is the [`Sweeper`] builder (re-exported at the
+//! facade root alongside the rest of the session API):
+//!
 //! ```
 //! use stp_sat_sweep::netlist::Aig;
-//! use stp_sat_sweep::bitsim::PatternSet;
+//! use stp_sat_sweep::{Engine, SweepConfig, Sweeper};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut aig = Aig::new();
 //! let a = aig.add_input("a");
 //! let b = aig.add_input("b");
-//! let g = aig.and(a, b);
-//! aig.add_output("y", g);
-//! let patterns = PatternSet::exhaustive(2);
-//! assert_eq!(patterns.num_patterns(), 4);
+//! let f = aig.and(a, b);
+//! let g = aig.and(f, b); // redundant: equals f
+//! let y = aig.xor(f, g);
+//! aig.add_output("y", y);
+//!
+//! let result = Sweeper::new(Engine::Stp).config(SweepConfig::fast()).run(&aig)?;
+//! assert!(result.aig.num_ands() <= aig.num_ands());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Multi-pass flows (sweep → strash → sweep → verify) compose through
+//! [`Pipeline`], runs are bounded by [`Budget`] and observed through
+//! [`Observer`]; see the `stp_sweep` crate docs.  The legacy free functions
+//! (`stp_sweep::sweeper::sweep_stp` and friends) remain as thin wrappers.
 
 pub use bitsim;
 pub use netlist;
@@ -30,3 +41,9 @@ pub use stp;
 pub use stp_sweep;
 pub use truthtable;
 pub use workloads;
+
+pub use stp_sweep::{
+    Budget, BudgetCause, CancelToken, Engine, NoopObserver, Observer, PassReport, Pipeline,
+    PipelineResult, SatCallOutcome, StatsObserver, SweepConfig, SweepError, SweepReport,
+    SweepResult, SweepSession, Sweeper,
+};

@@ -3,8 +3,29 @@
 //! AIGER round trips of generated circuits.
 
 use stp_sat_sweep::netlist::{read_aiger_str, write_aiger_string};
-use stp_sat_sweep::stp_sweep::{cec, fraig, sweeper, SweepConfig};
-use stp_sat_sweep::workloads::{generators, hwmcc_suite, inject_redundancy, Scale};
+use stp_sat_sweep::stp_sweep::cec;
+use stp_sat_sweep::workloads::{epfl_suite, generators, hwmcc_suite, inject_redundancy, Scale};
+use stp_sat_sweep::{Budget, Engine, SweepConfig, SweepError, Sweeper};
+
+fn sweep_stp(
+    aig: &stp_sat_sweep::netlist::Aig,
+    config: &SweepConfig,
+) -> stp_sat_sweep::SweepResult {
+    Sweeper::new(Engine::Stp)
+        .config(*config)
+        .run(aig)
+        .expect("valid config")
+}
+
+fn sweep_baseline(
+    aig: &stp_sat_sweep::netlist::Aig,
+    config: &SweepConfig,
+) -> stp_sat_sweep::SweepResult {
+    Sweeper::new(Engine::Baseline)
+        .config(*config)
+        .run(aig)
+        .expect("valid config")
+}
 
 fn quick_config() -> SweepConfig {
     SweepConfig {
@@ -20,7 +41,7 @@ fn stp_sweeping_recovers_injected_redundancy() {
     let redundant = inject_redundancy(&base, 0.5, 42);
     assert!(redundant.num_ands() > base.num_ands());
 
-    let result = sweeper::sweep_stp(&redundant, &quick_config());
+    let result = sweep_stp(&redundant, &quick_config());
     assert!(
         result.aig.num_ands() < redundant.num_ands(),
         "sweeping must remove part of the planted redundancy ({} -> {})",
@@ -35,14 +56,14 @@ fn both_engines_produce_equivalent_results_on_control_logic() {
     let base = generators::random_control(12, 120, 8, 77);
     let redundant = inject_redundancy(&base, 0.4, 77);
 
-    let baseline = fraig::sweep_fraig(
+    let baseline = sweep_baseline(
         &redundant,
         &SweepConfig {
             num_initial_patterns: 64,
             ..SweepConfig::baseline()
         },
     );
-    let stp = sweeper::sweep_stp(&redundant, &quick_config());
+    let stp = sweep_stp(&redundant, &quick_config());
 
     assert!(cec::check_equivalence(&redundant, &baseline.aig, 500_000).equivalent);
     assert!(cec::check_equivalence(&redundant, &stp.aig, 500_000).equivalent);
@@ -56,14 +77,14 @@ fn stp_engine_uses_no_more_satisfiable_calls_than_baseline() {
     let mut stp_total = 0u64;
     let mut baseline_total = 0u64;
     for bench in suite.iter().take(5) {
-        let baseline = fraig::sweep_fraig(
+        let baseline = sweep_baseline(
             &bench.aig,
             &SweepConfig {
                 num_initial_patterns: 64,
                 ..SweepConfig::baseline()
             },
         );
-        let stp = sweeper::sweep_stp(&bench.aig, &quick_config());
+        let stp = sweep_stp(&bench.aig, &quick_config());
         baseline_total += baseline.report.sat_calls_sat;
         stp_total += stp.report.sat_calls_sat;
     }
@@ -79,7 +100,7 @@ fn sweeping_never_grows_a_network() {
         if idx % 3 != 0 {
             continue; // keep the test fast; the bench harness covers all
         }
-        let result = sweeper::sweep_stp(&bench.aig, &quick_config());
+        let result = sweep_stp(&bench.aig, &quick_config());
         assert!(
             result.aig.num_ands() <= bench.aig.num_ands(),
             "{} grew from {} to {}",
@@ -108,8 +129,54 @@ fn aiger_round_trip_of_generated_circuits() {
 fn swept_network_round_trips_through_aiger() {
     let base = generators::max_unit(6);
     let redundant = inject_redundancy(&base, 0.4, 3);
-    let swept = sweeper::sweep_stp(&redundant, &quick_config());
+    let swept = sweep_stp(&redundant, &quick_config());
     let text = write_aiger_string(&swept.aig);
     let parsed = read_aiger_str(&text).expect("round trip parses");
     assert!(cec::check_equivalence(&base, &parsed, 500_000).equivalent);
+}
+
+#[test]
+fn budget_limited_sweep_returns_equivalent_partial_result() {
+    // Acceptance criterion of the session API: a budget-limited run on an
+    // EPFL-analog workload hands back a partial result whose network still
+    // passes CEC against the input, instead of discarding the work done.
+    let bench = epfl_suite(Scale::Tiny)
+        .into_iter()
+        .max_by_key(|b| b.aig.num_ands())
+        .expect("the suite is non-empty");
+    let redundant = inject_redundancy(&bench.aig, 0.3, 9);
+
+    let run = Sweeper::new(Engine::Stp)
+        .config(quick_config())
+        .budget(Budget::unlimited().with_max_sat_calls(2))
+        .run(&redundant);
+    let partial = match run {
+        Err(SweepError::BudgetExhausted { partial, .. }) => *partial,
+        Ok(full) => full, // tiny workloads may finish within the budget
+        Err(other) => panic!("unexpected error: {other}"),
+    };
+    assert!(partial.aig.num_ands() <= redundant.num_ands());
+    assert!(
+        cec::check_equivalence(&redundant, &partial.aig, 500_000).equivalent,
+        "a truncated sweep must still be functionally equivalent"
+    );
+}
+
+#[test]
+fn pipeline_subsumes_fixpoint_and_verifies_in_flow() {
+    use stp_sat_sweep::Pipeline;
+    let base = generators::barrel_shifter(8);
+    let redundant = inject_redundancy(&base, 0.5, 21);
+    let outcome = Pipeline::new(quick_config())
+        .sweep_to_fixpoint(Engine::Stp, 3)
+        .strash()
+        .verify()
+        .run(&redundant)
+        .expect("pipeline verifies its own result");
+    assert!(outcome.aig.num_ands() < redundant.num_ands());
+    assert_eq!(outcome.report.gates_before, redundant.num_ands());
+    assert_eq!(outcome.report.gates_after, outcome.aig.num_ands());
+    // Per-pass reports cover every executed pass, strash and verify included.
+    assert!(outcome.passes.iter().any(|p| p.name == "strash"));
+    assert!(outcome.passes.iter().any(|p| p.name == "verify"));
 }

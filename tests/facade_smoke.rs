@@ -5,8 +5,9 @@
 
 use stp_sat_sweep::bitsim::{AigSimulator, PatternSet};
 use stp_sat_sweep::netlist::{lutmap, Aig};
+use stp_sat_sweep::stp_sweep::cec;
 use stp_sat_sweep::stp_sweep::stp_sim::StpSimulator;
-use stp_sat_sweep::stp_sweep::{cec, sweeper, SweepConfig};
+use stp_sat_sweep::{Engine, StatsObserver, SweepConfig, Sweeper};
 
 /// A 4-input circuit with a hand-planted redundancy: `g = a & b` computed
 /// twice through structurally different cones, XORed into the output so a
@@ -55,7 +56,12 @@ fn full_pipeline_round_trip_through_facade() {
     // Layer 3: the STP sweeper (satsolver + sweeper) merges the planted
     // redundancy. Output x is constant false, so the sweep must shrink the
     // network.
-    let result = sweeper::sweep_stp(&aig, &SweepConfig::default());
+    let mut stats = StatsObserver::new();
+    let result = Sweeper::new(Engine::Stp)
+        .config(SweepConfig::default())
+        .observer(&mut stats)
+        .run(&aig)
+        .expect("valid config");
     assert!(
         result.aig.num_ands() < aig.num_ands(),
         "sweep failed to remove the planted redundancy: {} -> {} ANDs",
@@ -70,4 +76,10 @@ fn full_pipeline_round_trip_through_facade() {
     // The report is consistent with the structural outcome.
     assert_eq!(result.report.gates_before, aig.num_ands());
     assert_eq!(result.report.gates_after, result.aig.num_ands());
+
+    // Layer 5: the observer attached through the facade saw the same counts
+    // the report was derived from.
+    assert_eq!(stats.merges, result.report.merges);
+    assert_eq!(stats.constants, result.report.constants);
+    assert_eq!(stats.sat_calls_total(), result.report.sat_calls_total);
 }

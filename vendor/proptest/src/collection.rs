@@ -7,7 +7,7 @@ use rand::Rng;
 
 use crate::strategy::Strategy;
 
-/// A length specification for [`vec`]: an exact length or a range of lengths.
+/// A length specification for [`vec()`]: an exact length or a range of lengths.
 pub trait IntoSizeRange {
     /// Draws a concrete length.
     fn pick_len(&self, rng: &mut StdRng) -> usize;
@@ -37,7 +37,7 @@ pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S,
     VecStrategy { element, size }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 pub struct VecStrategy<S, L> {
     element: S,
     size: L,

@@ -5,13 +5,13 @@
 //! stand-in. It implements the subset of the proptest 1.x interface the
 //! workspace's property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map`,
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_flat_map`,
 //!   `prop_recursive` and `boxed`,
-//! * strategies for integer/bool [`any`], integer ranges, tuples (up to six
+//! * strategies for integer/bool [`strategy::any`], integer ranges, tuples (up to six
 //!   elements) and [`collection::vec`],
 //! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
 //!   [`prop_assert_eq!`] and [`prop_assume!`] macros,
-//! * a [`test_runner::TestRunner`] driven by [`ProptestConfig::with_cases`].
+//! * a [`test_runner::TestRunner`] driven by [`test_runner::ProptestConfig::with_cases`].
 //!
 //! Differences from the real crate are deliberate simplifications: cases are
 //! generated from a per-test deterministic seed (derived from the test name,
