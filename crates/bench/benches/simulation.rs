@@ -15,7 +15,7 @@ fn simulation_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_simulation");
     for bench in suite.iter().filter(|b| SELECTED.contains(&b.name)) {
         let aig = &bench.aig;
-        let patterns = PatternSet::random(aig.num_inputs(), NUM_PATTERNS, 0xEB5);
+        let patterns = PatternSet::random(aig.num_inputs(), NUM_PATTERNS, 0xEB5).unwrap();
         let lut6 = lutmap::map_to_luts(aig, 6);
         let lut2 = lutmap::map_to_luts(aig, 2);
 
@@ -46,6 +46,37 @@ fn simulation_benches(c: &mut Criterion) {
     }
     group.finish();
 
+    // Level-scheduled parallel evaluation vs. sequential, on the largest
+    // selected benchmarks with a wider pattern set (more words per level).
+    let mut group = c.benchmark_group("table1_parallel_simulation");
+    for bench in suite
+        .iter()
+        .filter(|b| b.name == "multiplier" || b.name == "voter")
+    {
+        let aig = &bench.aig;
+        let patterns = PatternSet::random(aig.num_inputs(), 16 * NUM_PATTERNS, 0xEB5).unwrap();
+        let lut6 = lutmap::map_to_luts(aig, 6);
+        for threads in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("TA_bitwise_t{threads}"), bench.name),
+                &patterns,
+                |b, p| {
+                    let sim = AigSimulator::new(aig);
+                    b.iter(|| sim.run_parallel(p, threads));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("TL_stp_t{threads}"), bench.name),
+                &patterns,
+                |b, p| {
+                    let sim = StpSimulator::new(&lut6);
+                    b.iter(|| sim.simulate_all_parallel(p, threads));
+                },
+            );
+        }
+    }
+    group.finish();
+
     // Specified-node simulation (the cut algorithm) vs. simulating everything.
     let mut group = c.benchmark_group("table1_specified_nodes");
     for bench in suite
@@ -53,7 +84,7 @@ fn simulation_benches(c: &mut Criterion) {
         .filter(|b| b.name == "multiplier" || b.name == "voter")
     {
         let lut6 = lutmap::map_to_luts(&bench.aig, 6);
-        let patterns = PatternSet::random(bench.aig.num_inputs(), 256, 0x51);
+        let patterns = PatternSet::random(bench.aig.num_inputs(), 256, 0x51).unwrap();
         let sim = StpSimulator::new(&lut6);
         let targets: Vec<_> = lut6.lut_ids().take(4).collect();
         group.bench_with_input(

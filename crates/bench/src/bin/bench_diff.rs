@@ -1,0 +1,313 @@
+//! The CI bench-regression gate.
+//!
+//! Compares a fresh `table1 --json` snapshot against the checked-in
+//! `BENCH_baseline.json`:
+//!
+//! * **deterministic counters** (gate counts, SAT calls, merges, constants,
+//!   resimulation counts) must match the baseline exactly — the engines are
+//!   seeded and deterministic, so any drift is a real behaviour change;
+//! * **time-like fields** (per-benchmark pipeline wall-clock, the Table I
+//!   speed-up geomeans) only fail when they *regress* beyond a tolerance
+//!   (default ±30%, `--time-tolerance 0.3`); getting faster never fails.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_diff <baseline.json> <fresh.json> [--time-tolerance F] [--time-floor S] [--skip-times]
+//! ```
+//!
+//! Exits 0 when the fresh snapshot is no worse than the baseline, 1 on any
+//! regression, 2 on usage/parse errors.  Rows whose baseline wall-clock is
+//! below `--time-floor` seconds (default 0.005) are exempt from the time
+//! check — sub-millisecond measurements are dominated by scheduler noise,
+//! not by the code under test.  `--skip-times` restricts the check to the
+//! deterministic counters entirely (useful on machines whose speed is not
+//! comparable to the baseline host).
+
+use bench::arg_value;
+use bench::json::{parse, Json};
+
+/// Collects human-readable regressions.
+#[derive(Default)]
+struct Findings {
+    failures: Vec<String>,
+    checks: usize,
+}
+
+impl Findings {
+    fn check(&mut self, ok: bool, message: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            self.failures.push(message());
+        }
+    }
+}
+
+/// The deterministic per-benchmark pipeline counters; any drift fails.
+const EXACT_ROW_FIELDS: &[&str] = &[
+    "gates_before",
+    "gates_after",
+    "sat_calls",
+    "merges",
+    "constants",
+    "resim_events",
+    "resim_nodes",
+    "resim_skipped",
+];
+
+/// The run-parameter header fields; the two snapshots must describe the same
+/// workload to be comparable.
+const HEADER_FIELDS: &[&str] = &["patterns", "lut_k", "threads"];
+
+fn num_field(row: &Json, key: &str) -> Result<f64, String> {
+    row.num(key)
+        .ok_or_else(|| format!("missing numeric field '{key}'"))
+}
+
+fn compare(
+    baseline: &Json,
+    fresh: &Json,
+    tolerance: f64,
+    time_floor: f64,
+    skip_times: bool,
+) -> Findings {
+    let mut findings = Findings::default();
+
+    findings.check(baseline.str("scale") == fresh.str("scale"), || {
+        format!(
+            "workload scale differs: baseline {:?} vs fresh {:?}",
+            baseline.str("scale"),
+            fresh.str("scale")
+        )
+    });
+    for &key in HEADER_FIELDS {
+        let base = baseline.num(key).unwrap_or(1.0);
+        let new = fresh.num(key).unwrap_or(1.0);
+        findings.check(base == new, || {
+            format!("run parameter '{key}' differs: baseline {base} vs fresh {new}")
+        });
+    }
+
+    // Table I geomeans: dimensionless speed-ups, higher is better.
+    if !skip_times {
+        for &key in &["xa", "xl"] {
+            let base = baseline.get("geomean").and_then(|g| g.num(key));
+            let new = fresh.get("geomean").and_then(|g| g.num(key));
+            if let (Some(base), Some(new)) = (base, new) {
+                findings.check(new >= base / (1.0 + tolerance), || {
+                    format!(
+                        "geomean {key} regressed beyond {:.0}%: baseline {base:.3} vs fresh {new:.3}",
+                        tolerance * 100.0
+                    )
+                });
+            }
+        }
+    }
+
+    let empty: Vec<Json> = Vec::new();
+    let base_rows = baseline
+        .get("pipeline")
+        .and_then(|p| p.get("rows"))
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    let fresh_rows = fresh
+        .get("pipeline")
+        .and_then(|p| p.get("rows"))
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    findings.check(!base_rows.is_empty(), || {
+        "baseline has no pipeline rows".into()
+    });
+
+    for base_row in base_rows {
+        let Some(name) = base_row.str("benchmark") else {
+            findings.check(false, || "baseline pipeline row without a name".into());
+            continue;
+        };
+        let Some(fresh_row) = fresh_rows.iter().find(|r| r.str("benchmark") == Some(name)) else {
+            findings.check(false, || format!("{name}: missing from the fresh snapshot"));
+            continue;
+        };
+        for &key in EXACT_ROW_FIELDS {
+            match (num_field(base_row, key), num_field(fresh_row, key)) {
+                (Ok(base), Ok(new)) => findings.check(base == new, || {
+                    format!("{name}: {key} changed: baseline {base} vs fresh {new}")
+                }),
+                (Err(e), _) | (_, Err(e)) => findings.check(false, || format!("{name}: {e}")),
+            }
+        }
+        if !skip_times {
+            if let (Ok(base), Ok(new)) = (
+                num_field(base_row, "total_s"),
+                num_field(fresh_row, "total_s"),
+            ) {
+                // Sub-floor rows are noise-dominated; only gate rows whose
+                // baseline time is large enough to measure a real ratio.
+                findings.check(base < time_floor || new <= base * (1.0 + tolerance), || {
+                    format!(
+                        "{name}: pipeline wall-clock regressed beyond {:.0}%: \
+                         baseline {base:.6}s vs fresh {new:.6}s",
+                        tolerance * 100.0
+                    )
+                });
+            }
+        }
+    }
+    for fresh_row in fresh_rows {
+        let name = fresh_row.str("benchmark").unwrap_or("<unnamed>");
+        findings.check(
+            base_rows.iter().any(|r| r.str("benchmark") == Some(name)),
+            || format!("{name}: not in the baseline (refresh BENCH_baseline.json)"),
+        );
+    }
+    findings
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 1usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--time-tolerance" | "--time-floor" => i += 2,
+            "--skip-times" => i += 1,
+            other => {
+                positional.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    if positional.len() != 2 {
+        eprintln!(
+            "usage: bench_diff <baseline.json> <fresh.json> \
+             [--time-tolerance F] [--time-floor S] [--skip-times]"
+        );
+        std::process::exit(2);
+    }
+    let tolerance: f64 = arg_value(&args, "--time-tolerance")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.30);
+    let time_floor: f64 = arg_value(&args, "--time-floor")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.005);
+    let skip_times = args.iter().any(|a| a == "--skip-times");
+
+    let (baseline, fresh) = match (load(&positional[0]), load(&positional[1])) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_diff: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let findings = compare(&baseline, &fresh, tolerance, time_floor, skip_times);
+    if findings.failures.is_empty() {
+        println!(
+            "bench_diff: OK — {} checks against {} (time tolerance {:.0}%{})",
+            findings.checks,
+            positional[0],
+            tolerance * 100.0,
+            if skip_times { ", times skipped" } else { "" }
+        );
+    } else {
+        eprintln!(
+            "bench_diff: {} regression(s) against {}:",
+            findings.failures.len(),
+            positional[0]
+        );
+        for failure in &findings.failures {
+            eprintln!("  - {failure}");
+        }
+        eprintln!(
+            "if the change is intentional, refresh the baseline: \
+             cargo run -p bench --release --bin table1 -- --json BENCH_baseline.json"
+        );
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(total_s: f64, sat_calls: u64, xl: f64) -> Json {
+        parse(&format!(
+            r#"{{"table": "table1_simulation", "scale": "Small", "patterns": 4096,
+                "lut_k": 6, "threads": 1,
+                "geomean": {{"xa": 0.4, "xl": {xl}}},
+                "pipeline": {{"rows": [
+                  {{"benchmark": "adder", "gates_before": 345, "gates_after": 345,
+                    "sat_calls": {sat_calls}, "merges": 0, "constants": 0,
+                    "resim_events": 0, "resim_nodes": 0, "resim_skipped": 0,
+                    "total_s": {total_s}}}
+                ]}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let base = snapshot(0.01, 3, 40.0);
+        let findings = compare(&base, &base, 0.30, 0.0, false);
+        assert!(findings.failures.is_empty(), "{:?}", findings.failures);
+        assert!(findings.checks > 0);
+    }
+
+    #[test]
+    fn count_drift_fails_even_within_tolerance() {
+        let base = snapshot(0.01, 3, 40.0);
+        let fresh = snapshot(0.01, 4, 40.0);
+        let findings = compare(&base, &fresh, 0.30, 0.0, false);
+        assert!(findings.failures.iter().any(|f| f.contains("sat_calls")));
+    }
+
+    #[test]
+    fn slowdown_beyond_tolerance_fails_but_speedup_passes() {
+        let base = snapshot(0.010, 3, 40.0);
+        let slow = snapshot(0.014, 3, 40.0);
+        let fast = snapshot(0.001, 3, 40.0);
+        assert!(!compare(&base, &slow, 0.30, 0.0, false).failures.is_empty());
+        assert!(compare(&base, &fast, 0.30, 0.0, false).failures.is_empty());
+        // --skip-times ignores the slowdown.
+        assert!(compare(&base, &slow, 0.30, 0.0, true).failures.is_empty());
+    }
+
+    #[test]
+    fn sub_floor_rows_are_exempt_from_the_time_check() {
+        // A 3x slowdown on a 2 ms row: noise-dominated, below the 5 ms
+        // floor, so it passes — but the same row fails with the floor at 0.
+        let base = snapshot(0.002, 3, 40.0);
+        let slow = snapshot(0.006, 3, 40.0);
+        assert!(compare(&base, &slow, 0.30, 0.005, false)
+            .failures
+            .is_empty());
+        assert!(!compare(&base, &slow, 0.30, 0.0, false).failures.is_empty());
+    }
+
+    #[test]
+    fn geomean_speedup_loss_fails() {
+        let base = snapshot(0.01, 3, 40.0);
+        let fresh = snapshot(0.01, 3, 20.0);
+        let findings = compare(&base, &fresh, 0.30, 0.0, false);
+        assert!(findings.failures.iter().any(|f| f.contains("geomean xl")));
+    }
+
+    #[test]
+    fn missing_benchmark_fails_both_directions() {
+        let base = snapshot(0.01, 3, 40.0);
+        let empty = parse(
+            r#"{"scale": "Small", "patterns": 4096, "lut_k": 6, "threads": 1,
+                "geomean": {"xa": 0.4, "xl": 40.0}, "pipeline": {"rows": []}}"#,
+        )
+        .unwrap();
+        let findings = compare(&base, &empty, 0.30, 0.0, false);
+        assert!(findings.failures.iter().any(|f| f.contains("missing")));
+        let reverse = compare(&empty, &base, 0.30, 0.0, false);
+        assert!(!reverse.failures.is_empty());
+    }
+}

@@ -12,7 +12,12 @@
 //! The paper reports parity on `TA` and a ~7.2× average speed-up on `TL`;
 //! the shape (not the absolute numbers) is what this harness reproduces.
 //!
-//! Usage: `cargo run -p bench --release --bin table1 -- [--scale tiny|small|large] [--patterns N] [--lut-k K] [--json PATH]`
+//! Usage: `cargo run -p bench --release --bin table1 -- [--scale tiny|small|large] [--patterns N] [--lut-k K] [--threads T] [--json PATH]`
+//!
+//! `--threads T` runs every simulator through the level-scheduled parallel
+//! evaluator with `T` workers and sweeps with `SweepConfig::parallelism(T)`;
+//! results are bit-identical to `--threads 1` (the default), only the times
+//! change.
 //!
 //! With `--json PATH` the measured numbers are also written as a JSON
 //! document (the format of the checked-in `BENCH_baseline.json`).  The JSON
@@ -32,8 +37,8 @@ use stp_sweep::{Engine, Pipeline, SweepConfig};
 use workloads::epfl_suite;
 
 /// Runs the standard pipeline on one benchmark and renders its JSON row.
-fn pipeline_json_row(name: &str, aig: &netlist::Aig) -> String {
-    let outcome = Pipeline::new(SweepConfig::fast())
+fn pipeline_json_row(name: &str, aig: &netlist::Aig, threads: usize) -> String {
+    let outcome = Pipeline::new(SweepConfig::fast().parallelism(threads))
         .sweep(Engine::Stp)
         .strash()
         .sweep(Engine::Stp)
@@ -45,22 +50,32 @@ fn pipeline_json_row(name: &str, aig: &netlist::Aig) -> String {
         .map(|p| {
             format!(
                 "{{\"name\": \"{}\", \"gates_before\": {}, \"gates_after\": {}, \
-                 \"sat_calls\": {}, \"time_s\": {:.6}}}",
+                 \"sat_calls\": {}, \"merges\": {}, \"time_s\": {:.6}}}",
                 p.name,
                 p.gates_before,
                 p.gates_after,
                 p.report.map(|r| r.sat_calls_total).unwrap_or(0),
+                p.report.map(|r| r.merges).unwrap_or(0),
                 p.time.as_secs_f64()
             )
         })
         .collect();
+    let r = &outcome.report;
     format!(
         "      {{\"benchmark\": \"{}\", \"gates_before\": {}, \"gates_after\": {}, \
+         \"sat_calls\": {}, \"merges\": {}, \"constants\": {}, \
+         \"resim_events\": {}, \"resim_nodes\": {}, \"resim_skipped\": {}, \
          \"total_s\": {:.6}, \"passes\": [{}]}}",
         name,
-        outcome.report.gates_before,
-        outcome.report.gates_after,
-        outcome.report.total_time.as_secs_f64(),
+        r.gates_before,
+        r.gates_after,
+        r.sat_calls_total,
+        r.merges,
+        r.constants,
+        r.resim_events,
+        r.resim_nodes,
+        r.resim_skipped_nodes,
+        r.total_time.as_secs_f64(),
         passes.join(", ")
     )
 }
@@ -74,9 +89,16 @@ fn main() {
     let lut_k: usize = arg_value(&args, "--lut-k")
         .and_then(|v| v.parse().ok())
         .unwrap_or(6);
+    let threads: usize = arg_value(&args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    if num_patterns == 0 || threads == 0 {
+        eprintln!("--patterns and --threads must be nonzero");
+        std::process::exit(2);
+    }
 
     println!("Table I analog: circuit simulation on the EPFL-analog suite");
-    println!("scale = {scale:?}, patterns = {num_patterns}, k = {lut_k}\n");
+    println!("scale = {scale:?}, patterns = {num_patterns}, k = {lut_k}, threads = {threads}\n");
     println!(
         "{:<12} {:>8} {:>10} {:>10} {:>7} {:>10} {:>10} {:>7}",
         "benchmark", "gates", "TA base", "TA stp", "xA", "TL base", "TL stp", "xL"
@@ -93,20 +115,21 @@ fn main() {
     let suite = epfl_suite(scale);
     for bench in &suite {
         let aig = &bench.aig;
-        let patterns = PatternSet::random(aig.num_inputs(), num_patterns, 0xEB5);
+        let patterns = PatternSet::random(aig.num_inputs(), num_patterns, 0xEB5)
+            .expect("--patterns is validated nonzero");
 
         // TA baseline: word-parallel AIG simulation.
-        let (_, ta_base) = timed(|| AigSimulator::new(aig).run(&patterns));
+        let (_, ta_base) = timed(|| AigSimulator::new(aig).run_parallel(&patterns, threads));
         // TA STP: the AIG expressed as a 2-LUT network, simulated by STP.
         let aig_as_luts = lutmap::map_to_luts(aig, 2);
         let stp2 = StpSimulator::new(&aig_as_luts);
-        let (_, ta_stp) = timed(|| stp2.simulate_all(&patterns));
+        let (_, ta_stp) = timed(|| stp2.simulate_all_parallel(&patterns, threads));
 
         // TL: the 6-LUT mapping of the benchmark.
         let lut_net = lutmap::map_to_luts(aig, lut_k);
         let (_, tl_base) = timed(|| LutSimulator::new(&lut_net).run(&patterns));
         let stp6 = StpSimulator::new(&lut_net);
-        let (_, tl_stp) = timed(|| stp6.simulate_all(&patterns));
+        let (_, tl_stp) = timed(|| stp6.simulate_all_parallel(&patterns, threads));
 
         let xa = ta_base.as_secs_f64() / ta_stp.as_secs_f64().max(1e-9);
         let xl = tl_base.as_secs_f64() / tl_stp.as_secs_f64().max(1e-9);
@@ -166,11 +189,11 @@ fn main() {
         println!("\nrunning the sweep pipeline (sweep -> strash -> sweep) per benchmark ...");
         let pipeline_rows: Vec<String> = suite
             .iter()
-            .map(|bench| pipeline_json_row(bench.name, &bench.aig))
+            .map(|bench| pipeline_json_row(bench.name, &bench.aig, threads))
             .collect();
         let document = format!(
             "{{\n  \"table\": \"table1_simulation\",\n  \"scale\": \"{scale:?}\",\n  \
-             \"patterns\": {num_patterns},\n  \"lut_k\": {lut_k},\n  \"rows\": [\n{}\n  ],\n  \
+             \"patterns\": {num_patterns},\n  \"lut_k\": {lut_k},\n  \"threads\": {threads},\n  \"rows\": [\n{}\n  ],\n  \
              \"geomean\": {{\"xa\": {:.3}, \"xl\": {:.3}}},\n  \
              \"paper\": {{\"xa\": 0.99, \"xl\": 7.18}},\n  \
              \"pipeline\": {{\n    \"config\": \"fast\",\n    \

@@ -13,10 +13,17 @@
 //! Criterion benches (`cargo bench -p bench`) cover the same comparisons on
 //! a fixed subset so they can be tracked over time.
 //!
-//! This library exposes the small amount of shared measurement machinery.
+//! * `bench_diff` — the CI regression gate: compares a fresh `table1 --json`
+//!   snapshot against the checked-in `BENCH_baseline.json` (deterministic
+//!   counters exactly, time-like fields within a tolerance).
+//!
+//! This library exposes the small amount of shared measurement machinery
+//! and the snapshot [`json`] reader.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod json;
 
 use std::time::{Duration, Instant};
 

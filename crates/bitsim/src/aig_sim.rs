@@ -1,19 +1,37 @@
 //! Word-parallel simulation of And-Inverter Graphs.
 
-use crate::{PatternSet, Signature};
+use crate::{parallel, PatternSet, Signature};
 use netlist::{Aig, AigNode, NodeId};
+use std::borrow::Cow;
 
 /// The word-parallel AND of two fanin signatures with complements applied as
-/// branchless XOR masks; `words` bounds the output length.
-fn and_words(s0: &Signature, c0: bool, s1: &Signature, c1: bool, words: usize) -> Vec<u64> {
+/// branchless XOR masks, writing words `offset .. offset + out.len()` of the
+/// result.  This is the single AND kernel shared by the sequential,
+/// incremental and parallel evaluators, so all of them are bit-identical by
+/// construction.
+fn and_words_into(
+    s0: &Signature,
+    c0: bool,
+    s1: &Signature,
+    c1: bool,
+    offset: usize,
+    out: &mut [u64],
+) {
     let m0 = if c0 { u64::MAX } else { 0 };
     let m1 = if c1 { u64::MAX } else { 0 };
-    s0.words()
-        .iter()
-        .zip(s1.words())
-        .take(words)
-        .map(|(&a, &b)| (a ^ m0) & (b ^ m1))
-        .collect()
+    let w0 = &s0.words()[offset..offset + out.len()];
+    let w1 = &s1.words()[offset..offset + out.len()];
+    for ((o, &a), &b) in out.iter_mut().zip(w0).zip(w1) {
+        *o = (a ^ m0) & (b ^ m1);
+    }
+}
+
+/// The word-parallel AND of two fanin signatures; `words` bounds the output
+/// length.
+fn and_words(s0: &Signature, c0: bool, s1: &Signature, c1: bool, words: usize) -> Vec<u64> {
+    let mut out = vec![0u64; words];
+    and_words_into(s0, c0, s1, c1, 0, &mut out);
+    out
 }
 
 /// Simulation state: one packed signature per AIG node.
@@ -30,13 +48,16 @@ impl AigSimState {
     }
 
     /// The signature seen at output `index` of `aig` (complement applied).
-    pub fn output_signature(&self, aig: &Aig, index: usize) -> Signature {
+    ///
+    /// Borrows the stored signature when the output is not complemented —
+    /// the common case — instead of cloning on every call.
+    pub fn output_signature(&self, aig: &Aig, index: usize) -> Cow<'_, Signature> {
         let output = &aig.outputs()[index];
         let sig = &self.signatures[output.lit.node()];
         if output.lit.is_complemented() {
-            sig.complement()
+            Cow::Owned(sig.complement())
         } else {
-            sig.clone()
+            Cow::Borrowed(sig)
         }
     }
 
@@ -102,6 +123,78 @@ impl<'a> AigSimulator<'a> {
                 }
             };
             signatures.push(sig);
+        }
+        AigSimState {
+            signatures,
+            num_patterns: n,
+        }
+    }
+
+    /// Simulates all nodes with up to `num_threads` worker threads.
+    ///
+    /// Nodes are grouped by topological level; within one level every
+    /// worker evaluates all nodes for a contiguous chunk of signature words
+    /// (see [`crate::parallel`]).  Workers execute exactly the word
+    /// operations of [`AigSimulator::run`], so the result is **bit-identical
+    /// to a sequential run** for any thread count.  Levels whose work is
+    /// below [`parallel::PARALLEL_GRAIN`] are evaluated inline.
+    ///
+    /// `num_threads <= 1` falls back to [`AigSimulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern set's input count differs from the AIG's.
+    pub fn run_parallel(&self, patterns: &PatternSet, num_threads: usize) -> AigSimState {
+        if num_threads <= 1 {
+            return self.run(patterns);
+        }
+        assert_eq!(
+            patterns.num_inputs(),
+            self.aig.num_inputs(),
+            "pattern set input count must match the network"
+        );
+        let n = patterns.num_patterns();
+        let num_words = n.div_ceil(64).max(1);
+        let groups = parallel::group_by_level(&self.aig.levels());
+        let mut signatures: Vec<Signature> = vec![Signature::zeros(0); self.aig.num_nodes()];
+        for group in &groups {
+            // Constants and inputs (always level 0) are plain copies.
+            let mut and_nodes: Vec<NodeId> = Vec::with_capacity(group.len());
+            for &id in group {
+                match self.aig.node(id) {
+                    AigNode::Const0 => signatures[id] = Signature::zeros(n),
+                    AigNode::Input { position } => {
+                        signatures[id] = patterns.input_signature(*position).clone();
+                    }
+                    AigNode::And { .. } => and_nodes.push(id),
+                }
+            }
+            if and_nodes.is_empty() {
+                continue;
+            }
+            let aig = self.aig;
+            let sigs = &signatures;
+            let buffers = parallel::evaluate_level(
+                &and_nodes,
+                num_words,
+                num_threads,
+                &|id, word_lo, out| {
+                    let AigNode::And { fanin0, fanin1 } = aig.node(id) else {
+                        unreachable!("and_nodes only holds AND gates");
+                    };
+                    and_words_into(
+                        &sigs[fanin0.node()],
+                        fanin0.is_complemented(),
+                        &sigs[fanin1.node()],
+                        fanin1.is_complemented(),
+                        word_lo,
+                        out,
+                    );
+                },
+            );
+            for (out, &id) in buffers.into_iter().zip(and_nodes.iter()) {
+                signatures[id] = Signature::from_words(n, out);
+            }
         }
         AigSimState {
             signatures,
@@ -206,7 +299,7 @@ mod tests {
     #[test]
     fn random_patterns_match_reference() {
         let aig = sample_aig();
-        let patterns = PatternSet::random(3, 200, 42);
+        let patterns = PatternSet::random(3, 200, 42).unwrap();
         let state = AigSimulator::new(&aig).run(&patterns);
         for p in (0..200).step_by(17) {
             let assignment = patterns.assignment(p);
@@ -216,10 +309,64 @@ mod tests {
     }
 
     #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        // A deeper circuit with enough words per level to cross the grain on
+        // some levels and stay below it on others.
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs("x", 12);
+        let mut layer: Vec<netlist::Lit> = xs.clone();
+        for round in 0..6 {
+            let mut next = Vec::new();
+            for (i, pair) in layer.windows(2).enumerate() {
+                let g = if (i + round) % 3 == 0 {
+                    aig.xor(pair[0], pair[1])
+                } else {
+                    aig.and(pair[0], !pair[1])
+                };
+                next.push(g);
+            }
+            layer = next;
+        }
+        for (i, &lit) in layer.iter().enumerate() {
+            aig.add_output(format!("y{i}"), lit);
+        }
+        let sim = AigSimulator::new(&aig);
+        // 65536 patterns = 1024 words: enough for every level to cross the
+        // parallel grain; the small counts keep the inline path covered.
+        for n in [1usize, 63, 64, 65, 1000, 65536] {
+            let patterns = PatternSet::random(12, n, n as u64).unwrap();
+            let sequential = sim.run(&patterns);
+            for threads in [2usize, 3, 4, 8] {
+                let parallel = sim.run_parallel(&patterns, threads);
+                assert_eq!(parallel.num_patterns(), sequential.num_patterns());
+                for id in aig.node_ids() {
+                    assert_eq!(
+                        parallel.signature(id),
+                        sequential.signature(id),
+                        "node {id}, {n} patterns, {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_parallel_with_one_thread_matches_run() {
+        let aig = sample_aig();
+        let patterns = PatternSet::random(3, 100, 5).unwrap();
+        let sim = AigSimulator::new(&aig);
+        let a = sim.run(&patterns);
+        let b = sim.run_parallel(&patterns, 1);
+        for id in aig.node_ids() {
+            assert_eq!(a.signature(id), b.signature(id));
+        }
+    }
+
+    #[test]
     fn incremental_matches_full_resimulation() {
         let aig = sample_aig();
-        let base = PatternSet::random(3, 100, 1);
-        let extra = PatternSet::random(3, 37, 2);
+        let base = PatternSet::random(3, 100, 1).unwrap();
+        let extra = PatternSet::random(3, 37, 2).unwrap();
         let sim = AigSimulator::new(&aig);
         let state = sim.run(&base);
         let incremental = sim.run_incremental(&state, &extra);

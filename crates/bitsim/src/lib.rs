@@ -36,10 +36,11 @@
 
 mod aig_sim;
 mod lut_sim;
+pub mod parallel;
 mod patterns;
 mod signature;
 
 pub use aig_sim::{AigSimState, AigSimulator};
 pub use lut_sim::{LutSimState, LutSimulator};
-pub use patterns::PatternSet;
+pub use patterns::{PatternError, PatternSet};
 pub use signature::Signature;

@@ -9,6 +9,7 @@
 
 use crate::{PatternSet, Signature};
 use netlist::{LutNetwork, LutNode, LutNodeId};
+use std::borrow::Cow;
 
 /// Simulation state of a k-LUT network: one signature per node.
 #[derive(Debug, Clone)]
@@ -24,13 +25,16 @@ impl LutSimState {
     }
 
     /// The signature of output `index` (complement applied).
-    pub fn output_signature(&self, net: &LutNetwork, index: usize) -> Signature {
+    ///
+    /// Borrows the stored signature when the output is not complemented —
+    /// the common case — instead of cloning on every call.
+    pub fn output_signature(&self, net: &LutNetwork, index: usize) -> Cow<'_, Signature> {
         let output = &net.outputs()[index];
         let sig = &self.signatures[output.node];
         if output.complemented {
-            sig.complement()
+            Cow::Owned(sig.complement())
         } else {
-            sig.clone()
+            Cow::Borrowed(sig)
         }
     }
 
@@ -135,7 +139,7 @@ mod tests {
     #[test]
     fn lut_simulation_matches_aig_simulation() {
         let (aig, lut) = sample_networks();
-        let patterns = PatternSet::random(5, 300, 11);
+        let patterns = PatternSet::random(5, 300, 11).unwrap();
         let aig_state = crate::AigSimulator::new(&aig).run(&patterns);
         let lut_state = LutSimulator::new(&lut).run(&patterns);
         for o in 0..aig.num_outputs() {
@@ -150,7 +154,7 @@ mod tests {
     #[test]
     fn constant_node_signature_is_zero() {
         let (_, lut) = sample_networks();
-        let patterns = PatternSet::random(5, 64, 3);
+        let patterns = PatternSet::random(5, 64, 3).unwrap();
         let state = LutSimulator::new(&lut).run(&patterns);
         assert!(state.signature(0).is_const0());
         assert_eq!(state.num_patterns(), 64);

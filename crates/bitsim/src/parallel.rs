@@ -1,0 +1,208 @@
+//! Shared machinery for level-scheduled parallel simulation.
+//!
+//! Both the word-parallel AIG simulator here and the STP simulator in the
+//! `stp-sweep` crate parallelise the same way: nodes are grouped by
+//! topological level (so every fanin of a level-`l` node is finished before
+//! level `l` starts), and within one level the signature word arrays are
+//! split into contiguous chunks that `std::thread::scope` workers fill
+//! independently.  Because every worker executes exactly the word operations
+//! the sequential evaluator would execute — just on a sub-range of words —
+//! the result is bit-identical to a sequential run, for any thread count.
+//!
+//! This module holds the scheduling helpers; the per-node word kernels stay
+//! with their simulators.
+
+use std::ops::Range;
+
+/// Minimum number of node·word work items a level must have before it is
+/// worth spawning scoped threads for it.  Levels below the grain are
+/// evaluated inline on the calling thread (spawning costs more than the
+/// level's work); the evaluation itself is identical either way.
+pub const PARALLEL_GRAIN: usize = 4096;
+
+/// Splits `num_words` signature words into at most `num_threads` contiguous,
+/// non-empty chunks of near-equal size.
+///
+/// Returns an empty vector when there is nothing to split.
+pub fn word_chunks(num_words: usize, num_threads: usize) -> Vec<Range<usize>> {
+    if num_words == 0 || num_threads == 0 {
+        return Vec::new();
+    }
+    let chunks = num_threads.min(num_words);
+    let base = num_words / chunks;
+    let extra = num_words % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Splits every per-node output buffer of one level at the given word
+/// ranges: the result has one entry per range, holding — for every node of
+/// the level, in order — the mutable word sub-slice that the corresponding
+/// worker fills.
+///
+/// # Panics
+///
+/// Panics if the ranges do not exactly tile each buffer.
+pub fn split_level_buffers<'a>(
+    buffers: &'a mut [Vec<u64>],
+    ranges: &[Range<usize>],
+) -> Vec<Vec<&'a mut [u64]>> {
+    let mut parts: Vec<Vec<&'a mut [u64]>> = ranges
+        .iter()
+        .map(|_| Vec::with_capacity(buffers.len()))
+        .collect();
+    for buffer in buffers.iter_mut() {
+        let mut rest: &mut [u64] = buffer.as_mut_slice();
+        let mut consumed = 0usize;
+        for (part, range) in parts.iter_mut().zip(ranges.iter()) {
+            assert_eq!(range.start, consumed, "ranges must tile the buffer");
+            let (head, tail) = rest.split_at_mut(range.len());
+            part.push(head);
+            rest = tail;
+            consumed = range.end;
+        }
+        assert!(rest.is_empty(), "ranges must cover the whole buffer");
+    }
+    parts
+}
+
+/// Evaluates one level: allocates a zeroed `num_words`-word output buffer
+/// per node and fills them through `kernel(node, word_lo, out)`, which must
+/// write words `word_lo .. word_lo + out.len()` of `node`'s signature.
+///
+/// Levels whose total work (`nodes × words`) is below [`PARALLEL_GRAIN`],
+/// or that cannot be split into at least two word chunks, run inline on the
+/// calling thread; larger levels run the kernel across
+/// [`std::thread::scope`] workers, one contiguous word chunk each.  Either
+/// way the kernel executes exactly once per (node, word) pair, so the
+/// result is independent of `num_threads`.
+pub fn evaluate_level<K>(
+    nodes: &[usize],
+    num_words: usize,
+    num_threads: usize,
+    kernel: &K,
+) -> Vec<Vec<u64>>
+where
+    K: Fn(usize, usize, &mut [u64]) + Sync,
+{
+    let mut buffers: Vec<Vec<u64>> = nodes.iter().map(|_| vec![0u64; num_words]).collect();
+    let ranges = word_chunks(num_words, num_threads);
+    if ranges.len() < 2 || nodes.len() * num_words < PARALLEL_GRAIN {
+        for (buffer, &id) in buffers.iter_mut().zip(nodes) {
+            kernel(id, 0, buffer);
+        }
+        return buffers;
+    }
+    let parts = split_level_buffers(&mut buffers, &ranges);
+    std::thread::scope(|scope| {
+        for (part, range) in parts.into_iter().zip(ranges.iter()) {
+            scope.spawn(move || {
+                for (slice, &id) in part.into_iter().zip(nodes.iter()) {
+                    kernel(id, range.start, slice);
+                }
+            });
+        }
+    });
+    buffers
+}
+
+/// Groups node ids by topological level: `groups[l]` lists the ids with
+/// level `l`, in ascending id order.
+pub fn group_by_level(levels: &[usize]) -> Vec<Vec<usize>> {
+    let max_level = levels.iter().copied().max().unwrap_or(0);
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); max_level + 1];
+    for (id, &level) in levels.iter().enumerate() {
+        groups[level].push(id);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_chunks_tile_the_range() {
+        for num_words in [0usize, 1, 3, 7, 64, 100] {
+            for num_threads in [1usize, 2, 3, 8, 200] {
+                let ranges = word_chunks(num_words, num_threads);
+                if num_words == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert!(ranges.len() <= num_threads);
+                assert_eq!(ranges.first().unwrap().start, 0);
+                assert_eq!(ranges.last().unwrap().end, num_words);
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start);
+                }
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+                // Near-equal: sizes differ by at most one word.
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn split_level_buffers_partitions_each_buffer() {
+        let mut buffers = vec![vec![0u64; 10], vec![0u64; 10]];
+        let ranges = word_chunks(10, 3);
+        let mut parts = split_level_buffers(&mut buffers, &ranges);
+        assert_eq!(parts.len(), 3);
+        for (t, part) in parts.iter_mut().enumerate() {
+            assert_eq!(part.len(), 2, "one slice per node");
+            for slice in part.iter_mut() {
+                for w in slice.iter_mut() {
+                    *w = t as u64 + 1;
+                }
+            }
+        }
+        drop(parts);
+        // Every word was written by exactly one chunk, in range order.
+        for buffer in &buffers {
+            let expected: Vec<u64> = ranges
+                .iter()
+                .enumerate()
+                .flat_map(|(t, r)| std::iter::repeat(t as u64 + 1).take(r.len()))
+                .collect();
+            assert_eq!(buffer, &expected);
+        }
+    }
+
+    #[test]
+    fn group_by_level_orders_ids() {
+        let groups = group_by_level(&[0, 0, 1, 0, 2, 1]);
+        assert_eq!(groups, vec![vec![0, 1, 3], vec![2, 5], vec![4]]);
+    }
+
+    #[test]
+    fn evaluate_level_runs_kernel_once_per_node_and_word() {
+        // A kernel that stamps node ^ word; with enough work to cross the
+        // grain and little enough to stay inline, the result must be the
+        // same.
+        let nodes: Vec<usize> = (0..80).collect();
+        for (num_words, num_threads) in [(1usize, 1usize), (7, 3), (64, 4), (100, 8)] {
+            let buffers = evaluate_level(&nodes, num_words, num_threads, &|node, word_lo, out| {
+                for (i, w) in out.iter_mut().enumerate() {
+                    *w = (node as u64) << 32 | (word_lo + i) as u64;
+                }
+            });
+            assert_eq!(buffers.len(), nodes.len());
+            for (j, buffer) in buffers.iter().enumerate() {
+                assert_eq!(buffer.len(), num_words);
+                for (w, &value) in buffer.iter().enumerate() {
+                    assert_eq!(value, (j as u64) << 32 | w as u64, "{num_threads} threads");
+                }
+            }
+        }
+    }
+}

@@ -3,6 +3,34 @@
 use crate::Signature;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Errors of pattern-set construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternError {
+    /// Zero patterns were requested.  An empty pattern set makes every node
+    /// signature empty, which silently turns every node into a constant
+    /// candidate downstream — reject it up front instead.
+    EmptyPatternSet {
+        /// The number of inputs the set was requested for.
+        num_inputs: usize,
+    },
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::EmptyPatternSet { num_inputs } => write!(
+                f,
+                "refusing to generate an empty random pattern set \
+                 ({num_inputs} inputs, 0 patterns): empty signatures make \
+                 every node look constant"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
 
 /// A set of simulation patterns for a network with a fixed number of primary
 /// inputs, stored bit-parallel (one [`Signature`] per input, one bit per
@@ -31,7 +59,15 @@ impl PatternSet {
     }
 
     /// Generates `num_patterns` uniformly random patterns from a seed.
-    pub fn random(num_inputs: usize, num_patterns: usize, seed: u64) -> Self {
+    ///
+    /// `num_patterns` must be nonzero: an empty random set would produce
+    /// empty signatures for every node (silently classifying everything as a
+    /// constant candidate), so it is rejected with
+    /// [`PatternError::EmptyPatternSet`] instead.
+    pub fn random(num_inputs: usize, num_patterns: usize, seed: u64) -> Result<Self, PatternError> {
+        if num_patterns == 0 {
+            return Err(PatternError::EmptyPatternSet { num_inputs });
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let words = num_patterns.div_ceil(64).max(1);
         let inputs = (0..num_inputs)
@@ -40,10 +76,10 @@ impl PatternSet {
                 Signature::from_words(num_patterns, w)
             })
             .collect();
-        PatternSet {
+        Ok(PatternSet {
             inputs,
             num_patterns,
-        }
+        })
     }
 
     /// Generates the exhaustive set of `2^num_inputs` patterns: pattern `p`
@@ -181,12 +217,19 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_per_seed() {
-        let a = PatternSet::random(4, 100, 7);
-        let b = PatternSet::random(4, 100, 7);
-        let c = PatternSet::random(4, 100, 8);
+        let a = PatternSet::random(4, 100, 7).unwrap();
+        let b = PatternSet::random(4, 100, 7).unwrap();
+        let c = PatternSet::random(4, 100, 8).unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.num_patterns(), 100);
+    }
+
+    #[test]
+    fn random_rejects_zero_patterns() {
+        let err = PatternSet::random(4, 0, 7).unwrap_err();
+        assert_eq!(err, PatternError::EmptyPatternSet { num_inputs: 4 });
+        assert!(err.to_string().contains("4 inputs"));
     }
 
     #[test]

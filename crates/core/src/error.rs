@@ -82,6 +82,16 @@ impl fmt::Display for SweepError {
 
 impl std::error::Error for SweepError {}
 
+/// A rejected pattern-set request is a configuration problem: the engines
+/// only ask for as many patterns as the (validated) configuration names, so
+/// the typed bridge keeps the invariant visible to callers who drive
+/// [`bitsim::PatternSet`] directly.
+impl From<bitsim::PatternError> for SweepError {
+    fn from(err: bitsim::PatternError) -> Self {
+        SweepError::InvalidConfig(err.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +125,13 @@ mod tests {
 
         let inconsistent = SweepError::Inconsistent("verify pass failed".into());
         assert!(inconsistent.to_string().contains("verify pass failed"));
+    }
+
+    #[test]
+    fn pattern_errors_convert_to_invalid_config() {
+        let err: SweepError = bitsim::PatternError::EmptyPatternSet { num_inputs: 3 }.into();
+        assert!(matches!(err, SweepError::InvalidConfig(_)));
+        assert!(err.to_string().contains("3 inputs"), "{err}");
     }
 
     #[test]

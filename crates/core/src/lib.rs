@@ -16,6 +16,12 @@
 //!   [`Budget`]s with partial results, and typed [`SweepError`]s.
 //! * [`pipeline`] — multi-pass composition ([`Pipeline`]): sweep → strash
 //!   cleanup → sweep → … → CEC verify, with per-pass reports.
+//! * [`resim`] — incremental counter-example resimulation: single-pattern
+//!   evaluation restricted to the transitive fanin of the surviving
+//!   candidates, with a dirty-set tracking the nodes whose signature history
+//!   was left behind.  Both engines route counter-examples through it; the
+//!   per-run counts surface in [`SweepReport`] and
+//!   [`Observer::on_resimulation`].
 //! * [`fraig`] / [`sweeper`] — the legacy free-function wrappers
 //!   (`sweep_fraig`, `sweep_stp`, `sweep_stp_to_fixpoint`), kept as thin
 //!   shims over the builder.
@@ -64,6 +70,7 @@ pub mod observer;
 pub mod patterns;
 pub mod pipeline;
 pub mod report;
+pub mod resim;
 pub mod session;
 pub mod stp_sim;
 pub mod sweeper;

@@ -71,6 +71,14 @@ pub trait Observer {
     fn on_simulation_verdict(&mut self, candidate: NodeId, driver: NodeId, equivalent: bool) {
         let _ = (candidate, driver, equivalent);
     }
+
+    /// A counter-example was resimulated incrementally: fresh values were
+    /// requested for `targets` candidate nodes, `resimulated` AND nodes were
+    /// actually evaluated, and `skipped` AND nodes were left alone (a full
+    /// `simulate_all` pass would have evaluated them too).
+    fn on_resimulation(&mut self, targets: usize, resimulated: usize, skipped: usize) {
+        let _ = (targets, resimulated, skipped);
+    }
 }
 
 /// The no-op observer (every method keeps its default body).
@@ -103,6 +111,12 @@ pub struct StatsObserver {
     pub counterexamples: u64,
     /// Class refinements triggered.
     pub refinements: u64,
+    /// Incremental resimulation events.
+    pub resim_events: u64,
+    /// AND nodes evaluated by incremental resimulation, over all events.
+    pub resim_nodes: u64,
+    /// AND nodes incremental resimulation skipped, over all events.
+    pub resim_skipped_nodes: u64,
 }
 
 impl StatsObserver {
@@ -128,6 +142,9 @@ impl StatsObserver {
             sat_calls_total: self.sat_calls_total(),
             proved_by_simulation: self.proved_by_simulation,
             disproved_by_simulation: self.disproved_by_simulation,
+            resim_events: self.resim_events,
+            resim_nodes: self.resim_nodes,
+            resim_skipped_nodes: self.resim_skipped_nodes,
             ..SweepReport::default()
         }
     }
@@ -169,6 +186,12 @@ impl Observer for StatsObserver {
             self.disproved_by_simulation += 1;
         }
     }
+
+    fn on_resimulation(&mut self, _targets: usize, resimulated: usize, skipped: usize) {
+        self.resim_events += 1;
+        self.resim_nodes += resimulated as u64;
+        self.resim_skipped_nodes += skipped as u64;
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +212,7 @@ mod tests {
         stats.on_class_refined(4, 2);
         stats.on_simulation_verdict(5, 3, true);
         stats.on_simulation_verdict(6, 3, false);
+        stats.on_resimulation(3, 5, 95);
 
         assert_eq!(stats.rounds, 1);
         assert_eq!(stats.merges, 1);
@@ -201,11 +225,17 @@ mod tests {
         assert_eq!(stats.refinements, 1);
         assert_eq!(stats.proved_by_simulation, 1);
         assert_eq!(stats.disproved_by_simulation, 1);
+        assert_eq!(stats.resim_events, 1);
+        assert_eq!(stats.resim_nodes, 5);
+        assert_eq!(stats.resim_skipped_nodes, 95);
 
         let report = stats.counts();
         assert_eq!(report.merges, 1);
         assert_eq!(report.constants, 1);
         assert_eq!(report.sat_calls_total, 4);
+        assert_eq!(report.resim_events, 1);
+        assert_eq!(report.resim_nodes, 5);
+        assert_eq!(report.resim_skipped_nodes, 95);
         assert_eq!(report.gates_before, 0, "gate counts belong to the session");
     }
 
@@ -218,5 +248,6 @@ mod tests {
         noop.on_counterexample(&[]);
         noop.on_class_refined(0, 0);
         noop.on_simulation_verdict(1, 2, true);
+        noop.on_resimulation(0, 0, 0);
     }
 }

@@ -64,8 +64,15 @@ pub struct PatternGenStats {
 
 /// Generates purely random patterns (the baseline sweeper's initial
 /// simulation).
+///
+/// # Panics
+///
+/// Panics if `num_patterns` is zero — the engines validate
+/// `num_initial_patterns > 0` (see [`crate::SweepConfig::validate`]) before
+/// generating patterns, so a zero here is a caller bug.
 pub fn random_patterns(aig: &Aig, num_patterns: usize, seed: u64) -> PatternSet {
     PatternSet::random(aig.num_inputs(), num_patterns, seed)
+        .expect("callers validate the pattern count before generating patterns")
 }
 
 /// Generates SAT-guided initial patterns: random base patterns plus the two

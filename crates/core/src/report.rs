@@ -33,6 +33,11 @@ pub struct SweepConfig {
     /// Refine candidate equivalence classes by exhaustive STP window
     /// simulation before calling the SAT solver.
     pub window_refinement: bool,
+    /// Number of worker threads for level-scheduled parallel simulation
+    /// (see [`bitsim::AigSimulator::run_parallel`]).  The default of 1 is
+    /// the fully sequential behaviour; any value yields bit-identical
+    /// signatures and identical sweep results.
+    pub num_threads: usize,
 }
 
 impl Default for SweepConfig {
@@ -46,6 +51,7 @@ impl Default for SweepConfig {
             sat_guided_patterns: true,
             constant_substitution: true,
             window_refinement: true,
+            num_threads: 1,
         }
     }
 }
@@ -130,6 +136,16 @@ impl SweepConfig {
         self
     }
 
+    /// Sets the number of worker threads for parallel simulation.
+    ///
+    /// Parallel runs are deterministic: signatures are bit-identical and the
+    /// sweep result is the same for every thread count.  `1` (the default)
+    /// is fully sequential; `0` is rejected by [`SweepConfig::validate`].
+    pub fn parallelism(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
     /// Checks the configuration for values the engines cannot work with.
     ///
     /// Invalid values used to be clamped or to silently misbehave; the
@@ -141,11 +157,17 @@ impl SweepConfig {
     /// * `conflict_limit` must be nonzero (a zero budget turns every SAT
     ///   query into `unDET` and marks every candidate don't-touch);
     /// * `window_limit` must be at most [`MAX_WINDOW_LIMIT`] (the paper
-    ///   restricts exhaustive windows to at most 16 leaves).
+    ///   restricts exhaustive windows to at most 16 leaves);
+    /// * `num_threads` must be nonzero (1 = sequential).
     pub fn validate(&self) -> Result<(), SweepError> {
         if self.num_initial_patterns == 0 {
             return Err(SweepError::InvalidConfig(
                 "num_initial_patterns must be nonzero".into(),
+            ));
+        }
+        if self.num_threads == 0 {
+            return Err(SweepError::InvalidConfig(
+                "num_threads must be nonzero (1 = sequential)".into(),
             ));
         }
         if self.conflict_limit == 0 {
@@ -188,6 +210,17 @@ pub struct SweepReport {
     pub disproved_by_simulation: u64,
     /// Candidate pairs proved by exhaustive window simulation alone.
     pub proved_by_simulation: u64,
+    /// Incremental resimulation events (one per counter-example).
+    pub resim_events: u64,
+    /// AND nodes evaluated by incremental resimulation, summed over events.
+    pub resim_nodes: u64,
+    /// AND nodes incremental resimulation skipped, summed over events — the
+    /// extra work a `simulate_all`-per-counter-example strategy would have
+    /// done.
+    pub resim_skipped_nodes: u64,
+    /// Worker threads used for parallel simulation (1 = sequential; for
+    /// merged multi-pass reports, the maximum over the passes).
+    pub num_threads: usize,
     /// Time spent simulating (initial + counter-example simulation).
     pub simulation_time: Duration,
     /// Time spent inside the SAT solver.
@@ -222,6 +255,10 @@ impl SweepReport {
         self.sat_calls_total += later.sat_calls_total;
         self.disproved_by_simulation += later.disproved_by_simulation;
         self.proved_by_simulation += later.proved_by_simulation;
+        self.resim_events += later.resim_events;
+        self.resim_nodes += later.resim_nodes;
+        self.resim_skipped_nodes += later.resim_skipped_nodes;
+        self.num_threads = self.num_threads.max(later.num_threads);
         self.simulation_time += later.simulation_time;
         self.sat_time += later.sat_time;
         self.total_time += later.total_time;
@@ -304,17 +341,33 @@ mod tests {
             .with_conflict_limit(7)
             .with_tfi_limit(3)
             .with_window_limit(5)
-            .with_seed(42);
+            .with_seed(42)
+            .parallelism(4);
         assert_eq!(config.num_initial_patterns, 99);
         assert_eq!(config.conflict_limit, 7);
         assert_eq!(config.tfi_limit, 3);
         assert_eq!(config.window_limit, 5);
         assert_eq!(config.seed, 42);
+        assert_eq!(config.num_threads, 4);
+    }
+
+    #[test]
+    fn presets_default_to_sequential() {
+        for config in [
+            SweepConfig::paper(),
+            SweepConfig::fast(),
+            SweepConfig::thorough(),
+            SweepConfig::baseline(),
+        ] {
+            assert_eq!(config.num_threads, 1, "parallelism is opt-in");
+        }
     }
 
     #[test]
     fn validate_rejects_degenerate_configs() {
         assert!(SweepConfig::default().with_patterns(0).validate().is_err());
+        assert!(SweepConfig::default().parallelism(0).validate().is_err());
+        assert!(SweepConfig::default().parallelism(8).validate().is_ok());
         assert!(SweepConfig::default()
             .with_conflict_limit(0)
             .validate()
@@ -350,6 +403,10 @@ mod tests {
             constants: 1,
             sat_calls_sat: 1,
             sat_calls_total: 2,
+            resim_events: 2,
+            resim_nodes: 30,
+            resim_skipped_nodes: 130,
+            num_threads: 4,
             simulation_time: Duration::from_millis(5),
             ..SweepReport::default()
         };
@@ -361,6 +418,10 @@ mod tests {
         assert_eq!(first.constants, 1);
         assert_eq!(first.sat_calls_sat, 3);
         assert_eq!(first.sat_calls_total, 6);
+        assert_eq!(first.resim_events, 2);
+        assert_eq!(first.resim_nodes, 30);
+        assert_eq!(first.resim_skipped_nodes, 130);
+        assert_eq!(first.num_threads, 4, "merge keeps the maximum");
         assert_eq!(first.simulation_time, Duration::from_millis(15));
     }
 

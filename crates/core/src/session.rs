@@ -31,6 +31,7 @@ use crate::error::SweepError;
 use crate::observer::{Observer, SatCallOutcome, StatsObserver};
 use crate::patterns::{self, PatternGenConfig};
 use crate::report::{SweepConfig, SweepResult};
+use crate::resim::{self, ResimEngine};
 use crate::window::WindowIndex;
 use bitsim::{AigSimulator, PatternSet, Signature};
 use netlist::{Aig, Lit, NodeId};
@@ -144,6 +145,7 @@ pub struct SweepSession<'n, 'o> {
     pattern_set: PatternSet,
     classes: EquivClasses,
     windows: Option<WindowIndex>,
+    resim: ResimEngine,
     merged: Vec<Option<Lit>>,
     dont_touch: Vec<bool>,
     stats: StatsObserver,
@@ -187,6 +189,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                 pattern_set: PatternSet::new(aig.num_inputs()),
                 classes: EquivClasses::default(),
                 windows: None,
+                resim: ResimEngine::new(aig),
                 merged: vec![None; aig.num_nodes()],
                 dont_touch: vec![false; aig.num_nodes()],
                 stats: StatsObserver::new(),
@@ -217,7 +220,9 @@ impl<'n, 'o> SweepSession<'n, 'o> {
         } else {
             patterns::random_patterns(aig, config.num_initial_patterns, config.seed)
         };
-        let state = AigSimulator::new(aig).run(&pattern_set);
+        // Level-scheduled parallel evaluation; bit-identical to a
+        // sequential run for every `num_threads`.
+        let state = AigSimulator::new(aig).run_parallel(&pattern_set, config.num_threads);
         let and_signatures: HashMap<NodeId, Signature> = aig
             .and_ids()
             .map(|id| (id, state.signature(id).clone()))
@@ -246,6 +251,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             pattern_set,
             classes,
             windows,
+            resim: ResimEngine::new(aig),
             merged: vec![None; aig.num_nodes()],
             dont_touch: vec![false; aig.num_nodes()],
             stats: StatsObserver::new(),
@@ -356,6 +362,13 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             .on_simulation_verdict(candidate, driver, equivalent);
         if let Some(obs) = self.observer.as_mut() {
             obs.on_simulation_verdict(candidate, driver, equivalent);
+        }
+    }
+
+    fn notify_resimulation(&mut self, targets: usize, resimulated: usize, skipped: usize) {
+        self.stats.on_resimulation(targets, resimulated, skipped);
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_resimulation(targets, resimulated, skipped);
         }
     }
 
@@ -539,40 +552,44 @@ impl<'n, 'o> SweepSession<'n, 'o> {
         self.notify_merge(candidate, replacement);
     }
 
-    /// Simulates a counter-example and refines the candidate classes.
+    /// Simulates a counter-example incrementally and refines the candidate
+    /// classes.
     ///
-    /// The baseline engine re-simulates the whole network bit-parallel; the
-    /// STP engine simulates only the nodes that are still members of some
-    /// candidate class (or constant candidates) through their cut windows.
+    /// Both engines resimulate **only the nodes that are still merge
+    /// candidates** (class members and constant candidates) on the new
+    /// pattern: the STP engine evaluates them through their cut windows, the
+    /// baseline through a single-bit sweep of their transitive fanin (see
+    /// [`crate::resim`]).  Every AND node outside the evaluated set goes
+    /// into the dirty set instead of being recomputed — the refinement
+    /// outcome is identical to a full `simulate_all` pass because class
+    /// members agree on all previously simulated patterns by construction.
     fn refine_with_counterexample(&mut self, counterexample: &[bool]) {
         self.notify_counterexample(counterexample);
         let sim_start = Instant::now();
         self.pattern_set.push_pattern(counterexample);
-        let new_signatures: HashMap<NodeId, Signature> = match (self.engine, &self.windows) {
-            (Engine::Stp, Some(index)) => {
-                // Only class members and constant candidates need new values.
-                let mut targets: Vec<NodeId> = self
-                    .classes
-                    .classes()
-                    .iter()
-                    .flat_map(|c| c.members().iter().copied())
-                    .collect();
-                targets.extend(self.classes.constants().iter().map(|c| c.node));
-                targets.sort_unstable();
-                targets.dedup();
-                let mut ce_only = PatternSet::new(self.original.num_inputs());
-                ce_only.push_pattern(counterexample);
-                index.simulate_targets(self.original, &ce_only, &targets)
-            }
-            _ => {
-                // Full bitwise resimulation with the complete (grown) set.
-                let state = AigSimulator::new(self.original).run(&self.pattern_set);
-                self.original
-                    .and_ids()
-                    .map(|id| (id, state.signature(id).clone()))
-                    .collect()
-            }
-        };
+        // Fresh values are only needed for nodes that are still candidates.
+        let mut targets: Vec<NodeId> = self
+            .classes
+            .classes()
+            .iter()
+            .flat_map(|c| c.members().iter().copied())
+            .collect();
+        targets.extend(self.classes.constants().iter().map(|c| c.node));
+        targets.sort_unstable();
+        targets.dedup();
+        let (new_signatures, evaluated): (HashMap<NodeId, Signature>, Vec<NodeId>) =
+            match (self.engine, &self.windows) {
+                (Engine::Stp, Some(index)) => {
+                    // STP engine: evaluate the targets through their cut
+                    // windows (the specified-node mode of Algorithm 1).
+                    let mut ce_only = PatternSet::new(self.original.num_inputs());
+                    ce_only.push_pattern(counterexample);
+                    index.simulate_targets_counted(self.original, &ce_only, &targets)
+                }
+                _ => resim::eval_pattern_targets(self.original, counterexample, &targets),
+            };
+        let event = self.resim.record_event(targets.len(), &evaluated);
+        self.notify_resimulation(event.targets, event.resimulated, event.skipped);
         let moved = self.classes.refine(&new_signatures);
         self.simulation_time += sim_start.elapsed();
         let num_classes = self.classes.classes().len();
@@ -588,6 +605,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
     fn finish(self) -> SweepResult {
         let (cleaned, _) = self.result.cleanup();
         let mut report = self.stats.counts();
+        report.num_threads = self.config.num_threads;
         report.gates_before = self.original.num_ands();
         report.levels = self.original.depth();
         report.gates_after = cleaned.num_ands();
@@ -675,6 +693,66 @@ mod tests {
         assert_eq!(stats.proved_by_simulation, r.proved_by_simulation);
         assert_eq!(stats.disproved_by_simulation, r.disproved_by_simulation);
         assert_eq!(stats.counterexamples, r.sat_calls_sat);
+    }
+
+    #[test]
+    fn counterexamples_resimulate_incrementally() {
+        let aig = redundant_circuit();
+        for engine in [Engine::Stp, Engine::Baseline] {
+            let mut stats = StatsObserver::new();
+            let result = Sweeper::new(engine)
+                .config(SweepConfig {
+                    // Few initial patterns so that SAT finds counter-examples.
+                    num_initial_patterns: 4,
+                    sat_guided_patterns: false,
+                    ..SweepConfig::default()
+                })
+                .observer(&mut stats)
+                .run(&aig)
+                .expect("runs");
+            let r = &result.report;
+            assert_eq!(
+                r.resim_events, r.sat_calls_sat,
+                "one event per CE ({engine})"
+            );
+            assert_eq!(stats.resim_events, r.resim_events);
+            assert_eq!(stats.resim_nodes, r.resim_nodes);
+            assert_eq!(stats.resim_skipped_nodes, r.resim_skipped_nodes);
+            if r.resim_events > 0 {
+                // Incremental resimulation must touch fewer nodes than the
+                // historical simulate_all-per-counter-example strategy.
+                let full_cost = r.resim_events * aig.num_ands() as u64;
+                assert!(
+                    r.resim_nodes < full_cost,
+                    "{engine}: {} resimulated vs {} full",
+                    r.resim_nodes,
+                    full_cost
+                );
+                assert_eq!(r.resim_nodes + r.resim_skipped_nodes, full_cost);
+            }
+            assert!(check_equivalence(&aig, &result.aig, 100_000).equivalent);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic() {
+        let aig = redundant_circuit();
+        let sequential = Sweeper::new(Engine::Stp).run(&aig).expect("runs");
+        for threads in [2usize, 4] {
+            let parallel = Sweeper::new(Engine::Stp)
+                .config(SweepConfig::default().parallelism(threads))
+                .run(&aig)
+                .expect("runs");
+            assert_eq!(parallel.aig.num_ands(), sequential.aig.num_ands());
+            assert_eq!(parallel.report.merges, sequential.report.merges);
+            assert_eq!(parallel.report.constants, sequential.report.constants);
+            assert_eq!(
+                parallel.report.sat_calls_total,
+                sequential.report.sat_calls_total
+            );
+            assert_eq!(parallel.report.num_threads, threads);
+        }
+        assert_eq!(sequential.report.num_threads, 1);
     }
 
     #[test]

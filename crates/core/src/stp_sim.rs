@@ -15,8 +15,9 @@
 //!   table of every cut is obtained by STP composition of the member
 //!   matrices, and only the cut roots are simulated.
 
-use bitsim::{PatternSet, Signature};
+use bitsim::{parallel, PatternSet, Signature};
 use netlist::{LutNetwork, LutNode, LutNodeId};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use stp::LogicMatrix;
 use truthtable::{compose, TruthTable};
@@ -27,26 +28,55 @@ use truthtable::{compose, TruthTable};
 pub const MAX_CUT_LEAVES: usize = 16;
 
 /// Result of an all-nodes STP simulation: one signature per node.
+///
+/// After an incremental [`StpSimulator::resimulate`], nodes outside the
+/// resimulated targets become *stale*: their stored signature is missing the
+/// appended patterns.  Stale signatures must not be read
+/// ([`StpSimState::signature`] panics); [`StpSimState::is_stale`] tells which
+/// nodes are affected.
 #[derive(Debug, Clone)]
 pub struct StpSimState {
     signatures: Vec<Signature>,
+    stale: Vec<bool>,
     num_patterns: usize,
 }
 
 impl StpSimState {
     /// The signature of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node's signature is stale after an incremental
+    /// resimulation that did not target it.
     pub fn signature(&self, node: LutNodeId) -> &Signature {
+        assert!(
+            !self.stale[node],
+            "node {node} is stale: it was skipped by an incremental resimulation"
+        );
         &self.signatures[node]
     }
 
+    /// `true` if the node's signature no longer covers every pattern (the
+    /// node was skipped by an incremental [`StpSimulator::resimulate`]).
+    pub fn is_stale(&self, node: LutNodeId) -> bool {
+        self.stale[node]
+    }
+
     /// The signature of output `index` (complement applied).
-    pub fn output_signature(&self, net: &LutNetwork, index: usize) -> Signature {
+    ///
+    /// Borrows the stored signature when the output is not complemented —
+    /// the common case — instead of cloning on every call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driving node's signature is stale.
+    pub fn output_signature(&self, net: &LutNetwork, index: usize) -> Cow<'_, Signature> {
         let output = &net.outputs()[index];
-        let sig = &self.signatures[output.node];
+        let sig = self.signature(output.node);
         if output.complemented {
-            sig.complement()
+            Cow::Owned(sig.complement())
         } else {
-            sig.clone()
+            Cow::Borrowed(sig)
         }
     }
 
@@ -55,7 +85,8 @@ impl StpSimState {
         self.num_patterns
     }
 
-    /// All node signatures, indexed by node id.
+    /// All node signatures, indexed by node id.  Stale entries (see
+    /// [`StpSimState::is_stale`]) are shorter than `num_patterns`.
     pub fn signatures(&self) -> &[Signature] {
         &self.signatures
     }
@@ -132,54 +163,160 @@ impl<'a> StpSimulator<'a> {
                 LutNode::Const0 => Signature::zeros(n),
                 LutNode::Input { position } => patterns.input_signature(*position).clone(),
                 LutNode::Lut { .. } => {
-                    let fanins = &self.node_fanins[id];
-                    let words = &self.node_words[id];
-                    let k = fanins.len();
-                    let fanin_words: Vec<&[u64]> =
-                        fanins.iter().map(|&f| signatures[f].words()).collect();
-                    let columns = 1usize << k;
-                    let ones: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+                    let fanin_words: Vec<&[u64]> = self.node_fanins[id]
+                        .iter()
+                        .map(|&f| signatures[f].words())
+                        .collect();
                     let mut out = vec![0u64; num_words];
-                    if columns > 256 {
-                        // Wide LUT: per-pattern column selection.
-                        for p in 0..n {
-                            let mut index = 0usize;
-                            for (j, fw) in fanin_words.iter().enumerate() {
-                                index |= (((fw[p / 64] >> (p % 64)) & 1) as usize) << j;
-                            }
-                            out[p / 64] |= ((words[index / 64] >> (index % 64)) & 1) << (p % 64);
-                        }
-                    } else {
-                        // Accumulate the minterm columns (or the maxterm
-                        // columns when the function is dense, complementing
-                        // at the end).
-                        let use_zeros = ones * 2 > columns;
-                        for w in 0..num_words {
-                            let mut acc = 0u64;
-                            for m in 0..columns {
-                                let column_is_one = (words[m / 64] >> (m % 64)) & 1 == 1;
-                                if column_is_one == use_zeros {
-                                    continue;
-                                }
-                                let mut term = u64::MAX;
-                                for (j, fw) in fanin_words.iter().enumerate() {
-                                    let fwv = fw[w];
-                                    term &= if (m >> j) & 1 == 1 { fwv } else { !fwv };
-                                }
-                                acc |= term;
-                            }
-                            out[w] = if use_zeros { !acc } else { acc };
-                        }
-                    }
+                    eval_lut_words(&self.node_words[id], &fanin_words, n, 0, &mut out);
                     Signature::from_words(n, out)
                 }
             };
             signatures.push(sig);
         }
         StpSimState {
+            stale: vec![false; signatures.len()],
             signatures,
             num_patterns: n,
         }
+    }
+
+    /// Simulates **all** nodes with up to `num_threads` worker threads.
+    ///
+    /// Nodes are grouped by topological level; within one level every
+    /// [`std::thread::scope`] worker evaluates all LUTs of the level for a
+    /// contiguous chunk of signature words (see [`bitsim::parallel`]).  The
+    /// workers run exactly the word operations of
+    /// [`StpSimulator::simulate_all`], so the result is **bit-identical to a
+    /// sequential run** for any thread count.  Levels whose work is below
+    /// [`parallel::PARALLEL_GRAIN`] are evaluated inline.
+    ///
+    /// `num_threads <= 1` falls back to [`StpSimulator::simulate_all`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern set's input count differs from the network's.
+    pub fn simulate_all_parallel(&self, patterns: &PatternSet, num_threads: usize) -> StpSimState {
+        if num_threads <= 1 {
+            return self.simulate_all(patterns);
+        }
+        assert_eq!(
+            patterns.num_inputs(),
+            self.net.num_pis(),
+            "pattern set input count must match the network"
+        );
+        let n = patterns.num_patterns();
+        let num_words = n.div_ceil(64).max(1);
+        let groups = parallel::group_by_level(&self.net.levels());
+        let mut signatures: Vec<Signature> = vec![Signature::zeros(0); self.net.num_nodes()];
+        for group in &groups {
+            let mut luts: Vec<LutNodeId> = Vec::with_capacity(group.len());
+            for &id in group {
+                match self.net.node(id) {
+                    LutNode::Const0 => signatures[id] = Signature::zeros(n),
+                    LutNode::Input { position } => {
+                        signatures[id] = patterns.input_signature(*position).clone();
+                    }
+                    LutNode::Lut { .. } => luts.push(id),
+                }
+            }
+            if luts.is_empty() {
+                continue;
+            }
+            let sigs = &signatures;
+            let buffers =
+                parallel::evaluate_level(&luts, num_words, num_threads, &|id, word_lo, out| {
+                    let fanin_words: Vec<&[u64]> = self.node_fanins[id]
+                        .iter()
+                        .map(|&f| sigs[f].words())
+                        .collect();
+                    eval_lut_words(&self.node_words[id], &fanin_words, n, word_lo, out);
+                });
+            for (out, &id) in buffers.into_iter().zip(luts.iter()) {
+                signatures[id] = Signature::from_words(n, out);
+            }
+        }
+        StpSimState {
+            stale: vec![false; signatures.len()],
+            signatures,
+            num_patterns: n,
+        }
+    }
+
+    /// Incremental resimulation: appends the patterns of `extra` to `state`
+    /// for the `targets` only, using [`StpSimulator::simulate_nodes`] (the
+    /// cut-collapsing specified-node mode) as the kernel.  Inputs and the
+    /// constant node are extended as well (their values are free); every
+    /// other non-target LUT is marked *stale* instead of being resimulated —
+    /// the dirty-set analogue of fanout-limited resimulation in FRAIG-style
+    /// sweepers.
+    ///
+    /// Returns the number of LUT nodes the kernel evaluated (the cut roots
+    /// visited on the targets' behalf) — the work metric that a
+    /// `simulate_all` call would have inflated to every LUT in the network.
+    /// Only the **targets** have their stored signatures extended; a
+    /// non-target cut root's freshly computed value is intermediate data
+    /// and the node is marked stale like every other skipped LUT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra` has a different input count than the network, if a
+    /// target is out of range, or if a target is already stale (its history
+    /// is incomplete, so appending would corrupt it).
+    pub fn resimulate(
+        &self,
+        state: &mut StpSimState,
+        extra: &PatternSet,
+        targets: &[LutNodeId],
+    ) -> usize {
+        assert_eq!(
+            extra.num_inputs(),
+            self.net.num_pis(),
+            "pattern set input count must match the network"
+        );
+        assert_eq!(
+            state.signatures.len(),
+            self.net.num_nodes(),
+            "state must belong to this network"
+        );
+        for &t in targets {
+            assert!(
+                !state.stale[t],
+                "target {t} is stale: its signature history is incomplete"
+            );
+        }
+        let (values, evaluated) = self.simulate_nodes_counted(extra, targets);
+        let mut is_target = vec![false; self.net.num_nodes()];
+        for &t in targets {
+            is_target[t] = true;
+        }
+        for id in self.net.node_ids() {
+            match self.net.node(id) {
+                LutNode::Const0 => {
+                    for _ in 0..extra.num_patterns() {
+                        state.signatures[id].push(false);
+                    }
+                }
+                LutNode::Input { position } => {
+                    let sig = extra.input_signature(*position);
+                    for p in 0..extra.num_patterns() {
+                        state.signatures[id].push(sig.get_bit(p));
+                    }
+                }
+                LutNode::Lut { .. } => {
+                    if is_target[id] {
+                        let fresh = &values[&id];
+                        for p in 0..extra.num_patterns() {
+                            state.signatures[id].push(fresh.get_bit(p));
+                        }
+                    } else {
+                        state.stale[id] = true;
+                    }
+                }
+            }
+        }
+        state.num_patterns += extra.num_patterns();
+        evaluated
     }
 
     /// Simulates only the **specified** nodes (Algorithm 1, mode `s`).
@@ -200,6 +337,17 @@ impl<'a> StpSimulator<'a> {
         patterns: &PatternSet,
         targets: &[LutNodeId],
     ) -> HashMap<LutNodeId, Signature> {
+        self.simulate_nodes_counted(patterns, targets).0
+    }
+
+    /// Like [`StpSimulator::simulate_nodes`], but also reports how many LUT
+    /// nodes were actually evaluated (the cut roots) — the measure of work
+    /// incremental resimulation saves over an all-nodes pass.
+    pub fn simulate_nodes_counted(
+        &self,
+        patterns: &PatternSet,
+        targets: &[LutNodeId],
+    ) -> (HashMap<LutNodeId, Signature>, usize) {
         assert_eq!(
             patterns.num_inputs(),
             self.net.num_pis(),
@@ -213,6 +361,10 @@ impl<'a> StpSimulator<'a> {
         let mut values: HashMap<LutNodeId, Signature> = HashMap::new();
         let mut roots: Vec<LutNodeId> = collapse.roots.iter().copied().collect();
         roots.sort_unstable();
+        let evaluated = roots
+            .iter()
+            .filter(|&&r| matches!(self.net.node(r), LutNode::Lut { .. }))
+            .count();
         for &root in &roots {
             let sig = match self.net.node(root) {
                 LutNode::Const0 => Signature::zeros(n),
@@ -244,7 +396,8 @@ impl<'a> StpSimulator<'a> {
             };
             values.insert(root, sig);
         }
-        targets.iter().map(|&t| (t, values[&t].clone())).collect()
+        let map = targets.iter().map(|&t| (t, values[&t].clone())).collect();
+        (map, evaluated)
     }
 
     /// Collapses the transitive fanin of `targets` into cuts with at most
@@ -394,6 +547,58 @@ impl<'a> StpSimulator<'a> {
     }
 }
 
+/// Evaluates one LUT node for signature words `word_lo .. word_lo +
+/// out.len()`: `words` is the node's packed logic-matrix row, `fanin_words`
+/// the complete word arrays of the fanins, `n` the total pattern count.
+///
+/// This is the single LUT kernel shared by the sequential and parallel
+/// evaluators: the minterm columns (or the maxterm columns when the function
+/// is dense) are accumulated 64 patterns at a time; very wide LUTs (more
+/// than 256 columns) fall back to per-pattern column selection.  `out` must
+/// be zero-initialised.
+fn eval_lut_words(
+    words: &[u64],
+    fanin_words: &[&[u64]],
+    n: usize,
+    word_lo: usize,
+    out: &mut [u64],
+) {
+    let k = fanin_words.len();
+    let columns = 1usize << k;
+    if columns > 256 {
+        // Wide LUT: per-pattern column selection, restricted to the chunk.
+        let p_lo = word_lo * 64;
+        let p_hi = ((word_lo + out.len()) * 64).min(n);
+        for p in p_lo..p_hi {
+            let mut index = 0usize;
+            for (j, fw) in fanin_words.iter().enumerate() {
+                index |= (((fw[p / 64] >> (p % 64)) & 1) as usize) << j;
+            }
+            out[p / 64 - word_lo] |= ((words[index / 64] >> (index % 64)) & 1) << (p % 64);
+        }
+    } else {
+        let ones: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+        let use_zeros = ones * 2 > columns;
+        for (wi, o) in out.iter_mut().enumerate() {
+            let w = word_lo + wi;
+            let mut acc = 0u64;
+            for m in 0..columns {
+                let column_is_one = (words[m / 64] >> (m % 64)) & 1 == 1;
+                if column_is_one == use_zeros {
+                    continue;
+                }
+                let mut term = u64::MAX;
+                for (j, fw) in fanin_words.iter().enumerate() {
+                    let fwv = fw[w];
+                    term &= if (m >> j) & 1 == 1 { fwv } else { !fwv };
+                }
+                acc |= term;
+            }
+            *o = if use_zeros { !acc } else { acc };
+        }
+    }
+}
+
 /// The cut size limit of Algorithm 1: `⌊log₂ n⌋` for `n` patterns, clamped
 /// to `[1, MAX_CUT_LEAVES]`.
 pub fn cut_limit(num_patterns: usize) -> usize {
@@ -501,7 +706,7 @@ mod tests {
     #[test]
     fn simulate_all_matches_bitwise_baseline_on_mapped_network() {
         let (_, lut) = mapped_network();
-        let patterns = PatternSet::random(6, 500, 17);
+        let patterns = PatternSet::random(6, 500, 17).unwrap();
         let stp = StpSimulator::new(&lut).simulate_all(&patterns);
         let baseline = LutSimulator::new(&lut).run(&patterns);
         for id in lut.node_ids() {
@@ -518,7 +723,7 @@ mod tests {
     #[test]
     fn simulate_nodes_matches_all_for_every_target_choice() {
         let (_, lut) = mapped_network();
-        let patterns = PatternSet::random(6, 64, 3);
+        let patterns = PatternSet::random(6, 64, 3).unwrap();
         let sim = StpSimulator::new(&lut);
         let all = sim.simulate_all(&patterns);
         let lut_ids: Vec<LutNodeId> = lut.lut_ids().collect();
@@ -536,11 +741,82 @@ mod tests {
     #[test]
     fn specified_simulation_with_pi_target() {
         let (_, lut) = mapped_network();
-        let patterns = PatternSet::random(6, 32, 5);
+        let patterns = PatternSet::random(6, 32, 5).unwrap();
         let sim = StpSimulator::new(&lut);
         let pi = lut.inputs()[2];
         let r = sim.simulate_nodes(&patterns, &[pi]);
         assert_eq!(&r[&pi], patterns.input_signature(2));
+    }
+
+    #[test]
+    fn parallel_simulation_is_bit_identical_to_sequential() {
+        let (_, lut) = mapped_network();
+        let sim = StpSimulator::new(&lut);
+        // 65536 patterns = 1024 words cross the parallel grain; the small
+        // counts keep the inline fallback covered.
+        for n in [1usize, 63, 64, 65, 500, 65536] {
+            let patterns = PatternSet::random(6, n, n as u64 + 1).unwrap();
+            let sequential = sim.simulate_all(&patterns);
+            for threads in [1usize, 2, 3, 4, 8] {
+                let parallel = sim.simulate_all_parallel(&patterns, threads);
+                assert_eq!(parallel.num_patterns(), sequential.num_patterns());
+                for id in lut.node_ids() {
+                    assert_eq!(
+                        parallel.signature(id),
+                        sequential.signature(id),
+                        "node {id}, {n} patterns, {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resimulate_appends_target_bits_and_marks_others_stale() {
+        let (_, lut) = mapped_network();
+        let sim = StpSimulator::new(&lut);
+        let base = PatternSet::random(6, 64, 3).unwrap();
+        let extra = PatternSet::random(6, 17, 4).unwrap();
+        let mut combined = base.clone();
+        combined.extend(&extra);
+
+        let lut_ids: Vec<LutNodeId> = lut.lut_ids().collect();
+        let targets = vec![lut_ids[0], *lut_ids.last().unwrap()];
+
+        let mut state = sim.simulate_all(&base);
+        let evaluated = sim.resimulate(&mut state, &extra, &targets);
+        assert!(evaluated >= targets.len());
+        assert!(evaluated <= lut_ids.len());
+        assert_eq!(state.num_patterns(), 81);
+
+        let full = sim.simulate_all(&combined);
+        for &t in &targets {
+            assert!(!state.is_stale(t));
+            assert_eq!(state.signature(t), full.signature(t), "target {t}");
+        }
+        // Inputs stay fresh; skipped LUTs are stale.
+        for &pi in lut.inputs() {
+            assert!(!state.is_stale(pi));
+            assert_eq!(state.signature(pi), full.signature(pi));
+        }
+        for &id in &lut_ids {
+            if !targets.contains(&id) {
+                assert!(state.is_stale(id), "non-target LUT {id} must be stale");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn reading_a_stale_signature_panics() {
+        let (_, lut) = mapped_network();
+        let sim = StpSimulator::new(&lut);
+        let base = PatternSet::random(6, 32, 1).unwrap();
+        let extra = PatternSet::random(6, 1, 2).unwrap();
+        let lut_ids: Vec<LutNodeId> = lut.lut_ids().collect();
+        let mut state = sim.simulate_all(&base);
+        sim.resimulate(&mut state, &extra, &lut_ids[..1]);
+        let _ = state.signature(lut_ids[1]);
     }
 
     #[test]
@@ -555,7 +831,7 @@ mod tests {
         }
         aig.add_output("parity", acc);
         let lut = lutmap::map_to_luts(&aig, 2);
-        let patterns = PatternSet::random(10, 8, 9); // limit = 3
+        let patterns = PatternSet::random(10, 8, 9).unwrap(); // limit = 3
         let sim = StpSimulator::new(&lut);
         let all = sim.simulate_all(&patterns);
         let last_lut = lut.lut_ids().last().expect("chain has LUTs");

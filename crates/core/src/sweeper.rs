@@ -14,7 +14,10 @@
 //!
 //! The builder additionally offers progress [`crate::Observer`]s, a
 //! [`crate::Budget`] (deadline, SAT-call cap, cancellation) with partial
-//! results, and typed [`crate::SweepError`]s instead of silent misbehaviour.
+//! results, typed [`crate::SweepError`]s instead of silent misbehaviour, and
+//! deterministic parallel simulation via
+//! [`crate::SweepConfig::parallelism`] — none of which the legacy free
+//! functions expose (they always run sequentially).
 //! See [`crate::session`] for the engine itself (Algorithm 2 of the paper)
 //! and [`crate::pipeline`] for multi-pass composition.
 

@@ -200,6 +200,19 @@ impl WindowIndex {
         patterns: &PatternSet,
         targets: &[NodeId],
     ) -> HashMap<NodeId, Signature> {
+        self.simulate_targets_counted(aig, patterns, targets).0
+    }
+
+    /// Like [`WindowIndex::simulate_targets`], but also returns the sorted
+    /// list of AND nodes that were actually evaluated (targets plus the
+    /// window leaves visited on their behalf) — the measure of work
+    /// incremental resimulation saves over a full network pass.
+    pub fn simulate_targets_counted(
+        &self,
+        aig: &Aig,
+        patterns: &PatternSet,
+        targets: &[NodeId],
+    ) -> (HashMap<NodeId, Signature>, Vec<NodeId>) {
         assert_eq!(
             patterns.num_inputs(),
             aig.num_inputs(),
@@ -215,7 +228,13 @@ impl WindowIndex {
             let sig = self.eval_node(aig, patterns, t, n, &mut cache);
             result.insert(t, sig);
         }
-        result
+        let mut evaluated: Vec<NodeId> = cache
+            .keys()
+            .copied()
+            .filter(|&id| matches!(aig.node(id), AigNode::And { .. }))
+            .collect();
+        evaluated.sort_unstable();
+        (result, evaluated)
     }
 
     fn eval_node(
@@ -353,15 +372,22 @@ mod tests {
     #[test]
     fn simulate_targets_matches_full_simulation() {
         let (aig, gates) = sample_aig();
-        let patterns = PatternSet::random(6, 200, 21);
+        let patterns = PatternSet::random(6, 200, 21).unwrap();
         let full = AigSimulator::new(&aig).run(&patterns);
         for limit in [2, 4, 8] {
             let index = WindowIndex::build(&aig, limit);
             let targets: Vec<NodeId> = gates.iter().map(|l| l.node()).collect();
-            let result = index.simulate_targets(&aig, &patterns, &targets);
+            let (result, evaluated) = index.simulate_targets_counted(&aig, &patterns, &targets);
             for &t in &targets {
                 assert_eq!(&result[&t], full.signature(t), "limit {limit}, node {t}");
             }
+            // Every target that is an AND gate was evaluated; no more AND
+            // nodes than the network holds were visited.
+            for &t in &targets {
+                assert!(evaluated.contains(&t), "limit {limit}, target {t}");
+            }
+            assert!(evaluated.len() <= aig.num_ands());
+            assert!(evaluated.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
         }
     }
 }

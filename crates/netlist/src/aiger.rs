@@ -167,7 +167,7 @@ fn read_ascii(
             .trim()
             .parse()
             .map_err(|_| format_err(format!("invalid input literal '{line}'")))?;
-        if !lit.is_multiple_of(2) {
+        if lit % 2 != 0 {
             return Err(format_err("input literal must be even"));
         }
         let input = aig.add_input(format!("pi{idx}"));

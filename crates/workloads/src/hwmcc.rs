@@ -133,7 +133,7 @@ mod tests {
             ),
         ];
         for (base, redundant) in pairs {
-            let patterns = PatternSet::random(base.num_inputs(), 256, 99);
+            let patterns = PatternSet::random(base.num_inputs(), 256, 99).unwrap();
             let a = AigSimulator::new(&base).run(&patterns);
             let b = AigSimulator::new(&redundant).run(&patterns);
             for o in 0..base.num_outputs() {

@@ -150,7 +150,7 @@ mod tests {
     fn assert_equivalent_by_simulation(a: &Aig, b: &Aig, patterns: usize, seed: u64) {
         assert_eq!(a.num_inputs(), b.num_inputs());
         assert_eq!(a.num_outputs(), b.num_outputs());
-        let p = PatternSet::random(a.num_inputs(), patterns, seed);
+        let p = PatternSet::random(a.num_inputs(), patterns, seed).unwrap();
         let sa = AigSimulator::new(a).run(&p);
         let sb = AigSimulator::new(b).run(&p);
         for o in 0..a.num_outputs() {

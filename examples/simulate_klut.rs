@@ -1,8 +1,12 @@
 //! A single Table I row: simulate one EPFL-analog benchmark with the bitwise
 //! baseline and with the STP simulator, on the AIG and on its 6-LUT mapping.
 //!
-//! Run with: `cargo run --release --example simulate_klut -- [benchmark] [patterns]`
-//! (default: `multiplier`, 4096 patterns)
+//! Run with: `cargo run --release --example simulate_klut -- [benchmark] [patterns] [threads]`
+//! (default: `multiplier`, 4096 patterns, 1 thread)
+//!
+//! With `threads > 1` the AIG and the STP simulators run through the
+//! level-scheduled parallel evaluator; the signatures are bit-identical to
+//! the sequential run (the example asserts it), only the times change.
 
 use std::time::Instant;
 use stp_sat_sweep::bitsim::{AigSimulator, LutSimulator, PatternSet};
@@ -17,6 +21,7 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "multiplier".to_string());
     let num_patterns: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4096);
+    let threads: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1).max(1);
 
     let suite = epfl_suite(Scale::Small);
     let bench = suite
@@ -26,17 +31,18 @@ fn main() {
     let aig = &bench.aig;
     println!("benchmark '{}': {}", bench.name, aig.stats());
 
-    let patterns = PatternSet::random(aig.num_inputs(), num_patterns, 0xEB5);
+    let patterns = PatternSet::random(aig.num_inputs(), num_patterns.max(1), 0xEB5)
+        .expect("pattern count is clamped to at least 1");
 
     // TA: AIG simulation.
     let start = Instant::now();
-    let bitwise = AigSimulator::new(aig).run(&patterns);
+    let bitwise = AigSimulator::new(aig).run_parallel(&patterns, threads);
     let ta_base = start.elapsed();
 
     let lut2 = lutmap::map_to_luts(aig, 2);
     let stp2 = StpSimulator::new(&lut2);
     let start = Instant::now();
-    let _ = stp2.simulate_all(&patterns);
+    let _ = stp2.simulate_all_parallel(&patterns, threads);
     let ta_stp = start.elapsed();
 
     // TL: 6-LUT simulation.
@@ -48,10 +54,12 @@ fn main() {
 
     let stp6 = StpSimulator::new(&lut6);
     let start = Instant::now();
-    let stp = stp6.simulate_all(&patterns);
+    let stp = stp6.simulate_all_parallel(&patterns, threads);
     let tl_stp = start.elapsed();
 
-    // The three simulators agree on every output.
+    // The three simulators agree on every output — and the parallel runs
+    // are bit-identical to the sequential evaluation.
+    let sequential = AigSimulator::new(aig).run(&patterns);
     for o in 0..aig.num_outputs() {
         assert_eq!(
             bitwise.output_signature(aig, o),
@@ -60,6 +68,10 @@ fn main() {
         assert_eq!(
             baseline.output_signature(&lut6, o),
             stp.output_signature(&lut6, o)
+        );
+        assert_eq!(
+            bitwise.output_signature(aig, o),
+            sequential.output_signature(aig, o)
         );
     }
 

@@ -1,7 +1,9 @@
 //! The session API end-to-end: a budgeted, observed multi-pass pipeline
 //! (sweep → strash → sweep → verify) over a redundancy-injected workload,
 //! plus a deliberately starved run showing that budget exhaustion hands back
-//! a functionally equivalent partial result instead of discarding the work.
+//! a functionally equivalent partial result instead of discarding the work,
+//! and a parallel re-run demonstrating that `parallelism(n)` changes the
+//! wall-clock but not one bit of the result.
 //!
 //! Run with: `cargo run --release --example sweep_pipeline`
 
@@ -30,6 +32,10 @@ impl Observer for Progress {
         if replacement.is_constant() {
             println!("  node {candidate} proved constant");
         }
+    }
+
+    fn on_resimulation(&mut self, targets: usize, resimulated: usize, skipped: usize) {
+        println!("  counter-example: {targets} targets, {resimulated} nodes resimulated, {skipped} skipped");
     }
 }
 
@@ -73,7 +79,29 @@ fn main() {
         outcome.report, progress.sat_calls
     );
 
-    // 2. The same sweep under a starvation budget: the partial result is
+    println!(
+        "incremental resimulation: {} events, {} nodes evaluated, {} skipped",
+        outcome.report.resim_events, outcome.report.resim_nodes, outcome.report.resim_skipped_nodes
+    );
+
+    // 2. The same sweep with 4 worker threads: level-scheduled parallel
+    //    simulation is deterministic, so the result is identical.
+    let parallel = Sweeper::new(Engine::Stp)
+        .config(SweepConfig::paper().parallelism(4))
+        .run(&redundant)
+        .expect("parallel run");
+    let sequential = Sweeper::new(Engine::Stp)
+        .config(SweepConfig::paper())
+        .run(&redundant)
+        .expect("sequential run");
+    assert_eq!(parallel.aig.num_ands(), sequential.aig.num_ands());
+    assert_eq!(parallel.report.merges, sequential.report.merges);
+    println!(
+        "\nparallelism(4) run: identical result ({} gates, {} merges) on {} threads",
+        parallel.report.gates_after, parallel.report.merges, parallel.report.num_threads
+    );
+
+    // 3. The same sweep under a starvation budget: the partial result is
     //    returned, not discarded, and still verifies.
     match Sweeper::new(Engine::Stp)
         .config(SweepConfig::paper())

@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 use stp_sat_sweep::bitsim::{AigSimulator, LutSimulator, PatternSet};
+use stp_sat_sweep::netlist::aiger::write_aiger_string;
 use stp_sat_sweep::netlist::{lutmap, Aig, Lit};
 use stp_sat_sweep::stp::{canonical_form, canonical_form_enumerated, BoolVec, Expr};
 use stp_sat_sweep::stp_sweep::stp_sim::StpSimulator;
@@ -98,7 +99,7 @@ proptest! {
     #[test]
     fn mapping_and_simulation_preserve_functions(spec in arb_aig()) {
         let aig = build_aig(&spec);
-        let patterns = PatternSet::random(aig.num_inputs(), 64, 11);
+        let patterns = PatternSet::random(aig.num_inputs(), 64, 11).unwrap();
         let reference = AigSimulator::new(&aig).run(&patterns);
         let lut = lutmap::map_to_luts(&aig, 4);
         let lut_state = LutSimulator::new(&lut).run(&patterns);
@@ -109,9 +110,60 @@ proptest! {
                 lut_state.output_signature(&lut, o)
             );
             prop_assert_eq!(
-                reference.output_signature(&aig, o).clone(),
+                reference.output_signature(&aig, o),
                 stp_state.output_signature(&lut, o)
             );
+        }
+    }
+
+    /// Parallel simulation is bit-identical to sequential simulation on
+    /// random AIGs and their LUT mappings, for every thread count.
+    #[test]
+    fn parallel_simulation_is_deterministic(spec in arb_aig(), threads in 2usize..5) {
+        let aig = build_aig(&spec);
+        let patterns = PatternSet::random(aig.num_inputs(), 192, 23).unwrap();
+        let sequential = AigSimulator::new(&aig).run(&patterns);
+        let parallel = AigSimulator::new(&aig).run_parallel(&patterns, threads);
+        for id in aig.node_ids() {
+            prop_assert_eq!(sequential.signature(id), parallel.signature(id));
+        }
+        let lut = lutmap::map_to_luts(&aig, 4);
+        let stp = StpSimulator::new(&lut);
+        let stp_seq = stp.simulate_all(&patterns);
+        let stp_par = stp.simulate_all_parallel(&patterns, threads);
+        for id in lut.node_ids() {
+            prop_assert_eq!(stp_seq.signature(id), stp_par.signature(id));
+        }
+    }
+
+    /// Sweeping with `num_threads` 1, 2 and 4 yields identical merge counts
+    /// and identical post-sweep networks (determinism of the parallel path).
+    #[test]
+    fn parallel_sweeping_is_deterministic(spec in arb_aig(), seed in 0u64..500) {
+        let aig = build_aig(&spec);
+        let redundant = inject_redundancy(&aig, 0.3, seed);
+        let base = SweepConfig {
+            num_initial_patterns: 32,
+            ..SweepConfig::default()
+        };
+        let runs: Vec<_> = [1usize, 2, 4]
+            .iter()
+            .map(|&threads| {
+                Sweeper::new(Engine::Stp)
+                    .config(base.parallelism(threads))
+                    .run(&redundant)
+                    .expect("valid config")
+            })
+            .collect();
+        let reference = &runs[0];
+        let reference_aiger = write_aiger_string(&reference.aig);
+        for run in &runs[1..] {
+            prop_assert_eq!(run.report.merges, reference.report.merges);
+            prop_assert_eq!(run.report.constants, reference.report.constants);
+            prop_assert_eq!(run.report.sat_calls_total, reference.report.sat_calls_total);
+            prop_assert_eq!(run.report.resim_nodes, reference.report.resim_nodes);
+            // The post-sweep networks are identical, not merely equivalent.
+            prop_assert_eq!(write_aiger_string(&run.aig), reference_aiger.clone());
         }
     }
 

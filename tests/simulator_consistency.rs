@@ -12,7 +12,7 @@ use stp_sat_sweep::workloads::{epfl_suite, generators, Scale};
 fn all_three_simulators_agree_on_the_epfl_suite() {
     for bench in epfl_suite(Scale::Tiny) {
         let aig = &bench.aig;
-        let patterns = PatternSet::random(aig.num_inputs(), 128, 0xAB);
+        let patterns = PatternSet::random(aig.num_inputs(), 128, 0xAB).unwrap();
         let aig_state = AigSimulator::new(aig).run(&patterns);
         for k in [4, 6] {
             let lut = lutmap::map_to_luts(aig, k);
@@ -38,10 +38,43 @@ fn all_three_simulators_agree_on_the_epfl_suite() {
 }
 
 #[test]
+fn parallel_simulators_are_bit_identical_on_the_epfl_suite() {
+    for bench in epfl_suite(Scale::Tiny) {
+        let aig = &bench.aig;
+        let patterns = PatternSet::random(aig.num_inputs(), 2048, 0xAB).unwrap();
+        let aig_sim = AigSimulator::new(aig);
+        let sequential = aig_sim.run(&patterns);
+        let lut = lutmap::map_to_luts(aig, 6);
+        let stp = StpSimulator::new(&lut);
+        let stp_sequential = stp.simulate_all(&patterns);
+        for threads in [2usize, 4] {
+            let parallel = aig_sim.run_parallel(&patterns, threads);
+            for id in aig.node_ids() {
+                assert_eq!(
+                    parallel.signature(id),
+                    sequential.signature(id),
+                    "{}: AIG node {id}, {threads} threads",
+                    bench.name
+                );
+            }
+            let stp_parallel = stp.simulate_all_parallel(&patterns, threads);
+            for id in lut.node_ids() {
+                assert_eq!(
+                    stp_parallel.signature(id),
+                    stp_sequential.signature(id),
+                    "{}: LUT node {id}, {threads} threads",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn specified_node_simulation_agrees_with_full_simulation() {
     let aig = generators::array_multiplier(4);
     let lut = lutmap::map_to_luts(&aig, 6);
-    let patterns = PatternSet::random(aig.num_inputs(), 200, 0x5EED);
+    let patterns = PatternSet::random(aig.num_inputs(), 200, 0x5EED).unwrap();
     let sim = StpSimulator::new(&lut);
     let all = sim.simulate_all(&patterns);
     let targets: Vec<_> = lut.lut_ids().collect();
@@ -62,7 +95,7 @@ fn window_simulation_agrees_with_bitwise_simulation() {
         generators::random_control(10, 150, 8, 5),
     ];
     for aig in circuits {
-        let patterns = PatternSet::random(aig.num_inputs(), 96, 7);
+        let patterns = PatternSet::random(aig.num_inputs(), 96, 7).unwrap();
         let reference = AigSimulator::new(&aig).run(&patterns);
         let index = WindowIndex::build(&aig, 10);
         let targets: Vec<_> = aig.and_ids().collect();
