@@ -1,14 +1,17 @@
 //! The CI bench-regression gate.
 //!
-//! Compares a fresh `table1 --json` snapshot against the checked-in
-//! `BENCH_baseline.json`:
+//! Compares a fresh `table1 --json` or `table2 --json` snapshot against the
+//! matching checked-in baseline (`BENCH_baseline.json` /
+//! `BENCH_baseline_table2.json`) — the snapshot kind is detected from the
+//! document's `"table"` field:
 //!
 //! * **deterministic counters** (gate counts, SAT calls, merges, constants,
-//!   resimulation counts) must match the baseline exactly — the engines are
-//!   seeded and deterministic, so any drift is a real behaviour change;
-//! * **time-like fields** (per-benchmark pipeline wall-clock, the Table I
-//!   speed-up geomeans) only fail when they *regress* beyond a tolerance
-//!   (default ±30%, `--time-tolerance 0.3`); getting faster never fails.
+//!   resimulation counts, SAT batches) must match the baseline exactly —
+//!   the engines are seeded and deterministic, so any drift is a real
+//!   behaviour change;
+//! * **time-like fields** (per-benchmark wall-clock, the Table I speed-up
+//!   geomeans) only fail when they *regress* beyond a tolerance (default
+//!   ±30%, `--time-tolerance 0.3`); getting faster never fails.
 //!
 //! Usage:
 //!
@@ -43,7 +46,8 @@ impl Findings {
     }
 }
 
-/// The deterministic per-benchmark pipeline counters; any drift fails.
+/// The deterministic per-benchmark pipeline counters of a table1 snapshot;
+/// any drift fails.
 const EXACT_ROW_FIELDS: &[&str] = &[
     "gates_before",
     "gates_after",
@@ -53,18 +57,143 @@ const EXACT_ROW_FIELDS: &[&str] = &[
     "resim_events",
     "resim_nodes",
     "resim_skipped",
+    "sat_batches",
+    "sat_conflicts",
 ];
 
-/// The run-parameter header fields; the two snapshots must describe the same
-/// workload to be comparable.
+/// The run-parameter header fields of a table1 snapshot; the two snapshots
+/// must describe the same workload to be comparable.
 const HEADER_FIELDS: &[&str] = &["patterns", "lut_k", "threads"];
+
+/// The deterministic per-benchmark sweeping counters of a table2 snapshot
+/// (both engines); any drift fails.
+const TABLE2_EXACT_ROW_FIELDS: &[&str] = &[
+    "gates",
+    "levels",
+    "result_b",
+    "result_s",
+    "ssat_b",
+    "tsat_b",
+    "merges_b",
+    "constants_b",
+    "ssat_s",
+    "tsat_s",
+    "merges_s",
+    "constants_s",
+    "sat_batches_s",
+    "sat_conflicts_s",
+];
+
+/// The time-like per-benchmark fields of a table2 snapshot, gated with the
+/// usual tolerance/floor.
+const TABLE2_TIME_ROW_FIELDS: &[&str] = &["total_b_s", "total_s_s"];
+
+/// The run-parameter header fields of a table2 snapshot.
+const TABLE2_HEADER_FIELDS: &[&str] = &["patterns", "sat_par_checked"];
 
 fn num_field(row: &Json, key: &str) -> Result<f64, String> {
     row.num(key)
         .ok_or_else(|| format!("missing numeric field '{key}'"))
 }
 
+/// Routes to the comparison matching the snapshot kind (the `"table"`
+/// field); documents without one are treated as table1 snapshots.
 fn compare(
+    baseline: &Json,
+    fresh: &Json,
+    tolerance: f64,
+    time_floor: f64,
+    skip_times: bool,
+) -> Findings {
+    let base_kind = baseline.str("table").unwrap_or("table1_simulation");
+    let fresh_kind = fresh.str("table").unwrap_or("table1_simulation");
+    if base_kind != fresh_kind {
+        let mut findings = Findings::default();
+        findings.check(false, || {
+            format!("snapshot kinds differ: baseline {base_kind:?} vs fresh {fresh_kind:?}")
+        });
+        return findings;
+    }
+    if base_kind == "table2_sweeping" {
+        compare_table2(baseline, fresh, tolerance, time_floor, skip_times)
+    } else {
+        compare_table1(baseline, fresh, tolerance, time_floor, skip_times)
+    }
+}
+
+/// Compares two `table2 --json` sweeping snapshots: exact SAT-call/merge
+/// counters per engine, wall-clock within tolerance.
+fn compare_table2(
+    baseline: &Json,
+    fresh: &Json,
+    tolerance: f64,
+    time_floor: f64,
+    skip_times: bool,
+) -> Findings {
+    let mut findings = Findings::default();
+    findings.check(baseline.str("scale") == fresh.str("scale"), || {
+        format!(
+            "workload scale differs: baseline {:?} vs fresh {:?}",
+            baseline.str("scale"),
+            fresh.str("scale")
+        )
+    });
+    for &key in TABLE2_HEADER_FIELDS {
+        let base = baseline.num(key).unwrap_or(1.0);
+        let new = fresh.num(key).unwrap_or(1.0);
+        findings.check(base == new, || {
+            format!("run parameter '{key}' differs: baseline {base} vs fresh {new}")
+        });
+    }
+    let empty: Vec<Json> = Vec::new();
+    let base_rows = baseline
+        .get("rows")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    let fresh_rows = fresh.get("rows").and_then(Json::as_arr).unwrap_or(&empty);
+    findings.check(!base_rows.is_empty(), || "baseline has no rows".into());
+    for base_row in base_rows {
+        let Some(name) = base_row.str("benchmark") else {
+            findings.check(false, || "baseline row without a name".into());
+            continue;
+        };
+        let Some(fresh_row) = fresh_rows.iter().find(|r| r.str("benchmark") == Some(name)) else {
+            findings.check(false, || format!("{name}: missing from the fresh snapshot"));
+            continue;
+        };
+        for &key in TABLE2_EXACT_ROW_FIELDS {
+            match (num_field(base_row, key), num_field(fresh_row, key)) {
+                (Ok(base), Ok(new)) => findings.check(base == new, || {
+                    format!("{name}: {key} changed: baseline {base} vs fresh {new}")
+                }),
+                (Err(e), _) | (_, Err(e)) => findings.check(false, || format!("{name}: {e}")),
+            }
+        }
+        if !skip_times {
+            for &key in TABLE2_TIME_ROW_FIELDS {
+                if let (Ok(base), Ok(new)) = (num_field(base_row, key), num_field(fresh_row, key)) {
+                    findings.check(base < time_floor || new <= base * (1.0 + tolerance), || {
+                        format!(
+                            "{name}: {key} regressed beyond {:.0}%: \
+                             baseline {base:.6}s vs fresh {new:.6}s",
+                            tolerance * 100.0
+                        )
+                    });
+                }
+            }
+        }
+    }
+    for fresh_row in fresh_rows {
+        let name = fresh_row.str("benchmark").unwrap_or("<unnamed>");
+        findings.check(
+            base_rows.iter().any(|r| r.str("benchmark") == Some(name)),
+            || format!("{name}: not in the baseline (refresh BENCH_baseline_table2.json)"),
+        );
+    }
+    findings
+}
+
+fn compare_table1(
     baseline: &Json,
     fresh: &Json,
     tolerance: f64,
@@ -225,7 +354,8 @@ fn main() {
         }
         eprintln!(
             "if the change is intentional, refresh the baseline: \
-             cargo run -p bench --release --bin table1 -- --json BENCH_baseline.json"
+             cargo run -p bench --release --bin table1 -- --json BENCH_baseline.json \
+             (or: --bin table2 -- --scale tiny --json BENCH_baseline_table2.json)"
         );
         std::process::exit(1);
     }
@@ -244,8 +374,26 @@ mod tests {
                   {{"benchmark": "adder", "gates_before": 345, "gates_after": 345,
                     "sat_calls": {sat_calls}, "merges": 0, "constants": 0,
                     "resim_events": 0, "resim_nodes": 0, "resim_skipped": 0,
+                    "sat_batches": 2, "sat_conflicts": 0,
                     "total_s": {total_s}}}
                 ]}}}}"#
+        ))
+        .unwrap()
+    }
+
+    fn table2_snapshot(total_s: f64, ssat_s: u64, merges_s: u64) -> Json {
+        parse(&format!(
+            r#"{{"table": "table2_sweeping", "scale": "Tiny", "patterns": 256,
+                "sat_par_checked": 4,
+                "rows": [
+                  {{"benchmark": "6s100", "pi": 24, "po": 40, "levels": 12,
+                    "gates": 600, "result_b": 510, "result_s": 500,
+                    "ssat_b": 40, "tsat_b": 90, "merges_b": 30, "constants_b": 2,
+                    "ssat_s": {ssat_s}, "tsat_s": 60, "merges_s": {merges_s},
+                    "constants_s": 2, "sat_batches_s": 7, "sat_conflicts_s": 1,
+                    "sim_b_s": 0.001, "sim_s_s": 0.002,
+                    "total_b_s": 0.040, "total_s_s": {total_s}}}
+                ]}}"#
         ))
         .unwrap()
     }
@@ -295,6 +443,39 @@ mod tests {
         let fresh = snapshot(0.01, 3, 20.0);
         let findings = compare(&base, &fresh, 0.30, 0.0, false);
         assert!(findings.failures.iter().any(|f| f.contains("geomean xl")));
+    }
+
+    #[test]
+    fn table2_snapshots_gate_counters_exactly_and_times_with_tolerance() {
+        let base = table2_snapshot(0.050, 5, 25);
+        // Identical snapshots pass.
+        assert!(compare(&base, &base, 0.30, 0.0, false).failures.is_empty());
+        // A counter drift fails even when times are fine.
+        let drifted = table2_snapshot(0.050, 6, 25);
+        let findings = compare(&base, &drifted, 0.30, 0.0, false);
+        assert!(findings.failures.iter().any(|f| f.contains("ssat_s")));
+        let merged = table2_snapshot(0.050, 5, 26);
+        let findings = compare(&base, &merged, 0.30, 0.0, false);
+        assert!(findings.failures.iter().any(|f| f.contains("merges_s")));
+        // A slowdown beyond tolerance fails; a speedup passes; the floor and
+        // --skip-times exempt it.
+        let slow = table2_snapshot(0.080, 5, 25);
+        assert!(!compare(&base, &slow, 0.30, 0.0, false).failures.is_empty());
+        assert!(compare(&base, &slow, 0.30, 0.1, false).failures.is_empty());
+        assert!(compare(&base, &slow, 0.30, 0.0, true).failures.is_empty());
+        let fast = table2_snapshot(0.010, 5, 25);
+        assert!(compare(&base, &fast, 0.30, 0.0, false).failures.is_empty());
+    }
+
+    #[test]
+    fn mismatched_snapshot_kinds_fail() {
+        let table1 = snapshot(0.01, 3, 40.0);
+        let table2 = table2_snapshot(0.050, 5, 25);
+        let findings = compare(&table1, &table2, 0.30, 0.0, false);
+        assert!(findings
+            .failures
+            .iter()
+            .any(|f| f.contains("snapshot kinds differ")));
     }
 
     #[test]

@@ -37,13 +37,55 @@ use stp_sweep::{Engine, Pipeline, SweepConfig};
 use workloads::epfl_suite;
 
 /// Runs the standard pipeline on one benchmark and renders its JSON row.
-fn pipeline_json_row(name: &str, aig: &netlist::Aig, threads: usize) -> String {
-    let outcome = Pipeline::new(SweepConfig::fast().parallelism(threads))
+///
+/// The pipeline is run twice — sequentially and with `sat_parallelism = 4`
+/// — and the deterministic counters plus the final network must agree (the
+/// parallel prover's determinism guarantee); the row reports the sequential
+/// run's numbers.
+fn pipeline_json_row(
+    name: &str,
+    aig: &netlist::Aig,
+    threads: usize,
+    par_times: &mut (f64, f64),
+) -> String {
+    let run = |sat_par: usize| {
+        Pipeline::new(
+            SweepConfig::fast()
+                .parallelism(threads)
+                .sat_parallelism(sat_par),
+        )
         .sweep(Engine::Stp)
         .strash()
         .sweep(Engine::Stp)
         .run(aig)
-        .unwrap_or_else(|e| panic!("{name}: pipeline failed: {e}"));
+        .unwrap_or_else(|e| panic!("{name}: pipeline failed: {e}"))
+    };
+    let outcome = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        (
+            outcome.report.sat_calls_total,
+            outcome.report.merges,
+            outcome.report.constants,
+            outcome.report.sat_batches,
+            outcome.report.sat_parallel_conflicts,
+        ),
+        (
+            parallel.report.sat_calls_total,
+            parallel.report.merges,
+            parallel.report.constants,
+            parallel.report.sat_batches,
+            parallel.report.sat_parallel_conflicts,
+        ),
+        "{name}: pipeline counters differ between sat_parallelism 1 and 4"
+    );
+    assert_eq!(
+        netlist::aiger::write_aiger_string(&outcome.aig),
+        netlist::aiger::write_aiger_string(&parallel.aig),
+        "{name}: pipeline output differs between sat_parallelism 1 and 4"
+    );
+    par_times.0 += outcome.report.total_time.as_secs_f64();
+    par_times.1 += parallel.report.total_time.as_secs_f64();
     let passes: Vec<String> = outcome
         .passes
         .iter()
@@ -65,6 +107,7 @@ fn pipeline_json_row(name: &str, aig: &netlist::Aig, threads: usize) -> String {
         "      {{\"benchmark\": \"{}\", \"gates_before\": {}, \"gates_after\": {}, \
          \"sat_calls\": {}, \"merges\": {}, \"constants\": {}, \
          \"resim_events\": {}, \"resim_nodes\": {}, \"resim_skipped\": {}, \
+         \"sat_batches\": {}, \"sat_conflicts\": {}, \
          \"total_s\": {:.6}, \"passes\": [{}]}}",
         name,
         r.gates_before,
@@ -75,6 +118,8 @@ fn pipeline_json_row(name: &str, aig: &netlist::Aig, threads: usize) -> String {
         r.resim_events,
         r.resim_nodes,
         r.resim_skipped_nodes,
+        r.sat_batches,
+        r.sat_parallel_conflicts,
         r.total_time.as_secs_f64(),
         passes.join(", ")
     )
@@ -187,10 +232,16 @@ fn main() {
     if let Some(path) = arg_value(&args, "--json") {
         // The sweeping pipeline section: per-pass reports per benchmark.
         println!("\nrunning the sweep pipeline (sweep -> strash -> sweep) per benchmark ...");
+        let mut par_times = (0.0f64, 0.0f64);
         let pipeline_rows: Vec<String> = suite
             .iter()
-            .map(|bench| pipeline_json_row(bench.name, &bench.aig, threads))
+            .map(|bench| pipeline_json_row(bench.name, &bench.aig, threads, &mut par_times))
             .collect();
+        println!(
+            "pipeline wall-clock: sat_parallelism 1 = {:.3}s, sat_parallelism 4 = {:.3}s \
+             (identical counters and outputs)",
+            par_times.0, par_times.1
+        );
         let document = format!(
             "{{\n  \"table\": \"table1_simulation\",\n  \"scale\": \"{scale:?}\",\n  \
              \"patterns\": {num_patterns},\n  \"lut_k\": {lut_k},\n  \"threads\": {threads},\n  \"rows\": [\n{}\n  ],\n  \

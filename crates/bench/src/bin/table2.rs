@@ -8,19 +8,73 @@
 //! their total runtime, plus the runtime ratio (STP / baseline).  Every
 //! sweep is verified with the CEC checker unless `--no-verify` is passed.
 //!
-//! Usage: `cargo run -p bench --release --bin table2 -- [--scale tiny|small|large] [--patterns N] [--no-verify]`
+//! Usage: `cargo run -p bench --release --bin table2 -- [--scale tiny|small|large] [--patterns N] [--no-verify] [--json PATH] [--sat-par N]`
+//!
+//! With `--json PATH` the measured numbers are written as a JSON document
+//! (the format of the checked-in `BENCH_baseline_table2.json`): the exact
+//! per-benchmark SAT-call/merge/constant counters of both engines plus
+//! their wall-clock times.  The JSON run additionally re-sweeps every
+//! benchmark with `sat_parallelism = N` (`--sat-par`, default 4) and
+//! **asserts** that the committed SAT calls, merges and the swept AIGER
+//! output are byte-identical to the sequential run — the determinism
+//! guarantee of the parallel prover, enforced on every snapshot.
 
 use bench::{arg_value, geometric_mean, parse_scale, secs};
-use stp_sweep::{cec, Engine, SweepConfig, Sweeper};
+use netlist::aiger::write_aiger_string;
+use stp_sweep::{cec, Engine, SweepConfig, SweepResult, Sweeper};
 use workloads::hwmcc_suite;
+
+/// Runs one engine on one benchmark with the given SAT parallelism.
+fn sweep(aig: &netlist::Aig, engine: Engine, config: SweepConfig, sat_par: usize) -> SweepResult {
+    Sweeper::new(engine)
+        .config(config.sat_parallelism(sat_par))
+        .run(aig)
+        .expect("valid sweep config")
+}
+
+/// Asserts the parallel-prover determinism guarantee: a `sat_parallelism =
+/// sat_par` run commits exactly the sequential run's SAT calls and merges
+/// and produces a byte-identical network.
+fn assert_parallel_identical(
+    name: &str,
+    engine: Engine,
+    sequential: &SweepResult,
+    parallel: &SweepResult,
+    sat_par: usize,
+) {
+    let (s, p) = (&sequential.report, &parallel.report);
+    assert_eq!(
+        (s.sat_calls_sat, s.sat_calls_total, s.merges, s.constants),
+        (p.sat_calls_sat, p.sat_calls_total, p.merges, p.constants),
+        "{name} ({engine}): counters differ between sat_parallelism 1 and {sat_par}"
+    );
+    assert_eq!(
+        (s.sat_batches, s.sat_parallel_conflicts),
+        (p.sat_batches, p.sat_parallel_conflicts),
+        "{name} ({engine}): batch accounting differs between sat_parallelism 1 and {sat_par}"
+    );
+    assert_eq!(
+        write_aiger_string(&sequential.aig),
+        write_aiger_string(&parallel.aig),
+        "{name} ({engine}): swept AIGER differs between sat_parallelism 1 and {sat_par}"
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = parse_scale(&args);
     let verify = !args.iter().any(|a| a == "--no-verify");
+    let json_path = arg_value(&args, "--json");
+    let sat_par: usize = arg_value(&args, "--sat-par")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     let num_patterns: usize = arg_value(&args, "--patterns")
         .and_then(|v| v.parse().ok())
         .unwrap_or(256);
+    if sat_par == 0 || num_patterns == 0 {
+        eprintln!("--sat-par and --patterns must be nonzero");
+        std::process::exit(2);
+    }
 
     println!("Table II analog: SAT-sweeping on the HWMCC/IWLS-analog suite");
     println!("scale = {scale:?}, initial patterns = {num_patterns}, verify = {verify}\n");
@@ -48,17 +102,27 @@ fn main() {
     let mut sim_s = Vec::new();
     let mut tot_b = Vec::new();
     let mut tot_s = Vec::new();
+    let mut json_rows = Vec::new();
 
     for bench in hwmcc_suite(scale) {
         let aig = &bench.aig;
-        let baseline = Sweeper::new(Engine::Baseline)
-            .config(baseline_config)
-            .run(aig)
-            .expect("valid baseline config");
-        let stp = Sweeper::new(Engine::Stp)
-            .config(stp_config)
-            .run(aig)
-            .expect("valid STP config");
+        let baseline = sweep(aig, Engine::Baseline, baseline_config, 1);
+        let stp = sweep(aig, Engine::Stp, stp_config, 1);
+
+        if json_path.is_some() {
+            // The snapshot doubles as the determinism proof: both engines
+            // must commit identical results under parallel SAT proving.
+            let baseline_par = sweep(aig, Engine::Baseline, baseline_config, sat_par);
+            assert_parallel_identical(
+                bench.name,
+                Engine::Baseline,
+                &baseline,
+                &baseline_par,
+                sat_par,
+            );
+            let stp_par = sweep(aig, Engine::Stp, stp_config, sat_par);
+            assert_parallel_identical(bench.name, Engine::Stp, &stp, &stp_par, sat_par);
+        }
 
         if verify {
             let b_ok = cec::check_equivalence(aig, &baseline.aig, 200_000);
@@ -78,6 +142,35 @@ fn main() {
         let rb = &baseline.report;
         let rs = &stp.report;
         let ratio = rs.total_time.as_secs_f64() / rb.total_time.as_secs_f64().max(1e-9);
+        json_rows.push(format!(
+            "    {{\"benchmark\": \"{}\", \"pi\": {}, \"po\": {}, \"levels\": {}, \"gates\": {}, \
+             \"result_b\": {}, \"result_s\": {}, \
+             \"ssat_b\": {}, \"tsat_b\": {}, \"merges_b\": {}, \"constants_b\": {}, \
+             \"ssat_s\": {}, \"tsat_s\": {}, \"merges_s\": {}, \"constants_s\": {}, \
+             \"sat_batches_s\": {}, \"sat_conflicts_s\": {}, \
+             \"sim_b_s\": {:.6}, \"sim_s_s\": {:.6}, \"total_b_s\": {:.6}, \"total_s_s\": {:.6}}}",
+            bench.name,
+            aig.num_inputs(),
+            aig.num_outputs(),
+            rs.levels,
+            rs.gates_before,
+            rb.gates_after,
+            rs.gates_after,
+            rb.sat_calls_sat,
+            rb.sat_calls_total,
+            rb.merges,
+            rb.constants,
+            rs.sat_calls_sat,
+            rs.sat_calls_total,
+            rs.merges,
+            rs.constants,
+            rs.sat_batches,
+            rs.sat_parallel_conflicts,
+            rb.simulation_time.as_secs_f64(),
+            rs.simulation_time.as_secs_f64(),
+            rb.total_time.as_secs_f64(),
+            rs.total_time.as_secs_f64(),
+        ));
         ratios.push(ratio);
         sat_calls_b.push(rb.sat_calls_sat as f64);
         sat_calls_s.push(rs.sat_calls_sat as f64);
@@ -133,4 +226,15 @@ fn main() {
         geometric_mean(tot_s) / geometric_mean(tot_b).max(1e-9),
     );
     println!("(paper: satisfiable SAT calls 0.09, total SAT calls 0.60, simulation 1.99, total runtime 0.65)");
+
+    if let Some(path) = json_path {
+        let document = format!(
+            "{{\n  \"table\": \"table2_sweeping\",\n  \"scale\": \"{scale:?}\",\n  \
+             \"patterns\": {num_patterns},\n  \"sat_par_checked\": {sat_par},\n  \
+             \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        std::fs::write(&path, document).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path} (sat_parallelism {sat_par} verified identical to sequential)");
+    }
 }

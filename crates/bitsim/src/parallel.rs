@@ -112,6 +112,36 @@ where
     buffers
 }
 
+/// Fills one node's output words `word_lo .. word_lo + out.len()` by
+/// per-pattern table lookup: for every pattern `p` in the chunk, an index is
+/// assembled from bit `p` of each leaf word array (leaf `k` contributes bit
+/// `k`) and the output bit is set when `table_bit(index)` holds.  `n` is the
+/// total pattern count; `out` must be zero-initialised.
+///
+/// This is the kernel shared by the sparse (specified-node) evaluators —
+/// window-based target simulation and cut-collapsed STP simulation — so the
+/// word-boundary arithmetic that their sequential/parallel bit-identity
+/// depends on lives in exactly one place.
+pub fn lookup_kernel(
+    table_bit: impl Fn(usize) -> bool,
+    leaf_words: &[&[u64]],
+    n: usize,
+    word_lo: usize,
+    out: &mut [u64],
+) {
+    let p_lo = word_lo * 64;
+    let p_hi = ((word_lo + out.len()) * 64).min(n);
+    for p in p_lo..p_hi {
+        let mut index = 0usize;
+        for (k, lw) in leaf_words.iter().enumerate() {
+            index |= (((lw[p / 64] >> (p % 64)) & 1) as usize) << k;
+        }
+        if table_bit(index) {
+            out[p / 64 - word_lo] |= 1u64 << (p % 64);
+        }
+    }
+}
+
 /// Groups node ids by topological level: `groups[l]` lists the ids with
 /// level `l`, in ascending id order.
 pub fn group_by_level(levels: &[usize]) -> Vec<Vec<usize>> {
@@ -176,6 +206,30 @@ mod tests {
                 .collect();
             assert_eq!(buffer, &expected);
         }
+    }
+
+    #[test]
+    fn lookup_kernel_assembles_indices_and_respects_chunks() {
+        // Two leaves, table = XOR (bits 01 and 10 set), 100 patterns.
+        let n = 100usize;
+        let a: Vec<u64> = vec![0xAAAA_AAAA_AAAA_AAAA, 0xAAAA_AAAA_AAAA_AAAA];
+        let b: Vec<u64> = vec![0xFFFF_0000_FFFF_0000, 0xFFFF_0000_FFFF_0000];
+        let leaves: Vec<&[u64]> = vec![&a, &b];
+        let xor = |index: usize| index == 1 || index == 2;
+        let mut whole = vec![0u64; 2];
+        lookup_kernel(xor, &leaves, n, 0, &mut whole);
+        // Chunked evaluation must tile to the same words.
+        let mut lo = vec![0u64; 1];
+        let mut hi = vec![0u64; 1];
+        lookup_kernel(xor, &leaves, n, 0, &mut lo);
+        lookup_kernel(xor, &leaves, n, 1, &mut hi);
+        assert_eq!(whole, vec![lo[0], hi[0]]);
+        // Bits beyond the pattern count stay clear.
+        assert_eq!(whole[1] >> (n - 64), 0);
+        // Spot-check pattern 0 (a=0, b=0 -> index 0 -> clear) and pattern 1
+        // (a=1, b=0 -> index 1 -> set).
+        assert_eq!(whole[0] & 1, 0);
+        assert_eq!((whole[0] >> 1) & 1, 1);
     }
 
     #[test]

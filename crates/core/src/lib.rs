@@ -14,6 +14,11 @@
 //!   STP sweeper (Algorithm 2), driven through the [`Sweeper`] builder:
 //!   engine selection ([`Engine`]), progress [`Observer`]s, resource
 //!   [`Budget`]s with partial results, and typed [`SweepError`]s.
+//! * [`prover`] — parallel SAT proving over TFI-disjoint candidate
+//!   batches ([`ParallelProver`]): speculative per-item proofs on a
+//!   deterministic solver pool, committed at a barrier in canonical
+//!   candidate order so every [`SweepConfig::sat_parallelism`] commits the
+//!   identical sweep.
 //! * [`pipeline`] — multi-pass composition ([`Pipeline`]): sweep → strash
 //!   cleanup → sweep → … → CEC verify, with per-pass reports.
 //! * [`resim`] — incremental counter-example resimulation: single-pattern
@@ -69,6 +74,7 @@ pub mod fraig;
 pub mod observer;
 pub mod patterns;
 pub mod pipeline;
+pub mod prover;
 pub mod report;
 pub mod resim;
 pub mod session;
@@ -80,5 +86,6 @@ pub use budget::{Budget, BudgetCause, CancelToken};
 pub use error::SweepError;
 pub use observer::{NoopObserver, Observer, SatCallOutcome, StatsObserver};
 pub use pipeline::{PassReport, Pipeline, PipelineResult};
+pub use prover::{ParallelProver, SupportIndex};
 pub use report::{SweepConfig, SweepReport, SweepResult};
 pub use session::{Engine, SweepSession, Sweeper};

@@ -79,6 +79,17 @@ pub trait Observer {
     fn on_resimulation(&mut self, targets: usize, resimulated: usize, skipped: usize) {
         let _ = (targets, resimulated, skipped);
     }
+
+    /// A parallel SAT-proving batch was committed at its barrier: `batch` is
+    /// the zero-based batch index within the round, `settled` the number of
+    /// candidates whose results were committed, and `conflicts` the number
+    /// of speculative SAT calls discarded because an earlier commit in the
+    /// same batch invalidated them.  The batch sequence — and therefore this
+    /// event stream — is identical for every
+    /// [`crate::SweepConfig::sat_parallelism`].
+    fn on_batch_proved(&mut self, batch: usize, settled: usize, conflicts: usize) {
+        let _ = (batch, settled, conflicts);
+    }
 }
 
 /// The no-op observer (every method keeps its default body).
@@ -117,6 +128,10 @@ pub struct StatsObserver {
     pub resim_nodes: u64,
     /// AND nodes incremental resimulation skipped, over all events.
     pub resim_skipped_nodes: u64,
+    /// Parallel SAT-proving batches committed.
+    pub sat_batches: u64,
+    /// Speculative SAT calls discarded at batch commit barriers.
+    pub sat_parallel_conflicts: u64,
 }
 
 impl StatsObserver {
@@ -145,6 +160,8 @@ impl StatsObserver {
             resim_events: self.resim_events,
             resim_nodes: self.resim_nodes,
             resim_skipped_nodes: self.resim_skipped_nodes,
+            sat_batches: self.sat_batches,
+            sat_parallel_conflicts: self.sat_parallel_conflicts,
             ..SweepReport::default()
         }
     }
@@ -192,6 +209,11 @@ impl Observer for StatsObserver {
         self.resim_nodes += resimulated as u64;
         self.resim_skipped_nodes += skipped as u64;
     }
+
+    fn on_batch_proved(&mut self, _batch: usize, _settled: usize, conflicts: usize) {
+        self.sat_batches += 1;
+        self.sat_parallel_conflicts += conflicts as u64;
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +235,8 @@ mod tests {
         stats.on_simulation_verdict(5, 3, true);
         stats.on_simulation_verdict(6, 3, false);
         stats.on_resimulation(3, 5, 95);
+        stats.on_batch_proved(0, 4, 0);
+        stats.on_batch_proved(1, 2, 3);
 
         assert_eq!(stats.rounds, 1);
         assert_eq!(stats.merges, 1);
@@ -228,6 +252,8 @@ mod tests {
         assert_eq!(stats.resim_events, 1);
         assert_eq!(stats.resim_nodes, 5);
         assert_eq!(stats.resim_skipped_nodes, 95);
+        assert_eq!(stats.sat_batches, 2);
+        assert_eq!(stats.sat_parallel_conflicts, 3);
 
         let report = stats.counts();
         assert_eq!(report.merges, 1);
@@ -236,6 +262,8 @@ mod tests {
         assert_eq!(report.resim_events, 1);
         assert_eq!(report.resim_nodes, 5);
         assert_eq!(report.resim_skipped_nodes, 95);
+        assert_eq!(report.sat_batches, 2);
+        assert_eq!(report.sat_parallel_conflicts, 3);
         assert_eq!(report.gates_before, 0, "gate counts belong to the session");
     }
 
@@ -249,5 +277,6 @@ mod tests {
         noop.on_class_refined(0, 0);
         noop.on_simulation_verdict(1, 2, true);
         noop.on_resimulation(0, 0, 0);
+        noop.on_batch_proved(0, 0, 0);
     }
 }

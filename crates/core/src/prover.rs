@@ -1,0 +1,547 @@
+//! Parallel SAT proving over independent candidate pairs.
+//!
+//! PR 3 made simulation scale with worker threads, which left the SAT
+//! solver as the engine's serial bottleneck: every candidate/driver pair was
+//! proved one after the other on a single incremental solver.  This module
+//! turns the per-round candidate queue into **TFI-disjoint batches** that
+//! are proved concurrently — one [`CircuitSat`] instance per proof attempt,
+//! workers under [`std::thread::scope`] — while keeping the sweep
+//! **deterministic for every `sat_parallelism`**:
+//!
+//! 1. **Batch formation** (in the session) walks the pending candidates in
+//!    canonical order and greedily selects up to [`MAX_BATCH`] candidates
+//!    whose proof cones (candidate plus every driver, measured by their
+//!    primary-input support) are pairwise disjoint.  Formation never looks
+//!    at the worker count, so the batch sequence is a pure function of the
+//!    sweep state.
+//! 2. **Proving** ([`ParallelProver::prove_batch`]) runs every
+//!    [`ProofItem`] independently on a **deterministically assigned
+//!    solver**: the session keeps a pool of [`MAX_BATCH`] persistent
+//!    [`CircuitSat`] instances and item `i` of every batch always runs on
+//!    pool slot `i`.  Within a batch the slots are disjoint, so workers
+//!    never contend; across batches each slot's query history is a pure
+//!    function of the (deterministic) batch sequence — never of worker
+//!    count or scheduling — so every slot keeps the learned clauses and
+//!    lazily encoded cones of its past queries without breaking
+//!    determinism.  Items are distributed over the workers through a
+//!    work-stealing queue; since item results do not depend on *which*
+//!    worker ran them, any schedule commits the same sweep.
+//! 3. **Commitment** (in the session) replays the results at a barrier, in
+//!    canonical candidate order.  Before replaying an item the session
+//!    re-derives the driver list the sequential engine would examine at
+//!    this point; if an earlier commit (a merge or a counter-example
+//!    refinement) changed the consumed prefix, the speculative result is
+//!    **discarded** — counted in [`crate::SweepReport::sat_parallel_conflicts`]
+//!    — and the candidate is retried in a later batch.  Every committed SAT
+//!    call, counter-example and merge is therefore identical for any
+//!    `sat_parallelism` and any `num_threads`.
+//!
+//! The TFI-disjointness rule does not *guarantee* that a committed
+//! counter-example leaves later items valid (a counter-example assigns all
+//! primary inputs and refines every candidate class), it only makes
+//! invalidation unlikely; the commit-time validation is what carries the
+//! determinism guarantee.
+
+use crate::observer::SatCallOutcome;
+use crate::window::WindowIndex;
+use netlist::{Aig, AigNode, Lit, NodeId};
+use satsolver::{CircuitSat, EquivOutcome};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Maximum number of candidates per batch.
+///
+/// Deliberately independent of `sat_parallelism` (batch formation must be
+/// identical for every worker count); bounds the speculative work thrown
+/// away when an early counter-example invalidates the rest of the batch.
+pub const MAX_BATCH: usize = 16;
+
+/// One speculative proof task: a candidate node and the driver list the
+/// sequential engine would examine for it, frozen at batch-formation time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofItem {
+    /// The candidate node to merge away.
+    pub candidate: NodeId,
+    /// Driver attempts already consumed for this candidate in earlier
+    /// batches (the running total behind the TFI limit).
+    pub attempts: usize,
+    /// Candidate drivers in class order: `(driver, complemented)`.
+    pub drivers: Vec<(NodeId, bool)>,
+}
+
+/// Terminal decision of one proof item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofOutcome {
+    /// The candidate equals `driver` (up to `complemented`); merge it.
+    Merge {
+        /// The surviving node the candidate merges onto.
+        driver: NodeId,
+        /// Whether the candidate is the complement of the driver.
+        complemented: bool,
+        /// Proved by exhaustive window simulation (no SAT call).
+        by_simulation: bool,
+    },
+    /// A satisfiable SAT query disproved the pair; the assignment (one
+    /// `bool` per primary input) must refine the candidate classes.
+    CounterExample {
+        /// The distinguishing input assignment.
+        assignment: Vec<bool>,
+    },
+    /// The conflict budget ran out (`unDET`): mark the candidate
+    /// don't-touch.
+    DontTouch,
+    /// Every driver was examined without a SAT verdict forcing a retry;
+    /// the candidate is finished.
+    Exhausted,
+    /// The worker observed an exhausted [`crate::Budget`] and stopped
+    /// before issuing its SAT query; nothing was proved.
+    Aborted,
+}
+
+/// The result of speculatively proving one [`ProofItem`].
+#[derive(Debug, Clone)]
+pub struct ProofResult {
+    /// Window-refinement verdicts in driver order (`(driver, equivalent)`),
+    /// replayed to observers on commit.
+    pub verdicts: Vec<(NodeId, bool)>,
+    /// The outcome of the item's SAT query, if one was issued (at most one:
+    /// every query outcome terminates the item).
+    pub sat_outcome: Option<SatCallOutcome>,
+    /// The terminal decision.
+    pub outcome: ProofOutcome,
+    /// Driver attempts this item consumed (window verdicts included).
+    pub attempts_used: usize,
+    /// Wall-clock time the worker spent inside the SAT solver.
+    pub sat_time: Duration,
+}
+
+/// Cooperative budget view handed to the workers: the wall-clock deadline
+/// and cancellation are re-checked inside the batch so a tripped budget
+/// stops speculative proving early (the authoritative check happens on the
+/// session thread at commit time).
+#[derive(Debug, Clone)]
+pub struct WorkerBudget<'b> {
+    budget: &'b crate::budget::Budget,
+    started: Instant,
+    committed_sat_calls: u64,
+}
+
+impl<'b> WorkerBudget<'b> {
+    /// Captures the budget state at batch start.
+    pub fn new(
+        budget: &'b crate::budget::Budget,
+        started: Instant,
+        committed_sat_calls: u64,
+    ) -> Self {
+        WorkerBudget {
+            budget,
+            started,
+            committed_sat_calls,
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.budget
+            .exceeded(self.started, self.committed_sat_calls)
+            .is_some()
+    }
+}
+
+/// The batch prover: owns the immutable per-run context and fans batches
+/// out over scoped worker threads.
+#[derive(Debug)]
+pub struct ParallelProver<'a> {
+    aig: &'a Aig,
+    /// Window index for pre-SAT exhaustive refinement (`None` disables the
+    /// shortcut, as for the baseline engine).
+    windows: Option<&'a WindowIndex>,
+    conflict_limit: u64,
+    num_workers: usize,
+}
+
+impl<'a> ParallelProver<'a> {
+    /// Creates a prover over the input network.
+    ///
+    /// `num_workers` is the `sat_parallelism` of the run; it only controls
+    /// how many scoped threads prove a batch, never what the batch proves.
+    pub fn new(
+        aig: &'a Aig,
+        windows: Option<&'a WindowIndex>,
+        conflict_limit: u64,
+        num_workers: usize,
+    ) -> Self {
+        ParallelProver {
+            aig,
+            windows,
+            conflict_limit,
+            num_workers: num_workers.max(1),
+        }
+    }
+
+    /// Proves every item of a batch and returns the results in item order.
+    ///
+    /// `solvers` is the session's persistent solver pool; item `i` runs on
+    /// `solvers[i]`, so the pool must hold at least one slot per item.
+    /// Results are a pure function of `(self.aig, self.windows,
+    /// self.conflict_limit, items, slot histories)` — never of the worker
+    /// count or scheduling — because the item→solver assignment is fixed
+    /// before any worker starts and batch sequences are themselves
+    /// deterministic.  Only the `Aborted` outcome depends on the budget,
+    /// and a budget that aborts a worker also trips the authoritative
+    /// session-side check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `solvers` holds fewer slots than `items`.
+    pub fn prove_batch(
+        &self,
+        items: &[ProofItem],
+        solvers: &mut [CircuitSat<'_>],
+        budget: &WorkerBudget<'_>,
+    ) -> Vec<ProofResult> {
+        assert!(
+            solvers.len() >= items.len(),
+            "the solver pool must hold one slot per batch item"
+        );
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.num_workers.min(items.len());
+        if workers <= 1 {
+            return items
+                .iter()
+                .zip(solvers.iter_mut())
+                .map(|(item, solver)| self.prove_item(item, solver, budget))
+                .collect();
+        }
+        // Fixed item→solver pairing, work-stealing distribution: the queue
+        // only decides *who* runs a unit, never *what* the unit computes.
+        let work: Mutex<Vec<(usize, &ProofItem, &mut CircuitSat<'_>)>> = Mutex::new(
+            items
+                .iter()
+                .enumerate()
+                .zip(solvers.iter_mut())
+                .map(|((index, item), solver)| (index, item, solver))
+                .rev()
+                .collect(),
+        );
+        let mut slots: Vec<Option<ProofResult>> = items.iter().map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let work = &work;
+                    scope.spawn(move || {
+                        let mut produced = Vec::new();
+                        loop {
+                            let unit = work.lock().expect("work queue poisoned").pop();
+                            let Some((index, item, solver)) = unit else {
+                                break;
+                            };
+                            produced.push((index, self.prove_item(item, solver, budget)));
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (index, result) in handle.join().expect("prover worker panicked") {
+                    slots[index] = Some(result);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every item was claimed by a worker"))
+            .collect()
+    }
+
+    /// Proves one item: the window-refinement filter followed by at most one
+    /// SAT query on the item's pool solver — exactly one iteration of the
+    /// sequential engine's per-candidate loop.
+    fn prove_item(
+        &self,
+        item: &ProofItem,
+        solver: &mut CircuitSat<'_>,
+        budget: &WorkerBudget<'_>,
+    ) -> ProofResult {
+        let mut verdicts = Vec::new();
+        let mut attempts_used = 0usize;
+        for &(driver, complemented) in &item.drivers {
+            attempts_used += 1;
+            if let Some(index) = self.windows {
+                match index.compare(self.aig, item.candidate, driver, complemented) {
+                    Some(false) => {
+                        verdicts.push((driver, false));
+                        continue;
+                    }
+                    Some(true) => {
+                        verdicts.push((driver, true));
+                        return ProofResult {
+                            verdicts,
+                            sat_outcome: None,
+                            outcome: ProofOutcome::Merge {
+                                driver,
+                                complemented,
+                                by_simulation: true,
+                            },
+                            attempts_used,
+                            sat_time: Duration::ZERO,
+                        };
+                    }
+                    None => {}
+                }
+            }
+            if budget.exhausted() {
+                return ProofResult {
+                    verdicts,
+                    sat_outcome: None,
+                    outcome: ProofOutcome::Aborted,
+                    attempts_used,
+                    sat_time: Duration::ZERO,
+                };
+            }
+            let sat_start = Instant::now();
+            let outcome = solver.prove_equivalent(
+                Lit::positive(item.candidate),
+                Lit::new(driver, complemented),
+                self.conflict_limit,
+            );
+            let sat_time = sat_start.elapsed();
+            let (kind, terminal) = match outcome {
+                EquivOutcome::Equivalent => (
+                    SatCallOutcome::Unsat,
+                    ProofOutcome::Merge {
+                        driver,
+                        complemented,
+                        by_simulation: false,
+                    },
+                ),
+                EquivOutcome::CounterExample(assignment) => (
+                    SatCallOutcome::Sat,
+                    ProofOutcome::CounterExample { assignment },
+                ),
+                EquivOutcome::Undetermined => {
+                    (SatCallOutcome::Undetermined, ProofOutcome::DontTouch)
+                }
+            };
+            return ProofResult {
+                verdicts,
+                sat_outcome: Some(kind),
+                outcome: terminal,
+                attempts_used,
+                sat_time,
+            };
+        }
+        ProofResult {
+            verdicts,
+            sat_outcome: None,
+            outcome: ProofOutcome::Exhausted,
+            attempts_used,
+            sat_time: Duration::ZERO,
+        }
+    }
+}
+
+/// Per-node primary-input support bitsets, the cheap cone-overlap measure
+/// behind TFI-disjoint batching: two nodes whose supports are disjoint have
+/// disjoint transitive-fanin cones (up to constant-only logic).
+#[derive(Debug, Clone)]
+pub struct SupportIndex {
+    words_per_node: usize,
+    bits: Vec<u64>,
+}
+
+impl SupportIndex {
+    /// Computes the PI support of every node in one topological pass.
+    pub fn build(aig: &Aig) -> Self {
+        let words_per_node = aig.num_inputs().div_ceil(64).max(1);
+        let mut bits = vec![0u64; aig.num_nodes() * words_per_node];
+        for id in aig.node_ids() {
+            match aig.node(id) {
+                AigNode::Const0 => {}
+                AigNode::Input { position } => {
+                    bits[id * words_per_node + position / 64] |= 1u64 << (position % 64);
+                }
+                AigNode::And { fanin0, fanin1 } => {
+                    let (a, b) = (fanin0.node(), fanin1.node());
+                    for w in 0..words_per_node {
+                        bits[id * words_per_node + w] =
+                            bits[a * words_per_node + w] | bits[b * words_per_node + w];
+                    }
+                }
+            }
+        }
+        SupportIndex {
+            words_per_node,
+            bits,
+        }
+    }
+
+    /// The support words of one node.
+    pub fn support(&self, node: NodeId) -> &[u64] {
+        &self.bits[node * self.words_per_node..(node + 1) * self.words_per_node]
+    }
+
+    /// ORs a node's support into an accumulator of `words_per_node` words.
+    pub fn accumulate(&self, node: NodeId, acc: &mut [u64]) {
+        for (a, w) in acc.iter_mut().zip(self.support(node)) {
+            *a |= w;
+        }
+    }
+
+    /// Whether a node's support is disjoint from the accumulator.
+    pub fn disjoint(&self, node: NodeId, acc: &[u64]) -> bool {
+        self.support(node).iter().zip(acc).all(|(w, a)| w & a == 0)
+    }
+
+    /// An all-zero accumulator of the right width.
+    pub fn empty_accumulator(&self) -> Vec<u64> {
+        vec![0u64; self.words_per_node]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+
+    fn sample_aig() -> (Aig, Vec<Lit>) {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs("x", 6);
+        let f1 = aig.and(xs[0], xs[1]);
+        // A structurally distinct node whose function is !f1 = !(x0 & x1):
+        // !f1 & !(f1 & x1) collapses to !f1 but hashes differently.
+        let f2_t = aig.and(f1, xs[1]);
+        let f2 = aig.and(!f1, !f2_t);
+        let g1 = aig.xor(xs[2], xs[3]);
+        let h1 = aig.and(xs[4], xs[5]);
+        let o = aig.or(f1, g1);
+        aig.add_output("o", o);
+        aig.add_output("f2", f2);
+        aig.add_output("h", h1);
+        (aig, vec![f1, f2, g1, h1])
+    }
+
+    #[test]
+    fn supports_follow_the_fanin_cones() {
+        let (aig, gates) = sample_aig();
+        let index = SupportIndex::build(&aig);
+        let f1 = gates[0].node();
+        let g1 = gates[2].node();
+        let h1 = gates[3].node();
+        // f1 depends on x0,x1; g1 on x2,x3; h1 on x4,x5: pairwise disjoint.
+        let mut acc = index.empty_accumulator();
+        index.accumulate(f1, &mut acc);
+        assert!(index.disjoint(g1, &acc));
+        assert!(index.disjoint(h1, &acc));
+        index.accumulate(g1, &mut acc);
+        assert!(!index.disjoint(f1, &acc));
+        assert!(!index.disjoint(g1, &acc));
+        assert!(index.disjoint(h1, &acc));
+        // Inputs support themselves; the constant supports nothing.
+        assert_eq!(index.support(aig.inputs()[0]).iter().sum::<u64>(), 1);
+        assert_eq!(index.support(0).iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn prove_batch_results_are_worker_count_independent() {
+        let (aig, gates) = sample_aig();
+        let f1 = gates[0].node();
+        let f2 = gates[1].node();
+        let g1 = gates[2].node();
+        let h1 = gates[3].node();
+        let items = vec![
+            ProofItem {
+                candidate: f2,
+                attempts: 0,
+                drivers: vec![(f1, true)], // f2 == !f1
+            },
+            ProofItem {
+                candidate: h1,
+                attempts: 0,
+                drivers: vec![(g1, false)], // h1 != g1: counter-example
+            },
+        ];
+        let budget = Budget::unlimited();
+        let worker_budget = WorkerBudget::new(&budget, Instant::now(), 0);
+        let mut reference: Option<Vec<ProofResult>> = None;
+        for workers in [1usize, 2, 4] {
+            // A fresh pool per worker count: slot histories must match.
+            let mut solvers: Vec<CircuitSat> =
+                (0..items.len()).map(|_| CircuitSat::new(&aig)).collect();
+            let prover = ParallelProver::new(&aig, None, 10_000, workers);
+            let results = prover.prove_batch(&items, &mut solvers, &worker_budget);
+            assert_eq!(results.len(), 2);
+            assert!(matches!(
+                results[0].outcome,
+                ProofOutcome::Merge {
+                    driver,
+                    complemented: true,
+                    by_simulation: false,
+                } if driver == f1
+            ));
+            assert_eq!(results[0].sat_outcome, Some(SatCallOutcome::Unsat));
+            assert!(matches!(
+                results[1].outcome,
+                ProofOutcome::CounterExample { .. }
+            ));
+            if let Some(reference) = &reference {
+                for (a, b) in reference.iter().zip(&results) {
+                    assert_eq!(a.outcome, b.outcome, "{workers} workers");
+                    assert_eq!(a.sat_outcome, b.sat_outcome);
+                    assert_eq!(a.verdicts, b.verdicts);
+                    assert_eq!(a.attempts_used, b.attempts_used);
+                }
+            } else {
+                reference = Some(results);
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_aborts_before_the_sat_query() {
+        let (aig, gates) = sample_aig();
+        let items = vec![ProofItem {
+            candidate: gates[1].node(),
+            attempts: 0,
+            drivers: vec![(gates[0].node(), true)],
+        }];
+        let budget = Budget::unlimited().with_max_sat_calls(0);
+        let worker_budget = WorkerBudget::new(&budget, Instant::now(), 0);
+        let mut solvers = vec![CircuitSat::new(&aig)];
+        let prover = ParallelProver::new(&aig, None, 10_000, 2);
+        let results = prover.prove_batch(&items, &mut solvers, &worker_budget);
+        assert!(matches!(results[0].outcome, ProofOutcome::Aborted));
+        assert_eq!(results[0].sat_outcome, None);
+    }
+
+    #[test]
+    fn window_refinement_settles_pairs_without_sat() {
+        let (aig, gates) = sample_aig();
+        let windows = WindowIndex::build(&aig, 8);
+        let f1 = gates[0].node();
+        let f2 = gates[1].node();
+        let g1 = gates[2].node();
+        let items = vec![ProofItem {
+            candidate: f2,
+            attempts: 0,
+            drivers: vec![(g1, false), (f1, true)],
+        }];
+        let budget = Budget::unlimited();
+        let worker_budget = WorkerBudget::new(&budget, Instant::now(), 0);
+        let mut solvers = vec![CircuitSat::new(&aig)];
+        let prover = ParallelProver::new(&aig, Some(&windows), 10_000, 1);
+        let results = prover.prove_batch(&items, &mut solvers, &worker_budget);
+        // g1 disproved by its window, f1 proved by its window: no SAT call.
+        assert_eq!(results[0].verdicts, vec![(g1, false), (f1, true)]);
+        assert_eq!(results[0].sat_outcome, None);
+        assert!(matches!(
+            results[0].outcome,
+            ProofOutcome::Merge {
+                by_simulation: true,
+                ..
+            }
+        ));
+        assert_eq!(results[0].attempts_used, 2);
+    }
+}

@@ -38,6 +38,11 @@ pub struct SweepConfig {
     /// the fully sequential behaviour; any value yields bit-identical
     /// signatures and identical sweep results.
     pub num_threads: usize,
+    /// Number of worker threads for parallel SAT proving (see
+    /// [`crate::prover::ParallelProver`]).  The default of 1 proves each
+    /// batch on the calling thread; any value commits the same SAT calls,
+    /// counter-examples and merges in the same order.
+    pub sat_parallelism: usize,
 }
 
 impl Default for SweepConfig {
@@ -52,6 +57,7 @@ impl Default for SweepConfig {
             constant_substitution: true,
             window_refinement: true,
             num_threads: 1,
+            sat_parallelism: 1,
         }
     }
 }
@@ -146,6 +152,19 @@ impl SweepConfig {
         self
     }
 
+    /// Sets the number of worker threads for parallel SAT proving.
+    ///
+    /// The engine partitions the candidate queue into TFI-disjoint batches
+    /// and proves each batch on up to `sat_parallelism` workers; results are
+    /// committed at a deterministic barrier in canonical candidate order, so
+    /// SAT calls, counter-examples and merges are identical for every value.
+    /// `1` (the default) proves batches on the calling thread; `0` is
+    /// rejected by [`SweepConfig::validate`].
+    pub fn sat_parallelism(mut self, sat_parallelism: usize) -> Self {
+        self.sat_parallelism = sat_parallelism;
+        self
+    }
+
     /// Checks the configuration for values the engines cannot work with.
     ///
     /// Invalid values used to be clamped or to silently misbehave; the
@@ -168,6 +187,11 @@ impl SweepConfig {
         if self.num_threads == 0 {
             return Err(SweepError::InvalidConfig(
                 "num_threads must be nonzero (1 = sequential)".into(),
+            ));
+        }
+        if self.sat_parallelism == 0 {
+            return Err(SweepError::InvalidConfig(
+                "sat_parallelism must be nonzero (1 = sequential proving)".into(),
             ));
         }
         if self.conflict_limit == 0 {
@@ -221,9 +245,25 @@ pub struct SweepReport {
     /// Worker threads used for parallel simulation (1 = sequential; for
     /// merged multi-pass reports, the maximum over the passes).
     pub num_threads: usize,
+    /// Worker threads used for parallel SAT proving (1 = sequential; for
+    /// merged multi-pass reports, the maximum over the passes).
+    pub sat_parallelism: usize,
+    /// SAT-proving batches committed (each batch is one barrier of the
+    /// parallel prover; identical for every `sat_parallelism`).
+    pub sat_batches: u64,
+    /// Speculative SAT calls discarded at the commit barrier because an
+    /// earlier commit in the same batch invalidated them.  These are *not*
+    /// part of [`SweepReport::sat_calls_total`]; they measure wasted
+    /// parallel work, and are identical for every `sat_parallelism`.
+    pub sat_parallel_conflicts: u64,
     /// Time spent simulating (initial + counter-example simulation).
     pub simulation_time: Duration,
-    /// Time spent inside the SAT solver.
+    /// Aggregate time spent inside SAT solvers, summed over the prover's
+    /// workers.  Conflict-discarded speculative queries are included;
+    /// queries abandoned when a budget stop drops the rest of a batch are
+    /// not.  With `sat_parallelism > 1` queries overlap in wall-clock, so
+    /// this can exceed [`SweepReport::total_time`] — read it as solver CPU
+    /// time, not as a fraction of the run.
     pub sat_time: Duration,
     /// End-to-end runtime of the sweep.
     pub total_time: Duration,
@@ -259,6 +299,9 @@ impl SweepReport {
         self.resim_nodes += later.resim_nodes;
         self.resim_skipped_nodes += later.resim_skipped_nodes;
         self.num_threads = self.num_threads.max(later.num_threads);
+        self.sat_parallelism = self.sat_parallelism.max(later.sat_parallelism);
+        self.sat_batches += later.sat_batches;
+        self.sat_parallel_conflicts += later.sat_parallel_conflicts;
         self.simulation_time += later.simulation_time;
         self.sat_time += later.sat_time;
         self.total_time += later.total_time;
@@ -342,13 +385,15 @@ mod tests {
             .with_tfi_limit(3)
             .with_window_limit(5)
             .with_seed(42)
-            .parallelism(4);
+            .parallelism(4)
+            .sat_parallelism(3);
         assert_eq!(config.num_initial_patterns, 99);
         assert_eq!(config.conflict_limit, 7);
         assert_eq!(config.tfi_limit, 3);
         assert_eq!(config.window_limit, 5);
         assert_eq!(config.seed, 42);
         assert_eq!(config.num_threads, 4);
+        assert_eq!(config.sat_parallelism, 3);
     }
 
     #[test]
@@ -360,6 +405,7 @@ mod tests {
             SweepConfig::baseline(),
         ] {
             assert_eq!(config.num_threads, 1, "parallelism is opt-in");
+            assert_eq!(config.sat_parallelism, 1, "SAT parallelism is opt-in");
         }
     }
 
@@ -368,6 +414,11 @@ mod tests {
         assert!(SweepConfig::default().with_patterns(0).validate().is_err());
         assert!(SweepConfig::default().parallelism(0).validate().is_err());
         assert!(SweepConfig::default().parallelism(8).validate().is_ok());
+        assert!(SweepConfig::default()
+            .sat_parallelism(0)
+            .validate()
+            .is_err());
+        assert!(SweepConfig::default().sat_parallelism(8).validate().is_ok());
         assert!(SweepConfig::default()
             .with_conflict_limit(0)
             .validate()
@@ -407,6 +458,9 @@ mod tests {
             resim_nodes: 30,
             resim_skipped_nodes: 130,
             num_threads: 4,
+            sat_parallelism: 2,
+            sat_batches: 3,
+            sat_parallel_conflicts: 1,
             simulation_time: Duration::from_millis(5),
             ..SweepReport::default()
         };
@@ -422,6 +476,9 @@ mod tests {
         assert_eq!(first.resim_nodes, 30);
         assert_eq!(first.resim_skipped_nodes, 130);
         assert_eq!(first.num_threads, 4, "merge keeps the maximum");
+        assert_eq!(first.sat_parallelism, 2, "merge keeps the maximum");
+        assert_eq!(first.sat_batches, 3);
+        assert_eq!(first.sat_parallel_conflicts, 1);
         assert_eq!(first.simulation_time, Duration::from_millis(15));
     }
 

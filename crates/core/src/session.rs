@@ -3,6 +3,13 @@
 //! (simulate → classify → window-refine → SAT → resimulate) for *both*
 //! engines through one dispatch point.
 //!
+//! The pairwise-merging phase runs on the [`crate::prover::ParallelProver`]:
+//! TFI-disjoint candidate batches are proved speculatively (up to
+//! [`SweepConfig::sat_parallelism`] workers, one persistent solver per batch
+//! slot) and committed at a deterministic barrier in canonical candidate
+//! order, so the committed SAT calls, counter-examples and merges — and the
+//! swept network — are identical for every parallelism setting.
+//!
 //! ```
 //! use netlist::Aig;
 //! use stp_sweep::{Engine, StatsObserver, SweepConfig, Sweeper};
@@ -30,6 +37,9 @@ use crate::equiv::EquivClasses;
 use crate::error::SweepError;
 use crate::observer::{Observer, SatCallOutcome, StatsObserver};
 use crate::patterns::{self, PatternGenConfig};
+use crate::prover::{
+    ParallelProver, ProofItem, ProofOutcome, SupportIndex, WorkerBudget, MAX_BATCH,
+};
 use crate::report::{SweepConfig, SweepResult};
 use crate::resim::{self, ResimEngine};
 use crate::window::WindowIndex;
@@ -372,17 +382,16 @@ impl<'n, 'o> SweepSession<'n, 'o> {
         }
     }
 
+    fn notify_batch_proved(&mut self, batch: usize, settled: usize, conflicts: usize) {
+        self.stats.on_batch_proved(batch, settled, conflicts);
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_batch_proved(batch, settled, conflicts);
+        }
+    }
+
     // ------------------------------------------------------------------
     // SAT queries (timed, budgeted, observed).
     // ------------------------------------------------------------------
-
-    fn prove_equivalent(&mut self, a: Lit, b: Lit) -> EquivOutcome {
-        let sat_start = Instant::now();
-        let outcome = self.sat.prove_equivalent(a, b, self.config.conflict_limit);
-        self.sat_time += sat_start.elapsed();
-        self.record_sat_outcome(&outcome);
-        outcome
-    }
 
     fn prove_constant(&mut self, lit: Lit, value: bool) -> EquivOutcome {
         let sat_start = Instant::now();
@@ -437,105 +446,255 @@ impl<'n, 'o> SweepSession<'n, 'o> {
     }
 
     // ------------------------------------------------------------------
-    // Phase: pairwise merging.
+    // Phase: pairwise merging, batched over the parallel prover.
     // ------------------------------------------------------------------
 
+    /// Derives the driver list the engine examines next for `candidate`,
+    /// given the attempts already consumed: class members that precede the
+    /// candidate in topological order, bounded by the TFI limit.  `None`
+    /// means the candidate is settled (merged, don't-touch, out of budgeted
+    /// attempts, classless, its class's representative, or driverless).
+    fn next_drivers(&self, candidate: NodeId, attempts: usize) -> Option<Vec<(NodeId, bool)>> {
+        if self.merged[candidate].is_some()
+            || self.dont_touch[candidate]
+            || attempts >= self.config.tfi_limit
+        {
+            return None;
+        }
+        let class = self.classes.class_of(candidate)?;
+        if class.representative() == candidate {
+            return None;
+        }
+        let candidate_phase = class.phase_of(candidate);
+        let drivers: Vec<(NodeId, bool)> = class
+            .members()
+            .iter()
+            .zip(class.members().iter().map(|&m| class.phase_of(m)))
+            .filter(|&(&m, _)| m < candidate && self.merged[m].is_none() && !self.dont_touch[m])
+            .map(|(&m, phase)| (m, phase != candidate_phase))
+            .take(self.config.tfi_limit - attempts)
+            .collect();
+        if drivers.is_empty() {
+            None
+        } else {
+            Some(drivers)
+        }
+    }
+
+    /// Re-inserts a candidate into the pending queue at its canonical
+    /// position (the queue is kept sorted by the round's processing order).
+    fn reinsert(
+        pending: &mut Vec<(NodeId, usize)>,
+        rank: &[usize],
+        candidate: NodeId,
+        attempts: usize,
+    ) {
+        let pos = pending.partition_point(|&(c, _)| rank[c] < rank[candidate]);
+        pending.insert(pos, (candidate, attempts));
+    }
+
+    /// The pairwise-merging phase: the candidate queue is partitioned into
+    /// TFI-disjoint batches, every batch is proved speculatively by the
+    /// [`ParallelProver`] (one fresh `CircuitSat` per proof attempt, up to
+    /// [`SweepConfig::sat_parallelism`] workers), and the results are
+    /// committed at a deterministic barrier in canonical candidate order —
+    /// a result whose assumed driver list no longer matches the replayed
+    /// state is discarded (`sat_parallel_conflicts`) and the candidate is
+    /// retried in a later batch.  See [`crate::prover`] for the protocol;
+    /// the committed SAT calls, counter-examples and merges are identical
+    /// for every `sat_parallelism` and `num_threads`.
     fn pairwise_merging(&mut self) {
         let mut order: Vec<NodeId> = self.original.and_ids().collect();
         if self.engine == Engine::Stp {
             // Algorithm 2 traverses the circuit from outputs to inputs.
             order.reverse();
         }
+        let mut rank = vec![usize::MAX; self.original.num_nodes()];
+        for (i, &candidate) in order.iter().enumerate() {
+            rank[candidate] = i;
+        }
+        let supports = SupportIndex::build(self.original);
+        let mut pending: Vec<(NodeId, usize)> = order.into_iter().map(|c| (c, 0)).collect();
+        let mut batch_index = 0usize;
+        // The persistent solver pool: item `i` of every batch runs on slot
+        // `i`, so each slot's incremental state (lazily encoded cones,
+        // learned clauses) is a pure function of the deterministic batch
+        // sequence — reuse without a determinism leak.
+        let mut solver_pool: Vec<CircuitSat<'n>> = (0..MAX_BATCH)
+            .map(|_| CircuitSat::new(self.original))
+            .collect();
 
-        for candidate in order {
+        while !pending.is_empty() {
             if !self.within_budget() {
                 return;
             }
-            if self.merge_candidate(candidate).is_none() {
+
+            // Batch formation: greedily take pending candidates (in order)
+            // whose proof cones are support-disjoint from the batch so far.
+            // Settled candidates are resolved on the way; conflicting ones
+            // stay pending for a later batch.  Nothing here depends on
+            // `sat_parallelism`.
+            let mut batch: Vec<ProofItem> = Vec::new();
+            let mut acc = supports.empty_accumulator();
+            let mut i = 0usize;
+            // Indices (ascending) of entries leaving `pending` this round —
+            // settled candidates and taken batch items — compacted in one
+            // O(|pending|) pass instead of per-entry `Vec::remove` shifts.
+            let mut drop_indices: Vec<usize> = Vec::new();
+            while i < pending.len() && batch.len() < MAX_BATCH {
+                let (candidate, attempts) = pending[i];
+                let Some(drivers) = self.next_drivers(candidate, attempts) else {
+                    drop_indices.push(i);
+                    i += 1;
+                    continue;
+                };
+                let disjoint = batch.is_empty()
+                    || (supports.disjoint(candidate, &acc)
+                        && drivers.iter().all(|&(d, _)| supports.disjoint(d, &acc)));
+                if disjoint {
+                    supports.accumulate(candidate, &mut acc);
+                    for &(driver, _) in &drivers {
+                        supports.accumulate(driver, &mut acc);
+                    }
+                    batch.push(ProofItem {
+                        candidate,
+                        attempts,
+                        drivers,
+                    });
+                    drop_indices.push(i);
+                }
+                i += 1;
+            }
+            if !drop_indices.is_empty() {
+                let mut index = 0usize;
+                let mut next_drop = drop_indices.iter().peekable();
+                pending.retain(|_| {
+                    let drop = next_drop.peek() == Some(&&index);
+                    if drop {
+                        next_drop.next();
+                    }
+                    index += 1;
+                    !drop
+                });
+            }
+            if batch.is_empty() {
+                return; // every remaining candidate resolved without work
+            }
+
+            // Speculative proving: pure per-item work, any scheduling.
+            let results = {
+                let windows = if self.engine == Engine::Stp && self.config.window_refinement {
+                    self.windows.as_ref()
+                } else {
+                    None
+                };
+                let prover = ParallelProver::new(
+                    self.original,
+                    windows,
+                    self.config.conflict_limit,
+                    self.config.sat_parallelism,
+                );
+                let worker_budget =
+                    WorkerBudget::new(&self.budget, self.started, self.sweep_sat_calls);
+                prover.prove_batch(&batch, &mut solver_pool[..batch.len()], &worker_budget)
+            };
+
+            // Commit barrier: replay in canonical candidate order.
+            let mut settled = 0usize;
+            let mut conflicts = 0usize;
+            for (item, result) in batch.iter().zip(&results) {
+                if self.stopped.is_some() {
+                    break;
+                }
+                if matches!(result.outcome, ProofOutcome::Aborted) {
+                    // The worker observed an exhausted budget; every budget
+                    // dimension is monotone between the worker check and
+                    // this commit (deadlines only grow, the cancel token is
+                    // sticky, the frozen SAT-call count never exceeds the
+                    // committed one), so the authoritative check must agree.
+                    let within = self.within_budget();
+                    debug_assert!(
+                        !within,
+                        "worker aborted while the session budget still passes \
+                         — a non-monotone budget dimension?"
+                    );
+                    if within {
+                        // Defensive release-mode fallback: retry later.
+                        Self::reinsert(&mut pending, &rank, item.candidate, item.attempts);
+                        continue;
+                    }
+                    break;
+                }
+                // Validation: the consumed driver prefix must be exactly
+                // what the engine would examine here; for an exhausted item
+                // the whole list must match (the engine would examine every
+                // driver of the re-derived list).
+                let current = self.next_drivers(item.candidate, item.attempts);
+                let valid = match (&current, &result.outcome) {
+                    (Some(d), ProofOutcome::Exhausted) => *d == item.drivers,
+                    (Some(d), _) => {
+                        let used = result.attempts_used.min(item.drivers.len());
+                        d.len() >= used && d[..used] == item.drivers[..used]
+                    }
+                    (None, _) => false,
+                };
+                if !valid {
+                    conflicts += usize::from(result.sat_outcome.is_some());
+                    // The discarded query still burned solver time.
+                    self.sat_time += result.sat_time;
+                    if current.is_some() {
+                        Self::reinsert(&mut pending, &rank, item.candidate, item.attempts);
+                    }
+                    continue;
+                }
+                for &(driver, equivalent) in &result.verdicts {
+                    self.notify_simulation_verdict(item.candidate, driver, equivalent);
+                }
+                if let Some(kind) = result.sat_outcome {
+                    if !self.within_budget() {
+                        // The speculative call is not committed; the run
+                        // stops exactly as the sequential engine would
+                        // before issuing this query.
+                        break;
+                    }
+                    self.sat_time += result.sat_time;
+                    self.sweep_sat_calls += 1;
+                    self.notify_sat_call(kind);
+                }
+                match &result.outcome {
+                    ProofOutcome::Merge {
+                        driver,
+                        complemented,
+                        ..
+                    } => {
+                        self.apply_merge(item.candidate, *driver, *complemented);
+                        settled += 1;
+                    }
+                    ProofOutcome::CounterExample { assignment } => {
+                        self.refine_with_counterexample(assignment);
+                        Self::reinsert(
+                            &mut pending,
+                            &rank,
+                            item.candidate,
+                            item.attempts + result.attempts_used,
+                        );
+                    }
+                    ProofOutcome::DontTouch => {
+                        self.dont_touch[item.candidate] = true;
+                        self.classes.remove(item.candidate);
+                        settled += 1;
+                    }
+                    ProofOutcome::Exhausted => {
+                        settled += 1;
+                    }
+                    ProofOutcome::Aborted => unreachable!("handled before validation"),
+                }
+            }
+            self.notify_batch_proved(batch_index, settled, conflicts);
+            batch_index += 1;
+            if self.stopped.is_some() {
                 return;
             }
-        }
-    }
-
-    /// Processes one candidate node; returns `None` when the budget tripped
-    /// mid-candidate.
-    fn merge_candidate(&mut self, candidate: NodeId) -> Option<()> {
-        let mut attempts = 0usize;
-        // The driver list is recomputed from the candidate's *current* class
-        // whenever a counter-example refines the classes, so no effort is
-        // spent on pairs that simulation has already distinguished.
-        'candidate: loop {
-            if self.merged[candidate].is_some()
-                || self.dont_touch[candidate]
-                || attempts >= self.config.tfi_limit
-            {
-                return Some(());
-            }
-            let Some(class) = self.classes.class_of(candidate) else {
-                return Some(());
-            };
-            if class.representative() == candidate {
-                return Some(());
-            }
-            // Candidate drivers: class members that precede the candidate in
-            // topological order, bounded by the TFI limit.
-            let candidate_phase = class.phase_of(candidate);
-            let drivers: Vec<(NodeId, bool)> = class
-                .members()
-                .iter()
-                .zip(class.members().iter().map(|&m| class.phase_of(m)))
-                .filter(|&(&m, _)| m < candidate && self.merged[m].is_none() && !self.dont_touch[m])
-                .map(|(&m, phase)| (m, phase != candidate_phase))
-                .take(self.config.tfi_limit - attempts)
-                .collect();
-            if drivers.is_empty() {
-                return Some(());
-            }
-            for (driver, complemented) in drivers {
-                attempts += 1;
-                // Exhaustive STP window refinement before any SAT call.
-                if self.engine == Engine::Stp && self.config.window_refinement {
-                    if let Some(index) = self.windows.as_ref() {
-                        match index.compare(self.original, candidate, driver, complemented) {
-                            Some(false) => {
-                                self.notify_simulation_verdict(candidate, driver, false);
-                                continue;
-                            }
-                            Some(true) => {
-                                self.notify_simulation_verdict(candidate, driver, true);
-                                self.apply_merge(candidate, driver, complemented);
-                                return Some(());
-                            }
-                            None => {}
-                        }
-                    }
-                }
-                if !self.within_budget() {
-                    return None;
-                }
-                let outcome =
-                    self.prove_equivalent(Lit::positive(candidate), Lit::new(driver, complemented));
-                match outcome {
-                    EquivOutcome::Equivalent => {
-                        self.apply_merge(candidate, driver, complemented);
-                        return Some(());
-                    }
-                    EquivOutcome::CounterExample(ce) => {
-                        self.refine_with_counterexample(&ce);
-                        // Re-derive the drivers from the refined classes.
-                        continue 'candidate;
-                    }
-                    EquivOutcome::Undetermined => {
-                        // Don't-touch: stop spending effort on this candidate.
-                        self.dont_touch[candidate] = true;
-                        self.classes.remove(candidate);
-                        return Some(());
-                    }
-                }
-            }
-            // Every driver was examined without a counter-example forcing a
-            // re-derivation: nothing more to do for this candidate.
-            return Some(());
         }
     }
 
@@ -581,10 +740,17 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             match (self.engine, &self.windows) {
                 (Engine::Stp, Some(index)) => {
                     // STP engine: evaluate the targets through their cut
-                    // windows (the specified-node mode of Algorithm 1).
+                    // windows (the specified-node mode of Algorithm 1).  The
+                    // level-parallel path is bit-identical to the sequential
+                    // one (a single-pattern set stays inline anyway).
                     let mut ce_only = PatternSet::new(self.original.num_inputs());
                     ce_only.push_pattern(counterexample);
-                    index.simulate_targets_counted(self.original, &ce_only, &targets)
+                    index.simulate_targets_counted_parallel(
+                        self.original,
+                        &ce_only,
+                        &targets,
+                        self.config.num_threads,
+                    )
                 }
                 _ => resim::eval_pattern_targets(self.original, counterexample, &targets),
             };
@@ -606,6 +772,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
         let (cleaned, _) = self.result.cleanup();
         let mut report = self.stats.counts();
         report.num_threads = self.config.num_threads;
+        report.sat_parallelism = self.config.sat_parallelism;
         report.gates_before = self.original.num_ands();
         report.levels = self.original.depth();
         report.gates_after = cleaned.num_ands();

@@ -340,6 +340,139 @@ impl<'a> StpSimulator<'a> {
         self.simulate_nodes_counted(patterns, targets).0
     }
 
+    /// Simulates only the **specified** nodes with up to `num_threads`
+    /// worker threads: the cut collapse is unchanged, but the cut roots are
+    /// evaluated level by level with each [`std::thread::scope`] worker
+    /// filling a contiguous chunk of every root's signature words (the
+    /// [`parallel`] scheduler shared with the all-nodes evaluators).  The
+    /// evaluation is exact, so the result is **bit-identical to
+    /// [`StpSimulator::simulate_nodes`]** for any thread count;
+    /// `num_threads <= 1` falls back to the sequential path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern set's input count differs from the network's or
+    /// a target id is out of range.
+    pub fn simulate_nodes_parallel(
+        &self,
+        patterns: &PatternSet,
+        targets: &[LutNodeId],
+        num_threads: usize,
+    ) -> HashMap<LutNodeId, Signature> {
+        self.simulate_nodes_counted_parallel(patterns, targets, num_threads)
+            .0
+    }
+
+    /// Like [`StpSimulator::simulate_nodes_parallel`], but also reports how
+    /// many LUT nodes (cut roots) were evaluated — identical to the count of
+    /// [`StpSimulator::simulate_nodes_counted`].
+    pub fn simulate_nodes_counted_parallel(
+        &self,
+        patterns: &PatternSet,
+        targets: &[LutNodeId],
+        num_threads: usize,
+    ) -> (HashMap<LutNodeId, Signature>, usize) {
+        let n = patterns.num_patterns();
+        let num_words = n.div_ceil(64);
+        // A single signature word cannot be split across workers, so skip
+        // the collapse/level set-up and evaluate sequentially.
+        if num_threads <= 1 || targets.is_empty() || num_words < 2 {
+            return self.simulate_nodes_counted(patterns, targets);
+        }
+        assert_eq!(
+            patterns.num_inputs(),
+            self.net.num_pis(),
+            "pattern set input count must match the network"
+        );
+        let limit = cut_limit(n);
+        let collapse = self.collapse(targets, limit);
+        let mut roots: Vec<LutNodeId> = collapse.roots.iter().copied().collect();
+        roots.sort_unstable();
+        let evaluated = roots
+            .iter()
+            .filter(|&&r| matches!(self.net.node(r), LutNode::Lut { .. }))
+            .count();
+
+        // Dependency depth over the cut-root DAG: a root's cut leaves are
+        // PIs, the constant, or earlier roots (smaller ids), so one
+        // ascending pass assigns levels.
+        let num_nodes = self.net.num_nodes();
+        let mut signatures: Vec<Signature> = vec![Signature::zeros(0); num_nodes];
+        let mut depth = vec![0usize; num_nodes];
+        let mut level_nodes: Vec<Vec<LutNodeId>> = Vec::new();
+        for &root in &roots {
+            match self.net.node(root) {
+                LutNode::Const0 => signatures[root] = Signature::zeros(n),
+                LutNode::Input { position } => {
+                    signatures[root] = patterns.input_signature(*position).clone();
+                }
+                LutNode::Lut { .. } => {
+                    let cut = &collapse.cuts[&root];
+                    let d = 1 + cut
+                        .leaves
+                        .iter()
+                        .filter(|&&l| matches!(self.net.node(l), LutNode::Lut { .. }))
+                        .map(|&l| depth[l])
+                        .max()
+                        .unwrap_or(0);
+                    depth[root] = d;
+                    if level_nodes.len() < d {
+                        level_nodes.resize_with(d, Vec::new);
+                    }
+                    level_nodes[d - 1].push(root);
+                }
+            }
+        }
+        // Leaf PI signatures that are not roots themselves.
+        for level in &level_nodes {
+            for &root in level {
+                for &leaf in &collapse.cuts[&root].leaves {
+                    if let LutNode::Input { position } = self.net.node(leaf) {
+                        if signatures[leaf].is_empty() && n > 0 {
+                            signatures[leaf] = patterns.input_signature(*position).clone();
+                        }
+                    }
+                }
+            }
+        }
+        // Constant leaves contribute a hard-zero word array so every leaf
+        // kind goes through the one shared lookup kernel.
+        let zero_words = vec![0u64; num_words];
+        for level in &level_nodes {
+            let sigs = &signatures;
+            let cuts = &collapse.cuts;
+            let net = self.net;
+            let zeros = zero_words.as_slice();
+            let buffers =
+                parallel::evaluate_level(level, num_words, num_threads, &|id, word_lo, out| {
+                    let cut = &cuts[&id];
+                    let leaf_words: Vec<&[u64]> = cut
+                        .leaves
+                        .iter()
+                        .map(|&leaf| match net.node(leaf) {
+                            LutNode::Const0 => zeros,
+                            _ => sigs[leaf].words(),
+                        })
+                        .collect();
+                    parallel::lookup_kernel(
+                        |index| cut.table.get_bit(index),
+                        &leaf_words,
+                        n,
+                        word_lo,
+                        out,
+                    );
+                });
+            for (out, &id) in buffers.into_iter().zip(level.iter()) {
+                signatures[id] = Signature::from_words(n, out);
+            }
+        }
+        let map = targets
+            .iter()
+            .map(|&t| (t, signatures[t].clone()))
+            .collect();
+        (map, evaluated)
+    }
+
     /// Like [`StpSimulator::simulate_nodes`], but also reports how many LUT
     /// nodes were actually evaluated (the cut roots) — the measure of work
     /// incremental resimulation saves over an all-nodes pass.
@@ -817,6 +950,53 @@ mod tests {
         let mut state = sim.simulate_all(&base);
         sim.resimulate(&mut state, &extra, &lut_ids[..1]);
         let _ = state.signature(lut_ids[1]);
+    }
+
+    #[test]
+    fn parallel_simulate_nodes_is_bit_identical_to_sequential() {
+        let (_, lut) = mapped_network();
+        let sim = StpSimulator::new(&lut);
+        let lut_ids: Vec<LutNodeId> = lut.lut_ids().collect();
+        // Pattern counts straddling word boundaries and the parallel grain.
+        for n in [1usize, 63, 64, 65, 700] {
+            let patterns = PatternSet::random(6, n, n as u64 + 7).unwrap();
+            for targets in [&lut_ids[..1], &lut_ids[..]] {
+                let (seq, seq_count) = sim.simulate_nodes_counted(&patterns, targets);
+                for threads in [1usize, 2, 4, 8] {
+                    let (par, par_count) =
+                        sim.simulate_nodes_counted_parallel(&patterns, targets, threads);
+                    assert_eq!(par_count, seq_count, "n {n}, {threads} threads");
+                    for &t in targets {
+                        assert_eq!(par[&t], seq[&t], "node {t}, n {n}, {threads} threads");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_simulate_nodes_handles_pi_targets_and_deep_chains() {
+        // The deep-chain case splits into several stacked cuts, so the
+        // parallel path must schedule multiple levels of cut roots.
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs("x", 10);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = aig.xor(acc, x);
+        }
+        aig.add_output("parity", acc);
+        let lut = lutmap::map_to_luts(&aig, 2);
+        let patterns = PatternSet::random(10, 200, 13).unwrap();
+        let sim = StpSimulator::new(&lut);
+        let last_lut = lut.lut_ids().last().expect("chain has LUTs");
+        let pi = lut.inputs()[3];
+        let targets = vec![pi, last_lut];
+        let (seq, seq_count) = sim.simulate_nodes_counted(&patterns, &targets);
+        let par = sim.simulate_nodes_parallel(&patterns, &targets, 4);
+        let (_, par_count) = sim.simulate_nodes_counted_parallel(&patterns, &targets, 4);
+        assert_eq!(par_count, seq_count);
+        assert_eq!(par[&last_lut], seq[&last_lut]);
+        assert_eq!(&par[&pi], patterns.input_signature(3));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use stp_sat_sweep::netlist::{read_aiger_str, write_aiger_string};
 use stp_sat_sweep::stp_sweep::cec;
 use stp_sat_sweep::workloads::{epfl_suite, generators, hwmcc_suite, inject_redundancy, Scale};
-use stp_sat_sweep::{Budget, Engine, SweepConfig, SweepError, Sweeper};
+use stp_sat_sweep::{Budget, Engine, StatsObserver, SweepConfig, SweepError, Sweeper};
 
 fn sweep_stp(
     aig: &stp_sat_sweep::netlist::Aig,
@@ -160,6 +160,69 @@ fn budget_limited_sweep_returns_equivalent_partial_result() {
         cec::check_equivalence(&redundant, &partial.aig, 500_000).equivalent,
         "a truncated sweep must still be functionally equivalent"
     );
+}
+
+#[test]
+fn budget_exhaustion_mid_parallel_batch_is_consistent_and_deterministic() {
+    // A SAT-call budget that expires *inside* a parallel proving batch must
+    // hand back a partial result with no half-applied merges: the observer
+    // counters, the returned report and the network must all agree, and —
+    // because `max_sat_calls` is a deterministic budget dimension — the
+    // partial result must be identical for every `sat_parallelism`.
+    let bench = hwmcc_suite(Scale::Tiny)
+        .into_iter()
+        .max_by_key(|b| b.aig.num_ands())
+        .expect("the suite is non-empty");
+    let config = SweepConfig {
+        num_initial_patterns: 16, // few patterns: plenty of SAT traffic
+        sat_guided_patterns: false,
+        ..SweepConfig::default()
+    };
+
+    let full = Sweeper::new(Engine::Stp)
+        .config(config.sat_parallelism(4))
+        .run(&bench.aig)
+        .expect("unlimited run finishes");
+    let total = full.report.sat_calls_total;
+    assert!(total >= 2, "workload must need SAT calls (got {total})");
+    // Expire mid-run, and with sat_parallelism=4 necessarily mid-batch.
+    let limit = total / 2 + 1;
+
+    let mut partials = Vec::new();
+    for sat_parallelism in [1usize, 4] {
+        let mut stats = StatsObserver::new();
+        let run = Sweeper::new(Engine::Stp)
+            .config(config.sat_parallelism(sat_parallelism))
+            .budget(Budget::unlimited().with_max_sat_calls(limit))
+            .observer(&mut stats)
+            .run(&bench.aig);
+        let partial = match run {
+            Err(SweepError::BudgetExhausted { partial, .. }) => *partial,
+            Ok(_) => panic!("limit {limit} of {total} calls must trip the budget"),
+            Err(other) => panic!("unexpected error: {other}"),
+        };
+        // Exactly `limit` calls were committed — speculative calls that the
+        // barrier discarded are not silently counted.
+        assert_eq!(partial.report.sat_calls_total, limit);
+        // No half-applied merges: the observer saw exactly the merges the
+        // report claims, and the partial network is still equivalent.
+        assert_eq!(stats.merges, partial.report.merges);
+        assert_eq!(stats.constants, partial.report.constants);
+        assert_eq!(stats.sat_calls_total(), partial.report.sat_calls_total);
+        assert_eq!(stats.counterexamples, partial.report.sat_calls_sat);
+        assert!(
+            cec::check_equivalence(&bench.aig, &partial.aig, 500_000).equivalent,
+            "a truncated parallel sweep must still be functionally equivalent"
+        );
+        partials.push(partial);
+    }
+    // Deterministic across sat_parallelism: same committed calls, same
+    // merges, byte-identical partial network.
+    let (a, b) = (&partials[0], &partials[1]);
+    assert_eq!(a.report.merges, b.report.merges);
+    assert_eq!(a.report.sat_calls_sat, b.report.sat_calls_sat);
+    assert_eq!(a.report.sat_batches, b.report.sat_batches);
+    assert_eq!(write_aiger_string(&a.aig), write_aiger_string(&b.aig));
 }
 
 #[test]

@@ -167,6 +167,53 @@ proptest! {
         }
     }
 
+    /// The parallel-SAT determinism battery: sweeping with every
+    /// `sat_parallelism` in {1, 2, 4} crossed with `num_threads` in {1, 4}
+    /// commits identical SAT calls, identical merges and byte-identical
+    /// AIGER output — the engine's batches, discards and counter-examples
+    /// are a pure function of the sweep state, never of worker scheduling.
+    #[test]
+    fn parallel_sat_proving_is_deterministic(spec in arb_aig(), seed in 0u64..500) {
+        let aig = build_aig(&spec);
+        let redundant = inject_redundancy(&aig, 0.4, seed);
+        let base = SweepConfig {
+            num_initial_patterns: 16, // few patterns: SAT finds counter-examples
+            sat_guided_patterns: false,
+            ..SweepConfig::default()
+        };
+        for engine in [Engine::Stp, Engine::Baseline] {
+            let mut reference: Option<(stp_sat_sweep::SweepResult, String)> = None;
+            for sat_parallelism in [1usize, 2, 4] {
+                for num_threads in [1usize, 4] {
+                    let run = Sweeper::new(engine)
+                        .config(base.parallelism(num_threads).sat_parallelism(sat_parallelism))
+                        .run(&redundant)
+                        .expect("valid config");
+                    let aiger = write_aiger_string(&run.aig);
+                    match &reference {
+                        None => reference = Some((run, aiger)),
+                        Some((reference, reference_aiger)) => {
+                            let (r, s) = (&run.report, &reference.report);
+                            prop_assert_eq!(r.sat_calls_total, s.sat_calls_total);
+                            prop_assert_eq!(r.sat_calls_sat, s.sat_calls_sat);
+                            prop_assert_eq!(r.sat_calls_unsat, s.sat_calls_unsat);
+                            prop_assert_eq!(r.sat_calls_undet, s.sat_calls_undet);
+                            prop_assert_eq!(r.merges, s.merges);
+                            prop_assert_eq!(r.constants, s.constants);
+                            prop_assert_eq!(r.sat_batches, s.sat_batches);
+                            prop_assert_eq!(r.sat_parallel_conflicts, s.sat_parallel_conflicts);
+                            prop_assert_eq!(r.resim_events, s.resim_events);
+                            prop_assert_eq!(r.resim_nodes, s.resim_nodes);
+                            prop_assert_eq!(r.proved_by_simulation, s.proved_by_simulation);
+                            prop_assert_eq!(r.disproved_by_simulation, s.disproved_by_simulation);
+                            prop_assert_eq!(&aiger, reference_aiger);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Sweeping a randomly redundant random AIG preserves equivalence and
     /// never grows the network.
     #[test]
