@@ -12,7 +12,7 @@
 //! The paper reports parity on `TA` and a ~7.2× average speed-up on `TL`;
 //! the shape (not the absolute numbers) is what this harness reproduces.
 //!
-//! Usage: `cargo run -p bench --release --bin table1 -- [--scale tiny|small|large] [--patterns N] [--lut-k K] [--threads T] [--json PATH]`
+//! Usage: `cargo run -p bench --release --bin table1 -- [--scale tiny|small|large] [--patterns N] [--lut-k K] [--threads T] [--json PATH] [--checkpoint-every N] [--resume PATH]`
 //!
 //! `--threads T` runs every simulator through the level-scheduled parallel
 //! evaluator with `T` workers and sweeps with `SweepConfig::parallelism(T)`;
@@ -28,24 +28,170 @@
 //! here: the CEC miters of the hard arithmetic benchmarks (`hyp`, `log2`,
 //! …) are intractable by design — sweep correctness is covered by the
 //! test-suite and by `table2` (which verifies on the sweeping suite).
+//!
+//! `--checkpoint-every N` exercises the checkpoint/resume subsystem: every
+//! sweep pass of the JSON pipeline section is cancelled (via a
+//! [`CancelToken`] tripped after `N` committed SAT calls), checkpointed,
+//! and resumed to completion — the snapshot therefore records the numbers
+//! of *resumed* runs, and `bench_diff` against the untouched baseline
+//! proves the cancel→resume identity on real workloads.  The first pass's
+//! mid-sweep checkpoint of each benchmark is saved as
+//! `table1_<bench>.ckpt`.
+//!
+//! `--resume PATH` loads such a file, locates the matching benchmark by
+//! netlist fingerprint in the (deterministically regenerated) suite,
+//! resumes it to completion and prints the cumulative report.
 
 use bench::{arg_value, geometric_mean, parse_scale, timed};
 use bitsim::{AigSimulator, LutSimulator, PatternSet};
 use netlist::lutmap;
 use stp_sweep::stp_sim::StpSimulator;
-use stp_sweep::{Engine, Pipeline, SweepConfig};
-use workloads::epfl_suite;
+use stp_sweep::{
+    Budget, CancelToken, Engine, Observer, PassReport, Pipeline, PipelineResult, SatCallOutcome,
+    SweepCheckpoint, SweepConfig, SweepError, SweepReport, SweepResult, Sweeper,
+};
+use workloads::{epfl_suite, Scale};
+
+/// Cancels a run from inside the event stream: trips a [`CancelToken`]
+/// after a fixed number of committed SAT calls.
+struct CancelAfterSatCalls {
+    remaining: u64,
+    token: CancelToken,
+    checkpoints_seen: u64,
+}
+
+impl Observer for CancelAfterSatCalls {
+    fn on_sat_call(&mut self, _outcome: SatCallOutcome) {
+        if self.remaining == 0 {
+            self.token.cancel();
+        } else {
+            self.remaining -= 1;
+        }
+    }
+
+    fn on_checkpoint(&mut self, _checkpoint: &SweepCheckpoint) {
+        self.checkpoints_seen += 1;
+    }
+}
+
+/// Runs one sweep pass as a cancel→checkpoint→resume cycle: the run is
+/// cancelled after `every` committed SAT calls, the stop checkpoint is
+/// round-tripped through its binary encoding (and optionally saved to
+/// disk), and the resumed run completes the pass.  The identity guarantee
+/// makes the returned result indistinguishable from an uninterrupted run —
+/// which `bench_diff` then pins against the baseline.
+fn checkpointed_sweep_pass(
+    name: &str,
+    aig: &netlist::Aig,
+    config: SweepConfig,
+    every: u64,
+    save_to: Option<&str>,
+) -> SweepResult {
+    let token = CancelToken::new();
+    let mut canceller = CancelAfterSatCalls {
+        remaining: every,
+        token: token.clone(),
+        checkpoints_seen: 0,
+    };
+    let run = Sweeper::new(Engine::Stp)
+        .config(config)
+        .budget(Budget::unlimited().with_cancel_token(token))
+        .observer(&mut canceller)
+        .run(aig);
+    match run {
+        // The pass finished before the cancel point: nothing to resume.
+        Ok(full) => full,
+        Err(SweepError::BudgetExhausted {
+            checkpoint: Some(checkpoint),
+            ..
+        }) => {
+            if let Some(path) = save_to {
+                checkpoint
+                    .save(path)
+                    .unwrap_or_else(|e| panic!("{name}: writing {path}: {e}"));
+            }
+            let restored = SweepCheckpoint::decode(&checkpoint.encode())
+                .unwrap_or_else(|e| panic!("{name}: checkpoint round trip: {e}"));
+            Sweeper::new(Engine::Stp)
+                .resume_from(aig, &restored)
+                .unwrap_or_else(|e| panic!("{name}: resume rejected: {e}"))
+                .run()
+                .unwrap_or_else(|e| panic!("{name}: resumed run failed: {e}"))
+        }
+        Err(other) => panic!("{name}: checkpointed sweep failed: {other}"),
+    }
+}
+
+/// The `--checkpoint-every` variant of the standard pipeline: the same
+/// sweep → strash → sweep composition (aggregation mirrors
+/// [`Pipeline::run`]), with every sweep pass executed through
+/// [`checkpointed_sweep_pass`].
+fn run_pipeline_checkpointed(
+    name: &str,
+    aig: &netlist::Aig,
+    threads: usize,
+    every: u64,
+) -> PipelineResult {
+    let config = SweepConfig::fast()
+        .parallelism(threads)
+        .checkpoint_every(every as usize);
+    let mut current = aig.clone();
+    let mut aggregate = SweepReport {
+        gates_before: aig.num_ands(),
+        gates_after: aig.num_ands(),
+        levels: aig.depth(),
+        ..SweepReport::default()
+    };
+    let mut passes = Vec::new();
+    for (index, pass) in ["sweep(stp)", "strash", "sweep(stp)"].iter().enumerate() {
+        let gates_before = current.num_ands();
+        if *pass == "strash" {
+            let (cleaned, time) = timed(|| current.cleanup().0);
+            current = cleaned;
+            aggregate.gates_after = current.num_ands();
+            aggregate.total_time += time;
+            passes.push(PassReport {
+                name: (*pass).to_string(),
+                gates_before,
+                gates_after: current.num_ands(),
+                report: None,
+                time,
+            });
+        } else {
+            let save = (index == 0).then(|| format!("table1_{name}.ckpt"));
+            let result = checkpointed_sweep_pass(name, &current, config, every, save.as_deref());
+            aggregate.merge(&result.report);
+            passes.push(PassReport {
+                name: (*pass).to_string(),
+                gates_before,
+                gates_after: result.aig.num_ands(),
+                report: Some(result.report),
+                time: result.report.total_time,
+            });
+            current = result.aig;
+        }
+    }
+    PipelineResult {
+        aig: current,
+        report: aggregate,
+        passes,
+    }
+}
 
 /// Runs the standard pipeline on one benchmark and renders its JSON row.
 ///
 /// The pipeline is run twice — sequentially and with `sat_parallelism = 4`
 /// — and the deterministic counters plus the final network must agree (the
 /// parallel prover's determinism guarantee); the row reports the sequential
-/// run's numbers.
+/// run's numbers.  With `checkpoint_every` set, the sequential run is the
+/// cancel→resume execution of [`run_pipeline_checkpointed`] — its counters
+/// must *still* agree with the plain parallel run, pinning the resume
+/// identity per benchmark before `bench_diff` pins it against the baseline.
 fn pipeline_json_row(
     name: &str,
     aig: &netlist::Aig,
     threads: usize,
+    checkpoint_every: Option<u64>,
     par_times: &mut (f64, f64),
 ) -> String {
     let run = |sat_par: usize| {
@@ -60,7 +206,10 @@ fn pipeline_json_row(
         .run(aig)
         .unwrap_or_else(|e| panic!("{name}: pipeline failed: {e}"))
     };
-    let outcome = run(1);
+    let outcome = match checkpoint_every {
+        Some(every) => run_pipeline_checkpointed(name, aig, threads, every),
+        None => run(1),
+    };
     let parallel = run(4);
     assert_eq!(
         (
@@ -125,9 +274,54 @@ fn pipeline_json_row(
     )
 }
 
+/// The `--resume <file>` mode: load a checkpoint, find the benchmark whose
+/// netlist fingerprint matches in the (deterministically regenerated)
+/// suite, resume it to completion and print the cumulative report.
+fn run_resume(path: &str, scale: Scale) -> ! {
+    let checkpoint = match SweepCheckpoint::load(path) {
+        Ok(checkpoint) => checkpoint,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let suite = epfl_suite(scale);
+    let Some(bench) = suite.iter().find(|b| checkpoint.matches(&b.aig)) else {
+        eprintln!(
+            "{path}: no benchmark of the {scale:?} suite matches the checkpoint's \
+             netlist fingerprint {:016x} (was the checkpoint taken at another --scale?)",
+            checkpoint.fingerprint()
+        );
+        std::process::exit(1);
+    };
+    println!(
+        "resuming {} from {path}: engine {}, {} SAT calls / {} candidates committed",
+        bench.name,
+        checkpoint.engine(),
+        checkpoint.sat_calls(),
+        checkpoint.committed_candidates()
+    );
+    let resumed = Sweeper::new(checkpoint.engine())
+        .resume_from(&bench.aig, &checkpoint)
+        .and_then(|session| session.run());
+    match resumed {
+        Ok(result) => {
+            println!("resumed run finished: {}", result.report);
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("{path}: resume failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = parse_scale(&args);
+    if let Some(path) = arg_value(&args, "--resume") {
+        run_resume(&path, scale);
+    }
     let num_patterns: usize = arg_value(&args, "--patterns")
         .and_then(|v| v.parse().ok())
         .unwrap_or(4096);
@@ -137,6 +331,12 @@ fn main() {
     let threads: usize = arg_value(&args, "--threads")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
+    let checkpoint_every: Option<u64> = arg_value(&args, "--checkpoint-every").map(|v| {
+        v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+            eprintln!("--checkpoint-every expects a positive SAT-call count");
+            std::process::exit(2);
+        })
+    });
     if num_patterns == 0 || threads == 0 {
         eprintln!("--patterns and --threads must be nonzero");
         std::process::exit(2);
@@ -231,11 +431,30 @@ fn main() {
 
     if let Some(path) = arg_value(&args, "--json") {
         // The sweeping pipeline section: per-pass reports per benchmark.
-        println!("\nrunning the sweep pipeline (sweep -> strash -> sweep) per benchmark ...");
+        match checkpoint_every {
+            Some(every) => println!(
+                "\nrunning the sweep pipeline (sweep -> strash -> sweep) per benchmark, \
+                 cancelling each sweep after {every} SAT calls and resuming from its \
+                 checkpoint (table1_<bench>.ckpt) ..."
+            ),
+            None => {
+                println!(
+                    "\nrunning the sweep pipeline (sweep -> strash -> sweep) per benchmark ..."
+                )
+            }
+        }
         let mut par_times = (0.0f64, 0.0f64);
         let pipeline_rows: Vec<String> = suite
             .iter()
-            .map(|bench| pipeline_json_row(bench.name, &bench.aig, threads, &mut par_times))
+            .map(|bench| {
+                pipeline_json_row(
+                    bench.name,
+                    &bench.aig,
+                    threads,
+                    checkpoint_every,
+                    &mut par_times,
+                )
+            })
             .collect();
         println!(
             "pipeline wall-clock: sat_parallelism 1 = {:.3}s, sat_parallelism 4 = {:.3}s \

@@ -133,6 +133,26 @@ impl PatternSet {
         }
     }
 
+    /// Rebuilds a pattern set from per-input signatures (the inverse of
+    /// reading [`PatternSet::input_signature`] for every input), used by
+    /// state snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any signature covers a different number of patterns than
+    /// `num_patterns` — callers deserialising untrusted data must validate
+    /// lengths first.
+    pub fn from_input_signatures(inputs: Vec<Signature>, num_patterns: usize) -> Self {
+        assert!(
+            inputs.iter().all(|s| s.len() == num_patterns),
+            "every input signature must cover num_patterns patterns"
+        );
+        PatternSet {
+            inputs,
+            num_patterns,
+        }
+    }
+
     /// Number of primary inputs.
     pub fn num_inputs(&self) -> usize {
         self.inputs.len()
@@ -266,6 +286,23 @@ mod tests {
         p.extend(&q);
         assert_eq!(p.num_patterns(), 3);
         assert_eq!(p.assignment(2), vec![true, true, true]);
+    }
+
+    #[test]
+    fn from_input_signatures_round_trips() {
+        let mut p = PatternSet::random(5, 100, 3).unwrap();
+        p.push_pattern(&[true, false, true, true, false]);
+        let inputs: Vec<Signature> = (0..p.num_inputs())
+            .map(|i| p.input_signature(i).clone())
+            .collect();
+        let rebuilt = PatternSet::from_input_signatures(inputs, p.num_patterns());
+        assert_eq!(rebuilt, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_patterns")]
+    fn from_input_signatures_rejects_mismatched_lengths() {
+        let _ = PatternSet::from_input_signatures(vec![Signature::zeros(3)], 4);
     }
 
     #[test]

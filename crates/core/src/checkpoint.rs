@@ -1,0 +1,1729 @@
+//! Checkpoint/resume for sweeping sessions.
+//!
+//! A [`SweepCheckpoint`] is a versioned, self-describing snapshot of a
+//! [`crate::SweepSession`] at a candidate boundary: the candidate
+//! equivalence classes, the grown pattern set, the incremental-resimulation
+//! dirty set, the ordered merge log, the phase cursor (including a
+//! half-committed parallel proving batch), the cumulative report counters —
+//! and, crucially, behaviour-exact snapshots of every incremental SAT
+//! solver ([`satsolver::CircuitSatSnapshot`]).  CDCL solvers are
+//! history-dependent (learnt clauses, VSIDS activities, saved phases steer
+//! every future query), so carrying their exact state is what makes the
+//! headline guarantee possible: **cancel at any candidate boundary, resume
+//! with [`crate::Sweeper::resume_from`], and the final SAT calls, merges
+//! and AIGER bytes are identical to an uninterrupted run**, for every
+//! `sat_parallelism` × `num_threads`.
+//!
+//! The on-disk format is a dependency-free little-endian binary codec with
+//! an integrity header: an 8-byte magic, a format version and the
+//! fingerprint of the netlist the checkpoint was taken against.  Decoding
+//! truncated or corrupt bytes yields a typed [`CheckpointError`] (never a
+//! panic), and resuming against a mutated network is rejected with
+//! [`crate::SweepError::CheckpointMismatch`] instead of corrupting results.
+//!
+//! ```
+//! use netlist::Aig;
+//! use stp_sweep::{Engine, Sweeper};
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.add_input("a");
+//! let b = aig.add_input("b");
+//! let f = aig.and(a, b);
+//! let g = aig.and(f, b); // redundant: equals f
+//! let y = aig.xor(f, g);
+//! aig.add_output("y", y);
+//!
+//! // Capture a primed session's state…
+//! let session = Sweeper::new(Engine::Stp).begin(&aig).unwrap();
+//! let checkpoint = session.checkpoint();
+//! drop(session); // e.g. the process was preempted here
+//!
+//! // …which round-trips through bytes and resumes to the identical result.
+//! let bytes = checkpoint.encode();
+//! let restored = stp_sweep::SweepCheckpoint::decode(&bytes).unwrap();
+//! let resumed = Sweeper::new(Engine::Stp).resume_from(&aig, &restored).unwrap();
+//! let finished = resumed.run().expect("unlimited resume finishes");
+//! let uninterrupted = Sweeper::new(Engine::Stp).run(&aig).unwrap();
+//! assert_eq!(finished.report.merges, uninterrupted.report.merges);
+//! ```
+
+use crate::equiv::ConstantCandidate;
+use crate::observer::StatsObserver;
+use crate::prover::{ProofItem, ProofOutcome, ProofResult};
+use crate::report::SweepConfig;
+use crate::session::Engine;
+use bitsim::Signature;
+use netlist::{Aig, AigNode, Lit, NodeId};
+use satsolver::{
+    CircuitSatSnapshot, ClauseSnapshot, QueryStats, SatLit, SolverConfig, SolverSnapshot,
+    SolverStats,
+};
+use std::fmt;
+use std::time::Duration;
+
+/// The 8-byte magic prefix of an encoded checkpoint.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"STPSWCP\x01";
+
+/// The current checkpoint format version.  Decoders reject any other
+/// version with [`CheckpointError::UnsupportedVersion`]; the version is
+/// bumped whenever the payload layout changes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Errors.
+// ---------------------------------------------------------------------------
+
+/// Why a checkpoint could not be decoded or used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The byte stream ended before the payload was complete.
+    Truncated,
+    /// The magic prefix is missing — not a checkpoint file.
+    BadMagic,
+    /// The format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// The payload is structurally invalid (the message names the field).
+    Corrupt(&'static str),
+    /// An I/O error while reading or writing a checkpoint file.
+    Io(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint bytes are truncated"),
+            CheckpointError::BadMagic => write!(f, "not a sweep checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported checkpoint format version {v} (this build reads \
+                 version {CHECKPOINT_VERSION})"
+            ),
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            CheckpointError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<CheckpointError> for crate::error::SweepError {
+    fn from(err: CheckpointError) -> Self {
+        crate::error::SweepError::CheckpointMismatch(err.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Netlist fingerprint.
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over raw bytes, used for the payload checksum.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a fingerprint of an AIG's functional structure (nodes, fanins,
+/// input positions and output literals; names are excluded — they do not
+/// affect sweeping).  Checkpoints embed the fingerprint of the network they
+/// were taken against, and [`crate::Sweeper::resume_from`] refuses to
+/// resume against a network with a different fingerprint.
+pub fn netlist_fingerprint(aig: &Aig) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |value: u64| {
+        for byte in value.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(aig.num_nodes() as u64);
+    mix(aig.num_inputs() as u64);
+    mix(aig.num_outputs() as u64);
+    for id in aig.node_ids() {
+        match aig.node(id) {
+            AigNode::Const0 => mix(1),
+            AigNode::Input { position } => {
+                mix(2);
+                mix(*position as u64);
+            }
+            AigNode::And { fanin0, fanin1 } => {
+                mix(3);
+                mix(u64::from(fanin0.index()));
+                mix(u64::from(fanin1.index()));
+            }
+        }
+    }
+    for output in aig.outputs() {
+        mix(u64::from(output.lit.index()));
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Phase pods: the serialisable execution cursor.
+// ---------------------------------------------------------------------------
+
+/// A half-committed parallel proving batch: the frozen items, their
+/// speculative results and the commit cursor.  Items at indices `>= next`
+/// with an `Aborted` result were never issued (their solver slots are
+/// untouched) and are re-proved on resume; items with real results are
+/// replayed verbatim, so the resumed commit sequence is exactly the one an
+/// uninterrupted run would have produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct InflightPod {
+    pub items: Vec<ProofItem>,
+    pub results: Vec<ProofResult>,
+    pub next: usize,
+    pub settled: usize,
+    pub conflicts: usize,
+}
+
+/// The serialisable execution cursor of a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum PhasePod {
+    /// Primed, nothing proved yet.
+    Start,
+    /// Inside constant substitution: the frozen candidate queue and the
+    /// next index to prove.
+    Constants {
+        queue: Vec<ConstantCandidate>,
+        next: usize,
+    },
+    /// Inside pairwise merging: the pending candidate queue (canonical
+    /// order, with consumed driver attempts), the next batch index and an
+    /// optional half-committed batch.
+    Merging {
+        pending: Vec<(NodeId, usize)>,
+        batch_index: usize,
+        inflight: Option<InflightPod>,
+    },
+    /// All phases complete.
+    Done,
+}
+
+// ---------------------------------------------------------------------------
+// The checkpoint itself.
+// ---------------------------------------------------------------------------
+
+/// A resumable snapshot of a sweeping session at a candidate boundary.
+///
+/// Obtain one from [`crate::SweepSession::checkpoint`], from the
+/// `checkpoint` field of [`crate::SweepError::BudgetExhausted`], or through
+/// [`crate::Observer::on_checkpoint`] when
+/// [`crate::SweepConfig::checkpoint_interval`] is set.  Serialise with
+/// [`SweepCheckpoint::encode`] / [`SweepCheckpoint::decode`] (or the
+/// [`SweepCheckpoint::save`] / [`SweepCheckpoint::load`] file helpers) and
+/// resume with [`crate::Sweeper::resume_from`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCheckpoint {
+    /// Fingerprint of the network the checkpoint was taken against.
+    pub(crate) fingerprint: u64,
+    /// Whether the session was primed (patterns generated, classes built).
+    /// An unprimed checkpoint resumes by re-priming from scratch.
+    pub(crate) primed: bool,
+    pub(crate) engine: Engine,
+    pub(crate) config: SweepConfig,
+    pub(crate) round: usize,
+    pub(crate) phase: PhasePod,
+    /// Ordered log of applied merges (constants included): replaying it on
+    /// a fresh copy of the input reconstructs the working network.
+    pub(crate) merge_log: Vec<(NodeId, Lit)>,
+    pub(crate) dont_touch: Vec<NodeId>,
+    /// Raw class parts: (members, phases) per class, plus constants.
+    pub(crate) classes: Vec<(Vec<NodeId>, Vec<bool>)>,
+    pub(crate) constants: Vec<ConstantCandidate>,
+    /// The grown pattern set: per-input signature words.
+    pub(crate) num_patterns: usize,
+    pub(crate) pattern_words: Vec<Vec<u64>>,
+    pub(crate) resim: crate::resim::ResimSnapshot,
+    pub(crate) stats: StatsObserver,
+    pub(crate) sweep_sat_calls: u64,
+    pub(crate) committed_candidates: u64,
+    pub(crate) simulation_time: Duration,
+    pub(crate) sat_time: Duration,
+    /// Wall-clock already consumed before this checkpoint (added to the
+    /// resumed leg's elapsed time in the final report).
+    pub(crate) elapsed: Duration,
+    /// The session's main solver (pattern generation + constant proofs).
+    pub(crate) main_solver: CircuitSatSnapshot,
+    /// The persistent prover pool, one snapshot per slot.
+    pub(crate) pool: Vec<CircuitSatSnapshot>,
+    /// Committed SAT queries per pool slot (drives deterministic hygiene
+    /// resets, see [`crate::SweepConfig::solver_reset_interval`]).
+    pub(crate) pool_committed: Vec<u64>,
+}
+
+impl SweepCheckpoint {
+    /// The fingerprint of the network this checkpoint was taken against.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// `true` if this checkpoint was taken against `aig` (same functional
+    /// structure).
+    pub fn matches(&self, aig: &Aig) -> bool {
+        self.fingerprint == netlist_fingerprint(aig)
+    }
+
+    /// The engine of the checkpointed run.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The (normalised) configuration of the checkpointed run.  Resuming
+    /// always continues under this configuration — the builder's own config
+    /// is ignored, because mixing configurations would break the identity
+    /// guarantee.
+    pub fn config(&self) -> &SweepConfig {
+        &self.config
+    }
+
+    /// Whether the session was primed when the checkpoint was taken.  An
+    /// unprimed checkpoint (budget tripped before pattern generation)
+    /// resumes by re-priming, which is itself deterministic.
+    pub fn is_primed(&self) -> bool {
+        self.primed
+    }
+
+    /// Committed candidates at the checkpoint (the progress cursor).
+    pub fn committed_candidates(&self) -> u64 {
+        self.committed_candidates
+    }
+
+    /// Committed sweeping SAT calls at the checkpoint.
+    pub fn sat_calls(&self) -> u64 {
+        self.sweep_sat_calls
+    }
+
+    /// Serialises the checkpoint into the versioned binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.bytes(&CHECKPOINT_MAGIC);
+        w.u32(CHECKPOINT_VERSION);
+        w.u64(self.fingerprint);
+        w.boolean(self.primed);
+        w.u8(match self.engine {
+            Engine::Baseline => 0,
+            Engine::Stp => 1,
+        });
+        encode_config(&mut w, &self.config);
+        w.usize(self.round);
+        encode_phase(&mut w, &self.phase);
+        w.usize(self.merge_log.len());
+        for &(node, lit) in &self.merge_log {
+            w.usize(node);
+            w.u32(lit.index());
+        }
+        w.usize(self.dont_touch.len());
+        for &node in &self.dont_touch {
+            w.usize(node);
+        }
+        w.usize(self.classes.len());
+        for (members, phases) in &self.classes {
+            w.usize(members.len());
+            for &m in members {
+                w.usize(m);
+            }
+            for &p in phases {
+                w.boolean(p);
+            }
+        }
+        w.usize(self.constants.len());
+        for c in &self.constants {
+            w.usize(c.node);
+            w.boolean(c.value);
+        }
+        w.usize(self.num_patterns);
+        w.usize(self.pattern_words.len());
+        for words in &self.pattern_words {
+            w.usize(words.len());
+            for &word in words {
+                w.u64(word);
+            }
+        }
+        w.usize(self.resim.last_seen.len());
+        for &e in &self.resim.last_seen {
+            w.u64(e);
+        }
+        w.u64(self.resim.events);
+        w.u64(self.resim.resimulated);
+        w.u64(self.resim.skipped);
+        encode_stats(&mut w, &self.stats);
+        w.u64(self.sweep_sat_calls);
+        w.u64(self.committed_candidates);
+        w.duration(self.simulation_time);
+        w.duration(self.sat_time);
+        w.duration(self.elapsed);
+        encode_circuit_snapshot(&mut w, &self.main_solver);
+        w.usize(self.pool.len());
+        for snap in &self.pool {
+            encode_circuit_snapshot(&mut w, snap);
+        }
+        w.usize(self.pool_committed.len());
+        for &c in &self.pool_committed {
+            w.u64(c);
+        }
+        // Payload checksum (everything up to here, header included): bit
+        // flips anywhere in the file are caught at decode time instead of
+        // resuming into a silently different run.
+        let checksum = fnv64(&w.buf);
+        w.u64(checksum);
+        w.buf
+    }
+
+    /// Decodes a checkpoint from bytes, verifying the magic and format
+    /// version.  Truncated or corrupt input yields a typed error, never a
+    /// panic.  Structural validation against the resume target happens in
+    /// [`crate::Sweeper::resume_from`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        // Header checks come first so wrong-file and wrong-version inputs
+        // get their specific errors; the payload checksum then catches any
+        // other corruption before field-level parsing starts.
+        {
+            let mut header = Reader::new(bytes);
+            if header.bytes(8)? != CHECKPOINT_MAGIC {
+                return Err(CheckpointError::BadMagic);
+            }
+            let version = header.u32()?;
+            if version != CHECKPOINT_VERSION {
+                return Err(CheckpointError::UnsupportedVersion(version));
+            }
+        }
+        if bytes.len() < 8 + 4 + 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("tail is eight bytes"));
+        if fnv64(body) != stored {
+            return Err(CheckpointError::Corrupt("payload checksum mismatch"));
+        }
+        let mut r = Reader::new(body);
+        let _ = r.bytes(8)?; // magic, verified above
+        let _ = r.u32()?; // version, verified above
+        let fingerprint = r.u64()?;
+        let primed = r.boolean()?;
+        let engine = match r.u8()? {
+            0 => Engine::Baseline,
+            1 => Engine::Stp,
+            _ => return Err(CheckpointError::Corrupt("unknown engine tag")),
+        };
+        let config = decode_config(&mut r)?;
+        let round = r.usize()?;
+        let phase = decode_phase(&mut r)?;
+        let merge_log = {
+            let len = r.vec_len(12)?;
+            let mut log = Vec::with_capacity(len);
+            for _ in 0..len {
+                let node = r.usize()?;
+                let lit = Lit::from_index(r.u32()?);
+                log.push((node, lit));
+            }
+            log
+        };
+        let dont_touch = r.usize_vec()?;
+        let classes = {
+            let len = r.vec_len(2)?;
+            let mut classes = Vec::with_capacity(len);
+            for _ in 0..len {
+                let members = r.usize_vec()?;
+                let mut phases = Vec::with_capacity(members.len());
+                for _ in 0..members.len() {
+                    phases.push(r.boolean()?);
+                }
+                classes.push((members, phases));
+            }
+            classes
+        };
+        let constants = {
+            let len = r.vec_len(9)?;
+            let mut constants = Vec::with_capacity(len);
+            for _ in 0..len {
+                let node = r.usize()?;
+                let value = r.boolean()?;
+                constants.push(ConstantCandidate { node, value });
+            }
+            constants
+        };
+        let num_patterns = r.usize()?;
+        let pattern_words = {
+            let len = r.vec_len(8)?;
+            let mut inputs = Vec::with_capacity(len);
+            for _ in 0..len {
+                inputs.push(r.u64_vec()?);
+            }
+            inputs
+        };
+        let resim = crate::resim::ResimSnapshot {
+            last_seen: r.u64_vec()?,
+            events: r.u64()?,
+            resimulated: r.u64()?,
+            skipped: r.u64()?,
+        };
+        let stats = decode_stats(&mut r)?;
+        let sweep_sat_calls = r.u64()?;
+        let committed_candidates = r.u64()?;
+        let simulation_time = r.duration()?;
+        let sat_time = r.duration()?;
+        let elapsed = r.duration()?;
+        let main_solver = decode_circuit_snapshot(&mut r)?;
+        let pool = {
+            let len = r.vec_len(16)?;
+            let mut pool = Vec::with_capacity(len);
+            for _ in 0..len {
+                pool.push(decode_circuit_snapshot(&mut r)?);
+            }
+            pool
+        };
+        let pool_committed = r.u64_vec()?;
+        if !r.is_empty() {
+            return Err(CheckpointError::Corrupt("trailing bytes after payload"));
+        }
+        Ok(SweepCheckpoint {
+            fingerprint,
+            primed,
+            engine,
+            config,
+            round,
+            phase,
+            merge_log,
+            dont_touch,
+            classes,
+            constants,
+            num_patterns,
+            pattern_words,
+            resim,
+            stats,
+            sweep_sat_calls,
+            committed_candidates,
+            simulation_time,
+            sat_time,
+            elapsed,
+            main_solver,
+            pool,
+            pool_committed,
+        })
+    }
+
+    /// Writes the encoded checkpoint to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), CheckpointError> {
+        std::fs::write(path, self.encode()).map_err(|e| CheckpointError::Io(e.to_string()))
+    }
+
+    /// Reads and decodes a checkpoint file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        SweepCheckpoint::decode(&bytes)
+    }
+
+    /// The per-input signatures of the checkpointed pattern set.
+    pub(crate) fn pattern_signatures(&self) -> Vec<Signature> {
+        self.pattern_words
+            .iter()
+            .map(|words| Signature::from_words(self.num_patterns, words.clone()))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Component codecs.
+// ---------------------------------------------------------------------------
+
+fn encode_config(w: &mut Writer, c: &SweepConfig) {
+    w.usize(c.num_initial_patterns);
+    w.u64(c.conflict_limit);
+    w.usize(c.tfi_limit);
+    w.usize(c.window_limit);
+    w.u64(c.seed);
+    w.boolean(c.sat_guided_patterns);
+    w.boolean(c.constant_substitution);
+    w.boolean(c.window_refinement);
+    w.usize(c.num_threads);
+    w.usize(c.sat_parallelism);
+    w.usize(c.checkpoint_interval);
+    w.u64(c.solver_reset_interval);
+}
+
+fn decode_config(r: &mut Reader<'_>) -> Result<SweepConfig, CheckpointError> {
+    Ok(SweepConfig {
+        num_initial_patterns: r.usize()?,
+        conflict_limit: r.u64()?,
+        tfi_limit: r.usize()?,
+        window_limit: r.usize()?,
+        seed: r.u64()?,
+        sat_guided_patterns: r.boolean()?,
+        constant_substitution: r.boolean()?,
+        window_refinement: r.boolean()?,
+        num_threads: r.usize()?,
+        sat_parallelism: r.usize()?,
+        checkpoint_interval: r.usize()?,
+        solver_reset_interval: r.u64()?,
+    })
+}
+
+fn encode_stats(w: &mut Writer, s: &StatsObserver) {
+    w.usize(s.rounds);
+    w.usize(s.merges);
+    w.usize(s.constants);
+    w.u64(s.sat_calls_sat);
+    w.u64(s.sat_calls_unsat);
+    w.u64(s.sat_calls_undet);
+    w.u64(s.proved_by_simulation);
+    w.u64(s.disproved_by_simulation);
+    w.u64(s.counterexamples);
+    w.u64(s.refinements);
+    w.u64(s.resim_events);
+    w.u64(s.resim_nodes);
+    w.u64(s.resim_skipped_nodes);
+    w.u64(s.sat_batches);
+    w.u64(s.sat_parallel_conflicts);
+    w.u64(s.checkpoints);
+}
+
+fn decode_stats(r: &mut Reader<'_>) -> Result<StatsObserver, CheckpointError> {
+    Ok(StatsObserver {
+        rounds: r.usize()?,
+        merges: r.usize()?,
+        constants: r.usize()?,
+        sat_calls_sat: r.u64()?,
+        sat_calls_unsat: r.u64()?,
+        sat_calls_undet: r.u64()?,
+        proved_by_simulation: r.u64()?,
+        disproved_by_simulation: r.u64()?,
+        counterexamples: r.u64()?,
+        refinements: r.u64()?,
+        resim_events: r.u64()?,
+        resim_nodes: r.u64()?,
+        resim_skipped_nodes: r.u64()?,
+        sat_batches: r.u64()?,
+        sat_parallel_conflicts: r.u64()?,
+        checkpoints: r.u64()?,
+    })
+}
+
+fn encode_phase(w: &mut Writer, phase: &PhasePod) {
+    match phase {
+        PhasePod::Start => w.u8(0),
+        PhasePod::Constants { queue, next } => {
+            w.u8(1);
+            w.usize(queue.len());
+            for c in queue {
+                w.usize(c.node);
+                w.boolean(c.value);
+            }
+            w.usize(*next);
+        }
+        PhasePod::Merging {
+            pending,
+            batch_index,
+            inflight,
+        } => {
+            w.u8(2);
+            w.usize(pending.len());
+            for &(node, attempts) in pending {
+                w.usize(node);
+                w.usize(attempts);
+            }
+            w.usize(*batch_index);
+            match inflight {
+                None => w.boolean(false),
+                Some(inflight) => {
+                    w.boolean(true);
+                    w.usize(inflight.items.len());
+                    for item in &inflight.items {
+                        encode_proof_item(w, item);
+                    }
+                    w.usize(inflight.results.len());
+                    for result in &inflight.results {
+                        encode_proof_result(w, result);
+                    }
+                    w.usize(inflight.next);
+                    w.usize(inflight.settled);
+                    w.usize(inflight.conflicts);
+                }
+            }
+        }
+        PhasePod::Done => w.u8(3),
+    }
+}
+
+fn decode_phase(r: &mut Reader<'_>) -> Result<PhasePod, CheckpointError> {
+    match r.u8()? {
+        0 => Ok(PhasePod::Start),
+        1 => {
+            let len = r.vec_len(9)?;
+            let mut queue = Vec::with_capacity(len);
+            for _ in 0..len {
+                let node = r.usize()?;
+                let value = r.boolean()?;
+                queue.push(ConstantCandidate { node, value });
+            }
+            let next = r.usize()?;
+            Ok(PhasePod::Constants { queue, next })
+        }
+        2 => {
+            let len = r.vec_len(16)?;
+            let mut pending = Vec::with_capacity(len);
+            for _ in 0..len {
+                let node = r.usize()?;
+                let attempts = r.usize()?;
+                pending.push((node, attempts));
+            }
+            let batch_index = r.usize()?;
+            let inflight = if r.boolean()? {
+                let items_len = r.vec_len(3)?;
+                let mut items = Vec::with_capacity(items_len);
+                for _ in 0..items_len {
+                    items.push(decode_proof_item(r)?);
+                }
+                let results_len = r.vec_len(3)?;
+                let mut results = Vec::with_capacity(results_len);
+                for _ in 0..results_len {
+                    results.push(decode_proof_result(r)?);
+                }
+                Some(InflightPod {
+                    items,
+                    results,
+                    next: r.usize()?,
+                    settled: r.usize()?,
+                    conflicts: r.usize()?,
+                })
+            } else {
+                None
+            };
+            Ok(PhasePod::Merging {
+                pending,
+                batch_index,
+                inflight,
+            })
+        }
+        3 => Ok(PhasePod::Done),
+        _ => Err(CheckpointError::Corrupt("unknown phase tag")),
+    }
+}
+
+fn encode_proof_item(w: &mut Writer, item: &ProofItem) {
+    w.usize(item.candidate);
+    w.usize(item.attempts);
+    w.usize(item.drivers.len());
+    for &(driver, complemented) in &item.drivers {
+        w.usize(driver);
+        w.boolean(complemented);
+    }
+}
+
+fn decode_proof_item(r: &mut Reader<'_>) -> Result<ProofItem, CheckpointError> {
+    let candidate = r.usize()?;
+    let attempts = r.usize()?;
+    let len = r.vec_len(9)?;
+    let mut drivers = Vec::with_capacity(len);
+    for _ in 0..len {
+        let driver = r.usize()?;
+        let complemented = r.boolean()?;
+        drivers.push((driver, complemented));
+    }
+    Ok(ProofItem {
+        candidate,
+        attempts,
+        drivers,
+    })
+}
+
+fn encode_proof_result(w: &mut Writer, result: &ProofResult) {
+    w.usize(result.verdicts.len());
+    for &(driver, equivalent) in &result.verdicts {
+        w.usize(driver);
+        w.boolean(equivalent);
+    }
+    match result.sat_outcome {
+        None => w.u8(0),
+        Some(crate::observer::SatCallOutcome::Sat) => w.u8(1),
+        Some(crate::observer::SatCallOutcome::Unsat) => w.u8(2),
+        Some(crate::observer::SatCallOutcome::Undetermined) => w.u8(3),
+    }
+    match &result.outcome {
+        ProofOutcome::Merge {
+            driver,
+            complemented,
+            by_simulation,
+        } => {
+            w.u8(0);
+            w.usize(*driver);
+            w.boolean(*complemented);
+            w.boolean(*by_simulation);
+        }
+        ProofOutcome::CounterExample { assignment } => {
+            w.u8(1);
+            w.usize(assignment.len());
+            for &bit in assignment {
+                w.boolean(bit);
+            }
+        }
+        ProofOutcome::DontTouch => w.u8(2),
+        ProofOutcome::Exhausted => w.u8(3),
+        ProofOutcome::Aborted => w.u8(4),
+    }
+    w.usize(result.attempts_used);
+    w.duration(result.sat_time);
+}
+
+fn decode_proof_result(r: &mut Reader<'_>) -> Result<ProofResult, CheckpointError> {
+    let len = r.vec_len(9)?;
+    let mut verdicts = Vec::with_capacity(len);
+    for _ in 0..len {
+        let driver = r.usize()?;
+        let equivalent = r.boolean()?;
+        verdicts.push((driver, equivalent));
+    }
+    let sat_outcome = match r.u8()? {
+        0 => None,
+        1 => Some(crate::observer::SatCallOutcome::Sat),
+        2 => Some(crate::observer::SatCallOutcome::Unsat),
+        3 => Some(crate::observer::SatCallOutcome::Undetermined),
+        _ => return Err(CheckpointError::Corrupt("unknown SAT outcome tag")),
+    };
+    let outcome = match r.u8()? {
+        0 => ProofOutcome::Merge {
+            driver: r.usize()?,
+            complemented: r.boolean()?,
+            by_simulation: r.boolean()?,
+        },
+        1 => {
+            let len = r.vec_len(1)?;
+            let mut assignment = Vec::with_capacity(len);
+            for _ in 0..len {
+                assignment.push(r.boolean()?);
+            }
+            ProofOutcome::CounterExample { assignment }
+        }
+        2 => ProofOutcome::DontTouch,
+        3 => ProofOutcome::Exhausted,
+        4 => ProofOutcome::Aborted,
+        _ => return Err(CheckpointError::Corrupt("unknown proof outcome tag")),
+    };
+    Ok(ProofResult {
+        verdicts,
+        sat_outcome,
+        outcome,
+        attempts_used: r.usize()?,
+        sat_time: r.duration()?,
+    })
+}
+
+fn encode_solver_snapshot(w: &mut Writer, s: &SolverSnapshot) {
+    w.f64(s.config.var_decay);
+    w.f64(s.config.clause_decay);
+    w.u64(s.config.restart_base);
+    w.usize(s.config.learnt_limit_base);
+    w.usize(s.clauses.len());
+    for clause in &s.clauses {
+        w.usize(clause.lits.len());
+        for &lit in &clause.lits {
+            w.u32(lit.code() as u32);
+        }
+        w.boolean(clause.learnt);
+        w.f64(clause.activity);
+        w.boolean(clause.deleted);
+    }
+    w.usize(s.watches.len());
+    for list in &s.watches {
+        w.usize(list.len());
+        for &ci in list {
+            w.usize(ci);
+        }
+    }
+    w.usize(s.assigns.len());
+    for &a in &s.assigns {
+        w.opt_bool(a);
+    }
+    for &p in &s.phase {
+        w.boolean(p);
+    }
+    for &l in &s.level {
+        w.u32(l);
+    }
+    for &reason in &s.reason {
+        match reason {
+            None => w.boolean(false),
+            Some(ci) => {
+                w.boolean(true);
+                w.usize(ci);
+            }
+        }
+    }
+    for &a in &s.activity {
+        w.f64(a);
+    }
+    w.usize(s.order_heap.len());
+    for &v in &s.order_heap {
+        w.usize(v);
+    }
+    for &p in &s.order_position {
+        // `usize::MAX` marks absence; map it to `u64::MAX` portably.
+        w.u64(if p == usize::MAX { u64::MAX } else { p as u64 });
+    }
+    w.usize(s.trail.len());
+    for &lit in &s.trail {
+        w.u32(lit.code() as u32);
+    }
+    w.usize(s.qhead);
+    w.f64(s.var_inc);
+    w.f64(s.cla_inc);
+    w.boolean(s.ok);
+    w.usize(s.model.len());
+    for &m in &s.model {
+        w.opt_bool(m);
+    }
+    w.u64(s.stats.decisions);
+    w.u64(s.stats.propagations);
+    w.u64(s.stats.conflicts);
+    w.u64(s.stats.restarts);
+    w.u64(s.stats.learnt_clauses);
+    w.u64(s.stats.solve_calls);
+    w.usize(s.num_learnts);
+}
+
+fn decode_solver_snapshot(r: &mut Reader<'_>) -> Result<SolverSnapshot, CheckpointError> {
+    let config = SolverConfig {
+        var_decay: r.f64()?,
+        clause_decay: r.f64()?,
+        restart_base: r.u64()?,
+        learnt_limit_base: r.usize()?,
+    };
+    let clauses = {
+        let len = r.vec_len(10)?;
+        let mut clauses = Vec::with_capacity(len);
+        for _ in 0..len {
+            let lits_len = r.vec_len(4)?;
+            let mut lits = Vec::with_capacity(lits_len);
+            for _ in 0..lits_len {
+                lits.push(SatLit::from_code(r.u32()?));
+            }
+            clauses.push(ClauseSnapshot {
+                lits,
+                learnt: r.boolean()?,
+                activity: r.f64()?,
+                deleted: r.boolean()?,
+            });
+        }
+        clauses
+    };
+    let watches = {
+        let len = r.vec_len(8)?;
+        let mut watches = Vec::with_capacity(len);
+        for _ in 0..len {
+            watches.push(r.usize_vec()?);
+        }
+        watches
+    };
+    let num_vars = r.vec_len(1)?;
+    let mut assigns = Vec::with_capacity(num_vars);
+    for _ in 0..num_vars {
+        assigns.push(r.opt_bool()?);
+    }
+    let mut phase = Vec::with_capacity(num_vars);
+    for _ in 0..num_vars {
+        phase.push(r.boolean()?);
+    }
+    let mut level = Vec::with_capacity(num_vars);
+    for _ in 0..num_vars {
+        level.push(r.u32()?);
+    }
+    let mut reason = Vec::with_capacity(num_vars);
+    for _ in 0..num_vars {
+        reason.push(if r.boolean()? { Some(r.usize()?) } else { None });
+    }
+    let mut activity = Vec::with_capacity(num_vars);
+    for _ in 0..num_vars {
+        activity.push(r.f64()?);
+    }
+    let order_heap = r.usize_vec()?;
+    let mut order_position = Vec::with_capacity(num_vars);
+    for _ in 0..num_vars {
+        let raw = r.u64()?;
+        order_position.push(if raw == u64::MAX {
+            usize::MAX
+        } else {
+            usize::try_from(raw)
+                .map_err(|_| CheckpointError::Corrupt("heap position out of range"))?
+        });
+    }
+    let trail = {
+        let len = r.vec_len(4)?;
+        let mut trail = Vec::with_capacity(len);
+        for _ in 0..len {
+            trail.push(SatLit::from_code(r.u32()?));
+        }
+        trail
+    };
+    let qhead = r.usize()?;
+    let var_inc = r.f64()?;
+    let cla_inc = r.f64()?;
+    let ok = r.boolean()?;
+    let model = {
+        let len = r.vec_len(1)?;
+        let mut model = Vec::with_capacity(len);
+        for _ in 0..len {
+            model.push(r.opt_bool()?);
+        }
+        model
+    };
+    let stats = SolverStats {
+        decisions: r.u64()?,
+        propagations: r.u64()?,
+        conflicts: r.u64()?,
+        restarts: r.u64()?,
+        learnt_clauses: r.u64()?,
+        solve_calls: r.u64()?,
+    };
+    let num_learnts = r.usize()?;
+    Ok(SolverSnapshot {
+        config,
+        clauses,
+        watches,
+        assigns,
+        phase,
+        level,
+        reason,
+        activity,
+        order_heap,
+        order_position,
+        trail,
+        qhead,
+        var_inc,
+        cla_inc,
+        ok,
+        model,
+        stats,
+        num_learnts,
+    })
+}
+
+fn encode_circuit_snapshot(w: &mut Writer, s: &CircuitSatSnapshot) {
+    encode_solver_snapshot(w, &s.solver);
+    w.usize(s.node_var.len());
+    for &v in &s.node_var {
+        match v {
+            None => w.boolean(false),
+            Some(v) => {
+                w.boolean(true);
+                w.u32(v);
+            }
+        }
+    }
+    for &e in &s.encoded {
+        w.boolean(e);
+    }
+    w.u64(s.stats.total_calls);
+    w.u64(s.stats.sat_calls);
+    w.u64(s.stats.unsat_calls);
+    w.u64(s.stats.undetermined_calls);
+}
+
+fn decode_circuit_snapshot(r: &mut Reader<'_>) -> Result<CircuitSatSnapshot, CheckpointError> {
+    let solver = decode_solver_snapshot(r)?;
+    let num_nodes = r.vec_len(1)?;
+    let mut node_var = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        node_var.push(if r.boolean()? { Some(r.u32()?) } else { None });
+    }
+    let mut encoded = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        encoded.push(r.boolean()?);
+    }
+    let stats = QueryStats {
+        total_calls: r.u64()?,
+        sat_calls: r.u64()?,
+        unsat_calls: r.u64()?,
+        undetermined_calls: r.u64()?,
+    };
+    Ok(CircuitSatSnapshot {
+        solver,
+        node_var,
+        encoded,
+        stats,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The little-endian writer/reader.
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn boolean(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    fn opt_bool(&mut self, v: Option<bool>) {
+        self.u8(match v {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+    }
+
+    /// Bit-exact float encoding (restored activities must match exactly —
+    /// they steer VSIDS tie-breaking).
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn duration(&mut self, d: Duration) {
+        self.u64(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.remaining() < n {
+            return Err(CheckpointError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn usize(&mut self) -> Result<usize, CheckpointError> {
+        usize::try_from(self.u64()?).map_err(|_| CheckpointError::Corrupt("value out of range"))
+    }
+
+    fn boolean(&mut self) -> Result<bool, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CheckpointError::Corrupt("invalid boolean")),
+        }
+    }
+
+    fn opt_bool(&mut self) -> Result<Option<bool>, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(false)),
+            2 => Ok(Some(true)),
+            _ => Err(CheckpointError::Corrupt("invalid optional boolean")),
+        }
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn duration(&mut self) -> Result<Duration, CheckpointError> {
+        Ok(Duration::from_nanos(self.u64()?))
+    }
+
+    /// Reads a vector length and bounds it by the bytes actually left in
+    /// the stream (`min_elem_bytes` per element), so a corrupt length field
+    /// cannot trigger a pathological allocation.
+    fn vec_len(&mut self, min_elem_bytes: usize) -> Result<usize, CheckpointError> {
+        let len = self.usize()?;
+        if len.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(CheckpointError::Truncated);
+        }
+        Ok(len)
+    }
+
+    fn u64_vec(&mut self) -> Result<Vec<u64>, CheckpointError> {
+        let len = self.vec_len(8)?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(self.u64()?);
+        }
+        Ok(v)
+    }
+
+    fn usize_vec(&mut self) -> Result<Vec<usize>, CheckpointError> {
+        let len = self.vec_len(8)?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(self.usize()?);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fingerprint_aig() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let f = aig.and(a, b);
+        aig.add_output("f", f);
+        aig
+    }
+
+    #[test]
+    fn fingerprints_distinguish_structures() {
+        let base = fingerprint_aig();
+        let fp = netlist_fingerprint(&base);
+        assert_eq!(fp, netlist_fingerprint(&base.clone()), "deterministic");
+
+        let mut grown = base.clone();
+        let extra = grown.and(
+            Lit::positive(grown.inputs()[0]),
+            Lit::positive(grown.inputs()[0]),
+        );
+        grown.add_output("extra", extra);
+        assert_ne!(fp, netlist_fingerprint(&grown));
+
+        // Complementing an output changes the function, hence the print.
+        let mut flipped = base.clone();
+        let lit = flipped.outputs()[0].lit;
+        flipped.set_output_lit(0, !lit);
+        assert_ne!(fp, netlist_fingerprint(&flipped));
+    }
+
+    /// A synthetic but structurally rich checkpoint exercising every codec
+    /// branch (inflight batch, all proof outcomes, populated solvers).
+    fn sample_checkpoint() -> SweepCheckpoint {
+        let solver = SolverSnapshot {
+            config: SolverConfig::default(),
+            clauses: vec![
+                ClauseSnapshot {
+                    lits: vec![SatLit::from_code(0), SatLit::from_code(3)],
+                    learnt: false,
+                    activity: 0.0,
+                    deleted: false,
+                },
+                ClauseSnapshot {
+                    lits: vec![
+                        SatLit::from_code(2),
+                        SatLit::from_code(5),
+                        SatLit::from_code(1),
+                    ],
+                    learnt: true,
+                    activity: 1.5,
+                    deleted: true,
+                },
+            ],
+            watches: vec![vec![0], vec![1], vec![], vec![0, 1], vec![], vec![1]],
+            assigns: vec![Some(true), None, Some(false)],
+            phase: vec![true, false, true],
+            level: vec![0, 0, 0],
+            reason: vec![None, Some(1), None],
+            activity: vec![0.25, 1.0, 0.0],
+            order_heap: vec![1, 2],
+            order_position: vec![usize::MAX, 0, 1],
+            trail: vec![SatLit::from_code(0), SatLit::from_code(5)],
+            qhead: 2,
+            var_inc: 1.25,
+            cla_inc: 1.0,
+            ok: true,
+            model: vec![Some(true), Some(false), None],
+            stats: SolverStats {
+                decisions: 4,
+                propagations: 9,
+                conflicts: 2,
+                restarts: 1,
+                learnt_clauses: 1,
+                solve_calls: 3,
+            },
+            num_learnts: 0,
+        };
+        let circuit = CircuitSatSnapshot {
+            solver,
+            node_var: vec![None, Some(0), Some(1), None, Some(2)],
+            encoded: vec![false, true, true, false, true],
+            stats: QueryStats {
+                total_calls: 3,
+                sat_calls: 1,
+                unsat_calls: 1,
+                undetermined_calls: 1,
+            },
+        };
+        SweepCheckpoint {
+            fingerprint: 0xDEAD_BEEF_0123_4567,
+            primed: true,
+            engine: Engine::Stp,
+            config: SweepConfig::fast().checkpoint_every(7),
+            round: 2,
+            phase: PhasePod::Merging {
+                pending: vec![(9, 0), (7, 2)],
+                batch_index: 3,
+                inflight: Some(InflightPod {
+                    items: vec![ProofItem {
+                        candidate: 9,
+                        attempts: 1,
+                        drivers: vec![(4, true), (5, false)],
+                    }],
+                    results: vec![ProofResult {
+                        verdicts: vec![(4, false)],
+                        sat_outcome: Some(crate::observer::SatCallOutcome::Sat),
+                        outcome: ProofOutcome::CounterExample {
+                            assignment: vec![true, false, true],
+                        },
+                        attempts_used: 2,
+                        sat_time: Duration::from_micros(42),
+                    }],
+                    next: 0,
+                    settled: 0,
+                    conflicts: 1,
+                }),
+            },
+            merge_log: vec![(5, Lit::positive(3)), (6, Lit::FALSE)],
+            dont_touch: vec![8],
+            classes: vec![(vec![4, 7, 9], vec![false, true, false])],
+            constants: vec![ConstantCandidate {
+                node: 10,
+                value: true,
+            }],
+            num_patterns: 65,
+            pattern_words: vec![vec![0xAAAA, 0x1], vec![0x5555, 0x0], vec![0xF0F0, 0x1]],
+            resim: crate::resim::ResimSnapshot {
+                last_seen: vec![0, 1, 2, 2, 2],
+                events: 2,
+                resimulated: 7,
+                skipped: 3,
+            },
+            stats: StatsObserver {
+                rounds: 1,
+                merges: 2,
+                sat_calls_sat: 1,
+                sat_calls_unsat: 2,
+                checkpoints: 1,
+                ..StatsObserver::new()
+            },
+            sweep_sat_calls: 3,
+            committed_candidates: 4,
+            simulation_time: Duration::from_millis(12),
+            sat_time: Duration::from_millis(7),
+            elapsed: Duration::from_millis(20),
+            main_solver: circuit.clone(),
+            pool: vec![circuit.clone(), circuit],
+            pool_committed: vec![2, 1],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_the_sample() {
+        let checkpoint = sample_checkpoint();
+        let bytes = checkpoint.encode();
+        let decoded = SweepCheckpoint::decode(&bytes).expect("decodes");
+        assert_eq!(decoded, checkpoint);
+        // Re-encoding is byte-stable.
+        assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = sample_checkpoint().encode();
+        for len in 0..bytes.len() {
+            let err = SweepCheckpoint::decode(&bytes[..len])
+                .expect_err("a strict prefix must not decode");
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated
+                        | CheckpointError::BadMagic
+                        | CheckpointError::Corrupt(_)
+                ),
+                "unexpected error at prefix {len}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_bit_flips_fail_the_checksum() {
+        let bytes = sample_checkpoint().encode();
+        // Flip one byte at a spread of payload positions (past the header,
+        // before the checksum tail): every flip must be caught.
+        for position in [20usize, bytes.len() / 2, bytes.len() - 9] {
+            let mut corrupt = bytes.clone();
+            corrupt[position] ^= 0x40;
+            assert_eq!(
+                SweepCheckpoint::decode(&corrupt),
+                Err(CheckpointError::Corrupt("payload checksum mismatch")),
+                "flip at {position}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut bytes = sample_checkpoint().encode();
+        let original = bytes.clone();
+
+        bytes[0] ^= 0xFF;
+        assert_eq!(
+            SweepCheckpoint::decode(&bytes),
+            Err(CheckpointError::BadMagic)
+        );
+
+        bytes = original.clone();
+        bytes[8] = 99; // the version field follows the 8-byte magic
+        assert_eq!(
+            SweepCheckpoint::decode(&bytes),
+            Err(CheckpointError::UnsupportedVersion(99))
+        );
+
+        bytes = original.clone();
+        bytes.push(0);
+        // An appended byte shifts the checksum tail, so the checksum (not
+        // the trailing-bytes parser check) rejects it.
+        assert_eq!(
+            SweepCheckpoint::decode(&bytes),
+            Err(CheckpointError::Corrupt("payload checksum mismatch"))
+        );
+        assert!(SweepCheckpoint::decode(&original).is_ok());
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_a_file() {
+        let checkpoint = sample_checkpoint();
+        let path = std::env::temp_dir().join(format!(
+            "stp_sweep_checkpoint_test_{}.ckpt",
+            std::process::id()
+        ));
+        checkpoint.save(&path).expect("writes");
+        let loaded = SweepCheckpoint::load(&path).expect("reads");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(loaded, checkpoint);
+
+        let missing = SweepCheckpoint::load(path.with_extension("missing"));
+        assert!(matches!(missing, Err(CheckpointError::Io(_))));
+    }
+
+    // -- proptest: encode ∘ decode = id over random session states ---------
+
+    fn arb_signature_words() -> impl Strategy<Value = Vec<u64>> {
+        proptest::collection::vec(any::<u64>(), 1..4)
+    }
+
+    fn arb_opt_bool() -> impl Strategy<Value = Option<bool>> {
+        (0u8..3).prop_map(|v| match v {
+            0 => None,
+            1 => Some(false),
+            _ => Some(true),
+        })
+    }
+
+    fn arb_proof_outcome() -> impl Strategy<Value = ProofOutcome> {
+        prop_oneof![
+            (any::<usize>(), any::<bool>(), any::<bool>()).prop_map(
+                |(driver, complemented, by_simulation)| ProofOutcome::Merge {
+                    driver: driver % 1000,
+                    complemented,
+                    by_simulation,
+                }
+            ),
+            proptest::collection::vec(any::<bool>(), 0..8)
+                .prop_map(|assignment| ProofOutcome::CounterExample { assignment }),
+            Just(ProofOutcome::DontTouch),
+            Just(ProofOutcome::Exhausted),
+            Just(ProofOutcome::Aborted),
+        ]
+    }
+
+    fn arb_proof_result() -> impl Strategy<Value = ProofResult> {
+        (
+            proptest::collection::vec((0usize..1000, any::<bool>()), 0..4),
+            prop_oneof![
+                Just(None),
+                Just(Some(crate::observer::SatCallOutcome::Sat)),
+                Just(Some(crate::observer::SatCallOutcome::Unsat)),
+                Just(Some(crate::observer::SatCallOutcome::Undetermined)),
+            ],
+            arb_proof_outcome(),
+            0usize..100,
+            0u64..1_000_000,
+        )
+            .prop_map(|(verdicts, sat_outcome, outcome, attempts_used, nanos)| {
+                ProofResult {
+                    verdicts,
+                    sat_outcome,
+                    outcome,
+                    attempts_used,
+                    sat_time: Duration::from_nanos(nanos),
+                }
+            })
+    }
+
+    fn arb_inflight() -> impl Strategy<Value = Option<InflightPod>> {
+        (
+            any::<bool>(),
+            proptest::collection::vec(
+                (
+                    0usize..1000,
+                    0usize..5,
+                    proptest::collection::vec((0usize..1000, any::<bool>()), 0..3),
+                ),
+                0..3,
+            ),
+            proptest::collection::vec(arb_proof_result(), 0..3),
+            0usize..4,
+            0usize..4,
+            0usize..4,
+        )
+            .prop_map(|(present, items, results, next, settled, conflicts)| {
+                if !present {
+                    return None;
+                }
+                Some(InflightPod {
+                    items: items
+                        .into_iter()
+                        .map(|(candidate, attempts, drivers)| ProofItem {
+                            candidate,
+                            attempts,
+                            drivers,
+                        })
+                        .collect(),
+                    results,
+                    next,
+                    settled,
+                    conflicts,
+                })
+            })
+    }
+
+    fn arb_phase() -> impl Strategy<Value = PhasePod> {
+        prop_oneof![
+            Just(PhasePod::Start),
+            (
+                proptest::collection::vec((0usize..1000, any::<bool>()), 0..6),
+                0usize..8,
+            )
+                .prop_map(|(queue, next)| PhasePod::Constants {
+                    queue: queue
+                        .into_iter()
+                        .map(|(node, value)| ConstantCandidate { node, value })
+                        .collect(),
+                    next,
+                }),
+            (
+                proptest::collection::vec((0usize..1000, 0usize..10), 0..8),
+                0usize..50,
+                arb_inflight(),
+            )
+                .prop_map(|(pending, batch_index, inflight)| PhasePod::Merging {
+                    pending,
+                    batch_index,
+                    inflight,
+                }),
+            Just(PhasePod::Done),
+        ]
+    }
+
+    /// A small random (not necessarily semantically valid) solver snapshot:
+    /// the codec must round-trip arbitrary states byte-exactly; semantic
+    /// validation is the restore path's job.
+    fn arb_solver_snapshot() -> impl Strategy<Value = SolverSnapshot> {
+        (
+            (
+                proptest::collection::vec(
+                    (
+                        proptest::collection::vec(any::<u32>(), 1..4),
+                        any::<bool>(),
+                        any::<u32>(),
+                        any::<bool>(),
+                    ),
+                    0..4,
+                ),
+                proptest::collection::vec(proptest::collection::vec(0usize..10, 0..3), 0..6),
+                proptest::collection::vec(arb_opt_bool(), 0..5),
+            ),
+            (
+                proptest::collection::vec(any::<u32>(), 0..5),
+                proptest::collection::vec(any::<u32>(), 0..4),
+                0usize..8,
+                any::<u32>(),
+                any::<u32>(),
+                any::<bool>(),
+            ),
+        )
+            .prop_map(
+                |(
+                    (raw_clauses, watches, assigns),
+                    (levels, trail, qhead, var_inc, cla_inc, ok),
+                )| {
+                    let n = assigns.len();
+                    SolverSnapshot {
+                        config: SolverConfig::default(),
+                        clauses: raw_clauses
+                            .into_iter()
+                            .map(|(lits, learnt, activity, deleted)| ClauseSnapshot {
+                                lits: lits.into_iter().map(SatLit::from_code).collect(),
+                                learnt,
+                                activity: f64::from(activity),
+                                deleted,
+                            })
+                            .collect(),
+                        watches,
+                        phase: vec![false; n],
+                        // The codec relies on the per-variable vectors
+                        // sharing the arity of `assigns`; pad accordingly.
+                        level: (0..n)
+                            .map(|i| levels.get(i).copied().unwrap_or(0))
+                            .collect(),
+                        reason: vec![None; n],
+                        activity: vec![0.0; n],
+                        order_heap: Vec::new(),
+                        order_position: vec![usize::MAX; n],
+                        trail: trail.into_iter().map(SatLit::from_code).collect(),
+                        qhead,
+                        var_inc: f64::from(var_inc),
+                        cla_inc: f64::from(cla_inc),
+                        ok,
+                        model: Vec::new(),
+                        stats: SolverStats::default(),
+                        num_learnts: 0,
+                        assigns,
+                    }
+                },
+            )
+    }
+
+    fn arb_checkpoint() -> impl Strategy<Value = SweepCheckpoint> {
+        (
+            (
+                any::<u64>(),
+                any::<bool>(),
+                any::<bool>(),
+                arb_phase(),
+                proptest::collection::vec((0usize..1000, any::<u32>()), 0..6),
+                proptest::collection::vec(0usize..1000, 0..5),
+            ),
+            (
+                proptest::collection::vec(arb_signature_words(), 0..4),
+                arb_solver_snapshot(),
+                proptest::collection::vec(arb_solver_snapshot(), 0..3),
+                proptest::collection::vec(any::<u64>(), 0..4),
+                any::<u64>(),
+                any::<u64>(),
+            ),
+        )
+            .prop_map(
+                |(
+                    (fingerprint, primed, stp, phase, merges, dont_touch),
+                    (pattern_words, main, pool_solvers, pool_committed, sat_calls, committed),
+                )| {
+                    let wrap = |solver: SolverSnapshot| CircuitSatSnapshot {
+                        node_var: vec![None; 3],
+                        encoded: vec![false; 3],
+                        stats: QueryStats::default(),
+                        solver,
+                    };
+                    SweepCheckpoint {
+                        fingerprint,
+                        primed,
+                        engine: if stp { Engine::Stp } else { Engine::Baseline },
+                        config: SweepConfig::default(),
+                        round: 0,
+                        phase,
+                        merge_log: merges
+                            .into_iter()
+                            .map(|(node, lit)| (node, Lit::from_index(lit)))
+                            .collect(),
+                        dont_touch,
+                        classes: vec![(vec![1, 2], vec![false, true])],
+                        constants: Vec::new(),
+                        num_patterns: 64,
+                        pattern_words,
+                        resim: crate::resim::ResimSnapshot {
+                            last_seen: vec![0; 4],
+                            events: 0,
+                            resimulated: 0,
+                            skipped: 0,
+                        },
+                        stats: StatsObserver::new(),
+                        sweep_sat_calls: sat_calls,
+                        committed_candidates: committed,
+                        simulation_time: Duration::ZERO,
+                        sat_time: Duration::ZERO,
+                        elapsed: Duration::ZERO,
+                        main_solver: wrap(main),
+                        pool: pool_solvers.into_iter().map(wrap).collect(),
+                        pool_committed,
+                    }
+                },
+            )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// `decode ∘ encode = id` over random session states, and encoding
+        /// is byte-stable across the round trip.
+        #[test]
+        fn checkpoint_codec_round_trips(checkpoint in arb_checkpoint()) {
+            let bytes = checkpoint.encode();
+            let decoded = SweepCheckpoint::decode(&bytes).expect("own encoding decodes");
+            prop_assert_eq!(&decoded, &checkpoint);
+            prop_assert_eq!(decoded.encode(), bytes);
+        }
+
+        /// No random prefix of a valid encoding decodes (truncation is
+        /// always detected), and no prefix panics.
+        #[test]
+        fn checkpoint_codec_rejects_truncations(checkpoint in arb_checkpoint(), cut in 0usize..1000) {
+            let bytes = checkpoint.encode();
+            let len = bytes.len() * cut / 1000;
+            if len < bytes.len() {
+                prop_assert!(SweepCheckpoint::decode(&bytes[..len]).is_err());
+            }
+        }
+    }
+}

@@ -56,6 +56,12 @@ impl EquivClass {
         self.phases[idx]
     }
 
+    /// Per-member complement phases, aligned with [`EquivClass::members`]
+    /// (the representative's phase is always `false`).
+    pub fn phases(&self) -> &[bool] {
+        &self.phases
+    }
+
     /// Number of members.
     pub fn len(&self) -> usize {
         self.members.len()
@@ -119,6 +125,36 @@ impl EquivClasses {
     /// The candidate classes (each with at least two members).
     pub fn classes(&self) -> &[EquivClass] {
         &self.classes
+    }
+
+    /// Rebuilds a manager from raw class parts (member/phase vectors) and
+    /// constant candidates, validating the invariants the engine relies on.
+    /// Used to restore a checkpointed session; corrupt data is rejected with
+    /// an error message instead of producing a manager that misbehaves.
+    pub fn from_parts(
+        parts: Vec<(Vec<NodeId>, Vec<bool>)>,
+        constants: Vec<ConstantCandidate>,
+    ) -> Result<Self, &'static str> {
+        let mut classes = Vec::with_capacity(parts.len());
+        for (members, phases) in parts {
+            if members.len() < 2 {
+                return Err("equivalence class with fewer than two members");
+            }
+            if members.len() != phases.len() {
+                return Err("equivalence class phases disagree with members");
+            }
+            if members.windows(2).any(|w| w[0] >= w[1]) {
+                return Err("equivalence class members are not sorted and unique");
+            }
+            if phases[0] {
+                return Err("equivalence class representative has a nonzero phase");
+            }
+            classes.push(EquivClass { members, phases });
+        }
+        if constants.windows(2).any(|w| w[0].node >= w[1].node) {
+            return Err("constant candidates are not sorted and unique");
+        }
+        Ok(EquivClasses { classes, constants })
     }
 
     /// The candidate constant nodes.

@@ -8,6 +8,7 @@
 //! than asserted.
 
 use crate::budget::BudgetCause;
+use crate::checkpoint::SweepCheckpoint;
 use crate::report::SweepResult;
 use std::fmt;
 
@@ -22,13 +23,26 @@ pub enum SweepError {
     ///
     /// The partial result is *not* discarded: `partial.aig` contains every
     /// merge proved so far and is functionally equivalent to the input;
-    /// `partial.report` covers the work done up to the stop.
+    /// `partial.report` covers the work done up to the stop.  When the run
+    /// got far enough to prime its session, `checkpoint` carries the exact
+    /// stop-point state: resuming it with [`crate::Sweeper::resume_from`]
+    /// completes the sweep with results identical to an uninterrupted run.
     BudgetExhausted {
         /// Which budget dimension stopped the run.
         cause: BudgetCause,
         /// The functionally equivalent partial result.
         partial: Box<SweepResult>,
+        /// Resumable stop-point state (`None` only if the budget tripped
+        /// before the session was primed — nothing to resume).
+        checkpoint: Option<Box<SweepCheckpoint>>,
     },
+    /// A [`crate::SweepCheckpoint`] could not be used: the bytes are
+    /// truncated or corrupt, the format version is unsupported, or the
+    /// checkpoint was taken against a different network than the one the
+    /// resume targets (netlist fingerprint mismatch).  Resuming against a
+    /// mutated network would silently corrupt results, so it is rejected
+    /// up front.
+    CheckpointMismatch(String),
     /// A promised consistency guarantee could not be delivered: an
     /// in-pipeline `verify` pass found the swept network inequivalent to
     /// the pipeline input, or could not *prove* equivalence within its
@@ -63,18 +77,29 @@ impl SweepError {
             _ => None,
         }
     }
+
+    /// Extracts the resumable checkpoint of a budget-exhausted run, if any.
+    pub fn into_checkpoint(self) -> Option<SweepCheckpoint> {
+        match self {
+            SweepError::BudgetExhausted { checkpoint, .. } => checkpoint.map(|c| *c),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SweepError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SweepError::InvalidConfig(msg) => write!(f, "invalid sweep configuration: {msg}"),
-            SweepError::BudgetExhausted { cause, partial } => write!(
+            SweepError::BudgetExhausted { cause, partial, .. } => write!(
                 f,
                 "sweep budget exhausted ({cause}) after {} merges and {} constants; \
                  partial result has {} gates",
                 partial.report.merges, partial.report.constants, partial.report.gates_after
             ),
+            SweepError::CheckpointMismatch(msg) => {
+                write!(f, "checkpoint cannot be used: {msg}")
+            }
             SweepError::Inconsistent(msg) => write!(f, "internal inconsistency: {msg}"),
         }
     }
@@ -118,10 +143,14 @@ mod tests {
         let exhausted = SweepError::BudgetExhausted {
             cause: BudgetCause::Deadline,
             partial: Box::new(dummy_result()),
+            checkpoint: None,
         };
         let msg = exhausted.to_string();
         assert!(msg.contains("deadline"), "{msg}");
         assert!(msg.contains("2 merges"), "{msg}");
+
+        let mismatch = SweepError::CheckpointMismatch("netlist fingerprint differs".into());
+        assert!(mismatch.to_string().contains("fingerprint"), "{mismatch}");
 
         let inconsistent = SweepError::Inconsistent("verify pass failed".into());
         assert!(inconsistent.to_string().contains("verify pass failed"));
@@ -139,6 +168,7 @@ mod tests {
         let exhausted = SweepError::BudgetExhausted {
             cause: BudgetCause::SatCalls,
             partial: Box::new(dummy_result()),
+            checkpoint: None,
         };
         assert_eq!(exhausted.into_partial().unwrap().report.merges, 2);
         assert!(SweepError::InvalidConfig("x".into())
@@ -146,6 +176,9 @@ mod tests {
             .is_none());
         assert!(SweepError::Inconsistent("x".into())
             .into_partial()
+            .is_none());
+        assert!(SweepError::CheckpointMismatch("x".into())
+            .into_checkpoint()
             .is_none());
     }
 }

@@ -61,13 +61,17 @@
 //! Multi-pass flows compose through [`Pipeline`], and long runs stay
 //! interruptible through [`Budget`] (deadline, SAT-call cap,
 //! [`CancelToken`]) — a tripped budget returns the partial result inside
-//! [`SweepError::BudgetExhausted`] instead of discarding the work done.
+//! [`SweepError::BudgetExhausted`] instead of discarding the work done,
+//! together with a resumable [`SweepCheckpoint`] ([`checkpoint`]):
+//! [`Sweeper::resume_from`] continues a cancelled run with SAT calls,
+//! merges and output bytes identical to an uninterrupted sweep.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod budget;
 pub mod cec;
+pub mod checkpoint;
 pub mod equiv;
 pub mod error;
 pub mod fraig;
@@ -83,6 +87,7 @@ pub mod sweeper;
 pub mod window;
 
 pub use budget::{Budget, BudgetCause, CancelToken};
+pub use checkpoint::{netlist_fingerprint, CheckpointError, SweepCheckpoint};
 pub use error::SweepError;
 pub use observer::{NoopObserver, Observer, SatCallOutcome, StatsObserver};
 pub use pipeline::{PassReport, Pipeline, PipelineResult};

@@ -11,6 +11,7 @@
 //! these events, so an external `StatsObserver` attached to a run sees the
 //! same numbers the run returns.
 
+use crate::checkpoint::SweepCheckpoint;
 use crate::report::SweepReport;
 use netlist::{Lit, NodeId};
 
@@ -90,6 +91,18 @@ pub trait Observer {
     fn on_batch_proved(&mut self, batch: usize, settled: usize, conflicts: usize) {
         let _ = (batch, settled, conflicts);
     }
+
+    /// A periodic checkpoint was captured (every
+    /// [`crate::SweepConfig::checkpoint_interval`] committed candidates).
+    /// The checkpoint describes the session state at a candidate boundary:
+    /// persist it (e.g. [`SweepCheckpoint::encode`] to disk) and a later
+    /// [`crate::Sweeper::resume_from`] continues the run with results
+    /// identical to an uninterrupted sweep.  Checkpoints are only captured
+    /// at deterministic points, so the event stream is identical for every
+    /// `sat_parallelism` and `num_threads`.
+    fn on_checkpoint(&mut self, checkpoint: &SweepCheckpoint) {
+        let _ = checkpoint;
+    }
 }
 
 /// The no-op observer (every method keeps its default body).
@@ -132,6 +145,10 @@ pub struct StatsObserver {
     pub sat_batches: u64,
     /// Speculative SAT calls discarded at batch commit barriers.
     pub sat_parallel_conflicts: u64,
+    /// Periodic checkpoints captured (not part of [`SweepReport`]: a
+    /// resumed run re-emits its own checkpoints, while the report counters
+    /// stay identical to an uninterrupted run).
+    pub checkpoints: u64,
 }
 
 impl StatsObserver {
@@ -213,6 +230,10 @@ impl Observer for StatsObserver {
     fn on_batch_proved(&mut self, _batch: usize, _settled: usize, conflicts: usize) {
         self.sat_batches += 1;
         self.sat_parallel_conflicts += conflicts as u64;
+    }
+
+    fn on_checkpoint(&mut self, _checkpoint: &SweepCheckpoint) {
+        self.checkpoints += 1;
     }
 }
 

@@ -51,6 +51,7 @@ fn budget_stop(cause: BudgetCause, current: Aig, aggregate: SweepReport) -> Swee
             aig: current,
             report: aggregate,
         }),
+        checkpoint: None,
     }
 }
 
@@ -337,7 +338,11 @@ impl<'o> Pipeline<'o> {
                 *current = result.aig;
                 Ok(())
             }
-            Err(SweepError::BudgetExhausted { cause, partial }) => {
+            Err(SweepError::BudgetExhausted {
+                cause,
+                partial,
+                checkpoint,
+            }) => {
                 aggregate.merge(&partial.report);
                 passes.push(PassReport {
                     name,
@@ -346,12 +351,16 @@ impl<'o> Pipeline<'o> {
                     report: Some(partial.report),
                     time: partial.report.total_time,
                 });
+                // The interrupted sweep pass's checkpoint travels with the
+                // pipeline error: resuming it completes that pass exactly;
+                // the passes after it have to be re-run by the caller.
                 Err(SweepError::BudgetExhausted {
                     cause,
                     partial: Box::new(SweepResult {
                         aig: partial.aig,
                         report: *aggregate,
                     }),
+                    checkpoint,
                 })
             }
             Err(other) => Err(other),

@@ -99,7 +99,7 @@ pub enum ProofOutcome {
 }
 
 /// The result of speculatively proving one [`ProofItem`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProofResult {
     /// Window-refinement verdicts in driver order (`(driver, equivalent)`),
     /// replayed to observers on commit.
@@ -253,6 +253,20 @@ impl<'a> ParallelProver<'a> {
             .into_iter()
             .map(|slot| slot.expect("every item was claimed by a worker"))
             .collect()
+    }
+
+    /// Proves a single item on its pool solver, outside any batch — used by
+    /// the session to re-prove an item whose speculative proof was aborted
+    /// by a budget stop (the aborted worker never touched its solver slot,
+    /// so re-proving on the restored slot reproduces exactly the query an
+    /// uninterrupted run would have issued).
+    pub fn prove_one(
+        &self,
+        item: &ProofItem,
+        solver: &mut CircuitSat<'_>,
+        budget: &WorkerBudget<'_>,
+    ) -> ProofResult {
+        self.prove_item(item, solver, budget)
     }
 
     /// Proves one item: the window-refinement filter followed by at most one

@@ -43,6 +43,22 @@ pub struct SweepConfig {
     /// batch on the calling thread; any value commits the same SAT calls,
     /// counter-examples and merges in the same order.
     pub sat_parallelism: usize,
+    /// Emit a [`crate::SweepCheckpoint`] through
+    /// [`crate::Observer::on_checkpoint`] every this many committed
+    /// candidates (settled merge candidates plus processed constant
+    /// candidates).  `0` (the default) disables periodic checkpoints; a
+    /// budget-stopped run still carries a final checkpoint inside
+    /// [`crate::SweepError::BudgetExhausted`] either way.  Checkpoints never
+    /// change the sweep result.
+    pub checkpoint_interval: usize,
+    /// Reset each [`crate::prover::ParallelProver`] pool solver after it has
+    /// served this many *committed* SAT queries, bounding clause
+    /// accumulation on very long runs.  Keyed on the committed query count,
+    /// the resets happen at identical points for every `sat_parallelism` and
+    /// `num_threads`, so determinism is preserved.  `0` (the default)
+    /// disables resets — a reset discards learnt clauses, so runs with
+    /// different intervals may commit different (equally correct) sweeps.
+    pub solver_reset_interval: u64,
 }
 
 impl Default for SweepConfig {
@@ -58,6 +74,8 @@ impl Default for SweepConfig {
             window_refinement: true,
             num_threads: 1,
             sat_parallelism: 1,
+            checkpoint_interval: 0,
+            solver_reset_interval: 0,
         }
     }
 }
@@ -162,6 +180,20 @@ impl SweepConfig {
     /// rejected by [`SweepConfig::validate`].
     pub fn sat_parallelism(mut self, sat_parallelism: usize) -> Self {
         self.sat_parallelism = sat_parallelism;
+        self
+    }
+
+    /// Sets the periodic checkpoint cadence in committed candidates
+    /// (see [`SweepConfig::checkpoint_interval`]; `0` disables).
+    pub fn checkpoint_every(mut self, candidates: usize) -> Self {
+        self.checkpoint_interval = candidates;
+        self
+    }
+
+    /// Sets the per-slot solver hygiene interval in committed SAT queries
+    /// (see [`SweepConfig::solver_reset_interval`]; `0` disables).
+    pub fn with_solver_reset_interval(mut self, queries: u64) -> Self {
+        self.solver_reset_interval = queries;
         self
     }
 
@@ -386,7 +418,9 @@ mod tests {
             .with_window_limit(5)
             .with_seed(42)
             .parallelism(4)
-            .sat_parallelism(3);
+            .sat_parallelism(3)
+            .checkpoint_every(50)
+            .with_solver_reset_interval(128);
         assert_eq!(config.num_initial_patterns, 99);
         assert_eq!(config.conflict_limit, 7);
         assert_eq!(config.tfi_limit, 3);
@@ -394,6 +428,8 @@ mod tests {
         assert_eq!(config.seed, 42);
         assert_eq!(config.num_threads, 4);
         assert_eq!(config.sat_parallelism, 3);
+        assert_eq!(config.checkpoint_interval, 50);
+        assert_eq!(config.solver_reset_interval, 128);
     }
 
     #[test]
@@ -406,6 +442,8 @@ mod tests {
         ] {
             assert_eq!(config.num_threads, 1, "parallelism is opt-in");
             assert_eq!(config.sat_parallelism, 1, "SAT parallelism is opt-in");
+            assert_eq!(config.checkpoint_interval, 0, "checkpoints are opt-in");
+            assert_eq!(config.solver_reset_interval, 0, "resets are opt-in");
         }
     }
 

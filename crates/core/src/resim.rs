@@ -191,6 +191,48 @@ impl ResimEngine {
     pub fn is_dirty(&self, node: NodeId) -> bool {
         self.is_and[node] && self.last_seen[node] != self.events
     }
+
+    /// Captures the dirty-set state for a checkpoint (the `is_and` map is a
+    /// pure function of the network and is re-derived on restore).
+    pub fn snapshot(&self) -> ResimSnapshot {
+        ResimSnapshot {
+            last_seen: self.last_seen.clone(),
+            events: self.events,
+            resimulated: self.resimulated,
+            skipped: self.skipped,
+        }
+    }
+
+    /// Rebuilds the bookkeeper for `aig` from a snapshot taken against the
+    /// same network; a wrong-sized snapshot is rejected.
+    pub fn from_snapshot(aig: &Aig, snap: &ResimSnapshot) -> Result<Self, &'static str> {
+        if snap.last_seen.len() != aig.num_nodes() {
+            return Err("resimulation snapshot was taken against a different network");
+        }
+        if snap.last_seen.iter().any(|&e| e > snap.events) {
+            return Err("resimulation snapshot records an event from the future");
+        }
+        let mut engine = ResimEngine::new(aig);
+        engine.last_seen = snap.last_seen.clone();
+        engine.events = snap.events;
+        engine.resimulated = snap.resimulated;
+        engine.skipped = snap.skipped;
+        Ok(engine)
+    }
+}
+
+/// The serialisable state of a [`ResimEngine`] (see
+/// [`ResimEngine::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResimSnapshot {
+    /// The event epoch each node was last evaluated in.
+    pub last_seen: Vec<u64>,
+    /// Resimulation events recorded so far.
+    pub events: u64,
+    /// Total AND nodes evaluated across all events.
+    pub resimulated: u64,
+    /// Total AND nodes skipped across all events.
+    pub skipped: u64,
 }
 
 #[cfg(test)]

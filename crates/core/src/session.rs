@@ -10,6 +10,18 @@
 //! order, so the committed SAT calls, counter-examples and merges — and the
 //! swept network — are identical for every parallelism setting.
 //!
+//! The session is a resumable phase machine: its execution cursor (constant
+//! queue, pending merge queue, half-committed batch) lives in an explicit
+//! phase value, and every candidate boundary can be captured as a
+//! [`SweepCheckpoint`] — either periodically
+//! ([`SweepConfig::checkpoint_interval`], delivered through
+//! [`crate::Observer::on_checkpoint`]) or when the [`Budget`] stops the run
+//! (the checkpoint travels inside
+//! [`crate::SweepError::BudgetExhausted`]).  [`Sweeper::resume_from`]
+//! restores the full state — solver pool included, see
+//! [`crate::checkpoint`] — and the resumed run commits SAT calls, merges
+//! and output bytes identical to an uninterrupted one.
+//!
 //! ```
 //! use netlist::Aig;
 //! use stp_sweep::{Engine, StatsObserver, SweepConfig, Sweeper};
@@ -33,6 +45,7 @@
 //! ```
 
 use crate::budget::{Budget, BudgetCause};
+use crate::checkpoint::{netlist_fingerprint, InflightPod, PhasePod, SweepCheckpoint};
 use crate::equiv::EquivClasses;
 use crate::error::SweepError;
 use crate::observer::{Observer, SatCallOutcome, StatsObserver};
@@ -72,11 +85,16 @@ impl fmt::Display for Engine {
     }
 }
 
+/// The session's execution cursor — the serialisable pod types double as
+/// the live state, so a checkpoint is a plain clone of the cursor.
+type Phase = PhasePod;
+
 /// Builder of a sweeping run.
 ///
 /// Collects the engine, [`SweepConfig`], [`Budget`] and an optional
-/// [`Observer`], then either runs to completion ([`Sweeper::run`]) or hands
-/// out a primed [`SweepSession`] ([`Sweeper::begin`]).
+/// [`Observer`], then either runs to completion ([`Sweeper::run`]), hands
+/// out a primed [`SweepSession`] ([`Sweeper::begin`]), or restores a
+/// checkpointed session ([`Sweeper::resume_from`]).
 #[derive(Default)]
 pub struct Sweeper<'o> {
     engine: Engine,
@@ -129,6 +147,37 @@ impl<'o> Sweeper<'o> {
         SweepSession::new(aig, self)
     }
 
+    /// Restores a checkpointed session against the *same* network and
+    /// returns it ready to continue.
+    ///
+    /// The engine and configuration of the resumed run come from the
+    /// checkpoint (mixing configurations would break the identity
+    /// guarantee); the builder contributes the budget and the observer for
+    /// the resumed leg.  Budget dimensions are measured from the resume
+    /// point: a deadline counts fresh wall-clock, while `max_sat_calls`
+    /// caps the *cumulative* SAT-call total (the checkpoint carries the
+    /// calls already committed).
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::CheckpointMismatch`] if the checkpoint was taken
+    /// against a network with a different fingerprint, or if its payload is
+    /// structurally inconsistent with `aig` (corrupt or hand-edited data).
+    ///
+    /// # Guarantee
+    ///
+    /// A run cancelled at any candidate boundary and resumed through this
+    /// method commits exactly the SAT calls, counter-examples and merges an
+    /// uninterrupted run would have committed, and produces byte-identical
+    /// AIGER output — for every `sat_parallelism` × `num_threads`.
+    pub fn resume_from<'n>(
+        self,
+        aig: &'n Aig,
+        checkpoint: &SweepCheckpoint,
+    ) -> Result<SweepSession<'n, 'o>, SweepError> {
+        SweepSession::resume(aig, self, checkpoint)
+    }
+
     /// Runs the sweep to completion (or until the budget trips).
     ///
     /// Shorthand for `self.begin(aig)?.run()`.
@@ -139,7 +188,8 @@ impl<'o> Sweeper<'o> {
 
 /// An in-flight sweeping run over a borrowed network.
 ///
-/// Created by [`Sweeper::begin`]; [`SweepSession::run`] executes the
+/// Created by [`Sweeper::begin`] (fresh) or [`Sweeper::resume_from`]
+/// (restored from a [`SweepCheckpoint`]); [`SweepSession::run`] executes the
 /// remaining phases (constant substitution, pairwise merging, cleanup) and
 /// returns the [`SweepResult`].  The session borrows the input network for
 /// its lifetime — the result is a fresh, functionally equivalent [`Aig`].
@@ -157,13 +207,40 @@ pub struct SweepSession<'n, 'o> {
     windows: Option<WindowIndex>,
     resim: ResimEngine,
     merged: Vec<Option<Lit>>,
+    /// Ordered log of applied merges; replaying it reconstructs `result`
+    /// and `merged` when a checkpoint is restored.
+    merge_log: Vec<(NodeId, Lit)>,
     dont_touch: Vec<bool>,
     stats: StatsObserver,
     simulation_time: Duration,
     sat_time: Duration,
     started: Instant,
+    /// Wall-clock consumed before this session leg (nonzero for resumed
+    /// sessions; added to the final report's total time).
+    elapsed_base: Duration,
     sweep_sat_calls: u64,
     stopped: Option<BudgetCause>,
+    /// The execution cursor (see [`crate::checkpoint`]).
+    phase: Phase,
+    /// The persistent prover pool: item `i` of every batch runs on slot
+    /// `i`, so each slot's incremental state (lazily encoded cones, learned
+    /// clauses) is a pure function of the deterministic batch sequence —
+    /// reuse without a determinism leak.
+    solver_pool: Vec<CircuitSat<'n>>,
+    /// Committed SAT queries per pool slot; drives the deterministic
+    /// size-triggered hygiene resets
+    /// ([`SweepConfig::solver_reset_interval`]).
+    pool_committed: Vec<u64>,
+    /// Settled candidates so far (constants processed plus merge candidates
+    /// settled at batch barriers) — the periodic-checkpoint cursor.
+    committed_candidates: u64,
+    last_checkpoint: u64,
+    /// Whether priming ran (patterns, classes).  A pre-tripped budget skips
+    /// priming; such a session resumes by re-priming from scratch.
+    primed: bool,
+    /// The checkpoint captured at a budget stop, handed back inside
+    /// [`SweepError::BudgetExhausted`].
+    stop_checkpoint: Option<Box<SweepCheckpoint>>,
 }
 
 impl<'n, 'o> SweepSession<'n, 'o> {
@@ -201,13 +278,22 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                 windows: None,
                 resim: ResimEngine::new(aig),
                 merged: vec![None; aig.num_nodes()],
+                merge_log: Vec::new(),
                 dont_touch: vec![false; aig.num_nodes()],
                 stats: StatsObserver::new(),
                 simulation_time: Duration::ZERO,
                 sat_time: Duration::ZERO,
                 started,
+                elapsed_base: Duration::ZERO,
                 sweep_sat_calls: 0,
                 stopped: Some(cause),
+                phase: Phase::Start,
+                solver_pool: Vec::new(),
+                pool_committed: vec![0; MAX_BATCH],
+                committed_candidates: 0,
+                last_checkpoint: 0,
+                primed: false,
+                stop_checkpoint: None,
             };
             session.notify_round_start();
             return Ok(session);
@@ -263,16 +349,205 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             windows,
             resim: ResimEngine::new(aig),
             merged: vec![None; aig.num_nodes()],
+            merge_log: Vec::new(),
             dont_touch: vec![false; aig.num_nodes()],
             stats: StatsObserver::new(),
             simulation_time,
             sat_time: Duration::ZERO,
             started,
+            elapsed_base: Duration::ZERO,
             sweep_sat_calls: 0,
             stopped: None,
+            phase: Phase::Start,
+            solver_pool: (0..MAX_BATCH).map(|_| CircuitSat::new(aig)).collect(),
+            pool_committed: vec![0; MAX_BATCH],
+            committed_candidates: 0,
+            last_checkpoint: 0,
+            primed: true,
+            stop_checkpoint: None,
         };
         session.notify_round_start();
         Ok(session)
+    }
+
+    /// Restores a session from a checkpoint (see [`Sweeper::resume_from`]).
+    fn resume(
+        aig: &'n Aig,
+        builder: Sweeper<'o>,
+        checkpoint: &SweepCheckpoint,
+    ) -> Result<Self, SweepError> {
+        let mismatch = |what: &str| SweepError::CheckpointMismatch(what.to_string());
+        if !checkpoint.matches(aig) {
+            return Err(SweepError::CheckpointMismatch(format!(
+                "netlist fingerprint {:016x} does not match the checkpoint's {:016x} \
+                 — the checkpoint was taken against a different network",
+                netlist_fingerprint(aig),
+                checkpoint.fingerprint()
+            )));
+        }
+        let engine = checkpoint.engine();
+        let config = *checkpoint.config();
+        config.validate()?;
+        if !checkpoint.is_primed() {
+            // The budget tripped before priming: nothing was proved, so a
+            // resume is simply a fresh (deterministic) run under the
+            // checkpointed engine and configuration.
+            return Sweeper {
+                engine,
+                config,
+                budget: builder.budget,
+                observer: builder.observer,
+                round: checkpoint.round,
+            }
+            .begin(aig);
+        }
+
+        let num_nodes = aig.num_nodes();
+        let in_range = |node: NodeId| node < num_nodes;
+        // The merge log is replayed through `Aig::replace_node`, whose
+        // preconditions (an AND node, a topologically earlier replacement)
+        // must hold for corrupt data too — check them here so corruption
+        // surfaces as a typed mismatch, never a panic.
+        if !checkpoint
+            .merge_log
+            .iter()
+            .all(|&(node, lit)| in_range(node) && aig.node(node).is_and() && lit.node() < node)
+        {
+            return Err(mismatch("merge log entry violates the network's topology"));
+        }
+        if !checkpoint.dont_touch.iter().copied().all(in_range) {
+            return Err(mismatch(
+                "don't-touch set references a node outside the network",
+            ));
+        }
+        if !checkpoint
+            .classes
+            .iter()
+            .flat_map(|(members, _)| members.iter().copied())
+            .chain(checkpoint.constants.iter().map(|c| c.node))
+            .all(in_range)
+        {
+            return Err(mismatch(
+                "candidate classes reference a node outside the network",
+            ));
+        }
+        if checkpoint.pattern_words.len() != aig.num_inputs() {
+            return Err(mismatch("pattern set input arity differs from the network"));
+        }
+        // `Signature::from_words` silently pads/truncates word vectors; a
+        // corrupt word count would therefore resume into a silently
+        // different pattern set — reject it instead.
+        let expected_words = checkpoint.num_patterns.div_ceil(64).max(1);
+        if checkpoint
+            .pattern_words
+            .iter()
+            .any(|words| words.len() != expected_words)
+        {
+            return Err(mismatch("pattern set word count disagrees with its length"));
+        }
+        if checkpoint.pool.len() != MAX_BATCH || checkpoint.pool_committed.len() != MAX_BATCH {
+            return Err(mismatch(
+                "solver pool arity differs from the engine's batch width",
+            ));
+        }
+        match &checkpoint.phase {
+            PhasePod::Start | PhasePod::Done => {}
+            PhasePod::Constants { queue, next } => {
+                if !queue.iter().all(|c| in_range(c.node)) || *next > queue.len() {
+                    return Err(mismatch("constant-phase cursor is inconsistent"));
+                }
+            }
+            PhasePod::Merging {
+                pending, inflight, ..
+            } => {
+                if !pending.iter().all(|&(node, _)| in_range(node)) {
+                    return Err(mismatch(
+                        "pending queue references a node outside the network",
+                    ));
+                }
+                if let Some(batch) = inflight {
+                    let items_ok = batch.items.len() <= MAX_BATCH
+                        && batch.results.len() == batch.items.len()
+                        && batch.next <= batch.items.len()
+                        && batch.items.iter().all(|item| {
+                            in_range(item.candidate)
+                                && item.drivers.iter().all(|&(d, _)| in_range(d))
+                        });
+                    if !items_ok {
+                        return Err(mismatch("in-flight batch is inconsistent"));
+                    }
+                }
+            }
+        }
+
+        // Rebuild the working copy by replaying the merge log in order
+        // (later merges may redirect literals created by earlier ones, so
+        // the order is part of the state).
+        let mut result = aig.clone();
+        let mut merged: Vec<Option<Lit>> = vec![None; num_nodes];
+        for &(node, lit) in &checkpoint.merge_log {
+            result.replace_node(node, lit);
+            merged[node] = Some(lit);
+        }
+        let mut dont_touch = vec![false; num_nodes];
+        for &node in &checkpoint.dont_touch {
+            dont_touch[node] = true;
+        }
+        let classes =
+            EquivClasses::from_parts(checkpoint.classes.clone(), checkpoint.constants.clone())
+                .map_err(mismatch)?;
+        let pattern_set = PatternSet::from_input_signatures(
+            checkpoint.pattern_signatures(),
+            checkpoint.num_patterns,
+        );
+        let windows = if engine == Engine::Stp {
+            Some(WindowIndex::build(aig, config.window_limit))
+        } else {
+            None
+        };
+        let resim = ResimEngine::from_snapshot(aig, &checkpoint.resim).map_err(mismatch)?;
+        let sat = CircuitSat::from_snapshot(aig, &checkpoint.main_solver).map_err(mismatch)?;
+        let solver_pool: Vec<CircuitSat<'n>> = checkpoint
+            .pool
+            .iter()
+            .map(|snap| CircuitSat::from_snapshot(aig, snap))
+            .collect::<Result<_, _>>()
+            .map_err(mismatch)?;
+
+        // No `on_round` notification: the resumed session continues the
+        // round the checkpoint was taken in (the restored stats already
+        // count it).
+        Ok(SweepSession {
+            engine,
+            config,
+            budget: builder.budget,
+            observer: builder.observer,
+            round: checkpoint.round,
+            original: aig,
+            result,
+            sat,
+            pattern_set,
+            classes,
+            windows,
+            resim,
+            merged,
+            merge_log: checkpoint.merge_log.clone(),
+            dont_touch,
+            stats: checkpoint.stats,
+            simulation_time: checkpoint.simulation_time,
+            sat_time: checkpoint.sat_time,
+            started: Instant::now(),
+            elapsed_base: checkpoint.elapsed,
+            sweep_sat_calls: checkpoint.sweep_sat_calls,
+            stopped: None,
+            phase: checkpoint.phase.clone(),
+            solver_pool,
+            pool_committed: checkpoint.pool_committed.clone(),
+            committed_candidates: checkpoint.committed_candidates,
+            last_checkpoint: checkpoint.committed_candidates,
+            primed: true,
+            stop_checkpoint: None,
+        })
     }
 
     fn notify_round_start(&mut self) {
@@ -300,22 +575,70 @@ impl<'n, 'o> SweepSession<'n, 'o> {
         self.classes.num_candidates()
     }
 
+    /// Captures the session's current state as a resumable checkpoint.
+    ///
+    /// The session sits at a candidate boundary whenever it is externally
+    /// reachable, so the checkpoint is always consistent.  Runs stopped by
+    /// a budget additionally hand their stop-point checkpoint back inside
+    /// [`SweepError::BudgetExhausted`], and periodic checkpoints flow
+    /// through [`crate::Observer::on_checkpoint`].
+    pub fn checkpoint(&self) -> SweepCheckpoint {
+        self.build_checkpoint(self.phase.clone())
+    }
+
     /// Executes the remaining phases and returns the result.
     ///
     /// On budget exhaustion the partial result — every merge proved so far,
     /// functionally equivalent to the input — is returned inside
-    /// [`SweepError::BudgetExhausted`] rather than discarded.
+    /// [`SweepError::BudgetExhausted`], together with a resumable
+    /// checkpoint of the stop point.
     pub fn run(mut self) -> Result<SweepResult, SweepError> {
-        self.constant_substitution();
-        self.pairwise_merging();
+        self.execute();
         let stopped = self.stopped;
+        let checkpoint = self.stop_checkpoint.take();
         let result = self.finish();
         match stopped {
             None => Ok(result),
             Some(cause) => Err(SweepError::BudgetExhausted {
                 cause,
                 partial: Box::new(result),
+                checkpoint,
             }),
+        }
+    }
+
+    /// Drives the phase machine until the run completes or the budget
+    /// stops it (recording the stop-point checkpoint).
+    fn execute(&mut self) {
+        if self.stopped.is_some() {
+            // Pre-tripped budget: nothing was primed, nothing to resume.
+            return;
+        }
+        loop {
+            match &self.phase {
+                Phase::Start => {
+                    // Freeze the constant-candidate queue at phase entry
+                    // (the engine examines exactly this snapshot even as
+                    // refinements drop candidates along the way).
+                    let queue = if self.config.constant_substitution {
+                        self.classes.constants().to_vec()
+                    } else {
+                        Vec::new()
+                    };
+                    self.phase = Phase::Constants { queue, next: 0 };
+                }
+                Phase::Constants { .. } => {
+                    if !self.step_constants() {
+                        return;
+                    }
+                }
+                Phase::Merging { .. } => {
+                    if !self.step_merging() {
+                        return;
+                    }
+                }
+                Phase::Done => return,
+            }
         }
     }
 
@@ -331,6 +654,76 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                 false
             }
             None => true,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint plumbing.
+    // ------------------------------------------------------------------
+
+    /// Assembles a checkpoint around the given execution cursor.
+    fn build_checkpoint(&self, phase: Phase) -> SweepCheckpoint {
+        SweepCheckpoint {
+            fingerprint: netlist_fingerprint(self.original),
+            primed: self.primed,
+            engine: self.engine,
+            config: self.config,
+            round: self.round,
+            phase,
+            merge_log: self.merge_log.clone(),
+            dont_touch: (0..self.original.num_nodes())
+                .filter(|&n| self.dont_touch[n])
+                .collect(),
+            classes: self
+                .classes
+                .classes()
+                .iter()
+                .map(|c| (c.members().to_vec(), c.phases().to_vec()))
+                .collect(),
+            constants: self.classes.constants().to_vec(),
+            num_patterns: self.pattern_set.num_patterns(),
+            pattern_words: (0..self.pattern_set.num_inputs())
+                .map(|i| self.pattern_set.input_signature(i).words().to_vec())
+                .collect(),
+            resim: self.resim.snapshot(),
+            stats: self.stats,
+            sweep_sat_calls: self.sweep_sat_calls,
+            committed_candidates: self.committed_candidates,
+            simulation_time: self.simulation_time,
+            sat_time: self.sat_time,
+            elapsed: self.elapsed_base + self.started.elapsed(),
+            main_solver: self.sat.snapshot(),
+            pool: self.solver_pool.iter().map(|s| s.snapshot()).collect(),
+            pool_committed: self.pool_committed.clone(),
+        }
+    }
+
+    /// Records the stop-point checkpoint when a budget stop is observed
+    /// (skipped for unprimed sessions — there is nothing to resume).
+    fn capture_stop_checkpoint(&mut self, phase: &Phase) {
+        if self.primed {
+            self.stop_checkpoint = Some(Box::new(self.build_checkpoint(phase.clone())));
+        }
+    }
+
+    /// Whether the committed-candidate cursor has advanced far enough for a
+    /// periodic checkpoint.
+    fn checkpoint_due(&self) -> bool {
+        let interval = self.config.checkpoint_interval;
+        interval > 0
+            && self
+                .committed_candidates
+                .saturating_sub(self.last_checkpoint)
+                >= interval as u64
+    }
+
+    /// Emits a periodic checkpoint through the observers.
+    fn emit_checkpoint(&mut self, phase: &Phase) {
+        self.last_checkpoint = self.committed_candidates;
+        let checkpoint = self.build_checkpoint(phase.clone());
+        self.stats.on_checkpoint(&checkpoint);
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_checkpoint(&checkpoint);
         }
     }
 
@@ -417,14 +810,24 @@ impl<'n, 'o> SweepSession<'n, 'o> {
     // Phase: constant-node substitution.
     // ------------------------------------------------------------------
 
-    fn constant_substitution(&mut self) {
-        if !self.config.constant_substitution {
-            return;
-        }
-        let candidates: Vec<_> = self.classes.constants().to_vec();
-        for candidate in candidates {
+    /// Processes constant candidates until the phase completes (`true`) or
+    /// the budget stops the run (`false`, stop checkpoint captured).
+    fn step_constants(&mut self) -> bool {
+        loop {
+            let candidate = {
+                let Phase::Constants { queue, next } = &self.phase else {
+                    unreachable!("step_constants runs in the constants phase")
+                };
+                queue.get(*next).copied()
+            };
+            let Some(candidate) = candidate else {
+                self.phase = self.merging_entry_phase();
+                return true;
+            };
             if !self.within_budget() {
-                return;
+                let phase = self.phase.clone();
+                self.capture_stop_checkpoint(&phase);
+                return false;
             }
             let lit = Lit::positive(candidate.node);
             match self.prove_constant(lit, candidate.value) {
@@ -442,6 +845,29 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                     self.classes.remove(candidate.node);
                 }
             }
+            if let Phase::Constants { next, .. } = &mut self.phase {
+                *next += 1;
+            }
+            self.committed_candidates += 1;
+            if self.checkpoint_due() {
+                let phase = self.phase.clone();
+                self.emit_checkpoint(&phase);
+            }
+        }
+    }
+
+    /// The initial merging-phase cursor: every AND node pending, in the
+    /// engine's canonical processing order.
+    fn merging_entry_phase(&self) -> Phase {
+        let mut order: Vec<NodeId> = self.original.and_ids().collect();
+        if self.engine == Engine::Stp {
+            // Algorithm 2 traverses the circuit from outputs to inputs.
+            order.reverse();
+        }
+        Phase::Merging {
+            pending: order.into_iter().map(|c| (c, 0)).collect(),
+            batch_index: 0,
+            inflight: None,
         }
     }
 
@@ -495,7 +921,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
 
     /// The pairwise-merging phase: the candidate queue is partitioned into
     /// TFI-disjoint batches, every batch is proved speculatively by the
-    /// [`ParallelProver`] (one fresh `CircuitSat` per proof attempt, up to
+    /// [`ParallelProver`] (on the persistent solver pool, up to
     /// [`SweepConfig::sat_parallelism`] workers), and the results are
     /// committed at a deterministic barrier in canonical candidate order —
     /// a result whose assumed driver list no longer matches the replayed
@@ -503,10 +929,15 @@ impl<'n, 'o> SweepSession<'n, 'o> {
     /// retried in a later batch.  See [`crate::prover`] for the protocol;
     /// the committed SAT calls, counter-examples and merges are identical
     /// for every `sat_parallelism` and `num_threads`.
-    fn pairwise_merging(&mut self) {
+    ///
+    /// Returns `true` when the phase completes, `false` on a budget stop
+    /// (with the stop checkpoint captured, half-committed batch included).
+    fn step_merging(&mut self) -> bool {
+        // Derived indices are pure functions of the input network and the
+        // engine, so a resumed session recomputes them instead of carrying
+        // them in the checkpoint.
         let mut order: Vec<NodeId> = self.original.and_ids().collect();
         if self.engine == Engine::Stp {
-            // Algorithm 2 traverses the circuit from outputs to inputs.
             order.reverse();
         }
         let mut rank = vec![usize::MAX; self.original.num_nodes()];
@@ -514,19 +945,76 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             rank[candidate] = i;
         }
         let supports = SupportIndex::build(self.original);
-        let mut pending: Vec<(NodeId, usize)> = order.into_iter().map(|c| (c, 0)).collect();
-        let mut batch_index = 0usize;
-        // The persistent solver pool: item `i` of every batch runs on slot
-        // `i`, so each slot's incremental state (lazily encoded cones,
-        // learned clauses) is a pure function of the deterministic batch
-        // sequence — reuse without a determinism leak.
-        let mut solver_pool: Vec<CircuitSat<'n>> = (0..MAX_BATCH)
-            .map(|_| CircuitSat::new(self.original))
-            .collect();
+
+        // Take the cursor out of `self.phase` while mutating it; it is
+        // written back before any checkpoint is captured.
+        let Phase::Merging {
+            mut pending,
+            mut batch_index,
+            mut inflight,
+        } = std::mem::replace(&mut self.phase, Phase::Done)
+        else {
+            unreachable!("step_merging runs in the merging phase")
+        };
+
+        let finished = self.merging_loop(
+            &mut pending,
+            &mut batch_index,
+            &mut inflight,
+            &rank,
+            &supports,
+        );
+        if finished {
+            self.phase = Phase::Done;
+            true
+        } else {
+            let phase = Phase::Merging {
+                pending,
+                batch_index,
+                inflight,
+            };
+            self.capture_stop_checkpoint(&phase);
+            self.phase = phase;
+            false
+        }
+    }
+
+    /// The batch loop; returns `true` when the queue drains, `false` on a
+    /// budget stop.
+    fn merging_loop(
+        &mut self,
+        pending: &mut Vec<(NodeId, usize)>,
+        batch_index: &mut usize,
+        inflight: &mut Option<InflightPod>,
+        rank: &[usize],
+        supports: &SupportIndex,
+    ) -> bool {
+        // A restored half-committed batch is finished first: stored results
+        // replay verbatim, aborted items re-prove on their untouched slots.
+        if inflight.is_some() {
+            if !self.commit_inflight(pending, batch_index, inflight, rank) {
+                return false;
+            }
+            self.maybe_emit_merging_checkpoint(pending, *batch_index);
+        }
 
         while !pending.is_empty() {
             if !self.within_budget() {
-                return;
+                return false;
+            }
+
+            // Deterministic per-slot solver hygiene: a slot that has served
+            // `solver_reset_interval` committed queries is replaced by a
+            // fresh solver before the next batch forms.  Keyed on committed
+            // counts, the resets happen at identical points for every
+            // `sat_parallelism`, so determinism is preserved.
+            if self.config.solver_reset_interval > 0 {
+                for slot in 0..self.solver_pool.len() {
+                    if self.pool_committed[slot] >= self.config.solver_reset_interval {
+                        self.solver_pool[slot] = CircuitSat::new(self.original);
+                        self.pool_committed[slot] = 0;
+                    }
+                }
             }
 
             // Batch formation: greedily take pending candidates (in order)
@@ -578,7 +1066,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                 });
             }
             if batch.is_empty() {
-                return; // every remaining candidate resolved without work
+                return true; // every remaining candidate resolved without work
             }
 
             // Speculative proving: pure per-item work, any scheduling.
@@ -596,105 +1084,175 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                 );
                 let worker_budget =
                     WorkerBudget::new(&self.budget, self.started, self.sweep_sat_calls);
-                prover.prove_batch(&batch, &mut solver_pool[..batch.len()], &worker_budget)
+                prover.prove_batch(&batch, &mut self.solver_pool[..batch.len()], &worker_budget)
             };
+            *inflight = Some(InflightPod {
+                items: batch,
+                results,
+                next: 0,
+                settled: 0,
+                conflicts: 0,
+            });
 
-            // Commit barrier: replay in canonical candidate order.
-            let mut settled = 0usize;
-            let mut conflicts = 0usize;
-            for (item, result) in batch.iter().zip(&results) {
-                if self.stopped.is_some() {
-                    break;
+            if !self.commit_inflight(pending, batch_index, inflight, rank) {
+                return false;
+            }
+            self.maybe_emit_merging_checkpoint(pending, *batch_index);
+        }
+        true
+    }
+
+    /// Periodic checkpoint at a batch barrier (no in-flight batch by
+    /// construction — the barrier just committed it).
+    fn maybe_emit_merging_checkpoint(&mut self, pending: &[(NodeId, usize)], batch_index: usize) {
+        if self.checkpoint_due() {
+            let phase = Phase::Merging {
+                pending: pending.to_vec(),
+                batch_index,
+                inflight: None,
+            };
+            self.emit_checkpoint(&phase);
+        }
+    }
+
+    /// Commit barrier: replays a proved batch from its cursor, in canonical
+    /// candidate order.  Returns `false` on a budget stop — the cursor then
+    /// points at the first uncommitted item, so a checkpointed resume picks
+    /// up exactly where the uninterrupted run would have continued.
+    fn commit_inflight(
+        &mut self,
+        pending: &mut Vec<(NodeId, usize)>,
+        batch_index: &mut usize,
+        inflight_slot: &mut Option<InflightPod>,
+        rank: &[usize],
+    ) -> bool {
+        loop {
+            let Some(inflight) = inflight_slot.as_mut() else {
+                return true;
+            };
+            if inflight.next >= inflight.items.len() {
+                // Batch fully committed: emit the barrier event and advance
+                // the candidate cursor.  (A budget-stopped batch emits no
+                // partial event — the resumed run completes it and emits
+                // the single, cumulative event an uninterrupted run would.)
+                let done = inflight_slot.take().expect("inflight batch present");
+                self.notify_batch_proved(*batch_index, done.settled, done.conflicts);
+                *batch_index += 1;
+                self.committed_candidates += done.settled as u64;
+                return true;
+            }
+            let index = inflight.next;
+            let item = inflight.items[index].clone();
+            let result = inflight.results[index].clone();
+
+            if matches!(result.outcome, ProofOutcome::Aborted) {
+                // The worker observed an exhausted budget and never issued
+                // its query.  Live runs stop here (every budget dimension
+                // is monotone between the worker check and this commit, so
+                // the authoritative check agrees); a resumed run re-proves
+                // the item on its untouched solver slot, reproducing
+                // exactly the query an uninterrupted run would have issued.
+                if !self.within_budget() {
+                    return false;
                 }
-                if matches!(result.outcome, ProofOutcome::Aborted) {
-                    // The worker observed an exhausted budget; every budget
-                    // dimension is monotone between the worker check and
-                    // this commit (deadlines only grow, the cancel token is
-                    // sticky, the frozen SAT-call count never exceeds the
-                    // committed one), so the authoritative check must agree.
-                    let within = self.within_budget();
-                    debug_assert!(
-                        !within,
-                        "worker aborted while the session budget still passes \
-                         — a non-monotone budget dimension?"
+                let fresh = {
+                    let windows = if self.engine == Engine::Stp && self.config.window_refinement {
+                        self.windows.as_ref()
+                    } else {
+                        None
+                    };
+                    let prover = ParallelProver::new(
+                        self.original,
+                        windows,
+                        self.config.conflict_limit,
+                        self.config.sat_parallelism,
                     );
-                    if within {
-                        // Defensive release-mode fallback: retry later.
-                        Self::reinsert(&mut pending, &rank, item.candidate, item.attempts);
-                        continue;
-                    }
-                    break;
-                }
-                // Validation: the consumed driver prefix must be exactly
-                // what the engine would examine here; for an exhausted item
-                // the whole list must match (the engine would examine every
-                // driver of the re-derived list).
-                let current = self.next_drivers(item.candidate, item.attempts);
-                let valid = match (&current, &result.outcome) {
-                    (Some(d), ProofOutcome::Exhausted) => *d == item.drivers,
-                    (Some(d), _) => {
-                        let used = result.attempts_used.min(item.drivers.len());
-                        d.len() >= used && d[..used] == item.drivers[..used]
-                    }
-                    (None, _) => false,
+                    let worker_budget =
+                        WorkerBudget::new(&self.budget, self.started, self.sweep_sat_calls);
+                    prover.prove_one(&item, &mut self.solver_pool[index], &worker_budget)
                 };
-                if !valid {
-                    conflicts += usize::from(result.sat_outcome.is_some());
-                    // The discarded query still burned solver time.
-                    self.sat_time += result.sat_time;
-                    if current.is_some() {
-                        Self::reinsert(&mut pending, &rank, item.candidate, item.attempts);
-                    }
-                    continue;
-                }
-                for &(driver, equivalent) in &result.verdicts {
-                    self.notify_simulation_verdict(item.candidate, driver, equivalent);
-                }
-                if let Some(kind) = result.sat_outcome {
-                    if !self.within_budget() {
-                        // The speculative call is not committed; the run
-                        // stops exactly as the sequential engine would
-                        // before issuing this query.
-                        break;
-                    }
-                    self.sat_time += result.sat_time;
-                    self.sweep_sat_calls += 1;
-                    self.notify_sat_call(kind);
-                }
-                match &result.outcome {
-                    ProofOutcome::Merge {
-                        driver,
-                        complemented,
-                        ..
-                    } => {
-                        self.apply_merge(item.candidate, *driver, *complemented);
-                        settled += 1;
-                    }
-                    ProofOutcome::CounterExample { assignment } => {
-                        self.refine_with_counterexample(assignment);
-                        Self::reinsert(
-                            &mut pending,
-                            &rank,
-                            item.candidate,
-                            item.attempts + result.attempts_used,
-                        );
-                    }
-                    ProofOutcome::DontTouch => {
-                        self.dont_touch[item.candidate] = true;
-                        self.classes.remove(item.candidate);
-                        settled += 1;
-                    }
-                    ProofOutcome::Exhausted => {
-                        settled += 1;
-                    }
-                    ProofOutcome::Aborted => unreachable!("handled before validation"),
-                }
+                inflight_slot
+                    .as_mut()
+                    .expect("inflight batch present")
+                    .results[index] = fresh;
+                continue;
             }
-            self.notify_batch_proved(batch_index, settled, conflicts);
-            batch_index += 1;
-            if self.stopped.is_some() {
-                return;
+
+            // Validation: the consumed driver prefix must be exactly
+            // what the engine would examine here; for an exhausted item
+            // the whole list must match (the engine would examine every
+            // driver of the re-derived list).
+            let current = self.next_drivers(item.candidate, item.attempts);
+            let valid = match (&current, &result.outcome) {
+                (Some(d), ProofOutcome::Exhausted) => *d == item.drivers,
+                (Some(d), _) => {
+                    let used = result.attempts_used.min(item.drivers.len());
+                    d.len() >= used && d[..used] == item.drivers[..used]
+                }
+                (None, _) => false,
+            };
+            let inflight = inflight_slot.as_mut().expect("inflight batch present");
+            if !valid {
+                inflight.conflicts += usize::from(result.sat_outcome.is_some());
+                inflight.next += 1;
+                // The discarded query still burned solver time.
+                self.sat_time += result.sat_time;
+                if current.is_some() {
+                    Self::reinsert(pending, rank, item.candidate, item.attempts);
+                }
+                continue;
             }
+            if result.sat_outcome.is_some() && !self.within_budget() {
+                // The speculative call is not committed; the run stops
+                // exactly as the sequential engine would before issuing
+                // this query (its window verdicts are not committed either,
+                // so a resumed run replays the item in full).
+                return false;
+            }
+            inflight.next += 1;
+            for &(driver, equivalent) in &result.verdicts {
+                self.notify_simulation_verdict(item.candidate, driver, equivalent);
+            }
+            if let Some(kind) = result.sat_outcome {
+                self.sat_time += result.sat_time;
+                self.sweep_sat_calls += 1;
+                self.pool_committed[index] += 1;
+                self.notify_sat_call(kind);
+            }
+            match &result.outcome {
+                ProofOutcome::Merge {
+                    driver,
+                    complemented,
+                    ..
+                } => {
+                    self.apply_merge(item.candidate, *driver, *complemented);
+                    Self::bump_settled(inflight_slot);
+                }
+                ProofOutcome::CounterExample { assignment } => {
+                    self.refine_with_counterexample(assignment);
+                    Self::reinsert(
+                        pending,
+                        rank,
+                        item.candidate,
+                        item.attempts + result.attempts_used,
+                    );
+                }
+                ProofOutcome::DontTouch => {
+                    self.dont_touch[item.candidate] = true;
+                    self.classes.remove(item.candidate);
+                    Self::bump_settled(inflight_slot);
+                }
+                ProofOutcome::Exhausted => {
+                    Self::bump_settled(inflight_slot);
+                }
+                ProofOutcome::Aborted => unreachable!("handled before validation"),
+            }
+        }
+    }
+
+    fn bump_settled(inflight_slot: &mut Option<InflightPod>) {
+        if let Some(inflight) = inflight_slot.as_mut() {
+            inflight.settled += 1;
         }
     }
 
@@ -707,6 +1265,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
     fn apply_merge_lit(&mut self, candidate: NodeId, replacement: Lit) {
         self.result.replace_node(candidate, replacement);
         self.merged[candidate] = Some(replacement);
+        self.merge_log.push((candidate, replacement));
         self.classes.remove(candidate);
         self.notify_merge(candidate, replacement);
     }
@@ -778,7 +1337,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
         report.gates_after = cleaned.num_ands();
         report.simulation_time = self.simulation_time;
         report.sat_time = self.sat_time;
-        report.total_time = self.started.elapsed();
+        report.total_time = self.elapsed_base + self.started.elapsed();
         SweepResult {
             aig: cleaned,
             report,
@@ -791,6 +1350,7 @@ mod tests {
     use super::*;
     use crate::budget::CancelToken;
     use crate::cec::check_equivalence;
+    use netlist::aiger::write_aiger_string;
 
     /// A circuit with planted redundancy: the same functions built twice
     /// with different structure, plus a constant-false cone.
@@ -929,13 +1489,20 @@ mod tests {
             .budget(Budget::unlimited().with_deadline(Duration::ZERO))
             .run(&aig)
             .unwrap_err();
-        let SweepError::BudgetExhausted { cause, partial } = err else {
+        let SweepError::BudgetExhausted {
+            cause,
+            partial,
+            checkpoint,
+        } = err
+        else {
             panic!("expected budget exhaustion");
         };
         assert_eq!(cause, BudgetCause::Deadline);
         assert!(check_equivalence(&aig, &partial.aig, 100_000).equivalent);
-        // Nothing was attempted: no SAT calls at all.
+        // Nothing was attempted: no SAT calls at all, and no checkpoint —
+        // the budget tripped before the session was primed.
         assert_eq!(partial.report.sat_calls_total, 0);
+        assert!(checkpoint.is_none());
     }
 
     #[test]
@@ -963,7 +1530,7 @@ mod tests {
             .budget(Budget::unlimited().with_cancel_token(token))
             .run(&aig)
             .unwrap_err();
-        let SweepError::BudgetExhausted { cause, partial } = err else {
+        let SweepError::BudgetExhausted { cause, partial, .. } = err else {
             panic!("expected budget exhaustion");
         };
         assert_eq!(cause, BudgetCause::Cancelled);
@@ -985,5 +1552,239 @@ mod tests {
         assert!(session.num_candidates() > 0);
         let result = session.run().expect("runs");
         assert!(check_equivalence(&aig, &result.aig, 100_000).equivalent);
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint/resume.
+    // ------------------------------------------------------------------
+
+    /// Strips the time fields (measurements, not results) for identity
+    /// comparisons.
+    fn strip(r: &crate::report::SweepReport) -> crate::report::SweepReport {
+        crate::report::SweepReport {
+            simulation_time: Duration::ZERO,
+            sat_time: Duration::ZERO,
+            total_time: Duration::ZERO,
+            ..*r
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_at_every_sat_boundary_is_identity() {
+        let aig = redundant_circuit();
+        let config = SweepConfig {
+            num_initial_patterns: 4, // few patterns: plenty of SAT traffic
+            sat_guided_patterns: false,
+            ..SweepConfig::default()
+        };
+        for engine in [Engine::Stp, Engine::Baseline] {
+            let reference = Sweeper::new(engine).config(config).run(&aig).expect("runs");
+            let reference_aiger = write_aiger_string(&reference.aig);
+            let total = reference.report.sat_calls_total;
+            assert!(total >= 2, "workload must need SAT calls ({engine})");
+            // `cut = 0` pre-trips the budget before priming (no checkpoint);
+            // that boundary is covered by the begin()+checkpoint() test.
+            for cut in 1..total {
+                let err = Sweeper::new(engine)
+                    .config(config)
+                    .budget(Budget::unlimited().with_max_sat_calls(cut))
+                    .run(&aig)
+                    .unwrap_err();
+                let checkpoint = err
+                    .into_checkpoint()
+                    .expect("a primed budget stop carries a checkpoint");
+                // Round-trip through bytes: resume from the decoded copy.
+                let decoded = SweepCheckpoint::decode(&checkpoint.encode()).expect("decodes");
+                let resumed = Sweeper::new(engine)
+                    .resume_from(&aig, &decoded)
+                    .expect("fingerprints match")
+                    .run()
+                    .expect("unlimited resume finishes");
+                assert_eq!(
+                    strip(&resumed.report),
+                    strip(&reference.report),
+                    "{engine}, cancelled after {cut} of {total} SAT calls"
+                );
+                assert_eq!(
+                    write_aiger_string(&resumed.aig),
+                    reference_aiger,
+                    "{engine}, cancelled after {cut} of {total} SAT calls"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_checkpoint_before_run_resumes_to_identity() {
+        let aig = redundant_circuit();
+        let reference = Sweeper::new(Engine::Stp).run(&aig).expect("runs");
+        let session = Sweeper::new(Engine::Stp).begin(&aig).expect("primes");
+        let checkpoint = session.checkpoint();
+        assert!(checkpoint.is_primed());
+        assert_eq!(checkpoint.committed_candidates(), 0);
+        drop(session);
+        let resumed = Sweeper::new(Engine::Stp)
+            .resume_from(&aig, &checkpoint)
+            .expect("matches")
+            .run()
+            .expect("runs");
+        assert_eq!(strip(&resumed.report), strip(&reference.report));
+        assert_eq!(
+            write_aiger_string(&resumed.aig),
+            write_aiger_string(&reference.aig)
+        );
+    }
+
+    #[test]
+    fn resume_against_a_mutated_network_is_rejected() {
+        let aig = redundant_circuit();
+        let checkpoint = Sweeper::new(Engine::Stp)
+            .config(SweepConfig {
+                num_initial_patterns: 4,
+                sat_guided_patterns: false,
+                ..SweepConfig::default()
+            })
+            .budget(Budget::unlimited().with_max_sat_calls(1))
+            .run(&aig)
+            .unwrap_err()
+            .into_checkpoint()
+            .expect("checkpoint");
+        let mut mutated = aig.clone();
+        let extra = mutated.and(
+            Lit::positive(mutated.inputs()[0]),
+            Lit::positive(mutated.inputs()[1]),
+        );
+        mutated.add_output("extra", extra);
+        let err = match Sweeper::new(Engine::Stp).resume_from(&mutated, &checkpoint) {
+            Err(err) => err,
+            Ok(_) => panic!("resuming against a mutated network must fail"),
+        };
+        assert!(matches!(err, SweepError::CheckpointMismatch(_)));
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn unprimed_checkpoint_resumes_by_repriming() {
+        let aig = redundant_circuit();
+        let session = Sweeper::new(Engine::Stp)
+            .budget(Budget::unlimited().with_deadline(Duration::ZERO))
+            .begin(&aig)
+            .expect("begins (pre-tripped)");
+        let checkpoint = session.checkpoint();
+        assert!(!checkpoint.is_primed());
+        let reference = Sweeper::new(Engine::Stp).run(&aig).expect("runs");
+        let resumed = Sweeper::new(Engine::Stp)
+            .resume_from(&aig, &checkpoint)
+            .expect("matches")
+            .run()
+            .expect("runs");
+        assert_eq!(strip(&resumed.report), strip(&reference.report));
+    }
+
+    #[test]
+    fn periodic_checkpoints_are_emitted_and_resumable() {
+        let aig = redundant_circuit();
+        let config = SweepConfig {
+            num_initial_patterns: 4,
+            sat_guided_patterns: false,
+            ..SweepConfig::default()
+        };
+
+        struct Collector {
+            checkpoints: Vec<SweepCheckpoint>,
+        }
+        impl Observer for Collector {
+            fn on_checkpoint(&mut self, checkpoint: &SweepCheckpoint) {
+                self.checkpoints.push(checkpoint.clone());
+            }
+        }
+
+        let mut collector = Collector {
+            checkpoints: Vec::new(),
+        };
+        let reference = Sweeper::new(Engine::Stp)
+            .config(config.checkpoint_every(2))
+            .observer(&mut collector)
+            .run(&aig)
+            .expect("runs");
+        assert!(
+            !collector.checkpoints.is_empty(),
+            "interval 2 must emit at least one checkpoint"
+        );
+        // Resuming from every emitted mid-run checkpoint reproduces the
+        // run exactly.
+        for checkpoint in &collector.checkpoints {
+            let resumed = Sweeper::new(Engine::Stp)
+                .resume_from(&aig, checkpoint)
+                .expect("matches")
+                .run()
+                .expect("runs");
+            assert_eq!(strip(&resumed.report), strip(&reference.report));
+            assert_eq!(
+                write_aiger_string(&resumed.aig),
+                write_aiger_string(&reference.aig)
+            );
+        }
+        // The checkpointed run itself is not perturbed by checkpointing.
+        let plain = Sweeper::new(Engine::Stp)
+            .config(config)
+            .run(&aig)
+            .expect("runs");
+        assert_eq!(strip(&plain.report), strip(&reference.report));
+    }
+
+    #[test]
+    fn solver_hygiene_resets_keep_the_sweep_deterministic() {
+        let aig = redundant_circuit();
+        let config = SweepConfig {
+            num_initial_patterns: 4,
+            sat_guided_patterns: false,
+            ..SweepConfig::default()
+        };
+        // Aggressive hygiene: reset a slot after every committed query.
+        let reference = Sweeper::new(Engine::Stp)
+            .config(config.with_solver_reset_interval(1))
+            .run(&aig)
+            .expect("runs");
+        assert!(check_equivalence(&aig, &reference.aig, 100_000).equivalent);
+        // Identical across sat_parallelism — resets key on committed
+        // counts, which are scheduling-independent.
+        for sat_parallelism in [2usize, 4] {
+            let run = Sweeper::new(Engine::Stp)
+                .config(
+                    config
+                        .with_solver_reset_interval(1)
+                        .sat_parallelism(sat_parallelism),
+                )
+                .run(&aig)
+                .expect("runs");
+            let mut expected = strip(&reference.report);
+            expected.sat_parallelism = sat_parallelism;
+            assert_eq!(strip(&run.report), expected);
+            assert_eq!(
+                write_aiger_string(&run.aig),
+                write_aiger_string(&reference.aig)
+            );
+        }
+        // Checkpoint/resume identity holds with hygiene on.
+        let total = reference.report.sat_calls_total;
+        let cut = total / 2;
+        let checkpoint = Sweeper::new(Engine::Stp)
+            .config(config.with_solver_reset_interval(1))
+            .budget(Budget::unlimited().with_max_sat_calls(cut))
+            .run(&aig)
+            .unwrap_err()
+            .into_checkpoint()
+            .expect("checkpoint");
+        let resumed = Sweeper::new(Engine::Stp)
+            .resume_from(&aig, &checkpoint)
+            .expect("matches")
+            .run()
+            .expect("runs");
+        assert_eq!(strip(&resumed.report), strip(&reference.report));
+        assert_eq!(
+            write_aiger_string(&resumed.aig),
+            write_aiger_string(&reference.aig)
+        );
     }
 }

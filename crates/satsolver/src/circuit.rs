@@ -9,8 +9,25 @@
 //! assignments back into counter-example patterns over the primary inputs.
 
 use crate::cnf::{SatLit, Var};
-use crate::solver::{SolveResult, Solver, SolverStats};
+use crate::solver::{SolveResult, Solver, SolverSnapshot, SolverStats};
 use netlist::{Aig, AigNode, Lit, NodeId};
+
+/// A complete snapshot of a [`CircuitSat`] front-end: the underlying
+/// [`SolverSnapshot`] plus the lazy node-encoding maps.  Restoring it against
+/// the *same* AIG (see [`CircuitSat::from_snapshot`]) yields a front-end
+/// whose future query answers are identical to the original's — the building
+/// block of the sweeping engine's checkpoint/resume guarantee.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitSatSnapshot {
+    /// The CDCL solver state.
+    pub solver: SolverSnapshot,
+    /// SAT variable index of each AIG node, if allocated.
+    pub node_var: Vec<Option<u32>>,
+    /// Whether each node's AND-gate clauses have been added.
+    pub encoded: Vec<bool>,
+    /// Query statistics.
+    pub stats: QueryStats,
+}
 
 /// Outcome of an equivalence or constant-ness query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,6 +106,49 @@ impl<'a> CircuitSat<'a> {
     /// Statistics of the underlying CDCL solver.
     pub fn solver_stats(&self) -> SolverStats {
         self.solver.stats()
+    }
+
+    /// Captures the complete front-end state (see [`CircuitSatSnapshot`]).
+    pub fn snapshot(&self) -> CircuitSatSnapshot {
+        CircuitSatSnapshot {
+            solver: self.solver.snapshot(),
+            node_var: self
+                .node_var
+                .iter()
+                .map(|v| v.map(|v| v.index() as u32))
+                .collect(),
+            encoded: self.encoded.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a front-end over `aig` from a snapshot taken against the
+    /// same network.  Returns an error message if the snapshot's arities or
+    /// references do not fit the network or the solver state is corrupt.
+    pub fn from_snapshot(aig: &'a Aig, snap: &CircuitSatSnapshot) -> Result<Self, &'static str> {
+        if snap.node_var.len() != aig.num_nodes() || snap.encoded.len() != aig.num_nodes() {
+            return Err("circuit snapshot was taken against a different network");
+        }
+        let solver = Solver::from_snapshot(&snap.solver)?;
+        if snap
+            .node_var
+            .iter()
+            .flatten()
+            .any(|&v| v as usize >= solver.num_vars())
+        {
+            return Err("circuit snapshot references an unallocated SAT variable");
+        }
+        Ok(CircuitSat {
+            aig,
+            solver,
+            node_var: snap
+                .node_var
+                .iter()
+                .map(|v| v.map(|v| Var::from_index(v as usize)))
+                .collect(),
+            encoded: snap.encoded.clone(),
+            stats: snap.stats,
+        })
     }
 
     /// The SAT literal corresponding to an AIG literal, encoding the node's
@@ -343,6 +403,47 @@ mod tests {
         assert_eq!(assignment, Some(vec![true, false, false]));
         // Contradictory constraints have no assignment.
         assert_eq!(sat.find_assignment(&[g1, !g1], 10_000), None);
+    }
+
+    #[test]
+    fn circuit_snapshot_restore_answers_identically() {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs("x", 6);
+        let mut gates = Vec::new();
+        for i in 0..5 {
+            gates.push(aig.and(xs[i], xs[i + 1]));
+        }
+        let sum = aig.or_many(&gates);
+        aig.add_output("y", sum);
+
+        let mut original = CircuitSat::new(&aig);
+        // Build incremental history (encoded cones, selector clauses).
+        for i in 0..3 {
+            let _ = original.prove_equivalent(gates[i], gates[(i + 1) % 3], 10_000);
+        }
+        let snap = original.snapshot();
+        let mut restored = CircuitSat::from_snapshot(&aig, &snap).expect("valid snapshot");
+        assert_eq!(restored.snapshot(), snap);
+
+        // Identical future queries — outcomes, counter-example models and
+        // final states all agree.
+        for i in 0..5 {
+            for j in 0..5 {
+                let a = original.prove_equivalent(gates[i], gates[j], 10_000);
+                let b = restored.prove_equivalent(gates[i], gates[j], 10_000);
+                assert_eq!(a, b, "query ({i}, {j})");
+            }
+        }
+        assert_eq!(original.snapshot(), restored.snapshot());
+        assert_eq!(original.query_stats(), restored.query_stats());
+
+        // A snapshot taken against one network is rejected by another.
+        let mut other = Aig::new();
+        let a = other.add_input("a");
+        let b = other.add_input("b");
+        let g = other.and(a, b);
+        other.add_output("g", g);
+        assert!(CircuitSat::from_snapshot(&other, &snap).is_err());
     }
 
     #[test]

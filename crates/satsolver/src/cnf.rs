@@ -71,6 +71,12 @@ impl SatLit {
         self.0 as usize
     }
 
+    /// Rebuilds a literal from its dense integer code (inverse of
+    /// [`SatLit::code`]), used by state snapshots.
+    pub fn from_code(code: u32) -> Self {
+        SatLit(code)
+    }
+
     /// DIMACS-style signed integer (1-based, negative for negated).
     pub fn to_dimacs(self) -> i64 {
         let v = self.var().index() as i64 + 1;

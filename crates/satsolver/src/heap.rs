@@ -106,6 +106,32 @@ impl VarOrder {
         self.position[self.heap[a]] = a;
         self.position[self.heap[b]] = b;
     }
+
+    /// The raw heap array and position table, for state snapshots.  The heap
+    /// order (not only the membership) is part of the solver's deterministic
+    /// behaviour: equal-activity variables pop in heap order, so a restored
+    /// solver must reproduce the array verbatim.
+    pub(crate) fn to_parts(&self) -> (Vec<usize>, Vec<usize>) {
+        (self.heap.clone(), self.position.clone())
+    }
+
+    /// Rebuilds a heap from parts produced by [`VarOrder::to_parts`].
+    ///
+    /// Returns `None` if the parts are inconsistent (positions not matching
+    /// the heap array), so corrupt snapshots surface as errors instead of
+    /// breaking the heap invariants silently.
+    pub(crate) fn from_parts(heap: Vec<usize>, position: Vec<usize>) -> Option<Self> {
+        for (idx, &var) in heap.iter().enumerate() {
+            if position.get(var).copied() != Some(idx) {
+                return None;
+            }
+        }
+        let members = position.iter().filter(|&&p| p != ABSENT).count();
+        if members != heap.len() {
+            return None;
+        }
+        Some(VarOrder { heap, position })
+    }
 }
 
 #[cfg(test)]

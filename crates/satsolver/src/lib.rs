@@ -37,7 +37,9 @@ pub mod dimacs;
 mod heap;
 mod solver;
 
-pub use circuit::{CircuitSat, EquivOutcome};
+pub use circuit::{CircuitSat, CircuitSatSnapshot, EquivOutcome, QueryStats};
 pub use cnf::{Cnf, Var};
 pub use dimacs::{parse_dimacs, solve_dimacs, ParseDimacsError};
-pub use solver::{SatLit, SolveResult, Solver, SolverConfig, SolverStats};
+pub use solver::{
+    ClauseSnapshot, SatLit, SolveResult, Solver, SolverConfig, SolverSnapshot, SolverStats,
+};

@@ -24,7 +24,7 @@ pub enum SolveResult {
 }
 
 /// Tunable solver parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolverConfig {
     /// Multiplicative decay applied to variable activities at each conflict.
     pub var_decay: f64,
@@ -70,6 +70,77 @@ struct Clause {
     learnt: bool,
     activity: f64,
     deleted: bool,
+}
+
+/// One clause of a [`SolverSnapshot`].
+///
+/// The literal order is part of the state: positions 0 and 1 are the watched
+/// literals, and the traversal order during propagation determines which
+/// conflict is found first.  A restored clause must be verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClauseSnapshot {
+    /// The literals, watched literals first, in stored order.
+    pub lits: Vec<SatLit>,
+    /// Whether the clause was learnt (subject to database reduction).
+    pub learnt: bool,
+    /// VSIDS-style clause activity.
+    pub activity: f64,
+    /// Whether the clause has been deleted by database reduction (deleted
+    /// clauses still occupy their index — reasons reference indices).
+    pub deleted: bool,
+}
+
+/// A complete, behaviour-exact snapshot of a [`Solver`] at decision level 0.
+///
+/// A CDCL solver's answers are history-dependent: learnt clauses, VSIDS
+/// activities, saved phases and watch-list order all steer the search, so
+/// two solvers agree on future queries only if *all* of that state agrees.
+/// `SolverSnapshot` captures every field verbatim; restoring it with
+/// [`Solver::from_snapshot`] yields a solver whose observable behaviour is
+/// indistinguishable from the original.  This is the foundation of the
+/// sweeping engine's checkpoint/resume guarantee.
+///
+/// Snapshots can only be taken between queries (the solver is always at
+/// decision level 0 there, with an empty assumption trail limit stack and
+/// cleared analysis flags).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverSnapshot {
+    /// The tunable parameters.
+    pub config: SolverConfig,
+    /// All clauses, original and learnt, in allocation order.
+    pub clauses: Vec<ClauseSnapshot>,
+    /// Per-literal watch lists (`watches[lit.code()]`), verbatim order.
+    pub watches: Vec<Vec<usize>>,
+    /// Current (level-0) assignments.
+    pub assigns: Vec<Option<bool>>,
+    /// Saved phases.
+    pub phase: Vec<bool>,
+    /// Assignment levels (level 0 for all assigned variables).
+    pub level: Vec<u32>,
+    /// Reason clause indices of propagated literals.
+    pub reason: Vec<Option<usize>>,
+    /// VSIDS variable activities.
+    pub activity: Vec<f64>,
+    /// The VSIDS heap array (order matters for tie-breaking).
+    pub order_heap: Vec<usize>,
+    /// Position of each variable in the heap (`usize::MAX` if absent).
+    pub order_position: Vec<usize>,
+    /// The level-0 trail.
+    pub trail: Vec<SatLit>,
+    /// Propagation queue head (equals the trail length between queries).
+    pub qhead: usize,
+    /// Current variable activity increment.
+    pub var_inc: f64,
+    /// Current clause activity increment.
+    pub cla_inc: f64,
+    /// `false` once the formula is unconditionally unsatisfiable.
+    pub ok: bool,
+    /// The most recent model (empty or stale between queries).
+    pub model: Vec<Option<bool>>,
+    /// Aggregate statistics.
+    pub stats: SolverStats,
+    /// Number of live learnt clauses.
+    pub num_learnts: usize,
 }
 
 /// A CDCL SAT solver.
@@ -254,6 +325,138 @@ impl Solver {
     /// The value of a literal in the most recent satisfying assignment.
     pub fn model_lit_value(&self, lit: SatLit) -> Option<bool> {
         self.model_value(lit.var()).map(|v| v != lit.is_negative())
+    }
+
+    /// Captures the complete solver state (see [`SolverSnapshot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-search (the solver is between queries — and
+    /// therefore at decision level 0 — whenever it is externally reachable).
+    pub fn snapshot(&self) -> SolverSnapshot {
+        assert_eq!(
+            self.trail_lim.len(),
+            0,
+            "solver snapshots are taken between queries, at decision level 0"
+        );
+        debug_assert!(self.seen.iter().all(|&s| !s), "analysis flags are clear");
+        let (order_heap, order_position) = self.order.to_parts();
+        SolverSnapshot {
+            config: self.config,
+            clauses: self
+                .clauses
+                .iter()
+                .map(|c| ClauseSnapshot {
+                    lits: c.lits.clone(),
+                    learnt: c.learnt,
+                    activity: c.activity,
+                    deleted: c.deleted,
+                })
+                .collect(),
+            watches: self.watches.clone(),
+            assigns: self.assigns.clone(),
+            phase: self.phase.clone(),
+            level: self.level.clone(),
+            reason: self.reason.clone(),
+            activity: self.activity.clone(),
+            order_heap,
+            order_position,
+            trail: self.trail.clone(),
+            qhead: self.qhead,
+            var_inc: self.var_inc,
+            cla_inc: self.cla_inc,
+            ok: self.ok,
+            model: self.model.clone(),
+            stats: self.stats,
+            num_learnts: self.num_learnts,
+        }
+    }
+
+    /// Rebuilds a solver from a snapshot.  Returns an error message if the
+    /// snapshot is internally inconsistent (wrong vector arities, clause or
+    /// variable references out of range, corrupt heap), so corrupt data is
+    /// rejected instead of producing a solver that panics later.
+    pub fn from_snapshot(snap: &SolverSnapshot) -> Result<Self, &'static str> {
+        let num_vars = snap.assigns.len();
+        let arity_ok = snap.phase.len() == num_vars
+            && snap.level.len() == num_vars
+            && snap.reason.len() == num_vars
+            && snap.activity.len() == num_vars
+            && snap.order_position.len() == num_vars
+            && snap.watches.len() == 2 * num_vars;
+        if !arity_ok {
+            return Err("solver snapshot vector arities disagree");
+        }
+        // Every attached clause has at least two literals (units are
+        // enqueued, never attached); a shorter clause would panic inside
+        // `propagate` when its missing watch position is accessed.
+        if snap.clauses.iter().any(|c| c.lits.len() < 2) {
+            return Err("solver snapshot contains a clause with fewer than two literals");
+        }
+        if snap
+            .clauses
+            .iter()
+            .flat_map(|c| &c.lits)
+            .any(|l| l.var().index() >= num_vars)
+        {
+            return Err("solver snapshot clause references an unallocated variable");
+        }
+        let num_clauses = snap.clauses.len();
+        if snap
+            .watches
+            .iter()
+            .flatten()
+            .chain(snap.reason.iter().flatten())
+            .any(|&ci| ci >= num_clauses)
+        {
+            return Err("solver snapshot references an out-of-range clause");
+        }
+        if snap.trail.iter().any(|l| l.var().index() >= num_vars)
+            || snap.qhead > snap.trail.len()
+            || snap.model.len() > num_vars
+        {
+            return Err("solver snapshot trail or model is inconsistent");
+        }
+        let order = VarOrder::from_parts(snap.order_heap.clone(), snap.order_position.clone())
+            .ok_or("solver snapshot heap is corrupt")?;
+        let live_learnts = snap
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted)
+            .count();
+        if snap.num_learnts != live_learnts {
+            return Err("solver snapshot learnt-clause count disagrees");
+        }
+        Ok(Solver {
+            config: snap.config,
+            clauses: snap
+                .clauses
+                .iter()
+                .map(|c| Clause {
+                    lits: c.lits.clone(),
+                    learnt: c.learnt,
+                    activity: c.activity,
+                    deleted: c.deleted,
+                })
+                .collect(),
+            watches: snap.watches.clone(),
+            assigns: snap.assigns.clone(),
+            phase: snap.phase.clone(),
+            level: snap.level.clone(),
+            reason: snap.reason.clone(),
+            activity: snap.activity.clone(),
+            order,
+            trail: snap.trail.clone(),
+            trail_lim: Vec::new(),
+            qhead: snap.qhead,
+            var_inc: snap.var_inc,
+            cla_inc: snap.cla_inc,
+            ok: snap.ok,
+            model: snap.model.clone(),
+            stats: snap.stats,
+            num_learnts: snap.num_learnts,
+            seen: vec![false; num_vars],
+        })
     }
 
     // ------------------------------------------------------------------
@@ -781,6 +984,70 @@ mod tests {
         assert!(s.add_clause(&[lit(&vars, 2), lit(&vars, 2)]));
         assert_eq!(s.solve(), SolveResult::Sat);
         assert_eq!(s.model_value(vars[1]), Some(true));
+    }
+
+    #[test]
+    fn snapshot_restore_is_behaviour_exact() {
+        // Build nontrivial history: an interrupted hard query leaves learnt
+        // clauses, bumped activities and saved phases behind.
+        let (mut original, grid) = pigeonhole(6, 5);
+        assert_eq!(original.solve_limited(&[], 8), SolveResult::Unknown);
+        let snap = original.snapshot();
+        let mut restored = Solver::from_snapshot(&snap).expect("valid snapshot");
+        // Restoring is lossless: a fresh snapshot of the restored solver is
+        // identical to the one it came from.
+        assert_eq!(restored.snapshot(), snap);
+
+        // The same future query sequence must produce identical results,
+        // identical models and identical final states.
+        let queries: Vec<Vec<SatLit>> = vec![
+            vec![],
+            vec![SatLit::positive(grid[0][0])],
+            vec![SatLit::negative(grid[0][0]), SatLit::negative(grid[0][1])],
+        ];
+        for assumptions in &queries {
+            let a = original.solve_limited(assumptions, 50);
+            let b = restored.solve_limited(assumptions, 50);
+            assert_eq!(a, b);
+            for row in &grid {
+                for &v in row {
+                    assert_eq!(original.model_value(v), restored.model_value(v));
+                }
+            }
+        }
+        assert_eq!(original.snapshot(), restored.snapshot());
+    }
+
+    #[test]
+    fn snapshot_rejects_corrupt_state() {
+        let (mut s, _) = pigeonhole(4, 3);
+        let _ = s.solve_limited(&[], 5);
+        let good = s.snapshot();
+        assert!(Solver::from_snapshot(&good).is_ok());
+
+        let mut wrong_arity = good.clone();
+        wrong_arity.phase.pop();
+        assert!(Solver::from_snapshot(&wrong_arity).is_err());
+
+        let mut bad_clause_ref = good.clone();
+        bad_clause_ref.watches[0].push(usize::MAX / 2);
+        assert!(Solver::from_snapshot(&bad_clause_ref).is_err());
+
+        let mut bad_heap = good.clone();
+        if bad_heap.order_heap.len() >= 2 {
+            bad_heap.order_heap.swap(0, 1); // positions no longer match
+            assert!(Solver::from_snapshot(&bad_heap).is_err());
+        }
+
+        let mut bad_learnts = good.clone();
+        bad_learnts.num_learnts += 1;
+        assert!(Solver::from_snapshot(&bad_learnts).is_err());
+
+        let mut short_clause = good.clone();
+        if let Some(clause) = short_clause.clauses.first_mut() {
+            clause.lits.truncate(1);
+            assert!(Solver::from_snapshot(&short_clause).is_err());
+        }
     }
 
     #[test]

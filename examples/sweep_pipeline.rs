@@ -112,7 +112,7 @@ fn main() {
             "\nbudgeted run finished within 2 SAT calls: {}",
             full.report
         ),
-        Err(SweepError::BudgetExhausted { cause, partial }) => {
+        Err(SweepError::BudgetExhausted { cause, partial, .. }) => {
             println!(
                 "\nbudgeted run stopped early ({cause}): {} -> {} gates, still equivalent: {}",
                 partial.report.gates_before,

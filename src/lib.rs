@@ -43,7 +43,7 @@ pub use truthtable;
 pub use workloads;
 
 pub use stp_sweep::{
-    Budget, BudgetCause, CancelToken, Engine, NoopObserver, Observer, PassReport, Pipeline,
-    PipelineResult, SatCallOutcome, StatsObserver, SweepConfig, SweepError, SweepReport,
-    SweepResult, SweepSession, Sweeper,
+    netlist_fingerprint, Budget, BudgetCause, CancelToken, CheckpointError, Engine, NoopObserver,
+    Observer, PassReport, Pipeline, PipelineResult, SatCallOutcome, StatsObserver, SweepCheckpoint,
+    SweepConfig, SweepError, SweepReport, SweepResult, SweepSession, Sweeper,
 };
