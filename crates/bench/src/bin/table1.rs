@@ -12,7 +12,7 @@
 //! The paper reports parity on `TA` and a ~7.2× average speed-up on `TL`;
 //! the shape (not the absolute numbers) is what this harness reproduces.
 //!
-//! Usage: `cargo run -p bench --release --bin table1 -- [--scale tiny|small|large] [--patterns N] [--lut-k K] [--threads T] [--json PATH] [--checkpoint-every N] [--resume PATH]`
+//! Usage: `cargo run -p bench --release --bin table1 -- [--scale tiny|small|large] [--patterns N] [--lut-k K] [--threads T] [--json PATH] [--checkpoint-every N] [--compact-every N] [--resume PATH]`
 //!
 //! `--threads T` runs every simulator through the level-scheduled parallel
 //! evaluator with `T` workers and sweeps with `SweepConfig::parallelism(T)`;
@@ -37,6 +37,13 @@
 //! proves the cancel→resume identity on real workloads.  The first pass's
 //! mid-sweep checkpoint of each benchmark is saved as
 //! `table1_<bench>.ckpt`.
+//!
+//! `--compact-every N` enables periodic pattern compaction
+//! ([`SweepConfig::compact_every`]) on every sweep pass of the JSON pipeline
+//! section.  Compaction is behaviour-neutral, so the snapshot's counters —
+//! and therefore `bench_diff` against a baseline captured *without*
+//! compaction — must stay exact; the flag turns the regression gate into a
+//! proof of that neutrality on real workloads.
 //!
 //! `--resume PATH` loads such a file, locates the matching benchmark by
 //! netlist fingerprint in the (deterministically regenerated) suite,
@@ -131,10 +138,12 @@ fn run_pipeline_checkpointed(
     aig: &netlist::Aig,
     threads: usize,
     every: u64,
+    compact_every: u64,
 ) -> PipelineResult {
     let config = SweepConfig::fast()
         .parallelism(threads)
-        .checkpoint_every(every as usize);
+        .checkpoint_every(every as usize)
+        .compact_every(compact_every);
     let mut current = aig.clone();
     let mut aggregate = SweepReport {
         gates_before: aig.num_ands(),
@@ -192,13 +201,15 @@ fn pipeline_json_row(
     aig: &netlist::Aig,
     threads: usize,
     checkpoint_every: Option<u64>,
+    compact_every: u64,
     par_times: &mut (f64, f64),
 ) -> String {
     let run = |sat_par: usize| {
         Pipeline::new(
             SweepConfig::fast()
                 .parallelism(threads)
-                .sat_parallelism(sat_par),
+                .sat_parallelism(sat_par)
+                .compact_every(compact_every),
         )
         .sweep(Engine::Stp)
         .strash()
@@ -207,7 +218,7 @@ fn pipeline_json_row(
         .unwrap_or_else(|e| panic!("{name}: pipeline failed: {e}"))
     };
     let outcome = match checkpoint_every {
-        Some(every) => run_pipeline_checkpointed(name, aig, threads, every),
+        Some(every) => run_pipeline_checkpointed(name, aig, threads, every, compact_every),
         None => run(1),
     };
     let parallel = run(4);
@@ -337,6 +348,14 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let compact_every: u64 = arg_value(&args, "--compact-every")
+        .map(|v| {
+            v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                eprintln!("--compact-every expects a positive counter-example count");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0);
     if num_patterns == 0 || threads == 0 {
         eprintln!("--patterns and --threads must be nonzero");
         std::process::exit(2);
@@ -443,6 +462,12 @@ fn main() {
                 )
             }
         }
+        if compact_every > 0 {
+            println!(
+                "pattern compaction every {compact_every} counter-example(s); counters must \
+                 match a compaction-free baseline exactly"
+            );
+        }
         let mut par_times = (0.0f64, 0.0f64);
         let pipeline_rows: Vec<String> = suite
             .iter()
@@ -452,6 +477,7 @@ fn main() {
                     &bench.aig,
                     threads,
                     checkpoint_every,
+                    compact_every,
                     &mut par_times,
                 )
             })

@@ -1,74 +1,64 @@
 //! Word-parallel simulation of And-Inverter Graphs.
+//!
+//! Signatures live in a [`SignatureArena`] — one contiguous node-major
+//! allocation instead of one heap `Vec` per node — so a full simulation
+//! pass performs O(1) allocations and the AND kernel streams through
+//! stride-contiguous rows (see [`crate::arena`]).
 
-use crate::{parallel, PatternSet, Signature};
+use crate::arena::{SigRef, SignatureArena};
+use crate::{kernels, parallel, PatternSet, Signature};
 use netlist::{Aig, AigNode, NodeId};
-use std::borrow::Cow;
 
-/// The word-parallel AND of two fanin signatures with complements applied as
-/// branchless XOR masks, writing words `offset .. offset + out.len()` of the
-/// result.  This is the single AND kernel shared by the sequential,
-/// incremental and parallel evaluators, so all of them are bit-identical by
-/// construction.
-fn and_words_into(
-    s0: &Signature,
-    c0: bool,
-    s1: &Signature,
-    c1: bool,
-    offset: usize,
-    out: &mut [u64],
-) {
-    let m0 = if c0 { u64::MAX } else { 0 };
-    let m1 = if c1 { u64::MAX } else { 0 };
-    let w0 = &s0.words()[offset..offset + out.len()];
-    let w1 = &s1.words()[offset..offset + out.len()];
-    for ((o, &a), &b) in out.iter_mut().zip(w0).zip(w1) {
-        *o = (a ^ m0) & (b ^ m1);
+/// Complement mask of an AIG literal: XORing a signature word with the mask
+/// applies the complement branchlessly.
+#[inline]
+fn mask(complemented: bool) -> u64 {
+    if complemented {
+        u64::MAX
+    } else {
+        0
     }
 }
 
-/// The word-parallel AND of two fanin signatures; `words` bounds the output
-/// length.
-fn and_words(s0: &Signature, c0: bool, s1: &Signature, c1: bool, words: usize) -> Vec<u64> {
-    let mut out = vec![0u64; words];
-    and_words_into(s0, c0, s1, c1, 0, &mut out);
-    out
-}
-
-/// Simulation state: one packed signature per AIG node.
+/// Simulation state: the packed signatures of every AIG node, stored in a
+/// struct-of-arrays [`SignatureArena`].
 #[derive(Debug, Clone)]
 pub struct AigSimState {
-    signatures: Vec<Signature>,
-    num_patterns: usize,
+    arena: SignatureArena,
+    steal_events: u64,
 }
 
 impl AigSimState {
-    /// The signature of `node`.
-    pub fn signature(&self, node: NodeId) -> &Signature {
-        &self.signatures[node]
+    /// A borrowed view of the signature of `node`.
+    pub fn signature(&self, node: NodeId) -> SigRef<'_> {
+        self.arena.sig(node)
     }
 
     /// The signature seen at output `index` of `aig` (complement applied).
-    ///
-    /// Borrows the stored signature when the output is not complemented —
-    /// the common case — instead of cloning on every call.
-    pub fn output_signature(&self, aig: &Aig, index: usize) -> Cow<'_, Signature> {
+    pub fn output_signature(&self, aig: &Aig, index: usize) -> Signature {
         let output = &aig.outputs()[index];
-        let sig = &self.signatures[output.lit.node()];
+        let sig = self.arena.to_signature(output.lit.node());
         if output.lit.is_complemented() {
-            Cow::Owned(sig.complement())
+            sig.complement()
         } else {
-            Cow::Borrowed(sig)
+            sig
         }
     }
 
     /// Number of simulated patterns.
     pub fn num_patterns(&self) -> usize {
-        self.num_patterns
+        self.arena.num_patterns()
     }
 
-    /// All node signatures, indexed by node id.
-    pub fn signatures(&self) -> &[Signature] {
-        &self.signatures
+    /// The backing signature arena.
+    pub fn arena(&self) -> &SignatureArena {
+        &self.arena
+    }
+
+    /// Number of work-stealing events the producing run observed (0 for
+    /// sequential runs; see [`parallel::evaluate_level_stealing`]).
+    pub fn steal_events(&self) -> u64 {
+        self.steal_events
     }
 }
 
@@ -103,41 +93,45 @@ impl<'a> AigSimulator<'a> {
             "pattern set input count must match the network"
         );
         let n = patterns.num_patterns();
-        let words = n.div_ceil(64).max(1);
-        let mut signatures: Vec<Signature> = Vec::with_capacity(self.aig.num_nodes());
+        let mut arena = SignatureArena::new(self.aig.num_nodes(), n);
         for id in self.aig.node_ids() {
-            let sig = match self.aig.node(id) {
-                AigNode::Const0 => Signature::zeros(n),
-                AigNode::Input { position } => patterns.input_signature(*position).clone(),
-                AigNode::And { fanin0, fanin1 } => {
-                    let s0 = &signatures[fanin0.node()];
-                    let s1 = &signatures[fanin1.node()];
-                    let out = and_words(
-                        s0,
-                        fanin0.is_complemented(),
-                        s1,
-                        fanin1.is_complemented(),
-                        words,
-                    );
-                    Signature::from_words(n, out)
+            match self.aig.node(id) {
+                AigNode::Const0 => {} // rows start zeroed
+                AigNode::Input { position } => {
+                    arena
+                        .row_mut(id)
+                        .copy_from_slice(patterns.input_signature(*position).words());
                 }
-            };
-            signatures.push(sig);
+                AigNode::And { fanin0, fanin1 } => {
+                    let (prefix, row) = arena.split_at_row(id);
+                    kernels::and2_masked(
+                        prefix.row(fanin0.node()),
+                        prefix.row(fanin1.node()),
+                        mask(fanin0.is_complemented()),
+                        mask(fanin1.is_complemented()),
+                        row,
+                    );
+                    arena.mask_row_tail(id);
+                }
+            }
+            arena.mark_written(id);
         }
         AigSimState {
-            signatures,
-            num_patterns: n,
+            arena,
+            steal_events: 0,
         }
     }
 
     /// Simulates all nodes with up to `num_threads` worker threads.
     ///
-    /// Nodes are grouped by topological level; within one level every
-    /// worker evaluates all nodes for a contiguous chunk of signature words
-    /// (see [`crate::parallel`]).  Workers execute exactly the word
-    /// operations of [`AigSimulator::run`], so the result is **bit-identical
-    /// to a sequential run** for any thread count.  Levels whose work is
-    /// below [`parallel::PARALLEL_GRAIN`] are evaluated inline.
+    /// Nodes are grouped by topological level; within one level the arena
+    /// rows are partitioned into cost-balanced chunks that workers claim
+    /// through an atomic cursor (see
+    /// [`parallel::evaluate_level_stealing`]).  Workers execute exactly the
+    /// word operations of [`AigSimulator::run`], so the result is
+    /// **bit-identical to a sequential run** for any thread count.  Levels
+    /// whose work is below [`parallel::PARALLEL_GRAIN`] are evaluated
+    /// inline.
     ///
     /// `num_threads <= 1` falls back to [`AigSimulator::run`].
     ///
@@ -154,17 +148,20 @@ impl<'a> AigSimulator<'a> {
             "pattern set input count must match the network"
         );
         let n = patterns.num_patterns();
-        let num_words = n.div_ceil(64).max(1);
+        let mut arena = SignatureArena::new(self.aig.num_nodes(), n);
+        let mut steal_events = 0u64;
         let groups = parallel::group_by_level(&self.aig.levels());
-        let mut signatures: Vec<Signature> = vec![Signature::zeros(0); self.aig.num_nodes()];
         for group in &groups {
             // Constants and inputs (always level 0) are plain copies.
             let mut and_nodes: Vec<NodeId> = Vec::with_capacity(group.len());
             for &id in group {
                 match self.aig.node(id) {
-                    AigNode::Const0 => signatures[id] = Signature::zeros(n),
+                    AigNode::Const0 => arena.mark_written(id),
                     AigNode::Input { position } => {
-                        signatures[id] = patterns.input_signature(*position).clone();
+                        arena
+                            .row_mut(id)
+                            .copy_from_slice(patterns.input_signature(*position).words());
+                        arena.mark_written(id);
                     }
                     AigNode::And { .. } => and_nodes.push(id),
                 }
@@ -173,32 +170,36 @@ impl<'a> AigSimulator<'a> {
                 continue;
             }
             let aig = self.aig;
-            let sigs = &signatures;
-            let buffers = parallel::evaluate_level(
+            let costs = vec![1u64; and_nodes.len()];
+            let (rows, reader) = arena.split_rows(&and_nodes);
+            steal_events += parallel::evaluate_level_stealing(
+                rows,
                 &and_nodes,
-                num_words,
+                &costs,
                 num_threads,
                 &|id, word_lo, out| {
                     let AigNode::And { fanin0, fanin1 } = aig.node(id) else {
                         unreachable!("and_nodes only holds AND gates");
                     };
-                    and_words_into(
-                        &sigs[fanin0.node()],
-                        fanin0.is_complemented(),
-                        &sigs[fanin1.node()],
-                        fanin1.is_complemented(),
-                        word_lo,
+                    let w0 = &reader.row(fanin0.node())[word_lo..word_lo + out.len()];
+                    let w1 = &reader.row(fanin1.node())[word_lo..word_lo + out.len()];
+                    kernels::and2_masked(
+                        w0,
+                        w1,
+                        mask(fanin0.is_complemented()),
+                        mask(fanin1.is_complemented()),
                         out,
                     );
                 },
             );
-            for (out, &id) in buffers.into_iter().zip(and_nodes.iter()) {
-                signatures[id] = Signature::from_words(n, out);
+            for &id in &and_nodes {
+                arena.mask_row_tail(id);
+                arena.mark_written(id);
             }
         }
         AigSimState {
-            signatures,
-            num_patterns: n,
+            arena,
+            steal_events,
         }
     }
 
@@ -216,48 +217,39 @@ impl<'a> AigSimulator<'a> {
             self.aig.num_inputs(),
             "pattern set input count must match the network"
         );
-        let old_n = state.num_patterns;
+        let old_n = state.num_patterns();
         let new_n = old_n + extra.num_patterns();
-        let mut signatures = Vec::with_capacity(self.aig.num_nodes());
+        let mut arena = SignatureArena::new(self.aig.num_nodes(), new_n);
         for id in self.aig.node_ids() {
-            let sig = match self.aig.node(id) {
-                AigNode::Const0 => Signature::zeros(new_n),
+            match self.aig.node(id) {
+                AigNode::Const0 => {}
                 AigNode::Input { position } => {
-                    let mut s = state.signatures[id].clone();
+                    let old_words = state.arena.row(id);
+                    arena.row_mut(id)[..old_words.len()].copy_from_slice(old_words);
                     let extra_sig = extra.input_signature(*position);
-                    let mut grown = Signature::zeros(new_n);
-                    for i in 0..old_n {
-                        if s.get_bit(i) {
-                            grown.set_bit(i, true);
-                        }
-                    }
                     for i in 0..extra.num_patterns() {
                         if extra_sig.get_bit(i) {
-                            grown.set_bit(old_n + i, true);
+                            arena.set_bit(id, old_n + i, true);
                         }
                     }
-                    s = grown;
-                    s
                 }
                 AigNode::And { fanin0, fanin1 } => {
-                    let s0: &Signature = &signatures[fanin0.node()];
-                    let s1: &Signature = &signatures[fanin1.node()];
-                    let words = new_n.div_ceil(64).max(1);
-                    let out = and_words(
-                        s0,
-                        fanin0.is_complemented(),
-                        s1,
-                        fanin1.is_complemented(),
-                        words,
+                    let (prefix, row) = arena.split_at_row(id);
+                    kernels::and2_masked(
+                        prefix.row(fanin0.node()),
+                        prefix.row(fanin1.node()),
+                        mask(fanin0.is_complemented()),
+                        mask(fanin1.is_complemented()),
+                        row,
                     );
-                    Signature::from_words(new_n, out)
+                    arena.mask_row_tail(id);
                 }
-            };
-            signatures.push(sig);
+            }
+            arena.mark_written(id);
         }
         AigSimState {
-            signatures,
-            num_patterns: new_n,
+            arena,
+            steal_events: 0,
         }
     }
 }
@@ -378,6 +370,16 @@ mod tests {
             assert_eq!(incremental.signature(id), full.signature(id), "node {id}");
         }
         assert_eq!(incremental.num_patterns(), 137);
+    }
+
+    #[test]
+    fn state_rows_are_generation_fresh() {
+        let aig = sample_aig();
+        let patterns = PatternSet::random(3, 70, 9).unwrap();
+        let state = AigSimulator::new(&aig).run(&patterns);
+        for id in aig.node_ids() {
+            assert!(!state.arena().is_stale(id));
+        }
     }
 
     #[test]

@@ -35,12 +35,15 @@
 #![warn(missing_docs)]
 
 mod aig_sim;
+pub mod arena;
+pub mod kernels;
 mod lut_sim;
 pub mod parallel;
 mod patterns;
 mod signature;
 
 pub use aig_sim::{AigSimState, AigSimulator};
+pub use arena::{ArenaPrefix, ArenaRows, SigRef, SignatureArena};
 pub use lut_sim::{LutSimState, LutSimulator};
 pub use patterns::{PatternError, PatternSet};
 pub use signature::Signature;

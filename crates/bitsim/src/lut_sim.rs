@@ -6,46 +6,45 @@
 //! index and look up the output bit.  [`LutSimulator::run`] implements
 //! exactly that per-pattern evaluation and is the baseline ("TL" columns of
 //! Table I) that the STP-based simulator is compared against.
+//!
+//! Like the AIG state, the signatures live in a [`SignatureArena`] so a run
+//! performs O(1) allocations.
 
+use crate::arena::{SigRef, SignatureArena};
 use crate::{PatternSet, Signature};
 use netlist::{LutNetwork, LutNode, LutNodeId};
-use std::borrow::Cow;
 
-/// Simulation state of a k-LUT network: one signature per node.
+/// Simulation state of a k-LUT network: one arena row per node.
 #[derive(Debug, Clone)]
 pub struct LutSimState {
-    signatures: Vec<Signature>,
-    num_patterns: usize,
+    arena: SignatureArena,
 }
 
 impl LutSimState {
-    /// The signature of `node`.
-    pub fn signature(&self, node: LutNodeId) -> &Signature {
-        &self.signatures[node]
+    /// A borrowed view of the signature of `node`.
+    pub fn signature(&self, node: LutNodeId) -> SigRef<'_> {
+        self.arena.sig(node)
     }
 
     /// The signature of output `index` (complement applied).
-    ///
-    /// Borrows the stored signature when the output is not complemented —
-    /// the common case — instead of cloning on every call.
-    pub fn output_signature(&self, net: &LutNetwork, index: usize) -> Cow<'_, Signature> {
+    pub fn output_signature(&self, net: &LutNetwork, index: usize) -> Signature {
         let output = &net.outputs()[index];
-        let sig = &self.signatures[output.node];
+        let sig = self.arena.to_signature(output.node);
         if output.complemented {
-            Cow::Owned(sig.complement())
+            sig.complement()
         } else {
-            Cow::Borrowed(sig)
+            sig
         }
     }
 
     /// Number of simulated patterns.
     pub fn num_patterns(&self) -> usize {
-        self.num_patterns
+        self.arena.num_patterns()
     }
 
-    /// All node signatures, indexed by node id.
-    pub fn signatures(&self) -> &[Signature] {
-        &self.signatures
+    /// The backing signature arena.
+    pub fn arena(&self) -> &SignatureArena {
+        &self.arena
     }
 }
 
@@ -73,9 +72,7 @@ impl<'a> LutSimulator<'a> {
             "pattern set input count must match the network"
         );
         let n = patterns.num_patterns();
-        let mut signatures: Vec<Signature> = (0..self.net.num_nodes())
-            .map(|_| Signature::zeros(n))
-            .collect();
+        let mut arena = SignatureArena::new(self.net.num_nodes(), n);
         // Per-pattern evaluation: this is intentionally the "slow" baseline.
         for p in 0..n {
             for id in self.net.node_ids() {
@@ -85,7 +82,7 @@ impl<'a> LutSimulator<'a> {
                     LutNode::Lut { fanins, function } => {
                         let mut index = 0usize;
                         for (k, &fanin) in fanins.iter().enumerate() {
-                            if signatures[fanin].get_bit(p) {
+                            if arena.sig(fanin).get_bit(p) {
                                 index |= 1 << k;
                             }
                         }
@@ -93,14 +90,14 @@ impl<'a> LutSimulator<'a> {
                     }
                 };
                 if value {
-                    signatures[id].set_bit(p, true);
+                    arena.set_bit(id, p, true);
                 }
             }
         }
-        LutSimState {
-            signatures,
-            num_patterns: n,
+        for id in self.net.node_ids() {
+            arena.mark_written(id);
         }
+        LutSimState { arena }
     }
 }
 

@@ -45,9 +45,25 @@ impl Signature {
     }
 
     /// Builds a signature from packed words (little-endian bit order).
+    ///
+    /// Shorter inputs are zero-padded to the `len.div_ceil(64)` words the
+    /// signature needs; bits beyond `len` in the last word are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` holds *more* words than `len` bits can occupy —
+    /// excess words are almost certainly a caller bug (a signature built
+    /// for the wrong pattern count), and silently dropping them would hide
+    /// it.
     pub fn from_words(len: usize, words: Vec<u64>) -> Self {
+        let needed = len.div_ceil(64).max(1);
+        assert!(
+            words.len() <= needed,
+            "{} words cannot back a {len}-bit signature (expected at most {needed})",
+            words.len(),
+        );
         let mut s = Signature { words, len };
-        s.words.resize(len.div_ceil(64).max(1), 0);
+        s.words.resize(needed, 0);
         s.mask_tail();
         s
     }
@@ -231,6 +247,24 @@ mod tests {
         assert!(!s.get_bit(1));
         assert_eq!(s.count_ones(), 3);
         assert_eq!(s.to_binary_string(), "1101");
+    }
+
+    #[test]
+    fn from_words_pads_and_masks() {
+        let s = Signature::from_words(70, vec![u64::MAX]);
+        assert_eq!(s.len(), 70);
+        assert_eq!(s.words().len(), 2);
+        assert_eq!(s.count_ones(), 64);
+        let t = Signature::from_words(10, vec![u64::MAX]);
+        assert_eq!(t.count_ones(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot back")]
+    fn from_words_rejects_over_long_input() {
+        // Two words can only back up to 128 bits; 65 bits need just two,
+        // so three words must be rejected rather than silently truncated.
+        let _ = Signature::from_words(65, vec![1, 2, 3]);
     }
 
     #[test]

@@ -67,7 +67,11 @@ pub const CHECKPOINT_MAGIC: [u8; 8] = *b"STPSWCP\x01";
 /// The current checkpoint format version.  Decoders reject any other
 /// version with [`CheckpointError::UnsupportedVersion`]; the version is
 /// bumped whenever the payload layout changes.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// Version history: 1 = initial format; 2 = pattern compaction (config
+/// `compact_every`, stats `compactions`/`patterns_dropped`, session
+/// `last_compaction_ce`).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // Errors.
@@ -242,6 +246,10 @@ pub struct SweepCheckpoint {
     pub(crate) stats: StatsObserver,
     pub(crate) sweep_sat_calls: u64,
     pub(crate) committed_candidates: u64,
+    /// Counter-example count at the last pattern compaction (drives the
+    /// deterministic [`crate::SweepConfig::compact_every`] cadence across a
+    /// resume).
+    pub(crate) last_compaction_ce: u64,
     pub(crate) simulation_time: Duration,
     pub(crate) sat_time: Duration,
     /// Wall-clock already consumed before this checkpoint (added to the
@@ -354,6 +362,7 @@ impl SweepCheckpoint {
         encode_stats(&mut w, &self.stats);
         w.u64(self.sweep_sat_calls);
         w.u64(self.committed_candidates);
+        w.u64(self.last_compaction_ce);
         w.duration(self.simulation_time);
         w.duration(self.sat_time);
         w.duration(self.elapsed);
@@ -465,6 +474,7 @@ impl SweepCheckpoint {
         let stats = decode_stats(&mut r)?;
         let sweep_sat_calls = r.u64()?;
         let committed_candidates = r.u64()?;
+        let last_compaction_ce = r.u64()?;
         let simulation_time = r.duration()?;
         let sat_time = r.duration()?;
         let elapsed = r.duration()?;
@@ -498,6 +508,7 @@ impl SweepCheckpoint {
             stats,
             sweep_sat_calls,
             committed_candidates,
+            last_compaction_ce,
             simulation_time,
             sat_time,
             elapsed,
@@ -544,6 +555,7 @@ fn encode_config(w: &mut Writer, c: &SweepConfig) {
     w.usize(c.sat_parallelism);
     w.usize(c.checkpoint_interval);
     w.u64(c.solver_reset_interval);
+    w.u64(c.compact_every);
 }
 
 fn decode_config(r: &mut Reader<'_>) -> Result<SweepConfig, CheckpointError> {
@@ -560,6 +572,7 @@ fn decode_config(r: &mut Reader<'_>) -> Result<SweepConfig, CheckpointError> {
         sat_parallelism: r.usize()?,
         checkpoint_interval: r.usize()?,
         solver_reset_interval: r.u64()?,
+        compact_every: r.u64()?,
     })
 }
 
@@ -580,6 +593,8 @@ fn encode_stats(w: &mut Writer, s: &StatsObserver) {
     w.u64(s.sat_batches);
     w.u64(s.sat_parallel_conflicts);
     w.u64(s.checkpoints);
+    w.u64(s.compactions);
+    w.u64(s.patterns_dropped);
 }
 
 fn decode_stats(r: &mut Reader<'_>) -> Result<StatsObserver, CheckpointError> {
@@ -600,6 +615,8 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<StatsObserver, CheckpointError> {
         sat_batches: r.u64()?,
         sat_parallel_conflicts: r.u64()?,
         checkpoints: r.u64()?,
+        compactions: r.u64()?,
+        patterns_dropped: r.u64()?,
     })
 }
 
@@ -1349,6 +1366,7 @@ mod tests {
             },
             sweep_sat_calls: 3,
             committed_candidates: 4,
+            last_compaction_ce: 2,
             simulation_time: Duration::from_millis(12),
             sat_time: Duration::from_millis(7),
             elapsed: Duration::from_millis(20),
@@ -1691,6 +1709,7 @@ mod tests {
                         stats: StatsObserver::new(),
                         sweep_sat_calls: sat_calls,
                         committed_candidates: committed,
+                        last_compaction_ce: sat_calls / 2,
                         simulation_time: Duration::ZERO,
                         sat_time: Duration::ZERO,
                         elapsed: Duration::ZERO,

@@ -6,9 +6,58 @@
 //! tracks constant candidates, and hands out the candidate pairs the SAT
 //! solver has to decide.
 
-use bitsim::Signature;
+use bitsim::{SigRef, Signature};
 use netlist::NodeId;
 use std::collections::HashMap;
+
+/// FNV-1a fingerprint of a signature's *canonical* form (complemented when
+/// `phase` is set, tail bits masked), used to bucket borrowed [`SigRef`]
+/// views without materialising owned canonical keys.
+fn canonical_fingerprint(sig: SigRef<'_>, phase: bool) -> u64 {
+    let flip = if phase { u64::MAX } else { 0 };
+    let rem = sig.len() % 64;
+    let tail = if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    };
+    let words = sig.words();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for (i, &w) in words.iter().enumerate() {
+        let mut canonical = w ^ flip;
+        if i + 1 == words.len() {
+            canonical &= tail;
+        }
+        hash ^= canonical;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash ^= sig.len() as u64;
+    hash.wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// `true` if the canonical forms of the two views are identical, i.e. the
+/// nodes' signatures are equal up to complementation with the given phases.
+fn canonical_eq(a: SigRef<'_>, phase_a: bool, b: SigRef<'_>, phase_b: bool) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let flip = if phase_a != phase_b { u64::MAX } else { 0 };
+    let rem = a.len() % 64;
+    let tail = if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    };
+    let wa = a.words();
+    let wb = b.words();
+    wa.iter().zip(wb).enumerate().all(|(i, (&x, &y))| {
+        let mut diff = x ^ y ^ flip;
+        if i + 1 == wa.len() {
+            diff &= tail;
+        }
+        diff == 0
+    })
+}
 
 /// A candidate constant node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +165,71 @@ impl EquivClasses {
                 members: members.into_iter().map(|(n, _)| n).collect(),
                 phases,
             });
+        }
+        classes.sort_by_key(|c| c.representative());
+        constants.sort_by_key(|c| c.node);
+        EquivClasses { classes, constants }
+    }
+
+    /// Builds candidate classes straight from borrowed arena views — the
+    /// zero-clone priming path.
+    ///
+    /// Semantically identical to [`EquivClasses::from_signatures`] (the
+    /// produced classes and constants are equal for equal inputs), but the
+    /// signatures are consumed as [`SigRef`] views: bucketing uses a
+    /// complement-normalised FNV fingerprint and an exact canonical
+    /// comparison within each bucket, so no per-node `Signature` clone is
+    /// ever materialised.
+    pub fn from_node_signatures<'a, I>(signatures: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, SigRef<'a>)>,
+    {
+        let mut constants = Vec::new();
+        let mut buckets: HashMap<u64, Vec<(NodeId, SigRef<'a>, bool)>> = HashMap::new();
+        for (node, sig) in signatures {
+            if sig.is_const0() {
+                constants.push(ConstantCandidate { node, value: false });
+                continue;
+            }
+            if sig.is_const1() {
+                constants.push(ConstantCandidate { node, value: true });
+                continue;
+            }
+            let phase = !sig.is_empty() && sig.get_bit(0);
+            buckets
+                .entry(canonical_fingerprint(sig, phase))
+                .or_default()
+                .push((node, sig, phase));
+        }
+        let mut classes = Vec::new();
+        for (_, bucket) in buckets {
+            // Split fingerprint collisions with exact canonical comparison.
+            let mut groups: Vec<Vec<(NodeId, bool)>> = Vec::new();
+            let mut group_reps: Vec<(SigRef<'a>, bool)> = Vec::new();
+            for (node, sig, phase) in bucket {
+                match group_reps
+                    .iter()
+                    .position(|&(rs, rp)| canonical_eq(sig, phase, rs, rp))
+                {
+                    Some(g) => groups[g].push((node, phase)),
+                    None => {
+                        group_reps.push((sig, phase));
+                        groups.push(vec![(node, phase)]);
+                    }
+                }
+            }
+            for mut members in groups {
+                if members.len() < 2 {
+                    continue;
+                }
+                members.sort_unstable();
+                let repr_phase = members[0].1;
+                let phases = members.iter().map(|&(_, p)| p != repr_phase).collect();
+                classes.push(EquivClass {
+                    members: members.into_iter().map(|(n, _)| n).collect(),
+                    phases,
+                });
+            }
         }
         classes.sort_by_key(|c| c.representative());
         constants.sort_by_key(|c| c.node);
@@ -293,6 +407,44 @@ mod tests {
 
     fn build(map: &[(NodeId, Signature)]) -> EquivClasses {
         EquivClasses::from_signatures(&map.iter().cloned().collect())
+    }
+
+    #[test]
+    fn from_node_signatures_matches_from_signatures() {
+        use bitsim::{AigSimulator, PatternSet};
+        use netlist::Aig;
+
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs("x", 4);
+        let a = aig.and(xs[0], xs[1]);
+        let b = aig.and(xs[1], xs[0]); // structurally equal to `a`
+        let c = aig.xor(xs[2], xs[3]);
+        let d = !aig.xor(xs[3], xs[2]); // complement of `c`
+        let e = aig.and(a, !a); // constant 0
+        let f = aig.or(c, !c); // constant 1
+        let o = aig.or(b, d);
+        let k = aig.and(e, f);
+        aig.add_output("o", o);
+        aig.add_output("k", k);
+        let patterns = PatternSet::exhaustive(4);
+        let state = AigSimulator::new(&aig).run(&patterns);
+
+        let cloned: std::collections::HashMap<NodeId, Signature> = aig
+            .and_ids()
+            .map(|id| (id, state.signature(id).to_signature()))
+            .collect();
+        let expected = EquivClasses::from_signatures(&cloned);
+        let got =
+            EquivClasses::from_node_signatures(aig.and_ids().map(|id| (id, state.signature(id))));
+
+        assert_eq!(got.constants(), expected.constants());
+        assert_eq!(got.classes().len(), expected.classes().len());
+        for (g, e) in got.classes().iter().zip(expected.classes()) {
+            assert_eq!(g.members(), e.members());
+            for &m in g.members() {
+                assert_eq!(g.phase_of(m), e.phase_of(m));
+            }
+        }
     }
 
     #[test]

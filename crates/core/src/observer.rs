@@ -103,6 +103,16 @@ pub trait Observer {
     fn on_checkpoint(&mut self, checkpoint: &SweepCheckpoint) {
         let _ = checkpoint;
     }
+
+    /// The pattern set was compacted (every
+    /// [`crate::SweepConfig::compact_every`] counter-examples): `kept`
+    /// pattern columns survived, `dropped` dead columns — columns no
+    /// surviving candidate class disagrees on — were removed.  Compaction
+    /// happens at deterministic points and never changes the sweep result,
+    /// so this event stream is identical for every thread count.
+    fn on_compaction(&mut self, kept: usize, dropped: usize) {
+        let _ = (kept, dropped);
+    }
 }
 
 /// The no-op observer (every method keeps its default body).
@@ -149,6 +159,10 @@ pub struct StatsObserver {
     /// resumed run re-emits its own checkpoints, while the report counters
     /// stay identical to an uninterrupted run).
     pub checkpoints: u64,
+    /// Pattern compactions performed.
+    pub compactions: u64,
+    /// Dead pattern columns dropped, summed over compactions.
+    pub patterns_dropped: u64,
 }
 
 impl StatsObserver {
@@ -179,6 +193,7 @@ impl StatsObserver {
             resim_skipped_nodes: self.resim_skipped_nodes,
             sat_batches: self.sat_batches,
             sat_parallel_conflicts: self.sat_parallel_conflicts,
+            patterns_dropped: self.patterns_dropped,
             ..SweepReport::default()
         }
     }
@@ -235,6 +250,11 @@ impl Observer for StatsObserver {
     fn on_checkpoint(&mut self, _checkpoint: &SweepCheckpoint) {
         self.checkpoints += 1;
     }
+
+    fn on_compaction(&mut self, _kept: usize, dropped: usize) {
+        self.compactions += 1;
+        self.patterns_dropped += dropped as u64;
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +278,7 @@ mod tests {
         stats.on_resimulation(3, 5, 95);
         stats.on_batch_proved(0, 4, 0);
         stats.on_batch_proved(1, 2, 3);
+        stats.on_compaction(96, 160);
 
         assert_eq!(stats.rounds, 1);
         assert_eq!(stats.merges, 1);
@@ -275,6 +296,8 @@ mod tests {
         assert_eq!(stats.resim_skipped_nodes, 95);
         assert_eq!(stats.sat_batches, 2);
         assert_eq!(stats.sat_parallel_conflicts, 3);
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.patterns_dropped, 160);
 
         let report = stats.counts();
         assert_eq!(report.merges, 1);
@@ -285,6 +308,7 @@ mod tests {
         assert_eq!(report.resim_skipped_nodes, 95);
         assert_eq!(report.sat_batches, 2);
         assert_eq!(report.sat_parallel_conflicts, 3);
+        assert_eq!(report.patterns_dropped, 160);
         assert_eq!(report.gates_before, 0, "gate counts belong to the session");
     }
 

@@ -59,6 +59,14 @@ pub struct SweepConfig {
     /// disables resets — a reset discards learnt clauses, so runs with
     /// different intervals may commit different (equally correct) sweeps.
     pub solver_reset_interval: u64,
+    /// Compact the pattern set every this many counter-examples: drop dead
+    /// pattern columns that no surviving candidate class (nor any candidate
+    /// node vs. constant zero) disagrees on, bounding the pattern-word
+    /// footprint of long runs.  Compaction never changes the sweep — the
+    /// engines refine classes from counter-example assignments, not from
+    /// stored patterns — so SAT calls, merges and the result network are
+    /// identical with or without it.  `0` (the default) disables compaction.
+    pub compact_every: u64,
 }
 
 impl Default for SweepConfig {
@@ -76,6 +84,7 @@ impl Default for SweepConfig {
             sat_parallelism: 1,
             checkpoint_interval: 0,
             solver_reset_interval: 0,
+            compact_every: 0,
         }
     }
 }
@@ -197,6 +206,13 @@ impl SweepConfig {
         self
     }
 
+    /// Sets the pattern compaction cadence in counter-examples
+    /// (see [`SweepConfig::compact_every`]; `0` disables).
+    pub fn compact_every(mut self, counterexamples: u64) -> Self {
+        self.compact_every = counterexamples;
+        self
+    }
+
     /// Checks the configuration for values the engines cannot work with.
     ///
     /// Invalid values used to be clamped or to silently misbehave; the
@@ -288,6 +304,16 @@ pub struct SweepReport {
     /// part of [`SweepReport::sat_calls_total`]; they measure wasted
     /// parallel work, and are identical for every `sat_parallelism`.
     pub sat_parallel_conflicts: u64,
+    /// Dead pattern columns dropped by periodic pattern compaction (see
+    /// [`SweepConfig::compact_every`]), summed over compactions.  Identical
+    /// for every thread count; `0` when compaction is disabled.
+    pub patterns_dropped: u64,
+    /// Work-stealing chunk claims beyond each worker's first, summed over
+    /// parallel level evaluations.  Purely diagnostic: the steal *schedule*
+    /// is timing-dependent, but the produced signatures are bit-identical
+    /// regardless, so this counter is excluded from determinism-gated
+    /// output.  `0` for sequential runs.
+    pub steal_events: u64,
     /// Time spent simulating (initial + counter-example simulation).
     pub simulation_time: Duration,
     /// Aggregate time spent inside SAT solvers, summed over the prover's
@@ -334,6 +360,8 @@ impl SweepReport {
         self.sat_parallelism = self.sat_parallelism.max(later.sat_parallelism);
         self.sat_batches += later.sat_batches;
         self.sat_parallel_conflicts += later.sat_parallel_conflicts;
+        self.patterns_dropped += later.patterns_dropped;
+        self.steal_events += later.steal_events;
         self.simulation_time += later.simulation_time;
         self.sat_time += later.sat_time;
         self.total_time += later.total_time;
@@ -420,7 +448,8 @@ mod tests {
             .parallelism(4)
             .sat_parallelism(3)
             .checkpoint_every(50)
-            .with_solver_reset_interval(128);
+            .with_solver_reset_interval(128)
+            .compact_every(200);
         assert_eq!(config.num_initial_patterns, 99);
         assert_eq!(config.conflict_limit, 7);
         assert_eq!(config.tfi_limit, 3);
@@ -430,6 +459,7 @@ mod tests {
         assert_eq!(config.sat_parallelism, 3);
         assert_eq!(config.checkpoint_interval, 50);
         assert_eq!(config.solver_reset_interval, 128);
+        assert_eq!(config.compact_every, 200);
     }
 
     #[test]
@@ -444,6 +474,7 @@ mod tests {
             assert_eq!(config.sat_parallelism, 1, "SAT parallelism is opt-in");
             assert_eq!(config.checkpoint_interval, 0, "checkpoints are opt-in");
             assert_eq!(config.solver_reset_interval, 0, "resets are opt-in");
+            assert_eq!(config.compact_every, 0, "compaction is opt-in");
         }
     }
 
@@ -499,6 +530,8 @@ mod tests {
             sat_parallelism: 2,
             sat_batches: 3,
             sat_parallel_conflicts: 1,
+            patterns_dropped: 40,
+            steal_events: 6,
             simulation_time: Duration::from_millis(5),
             ..SweepReport::default()
         };
@@ -517,6 +550,8 @@ mod tests {
         assert_eq!(first.sat_parallelism, 2, "merge keeps the maximum");
         assert_eq!(first.sat_batches, 3);
         assert_eq!(first.sat_parallel_conflicts, 1);
+        assert_eq!(first.patterns_dropped, 40);
+        assert_eq!(first.steal_events, 6);
         assert_eq!(first.simulation_time, Duration::from_millis(15));
     }
 

@@ -235,6 +235,15 @@ pub struct SweepSession<'n, 'o> {
     /// settled at batch barriers) — the periodic-checkpoint cursor.
     committed_candidates: u64,
     last_checkpoint: u64,
+    /// Counter-example count at the last pattern compaction; with
+    /// [`SweepConfig::compact_every`] set, compaction triggers every time
+    /// `stats.counterexamples` advances by the cadence.  Checkpointed, so a
+    /// resumed run compacts at the same points as an uninterrupted one.
+    last_compaction_ce: u64,
+    /// Work-stealing claims beyond each worker's first, summed over the
+    /// session's parallel simulations (diagnostic; see
+    /// [`crate::SweepReport::steal_events`]).
+    steal_events: u64,
     /// Whether priming ran (patterns, classes).  A pre-tripped budget skips
     /// priming; such a session resumes by re-priming from scratch.
     primed: bool,
@@ -292,6 +301,8 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                 pool_committed: vec![0; MAX_BATCH],
                 committed_candidates: 0,
                 last_checkpoint: 0,
+                last_compaction_ce: 0,
+                steal_events: 0,
                 primed: false,
                 stop_checkpoint: None,
             };
@@ -319,13 +330,12 @@ impl<'n, 'o> SweepSession<'n, 'o> {
         // Level-scheduled parallel evaluation; bit-identical to a
         // sequential run for every `num_threads`.
         let state = AigSimulator::new(aig).run_parallel(&pattern_set, config.num_threads);
-        let and_signatures: HashMap<NodeId, Signature> = aig
-            .and_ids()
-            .map(|id| (id, state.signature(id).clone()))
-            .collect();
         let simulation_time = sim_start.elapsed();
 
-        let classes = EquivClasses::from_signatures(&and_signatures);
+        // Prime the classes straight from the arena views — no per-node
+        // signature clones.
+        let classes =
+            EquivClasses::from_node_signatures(aig.and_ids().map(|id| (id, state.signature(id))));
 
         // Window index used by the STP engine for exhaustive refinement and
         // for counter-example simulation restricted to class nodes.
@@ -363,6 +373,8 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             pool_committed: vec![0; MAX_BATCH],
             committed_candidates: 0,
             last_checkpoint: 0,
+            last_compaction_ce: 0,
+            steal_events: state.steal_events(),
             primed: true,
             stop_checkpoint: None,
         };
@@ -545,6 +557,10 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             pool_committed: checkpoint.pool_committed.clone(),
             committed_candidates: checkpoint.committed_candidates,
             last_checkpoint: checkpoint.committed_candidates,
+            last_compaction_ce: checkpoint.last_compaction_ce,
+            // Steal counts are wall-clock diagnostics of *this* leg; they are
+            // deliberately not carried across a resume.
+            steal_events: 0,
             primed: true,
             stop_checkpoint: None,
         })
@@ -689,6 +705,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             stats: self.stats,
             sweep_sat_calls: self.sweep_sat_calls,
             committed_candidates: self.committed_candidates,
+            last_compaction_ce: self.last_compaction_ce,
             simulation_time: self.simulation_time,
             sat_time: self.sat_time,
             elapsed: self.elapsed_base + self.started.elapsed(),
@@ -779,6 +796,13 @@ impl<'n, 'o> SweepSession<'n, 'o> {
         self.stats.on_batch_proved(batch, settled, conflicts);
         if let Some(obs) = self.observer.as_mut() {
             obs.on_batch_proved(batch, settled, conflicts);
+        }
+    }
+
+    fn notify_compaction(&mut self, kept: usize, dropped: usize) {
+        self.stats.on_compaction(kept, dropped);
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_compaction(kept, dropped);
         }
     }
 
@@ -1319,6 +1343,93 @@ impl<'n, 'o> SweepSession<'n, 'o> {
         self.simulation_time += sim_start.elapsed();
         let num_classes = self.classes.classes().len();
         self.notify_class_refined(num_classes, moved);
+        self.maybe_compact();
+    }
+
+    /// Periodically compacts the pattern set (see
+    /// [`SweepConfig::compact_every`]).
+    ///
+    /// Refinement never re-reads stored patterns — counter-examples are
+    /// simulated from their own assignments — so dropping columns cannot
+    /// change the sweep.  The columns kept are chosen by partition
+    /// refinement over the surviving class representatives (plus an all-zero
+    /// constant prototype): scanning left to right, a column survives only
+    /// if it splits a group of prototypes that all earlier kept columns
+    /// leave together.  The kept set therefore still distinguishes every
+    /// pair of surviving classes, while columns whose information is
+    /// subsumed ("dead" columns) are dropped, bounding the pattern-word
+    /// footprint of long runs.
+    ///
+    /// Triggered on the deterministic counter-example count, which is
+    /// checkpointed: a resumed run compacts at the same points as an
+    /// uninterrupted one.
+    fn maybe_compact(&mut self) {
+        let cadence = self.config.compact_every;
+        if cadence == 0 || self.stats.counterexamples - self.last_compaction_ce < cadence {
+            return;
+        }
+        self.last_compaction_ce = self.stats.counterexamples;
+        let n = self.pattern_set.num_patterns();
+        if n <= 1 {
+            return;
+        }
+        let sim_start = Instant::now();
+        // Fresh signatures over the full (grown) pattern set; parallel runs
+        // are bit-identical to sequential ones, so the kept-column choice is
+        // the same for every thread count.
+        let state = AigSimulator::new(self.original)
+            .run_parallel(&self.pattern_set, self.config.num_threads);
+        self.steal_events += state.steal_events();
+        // Prototype rows: one per surviving class (its representative,
+        // complement-normalised against column 0) plus an all-zero row
+        // standing in for the constant candidates.
+        let mut protos: Vec<Signature> = Vec::with_capacity(self.classes.classes().len() + 1);
+        protos.push(Signature::zeros(n));
+        for class in self.classes.classes() {
+            let sig = state.signature(class.representative());
+            let canonical = if sig.get_bit(0) {
+                sig.to_signature().complement()
+            } else {
+                sig.to_signature()
+            };
+            protos.push(canonical);
+        }
+        // Left-to-right partition refinement: `group_of[p]` is the current
+        // group of prototype `p`; a column is kept iff it splits a group.
+        let mut group_of: Vec<u32> = vec![0; protos.len()];
+        let mut num_groups = 1usize;
+        let mut keep: Vec<usize> = Vec::new();
+        let mut next_group: HashMap<(u32, bool), u32> = HashMap::new();
+        for c in 0..n {
+            if num_groups == protos.len() {
+                break;
+            }
+            next_group.clear();
+            let mut fresh = 0u32;
+            let old_groups = num_groups;
+            for (p, g) in group_of.iter_mut().enumerate() {
+                let bit = protos[p].get_bit(c);
+                let id = *next_group.entry((*g, bit)).or_insert_with(|| {
+                    let id = fresh;
+                    fresh += 1;
+                    id
+                });
+                *g = id;
+            }
+            num_groups = fresh as usize;
+            if num_groups > old_groups {
+                keep.push(c);
+            }
+        }
+        if keep.is_empty() {
+            keep.push(0);
+        }
+        let dropped = n - keep.len();
+        if dropped > 0 {
+            self.pattern_set.compact(&keep);
+        }
+        self.simulation_time += sim_start.elapsed();
+        self.notify_compaction(keep.len(), dropped);
     }
 
     // ------------------------------------------------------------------
@@ -1335,6 +1446,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
         report.gates_before = self.original.num_ands();
         report.levels = self.original.depth();
         report.gates_after = cleaned.num_ands();
+        report.steal_events = self.steal_events;
         report.simulation_time = self.simulation_time;
         report.sat_time = self.sat_time;
         report.total_time = self.elapsed_base + self.started.elapsed();
@@ -1389,6 +1501,40 @@ mod tests {
         let result = Sweeper::new(Engine::Stp).run(&aig).expect("runs");
         assert!(result.aig.num_ands() < aig.num_ands());
         assert!(check_equivalence(&aig, &result.aig, 100_000).equivalent);
+    }
+
+    #[test]
+    fn compaction_never_changes_the_sweep() {
+        let aig = redundant_circuit();
+        for engine in [Engine::Stp, Engine::Baseline] {
+            // Patterns small enough that SAT disproofs (and thus
+            // counter-examples) occur, compaction on every one of them.
+            let config = SweepConfig::fast().with_patterns(8);
+            let plain = Sweeper::new(engine).config(config).run(&aig).expect("runs");
+            let compacted = Sweeper::new(engine)
+                .config(config.compact_every(1))
+                .run(&aig)
+                .expect("runs");
+            assert_eq!(plain.report.sat_calls_sat, compacted.report.sat_calls_sat);
+            assert_eq!(
+                plain.report.sat_calls_total,
+                compacted.report.sat_calls_total
+            );
+            assert_eq!(plain.report.merges, compacted.report.merges);
+            assert_eq!(plain.report.constants, compacted.report.constants);
+            assert_eq!(
+                write_aiger_string(&plain.aig),
+                write_aiger_string(&compacted.aig),
+                "compaction changed the {engine:?} result network"
+            );
+            assert_eq!(plain.report.patterns_dropped, 0);
+            if compacted.report.sat_calls_sat > 0 {
+                assert!(
+                    compacted.report.patterns_dropped > 0,
+                    "{engine:?}: counter-examples occurred but nothing was compacted"
+                );
+            }
+        }
     }
 
     #[test]

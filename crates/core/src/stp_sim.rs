@@ -15,9 +15,8 @@
 //!   table of every cut is obtained by STP composition of the member
 //!   matrices, and only the cut roots are simulated.
 
-use bitsim::{parallel, PatternSet, Signature};
+use bitsim::{kernels, parallel, PatternSet, SigRef, Signature, SignatureArena};
 use netlist::{LutNetwork, LutNode, LutNodeId};
-use std::borrow::Cow;
 use std::collections::HashMap;
 use stp::LogicMatrix;
 use truthtable::{compose, TruthTable};
@@ -27,68 +26,72 @@ use truthtable::{compose, TruthTable};
 /// saves, cf. the paper's "fewer than 16 leaf nodes" restriction).
 pub const MAX_CUT_LEAVES: usize = 16;
 
-/// Result of an all-nodes STP simulation: one signature per node.
+/// Result of an all-nodes STP simulation: one [`SignatureArena`] row per
+/// node.
 ///
 /// After an incremental [`StpSimulator::resimulate`], nodes outside the
-/// resimulated targets become *stale*: their stored signature is missing the
-/// appended patterns.  Stale signatures must not be read
+/// resimulated targets become *stale*: their arena row was written at an
+/// older pattern count (the arena's generation tag differs from the current
+/// pattern count).  Stale signatures must not be read
 /// ([`StpSimState::signature`] panics); [`StpSimState::is_stale`] tells which
 /// nodes are affected.
 #[derive(Debug, Clone)]
 pub struct StpSimState {
-    signatures: Vec<Signature>,
-    stale: Vec<bool>,
-    num_patterns: usize,
+    arena: SignatureArena,
+    steal_events: u64,
 }
 
 impl StpSimState {
-    /// The signature of `node`.
+    /// A borrowed view of the signature of `node`.
     ///
     /// # Panics
     ///
     /// Panics if the node's signature is stale after an incremental
     /// resimulation that did not target it.
-    pub fn signature(&self, node: LutNodeId) -> &Signature {
+    pub fn signature(&self, node: LutNodeId) -> SigRef<'_> {
         assert!(
-            !self.stale[node],
+            !self.arena.is_stale(node),
             "node {node} is stale: it was skipped by an incremental resimulation"
         );
-        &self.signatures[node]
+        self.arena.sig(node)
     }
 
     /// `true` if the node's signature no longer covers every pattern (the
     /// node was skipped by an incremental [`StpSimulator::resimulate`]).
     pub fn is_stale(&self, node: LutNodeId) -> bool {
-        self.stale[node]
+        self.arena.is_stale(node)
     }
 
     /// The signature of output `index` (complement applied).
     ///
-    /// Borrows the stored signature when the output is not complemented —
-    /// the common case — instead of cloning on every call.
-    ///
     /// # Panics
     ///
     /// Panics if the driving node's signature is stale.
-    pub fn output_signature(&self, net: &LutNetwork, index: usize) -> Cow<'_, Signature> {
+    pub fn output_signature(&self, net: &LutNetwork, index: usize) -> Signature {
         let output = &net.outputs()[index];
-        let sig = self.signature(output.node);
+        let sig = self.signature(output.node).to_signature();
         if output.complemented {
-            Cow::Owned(sig.complement())
+            sig.complement()
         } else {
-            Cow::Borrowed(sig)
+            sig
         }
     }
 
     /// Number of simulated patterns.
     pub fn num_patterns(&self) -> usize {
-        self.num_patterns
+        self.arena.num_patterns()
     }
 
-    /// All node signatures, indexed by node id.  Stale entries (see
-    /// [`StpSimState::is_stale`]) are shorter than `num_patterns`.
-    pub fn signatures(&self) -> &[Signature] {
-        &self.signatures
+    /// The backing signature arena.  Stale rows (see
+    /// [`StpSimState::is_stale`]) carry an older generation tag.
+    pub fn arena(&self) -> &SignatureArena {
+        &self.arena
+    }
+
+    /// Number of work-stealing events the producing run observed (0 for
+    /// sequential runs).
+    pub fn steal_events(&self) -> u64 {
+        self.steal_events
     }
 }
 
@@ -156,40 +159,44 @@ impl<'a> StpSimulator<'a> {
             "pattern set input count must match the network"
         );
         let n = patterns.num_patterns();
-        let num_words = n.div_ceil(64).max(1);
-        let mut signatures: Vec<Signature> = Vec::with_capacity(self.net.num_nodes());
+        let mut arena = SignatureArena::new(self.net.num_nodes(), n);
         for id in self.net.node_ids() {
-            let sig = match self.net.node(id) {
-                LutNode::Const0 => Signature::zeros(n),
-                LutNode::Input { position } => patterns.input_signature(*position).clone(),
+            match self.net.node(id) {
+                LutNode::Const0 => {} // rows start zeroed
+                LutNode::Input { position } => {
+                    arena
+                        .row_mut(id)
+                        .copy_from_slice(patterns.input_signature(*position).words());
+                }
                 LutNode::Lut { .. } => {
+                    let (prefix, row) = arena.split_at_row(id);
                     let fanin_words: Vec<&[u64]> = self.node_fanins[id]
                         .iter()
-                        .map(|&f| signatures[f].words())
+                        .map(|&f| prefix.row(f))
                         .collect();
-                    let mut out = vec![0u64; num_words];
-                    eval_lut_words(&self.node_words[id], &fanin_words, n, 0, &mut out);
-                    Signature::from_words(n, out)
+                    eval_lut_words(&self.node_words[id], &fanin_words, n, 0, row);
+                    arena.mask_row_tail(id);
                 }
-            };
-            signatures.push(sig);
+            }
+            arena.mark_written(id);
         }
         StpSimState {
-            stale: vec![false; signatures.len()],
-            signatures,
-            num_patterns: n,
+            arena,
+            steal_events: 0,
         }
     }
 
     /// Simulates **all** nodes with up to `num_threads` worker threads.
     ///
-    /// Nodes are grouped by topological level; within one level every
-    /// [`std::thread::scope`] worker evaluates all LUTs of the level for a
-    /// contiguous chunk of signature words (see [`bitsim::parallel`]).  The
-    /// workers run exactly the word operations of
-    /// [`StpSimulator::simulate_all`], so the result is **bit-identical to a
-    /// sequential run** for any thread count.  Levels whose work is below
-    /// [`parallel::PARALLEL_GRAIN`] are evaluated inline.
+    /// Nodes are grouped by topological level; within one level the arena
+    /// rows are partitioned into **cost-balanced** chunks (a `k`-input LUT
+    /// weighs `2^k`, so skewed levels no longer starve threads) that
+    /// [`std::thread::scope`] workers claim through an atomic cursor — see
+    /// [`parallel::evaluate_level_stealing`].  The workers run exactly the
+    /// word operations of [`StpSimulator::simulate_all`], so the result is
+    /// **bit-identical to a sequential run** for any thread count.  Levels
+    /// whose work is below [`parallel::PARALLEL_GRAIN`] are evaluated
+    /// inline.
     ///
     /// `num_threads <= 1` falls back to [`StpSimulator::simulate_all`].
     ///
@@ -206,16 +213,19 @@ impl<'a> StpSimulator<'a> {
             "pattern set input count must match the network"
         );
         let n = patterns.num_patterns();
-        let num_words = n.div_ceil(64).max(1);
+        let mut arena = SignatureArena::new(self.net.num_nodes(), n);
+        let mut steal_events = 0u64;
         let groups = parallel::group_by_level(&self.net.levels());
-        let mut signatures: Vec<Signature> = vec![Signature::zeros(0); self.net.num_nodes()];
         for group in &groups {
             let mut luts: Vec<LutNodeId> = Vec::with_capacity(group.len());
             for &id in group {
                 match self.net.node(id) {
-                    LutNode::Const0 => signatures[id] = Signature::zeros(n),
+                    LutNode::Const0 => arena.mark_written(id),
                     LutNode::Input { position } => {
-                        signatures[id] = patterns.input_signature(*position).clone();
+                        arena
+                            .row_mut(id)
+                            .copy_from_slice(patterns.input_signature(*position).words());
+                        arena.mark_written(id);
                     }
                     LutNode::Lut { .. } => luts.push(id),
                 }
@@ -223,23 +233,35 @@ impl<'a> StpSimulator<'a> {
             if luts.is_empty() {
                 continue;
             }
-            let sigs = &signatures;
-            let buffers =
-                parallel::evaluate_level(&luts, num_words, num_threads, &|id, word_lo, out| {
+            // Cost model: evaluating a k-input LUT scans up to 2^k minterm
+            // columns per word, so its per-word cost is exponential in its
+            // fanin width while an AND gate's is constant.
+            let costs: Vec<u64> = luts
+                .iter()
+                .map(|&id| 1u64 << self.node_fanins[id].len().min(MAX_CUT_LEAVES))
+                .collect();
+            let (rows, reader) = arena.split_rows(&luts);
+            steal_events += parallel::evaluate_level_stealing(
+                rows,
+                &luts,
+                &costs,
+                num_threads,
+                &|id, word_lo, out| {
                     let fanin_words: Vec<&[u64]> = self.node_fanins[id]
                         .iter()
-                        .map(|&f| sigs[f].words())
+                        .map(|&f| reader.row(f))
                         .collect();
                     eval_lut_words(&self.node_words[id], &fanin_words, n, word_lo, out);
-                });
-            for (out, &id) in buffers.into_iter().zip(luts.iter()) {
-                signatures[id] = Signature::from_words(n, out);
+                },
+            );
+            for &id in &luts {
+                arena.mask_row_tail(id);
+                arena.mark_written(id);
             }
         }
         StpSimState {
-            stale: vec![false; signatures.len()],
-            signatures,
-            num_patterns: n,
+            arena,
+            steal_events,
         }
     }
 
@@ -275,13 +297,13 @@ impl<'a> StpSimulator<'a> {
             "pattern set input count must match the network"
         );
         assert_eq!(
-            state.signatures.len(),
+            state.arena.num_rows(),
             self.net.num_nodes(),
             "state must belong to this network"
         );
         for &t in targets {
             assert!(
-                !state.stale[t],
+                !state.arena.is_stale(t),
                 "target {t} is stale: its signature history is incomplete"
             );
         }
@@ -290,32 +312,37 @@ impl<'a> StpSimulator<'a> {
         for &t in targets {
             is_target[t] = true;
         }
+        // Growing the arena leaves every row's generation at the old pattern
+        // count, so all rows start out stale; the nodes refreshed below are
+        // re-marked and everything else *stays* stale — exactly the dirty
+        // set the pre-arena `stale: Vec<bool>` tracked by hand.
+        let old_n = state.arena.num_patterns();
+        state.arena.grow_patterns(old_n + extra.num_patterns());
         for id in self.net.node_ids() {
             match self.net.node(id) {
-                LutNode::Const0 => {
-                    for _ in 0..extra.num_patterns() {
-                        state.signatures[id].push(false);
-                    }
-                }
+                LutNode::Const0 => state.arena.mark_written(id), // new bits stay zero
                 LutNode::Input { position } => {
                     let sig = extra.input_signature(*position);
                     for p in 0..extra.num_patterns() {
-                        state.signatures[id].push(sig.get_bit(p));
+                        if sig.get_bit(p) {
+                            state.arena.set_bit(id, old_n + p, true);
+                        }
                     }
+                    state.arena.mark_written(id);
                 }
                 LutNode::Lut { .. } => {
                     if is_target[id] {
                         let fresh = &values[&id];
                         for p in 0..extra.num_patterns() {
-                            state.signatures[id].push(fresh.get_bit(p));
+                            if fresh.get_bit(p) {
+                                state.arena.set_bit(id, old_n + p, true);
+                            }
                         }
-                    } else {
-                        state.stale[id] = true;
+                        state.arena.mark_written(id);
                     }
                 }
             }
         }
-        state.num_patterns += extra.num_patterns();
         evaluated
     }
 
@@ -689,6 +716,15 @@ impl<'a> StpSimulator<'a> {
 /// is dense) are accumulated 64 patterns at a time; very wide LUTs (more
 /// than 256 columns) fall back to per-pattern column selection.  `out` must
 /// be zero-initialised.
+///
+/// The narrow path is structured minterm-outer / fanin-middle / words-inner
+/// over stack blocks of up to [`LUT_BLOCK_WORDS`] words: the innermost loops
+/// are plain stride-1 slice zips over contiguous fanin words (the
+/// [`bitsim::kernels`] primitives), so the per-column table-bit branch is
+/// amortised over a whole block and the hot loops autovectorize (or use the
+/// explicitly widened kernels under the `simd` feature).  The pre-arena
+/// kernel was words-outer / minterm-inner, re-deciding every column once
+/// per word.
 fn eval_lut_words(
     words: &[u64],
     fanin_words: &[&[u64]],
@@ -712,25 +748,39 @@ fn eval_lut_words(
     } else {
         let ones: usize = words.iter().map(|w| w.count_ones() as usize).sum();
         let use_zeros = ones * 2 > columns;
-        for (wi, o) in out.iter_mut().enumerate() {
-            let w = word_lo + wi;
-            let mut acc = 0u64;
+        let mut acc = [0u64; LUT_BLOCK_WORDS];
+        let mut term = [0u64; LUT_BLOCK_WORDS];
+        let mut start = 0usize;
+        while start < out.len() {
+            let blen = (out.len() - start).min(LUT_BLOCK_WORDS);
+            let w0 = word_lo + start;
+            acc[..blen].fill(0);
             for m in 0..columns {
                 let column_is_one = (words[m / 64] >> (m % 64)) & 1 == 1;
                 if column_is_one == use_zeros {
                     continue;
                 }
-                let mut term = u64::MAX;
+                term[..blen].fill(u64::MAX);
                 for (j, fw) in fanin_words.iter().enumerate() {
-                    let fwv = fw[w];
-                    term &= if (m >> j) & 1 == 1 { fwv } else { !fwv };
+                    let src = &fw[w0..w0 + blen];
+                    if (m >> j) & 1 == 1 {
+                        kernels::and_assign(&mut term[..blen], src);
+                    } else {
+                        kernels::andnot_assign(&mut term[..blen], src);
+                    }
                 }
-                acc |= term;
+                kernels::or_assign(&mut acc[..blen], &term[..blen]);
             }
-            *o = if use_zeros { !acc } else { acc };
+            kernels::copy_polarity(&mut out[start..start + blen], &acc[..blen], use_zeros);
+            start += blen;
         }
     }
 }
+
+/// Stack-block size (in words) of the narrow-LUT evaluation path: 64 words
+/// cover 4096 patterns per block while the accumulator and term buffers stay
+/// comfortably on the stack.
+const LUT_BLOCK_WORDS: usize = 64;
 
 /// The cut size limit of Algorithm 1: `⌊log₂ n⌋` for `n` patterns, clamped
 /// to `[1, MAX_CUT_LEAVES]`.
@@ -832,7 +882,7 @@ mod tests {
         let specified = sim.simulate_nodes(&patterns, &targets);
         assert_eq!(specified.len(), 2);
         for &t in &targets {
-            assert_eq!(&specified[&t], all.signature(t), "target {t}");
+            assert_eq!(specified[&t], all.signature(t), "target {t}");
         }
     }
 
@@ -863,11 +913,11 @@ mod tests {
         // Every single-node target and a couple of multi-node target sets.
         for &t in &lut_ids {
             let r = sim.simulate_nodes(&patterns, &[t]);
-            assert_eq!(&r[&t], all.signature(t), "single target {t}");
+            assert_eq!(r[&t], all.signature(t), "single target {t}");
         }
         let r = sim.simulate_nodes(&patterns, &lut_ids);
         for &t in &lut_ids {
-            assert_eq!(&r[&t], all.signature(t), "joint target {t}");
+            assert_eq!(r[&t], all.signature(t), "joint target {t}");
         }
     }
 
@@ -1016,6 +1066,6 @@ mod tests {
         let all = sim.simulate_all(&patterns);
         let last_lut = lut.lut_ids().last().expect("chain has LUTs");
         let r = sim.simulate_nodes(&patterns, &[last_lut]);
-        assert_eq!(&r[&last_lut], all.signature(last_lut));
+        assert_eq!(r[&last_lut], all.signature(last_lut));
     }
 }

@@ -484,7 +484,7 @@ mod tests {
             let targets: Vec<NodeId> = gates.iter().map(|l| l.node()).collect();
             let (result, evaluated) = index.simulate_targets_counted(&aig, &patterns, &targets);
             for &t in &targets {
-                assert_eq!(&result[&t], full.signature(t), "limit {limit}, node {t}");
+                assert_eq!(result[&t], full.signature(t), "limit {limit}, node {t}");
             }
             // Every target that is an AND gate was evaluated; no more AND
             // nodes than the network holds were visited.

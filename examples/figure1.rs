@@ -54,7 +54,7 @@ fn main() {
     ] {
         println!(
             "signature of node {label:>2}: {}",
-            all.signature(node).to_binary_string()
+            all.signature(node).to_signature().to_binary_string()
         );
     }
 
@@ -69,7 +69,7 @@ fn main() {
         "specified-node simulation of node 8: {}",
         specified[&n8].to_binary_string()
     );
-    assert_eq!(&specified[&n7], all.signature(n7));
-    assert_eq!(&specified[&n8], all.signature(n8));
+    assert_eq!(specified[&n7], all.signature(n7));
+    assert_eq!(specified[&n8], all.signature(n8));
     println!("specified-node results match the full simulation.");
 }

@@ -217,6 +217,70 @@ fn checkpoint_chained_cancels_still_reach_identity() {
 }
 
 #[test]
+fn checkpoint_resume_identity_with_mid_run_compaction() {
+    // Pattern compaction (`compact_every`) composes with checkpointing: a
+    // run cancelled between (or right at) compaction events resumes into
+    // byte-for-byte the same result as the uninterrupted compacting run —
+    // and that run in turn produces the same network and SAT/merge counters
+    // as a never-compacting run, with only `patterns_dropped` differing.
+    let aig = workload();
+    for engine in [Engine::Stp, Engine::Baseline] {
+        let base = config(1, 1);
+        let plain = Sweeper::new(engine)
+            .config(base)
+            .run(&aig)
+            .expect("uninterrupted run finishes");
+        // Cadence 1: compact after every counter-example, so every cancel
+        // cut lands near a compaction boundary.
+        let compacting = base.compact_every(1);
+        let reference = Sweeper::new(engine)
+            .config(compacting)
+            .run(&aig)
+            .expect("uninterrupted compacting run finishes");
+
+        // Compaction must actually fire on this workload, and must not
+        // perturb anything except the dropped-pattern count.
+        assert!(reference.report.sat_calls_sat >= 2, "{engine}: needs CEs");
+        assert!(
+            reference.report.patterns_dropped > 0,
+            "{engine}: compaction never fired"
+        );
+        let mut expected = strip(&plain.report);
+        expected.patterns_dropped = reference.report.patterns_dropped;
+        assert_eq!(strip(&reference.report), expected, "{engine}");
+        assert_eq!(
+            write_aiger_string(&reference.aig),
+            write_aiger_string(&plain.aig),
+            "{engine}: compaction changed the swept network"
+        );
+
+        let total = reference.report.sat_calls_total;
+        for cut in [1, total / 4, total / 2, 3 * total / 4, total - 1] {
+            let cut = cut.max(1);
+            let context = format!("{engine}, compact_every=1, cancelled after {cut}/{total}");
+            let checkpoint = Sweeper::new(engine)
+                .config(compacting)
+                .budget(Budget::unlimited().with_max_sat_calls(cut))
+                .run(&aig)
+                .expect_err("the cap must trip")
+                .into_checkpoint()
+                .expect("a primed budget stop carries a checkpoint");
+            // Round-trip through the v2 codec (which carries the
+            // compaction cursor and the dropped-pattern stats).
+            let decoded =
+                SweepCheckpoint::decode(&checkpoint.encode()).expect("own encoding decodes");
+            assert_eq!(decoded, checkpoint, "{context}");
+            let resumed = Sweeper::new(engine)
+                .resume_from(&aig, &decoded)
+                .expect("fingerprints match")
+                .run()
+                .expect("unlimited resume finishes");
+            assert_identical(&resumed, &reference, &context);
+        }
+    }
+}
+
+#[test]
 fn corrupt_checkpoints_yield_typed_errors_never_panics() {
     let aig = workload();
     let checkpoint = Sweeper::new(Engine::Stp)

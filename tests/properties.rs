@@ -265,4 +265,169 @@ proptest! {
         };
         prop_assert_eq!(strip(&legacy.report), strip(&builder.report));
     }
+
+    /// The word kernels of this build — scalar autovectorized or, under the
+    /// `simd` feature, the lane-widened path — agree bit-for-bit with a
+    /// naive per-bit reference.  CI runs this property on both feature
+    /// legs, which transitively proves the simd and scalar kernels are
+    /// bit-identical to each other.
+    #[test]
+    fn word_kernels_match_per_bit_reference(
+        a in proptest::collection::vec(any::<u64>(), 0..19),
+        b in proptest::collection::vec(any::<u64>(), 0..19),
+        mask_a in any::<bool>(),
+        mask_b in any::<bool>(),
+    ) {
+        use stp_sat_sweep::bitsim::kernels;
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let (ma, mb) = (
+            if mask_a { u64::MAX } else { 0 },
+            if mask_b { u64::MAX } else { 0 },
+        );
+        let per_bit = |f: &dyn Fn(bool, bool) -> bool| -> Vec<u64> {
+            (0..n)
+                .map(|w| {
+                    (0..64).fold(0u64, |acc, i| {
+                        let (x, y) = ((a[w] >> i) & 1 == 1, (b[w] >> i) & 1 == 1);
+                        acc | ((f(x, y) as u64) << i)
+                    })
+                })
+                .collect()
+        };
+
+        let mut out = vec![0u64; n];
+        kernels::and2_masked(a, b, ma, mb, &mut out);
+        prop_assert_eq!(&out, &per_bit(&|x, y| (x ^ mask_a) & (y ^ mask_b)));
+
+        let mut acc = a.to_vec();
+        kernels::and_assign(&mut acc, b);
+        prop_assert_eq!(&acc, &per_bit(&|x, y| x & y));
+
+        let mut acc = a.to_vec();
+        kernels::andnot_assign(&mut acc, b);
+        prop_assert_eq!(&acc, &per_bit(&|x, y| x & !y));
+
+        let mut acc = a.to_vec();
+        kernels::or_assign(&mut acc, b);
+        prop_assert_eq!(&acc, &per_bit(&|x, y| x | y));
+
+        for invert in [false, true] {
+            let mut dst = vec![0u64; n];
+            kernels::copy_polarity(&mut dst, b, invert);
+            prop_assert_eq!(&dst, &per_bit(&|_, y| y ^ invert));
+        }
+    }
+
+    /// Arena-backed simulation agrees with direct per-pattern evaluation of
+    /// the network — the ground-truth check under the SoA layout.
+    #[test]
+    fn arena_simulation_matches_per_pattern_evaluation(spec in arb_aig()) {
+        let aig = build_aig(&spec);
+        let patterns = PatternSet::random(aig.num_inputs(), 96, 77).unwrap();
+        let state = AigSimulator::new(&aig).run(&patterns);
+        let lut = lutmap::map_to_luts(&aig, 6);
+        let lut_state = LutSimulator::new(&lut).run(&patterns);
+        let stp_state = StpSimulator::new(&lut).simulate_all(&patterns);
+        for p in 0..patterns.num_patterns() {
+            let assignment = patterns.assignment(p);
+            let expected = aig.evaluate(&assignment);
+            for (o, &exp) in expected.iter().enumerate() {
+                prop_assert_eq!(state.output_signature(&aig, o).get_bit(p), exp);
+                prop_assert_eq!(lut_state.output_signature(&lut, o).get_bit(p), exp);
+                prop_assert_eq!(stp_state.output_signature(&lut, o).get_bit(p), exp);
+            }
+        }
+    }
+
+    /// Pattern compaction never changes the sweep: identical SAT calls,
+    /// merges, constants and byte-identical output networks with and
+    /// without it, on both engines.
+    #[test]
+    fn pattern_compaction_is_behavior_neutral(spec in arb_aig(), seed in 0u64..500) {
+        let aig = build_aig(&spec);
+        let redundant = inject_redundancy(&aig, 0.4, seed);
+        let base = SweepConfig {
+            num_initial_patterns: 16, // few patterns: SAT finds counter-examples
+            sat_guided_patterns: false,
+            ..SweepConfig::default()
+        };
+        for engine in [Engine::Stp, Engine::Baseline] {
+            let plain = Sweeper::new(engine)
+                .config(base)
+                .run(&redundant)
+                .expect("valid config");
+            let compacted = Sweeper::new(engine)
+                .config(base.compact_every(1))
+                .run(&redundant)
+                .expect("valid config");
+            let (r, s) = (&compacted.report, &plain.report);
+            prop_assert_eq!(r.sat_calls_total, s.sat_calls_total);
+            prop_assert_eq!(r.sat_calls_sat, s.sat_calls_sat);
+            prop_assert_eq!(r.merges, s.merges);
+            prop_assert_eq!(r.constants, s.constants);
+            prop_assert_eq!(r.resim_events, s.resim_events);
+            prop_assert_eq!(
+                write_aiger_string(&compacted.aig),
+                write_aiger_string(&plain.aig)
+            );
+        }
+    }
+}
+
+/// A wide, shallow circuit whose levels are large enough to engage the
+/// work-stealing parallel path (`rows × words ≥ PARALLEL_GRAIN`), crossed
+/// with thread counts {1, 2, 4}: the stolen evaluation must be bit-identical
+/// to the sequential one for both engines.
+#[test]
+fn work_stealing_is_thread_count_invariant_on_wide_levels() {
+    let mut aig = Aig::new();
+    let xs = aig.add_inputs("x", 24);
+    let mut layer: Vec<Lit> = xs.clone();
+    // Three wide layers of mixed AND/XOR/MUX cones.
+    for round in 0u64..3 {
+        let mut next = Vec::new();
+        for i in 0..600 {
+            let a = layer[(i * 7 + round as usize) % layer.len()];
+            let b = layer[(i * 13 + 5) % layer.len()];
+            let c = layer[(i * 29 + 11) % layer.len()];
+            let lit = match i % 3 {
+                0 => aig.and(a, b),
+                1 => aig.xor(a, c),
+                _ => aig.mux(a, b, c),
+            };
+            next.push(lit);
+        }
+        layer = next;
+    }
+    for (i, &lit) in layer.iter().take(8).enumerate() {
+        aig.add_output(format!("o{i}"), lit);
+    }
+
+    let patterns = PatternSet::random(24, 512, 0xFEED).unwrap();
+    let sequential = AigSimulator::new(&aig).run(&patterns);
+    for threads in [1usize, 2, 4] {
+        let parallel = AigSimulator::new(&aig).run_parallel(&patterns, threads);
+        for id in aig.node_ids() {
+            assert_eq!(
+                sequential.signature(id),
+                parallel.signature(id),
+                "node {id} differs at {threads} threads"
+            );
+        }
+    }
+
+    let lut = lutmap::map_to_luts(&aig, 6);
+    let stp = StpSimulator::new(&lut);
+    let stp_seq = stp.simulate_all(&patterns);
+    for threads in [2usize, 4] {
+        let stp_par = stp.simulate_all_parallel(&patterns, threads);
+        for id in lut.node_ids() {
+            assert_eq!(
+                stp_seq.signature(id),
+                stp_par.signature(id),
+                "LUT node {id} differs at {threads} threads"
+            );
+        }
+    }
 }

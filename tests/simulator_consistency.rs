@@ -82,7 +82,7 @@ fn specified_node_simulation_agrees_with_full_simulation() {
     for chunk in targets.chunks(3) {
         let result = sim.simulate_nodes(&patterns, chunk);
         for &t in chunk {
-            assert_eq!(&result[&t], all.signature(t), "node {t}");
+            assert_eq!(result[&t], all.signature(t), "node {t}");
         }
     }
 }
@@ -101,7 +101,7 @@ fn window_simulation_agrees_with_bitwise_simulation() {
         let targets: Vec<_> = aig.and_ids().collect();
         let windowed = index.simulate_targets(&aig, &patterns, &targets);
         for &t in &targets {
-            assert_eq!(&windowed[&t], reference.signature(t), "node {t}");
+            assert_eq!(windowed[&t], reference.signature(t), "node {t}");
         }
     }
 }
