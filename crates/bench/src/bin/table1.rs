@@ -76,7 +76,7 @@ impl Observer for CancelAfterSatCalls {
         }
     }
 
-    fn on_checkpoint(&mut self, _checkpoint: &SweepCheckpoint) {
+    fn on_checkpoint(&mut self, _checkpoint: &SweepCheckpoint, _encoded: &[u8]) {
         self.checkpoints_seen += 1;
     }
 }

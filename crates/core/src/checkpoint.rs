@@ -64,14 +64,24 @@ use std::time::Duration;
 /// The 8-byte magic prefix of an encoded checkpoint.
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"STPSWCP\x01";
 
-/// The current checkpoint format version.  Decoders reject any other
-/// version with [`CheckpointError::UnsupportedVersion`]; the version is
-/// bumped whenever the payload layout changes.
+/// The current checkpoint format version.  Decoders accept
+/// [`MIN_CHECKPOINT_VERSION`] through this version and reject anything else
+/// with [`CheckpointError::UnsupportedVersion`]; the version is bumped
+/// whenever the payload layout changes.
 ///
 /// Version history: 1 = initial format; 2 = pattern compaction (config
 /// `compact_every`, stats `compactions`/`patterns_dropped`, session
-/// `last_compaction_ce`).
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// `last_compaction_ce`); 3 = sweep service (canonical netlist
+/// fingerprint, wall-clock cadence `checkpoint_interval_millis`, stats
+/// `checkpoint_bytes`, and cheap checkpoints: cold solver-pool slots are
+/// stored as absent instead of as full snapshots).
+pub const CHECKPOINT_VERSION: u32 = 3;
+
+/// The oldest checkpoint format version this build still decodes.  A v2
+/// checkpoint decodes with the v3 additions defaulted: no wall-clock
+/// cadence, zero checkpoint-byte counter, every pool slot materialised, and
+/// an unknown (zero) canonical fingerprint.
+pub const MIN_CHECKPOINT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // Errors.
@@ -100,7 +110,7 @@ impl fmt::Display for CheckpointError {
             CheckpointError::UnsupportedVersion(v) => write!(
                 f,
                 "unsupported checkpoint format version {v} (this build reads \
-                 version {CHECKPOINT_VERSION})"
+                 versions {MIN_CHECKPOINT_VERSION} through {CHECKPOINT_VERSION})"
             ),
             CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
             CheckpointError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
@@ -225,6 +235,11 @@ pub(crate) enum PhasePod {
 pub struct SweepCheckpoint {
     /// Fingerprint of the network the checkpoint was taken against.
     pub(crate) fingerprint: u64,
+    /// Canonical (topological-order-invariant) fingerprint of the same
+    /// network ([`netlist::canonical_fingerprint`]).  Used by services to
+    /// recognise a resubmitted job whose parser renumbered the circuit;
+    /// zero when decoded from a pre-v3 checkpoint (unknown).
+    pub(crate) canonical_fingerprint: u64,
     /// Whether the session was primed (patterns generated, classes built).
     /// An unprimed checkpoint resumes by re-priming from scratch.
     pub(crate) primed: bool,
@@ -257,8 +272,14 @@ pub struct SweepCheckpoint {
     pub(crate) elapsed: Duration,
     /// The session's main solver (pattern generation + constant proofs).
     pub(crate) main_solver: CircuitSatSnapshot,
-    /// The persistent prover pool, one snapshot per slot.
-    pub(crate) pool: Vec<CircuitSatSnapshot>,
+    /// The persistent prover pool, one entry per slot.  `None` marks a cold
+    /// slot — a solver that has served no query since it was (re)built —
+    /// which resume reconstructs as a fresh solver instead of carrying a
+    /// snapshot.  A fresh solver *is* the exact state of an untouched slot,
+    /// so dropping cold snapshots is behaviour-exact while keeping
+    /// checkpoints cheap (a session that only ever filled 4 of the 16 slots
+    /// serialises 4 snapshots, not 16).
+    pub(crate) pool: Vec<Option<CircuitSatSnapshot>>,
     /// Committed SAT queries per pool slot (drives deterministic hygiene
     /// resets, see [`crate::SweepConfig::solver_reset_interval`]).
     pub(crate) pool_committed: Vec<u64>,
@@ -274,6 +295,24 @@ impl SweepCheckpoint {
     /// structure).
     pub fn matches(&self, aig: &Aig) -> bool {
         self.fingerprint == netlist_fingerprint(aig)
+    }
+
+    /// The canonical (renumbering-invariant) fingerprint of the network
+    /// this checkpoint was taken against, or zero for a pre-v3 checkpoint
+    /// (unknown).  See [`netlist::canonical_fingerprint`].
+    pub fn canonical_fingerprint(&self) -> u64 {
+        self.canonical_fingerprint
+    }
+
+    /// `true` if this checkpoint was taken against the same circuit as
+    /// `aig` *up to node renumbering*.  Such a checkpoint still cannot be
+    /// resumed against `aig` directly — its merge log names concrete node
+    /// ids — but a service can use this to route the job to the stored
+    /// original netlist (see `sweepd`'s spill-adoption).  Always `false`
+    /// for pre-v3 checkpoints.
+    pub fn matches_canonical(&self, aig: &Aig) -> bool {
+        self.canonical_fingerprint != 0
+            && self.canonical_fingerprint == netlist::canonical_fingerprint(aig)
     }
 
     /// The engine of the checkpointed run.
@@ -308,16 +347,28 @@ impl SweepCheckpoint {
 
     /// Serialises the checkpoint into the versioned binary format.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_versioned(CHECKPOINT_VERSION)
+    }
+
+    /// Serialises in a specific format version.  `encode` always writes the
+    /// current version; older versions exist so the backward-compatibility
+    /// tests can synthesise genuine old-format payloads.  Encoding a
+    /// checkpoint with cold (absent) pool slots as v2 is impossible — the
+    /// v2 layout stores every slot — and panics.
+    fn encode_versioned(&self, version: u32) -> Vec<u8> {
         let mut w = Writer::default();
         w.bytes(&CHECKPOINT_MAGIC);
-        w.u32(CHECKPOINT_VERSION);
+        w.u32(version);
         w.u64(self.fingerprint);
+        if version >= 3 {
+            w.u64(self.canonical_fingerprint);
+        }
         w.boolean(self.primed);
         w.u8(match self.engine {
             Engine::Baseline => 0,
             Engine::Stp => 1,
         });
-        encode_config(&mut w, &self.config);
+        encode_config(&mut w, &self.config, version);
         w.usize(self.round);
         encode_phase(&mut w, &self.phase);
         w.usize(self.merge_log.len());
@@ -359,7 +410,7 @@ impl SweepCheckpoint {
         w.u64(self.resim.events);
         w.u64(self.resim.resimulated);
         w.u64(self.resim.skipped);
-        encode_stats(&mut w, &self.stats);
+        encode_stats(&mut w, &self.stats, version);
         w.u64(self.sweep_sat_calls);
         w.u64(self.committed_candidates);
         w.u64(self.last_compaction_ce);
@@ -369,7 +420,19 @@ impl SweepCheckpoint {
         encode_circuit_snapshot(&mut w, &self.main_solver);
         w.usize(self.pool.len());
         for snap in &self.pool {
-            encode_circuit_snapshot(&mut w, snap);
+            if version >= 3 {
+                // Presence byte per slot: cold slots cost one byte instead
+                // of a full solver snapshot.
+                w.boolean(snap.is_some());
+                if let Some(snap) = snap {
+                    encode_circuit_snapshot(&mut w, snap);
+                }
+            } else {
+                let snap = snap
+                    .as_ref()
+                    .expect("v2 encoding requires every pool slot to be materialised");
+                encode_circuit_snapshot(&mut w, snap);
+            }
         }
         w.usize(self.pool_committed.len());
         for &c in &self.pool_committed {
@@ -397,7 +460,7 @@ impl SweepCheckpoint {
                 return Err(CheckpointError::BadMagic);
             }
             let version = header.u32()?;
-            if version != CHECKPOINT_VERSION {
+            if !(MIN_CHECKPOINT_VERSION..=CHECKPOINT_VERSION).contains(&version) {
                 return Err(CheckpointError::UnsupportedVersion(version));
             }
         }
@@ -411,15 +474,16 @@ impl SweepCheckpoint {
         }
         let mut r = Reader::new(body);
         let _ = r.bytes(8)?; // magic, verified above
-        let _ = r.u32()?; // version, verified above
+        let version = r.u32()?; // range-checked above
         let fingerprint = r.u64()?;
+        let canonical_fingerprint = if version >= 3 { r.u64()? } else { 0 };
         let primed = r.boolean()?;
         let engine = match r.u8()? {
             0 => Engine::Baseline,
             1 => Engine::Stp,
             _ => return Err(CheckpointError::Corrupt("unknown engine tag")),
         };
-        let config = decode_config(&mut r)?;
+        let config = decode_config(&mut r, version)?;
         let round = r.usize()?;
         let phase = decode_phase(&mut r)?;
         let merge_log = {
@@ -471,7 +535,7 @@ impl SweepCheckpoint {
             resimulated: r.u64()?,
             skipped: r.u64()?,
         };
-        let stats = decode_stats(&mut r)?;
+        let stats = decode_stats(&mut r, version)?;
         let sweep_sat_calls = r.u64()?;
         let committed_candidates = r.u64()?;
         let last_compaction_ce = r.u64()?;
@@ -480,10 +544,19 @@ impl SweepCheckpoint {
         let elapsed = r.duration()?;
         let main_solver = decode_circuit_snapshot(&mut r)?;
         let pool = {
-            let len = r.vec_len(16)?;
+            let len = r.vec_len(1)?;
             let mut pool = Vec::with_capacity(len);
             for _ in 0..len {
-                pool.push(decode_circuit_snapshot(&mut r)?);
+                if version >= 3 {
+                    if r.boolean()? {
+                        pool.push(Some(decode_circuit_snapshot(&mut r)?));
+                    } else {
+                        pool.push(None);
+                    }
+                } else {
+                    // v2 stored every slot as a full snapshot.
+                    pool.push(Some(decode_circuit_snapshot(&mut r)?));
+                }
             }
             pool
         };
@@ -493,6 +566,7 @@ impl SweepCheckpoint {
         }
         Ok(SweepCheckpoint {
             fingerprint,
+            canonical_fingerprint,
             primed,
             engine,
             config,
@@ -542,7 +616,7 @@ impl SweepCheckpoint {
 // Component codecs.
 // ---------------------------------------------------------------------------
 
-fn encode_config(w: &mut Writer, c: &SweepConfig) {
+fn encode_config(w: &mut Writer, c: &SweepConfig, version: u32) {
     w.usize(c.num_initial_patterns);
     w.u64(c.conflict_limit);
     w.usize(c.tfi_limit);
@@ -556,9 +630,12 @@ fn encode_config(w: &mut Writer, c: &SweepConfig) {
     w.usize(c.checkpoint_interval);
     w.u64(c.solver_reset_interval);
     w.u64(c.compact_every);
+    if version >= 3 {
+        w.u64(c.checkpoint_interval_millis);
+    }
 }
 
-fn decode_config(r: &mut Reader<'_>) -> Result<SweepConfig, CheckpointError> {
+fn decode_config(r: &mut Reader<'_>, version: u32) -> Result<SweepConfig, CheckpointError> {
     Ok(SweepConfig {
         num_initial_patterns: r.usize()?,
         conflict_limit: r.u64()?,
@@ -573,10 +650,11 @@ fn decode_config(r: &mut Reader<'_>) -> Result<SweepConfig, CheckpointError> {
         checkpoint_interval: r.usize()?,
         solver_reset_interval: r.u64()?,
         compact_every: r.u64()?,
+        checkpoint_interval_millis: if version >= 3 { r.u64()? } else { 0 },
     })
 }
 
-fn encode_stats(w: &mut Writer, s: &StatsObserver) {
+fn encode_stats(w: &mut Writer, s: &StatsObserver, version: u32) {
     w.usize(s.rounds);
     w.usize(s.merges);
     w.usize(s.constants);
@@ -595,9 +673,12 @@ fn encode_stats(w: &mut Writer, s: &StatsObserver) {
     w.u64(s.checkpoints);
     w.u64(s.compactions);
     w.u64(s.patterns_dropped);
+    if version >= 3 {
+        w.u64(s.checkpoint_bytes);
+    }
 }
 
-fn decode_stats(r: &mut Reader<'_>) -> Result<StatsObserver, CheckpointError> {
+fn decode_stats(r: &mut Reader<'_>, version: u32) -> Result<StatsObserver, CheckpointError> {
     Ok(StatsObserver {
         rounds: r.usize()?,
         merges: r.usize()?,
@@ -617,6 +698,7 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<StatsObserver, CheckpointError> {
         checkpoints: r.u64()?,
         compactions: r.u64()?,
         patterns_dropped: r.u64()?,
+        checkpoint_bytes: if version >= 3 { r.u64()? } else { 0 },
     })
 }
 
@@ -1314,6 +1396,7 @@ mod tests {
         };
         SweepCheckpoint {
             fingerprint: 0xDEAD_BEEF_0123_4567,
+            canonical_fingerprint: 0xFEED_FACE_89AB_CDEF,
             primed: true,
             engine: Engine::Stp,
             config: SweepConfig::fast().checkpoint_every(7),
@@ -1371,8 +1454,10 @@ mod tests {
             sat_time: Duration::from_millis(7),
             elapsed: Duration::from_millis(20),
             main_solver: circuit.clone(),
-            pool: vec![circuit.clone(), circuit],
-            pool_committed: vec![2, 1],
+            // One hot slot, one cold (absent) slot, one more hot slot:
+            // exercises the presence-gated pool codec.
+            pool: vec![Some(circuit.clone()), None, Some(circuit)],
+            pool_committed: vec![2, 0, 1],
         }
     }
 
@@ -1447,6 +1532,79 @@ mod tests {
             Err(CheckpointError::Corrupt("payload checksum mismatch"))
         );
         assert!(SweepCheckpoint::decode(&original).is_ok());
+    }
+
+    #[test]
+    fn version_1_is_rejected() {
+        let mut bytes = sample_checkpoint().encode();
+        bytes[8] = 1; // below MIN_CHECKPOINT_VERSION
+        assert_eq!(
+            SweepCheckpoint::decode(&bytes),
+            Err(CheckpointError::UnsupportedVersion(1))
+        );
+    }
+
+    #[test]
+    fn v2_payloads_still_decode() {
+        // A genuine v2 payload: no canonical fingerprint, no wall-clock
+        // cadence, no byte counter, every pool slot materialised.  The v3
+        // decoder must accept it and default the new fields.
+        let mut old = sample_checkpoint();
+        old.canonical_fingerprint = 0;
+        old.config.checkpoint_interval_millis = 0;
+        old.stats.checkpoint_bytes = 0;
+        let hot = old.pool[0].clone();
+        for slot in &mut old.pool {
+            slot.get_or_insert_with(|| hot.clone().expect("slot 0 is hot"));
+        }
+
+        let v2_bytes = old.encode_versioned(2);
+        assert_eq!(v2_bytes[8], 2, "the version field says v2");
+        let decoded = SweepCheckpoint::decode(&v2_bytes).expect("v2 decodes");
+        assert_eq!(decoded, old);
+        assert_eq!(decoded.canonical_fingerprint(), 0);
+
+        // Re-encoding a decoded v2 checkpoint upgrades it to the current
+        // version (same state, new layout).
+        let upgraded = decoded.encode();
+        assert_eq!(upgraded[8], CHECKPOINT_VERSION as u8);
+        assert_eq!(SweepCheckpoint::decode(&upgraded).expect("decodes"), old);
+    }
+
+    #[test]
+    fn cold_pool_slots_keep_checkpoints_small() {
+        // The cheap-checkpoint guarantee: a cold (absent) pool slot costs
+        // one presence byte, not a serialised solver snapshot.  With the
+        // engine's 16-slot pool, a session that never reached the merging
+        // phase would otherwise pay 16 idle snapshots per checkpoint.
+        let hot = sample_checkpoint();
+        let snapshot_bytes = {
+            // Serialised size of one pool snapshot, measured by difference.
+            let mut one_cold = hot.clone();
+            one_cold.pool[0] = None;
+            hot.encode().len() - one_cold.encode().len()
+        };
+        assert!(
+            snapshot_bytes > 100,
+            "a solver snapshot must dominate its one-byte presence marker \
+             (got {snapshot_bytes} bytes)"
+        );
+
+        let mut cold = hot.clone();
+        for slot in &mut cold.pool {
+            *slot = None;
+        }
+        let hot_len = hot.encode().len();
+        let cold_len = cold.encode().len();
+        let hot_slots = hot.pool.iter().filter(|s| s.is_some()).count();
+        assert_eq!(
+            cold_len,
+            hot_len - hot_slots * snapshot_bytes,
+            "each cold slot saves exactly one snapshot"
+        );
+        // And the cold encoding still round-trips.
+        let decoded = SweepCheckpoint::decode(&cold.encode()).expect("decodes");
+        assert_eq!(decoded, cold);
     }
 
     #[test]
@@ -1657,7 +1815,7 @@ mod tests {
     fn arb_checkpoint() -> impl Strategy<Value = SweepCheckpoint> {
         (
             (
-                any::<u64>(),
+                (any::<u64>(), any::<u64>()),
                 any::<bool>(),
                 any::<bool>(),
                 arb_phase(),
@@ -1667,7 +1825,7 @@ mod tests {
             (
                 proptest::collection::vec(arb_signature_words(), 0..4),
                 arb_solver_snapshot(),
-                proptest::collection::vec(arb_solver_snapshot(), 0..3),
+                proptest::collection::vec((arb_solver_snapshot(), any::<bool>()), 0..3),
                 proptest::collection::vec(any::<u64>(), 0..4),
                 any::<u64>(),
                 any::<u64>(),
@@ -1675,7 +1833,7 @@ mod tests {
         )
             .prop_map(
                 |(
-                    (fingerprint, primed, stp, phase, merges, dont_touch),
+                    ((fingerprint, canonical), primed, stp, phase, merges, dont_touch),
                     (pattern_words, main, pool_solvers, pool_committed, sat_calls, committed),
                 )| {
                     let wrap = |solver: SolverSnapshot| CircuitSatSnapshot {
@@ -1686,6 +1844,7 @@ mod tests {
                     };
                     SweepCheckpoint {
                         fingerprint,
+                        canonical_fingerprint: canonical,
                         primed,
                         engine: if stp { Engine::Stp } else { Engine::Baseline },
                         config: SweepConfig::default(),
@@ -1714,7 +1873,11 @@ mod tests {
                         sat_time: Duration::ZERO,
                         elapsed: Duration::ZERO,
                         main_solver: wrap(main),
-                        pool: pool_solvers.into_iter().map(wrap).collect(),
+                        // Random mix of hot (Some) and cold (None) slots.
+                        pool: pool_solvers
+                            .into_iter()
+                            .map(|(solver, hot)| hot.then(|| wrap(solver)))
+                            .collect(),
                         pool_committed,
                     }
                 },

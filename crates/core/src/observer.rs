@@ -93,15 +93,22 @@ pub trait Observer {
     }
 
     /// A periodic checkpoint was captured (every
-    /// [`crate::SweepConfig::checkpoint_interval`] committed candidates).
-    /// The checkpoint describes the session state at a candidate boundary:
-    /// persist it (e.g. [`SweepCheckpoint::encode`] to disk) and a later
-    /// [`crate::Sweeper::resume_from`] continues the run with results
-    /// identical to an uninterrupted sweep.  Checkpoints are only captured
-    /// at deterministic points, so the event stream is identical for every
-    /// `sat_parallelism` and `num_threads`.
-    fn on_checkpoint(&mut self, checkpoint: &SweepCheckpoint) {
-        let _ = checkpoint;
+    /// [`crate::SweepConfig::checkpoint_interval`] committed candidates
+    /// and/or every [`crate::SweepConfig::checkpoint_interval_millis`]
+    /// milliseconds of wall-clock time, whichever fires first).  The
+    /// checkpoint describes the session state at a candidate boundary:
+    /// persist it and a later [`crate::Sweeper::resume_from`] continues the
+    /// run with results identical to an uninterrupted sweep.  `encoded` is
+    /// the [`SweepCheckpoint::encode`] serialisation, produced exactly once
+    /// per emission — observers that spill to disk write these bytes
+    /// instead of re-encoding, and observers that meter checkpoint cost
+    /// read `encoded.len()`.  Candidate-count checkpoints fire at
+    /// deterministic points, so their event stream is identical for every
+    /// `sat_parallelism` and `num_threads`; wall-clock checkpoints fire at
+    /// time-dependent points, but checkpoints never change the sweep, so
+    /// the *results* stay byte-identical either way.
+    fn on_checkpoint(&mut self, checkpoint: &SweepCheckpoint, encoded: &[u8]) {
+        let _ = (checkpoint, encoded);
     }
 
     /// The pattern set was compacted (every
@@ -159,6 +166,11 @@ pub struct StatsObserver {
     /// resumed run re-emits its own checkpoints, while the report counters
     /// stay identical to an uninterrupted run).
     pub checkpoints: u64,
+    /// Total serialised checkpoint bytes across those emissions (the sum of
+    /// `encoded.len()` seen by [`Observer::on_checkpoint`]) — the cost the
+    /// cheap-checkpoint encoding keeps down.  Like `checkpoints`, not part
+    /// of [`SweepReport`].
+    pub checkpoint_bytes: u64,
     /// Pattern compactions performed.
     pub compactions: u64,
     /// Dead pattern columns dropped, summed over compactions.
@@ -247,8 +259,9 @@ impl Observer for StatsObserver {
         self.sat_parallel_conflicts += conflicts as u64;
     }
 
-    fn on_checkpoint(&mut self, _checkpoint: &SweepCheckpoint) {
+    fn on_checkpoint(&mut self, _checkpoint: &SweepCheckpoint, encoded: &[u8]) {
         self.checkpoints += 1;
+        self.checkpoint_bytes += encoded.len() as u64;
     }
 
     fn on_compaction(&mut self, _kept: usize, dropped: usize) {

@@ -67,6 +67,17 @@ pub struct SweepConfig {
     /// stored patterns — so SAT calls, merges and the result network are
     /// identical with or without it.  `0` (the default) disables compaction.
     pub compact_every: u64,
+    /// Emit a [`crate::SweepCheckpoint`] whenever this many *milliseconds* of
+    /// wall-clock time have elapsed since the last one was emitted, checked
+    /// at the same candidate boundaries as [`SweepConfig::checkpoint_interval`]
+    /// (the two cadences compose with OR).  Wall-clock cadence is what a
+    /// sweep service wants: a slice can be suspended or a crash survived
+    /// after a bounded amount of *time*, independent of how fast candidates
+    /// commit.  Checkpoints never change the sweep result, so runs with any
+    /// cadence still produce byte-identical output.  `0` (the default)
+    /// disables the timer.  Set through [`SweepConfig::checkpoint_every_secs`],
+    /// which stores whole milliseconds to keep the config `Copy + Eq`.
+    pub checkpoint_interval_millis: u64,
 }
 
 impl Default for SweepConfig {
@@ -85,6 +96,7 @@ impl Default for SweepConfig {
             checkpoint_interval: 0,
             solver_reset_interval: 0,
             compact_every: 0,
+            checkpoint_interval_millis: 0,
         }
     }
 }
@@ -199,6 +211,25 @@ impl SweepConfig {
         self
     }
 
+    /// Sets the periodic checkpoint cadence in wall-clock seconds (see
+    /// [`SweepConfig::checkpoint_interval_millis`]; `0.0` disables).
+    ///
+    /// Fractional seconds work down to a millisecond (`0.05` → 50 ms);
+    /// positive values below one millisecond round up to 1 ms.  Negative,
+    /// NaN or infinite values are recorded as invalid and rejected by
+    /// [`SweepConfig::validate`] — the builder itself stays infallible so
+    /// setters keep chaining.
+    pub fn checkpoint_every_secs(mut self, secs: f64) -> Self {
+        self.checkpoint_interval_millis = if secs == 0.0 {
+            0
+        } else if secs.is_finite() && secs > 0.0 {
+            ((secs * 1000.0).ceil() as u64).max(1)
+        } else {
+            u64::MAX // sentinel: rejected by validate()
+        };
+        self
+    }
+
     /// Sets the per-slot solver hygiene interval in committed SAT queries
     /// (see [`SweepConfig::solver_reset_interval`]; `0` disables).
     pub fn with_solver_reset_interval(mut self, queries: u64) -> Self {
@@ -225,7 +256,9 @@ impl SweepConfig {
     ///   query into `unDET` and marks every candidate don't-touch);
     /// * `window_limit` must be at most [`MAX_WINDOW_LIMIT`] (the paper
     ///   restricts exhaustive windows to at most 16 leaves);
-    /// * `num_threads` must be nonzero (1 = sequential).
+    /// * `num_threads` must be nonzero (1 = sequential);
+    /// * [`SweepConfig::checkpoint_every_secs`] must have been given a
+    ///   finite, non-negative duration.
     pub fn validate(&self) -> Result<(), SweepError> {
         if self.num_initial_patterns == 0 {
             return Err(SweepError::InvalidConfig(
@@ -252,6 +285,11 @@ impl SweepConfig {
                 "window_limit {} exceeds the paper's maximum of {MAX_WINDOW_LIMIT} leaves",
                 self.window_limit
             )));
+        }
+        if self.checkpoint_interval_millis == u64::MAX {
+            return Err(SweepError::InvalidConfig(
+                "checkpoint_every_secs must be a finite, non-negative duration".into(),
+            ));
         }
         Ok(())
     }
@@ -448,6 +486,7 @@ mod tests {
             .parallelism(4)
             .sat_parallelism(3)
             .checkpoint_every(50)
+            .checkpoint_every_secs(1.5)
             .with_solver_reset_interval(128)
             .compact_every(200);
         assert_eq!(config.num_initial_patterns, 99);
@@ -458,8 +497,39 @@ mod tests {
         assert_eq!(config.num_threads, 4);
         assert_eq!(config.sat_parallelism, 3);
         assert_eq!(config.checkpoint_interval, 50);
+        assert_eq!(config.checkpoint_interval_millis, 1500);
         assert_eq!(config.solver_reset_interval, 128);
         assert_eq!(config.compact_every, 200);
+    }
+
+    #[test]
+    fn checkpoint_every_secs_maps_to_whole_milliseconds() {
+        assert_eq!(
+            SweepConfig::default()
+                .checkpoint_every_secs(0.0)
+                .checkpoint_interval_millis,
+            0,
+            "0.0 disables the timer"
+        );
+        assert_eq!(
+            SweepConfig::default()
+                .checkpoint_every_secs(0.05)
+                .checkpoint_interval_millis,
+            50
+        );
+        assert_eq!(
+            SweepConfig::default()
+                .checkpoint_every_secs(1e-9)
+                .checkpoint_interval_millis,
+            1,
+            "sub-millisecond durations round up"
+        );
+        assert_eq!(
+            SweepConfig::default()
+                .checkpoint_every_secs(2.0)
+                .checkpoint_interval_millis,
+            2000
+        );
     }
 
     #[test]
@@ -473,6 +543,10 @@ mod tests {
             assert_eq!(config.num_threads, 1, "parallelism is opt-in");
             assert_eq!(config.sat_parallelism, 1, "SAT parallelism is opt-in");
             assert_eq!(config.checkpoint_interval, 0, "checkpoints are opt-in");
+            assert_eq!(
+                config.checkpoint_interval_millis, 0,
+                "wall-clock checkpoints are opt-in"
+            );
             assert_eq!(config.solver_reset_interval, 0, "resets are opt-in");
             assert_eq!(config.compact_every, 0, "compaction is opt-in");
         }
@@ -499,6 +573,21 @@ mod tests {
         // The boundary value itself is allowed (the ablation sweeps it).
         assert!(SweepConfig::default()
             .with_window_limit(MAX_WINDOW_LIMIT)
+            .validate()
+            .is_ok());
+        // Degenerate wall-clock cadences are recorded as a sentinel and
+        // rejected here, not at the (infallible) builder.
+        for bad in [-1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                SweepConfig::default()
+                    .checkpoint_every_secs(bad)
+                    .validate()
+                    .is_err(),
+                "{bad} must be rejected"
+            );
+        }
+        assert!(SweepConfig::default()
+            .checkpoint_every_secs(0.25)
             .validate()
             .is_ok());
     }

@@ -231,10 +231,24 @@ pub struct SweepSession<'n, 'o> {
     /// size-triggered hygiene resets
     /// ([`SweepConfig::solver_reset_interval`]).
     pool_committed: Vec<u64>,
+    /// Whether each pool slot has been handed to the prover since it was
+    /// last (re)constructed.  Cold slots are exactly fresh solvers, so
+    /// checkpoints omit their snapshots (`None` in
+    /// [`SweepCheckpoint::pool`]) and resume rebuilds them with
+    /// [`CircuitSat::new`] — behaviour-exact and much cheaper to
+    /// serialise.  Never cleared at checkpoint emission: "dirty since
+    /// construction/reset" is invariant across suspend/resume, keeping
+    /// checkpoint bytes identical between interrupted and uninterrupted
+    /// runs.
+    pool_dirty: Vec<bool>,
     /// Settled candidates so far (constants processed plus merge candidates
     /// settled at batch barriers) — the periodic-checkpoint cursor.
     committed_candidates: u64,
     last_checkpoint: u64,
+    /// When the last periodic checkpoint was emitted (or the session leg
+    /// started) — the wall-clock cadence cursor
+    /// ([`SweepConfig::checkpoint_interval_millis`]).
+    last_checkpoint_instant: Instant,
     /// Counter-example count at the last pattern compaction; with
     /// [`SweepConfig::compact_every`] set, compaction triggers every time
     /// `stats.counterexamples` advances by the cadence.  Checkpointed, so a
@@ -299,8 +313,10 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                 phase: Phase::Start,
                 solver_pool: Vec::new(),
                 pool_committed: vec![0; MAX_BATCH],
+                pool_dirty: vec![false; MAX_BATCH],
                 committed_candidates: 0,
                 last_checkpoint: 0,
+                last_checkpoint_instant: started,
                 last_compaction_ce: 0,
                 steal_events: 0,
                 primed: false,
@@ -371,8 +387,10 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             phase: Phase::Start,
             solver_pool: (0..MAX_BATCH).map(|_| CircuitSat::new(aig)).collect(),
             pool_committed: vec![0; MAX_BATCH],
+            pool_dirty: vec![false; MAX_BATCH],
             committed_candidates: 0,
             last_checkpoint: 0,
+            last_checkpoint_instant: started,
             last_compaction_ce: 0,
             steal_events: state.steal_events(),
             primed: true,
@@ -390,12 +408,29 @@ impl<'n, 'o> SweepSession<'n, 'o> {
     ) -> Result<Self, SweepError> {
         let mismatch = |what: &str| SweepError::CheckpointMismatch(what.to_string());
         if !checkpoint.matches(aig) {
-            return Err(SweepError::CheckpointMismatch(format!(
-                "netlist fingerprint {:016x} does not match the checkpoint's {:016x} \
-                 — the checkpoint was taken against a different network",
-                netlist_fingerprint(aig),
-                checkpoint.fingerprint()
-            )));
+            // A checkpoint's merge log names concrete node ids, so resuming
+            // requires the exact numbering it was taken against — but
+            // telling the caller their network is the same circuit merely
+            // renumbered lets a service route the job to its stored
+            // original netlist instead of restarting from scratch.
+            let msg = if checkpoint.matches_canonical(aig) {
+                format!(
+                    "netlist fingerprint {:016x} does not match the checkpoint's {:016x}, \
+                     but the canonical fingerprints agree — this is the same circuit up \
+                     to node renumbering; resume against the original netlist the \
+                     checkpoint was taken from",
+                    netlist_fingerprint(aig),
+                    checkpoint.fingerprint()
+                )
+            } else {
+                format!(
+                    "netlist fingerprint {:016x} does not match the checkpoint's {:016x} \
+                     — the checkpoint was taken against a different network",
+                    netlist_fingerprint(aig),
+                    checkpoint.fingerprint()
+                )
+            };
+            return Err(SweepError::CheckpointMismatch(msg));
         }
         let engine = checkpoint.engine();
         let config = *checkpoint.config();
@@ -519,10 +554,16 @@ impl<'n, 'o> SweepSession<'n, 'o> {
         };
         let resim = ResimEngine::from_snapshot(aig, &checkpoint.resim).map_err(mismatch)?;
         let sat = CircuitSat::from_snapshot(aig, &checkpoint.main_solver).map_err(mismatch)?;
+        // Cold slots (`None`) were never queried since (re)construction:
+        // a fresh solver is their exact state.
+        let pool_dirty: Vec<bool> = checkpoint.pool.iter().map(|s| s.is_some()).collect();
         let solver_pool: Vec<CircuitSat<'n>> = checkpoint
             .pool
             .iter()
-            .map(|snap| CircuitSat::from_snapshot(aig, snap))
+            .map(|snap| match snap {
+                Some(snap) => CircuitSat::from_snapshot(aig, snap),
+                None => Ok(CircuitSat::new(aig)),
+            })
             .collect::<Result<_, _>>()
             .map_err(mismatch)?;
 
@@ -555,8 +596,10 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             phase: checkpoint.phase.clone(),
             solver_pool,
             pool_committed: checkpoint.pool_committed.clone(),
+            pool_dirty,
             committed_candidates: checkpoint.committed_candidates,
             last_checkpoint: checkpoint.committed_candidates,
+            last_checkpoint_instant: Instant::now(),
             last_compaction_ce: checkpoint.last_compaction_ce,
             // Steal counts are wall-clock diagnostics of *this* leg; they are
             // deliberately not carried across a resume.
@@ -681,6 +724,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
     fn build_checkpoint(&self, phase: Phase) -> SweepCheckpoint {
         SweepCheckpoint {
             fingerprint: netlist_fingerprint(self.original),
+            canonical_fingerprint: netlist::canonical_fingerprint(self.original),
             primed: self.primed,
             engine: self.engine,
             config: self.config,
@@ -710,7 +754,15 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             sat_time: self.sat_time,
             elapsed: self.elapsed_base + self.started.elapsed(),
             main_solver: self.sat.snapshot(),
-            pool: self.solver_pool.iter().map(|s| s.snapshot()).collect(),
+            // Cold slots (never handed to the prover since construction or
+            // the last hygiene reset) are fresh solvers; omit their
+            // snapshots — resume rebuilds them exactly.
+            pool: self
+                .solver_pool
+                .iter()
+                .zip(&self.pool_dirty)
+                .map(|(s, &dirty)| dirty.then(|| s.snapshot()))
+                .collect(),
             pool_committed: self.pool_committed.clone(),
         }
     }
@@ -723,24 +775,37 @@ impl<'n, 'o> SweepSession<'n, 'o> {
         }
     }
 
-    /// Whether the committed-candidate cursor has advanced far enough for a
-    /// periodic checkpoint.
+    /// Whether a periodic checkpoint is due at this candidate boundary:
+    /// the committed-candidate cursor advanced by the count cadence, or the
+    /// wall clock advanced by the time cadence (whichever fires first).
+    /// Checkpoints never change the sweep, so the time-triggered emissions
+    /// — nondeterministic as events — cannot perturb results.
     fn checkpoint_due(&self) -> bool {
         let interval = self.config.checkpoint_interval;
-        interval > 0
+        if interval > 0
             && self
                 .committed_candidates
                 .saturating_sub(self.last_checkpoint)
                 >= interval as u64
+        {
+            return true;
+        }
+        let millis = self.config.checkpoint_interval_millis;
+        millis > 0 && self.last_checkpoint_instant.elapsed() >= Duration::from_millis(millis)
     }
 
-    /// Emits a periodic checkpoint through the observers.
+    /// Emits a periodic checkpoint through the observers.  The checkpoint
+    /// is encoded exactly once; observers receive both the structured form
+    /// and the serialised bytes (spill-to-disk observers write the bytes,
+    /// metering observers read their length).
     fn emit_checkpoint(&mut self, phase: &Phase) {
         self.last_checkpoint = self.committed_candidates;
+        self.last_checkpoint_instant = Instant::now();
         let checkpoint = self.build_checkpoint(phase.clone());
-        self.stats.on_checkpoint(&checkpoint);
+        let encoded = checkpoint.encode();
+        self.stats.on_checkpoint(&checkpoint, &encoded);
         if let Some(obs) = self.observer.as_mut() {
-            obs.on_checkpoint(&checkpoint);
+            obs.on_checkpoint(&checkpoint, &encoded);
         }
     }
 
@@ -1037,6 +1102,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                     if self.pool_committed[slot] >= self.config.solver_reset_interval {
                         self.solver_pool[slot] = CircuitSat::new(self.original);
                         self.pool_committed[slot] = 0;
+                        self.pool_dirty[slot] = false;
                     }
                 }
             }
@@ -1108,6 +1174,11 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                 );
                 let worker_budget =
                     WorkerBudget::new(&self.budget, self.started, self.sweep_sat_calls);
+                // Slots 0..batch.len() are handed to the prover and may
+                // mutate even on aborted items — conservatively dirty.
+                for dirty in self.pool_dirty.iter_mut().take(batch.len()) {
+                    *dirty = true;
+                }
                 prover.prove_batch(&batch, &mut self.solver_pool[..batch.len()], &worker_budget)
             };
             *inflight = Some(InflightPod {
@@ -1193,6 +1264,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                     );
                     let worker_budget =
                         WorkerBudget::new(&self.budget, self.started, self.sweep_sat_calls);
+                    self.pool_dirty[index] = true;
                     prover.prove_one(&item, &mut self.solver_pool[index], &worker_budget)
                 };
                 inflight_slot
@@ -1840,7 +1912,10 @@ mod tests {
             checkpoints: Vec<SweepCheckpoint>,
         }
         impl Observer for Collector {
-            fn on_checkpoint(&mut self, checkpoint: &SweepCheckpoint) {
+            fn on_checkpoint(&mut self, checkpoint: &SweepCheckpoint, encoded: &[u8]) {
+                // The handed-out bytes are exactly the checkpoint's own
+                // encoding (encoded once, not a divergent copy).
+                assert_eq!(encoded, checkpoint.encode());
                 self.checkpoints.push(checkpoint.clone());
             }
         }
@@ -1877,6 +1952,158 @@ mod tests {
             .run(&aig)
             .expect("runs");
         assert_eq!(strip(&plain.report), strip(&reference.report));
+    }
+
+    #[test]
+    fn wall_clock_checkpoints_are_emitted_and_resumable() {
+        let aig = redundant_circuit();
+        let config = SweepConfig {
+            num_initial_patterns: 4,
+            sat_guided_patterns: false,
+            ..SweepConfig::default()
+        };
+
+        struct TimedCollector {
+            checkpoints: Vec<SweepCheckpoint>,
+            bytes: u64,
+        }
+        impl Observer for TimedCollector {
+            fn on_sat_call(&mut self, _outcome: SatCallOutcome) {
+                // Stretch the gaps between candidate boundaries so the 1 ms
+                // cadence below is guaranteed to fire mid-run.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            fn on_checkpoint(&mut self, checkpoint: &SweepCheckpoint, encoded: &[u8]) {
+                self.bytes += encoded.len() as u64;
+                self.checkpoints.push(checkpoint.clone());
+            }
+        }
+
+        let mut collector = TimedCollector {
+            checkpoints: Vec::new(),
+            bytes: 0,
+        };
+        let reference = Sweeper::new(Engine::Stp)
+            .config(config.checkpoint_every_secs(0.001))
+            .observer(&mut collector)
+            .run(&aig)
+            .expect("runs");
+        assert!(
+            !collector.checkpoints.is_empty(),
+            "the wall-clock cadence must emit at least one checkpoint"
+        );
+        assert!(collector.bytes > 0, "emissions report their encoded size");
+
+        // Every time-triggered checkpoint resumes to the identical result.
+        for checkpoint in &collector.checkpoints {
+            let resumed = Sweeper::new(Engine::Stp)
+                .resume_from(&aig, checkpoint)
+                .expect("matches")
+                .run()
+                .expect("runs");
+            assert_eq!(strip(&resumed.report), strip(&reference.report));
+            assert_eq!(
+                write_aiger_string(&resumed.aig),
+                write_aiger_string(&reference.aig)
+            );
+        }
+        // Time-triggered emissions never perturb the sweep itself.
+        let plain = Sweeper::new(Engine::Stp)
+            .config(config)
+            .run(&aig)
+            .expect("runs");
+        assert_eq!(strip(&plain.report), strip(&reference.report));
+    }
+
+    /// Rebuilds `aig` gate-for-gate in a different (LIFO) topological
+    /// order: the same circuit with renumbered nodes.
+    fn renumbered_copy(aig: &Aig) -> Aig {
+        let mut out = Aig::new();
+        let mut map = vec![Lit::positive(0); aig.num_nodes()];
+        for (position, &id) in aig.inputs().iter().enumerate() {
+            map[id] = out.add_input(aig.input_name(position).to_string());
+        }
+        let mut remaining: Vec<NodeId> = aig.and_ids().collect();
+        let mut placed: Vec<bool> = aig.node_ids().map(|id| !aig.node(id).is_and()).collect();
+        while !remaining.is_empty() {
+            let pos = (0..remaining.len())
+                .rev()
+                .find(|&i| {
+                    aig.node(remaining[i])
+                        .fanins()
+                        .iter()
+                        .all(|f| placed[f.node()])
+                })
+                .expect("an AIG is acyclic");
+            let id = remaining.remove(pos);
+            let fanins = aig.node(id).fanins();
+            let a = map[fanins[0].node()].complement_if(fanins[0].is_complemented());
+            let b = map[fanins[1].node()].complement_if(fanins[1].is_complemented());
+            map[id] = out.and(a, b);
+            placed[id] = true;
+        }
+        for output in aig.outputs() {
+            let lit = map[output.lit.node()].complement_if(output.lit.is_complemented());
+            out.add_output(output.name.clone(), lit);
+        }
+        out
+    }
+
+    #[test]
+    fn resume_against_a_renumbered_network_names_the_canonical_match() {
+        let aig = redundant_circuit();
+        let shuffled = renumbered_copy(&aig);
+        // Genuinely renumbered, but canonically the same circuit.
+        assert_ne!(
+            netlist_fingerprint(&aig),
+            netlist_fingerprint(&shuffled),
+            "the rebuild must change node numbering for this test to bite"
+        );
+        assert_eq!(
+            netlist::canonical_fingerprint(&aig),
+            netlist::canonical_fingerprint(&shuffled)
+        );
+
+        let session = Sweeper::new(Engine::Stp)
+            .config(SweepConfig::fast())
+            .begin(&aig)
+            .expect("begins");
+        let checkpoint = session.checkpoint();
+        assert!(checkpoint.matches_canonical(&shuffled));
+        assert!(!checkpoint.matches(&shuffled));
+
+        // Strict resume still refuses (the merge log is bound to node ids),
+        // but the error tells the caller this is the same circuit
+        // renumbered — a service reacts by resuming against its stored
+        // original netlist instead of restarting.
+        let err = Sweeper::new(Engine::Stp)
+            .resume_from(&shuffled, &checkpoint)
+            .err()
+            .expect("strict resume must refuse a renumbered network");
+        match err {
+            SweepError::CheckpointMismatch(msg) => {
+                assert!(
+                    msg.contains("same circuit up to node renumbering"),
+                    "unexpected message: {msg}"
+                );
+            }
+            other => panic!("expected CheckpointMismatch, got {other:?}"),
+        }
+
+        // Resuming against the original still works, and the renumbered
+        // copy sweeps to the same counters as the original (it is the same
+        // circuit).
+        let resumed = Sweeper::new(Engine::Stp)
+            .resume_from(&aig, &checkpoint)
+            .expect("matches")
+            .run()
+            .expect("runs");
+        let fresh = Sweeper::new(Engine::Stp)
+            .config(SweepConfig::fast())
+            .run(&shuffled)
+            .expect("runs");
+        assert_eq!(fresh.report.merges, resumed.report.merges);
+        assert_eq!(fresh.report.constants, resumed.report.constants);
     }
 
     #[test]

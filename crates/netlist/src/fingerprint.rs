@@ -1,0 +1,367 @@
+//! Canonical, renumbering-invariant AIG fingerprints.
+//!
+//! [`canonical_fingerprint`] hashes the *structure* of an [`Aig`] — what the
+//! nodes compute and how the outputs tap them — rather than how the nodes
+//! happen to be numbered.  Two parses of the same circuit that assign
+//! different node ids (any valid topological order) produce the same
+//! fingerprint; changing a gate, an inversion, an input position or an
+//! output tap changes it.
+//!
+//! The sweep service uses this to re-adopt spilled jobs: a client that
+//! re-parsed (and renumbered) the same netlist still hits its checkpoint.
+//! It deliberately complements — not replaces — the strict positional
+//! fingerprint used by the checkpoint codec, which must reject *any*
+//! renumbering because a checkpoint's merge log is bound to concrete node
+//! ids.
+//!
+//! ## Construction
+//!
+//! Every node gets a canonical code computed bottom-up:
+//!
+//! * the constant node has a fixed code,
+//! * an input's code depends only on its position (position is semantic:
+//!   it is the index into simulation patterns and AIGER input order),
+//! * an AND's code hashes the *unordered* pair of its fanin edge codes,
+//!   where an edge code is the fanin's node code salted by the complement
+//!   bit.
+//!
+//! A node's code therefore depends only on the logic cone below it, never
+//! on node ids.  The fingerprint combines the input/output counts, the
+//! output edge codes in output order, and an order-independent multiset
+//! accumulation over all node codes (so dangling logic — which sweeping
+//! still processes — is covered).
+
+use crate::aig::{Aig, AigNode, Lit};
+
+/// `splitmix64` finalizer: a cheap, well-distributed 64-bit bijection.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Folds `v` into a running hash. Not commutative: `fold(fold(s, a), b)`
+/// differs from `fold(fold(s, b), a)`.
+fn fold(acc: u64, v: u64) -> u64 {
+    mix(acc ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+const TAG_CONST0: u64 = 0x5354_5000_0000_0001; // "STP"-salted tags
+const TAG_INPUT: u64 = 0x5354_5000_0000_0002;
+const TAG_AND: u64 = 0x5354_5000_0000_0003;
+const TAG_SHAPE: u64 = 0x5354_5000_0000_0004;
+const COMPLEMENT_SALT: u64 = 0x5354_5000_0000_0005;
+
+/// The canonical code of an edge: the driving node's code, salted when the
+/// edge is complemented.
+fn edge_code(node_code: u64, lit: Lit) -> u64 {
+    if lit.is_complemented() {
+        mix(node_code ^ COMPLEMENT_SALT)
+    } else {
+        node_code
+    }
+}
+
+/// A topological-order-invariant structural fingerprint of an AIG.
+///
+/// Invariant under node renumbering (any valid topological reordering of
+/// the same gates); sensitive to the gates themselves, edge complementation,
+/// input positions, output order and output polarities, and to dangling
+/// (unreferenced) logic.
+///
+/// ```
+/// use netlist::{canonical_fingerprint, Aig};
+///
+/// // Same circuit, gates created in a different order → same fingerprint.
+/// let mut fwd = Aig::new();
+/// let a = fwd.add_input("a");
+/// let b = fwd.add_input("b");
+/// let c = fwd.add_input("c");
+/// let ab = fwd.and(a, b);
+/// let bc = fwd.and(b, c);
+/// let y = fwd.and(ab, bc);
+/// fwd.add_output("y", y);
+///
+/// let mut rev = Aig::new();
+/// let a = rev.add_input("a");
+/// let b = rev.add_input("b");
+/// let c = rev.add_input("c");
+/// let bc = rev.and(b, c); // built first: different node id than in `fwd`
+/// let ab = rev.and(a, b);
+/// let y = rev.and(ab, bc);
+/// rev.add_output("y", y);
+///
+/// assert_eq!(canonical_fingerprint(&fwd), canonical_fingerprint(&rev));
+/// ```
+pub fn canonical_fingerprint(aig: &Aig) -> u64 {
+    // Index order is a valid topological order (every AND's fanins have
+    // strictly smaller indices), so one forward pass suffices.
+    let mut codes = vec![0u64; aig.num_nodes()];
+    let mut multiset: u64 = 0;
+    for id in aig.node_ids() {
+        let code = match *aig.node(id) {
+            AigNode::Const0 => mix(TAG_CONST0),
+            AigNode::Input { position } => fold(TAG_INPUT, position as u64),
+            AigNode::And { fanin0, fanin1 } => {
+                let c0 = edge_code(codes[fanin0.node()], fanin0);
+                let c1 = edge_code(codes[fanin1.node()], fanin1);
+                let (lo, hi) = if c0 <= c1 { (c0, c1) } else { (c1, c0) };
+                fold(fold(TAG_AND, lo), hi)
+            }
+        };
+        codes[id] = code;
+        // Order-independent accumulation over the node multiset: covers
+        // dangling cones that no output reaches.
+        multiset = multiset.wrapping_add(mix(code));
+    }
+
+    let mut acc = fold(TAG_SHAPE, aig.num_inputs() as u64);
+    acc = fold(acc, aig.num_outputs() as u64);
+    for output in aig.outputs() {
+        acc = fold(acc, edge_code(codes[output.lit.node()], output.lit));
+    }
+    acc = fold(acc, multiset);
+    mix(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small deterministic generator for test-local shuffling decisions.
+    struct XorShift(u64);
+    impl XorShift {
+        fn new(seed: u64) -> Self {
+            XorShift(seed | 1)
+        }
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+    }
+
+    /// Rebuilds `aig` by re-adding its AND gates in a random (but valid)
+    /// topological order, renumbering every AND node.  Structural hashing
+    /// reproduces the same gates under new ids, so the result is the same
+    /// circuit with shuffled node numbering.
+    fn rebuild_shuffled(aig: &Aig, seed: u64) -> Aig {
+        let mut rng = XorShift::new(seed);
+        let mut out = Aig::new();
+        let mut map = vec![Lit::positive(0); aig.num_nodes()];
+        for (position, &id) in aig.inputs().iter().enumerate() {
+            map[id] = out.add_input(aig.input_name(position).to_string());
+        }
+        // Kahn's algorithm with a randomly chosen ready node each step.
+        let ands: Vec<usize> = aig.and_ids().collect();
+        let mut remaining: Vec<usize> = ands.clone();
+        let mut placed = vec![false; aig.num_nodes()];
+        for id in aig.node_ids() {
+            if !aig.node(id).is_and() {
+                placed[id] = true;
+            }
+        }
+        while !remaining.is_empty() {
+            let ready: Vec<usize> = remaining
+                .iter()
+                .copied()
+                .filter(|&id| aig.node(id).fanins().iter().all(|f| placed[f.node()]))
+                .collect();
+            let pick = ready[rng.below(ready.len())];
+            let fanins = aig.node(pick).fanins();
+            let f0 = map[fanins[0].node()].complement_if(fanins[0].is_complemented());
+            let f1 = map[fanins[1].node()].complement_if(fanins[1].is_complemented());
+            map[pick] = out.and(f0, f1);
+            placed[pick] = true;
+            remaining.retain(|&id| id != pick);
+        }
+        for output in aig.outputs() {
+            let lit = map[output.lit.node()].complement_if(output.lit.is_complemented());
+            out.add_output(output.name.clone(), lit);
+        }
+        out
+    }
+
+    /// A seeded random DAG with some sharing, inversions and a dangling cone.
+    fn random_aig(seed: u64, num_inputs: usize, num_gates: usize) -> Aig {
+        let mut rng = XorShift::new(seed);
+        let mut aig = Aig::new();
+        let mut lits: Vec<Lit> = (0..num_inputs)
+            .map(|i| aig.add_input(format!("i{i}")))
+            .collect();
+        for _ in 0..num_gates {
+            let a = lits[rng.below(lits.len())].complement_if(rng.next() & 1 == 1);
+            let b = lits[rng.below(lits.len())].complement_if(rng.next() & 1 == 1);
+            let g = aig.and(a, b);
+            if !g.is_constant() {
+                lits.push(g);
+            }
+        }
+        let num_outputs = 1 + rng.below(3.min(lits.len()));
+        for o in 0..num_outputs {
+            let lit = lits[rng.below(lits.len())].complement_if(rng.next() & 1 == 1);
+            aig.add_output(format!("o{o}"), lit);
+        }
+        aig
+    }
+
+    #[test]
+    fn identical_builds_agree() {
+        let a = random_aig(7, 4, 12);
+        let b = random_aig(7, 4, 12);
+        assert_eq!(canonical_fingerprint(&a), canonical_fingerprint(&b));
+    }
+
+    #[test]
+    fn renumbering_is_invisible() {
+        let aig = random_aig(42, 5, 24);
+        for seed in 1..6u64 {
+            let shuffled = rebuild_shuffled(&aig, seed);
+            assert_eq!(shuffled.num_ands(), aig.num_ands());
+            assert_eq!(
+                canonical_fingerprint(&shuffled),
+                canonical_fingerprint(&aig),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_mutation_changes_the_fingerprint() {
+        let mut a = Aig::new();
+        let x = a.add_input("x");
+        let y = a.add_input("y");
+        let g = a.and(x, y);
+        a.add_output("o", g);
+
+        let mut b = Aig::new();
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let g = b.and(x, !y); // complemented fanin
+        b.add_output("o", g);
+
+        assert_ne!(canonical_fingerprint(&a), canonical_fingerprint(&b));
+    }
+
+    #[test]
+    fn output_polarity_and_order_matter() {
+        let mut a = Aig::new();
+        let x = a.add_input("x");
+        let y = a.add_input("y");
+        let g = a.and(x, y);
+        a.add_output("o0", g);
+        a.add_output("o1", x);
+
+        let mut b = Aig::new();
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let g = b.and(x, y);
+        b.add_output("o0", !g);
+        b.add_output("o1", x);
+
+        let mut c = Aig::new();
+        let x = c.add_input("x");
+        let y = c.add_input("y");
+        let g = c.and(x, y);
+        c.add_output("o0", x);
+        c.add_output("o1", g);
+
+        let fa = canonical_fingerprint(&a);
+        assert_ne!(fa, canonical_fingerprint(&b));
+        assert_ne!(fa, canonical_fingerprint(&c));
+    }
+
+    #[test]
+    fn dangling_logic_is_covered() {
+        let mut a = Aig::new();
+        let x = a.add_input("x");
+        let y = a.add_input("y");
+        let g = a.and(x, y);
+        a.add_output("o", g);
+
+        let mut b = Aig::new();
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let g = b.and(x, y);
+        b.add_output("o", g);
+        b.and(x, !y); // dangling
+
+        assert_ne!(canonical_fingerprint(&a), canonical_fingerprint(&b));
+    }
+
+    #[test]
+    fn input_positions_are_semantic() {
+        let mut a = Aig::new();
+        let x = a.add_input("x");
+        let _y = a.add_input("y");
+        a.add_output("o", x);
+
+        let mut b = Aig::new();
+        let _y = b.add_input("y");
+        let x = b.add_input("x");
+        b.add_output("o", x);
+
+        assert_ne!(canonical_fingerprint(&a), canonical_fingerprint(&b));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Shuffling node ids (rebuilding in any topological order)
+            /// never changes the fingerprint.
+            fn shuffle_invariance(seed in any::<u64>(), shuffle_seed in any::<u64>()) {
+                let aig = random_aig(seed, 4 + (seed % 4) as usize, 20);
+                let shuffled = rebuild_shuffled(&aig, shuffle_seed);
+                prop_assert_eq!(
+                    canonical_fingerprint(&aig),
+                    canonical_fingerprint(&shuffled)
+                );
+            }
+
+            /// Mutating one gate (complementing a fanin edge during the
+            /// rebuild) changes the fingerprint.
+            fn mutation_sensitivity(seed in any::<u64>()) {
+                let mut rng = XorShift::new(seed);
+                let aig = random_aig(seed, 4, 16);
+                let ands: Vec<usize> = aig.and_ids().collect();
+                prop_assume!(!ands.is_empty());
+                let victim = ands[rng.below(ands.len())];
+
+                // Rebuild identically except one fanin edge of `victim` is
+                // complemented.
+                let mut out = Aig::new();
+                let mut map = vec![Lit::positive(0); aig.num_nodes()];
+                for (position, &id) in aig.inputs().iter().enumerate() {
+                    map[id] = out.add_input(aig.input_name(position).to_string());
+                }
+                for id in aig.and_ids() {
+                    let fanins = aig.node(id).fanins();
+                    let mut f0 = map[fanins[0].node()].complement_if(fanins[0].is_complemented());
+                    let f1 = map[fanins[1].node()].complement_if(fanins[1].is_complemented());
+                    if id == victim {
+                        f0 = !f0;
+                    }
+                    map[id] = out.and(f0, f1);
+                }
+                for output in aig.outputs() {
+                    let lit = map[output.lit.node()].complement_if(output.lit.is_complemented());
+                    out.add_output(output.name.clone(), lit);
+                }
+                prop_assert!(
+                    canonical_fingerprint(&aig) != canonical_fingerprint(&out)
+                );
+            }
+        }
+    }
+}

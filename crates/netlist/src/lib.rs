@@ -11,6 +11,9 @@
 //!   tables; the target representation of the paper's STP simulator.
 //! * [`aiger`] — ASCII and binary AIGER readers/writers.
 //! * [`cuts`] — k-feasible cut enumeration with cut truth tables.
+//! * [`fingerprint`] — canonical (topological-order-invariant) structural
+//!   fingerprints, used by the sweep service to match resubmitted jobs to
+//!   their checkpoints.
 //! * [`lutmap`] — a depth-oriented LUT mapper turning an AIG into a
 //!   [`LutNetwork`] (the "map the nodes … to k-LUTs" step of the paper).
 //!
@@ -38,13 +41,17 @@ pub mod aig;
 pub mod aiger;
 pub mod blif;
 pub mod cuts;
+pub mod fingerprint;
 pub mod lut;
 pub mod lutmap;
 pub mod stats;
 
 pub use aig::{Aig, AigNode, Lit, NodeId};
-pub use aiger::{read_aiger, read_aiger_str, write_aiger, write_aiger_string, AigerError};
+pub use aiger::{
+    read_aiger, read_aiger_bytes, read_aiger_str, write_aiger, write_aiger_string, AigerError,
+};
 pub use blif::{read_blif, read_blif_str, write_blif, write_blif_string, BlifError};
 pub use cuts::{Cut, CutSet};
+pub use fingerprint::canonical_fingerprint;
 pub use lut::{LutNetwork, LutNode, LutNodeId};
 pub use stats::NetworkStats;

@@ -1,0 +1,56 @@
+//! # sweepd — a multiplexing sweep service
+//!
+//! The long-running process that serves the workspace's SAT-sweeping
+//! engine: clients submit jobs (an AIGER netlist plus a priority and a
+//! configuration preset) and receive the swept AIGER and its committed
+//! counters back.  Inside, a fair scheduler time-slices N concurrent
+//! sweeps over a worker pool by running each job for a bounded quantum and
+//! suspending it to an in-memory [`stp_sweep::SweepCheckpoint`] at a
+//! candidate boundary — the engine's byte-exact checkpoint/resume
+//! guarantee means a job sliced a thousand times produces output identical
+//! to an uninterrupted run.
+//!
+//! * [`protocol`] — the length-prefixed wire format shared by daemon and
+//!   client.
+//! * [`job`] — job identities, states and progress counters.
+//! * [`spill`] — durable checkpoint spilling and crash recovery.
+//! * [`scheduler`] — the in-process service: fair time-slicing,
+//!   priorities, preemption, cancellation.
+//! * [`server`] — the socket front end (Unix socket or TCP).
+//! * [`client`] — a blocking client used by `sweepctl` and the tests.
+//!
+//! Jobs are keyed by the *canonical* netlist fingerprint
+//! ([`netlist::canonical_fingerprint`]), so a resubmitted job whose parser
+//! renumbered the same circuit is adopted into the existing job — and
+//! after a crash, spilled jobs are re-adopted from disk and resumed
+//! byte-exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod job;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+pub mod spill;
+
+pub use client::{ClientError, SweepClient};
+pub use job::{JobCounters, JobId, JobInfo, JobState, Priority};
+pub use protocol::{Preset, Request, Response};
+pub use scheduler::{ServiceConfig, SweepService};
+pub use server::{serve, Endpoint};
+
+/// The sweep configuration a preset resolves to, shared by the daemon and
+/// by reference runs in tests: the determinism gate compares a sliced
+/// daemon job against an uninterrupted in-process run *under the same
+/// config*.  Checkpoint cadence is deliberately not part of this —
+/// checkpoints never change the sweep, so the daemon layers its own
+/// cadence on top without perturbing results.
+pub fn effective_config(preset: Preset) -> stp_sweep::SweepConfig {
+    match preset {
+        Preset::Fast => stp_sweep::SweepConfig::fast(),
+        Preset::Paper => stp_sweep::SweepConfig::paper(),
+        Preset::Thorough => stp_sweep::SweepConfig::thorough(),
+    }
+}

@@ -15,8 +15,10 @@ struct LatestCheckpoint {
 }
 
 impl Observer for LatestCheckpoint {
-    fn on_checkpoint(&mut self, checkpoint: &SweepCheckpoint) {
-        self.latest = Some(checkpoint.encode());
+    fn on_checkpoint(&mut self, _checkpoint: &SweepCheckpoint, encoded: &[u8]) {
+        // The session hands over the serialised bytes directly — a spill
+        // sink stores them without re-encoding.
+        self.latest = Some(encoded.to_vec());
         self.emitted += 1;
     }
 }

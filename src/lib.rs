@@ -33,15 +33,22 @@
 //! [`Pipeline`], runs are bounded by [`Budget`] and observed through
 //! [`Observer`]; see the `stp_sweep` crate docs.  The legacy free functions
 //! (`stp_sweep::sweeper::sweep_stp` and friends) remain as thin wrappers.
+//!
+//! Long-running multi-job deployments use the [`sweepd`] service instead of
+//! driving sessions by hand: a daemon that fair-slices concurrent sweeps
+//! over checkpoints, with priorities, preemption and crash recovery (see
+//! `examples/sweep_service.rs` and the `README.md` "Sweep service" section).
 
 pub use bitsim;
 pub use netlist;
 pub use satsolver;
 pub use stp;
 pub use stp_sweep;
+pub use sweepd;
 pub use truthtable;
 pub use workloads;
 
+pub use netlist::canonical_fingerprint;
 pub use stp_sweep::{
     netlist_fingerprint, Budget, BudgetCause, CancelToken, CheckpointError, Engine, NoopObserver,
     Observer, PassReport, Pipeline, PipelineResult, SatCallOutcome, StatsObserver, SweepCheckpoint,
