@@ -2,7 +2,7 @@
 //! responds to disabling the paper's individual design choices.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use stp_sweep::{sweeper, SweepConfig};
+use stp_sweep::{Engine, SweepConfig, Sweeper};
 use workloads::{hwmcc_suite, Scale};
 
 fn ablation_benches(c: &mut Criterion) {
@@ -46,7 +46,12 @@ fn ablation_benches(c: &mut Criterion) {
             BenchmarkId::new(name, bench_circuit.name),
             &bench_circuit.aig,
             |b, aig| {
-                b.iter(|| sweeper::sweep_stp(aig, &config));
+                b.iter(|| {
+                    Sweeper::new(Engine::Stp)
+                        .config(config)
+                        .run(aig)
+                        .expect("valid config")
+                });
             },
         );
     }

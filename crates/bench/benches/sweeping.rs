@@ -2,7 +2,7 @@
 //! STP sweeper on a fixed subset of the HWMCC/IWLS-analog suite.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use stp_sweep::{fraig, sweeper, SweepConfig};
+use stp_sweep::{Engine, SweepConfig, Sweeper};
 use workloads::{hwmcc_suite, Scale};
 
 const SELECTED: &[&str] = &["6s20", "beemfwt4b1", "oski15a07b0s", "b18"];
@@ -24,14 +24,24 @@ fn sweeping_benches(c: &mut Criterion) {
             BenchmarkId::new("fraig_baseline", bench.name),
             &bench.aig,
             |b, aig| {
-                b.iter(|| fraig::sweep_fraig(aig, &baseline_config));
+                b.iter(|| {
+                    Sweeper::new(Engine::Baseline)
+                        .config(baseline_config)
+                        .run(aig)
+                        .expect("valid config")
+                });
             },
         );
         group.bench_with_input(
             BenchmarkId::new("stp_sweeper", bench.name),
             &bench.aig,
             |b, aig| {
-                b.iter(|| sweeper::sweep_stp(aig, &stp_config));
+                b.iter(|| {
+                    Sweeper::new(Engine::Stp)
+                        .config(stp_config)
+                        .run(aig)
+                        .expect("valid config")
+                });
             },
         );
     }

@@ -65,6 +65,11 @@ const EXACT_ROW_FIELDS: &[&str] = &[
 /// must describe the same workload to be comparable.
 const HEADER_FIELDS: &[&str] = &["patterns", "lut_k", "threads"];
 
+/// The deterministic fields of one entry of a pipeline row's `"passes"`
+/// array; compared exactly whenever the baseline records the array (both
+/// the default pipeline and `--passes` script snapshots do).
+const PASS_EXACT_FIELDS: &[&str] = &["gates_before", "gates_after", "sat_calls", "merges"];
+
 /// The deterministic per-benchmark sweeping counters of a table2 snapshot
 /// (both engines); any drift fails.
 const TABLE2_EXACT_ROW_FIELDS: &[&str] = &[
@@ -265,6 +270,7 @@ fn compare_table1(
                 (Err(e), _) | (_, Err(e)) => findings.check(false, || format!("{name}: {e}")),
             }
         }
+        compare_passes(&mut findings, name, base_row, fresh_row);
         if !skip_times {
             if let (Ok(base), Ok(new)) = (
                 num_field(base_row, "total_s"),
@@ -290,6 +296,67 @@ fn compare_table1(
         );
     }
     findings
+}
+
+/// Compares the per-pass entries of one pipeline row exactly: the pass
+/// sequence (names, in order), each pass's gate counts and deterministic
+/// counters must all match the baseline.  Pass wall-clock (`time_s`) is
+/// deliberately not gated — the row-level `total_s` covers time.
+fn compare_passes(findings: &mut Findings, name: &str, base_row: &Json, fresh_row: &Json) {
+    let Some(base_passes) = base_row.get("passes").and_then(Json::as_arr) else {
+        return;
+    };
+    let empty: Vec<Json> = Vec::new();
+    let fresh_passes = fresh_row
+        .get("passes")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    findings.check(base_passes.len() == fresh_passes.len(), || {
+        format!(
+            "{name}: pass count changed: baseline {} vs fresh {}",
+            base_passes.len(),
+            fresh_passes.len()
+        )
+    });
+    for (index, (base, fresh)) in base_passes.iter().zip(fresh_passes).enumerate() {
+        let pass = base.str("name").unwrap_or("<unnamed>");
+        findings.check(base.str("name") == fresh.str("name"), || {
+            format!(
+                "{name}: pass {index} changed: baseline {pass:?} vs fresh {:?}",
+                fresh.str("name").unwrap_or("<unnamed>")
+            )
+        });
+        for &key in PASS_EXACT_FIELDS {
+            match (num_field(base, key), num_field(fresh, key)) {
+                (Ok(base), Ok(new)) => findings.check(base == new, || {
+                    format!("{name}: pass {pass}: {key} changed: baseline {base} vs fresh {new}")
+                }),
+                (Err(e), _) | (_, Err(e)) => {
+                    findings.check(false, || format!("{name}: pass {pass}: {e}"))
+                }
+            }
+        }
+        // Pass counters (scripted snapshots) are emitted in a deterministic
+        // order, so object equality is the exact-match check.
+        match (base.get("counters"), fresh.get("counters")) {
+            (None, None) => {}
+            (Some(base_counters), Some(fresh_counters)) => {
+                findings.check(base_counters == fresh_counters, || {
+                    format!("{name}: pass {pass}: counters changed: baseline {base_counters:?} vs fresh {fresh_counters:?}")
+                })
+            }
+            (base_counters, _) => findings.check(false, || {
+                format!(
+                    "{name}: pass {pass}: counters {} the fresh snapshot",
+                    if base_counters.is_some() {
+                        "missing from"
+                    } else {
+                        "unexpected in"
+                    }
+                )
+            }),
+        }
+    }
 }
 
 fn load(path: &str) -> Result<Json, String> {
@@ -465,6 +532,46 @@ mod tests {
         assert!(compare(&base, &slow, 0.30, 0.0, true).failures.is_empty());
         let fast = table2_snapshot(0.010, 5, 25);
         assert!(compare(&base, &fast, 0.30, 0.0, false).failures.is_empty());
+    }
+
+    fn scripted_snapshot(gates_after: u64, rewrites: u64) -> Json {
+        parse(&format!(
+            r#"{{"table": "table1_simulation", "scale": "Small", "patterns": 4096,
+                "lut_k": 6, "threads": 1,
+                "geomean": {{"xa": 0.4, "xl": 40.0}},
+                "pipeline": {{"script": "rewrite;strash", "rows": [
+                  {{"benchmark": "adder", "gates_before": 345, "gates_after": {gates_after},
+                    "sat_calls": 0, "merges": 0, "constants": 0,
+                    "resim_events": 0, "resim_nodes": 0, "resim_skipped": 0,
+                    "sat_batches": 0, "sat_conflicts": 0,
+                    "total_s": 0.01, "passes": [
+                      {{"name": "rewrite", "gates_before": 345, "gates_after": {gates_after},
+                        "sat_calls": 0, "merges": 0, "time_s": 0.005,
+                        "counters": {{"candidates": 40, "rewrites": {rewrites}}}}},
+                      {{"name": "strash", "gates_before": {gates_after}, "gates_after": {gates_after},
+                        "sat_calls": 0, "merges": 0, "time_s": 0.001}}
+                    ]}}
+                ]}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn per_pass_counters_are_gated_exactly() {
+        let base = scripted_snapshot(300, 12);
+        assert!(compare(&base, &base, 0.30, 0.0, false).failures.is_empty());
+        // A per-pass counter drift fails even when the row aggregates agree.
+        let drifted = scripted_snapshot(300, 13);
+        let findings = compare(&base, &drifted, 0.30, 0.0, false);
+        assert!(
+            findings.failures.iter().any(|f| f.contains("counters")),
+            "{:?}",
+            findings.failures
+        );
+        // A node-count drift in a pass fails.
+        let grown = scripted_snapshot(310, 12);
+        let findings = compare(&base, &grown, 0.30, 0.0, false);
+        assert!(findings.failures.iter().any(|f| f.contains("gates_after")));
     }
 
     #[test]

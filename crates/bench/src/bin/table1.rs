@@ -12,7 +12,7 @@
 //! The paper reports parity on `TA` and a ~7.2× average speed-up on `TL`;
 //! the shape (not the absolute numbers) is what this harness reproduces.
 //!
-//! Usage: `cargo run -p bench --release --bin table1 -- [--scale tiny|small|large] [--patterns N] [--lut-k K] [--threads T] [--json PATH] [--checkpoint-every N] [--compact-every N] [--resume PATH]`
+//! Usage: `cargo run -p bench --release --bin table1 -- [--scale tiny|small|large] [--patterns N] [--lut-k K] [--threads T] [--json PATH] [--passes SCRIPT] [--checkpoint-every N] [--compact-every N] [--resume PATH]`
 //!
 //! `--threads T` runs every simulator through the level-scheduled parallel
 //! evaluator with `T` workers and sweeps with `SweepConfig::parallelism(T)`;
@@ -28,6 +28,16 @@
 //! here: the CEC miters of the hard arithmetic benchmarks (`hyp`, `log2`,
 //! …) are intractable by design — sweep correctness is covered by the
 //! test-suite and by `table2` (which verifies on the sweeping suite).
+//!
+//! `--passes SCRIPT` replaces the default pipeline of the JSON section with
+//! an arbitrary pass script (e.g. `--passes "dc2(2)"`, see
+//! `stp_sweep::passes::parse_script` for the grammar).  The per-pass JSON
+//! rows then additionally carry each pass's deterministic counters (e.g.
+//! `rewrites`, `iterations`), so `bench_diff` against a script baseline
+//! pins the pass-level behaviour exactly.  Scripted runs keep the
+//! `sat_parallelism` 1-vs-4 determinism cross-check; they cannot be
+//! combined with `--checkpoint-every` (the cancel→resume cycle is specific
+//! to the default pipeline).
 //!
 //! `--checkpoint-every N` exercises the checkpoint/resume subsystem: every
 //! sweep pass of the JSON pipeline section is cancelled (via a
@@ -165,6 +175,7 @@ fn run_pipeline_checkpointed(
                 gates_after: current.num_ands(),
                 report: None,
                 time,
+                counters: Vec::new(),
             });
         } else {
             let save = (index == 0).then(|| format!("table1_{name}.ckpt"));
@@ -176,6 +187,7 @@ fn run_pipeline_checkpointed(
                 gates_after: result.aig.num_ands(),
                 report: Some(result.report),
                 time: result.report.total_time,
+                counters: Vec::new(),
             });
             current = result.aig;
         }
@@ -200,22 +212,28 @@ fn pipeline_json_row(
     name: &str,
     aig: &netlist::Aig,
     threads: usize,
+    script: Option<&str>,
     checkpoint_every: Option<u64>,
     compact_every: u64,
     par_times: &mut (f64, f64),
 ) -> String {
     let run = |sat_par: usize| {
-        Pipeline::new(
-            SweepConfig::fast()
-                .parallelism(threads)
-                .sat_parallelism(sat_par)
-                .compact_every(compact_every),
-        )
-        .sweep(Engine::Stp)
-        .strash()
-        .sweep(Engine::Stp)
-        .run(aig)
-        .unwrap_or_else(|e| panic!("{name}: pipeline failed: {e}"))
+        let config = SweepConfig::fast()
+            .parallelism(threads)
+            .sat_parallelism(sat_par)
+            .compact_every(compact_every);
+        let manager = match script {
+            Some(script) => Pipeline::new(config)
+                .with_script(script)
+                .unwrap_or_else(|e| panic!("{name}: --passes script: {e}")),
+            None => Pipeline::new(config)
+                .sweep(Engine::Stp)
+                .strash()
+                .sweep(Engine::Stp),
+        };
+        manager
+            .run(aig)
+            .unwrap_or_else(|e| panic!("{name}: pipeline failed: {e}"))
     };
     let outcome = match checkpoint_every {
         Some(every) => run_pipeline_checkpointed(name, aig, threads, every, compact_every),
@@ -250,15 +268,29 @@ fn pipeline_json_row(
         .passes
         .iter()
         .map(|p| {
+            // Pass counters only appear in scripted (`--passes`) snapshots:
+            // the default-pipeline snapshot format — and therefore the
+            // checked-in `BENCH_baseline.json` — stays byte-identical.
+            let counters = if script.is_some() && !p.counters.is_empty() {
+                let entries: Vec<String> = p
+                    .counters
+                    .iter()
+                    .map(|(key, value)| format!("\"{key}\": {value}"))
+                    .collect();
+                format!(", \"counters\": {{{}}}", entries.join(", "))
+            } else {
+                String::new()
+            };
             format!(
                 "{{\"name\": \"{}\", \"gates_before\": {}, \"gates_after\": {}, \
-                 \"sat_calls\": {}, \"merges\": {}, \"time_s\": {:.6}}}",
+                 \"sat_calls\": {}, \"merges\": {}, \"time_s\": {:.6}{}}}",
                 p.name,
                 p.gates_before,
                 p.gates_after,
                 p.report.map(|r| r.sat_calls_total).unwrap_or(0),
                 p.report.map(|r| r.merges).unwrap_or(0),
-                p.time.as_secs_f64()
+                p.time.as_secs_f64(),
+                counters
             )
         })
         .collect();
@@ -356,6 +388,23 @@ fn main() {
             })
         })
         .unwrap_or(0);
+    let passes_script: Option<String> = arg_value(&args, "--passes");
+    // Validate the script up-front (and collect the scheduled pass names
+    // for the snapshot header) instead of panicking per benchmark.
+    let script_pass_names: Option<Vec<String>> =
+        passes_script
+            .as_deref()
+            .map(|script| match stp_sweep::passes::parse_script(script) {
+                Ok(parsed) => parsed.iter().map(|p| p.name().to_string()).collect(),
+                Err(e) => {
+                    eprintln!("--passes: {e}");
+                    std::process::exit(2);
+                }
+            });
+    if passes_script.is_some() && checkpoint_every.is_some() {
+        eprintln!("--passes cannot be combined with --checkpoint-every");
+        std::process::exit(2);
+    }
     if num_patterns == 0 || threads == 0 {
         eprintln!("--patterns and --threads must be nonzero");
         std::process::exit(2);
@@ -450,13 +499,16 @@ fn main() {
 
     if let Some(path) = arg_value(&args, "--json") {
         // The sweeping pipeline section: per-pass reports per benchmark.
-        match checkpoint_every {
-            Some(every) => println!(
+        match (&passes_script, checkpoint_every) {
+            (Some(script), _) => {
+                println!("\nrunning the pass script \"{script}\" per benchmark ...")
+            }
+            (None, Some(every)) => println!(
                 "\nrunning the sweep pipeline (sweep -> strash -> sweep) per benchmark, \
                  cancelling each sweep after {every} SAT calls and resuming from its \
                  checkpoint (table1_<bench>.ckpt) ..."
             ),
-            None => {
+            (None, None) => {
                 println!(
                     "\nrunning the sweep pipeline (sweep -> strash -> sweep) per benchmark ..."
                 )
@@ -476,6 +528,7 @@ fn main() {
                     bench.name,
                     &bench.aig,
                     threads,
+                    passes_script.as_deref(),
                     checkpoint_every,
                     compact_every,
                     &mut par_times,
@@ -487,17 +540,33 @@ fn main() {
              (identical counters and outputs)",
             par_times.0, par_times.1
         );
+        // The default-pipeline header is spelled out verbatim so the
+        // checked-in `BENCH_baseline.json` stays byte-identical; scripted
+        // runs record the script plus the scheduled pass names.
+        let pipeline_header = match (&passes_script, &script_pass_names) {
+            (Some(script), Some(names)) => {
+                let names: Vec<String> = names.iter().map(|n| format!("\"{n}\"")).collect();
+                format!(
+                    "\"config\": \"fast\",\n    \"script\": \"{script}\",\n    \
+                     \"passes\": [{}]",
+                    names.join(", ")
+                )
+            }
+            _ => "\"config\": \"fast\",\n    \
+                  \"passes\": [\"sweep(stp)\", \"strash\", \"sweep(stp)\"]"
+                .to_string(),
+        };
         let document = format!(
             "{{\n  \"table\": \"table1_simulation\",\n  \"scale\": \"{scale:?}\",\n  \
              \"patterns\": {num_patterns},\n  \"lut_k\": {lut_k},\n  \"threads\": {threads},\n  \"rows\": [\n{}\n  ],\n  \
              \"geomean\": {{\"xa\": {:.3}, \"xl\": {:.3}}},\n  \
              \"paper\": {{\"xa\": 0.99, \"xl\": 7.18}},\n  \
-             \"pipeline\": {{\n    \"config\": \"fast\",\n    \
-             \"passes\": [\"sweep(stp)\", \"strash\", \"sweep(stp)\"],\n    \
+             \"pipeline\": {{\n    {},\n    \
              \"rows\": [\n{}\n    ]\n  }}\n}}\n",
             json_rows.join(",\n"),
             geometric_mean(ta_ratios),
             geometric_mean(tl_ratios),
+            pipeline_header,
             pipeline_rows.join(",\n")
         );
         std::fs::write(&path, document).unwrap_or_else(|e| panic!("writing {path}: {e}"));

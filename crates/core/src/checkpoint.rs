@@ -699,6 +699,9 @@ fn decode_stats(r: &mut Reader<'_>, version: u32) -> Result<StatsObserver, Check
         compactions: r.u64()?,
         patterns_dropped: r.u64()?,
         checkpoint_bytes: if version >= 3 { r.u64()? } else { 0 },
+        // Pipeline-level pass brackets are not part of a sweep session's
+        // state: a resumed session starts outside any pass manager.
+        passes: 0,
     })
 }
 

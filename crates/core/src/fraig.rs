@@ -45,6 +45,7 @@ use netlist::Aig;
 /// let result = fraig::sweep_fraig(&aig, &SweepConfig::baseline());
 /// assert!(result.aig.num_ands() <= aig.num_ands());
 /// ```
+#[deprecated(note = "use `Sweeper::new(Engine::Baseline).config(config).run(&aig)` instead")]
 pub fn sweep_fraig(aig: &Aig, config: &SweepConfig) -> SweepResult {
     Sweeper::new(Engine::Baseline)
         .config(*config)
@@ -53,6 +54,7 @@ pub fn sweep_fraig(aig: &Aig, config: &SweepConfig) -> SweepResult {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::cec::check_equivalence;

@@ -19,8 +19,12 @@
 //!   deterministic solver pool, committed at a barrier in canonical
 //!   candidate order so every [`SweepConfig::sat_parallelism`] commits the
 //!   identical sweep.
-//! * [`pipeline`] — multi-pass composition ([`Pipeline`]): sweep → strash
-//!   cleanup → sweep → … → CEC verify, with per-pass reports.
+//! * [`passes`] / [`pipeline`] — the optimisation-pass framework: a
+//!   [`Pass`] trait with structural cleanups, cut-based NPN rewriting
+//!   ([`passes::Rewrite`]), the [`passes::Dc2`] fixpoint loop, sweeps and
+//!   CEC verification, composed by the [`PassManager`] (aliased
+//!   [`Pipeline`]) with per-pass reports — built programmatically or from a
+//!   textual script ([`PassManager::parse`]).
 //! * [`resim`] — incremental counter-example resimulation: single-pattern
 //!   evaluation restricted to the transitive fanin of the surviving
 //!   candidates, with a dirty-set tracking the nodes whose signature history
@@ -28,8 +32,8 @@
 //!   per-run counts surface in [`SweepReport`] and
 //!   [`Observer::on_resimulation`].
 //! * [`fraig`] / [`sweeper`] — the legacy free-function wrappers
-//!   (`sweep_fraig`, `sweep_stp`, `sweep_stp_to_fixpoint`), kept as thin
-//!   shims over the builder.
+//!   (`sweep_fraig`, `sweep_stp`, `sweep_stp_to_fixpoint`), kept as
+//!   deprecated thin shims over the builder.
 //! * [`cec`] — combinational equivalence checking used to verify every sweep
 //!   (the `&cec` analog).
 //!
@@ -76,6 +80,7 @@ pub mod equiv;
 pub mod error;
 pub mod fraig;
 pub mod observer;
+pub mod passes;
 pub mod patterns;
 pub mod pipeline;
 pub mod prover;
@@ -90,7 +95,8 @@ pub use budget::{Budget, BudgetCause, CancelToken};
 pub use checkpoint::{netlist_fingerprint, CheckpointError, SweepCheckpoint};
 pub use error::SweepError;
 pub use observer::{NoopObserver, Observer, SatCallOutcome, StatsObserver};
-pub use pipeline::{PassReport, Pipeline, PipelineResult};
+pub use passes::{ParsePassError, Pass, PassCtx};
+pub use pipeline::{PassManager, PassReport, Pipeline, PipelineResult};
 pub use prover::{ParallelProver, SupportIndex};
 pub use report::{SweepConfig, SweepReport, SweepResult};
 pub use session::{Engine, SweepSession, Sweeper};

@@ -12,6 +12,7 @@
 //! same numbers the run returns.
 
 use crate::checkpoint::SweepCheckpoint;
+use crate::pipeline::PassReport;
 use crate::report::SweepReport;
 use netlist::{Lit, NodeId};
 
@@ -111,6 +112,20 @@ pub trait Observer {
         let _ = (checkpoint, encoded);
     }
 
+    /// A [`crate::PassManager`] pass is about to run: `name` is the pass
+    /// name (e.g. `"rewrite"`), `gates` the AND count entering the pass.
+    /// Sub-reports of composite passes (fixpoint rounds, `dc2` iterations)
+    /// do not re-trigger this hook — one start/end bracket per scheduled
+    /// pass.
+    fn on_pass_start(&mut self, name: &str, gates: usize) {
+        let _ = (name, gates);
+    }
+
+    /// A [`crate::PassManager`] pass finished with this [`PassReport`].
+    fn on_pass_end(&mut self, report: &PassReport) {
+        let _ = report;
+    }
+
     /// The pattern set was compacted (every
     /// [`crate::SweepConfig::compact_every`] counter-examples): `kept`
     /// pattern columns survived, `dropped` dead columns — columns no
@@ -171,6 +186,9 @@ pub struct StatsObserver {
     /// cheap-checkpoint encoding keeps down.  Like `checkpoints`, not part
     /// of [`SweepReport`].
     pub checkpoint_bytes: u64,
+    /// Pipeline passes started (one per [`Observer::on_pass_start`]; not
+    /// part of [`SweepReport`]).
+    pub passes: u64,
     /// Pattern compactions performed.
     pub compactions: u64,
     /// Dead pattern columns dropped, summed over compactions.
@@ -262,6 +280,10 @@ impl Observer for StatsObserver {
     fn on_checkpoint(&mut self, _checkpoint: &SweepCheckpoint, encoded: &[u8]) {
         self.checkpoints += 1;
         self.checkpoint_bytes += encoded.len() as u64;
+    }
+
+    fn on_pass_start(&mut self, _name: &str, _gates: usize) {
+        self.passes += 1;
     }
 
     fn on_compaction(&mut self, _kept: usize, dropped: usize) {

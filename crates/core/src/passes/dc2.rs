@@ -1,0 +1,76 @@
+//! The `dc2` combinational optimisation loop.
+
+use super::sweep::run_one_sweep;
+use super::{Pass, PassCtx, Rewrite, Strash};
+use crate::error::SweepError;
+use crate::pipeline::PassReport;
+use crate::session::Engine;
+use std::time::Instant;
+
+/// Fixpoint optimisation: alternate rewrite → strash → SAT sweep until the
+/// AND count stops improving (or `max_iters` / the budget runs out).
+///
+/// Each sub-pass records its own [`PassReport`] named
+/// `"dc2[{iter}] {sub}"`; the report returned by the pass itself summarises
+/// the whole loop with an `iterations` counter.
+#[derive(Debug, Default)]
+pub struct Dc2 {
+    max_iters: usize,
+    rewrite: Rewrite,
+}
+
+impl Dc2 {
+    /// Default iteration cap when none is given.
+    pub const DEFAULT_MAX_ITERS: usize = 10;
+
+    /// Creates the loop capped at `max_iters` iterations (at least one
+    /// iteration always runs).
+    pub fn new(max_iters: usize) -> Self {
+        Dc2 {
+            max_iters,
+            rewrite: Rewrite::new(),
+        }
+    }
+}
+
+impl Pass for Dc2 {
+    fn name(&self) -> &str {
+        "dc2"
+    }
+
+    fn run(&mut self, ctx: &mut PassCtx<'_>) -> Result<PassReport, SweepError> {
+        let pass_start = Instant::now();
+        let gates_before = ctx.aig.num_ands();
+        let mut iterations = 0u64;
+        for iter in 0..self.max_iters.max(1) {
+            if let Some(cause) = ctx.budget_exceeded() {
+                return Err(ctx.budget_stop(cause));
+            }
+            let entering = ctx.aig.num_ands();
+
+            let mut report = self.rewrite.run(ctx)?;
+            report.name = format!("dc2[{iter}] rewrite");
+            ctx.record(report);
+
+            let mut report = Strash.run(ctx)?;
+            report.name = format!("dc2[{iter}] strash");
+            ctx.record(report);
+
+            let report = run_one_sweep(ctx, Engine::Stp, format!("dc2[{iter}] sweep(stp)"))?;
+            ctx.record(report);
+
+            iterations += 1;
+            if ctx.aig.num_ands() >= entering {
+                break;
+            }
+        }
+        Ok(PassReport {
+            name: self.name().into(),
+            gates_before,
+            gates_after: ctx.aig.num_ands(),
+            report: None,
+            time: pass_start.elapsed(),
+            counters: vec![("iterations".into(), iterations)],
+        })
+    }
+}

@@ -1,0 +1,180 @@
+//! Structural cleanup passes: strash, constant folding, dangling-node GC.
+
+use super::{Pass, PassCtx};
+use crate::error::SweepError;
+use crate::pipeline::PassReport;
+use netlist::{Aig, AigNode, Lit};
+use std::time::Instant;
+
+/// Structural-hashing cleanup: rebuilds the network keeping only the logic
+/// reachable from the outputs, re-running constant propagation and
+/// structural hashing (see [`Aig::cleanup`]).  Merging can expose new
+/// structural sharing; a `strash` between sweeps lets the next round find
+/// it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Strash;
+
+impl Pass for Strash {
+    fn name(&self) -> &str {
+        "strash"
+    }
+
+    fn run(&mut self, ctx: &mut PassCtx<'_>) -> Result<PassReport, SweepError> {
+        if let Some(cause) = ctx.budget_exceeded() {
+            return Err(ctx.budget_stop(cause));
+        }
+        let pass_start = Instant::now();
+        let gates_before = ctx.aig.num_ands();
+        let (cleaned, _) = ctx.aig.cleanup();
+        ctx.aig = cleaned;
+        let time = pass_start.elapsed();
+        ctx.aggregate.gates_after = ctx.aig.num_ands();
+        ctx.aggregate.total_time += time;
+        Ok(PassReport {
+            name: self.name().into(),
+            gates_before,
+            gates_after: ctx.aig.num_ands(),
+            report: None,
+            time,
+            counters: vec![(
+                "removed".into(),
+                gates_before.saturating_sub(ctx.aig.num_ands()) as u64,
+            )],
+        })
+    }
+}
+
+/// In-place constant and unit-literal propagation.
+///
+/// Walks the AND nodes in topological order and redirects every node whose
+/// fanins force its value: a `0` fanin (or complementary fanins) makes the
+/// node constant false, a `1` fanin (or equal fanins) makes it a copy of
+/// the other fanin.  Redirections cascade, since later nodes see the
+/// already-redirected fanins.  The node count is unchanged — folded nodes
+/// become dangling and a later [`DanglingGc`] or [`Strash`] removes them —
+/// so this pass composes with structure-preserving flows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstantFold;
+
+impl Pass for ConstantFold {
+    fn name(&self) -> &str {
+        "cfold"
+    }
+
+    fn run(&mut self, ctx: &mut PassCtx<'_>) -> Result<PassReport, SweepError> {
+        if let Some(cause) = ctx.budget_exceeded() {
+            return Err(ctx.budget_stop(cause));
+        }
+        let pass_start = Instant::now();
+        let gates_before = ctx.aig.num_ands();
+        let ids: Vec<usize> = ctx.aig.and_ids().collect();
+        let mut constants = 0u64;
+        let mut units = 0u64;
+        for id in ids {
+            let fanins = ctx.aig.node(id).fanins();
+            let (a, b) = (fanins[0], fanins[1]);
+            if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+                ctx.aig.replace_node(id, Lit::FALSE);
+                constants += 1;
+            } else if a == Lit::TRUE {
+                ctx.aig.replace_node(id, b);
+                units += 1;
+            } else if b == Lit::TRUE || a == b {
+                ctx.aig.replace_node(id, a);
+                units += 1;
+            }
+        }
+        let time = pass_start.elapsed();
+        ctx.aggregate.gates_after = ctx.aig.num_ands();
+        ctx.aggregate.total_time += time;
+        Ok(PassReport {
+            name: self.name().into(),
+            gates_before,
+            gates_after: ctx.aig.num_ands(),
+            report: None,
+            time,
+            counters: vec![("constants".into(), constants), ("units".into(), units)],
+        })
+    }
+}
+
+/// Dead-node sweep: rebuilds the network keeping exactly the nodes
+/// reachable from the primary outputs, preserving their structure.
+///
+/// Unlike [`Strash`], surviving nodes are copied verbatim (via
+/// [`Aig::and_raw`]) — no re-folding, no re-sharing — so this pass only
+/// ever removes dangling logic (e.g. the leftovers of [`ConstantFold`]
+/// redirections) and never perturbs the live structure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DanglingGc;
+
+impl Pass for DanglingGc {
+    fn name(&self) -> &str {
+        "gc"
+    }
+
+    fn run(&mut self, ctx: &mut PassCtx<'_>) -> Result<PassReport, SweepError> {
+        if let Some(cause) = ctx.budget_exceeded() {
+            return Err(ctx.budget_stop(cause));
+        }
+        let pass_start = Instant::now();
+        let gates_before = ctx.aig.num_ands();
+
+        let aig = &ctx.aig;
+        let mut new = Aig::new();
+        let mut map: Vec<Option<Lit>> = vec![None; aig.num_nodes()];
+        map[0] = Some(Lit::FALSE);
+        // Inputs are always kept so that PI ordering is stable.
+        for (pos, &id) in aig.inputs().iter().enumerate() {
+            map[id] = Some(new.add_input(aig.input_name(pos).to_string()));
+        }
+        // Mark reachable nodes from outputs.
+        let mut reachable = vec![false; aig.num_nodes()];
+        let mut stack: Vec<usize> = aig.outputs().iter().map(|o| o.lit.node()).collect();
+        while let Some(id) = stack.pop() {
+            if reachable[id] {
+                continue;
+            }
+            reachable[id] = true;
+            for f in aig.node(id).fanins() {
+                stack.push(f.node());
+            }
+        }
+        for id in aig.node_ids() {
+            if !reachable[id] {
+                continue;
+            }
+            if let AigNode::And { fanin0, fanin1 } = *aig.node(id) {
+                let f0 = map[fanin0.node()]
+                    .expect("fanin precedes node in topological order")
+                    .complement_if(fanin0.is_complemented());
+                let f1 = map[fanin1.node()]
+                    .expect("fanin precedes node in topological order")
+                    .complement_if(fanin1.is_complemented());
+                map[id] = Some(new.and_raw(f0, f1));
+            }
+        }
+        for output in aig.outputs() {
+            let lit = map[output.lit.node()]
+                .expect("output driver is reachable")
+                .complement_if(output.lit.is_complemented());
+            new.add_output(output.name.clone(), lit);
+        }
+        ctx.aig = new;
+
+        let time = pass_start.elapsed();
+        ctx.aggregate.gates_after = ctx.aig.num_ands();
+        ctx.aggregate.total_time += time;
+        Ok(PassReport {
+            name: self.name().into(),
+            gates_before,
+            gates_after: ctx.aig.num_ands(),
+            report: None,
+            time,
+            counters: vec![(
+                "removed".into(),
+                gates_before.saturating_sub(ctx.aig.num_ands()) as u64,
+            )],
+        })
+    }
+}

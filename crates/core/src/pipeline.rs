@@ -1,8 +1,9 @@
-//! Multi-pass sweeping pipelines.
+//! Multi-pass optimisation runs.
 //!
-//! A [`Pipeline`] composes passes — sweeps, structural-hashing cleanups and
-//! an equivalence verification against the pipeline input — into one
-//! budgeted, observable run:
+//! A [`PassManager`] (aliased as [`Pipeline`] for the original API) owns a
+//! sequence of boxed [`Pass`]es — sweeps, structural cleanups, rewriting,
+//! verification — and executes them in order inside one budgeted,
+//! observable run:
 //!
 //! ```
 //! use netlist::Aig;
@@ -29,51 +30,28 @@
 //!
 //! The per-pass [`PassReport`]s record where the gates and the time went;
 //! the aggregate [`PipelineResult::report`] is the fold of all sweep passes
-//! via [`crate::SweepReport::merge`].  A fixpoint sweep
-//! ([`Pipeline::sweep_to_fixpoint`]) subsumes the legacy
-//! `sweep_stp_to_fixpoint` free function.
+//! via [`crate::SweepReport::merge`].  Beyond the builder verbs, arbitrary
+//! pass sequences come from [`PassManager::pass`] (any [`Pass`]
+//! implementation) or from a textual script via [`PassManager::parse`] /
+//! [`PassManager::with_script`] (see [`crate::passes::parse_script`]).
 
-use crate::budget::{Budget, BudgetCause};
-use crate::cec;
+use crate::budget::Budget;
 use crate::error::SweepError;
 use crate::observer::Observer;
+use crate::passes::{
+    ConstantFold, DanglingGc, Dc2, ParsePassError, Pass, PassCtx, Rewrite, Strash, Sweep,
+    SweepToFixpoint, Verify,
+};
 use crate::report::{SweepConfig, SweepReport, SweepResult};
-use crate::session::{Engine, Sweeper};
+use crate::session::Engine;
 use netlist::Aig;
 use std::time::{Duration, Instant};
-
-/// Wraps the pipeline's current state into a budget-exhaustion error so the
-/// work done by the completed passes is handed back, not discarded.
-fn budget_stop(cause: BudgetCause, current: Aig, aggregate: SweepReport) -> SweepError {
-    SweepError::BudgetExhausted {
-        cause,
-        partial: Box::new(SweepResult {
-            aig: current,
-            report: aggregate,
-        }),
-        checkpoint: None,
-    }
-}
-
-/// One pass of a [`Pipeline`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PassSpec {
-    /// A single sweep round of the given engine.
-    Sweep(Engine),
-    /// Sweep rounds of the given engine until no gate is removed (or the
-    /// round cap is reached).
-    SweepToFixpoint(Engine, usize),
-    /// Structural-hashing cleanup (re-hash and drop dead nodes).
-    Strash,
-    /// CEC verification of the current network against the pipeline input.
-    Verify,
-}
 
 /// Measurements of a single executed pass.
 #[derive(Debug, Clone)]
 pub struct PassReport {
     /// Human-readable pass name (`"sweep(stp)"`, `"strash"`, `"verify"`,
-    /// `"sweep(stp) round 2"` …).
+    /// `"sweep(stp) round 2"`, `"dc2[1] rewrite"` …).
     pub name: String,
     /// AND gates entering the pass.
     pub gates_before: usize,
@@ -83,6 +61,19 @@ pub struct PassReport {
     pub report: Option<SweepReport>,
     /// Wall-clock time of the pass.
     pub time: Duration,
+    /// Pass-specific counters (name, value) in a pass-chosen, deterministic
+    /// order — e.g. `rewrites` for [`Rewrite`], `iterations` for [`Dc2`].
+    pub counters: Vec<(String, u64)>,
+}
+
+impl PassReport {
+    /// Looks up a pass-specific counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
 }
 
 /// The outcome of a pipeline run.
@@ -92,7 +83,9 @@ pub struct PipelineResult {
     pub aig: Aig,
     /// Aggregate of all sweep passes (see [`SweepReport::merge`]).
     pub report: SweepReport,
-    /// Per-pass measurements, in execution order.
+    /// Per-pass measurements, in execution order.  Composite passes
+    /// contribute several entries (per-round reports of a fixpoint sweep,
+    /// per-iteration sub-reports of [`Dc2`]) followed by their own.
     pub passes: Vec<PassReport>,
 }
 
@@ -106,31 +99,37 @@ impl PipelineResult {
     }
 }
 
-/// Builder and executor of a multi-pass sweeping pipeline.
+/// Builder and executor of a multi-pass optimisation run.
 ///
 /// Passes run in the order they were added.  One [`Budget`] spans the whole
-/// pipeline: each sweep pass receives whatever remains, and an exhausted
-/// budget is also checked *before* every strash/verify pass (a running
-/// strash or verify is not interrupted mid-pass).  One [`Observer`] sees
-/// every sweep round with an increasing round index.
-pub struct Pipeline<'o> {
-    passes: Vec<PassSpec>,
+/// run: each sweep pass receives whatever remains, and an exhausted budget
+/// is also checked *before* every structural/verify pass (a running
+/// structural pass is not interrupted mid-pass).  One [`Observer`] sees
+/// every sweep round with an increasing round index, plus an
+/// [`Observer::on_pass_start`] / [`Observer::on_pass_end`] bracket around
+/// each scheduled pass.
+pub struct PassManager<'o> {
+    passes: Vec<Box<dyn Pass>>,
     config: SweepConfig,
     budget: Budget,
     observer: Option<&'o mut dyn Observer>,
     verify_conflict_limit: u64,
 }
 
-impl Default for Pipeline<'_> {
+/// The original name of [`PassManager`], kept so existing pipeline callers
+/// compile unchanged.
+pub type Pipeline<'o> = PassManager<'o>;
+
+impl Default for PassManager<'_> {
     fn default() -> Self {
-        Pipeline::new(SweepConfig::default())
+        PassManager::new(SweepConfig::default())
     }
 }
 
-impl<'o> Pipeline<'o> {
-    /// Starts an empty pipeline with the given sweep configuration.
+impl<'o> PassManager<'o> {
+    /// Starts an empty pass sequence with the given sweep configuration.
     pub fn new(config: SweepConfig) -> Self {
-        Pipeline {
+        PassManager {
             passes: Vec::new(),
             config,
             budget: Budget::unlimited(),
@@ -139,34 +138,68 @@ impl<'o> Pipeline<'o> {
         }
     }
 
-    /// Appends a single sweep round of `engine`.
-    pub fn sweep(mut self, engine: Engine) -> Self {
-        self.passes.push(PassSpec::Sweep(engine));
+    /// Builds a pass manager with the default configuration from a textual
+    /// pass script (see [`crate::passes::parse_script`] for the grammar).
+    pub fn parse(script: &str) -> Result<Self, ParsePassError> {
+        PassManager::new(SweepConfig::default()).with_script(script)
+    }
+
+    /// Appends every pass of a textual script.
+    pub fn with_script(mut self, script: &str) -> Result<Self, ParsePassError> {
+        self.passes.extend(crate::passes::parse_script(script)?);
+        Ok(self)
+    }
+
+    /// Appends an arbitrary pass.
+    pub fn pass(mut self, pass: Box<dyn Pass>) -> Self {
+        self.passes.push(pass);
         self
+    }
+
+    /// Appends a single sweep round of `engine`.
+    pub fn sweep(self, engine: Engine) -> Self {
+        self.pass(Box::new(Sweep::new(engine)))
     }
 
     /// Appends a fixpoint sweep: rounds of `engine` until no further gate is
     /// removed, capped at `max_rounds` (at least one round always runs).
-    pub fn sweep_to_fixpoint(mut self, engine: Engine, max_rounds: usize) -> Self {
-        self.passes
-            .push(PassSpec::SweepToFixpoint(engine, max_rounds));
-        self
+    pub fn sweep_to_fixpoint(self, engine: Engine, max_rounds: usize) -> Self {
+        self.pass(Box::new(SweepToFixpoint::new(engine, max_rounds)))
     }
 
     /// Appends a structural-hashing cleanup pass.  Merging can expose new
     /// structural sharing; a `strash` between sweeps lets the next round
     /// find it.
-    pub fn strash(mut self) -> Self {
-        self.passes.push(PassSpec::Strash);
-        self
+    pub fn strash(self) -> Self {
+        self.pass(Box::new(Strash))
+    }
+
+    /// Appends an in-place constant/unit-literal folding pass.
+    pub fn constant_fold(self) -> Self {
+        self.pass(Box::new(ConstantFold))
+    }
+
+    /// Appends a structure-preserving dead-node sweep.
+    pub fn dangling_gc(self) -> Self {
+        self.pass(Box::new(DanglingGc))
+    }
+
+    /// Appends a cut-based NPN rewriting pass.
+    pub fn rewrite(self) -> Self {
+        self.pass(Box::new(Rewrite::new()))
+    }
+
+    /// Appends a `dc2` loop (rewrite → strash → sweep until the node count
+    /// stops improving), capped at `max_iters` iterations.
+    pub fn dc2(self, max_iters: usize) -> Self {
+        self.pass(Box::new(Dc2::new(max_iters)))
     }
 
     /// Appends a verification pass: the current network is CEC-checked
-    /// against the pipeline *input*; a mismatch aborts the pipeline with
+    /// against the run *input*; a mismatch aborts the run with
     /// [`SweepError::Inconsistent`].
-    pub fn verify(mut self) -> Self {
-        self.passes.push(PassSpec::Verify);
-        self
+    pub fn verify(self) -> Self {
+        self.pass(Box::new(Verify))
     }
 
     /// Sets the SAT conflict budget of `verify` passes (default 500 000).
@@ -175,196 +208,63 @@ impl<'o> Pipeline<'o> {
         self
     }
 
-    /// Sets the budget spanning the whole pipeline.
+    /// Sets the budget spanning the whole run.
     pub fn budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
         self
     }
 
-    /// Attaches an observer to every sweep pass.
+    /// Attaches an observer to every pass (and to every sweep round).
     pub fn observer(mut self, observer: &'o mut dyn Observer) -> Self {
         self.observer = Some(observer);
         self
     }
 
-    /// Executes the pipeline on `aig`.
+    /// Executes the pass sequence on `aig`.
     ///
     /// On budget exhaustion, the aggregate partial result (the merges of
     /// every completed and the truncated pass) is returned inside
     /// [`SweepError::BudgetExhausted`].
-    pub fn run(mut self, aig: &Aig) -> Result<PipelineResult, SweepError> {
+    pub fn run(mut self, aig: &'o Aig) -> Result<PipelineResult, SweepError> {
         self.config.validate()?;
-        let started = Instant::now();
-        let mut current = aig.clone();
-        let mut aggregate = SweepReport {
-            gates_before: aig.num_ands(),
-            gates_after: aig.num_ands(),
-            levels: aig.depth(),
-            ..SweepReport::default()
+        let mut passes = std::mem::take(&mut self.passes);
+        let mut ctx = PassCtx {
+            aig: aig.clone(),
+            config: self.config,
+            aggregate: SweepReport {
+                gates_before: aig.num_ands(),
+                gates_after: aig.num_ands(),
+                levels: aig.depth(),
+                ..SweepReport::default()
+            },
+            sat_calls_used: 0,
+            verify_conflict_limit: self.verify_conflict_limit,
+            budget: self.budget,
+            observer: self.observer,
+            started: Instant::now(),
+            round: 0,
+            input: aig,
+            recorded: Vec::new(),
         };
-        let mut passes: Vec<PassReport> = Vec::new();
-        let mut round = 0usize;
-        let mut sat_calls_used = 0u64;
-
-        let specs = std::mem::take(&mut self.passes);
-        for spec in &specs {
-            match *spec {
-                PassSpec::Sweep(engine) => {
-                    let name = format!("sweep({engine})");
-                    self.run_sweep_pass(
-                        engine,
-                        name,
-                        &mut current,
-                        &mut aggregate,
-                        &mut passes,
-                        &mut round,
-                        &mut sat_calls_used,
-                        started,
-                    )?;
-                }
-                PassSpec::SweepToFixpoint(engine, max_rounds) => {
-                    for fix_round in 0..max_rounds.max(1) {
-                        let gates_entering = current.num_ands();
-                        let name = format!("sweep({engine}) round {fix_round}");
-                        self.run_sweep_pass(
-                            engine,
-                            name,
-                            &mut current,
-                            &mut aggregate,
-                            &mut passes,
-                            &mut round,
-                            &mut sat_calls_used,
-                            started,
-                        )?;
-                        if current.num_ands() == gates_entering {
-                            break;
-                        }
-                    }
-                }
-                PassSpec::Strash => {
-                    if let Some(cause) = self.budget.exceeded(started, sat_calls_used) {
-                        return Err(budget_stop(cause, current, aggregate));
-                    }
-                    let pass_start = Instant::now();
-                    let gates_before = current.num_ands();
-                    let (cleaned, _) = current.cleanup();
-                    current = cleaned;
-                    let time = pass_start.elapsed();
-                    aggregate.gates_after = current.num_ands();
-                    aggregate.total_time += time;
-                    passes.push(PassReport {
-                        name: "strash".into(),
-                        gates_before,
-                        gates_after: current.num_ands(),
-                        report: None,
-                        time,
-                    });
-                }
-                PassSpec::Verify => {
-                    if let Some(cause) = self.budget.exceeded(started, sat_calls_used) {
-                        return Err(budget_stop(cause, current, aggregate));
-                    }
-                    let pass_start = Instant::now();
-                    let check = cec::check_equivalence(aig, &current, self.verify_conflict_limit);
-                    let time = pass_start.elapsed();
-                    aggregate.total_time += time;
-                    passes.push(PassReport {
-                        name: "verify".into(),
-                        gates_before: current.num_ands(),
-                        gates_after: current.num_ands(),
-                        report: None,
-                        time,
-                    });
-                    if !check.equivalent {
-                        // An undetermined check means the CEC ran out of
-                        // conflicts, not that the sweep is wrong — but a
-                        // verification the pipeline promised could not be
-                        // completed, which callers must not mistake for a
-                        // verified result.
-                        return Err(SweepError::Inconsistent(if check.undetermined {
-                            "verify pass could not prove equivalence within its budget \
-                             (raise Pipeline::verify_conflict_limit)"
-                                .into()
-                        } else {
-                            "verify pass found the swept network inequivalent to the input".into()
-                        }));
-                    }
-                }
+        let mut reports: Vec<PassReport> = Vec::new();
+        for pass in &mut passes {
+            if let Some(obs) = ctx.observer.as_deref_mut() {
+                let gates = ctx.aig.num_ands();
+                obs.on_pass_start(pass.name(), gates);
             }
+            let outcome = pass.run(&mut ctx);
+            reports.extend(ctx.take_recorded());
+            let report = outcome?;
+            if let Some(obs) = ctx.observer.as_deref_mut() {
+                obs.on_pass_end(&report);
+            }
+            reports.push(report);
         }
         Ok(PipelineResult {
-            aig: current,
-            report: aggregate,
-            passes,
+            aig: ctx.aig,
+            report: ctx.aggregate,
+            passes: reports,
         })
-    }
-
-    /// Runs one sweep round, folding its report into the aggregate and
-    /// recording a [`PassReport`].  On budget exhaustion the aggregate
-    /// partial result is wrapped and returned as the error.
-    #[allow(clippy::too_many_arguments)]
-    fn run_sweep_pass(
-        &mut self,
-        engine: Engine,
-        name: String,
-        current: &mut Aig,
-        aggregate: &mut SweepReport,
-        passes: &mut Vec<PassReport>,
-        round: &mut usize,
-        sat_calls_used: &mut u64,
-        started: Instant,
-    ) -> Result<(), SweepError> {
-        let remaining = self.budget.remaining(started.elapsed(), *sat_calls_used);
-        let mut sweeper = Sweeper::new(engine)
-            .config(self.config)
-            .budget(remaining)
-            .round_index(*round);
-        if let Some(obs) = self.observer.as_deref_mut() {
-            sweeper = sweeper.observer(obs);
-        }
-        *round += 1;
-        let gates_before = current.num_ands();
-        match sweeper.run(current) {
-            Ok(result) => {
-                aggregate.merge(&result.report);
-                *sat_calls_used += result.report.sat_calls_total;
-                passes.push(PassReport {
-                    name,
-                    gates_before,
-                    gates_after: result.aig.num_ands(),
-                    report: Some(result.report),
-                    time: result.report.total_time,
-                });
-                *current = result.aig;
-                Ok(())
-            }
-            Err(SweepError::BudgetExhausted {
-                cause,
-                partial,
-                checkpoint,
-            }) => {
-                aggregate.merge(&partial.report);
-                passes.push(PassReport {
-                    name,
-                    gates_before,
-                    gates_after: partial.aig.num_ands(),
-                    report: Some(partial.report),
-                    time: partial.report.total_time,
-                });
-                // The interrupted sweep pass's checkpoint travels with the
-                // pipeline error: resuming it completes that pass exactly;
-                // the passes after it have to be re-run by the caller.
-                Err(SweepError::BudgetExhausted {
-                    cause,
-                    partial: Box::new(SweepResult {
-                        aig: partial.aig,
-                        report: *aggregate,
-                    }),
-                    checkpoint,
-                })
-            }
-            Err(other) => Err(other),
-        }
     }
 }
 
@@ -454,6 +354,24 @@ mod tests {
     }
 
     #[test]
+    fn observer_gets_a_bracket_per_scheduled_pass() {
+        let aig = redundant_circuit();
+        let mut stats = StatsObserver::new();
+        let outcome = Pipeline::new(SweepConfig::default())
+            .rewrite()
+            .strash()
+            .sweep_to_fixpoint(Engine::Stp, 4)
+            .verify()
+            .observer(&mut stats)
+            .run(&aig)
+            .expect("runs");
+        // Four scheduled passes — fixpoint rounds do not re-trigger the
+        // bracket even though they contribute extra reports.
+        assert_eq!(stats.passes, 4);
+        assert!(outcome.passes.len() >= 4);
+    }
+
+    #[test]
     fn pipeline_budget_returns_aggregate_partial() {
         let aig = redundant_circuit();
         let err = Pipeline::new(SweepConfig::default())
@@ -533,5 +451,65 @@ mod tests {
         assert_eq!(outcome.report.merges, 0);
         assert!(outcome.passes.is_empty());
         assert_eq!(outcome.report.gates_after, aig.num_ands());
+    }
+
+    #[test]
+    fn structural_passes_preserve_equivalence_and_report_counters() {
+        let aig = redundant_circuit();
+        let outcome = Pipeline::new(SweepConfig::default())
+            .constant_fold()
+            .dangling_gc()
+            .rewrite()
+            .strash()
+            .verify()
+            .run(&aig)
+            .expect("structural flow verifies");
+        assert!(outcome.aig.num_ands() <= aig.num_ands());
+        assert!(check_equivalence(&aig, &outcome.aig, 100_000).equivalent);
+        let names: Vec<&str> = outcome.passes.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["cfold", "gc", "rewrite", "strash", "verify"]);
+        let rewrite = &outcome.passes[2];
+        assert!(rewrite.counter("rewrites").is_some());
+        assert!(rewrite.counter("candidates").unwrap_or(0) >= rewrite.counter("rewrites").unwrap());
+    }
+
+    #[test]
+    fn dc2_records_sub_reports_and_reduces() {
+        let aig = redundant_circuit();
+        let outcome = Pipeline::new(SweepConfig::default())
+            .dc2(3)
+            .verify()
+            .run(&aig)
+            .expect("dc2 verifies");
+        assert!(outcome.aig.num_ands() < aig.num_ands());
+        let summary = outcome
+            .passes
+            .iter()
+            .find(|p| p.name == "dc2")
+            .expect("dc2 summary report");
+        assert!(summary.counter("iterations").unwrap() >= 1);
+        assert!(outcome.passes.iter().any(|p| p.name == "dc2[0] rewrite"));
+        assert!(outcome.passes.iter().any(|p| p.name == "dc2[0] strash"));
+        assert!(outcome.passes.iter().any(|p| p.name == "dc2[0] sweep(stp)"));
+        assert!(check_equivalence(&aig, &outcome.aig, 100_000).equivalent);
+    }
+
+    #[test]
+    fn parsed_script_runs_like_the_builder() {
+        let aig = redundant_circuit();
+        let scripted = Pipeline::parse("sweep(stp); strash; sweep(stp); verify")
+            .expect("script parses")
+            .run(&aig)
+            .expect("scripted pipeline verifies");
+        let built = Pipeline::new(SweepConfig::default())
+            .sweep(Engine::Stp)
+            .strash()
+            .sweep(Engine::Stp)
+            .verify()
+            .run(&aig)
+            .expect("built pipeline verifies");
+        assert_eq!(scripted.aig.num_ands(), built.aig.num_ands());
+        assert_eq!(scripted.passes.len(), built.passes.len());
+        assert_eq!(scripted.report.merges, built.report.merges);
     }
 }

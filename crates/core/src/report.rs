@@ -645,6 +645,70 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_associative() {
+        // The pipeline folds pass reports left to right, but the fixpoint
+        // wrapper pre-merges its inner iterations before handing the result
+        // up.  Both bracketings must agree, which holds because every field
+        // policy (sum, max, last-writer, keep-first) is associative.
+        let a = SweepReport {
+            gates_before: 100,
+            gates_after: 80,
+            levels: 9,
+            merges: 5,
+            sat_calls_sat: 2,
+            sat_calls_total: 4,
+            num_threads: 2,
+            simulation_time: Duration::from_millis(10),
+            ..SweepReport::default()
+        };
+        let b = SweepReport {
+            gates_before: 80,
+            gates_after: 70,
+            levels: 8,
+            merges: 3,
+            constants: 1,
+            sat_calls_unsat: 4,
+            sat_calls_total: 5,
+            num_threads: 4,
+            sat_parallelism: 2,
+            sat_batches: 3,
+            sat_time: Duration::from_millis(7),
+            ..SweepReport::default()
+        };
+        let c = SweepReport {
+            gates_before: 70,
+            gates_after: 61,
+            levels: 7,
+            merges: 2,
+            sat_calls_undet: 1,
+            sat_calls_total: 1,
+            sat_parallelism: 3,
+            patterns_dropped: 12,
+            steal_events: 6,
+            total_time: Duration::from_millis(20),
+            ..SweepReport::default()
+        };
+
+        let left = {
+            let mut folded = a;
+            folded.merge(&b);
+            folded.merge(&c);
+            folded
+        };
+        let right = {
+            let mut later = b;
+            later.merge(&c);
+            let mut folded = a;
+            folded.merge(&later);
+            folded
+        };
+        assert_eq!(left, right, "merge bracketing must not matter");
+        assert_eq!(left.gates_before, 100);
+        assert_eq!(left.gates_after, 61);
+        assert_eq!(left.sat_calls_total, 10);
+    }
+
+    #[test]
     fn report_reduction() {
         let report = SweepReport {
             gates_before: 100,

@@ -51,6 +51,7 @@ use netlist::Aig;
 /// let result = sweeper::sweep_stp(&aig, &SweepConfig::default());
 /// assert!(result.aig.num_ands() <= aig.num_ands());
 /// ```
+#[deprecated(note = "use `Sweeper::new(Engine::Stp).config(config).run(&aig)` instead")]
 pub fn sweep_stp(aig: &Aig, config: &SweepConfig) -> SweepResult {
     Sweeper::new(Engine::Stp)
         .config(*config)
@@ -79,6 +80,9 @@ pub fn sweep_stp(aig: &Aig, config: &SweepConfig) -> SweepResult {
 /// assert_eq!(fixed.report.gates_before, aig.num_ands());
 /// assert_eq!(fixed.report.gates_after, fixed.aig.num_ands());
 /// ```
+#[deprecated(
+    note = "use `Pipeline::new(config).sweep_to_fixpoint(Engine::Stp, max_rounds).run(&aig)` instead"
+)]
 pub fn sweep_stp_to_fixpoint(aig: &Aig, config: &SweepConfig, max_rounds: usize) -> SweepResult {
     Pipeline::new(*config)
         .sweep_to_fixpoint(Engine::Stp, max_rounds)
@@ -88,6 +92,7 @@ pub fn sweep_stp_to_fixpoint(aig: &Aig, config: &SweepConfig, max_rounds: usize)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::cec::check_equivalence;

@@ -252,6 +252,32 @@ impl Aig {
         Lit::positive(id)
     }
 
+    /// Appends an AND node with exactly these fanins, skipping constant
+    /// propagation and the structural-hash lookup.
+    ///
+    /// This is the building block of structure-preserving rebuilds (e.g. a
+    /// dangling-node sweep that must not re-fold or re-share logic): the
+    /// node is appended even when an identical or foldable one exists.  The
+    /// structural hash stays coherent — the new node registers itself unless
+    /// an equal node is already registered — so later [`Aig::and`] calls
+    /// still deduplicate against the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if either literal refers to a node that does
+    /// not exist yet.
+    pub fn and_raw(&mut self, a: Lit, b: Lit) -> Lit {
+        debug_assert!(a.node() < self.nodes.len() && b.node() < self.nodes.len());
+        let (f0, f1) = if a <= b { (a, b) } else { (b, a) };
+        let id = self.nodes.len();
+        self.nodes.push(AigNode::And {
+            fanin0: f0,
+            fanin1: f1,
+        });
+        self.strash.entry((f0, f1)).or_insert(id);
+        Lit::positive(id)
+    }
+
     /// OR of two literals (built from AND and inverters).
     pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
         !self.and(!a, !b)
@@ -676,6 +702,24 @@ mod tests {
         let g2 = aig.and(b, a);
         assert_eq!(g1, g2);
         assert_eq!(aig.num_ands(), 1);
+    }
+
+    #[test]
+    fn raw_append_preserves_structure() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let g1 = aig.and(a, b);
+        // A raw append of an existing AND creates a duplicate node...
+        let g2 = aig.and_raw(b, a);
+        assert_ne!(g1, g2);
+        assert_eq!(aig.num_ands(), 2);
+        assert_eq!(aig.node(g2.node()).fanins(), aig.node(g1.node()).fanins());
+        // ...but the structural hash still resolves to the first occurrence.
+        assert_eq!(aig.and(a, b), g1);
+        // A raw append of a fresh AND registers itself for later dedup.
+        let g3 = aig.and_raw(a, !b);
+        assert_eq!(aig.and(a, !b), g3);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //!
 //! commands:
 //!   submit FILE [--priority low|normal|high] [--engine baseline|stp]
-//!               [--preset fast|paper|thorough] [--wait] [-o OUT]
+//!               [--preset fast|paper|thorough] [--passes SCRIPT]
+//!               [--wait] [-o OUT]
 //!   status ID
 //!   cancel ID
 //!   list
@@ -101,6 +102,7 @@ fn run() -> Result<(), String> {
             let mut priority = Priority::Normal;
             let mut engine = stp_sweep::Engine::Stp;
             let mut preset = Preset::Fast;
+            let mut passes = String::new();
             let mut wait = false;
             let mut out = None;
             let mut rest = args[1..].iter();
@@ -120,6 +122,7 @@ fn run() -> Result<(), String> {
                         preset = Preset::parse(&value("--preset")?)
                             .ok_or_else(|| err("--preset is fast|paper|thorough"))?
                     }
+                    "--passes" => passes = value("--passes")?,
                     "--wait" => wait = true,
                     "-o" => out = Some(PathBuf::from(value("-o")?)),
                     other if file.is_none() && !other.starts_with('-') => {
@@ -132,7 +135,7 @@ fn run() -> Result<(), String> {
             let aiger =
                 std::fs::read(&file).map_err(|e| format!("reading {}: {e}", file.display()))?;
             let (id, adopted) = client
-                .submit(priority, engine, preset, &aiger)
+                .submit_with_passes(priority, engine, preset, &passes, &aiger)
                 .map_err(|e| e.to_string())?;
             if adopted {
                 println!("job {id} (adopted an existing job for this netlist)");

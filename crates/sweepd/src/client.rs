@@ -100,8 +100,8 @@ impl SweepClient {
         }
     }
 
-    /// Submits AIGER bytes for sweeping; returns the job id and whether
-    /// the submission was adopted into an existing job.
+    /// Submits AIGER bytes for a plain sweep; returns the job id and
+    /// whether the submission was adopted into an existing job.
     pub fn submit(
         &self,
         priority: Priority,
@@ -109,11 +109,27 @@ impl SweepClient {
         preset: Preset,
         aiger: &[u8],
     ) -> Result<(JobId, bool), ClientError> {
+        self.submit_with_passes(priority, engine, preset, "", aiger)
+    }
+
+    /// Submits AIGER bytes with an optional pass script (the
+    /// [`stp_sweep::PassManager::parse`] grammar; empty runs the engine's
+    /// plain sweep).  The daemon validates the script at submission and
+    /// rejects typos as a server error.
+    pub fn submit_with_passes(
+        &self,
+        priority: Priority,
+        engine: Engine,
+        preset: Preset,
+        passes: &str,
+        aiger: &[u8],
+    ) -> Result<(JobId, bool), ClientError> {
         match self.roundtrip(&Request::Submit {
             priority,
             engine,
             preset,
             aiger: aiger.to_vec(),
+            passes: passes.to_string(),
         })? {
             Response::Submitted { id, adopted } => Ok((id, adopted)),
             other => Err(unexpected("Submitted", &other)),

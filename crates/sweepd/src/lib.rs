@@ -1,9 +1,10 @@
 //! # sweepd — a multiplexing sweep service
 //!
 //! The long-running process that serves the workspace's SAT-sweeping
-//! engine: clients submit jobs (an AIGER netlist plus a priority and a
-//! configuration preset) and receive the swept AIGER and its committed
-//! counters back.  Inside, a fair scheduler time-slices N concurrent
+//! engine: clients submit jobs (an AIGER netlist plus a priority, a
+//! configuration preset and optionally a pass script in the
+//! [`stp_sweep::PassManager::parse`] grammar) and receive the swept AIGER
+//! and its committed counters back.  Inside, a fair scheduler time-slices N concurrent
 //! sweeps over a worker pool by running each job for a bounded quantum and
 //! suspending it to an in-memory [`stp_sweep::SweepCheckpoint`] at a
 //! candidate boundary — the engine's byte-exact checkpoint/resume

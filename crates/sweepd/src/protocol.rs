@@ -4,8 +4,10 @@
 //! followed by the payload.  Payloads are a tag byte followed by
 //! fixed-width big-endian integers and length-prefixed byte strings —
 //! deliberately dependency-free and versioned by the leading
-//! [`PROTOCOL_VERSION`] byte of every payload so old clients fail with a
-//! clear error instead of a decode panic.
+//! [`PROTOCOL_VERSION`] byte of every payload: known older versions
+//! (from [`MIN_PROTOCOL_VERSION`]) decode with their missing fields
+//! defaulted, and anything else fails with a clear error instead of a
+//! decode panic.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -14,7 +16,21 @@ use crate::job::{engine_from_u8, engine_to_u8, JobCounters, JobId, JobInfo, JobS
 use stp_sweep::Engine;
 
 /// Version byte leading every payload.  Bump on any incompatible change.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// Version history:
+///
+/// * **1** — the original protocol.
+/// * **2** — `Submit` carries a pass script (the
+///   [`stp_sweep::PassManager::parse`] grammar); empty means "run the
+///   engine's plain sweep", exactly what a v1 submission requests.
+///
+/// This build always *encodes* version 2 but *decodes* any version from
+/// [`MIN_PROTOCOL_VERSION`] up, defaulting the fields a v1 peer could not
+/// have sent — so old clients can still submit and drive jobs.
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// Oldest payload version this build still decodes.
+pub const MIN_PROTOCOL_VERSION: u8 = 1;
 
 /// Upper bound on a frame payload, protecting the daemon from a garbage
 /// length prefix.  64 MiB comfortably covers the binary AIGER of the
@@ -87,6 +103,11 @@ pub enum Request {
         preset: Preset,
         /// AIGER bytes of the netlist to sweep.
         aiger: Vec<u8>,
+        /// Optional pass script in the [`stp_sweep::PassManager::parse`]
+        /// grammar (e.g. `"strash;rewrite;sweep(stp)"`).  Empty runs the
+        /// engine's plain sweep — the only behaviour protocol v1 could
+        /// request, and what v1 submissions decode to.
+        passes: String,
     },
     /// Ask for the state of one job.
     Status {
@@ -240,6 +261,9 @@ impl Enc {
 struct Dec<'a> {
     data: &'a [u8],
     pos: usize,
+    /// Version byte the peer sent; fields newer than it decode to their
+    /// defaults instead of being read.
+    version: u8,
 }
 
 type DecResult<T> = Result<T, ProtocolError>;
@@ -250,13 +274,19 @@ fn malformed(what: impl Into<String>) -> ProtocolError {
 
 impl<'a> Dec<'a> {
     fn new(data: &'a [u8]) -> DecResult<(u8, Self)> {
-        let mut dec = Dec { data, pos: 0 };
+        let mut dec = Dec {
+            data,
+            pos: 0,
+            version: PROTOCOL_VERSION,
+        };
         let version = dec.u8()?;
-        if version != PROTOCOL_VERSION {
+        if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
             return Err(malformed(format!(
-                "protocol version {version} (this build speaks {PROTOCOL_VERSION})"
+                "protocol version {version} (this build speaks \
+                 {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
             )));
         }
+        dec.version = version;
         let tag = dec.u8()?;
         Ok((tag, dec))
     }
@@ -378,12 +408,14 @@ impl Request {
                 engine,
                 preset,
                 aiger,
+                passes,
             } => {
                 let mut enc = Enc::new(REQ_SUBMIT);
                 enc.u8(priority.to_u8());
                 enc.u8(engine_to_u8(*engine));
                 enc.u8(preset.to_u8());
                 enc.bytes(aiger);
+                enc.str(passes);
                 enc.buf
             }
             Request::Status { id } => {
@@ -416,6 +448,12 @@ impl Request {
                 engine: engine_from_u8(dec.u8()?).ok_or_else(|| malformed("unknown engine"))?,
                 preset: Preset::from_u8(dec.u8()?).ok_or_else(|| malformed("unknown preset"))?,
                 aiger: dec.bytes()?,
+                // A v1 peer cannot ask for a pass script: plain sweep.
+                passes: if dec.version >= 2 {
+                    dec.str()?
+                } else {
+                    String::new()
+                },
             },
             REQ_STATUS => Request::Status { id: dec.u64()? },
             REQ_CANCEL => Request::Cancel { id: dec.u64()? },
@@ -566,6 +604,14 @@ mod tests {
                 engine: Engine::Baseline,
                 preset: Preset::Thorough,
                 aiger: b"aag 0 0 0 0 0\n".to_vec(),
+                passes: String::new(),
+            },
+            Request::Submit {
+                priority: Priority::High,
+                engine: Engine::Stp,
+                preset: Preset::Paper,
+                aiger: b"aag 0 0 0 0 0\n".to_vec(),
+                passes: "strash;rewrite;sweep(stp);verify".into(),
             },
             Request::Status { id: 7 },
             Request::Cancel { id: u64::MAX },
@@ -649,10 +695,46 @@ mod tests {
     }
 
     #[test]
+    fn v1_payloads_still_decode() {
+        // Requests without version-2 fields decode identically under
+        // either version byte.
+        let mut old_list = Request::List.encode();
+        old_list[0] = 1;
+        assert_eq!(Request::decode(&old_list).expect("v1 list"), Request::List);
+
+        // A hand-built v1 Submit (no trailing pass script) decodes to an
+        // empty script — the plain sweep it was asking for all along.
+        let aiger = b"aag 0 0 0 0 0\n";
+        let mut v1_submit: Vec<u8> = vec![
+            1, // version
+            super::REQ_SUBMIT,
+            Priority::Normal.to_u8(),
+            engine_to_u8(Engine::Stp),
+            Preset::Fast.to_u8(),
+        ];
+        v1_submit.extend_from_slice(&(aiger.len() as u32).to_be_bytes());
+        v1_submit.extend_from_slice(aiger);
+        assert_eq!(
+            Request::decode(&v1_submit).expect("v1 submit"),
+            Request::Submit {
+                priority: Priority::Normal,
+                engine: Engine::Stp,
+                preset: Preset::Fast,
+                aiger: aiger.to_vec(),
+                passes: String::new(),
+            }
+        );
+    }
+
+    #[test]
     fn unknown_versions_tags_and_trailing_bytes_are_rejected() {
         let mut wrong_version = Request::List.encode();
         wrong_version[0] = PROTOCOL_VERSION + 1;
         let err = Request::decode(&wrong_version).expect_err("version");
+        assert!(err.to_string().contains("protocol version"), "got {err}");
+
+        wrong_version[0] = MIN_PROTOCOL_VERSION - 1;
+        let err = Request::decode(&wrong_version).expect_err("version zero");
         assert!(err.to_string().contains("protocol version"), "got {err}");
 
         let unknown_tag = [PROTOCOL_VERSION, 250];
@@ -670,9 +752,12 @@ mod tests {
             engine: Engine::Stp,
             preset: Preset::Fast,
             aiger: vec![0; 8],
+            passes: String::new(),
         }
         .encode();
-        let len_at = lying.len() - 8 - 4;
+        // ... the AIGER length prefix sits before the 8 AIGER bytes and
+        // the (empty) pass-script string's own 4-byte length.
+        let len_at = lying.len() - 4 - 8 - 4;
         lying[len_at..len_at + 4].copy_from_slice(&u32::MAX.to_be_bytes());
         assert!(Request::decode(&lying).is_err());
     }

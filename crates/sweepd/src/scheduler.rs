@@ -22,6 +22,17 @@
 //! it suspends at the next candidate boundary, and the worker picks up the
 //! newcomer.
 //!
+//! ## Scripted jobs
+//!
+//! A submission may carry a pass script (the
+//! [`stp_sweep::PassManager::parse`] grammar) instead of a plain sweep —
+//! see [`SweepService::submit_with_passes`].  Scripted jobs run their
+//! whole pipeline inside one slice and are *not* mid-script resumable:
+//! when the quantum trips partway through, the job is re-queued with a
+//! doubled quantum (the same no-progress escalation as above) until one
+//! slice fits the entire script, and no checkpoint is ever kept or
+//! spilled for it.  Crash recovery re-runs a scripted job from scratch.
+//!
 //! ## Durability
 //!
 //! With a spill directory configured, submissions and suspension
@@ -44,7 +55,9 @@ use crate::job::{JobCounters, JobId, JobInfo, JobState, Priority};
 use crate::protocol::Preset;
 use crate::spill::{SpillDir, SpilledJob};
 use netlist::{canonical_fingerprint, read_aiger_bytes, write_aiger_string, Aig};
-use stp_sweep::{Budget, CancelToken, Engine, Observer, SweepCheckpoint, SweepError, Sweeper};
+use stp_sweep::{
+    Budget, CancelToken, Engine, Observer, Pipeline, SweepCheckpoint, SweepError, Sweeper,
+};
 
 #[cfg(doc)]
 use stp_sweep::SweepConfig;
@@ -88,6 +101,10 @@ struct Job {
     priority: Priority,
     engine: Engine,
     preset: Preset,
+    /// Pass script of a scripted job, empty for a plain sweep.  Scripted
+    /// jobs run whole pipelines per slice and are never mid-script
+    /// resumable, so they keep no checkpoint.
+    passes: String,
     aig: Arc<Aig>,
     state: JobState,
     /// Latest suspension checkpoint, encoded.
@@ -153,6 +170,7 @@ struct Claim {
     aig: Arc<Aig>,
     engine: Engine,
     preset: Preset,
+    passes: String,
     checkpoint: Option<Vec<u8>>,
     token: CancelToken,
     quantum: Duration,
@@ -208,12 +226,18 @@ impl SweepService {
                 let id = state.next_id;
                 state.next_id += 1;
                 // Only an intact, decodable checkpoint counts; anything
-                // else re-runs the job from scratch.
-                let decoded = recovered.checkpoint.and_then(|bytes| {
-                    SweepCheckpoint::decode(&bytes)
-                        .ok()
-                        .map(|ckpt| (bytes, ckpt.sat_calls(), ckpt.committed_candidates()))
-                });
+                // else re-runs the job from scratch.  Scripted jobs are
+                // never mid-script resumable, so any stray checkpoint of
+                // theirs is ignored outright.
+                let decoded = if recovered.job.passes.is_empty() {
+                    recovered.checkpoint.and_then(|bytes| {
+                        SweepCheckpoint::decode(&bytes)
+                            .ok()
+                            .map(|ckpt| (bytes, ckpt.sat_calls(), ckpt.committed_candidates()))
+                    })
+                } else {
+                    None
+                };
                 let (checkpoint, sat_calls, committed) = match decoded {
                     Some((bytes, sat_calls, committed)) => (Some(bytes), sat_calls, committed),
                     None => (None, 0, 0),
@@ -228,6 +252,7 @@ impl SweepService {
                         priority: recovered.job.priority,
                         engine: recovered.job.engine,
                         preset: recovered.job.preset,
+                        passes: recovered.job.passes,
                         aig: Arc::new(aig),
                         state: if has_checkpoint {
                             JobState::Suspended
@@ -273,10 +298,10 @@ impl SweepService {
         })
     }
 
-    /// Submits a netlist.  Returns the job id plus `adopted = true` when
-    /// the canonical fingerprint matched an existing job (renumbered
-    /// resubmissions land here); a cancelled or failed job is restarted by
-    /// a matching resubmission.
+    /// Submits a netlist for a plain sweep.  Returns the job id plus
+    /// `adopted = true` when the canonical fingerprint matched an existing
+    /// job (renumbered resubmissions land here); a cancelled or failed job
+    /// is restarted by a matching resubmission.
     pub fn submit(
         &self,
         priority: Priority,
@@ -284,19 +309,47 @@ impl SweepService {
         preset: Preset,
         aiger: &[u8],
     ) -> Result<(JobId, bool), String> {
+        self.submit_with_passes(priority, engine, preset, "", aiger)
+    }
+
+    /// Submits a netlist with an optional pass script (the
+    /// [`stp_sweep::PassManager::parse`] grammar; empty runs the engine's
+    /// plain sweep).  The script is validated up-front, so a typo fails
+    /// the submission instead of the job.  Scripted jobs run their whole
+    /// pipeline per slice and carry no mid-script checkpoint: a slice
+    /// whose quantum trips before the pipeline finishes is re-queued with
+    /// a doubled quantum until one slice fits the entire script.
+    pub fn submit_with_passes(
+        &self,
+        priority: Priority,
+        engine: Engine,
+        preset: Preset,
+        passes: &str,
+        aiger: &[u8],
+    ) -> Result<(JobId, bool), String> {
         if self.inner.shutdown.load(Ordering::Relaxed) {
             return Err("the service is shutting down".into());
+        }
+        if !passes.is_empty() {
+            stp_sweep::passes::parse_script(passes)
+                .map_err(|err| format!("invalid pass script: {err}"))?;
         }
         let aig = read_aiger_bytes(aiger).map_err(|err| format!("invalid AIGER: {err}"))?;
         let fp = canonical_fingerprint(&aig);
         let mut state = self.lock();
         if let Some(&id) = state.by_fp.get(&fp) {
             let job = state.jobs.get_mut(&id).expect("by_fp is consistent");
-            if job.engine != engine || job.preset != preset {
+            if job.engine != engine || job.preset != preset || job.passes != passes {
                 return Err(format!(
-                    "job {id} already sweeps this netlist under {}/{}; \
+                    "job {id} already sweeps this netlist under {}/{}{}; \
                      cancel it first to change settings",
-                    job.engine, job.preset
+                    job.engine,
+                    job.preset,
+                    if job.passes.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" with passes \"{}\"", job.passes)
+                    }
                 ));
             }
             if matches!(job.state, JobState::Cancelled | JobState::Failed) {
@@ -323,6 +376,7 @@ impl SweepService {
             priority,
             engine,
             preset,
+            passes: passes.to_string(),
             aig: Arc::new(aig),
             state: JobState::Queued,
             checkpoint: None,
@@ -377,6 +431,7 @@ impl SweepService {
                         engine: job.engine,
                         preset: job.preset,
                         aiger: write_aiger_string(&job.aig).into_bytes(),
+                        passes: job.passes.clone(),
                     },
                 );
             }
@@ -569,6 +624,7 @@ fn worker_loop(inner: &Arc<Inner>) {
                         aig: Arc::clone(&job.aig),
                         engine: job.engine,
                         preset: job.preset,
+                        passes: job.passes.clone(),
                         checkpoint: job.checkpoint.clone(),
                         token,
                         quantum: inner
@@ -593,8 +649,9 @@ fn run_slice(inner: &Arc<Inner>, claim: Claim) {
     let budget = Budget::unlimited()
         .with_deadline(claim.quantum)
         .with_cancel_token(claim.token.clone());
+    let scripted = !claim.passes.is_empty();
     let mut config = effective_config(claim.preset);
-    if inner.spill.is_some() && inner.checkpoint_every_secs > 0.0 {
+    if !scripted && inner.spill.is_some() && inner.checkpoint_every_secs > 0.0 {
         config = config.checkpoint_every_secs(inner.checkpoint_every_secs);
     }
     let mut sink = SpillSink {
@@ -604,23 +661,57 @@ fn run_slice(inner: &Arc<Inner>, claim: Claim) {
     };
 
     // A checkpoint that no longer decodes (e.g. spilled by an older build)
-    // degrades to a fresh start — correct, just slower.
-    let (decoded, drop_checkpoint) = match &claim.checkpoint {
-        Some(bytes) => match SweepCheckpoint::decode(bytes) {
-            Ok(checkpoint) => (Some(checkpoint), false),
-            Err(_) => (None, true),
-        },
-        None => (None, false),
+    // degrades to a fresh start — correct, just slower.  Scripted jobs
+    // shed any stray checkpoint outright: a sweep checkpoint cannot
+    // restart a pipeline at the right pass.
+    let (decoded, drop_checkpoint) = if scripted {
+        (None, claim.checkpoint.is_some())
+    } else {
+        match &claim.checkpoint {
+            Some(bytes) => match SweepCheckpoint::decode(bytes) {
+                Ok(checkpoint) => (Some(checkpoint), false),
+                Err(_) => (None, true),
+            },
+            None => (None, false),
+        }
     };
-    let sweeper = Sweeper::new(claim.engine)
-        .config(config)
-        .budget(budget)
-        .observer(&mut sink);
-    let result = match &decoded {
-        Some(checkpoint) => sweeper
-            .resume_from(&claim.aig, checkpoint)
-            .and_then(|session| session.run()),
-        None => sweeper.begin(&claim.aig).and_then(|session| session.run()),
+    let result = if scripted {
+        // The script was validated at submission; a parse failure here
+        // means the spill directory handed us something newer than this
+        // build understands, which fails the job instead of looping.
+        match Pipeline::new(config).with_script(&claim.passes) {
+            Ok(pipeline) => pipeline
+                .budget(budget)
+                .run(&claim.aig)
+                .map(|finished| finished.into_sweep_result())
+                .map_err(|err| match err {
+                    // Mid-script budget trips requeue the whole script:
+                    // drop the inner sweep's checkpoint so the write-back
+                    // takes the no-checkpoint (boost + requeue) path.
+                    SweepError::BudgetExhausted { cause, partial, .. } => {
+                        SweepError::BudgetExhausted {
+                            cause,
+                            partial,
+                            checkpoint: None,
+                        }
+                    }
+                    other => other,
+                }),
+            Err(err) => Err(SweepError::Inconsistent(format!(
+                "pass script no longer parses: {err}"
+            ))),
+        }
+    } else {
+        let sweeper = Sweeper::new(claim.engine)
+            .config(config)
+            .budget(budget)
+            .observer(&mut sink);
+        match &decoded {
+            Some(checkpoint) => sweeper
+                .resume_from(&claim.aig, checkpoint)
+                .and_then(|session| session.run()),
+            None => sweeper.begin(&claim.aig).and_then(|session| session.run()),
+        }
     };
 
     // Write-back under the lock; a simulated crash discards everything.

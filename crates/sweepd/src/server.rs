@@ -93,7 +93,8 @@ fn dispatch(service: &SweepService, request: &Request) -> Response {
             engine,
             preset,
             aiger,
-        } => match service.submit(*priority, *engine, *preset, aiger) {
+            passes,
+        } => match service.submit_with_passes(*priority, *engine, *preset, passes, aiger) {
             Ok((id, adopted)) => Response::Submitted { id, adopted },
             Err(reason) => Response::Error(reason),
         },

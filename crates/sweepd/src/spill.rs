@@ -4,8 +4,9 @@
 //! Each job owns up to two files in the spill directory, named by the
 //! canonical fingerprint of its netlist:
 //!
-//! * `<fp:016x>.job` — submission metadata (priority, engine, preset) and
-//!   the original AIGER bytes.  Written once at submission.
+//! * `<fp:016x>.job` — submission metadata (priority, engine, preset,
+//!   pass script) and the original AIGER bytes.  Written once at
+//!   submission.
 //! * `<fp:016x>.ckpt` — the latest encoded [`stp_sweep::SweepCheckpoint`].
 //!   Rewritten at every suspension (and, when a wall-clock cadence is
 //!   configured, periodically *within* a slice).
@@ -25,7 +26,11 @@ use crate::job::{engine_from_u8, engine_to_u8, Priority};
 use crate::protocol::Preset;
 use stp_sweep::Engine;
 
-const JOB_MAGIC: &[u8; 4] = b"SWJ1";
+/// Current `.job` format: v1 plus a trailing pass script.
+const JOB_MAGIC: &[u8; 4] = b"SWJ2";
+/// The pre-pass-script `.job` format, still accepted by
+/// [`SpillDir::read_job`] (its jobs carry an empty script).
+const JOB_MAGIC_V1: &[u8; 4] = b"SWJ1";
 const CKPT_MAGIC: &[u8; 4] = b"SWC1";
 
 /// FNV-1a, the workspace's stock integrity hash for sidecar files.
@@ -50,6 +55,9 @@ pub struct SpilledJob {
     /// The original AIGER bytes — resumes always run against this exact
     /// netlist, which is what makes spilled checkpoints byte-exact.
     pub aiger: Vec<u8>,
+    /// Pass script of a scripted submission; empty for a plain sweep
+    /// (and for every job recovered from a v1 `.job` file).
+    pub passes: String,
 }
 
 /// One job recovered by [`SpillDir::scan`].
@@ -108,6 +116,13 @@ impl SpillDir {
     /// Reads a checksummed file back; `Ok(None)` when missing, an error
     /// when present but corrupt.
     fn read_verified(path: &Path, magic: &[u8; 4]) -> io::Result<Option<Vec<u8>>> {
+        Ok(Self::read_verified_any(path, &[magic])?.map(|(_, body)| body))
+    }
+
+    /// Like [`Self::read_verified`], but accepting any of several format
+    /// magics; returns the index of the one that matched alongside the
+    /// payload, so callers can parse older layouts.
+    fn read_verified_any(path: &Path, magics: &[&[u8; 4]]) -> io::Result<Option<(usize, Vec<u8>)>> {
         let bytes = match fs::read(path) {
             Ok(bytes) => bytes,
             Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(None),
@@ -119,32 +134,44 @@ impl SpillDir {
                 format!("{}: {what}", path.display()),
             )
         };
-        if bytes.len() < 12 || &bytes[..4] != magic {
+        let which = if bytes.len() >= 12 {
+            magics.iter().position(|magic| &bytes[..4] == *magic)
+        } else {
+            None
+        };
+        let Some(which) = which else {
             return Err(corrupt("bad magic or truncated"));
-        }
+        };
         let (body, sum) = bytes.split_at(bytes.len() - 8);
         if fnv64(body) != u64::from_be_bytes(sum.try_into().expect("8 bytes")) {
             return Err(corrupt("checksum mismatch"));
         }
-        Ok(Some(body[4..].to_vec()))
+        Ok(Some((which, body[4..].to_vec())))
     }
 
     /// Records a submission durably.
     pub fn write_job(&self, fp: u64, job: &SpilledJob) -> io::Result<()> {
-        let mut payload = Vec::with_capacity(job.aiger.len() + 16);
+        let mut payload = Vec::with_capacity(job.aiger.len() + job.passes.len() + 24);
         payload.push(job.priority.to_u8());
         payload.push(engine_to_u8(job.engine));
         payload.push(job.preset.to_u8());
         payload.extend_from_slice(&(job.aiger.len() as u64).to_be_bytes());
         payload.extend_from_slice(&job.aiger);
+        payload.extend_from_slice(&(job.passes.len() as u32).to_be_bytes());
+        payload.extend_from_slice(job.passes.as_bytes());
         Self::write_atomic(&self.job_path(fp), JOB_MAGIC, &payload)
     }
 
     /// Reads a submission back; `Ok(None)` when no `.job` file exists.
+    /// Both the current (`SWJ2`) and the original (`SWJ1`) layouts are
+    /// accepted; v1 jobs come back with an empty pass script.
     pub fn read_job(&self, fp: u64) -> io::Result<Option<SpilledJob>> {
-        let Some(payload) = Self::read_verified(&self.job_path(fp), JOB_MAGIC)? else {
+        let Some((which, payload)) =
+            Self::read_verified_any(&self.job_path(fp), &[JOB_MAGIC, JOB_MAGIC_V1])?
+        else {
             return Ok(None);
         };
+        let is_v1 = which == 1;
         let corrupt = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
         if payload.len() < 11 {
             return Err(corrupt("job record truncated"));
@@ -153,14 +180,36 @@ impl SpillDir {
         let engine = engine_from_u8(payload[1]).ok_or_else(|| corrupt("bad engine"))?;
         let preset = Preset::from_u8(payload[2]).ok_or_else(|| corrupt("bad preset"))?;
         let len = u64::from_be_bytes(payload[3..11].try_into().expect("8 bytes")) as usize;
-        if payload.len() != 11 + len {
-            return Err(corrupt("job record length mismatch"));
-        }
+        let aiger_end = 11usize
+            .checked_add(len)
+            .filter(|&end| end <= payload.len())
+            .ok_or_else(|| corrupt("job record length mismatch"))?;
+        let passes = if is_v1 {
+            if payload.len() != aiger_end {
+                return Err(corrupt("job record length mismatch"));
+            }
+            String::new()
+        } else {
+            if payload.len() < aiger_end + 4 {
+                return Err(corrupt("job record truncated"));
+            }
+            let passes_len = u32::from_be_bytes(
+                payload[aiger_end..aiger_end + 4]
+                    .try_into()
+                    .expect("4 bytes"),
+            ) as usize;
+            if payload.len() != aiger_end + 4 + passes_len {
+                return Err(corrupt("job record length mismatch"));
+            }
+            String::from_utf8(payload[aiger_end + 4..].to_vec())
+                .map_err(|_| corrupt("non-UTF-8 pass script"))?
+        };
         Ok(Some(SpilledJob {
             priority,
             engine,
             preset,
-            aiger: payload[11..].to_vec(),
+            aiger: payload[11..aiger_end].to_vec(),
+            passes,
         }))
     }
 
@@ -239,7 +288,36 @@ mod tests {
             engine: Engine::Stp,
             preset: Preset::Fast,
             aiger: b"aag 1 1 0 1 0\n2\n2\n".to_vec(),
+            passes: String::new(),
         }
+    }
+
+    #[test]
+    fn scripted_jobs_round_trip_and_v1_files_still_read() {
+        let spill = SpillDir::open(fresh_dir("script")).expect("open");
+        let scripted = SpilledJob {
+            passes: "strash;rewrite;sweep(stp);verify".into(),
+            ..sample_job()
+        };
+        spill.write_job(0xC0, &scripted).expect("write");
+        assert_eq!(spill.read_job(0xC0).expect("read"), Some(scripted));
+
+        // A `.job` file spilled by a pre-script build: same payload, SWJ1
+        // magic, no trailing script field.  It must read back with an
+        // empty script, not an error.
+        let v1 = sample_job();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(JOB_MAGIC_V1);
+        bytes.push(v1.priority.to_u8());
+        bytes.push(engine_to_u8(v1.engine));
+        bytes.push(v1.preset.to_u8());
+        bytes.extend_from_slice(&(v1.aiger.len() as u64).to_be_bytes());
+        bytes.extend_from_slice(&v1.aiger);
+        bytes.extend_from_slice(&fnv64(&bytes).to_be_bytes());
+        fs::write(spill.path().join(format!("{:016x}.job", 0xC1u64)), &bytes).expect("write v1");
+        assert_eq!(spill.read_job(0xC1).expect("read v1"), Some(v1));
+        assert_eq!(spill.scan().expect("scan").len(), 2);
+        let _ = fs::remove_dir_all(spill.path());
     }
 
     #[test]

@@ -12,8 +12,11 @@ use std::time::{Duration, Instant};
 
 use common::{aiger_bytes, fresh_dir, reference, renumbered_copy, spill_files};
 use netlist::canonical_fingerprint;
-use stp_sweep::Engine;
-use sweepd::{JobState, Preset, Priority, ServiceConfig, SweepService};
+use stp_sweep::{Engine, Pipeline};
+use sweepd::spill::{SpillDir, SpilledJob};
+use sweepd::{
+    effective_config, JobCounters, JobState, Preset, Priority, ServiceConfig, SweepService,
+};
 use workloads::{generators, inject_redundancy};
 
 const WAIT: Duration = Duration::from_secs(300);
@@ -322,6 +325,124 @@ fn cancelled_jobs_stop_and_resubmission_restarts_them() {
         info.state
     );
     service.shutdown();
+}
+
+#[test]
+fn scripted_jobs_match_in_process_pipelines_and_recover_from_spill() {
+    let script = "strash;rewrite;sweep(stp);verify";
+    let aig = inject_redundancy(&generators::barrel_shifter(8), 0.5, 14);
+
+    // The oracle: the same pipeline run uninterrupted, in-process, under
+    // the daemon's effective configuration.
+    let want = Pipeline::new(effective_config(Preset::Fast))
+        .with_script(script)
+        .expect("script parses")
+        .run(&aig)
+        .expect("uninterrupted pipeline finishes");
+    let want_aiger = netlist::write_aiger_string(&want.aig);
+    let want_counters = JobCounters::from_report(&want.report);
+
+    let spill = fresh_dir("scripted");
+    let config = ServiceConfig {
+        workers: 1,
+        quantum: Duration::from_millis(2),
+        spill_dir: Some(spill.clone()),
+        checkpoint_every_secs: 0.0,
+    };
+    let service = SweepService::start(config.clone()).expect("service starts");
+
+    // A typo fails the submission, not the job.
+    let err = service
+        .submit_with_passes(
+            Priority::Normal,
+            Engine::Stp,
+            Preset::Fast,
+            "strash;typo",
+            &aiger_bytes(&aig),
+        )
+        .expect_err("an invalid script is refused");
+    assert!(err.contains("invalid pass script"), "got: {err}");
+
+    let (id, adopted) = service
+        .submit_with_passes(
+            Priority::Normal,
+            Engine::Stp,
+            Preset::Fast,
+            script,
+            &aiger_bytes(&aig),
+        )
+        .expect("submit succeeds");
+    assert!(!adopted);
+
+    // Adoption refuses to silently change the pass script.
+    let err = service
+        .submit(
+            Priority::Normal,
+            Engine::Stp,
+            Preset::Fast,
+            &aiger_bytes(&aig),
+        )
+        .expect_err("a conflicting script is refused");
+    assert!(err.contains("already sweeps"), "got: {err}");
+    assert!(err.contains(script), "the error names the script: {err}");
+
+    // A 2 ms quantum trips mid-pipeline; scripted jobs are requeued with
+    // a growing quantum (never checkpointed) until one slice fits the
+    // whole script, so the output is an uninterrupted pipeline's by
+    // construction.
+    let info = service.wait(id, WAIT).expect("job finishes");
+    assert_eq!(info.state, JobState::Done);
+    let (aiger, counters) = service.fetch(id).expect("done job has output");
+    assert_eq!(
+        String::from_utf8(aiger).expect("AIGER is text"),
+        want_aiger,
+        "scripted daemon output differs from the in-process pipeline"
+    );
+    assert_eq!(counters, want_counters);
+    service.shutdown();
+    assert_eq!(spill_files(&spill, "job"), 0, "done jobs leave no spill");
+    drop(service);
+
+    // Crash recovery: spill a scripted submission directly — as a crashed
+    // daemon would have left it — plus a stray sweep checkpoint, which a
+    // scripted job must ignore (it cannot restart a pipeline mid-script).
+    let other = inject_redundancy(&generators::priority_encoder(10), 0.5, 15);
+    let fp = canonical_fingerprint(&other);
+    let dir = SpillDir::open(&spill).expect("spill dir opens");
+    dir.write_job(
+        fp,
+        &SpilledJob {
+            priority: Priority::Normal,
+            engine: Engine::Stp,
+            preset: Preset::Fast,
+            aiger: aiger_bytes(&other),
+            passes: script.to_string(),
+        },
+    )
+    .expect("job spills");
+    dir.write_checkpoint(fp, b"stale sweep checkpoint")
+        .expect("checkpoint spills");
+
+    let want = Pipeline::new(effective_config(Preset::Fast))
+        .with_script(script)
+        .expect("script parses")
+        .run(&other)
+        .expect("uninterrupted pipeline finishes");
+    let service = SweepService::start(config).expect("service restarts");
+    let recovered = service.list();
+    assert_eq!(recovered.len(), 1, "the spilled scripted job is re-adopted");
+    assert_eq!(recovered[0].canonical_fingerprint, fp);
+    let info = service.wait(recovered[0].id, WAIT).expect("job finishes");
+    assert_eq!(info.state, JobState::Done);
+    let (aiger, counters) = service.fetch(recovered[0].id).expect("output");
+    assert_eq!(
+        String::from_utf8(aiger).expect("AIGER is text"),
+        netlist::write_aiger_string(&want.aig),
+        "crash-recovered scripted output differs from the in-process pipeline"
+    );
+    assert_eq!(counters, JobCounters::from_report(&want.report));
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&spill);
 }
 
 #[test]

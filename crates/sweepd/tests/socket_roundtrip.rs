@@ -70,8 +70,49 @@ fn socket_end_to_end_lifecycle() {
         .iter()
         .any(|job| job.id == id && job.state == JobState::Done));
 
+    // A scripted submission rides the same wire: the v2 `passes` field
+    // reaches the scheduler and the result matches the in-process
+    // pipeline run uninterrupted.
+    let script = "strash;rewrite;sweep(stp)";
+    let scripted = inject_redundancy(&generators::priority_encoder(10), 0.5, 22);
+    let (scripted_id, _) = client
+        .submit_with_passes(
+            Priority::Normal,
+            Engine::Stp,
+            Preset::Fast,
+            script,
+            &aiger_bytes(&scripted),
+        )
+        .expect("scripted submit over the socket");
+    let (aiger, counters) = client
+        .wait_result(scripted_id, Duration::from_secs(300))
+        .expect("scripted job finishes");
+    let want = stp_sweep::Pipeline::new(sweepd::effective_config(Preset::Fast))
+        .with_script(script)
+        .expect("script parses")
+        .run(&scripted)
+        .expect("uninterrupted pipeline finishes");
+    assert_eq!(
+        String::from_utf8(aiger).expect("AIGER is text"),
+        netlist::write_aiger_string(&want.aig),
+        "scripted output served over the socket differs from the in-process pipeline"
+    );
+    assert_eq!(counters, sweepd::JobCounters::from_report(&want.report));
+
     // Server-side failures arrive as clean errors, not broken frames.
     assert!(client.status(9999).is_err(), "unknown jobs are an error");
+    assert!(
+        client
+            .submit_with_passes(
+                Priority::Low,
+                Engine::Stp,
+                Preset::Fast,
+                "strash;typo",
+                &aiger_bytes(&scripted),
+            )
+            .is_err(),
+        "an invalid pass script is an error"
+    );
     assert!(
         client
             .submit(

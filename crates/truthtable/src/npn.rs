@@ -1,0 +1,306 @@
+//! NPN canonicalisation of truth tables over at most four variables.
+//!
+//! Two Boolean functions are *NPN-equivalent* when one can be obtained from
+//! the other by negating inputs (N), permuting inputs (P) and negating the
+//! output (N).  Over four variables there are `2 × 4! × 2⁴ = 768` such
+//! transforms, partitioning the 65 536 functions into 222 equivalence
+//! classes.  Cut rewriting exploits this: one replacement network per
+//! *class* serves every cut function in the class, with the transform
+//! telling the rewriter how to permute/complement the cut leaves and the
+//! output.
+//!
+//! Functions are represented as bit-packed `u16` tables (bit `i` is the
+//! function value where variable `j` takes `(i >> j) & 1`, the same
+//! convention as [`crate::TruthTable`]); functions of fewer than four
+//! variables are padded by replication ([`from_table`]).
+//!
+//! ```
+//! use truthtable::npn;
+//!
+//! let f = 0x8000u16; // x0 & x1 & x2 & x3
+//! let (cf, t) = npn::canonicalize4(f);
+//! // Applying the found transform maps the function onto its canonical form,
+//! // and the inverse transform maps it back.
+//! assert_eq!(npn::apply4(f, &t), cf);
+//! assert_eq!(npn::apply4(cf, &t.inverse()), f);
+//! ```
+
+use crate::TruthTable;
+
+/// An invertible NPN transform over four variables.
+///
+/// Applying the transform to a function `f` yields `g` with
+/// `g(x₀..x₃) = f(y₀..y₃) ⊕ output_neg` where
+/// `yⱼ = x_{perm[j]} ⊕ input_neg[j]` — variable `j` of `f` reads slot
+/// `perm[j]` of `g`'s inputs, complemented when bit `j` of `input_neg`
+/// is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NpnTransform {
+    /// `perm[j]` is the input slot variable `j` of the transformed function
+    /// reads from.
+    pub perm: [u8; 4],
+    /// Bit `j` set complements variable `j` after permutation.
+    pub input_neg: u8,
+    /// Complements the output.
+    pub output_neg: bool,
+}
+
+impl NpnTransform {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        NpnTransform {
+            perm: [0, 1, 2, 3],
+            input_neg: 0,
+            output_neg: false,
+        }
+    }
+
+    /// The inverse transform: `apply4(apply4(f, t), t.inverse()) == f`.
+    pub fn inverse(&self) -> Self {
+        let mut perm = [0u8; 4];
+        let mut input_neg = 0u8;
+        for j in 0..4 {
+            let target = self.perm[j] as usize;
+            perm[target] = j as u8;
+            input_neg |= ((self.input_neg >> j) & 1) << target;
+        }
+        NpnTransform {
+            perm,
+            input_neg,
+            output_neg: self.output_neg,
+        }
+    }
+}
+
+/// The 24 permutations of four elements, in lexicographic order (the
+/// deterministic iteration order of [`canonicalize4`]).
+const PERMS4: [[u8; 4]; 24] = [
+    [0, 1, 2, 3],
+    [0, 1, 3, 2],
+    [0, 2, 1, 3],
+    [0, 2, 3, 1],
+    [0, 3, 1, 2],
+    [0, 3, 2, 1],
+    [1, 0, 2, 3],
+    [1, 0, 3, 2],
+    [1, 2, 0, 3],
+    [1, 2, 3, 0],
+    [1, 3, 0, 2],
+    [1, 3, 2, 0],
+    [2, 0, 1, 3],
+    [2, 0, 3, 1],
+    [2, 1, 0, 3],
+    [2, 1, 3, 0],
+    [2, 3, 0, 1],
+    [2, 3, 1, 0],
+    [3, 0, 1, 2],
+    [3, 0, 2, 1],
+    [3, 1, 0, 2],
+    [3, 1, 2, 0],
+    [3, 2, 0, 1],
+    [3, 2, 1, 0],
+];
+
+/// Applies `t` to the 4-variable function `tt`.
+pub fn apply4(tt: u16, t: &NpnTransform) -> u16 {
+    let mut out = 0u16;
+    for i in 0..16u32 {
+        let mut k = 0u32;
+        for j in 0..4 {
+            let bit = ((i >> t.perm[j]) & 1) ^ (((t.input_neg >> j) & 1) as u32);
+            k |= bit << j;
+        }
+        let mut v = (tt >> k) & 1;
+        if t.output_neg {
+            v ^= 1;
+        }
+        out |= v << i;
+    }
+    out
+}
+
+/// Canonicalises a 4-variable function under NPN equivalence.
+///
+/// Returns the lexicographically smallest table reachable by any of the 768
+/// transforms, together with a transform `t` such that
+/// `apply4(tt, t)` equals the canonical table (and therefore
+/// `apply4(canonical, t.inverse()) == tt`).  Ties between transforms are
+/// broken by a fixed iteration order, so the returned transform is a pure
+/// function of `tt`.
+pub fn canonicalize4(tt: u16) -> (u16, NpnTransform) {
+    let mut best = tt;
+    let mut best_t = NpnTransform::identity();
+    let mut first = true;
+    for output_neg in [false, true] {
+        for input_neg in 0u8..16 {
+            for perm in PERMS4 {
+                let t = NpnTransform {
+                    perm,
+                    input_neg,
+                    output_neg,
+                };
+                let candidate = apply4(tt, &t);
+                if first || candidate < best {
+                    best = candidate;
+                    best_t = t;
+                    first = false;
+                }
+            }
+        }
+    }
+    (best, best_t)
+}
+
+/// Packs a truth table of at most four variables into a 4-variable `u16`
+/// table, padding missing variables by replication (the padded function
+/// ignores them).  Returns `None` for tables of more than four variables.
+pub fn from_table(tt: &TruthTable) -> Option<u16> {
+    let nv = tt.num_vars();
+    if nv > 4 {
+        return None;
+    }
+    let mask = (1usize << nv) - 1;
+    let mut out = 0u16;
+    for i in 0..16usize {
+        if tt.get_bit(i & mask) {
+            out |= 1 << i;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Seedable xorshift so the round-trip tests cover a spread of tables
+    /// without depending on an external RNG.
+    fn xorshift(state: &mut u32) -> u16 {
+        *state ^= *state << 13;
+        *state ^= *state >> 17;
+        *state ^= *state << 5;
+        (*state & 0xFFFF) as u16
+    }
+
+    #[test]
+    fn identity_transform_is_identity() {
+        let t = NpnTransform::identity();
+        for tt in [0x0000u16, 0xFFFF, 0x8000, 0x6996, 0xCAFE] {
+            assert_eq!(apply4(tt, &t), tt);
+        }
+        assert_eq!(t.inverse(), t);
+    }
+
+    #[test]
+    fn inverse_round_trips_random_transforms() {
+        let mut state = 0xBEEFu32;
+        for perm in PERMS4 {
+            for _ in 0..4 {
+                let t = NpnTransform {
+                    perm,
+                    input_neg: (xorshift(&mut state) & 0xF) as u8,
+                    output_neg: xorshift(&mut state) & 1 == 1,
+                };
+                let tt = xorshift(&mut state);
+                assert_eq!(apply4(apply4(tt, &t), &t.inverse()), tt, "{t:?}");
+                assert_eq!(apply4(apply4(tt, &t.inverse()), &t), tt, "{t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonicalize_round_trips() {
+        let mut state = 0x1234u32;
+        for _ in 0..500 {
+            let tt = xorshift(&mut state);
+            let (canon, t) = canonicalize4(tt);
+            assert_eq!(apply4(tt, &t), canon);
+            assert_eq!(apply4(canon, &t.inverse()), tt);
+            // The canonical form is a class invariant: canonicalising the
+            // canonical form must be a fixpoint.
+            let (canon2, _) = canonicalize4(canon);
+            assert_eq!(canon2, canon);
+        }
+    }
+
+    #[test]
+    fn npn_equivalent_functions_share_a_canonical_form() {
+        // AND(x0, x1) vs NOR(x0, x1): inputs negated, output kept.
+        let and = from_table(&TruthTable::from_fn(2, |a| a[0] && a[1])).unwrap();
+        let nor = from_table(&TruthTable::from_fn(2, |a| !(a[0] || a[1]))).unwrap();
+        assert_eq!(canonicalize4(and).0, canonicalize4(nor).0);
+        // XOR is NPN-equivalent to XNOR.
+        let xor = from_table(&TruthTable::from_fn(2, |a| a[0] ^ a[1])).unwrap();
+        let xnor = from_table(&TruthTable::from_fn(2, |a| !(a[0] ^ a[1]))).unwrap();
+        assert_eq!(canonicalize4(xor).0, canonicalize4(xnor).0);
+        // AND is not NPN-equivalent to XOR.
+        assert_ne!(canonicalize4(and).0, canonicalize4(xor).0);
+    }
+
+    #[test]
+    fn four_variable_functions_fall_into_222_classes() {
+        // The classic count of NPN classes of 4-variable functions, checked
+        // exhaustively by flood-filling orbits under the group generators
+        // (input flips, adjacent swaps, output flip).  Canonicalising every
+        // one of the 65 536 functions would be ~50 k transform applications
+        // each; the orbit walk covers the same ground in a few million.
+        let mut generators: Vec<NpnTransform> = Vec::new();
+        for j in 0..4u8 {
+            generators.push(NpnTransform {
+                perm: [0, 1, 2, 3],
+                input_neg: 1 << j,
+                output_neg: false,
+            });
+        }
+        for j in 0..3usize {
+            let mut perm = [0u8, 1, 2, 3];
+            perm.swap(j, j + 1);
+            generators.push(NpnTransform {
+                perm,
+                input_neg: 0,
+                output_neg: false,
+            });
+        }
+        generators.push(NpnTransform {
+            perm: [0, 1, 2, 3],
+            input_neg: 0,
+            output_neg: true,
+        });
+
+        let mut seen = vec![false; 1 << 16];
+        let mut orbits = 0usize;
+        for seed in 0..=u16::MAX {
+            if seen[seed as usize] {
+                continue;
+            }
+            orbits += 1;
+            // Every member of the orbit must canonicalise to the seed's
+            // canonical form — the canonical form is a class invariant.
+            let canon = canonicalize4(seed).0;
+            let mut stack = vec![seed];
+            let mut last = seed;
+            seen[seed as usize] = true;
+            while let Some(tt) = stack.pop() {
+                last = tt;
+                for g in &generators {
+                    let next = apply4(tt, g);
+                    if !seen[next as usize] {
+                        seen[next as usize] = true;
+                        stack.push(next);
+                    }
+                }
+            }
+            assert_eq!(canonicalize4(last).0, canon, "orbit of {seed:#06x}");
+        }
+        assert_eq!(orbits, 222);
+    }
+
+    #[test]
+    fn padding_replicates_small_tables() {
+        let xor2 = TruthTable::from_fn(2, |a| a[0] ^ a[1]);
+        let padded = from_table(&xor2).unwrap();
+        assert_eq!(padded, 0x6666);
+        assert!(from_table(&TruthTable::zeros(5)).is_none());
+        assert_eq!(from_table(&TruthTable::ones(0)), Some(0xFFFF));
+    }
+}

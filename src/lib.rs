@@ -29,10 +29,13 @@
 //! # }
 //! ```
 //!
-//! Multi-pass flows (sweep → strash → sweep → verify) compose through
-//! [`Pipeline`], runs are bounded by [`Budget`] and observed through
-//! [`Observer`]; see the `stp_sweep` crate docs.  The legacy free functions
-//! (`stp_sweep::sweeper::sweep_stp` and friends) remain as thin wrappers.
+//! Multi-pass flows (rewrite → strash → sweep → verify) compose through
+//! the [`PassManager`] (aliased [`Pipeline`]) — programmatically via its
+//! builder verbs or from a textual script via [`PassManager::parse`] —
+//! with runs bounded by [`Budget`] and observed through [`Observer`]; see
+//! the `stp_sweep` crate docs.  The legacy free functions
+//! (`stp_sweep::sweeper::sweep_stp` and friends) remain as deprecated thin
+//! wrappers.
 //!
 //! Long-running multi-job deployments use the [`sweepd`] service instead of
 //! driving sessions by hand: a daemon that fair-slices concurrent sweeps
@@ -51,6 +54,7 @@ pub use workloads;
 pub use netlist::canonical_fingerprint;
 pub use stp_sweep::{
     netlist_fingerprint, Budget, BudgetCause, CancelToken, CheckpointError, Engine, NoopObserver,
-    Observer, PassReport, Pipeline, PipelineResult, SatCallOutcome, StatsObserver, SweepCheckpoint,
-    SweepConfig, SweepError, SweepReport, SweepResult, SweepSession, Sweeper,
+    Observer, ParsePassError, Pass, PassCtx, PassManager, PassReport, Pipeline, PipelineResult,
+    SatCallOutcome, StatsObserver, SweepCheckpoint, SweepConfig, SweepError, SweepReport,
+    SweepResult, SweepSession, Sweeper,
 };

@@ -10,7 +10,7 @@ use stp_sat_sweep::stp::{canonical_form, canonical_form_enumerated, BoolVec, Exp
 use stp_sat_sweep::stp_sweep::stp_sim::StpSimulator;
 use stp_sat_sweep::stp_sweep::{cec, sweeper, SweepConfig, SweepReport};
 use stp_sat_sweep::workloads::inject_redundancy;
-use stp_sat_sweep::{Engine, Sweeper};
+use stp_sat_sweep::{Engine, Pipeline, Sweeper};
 
 /// A random Boolean expression over `num_vars` variables with bounded depth.
 fn arb_expr(num_vars: usize, depth: u32) -> impl Strategy<Value = Expr> {
@@ -243,6 +243,7 @@ proptest! {
     /// across independent runs — the property every report-comparing test
     /// in this suite relies on.
     #[test]
+    #[allow(deprecated)] // the legacy wrapper is the property under test
     fn builder_matches_legacy_wrapper(spec in arb_aig(), seed in 0u64..1000) {
         let aig = build_aig(&spec);
         let redundant = inject_redundancy(&aig, 0.3, seed);
@@ -336,6 +337,85 @@ proptest! {
                 prop_assert_eq!(state.output_signature(&aig, o).get_bit(p), exp);
                 prop_assert_eq!(lut_state.output_signature(&lut, o).get_bit(p), exp);
                 prop_assert_eq!(stp_state.output_signature(&lut, o).get_bit(p), exp);
+            }
+        }
+    }
+
+    /// Every optimisation pass — the structural cleanups, cut rewriting,
+    /// and the full dc2 fixpoint loop — preserves equivalence on random
+    /// redundant AIGs and never grows the network (`cfold` rewires in
+    /// place, every other pass rebuilds, and rewriting only accepts
+    /// candidates with non-negative gain).
+    #[test]
+    fn optimisation_passes_preserve_equivalence_and_never_grow(
+        spec in arb_aig(),
+        seed in 0u64..500,
+    ) {
+        let aig = build_aig(&spec);
+        let redundant = inject_redundancy(&aig, 0.3, seed);
+        let config = SweepConfig {
+            num_initial_patterns: 32,
+            ..SweepConfig::default()
+        };
+        for script in ["strash", "cfold", "gc", "rewrite", "rewrite;strash", "dc2(2)"] {
+            let result = Pipeline::new(config)
+                .with_script(script)
+                .expect("script parses")
+                .run(&redundant)
+                .expect("pipeline runs");
+            prop_assert!(
+                result.aig.num_ands() <= redundant.num_ands(),
+                "script {} grew the network: {} -> {}",
+                script,
+                redundant.num_ands(),
+                result.aig.num_ands()
+            );
+            let check = cec::check_equivalence(&redundant, &result.aig, 200_000);
+            prop_assert!(check.equivalent, "script {} broke equivalence", script);
+        }
+    }
+
+    /// The scripted rewrite→sweep flow is parallelism-invariant: every
+    /// `num_threads` × `sat_parallelism` in {1, 4}² produces byte-identical
+    /// AIGER output and identical merge counts.  Rewriting is purely
+    /// structural, so all nondeterminism risk concentrates in the sweep —
+    /// this pins the composition end to end.
+    #[test]
+    fn scripted_rewrite_sweep_is_parallelism_invariant(
+        spec in arb_aig(),
+        seed in 0u64..500,
+    ) {
+        let aig = build_aig(&spec);
+        let redundant = inject_redundancy(&aig, 0.4, seed);
+        let base = SweepConfig {
+            num_initial_patterns: 16, // few patterns: SAT finds counter-examples
+            sat_guided_patterns: false,
+            ..SweepConfig::default()
+        };
+        let mut reference: Option<(String, u64)> = None;
+        for num_threads in [1usize, 4] {
+            for sat_parallelism in [1usize, 4] {
+                let result = Pipeline::new(
+                    base.parallelism(num_threads).sat_parallelism(sat_parallelism),
+                )
+                .with_script("rewrite;sweep(stp)")
+                .expect("script parses")
+                .run(&redundant)
+                .expect("pipeline runs");
+                let aiger = write_aiger_string(&result.aig);
+                let sat_calls = result.report.sat_calls_total;
+                match &reference {
+                    None => reference = Some((aiger, sat_calls)),
+                    Some((want_aiger, want_sat_calls)) => {
+                        prop_assert!(
+                            &aiger == want_aiger,
+                            "{}x{} diverged from the sequential run",
+                            num_threads,
+                            sat_parallelism
+                        );
+                        prop_assert_eq!(sat_calls, *want_sat_calls);
+                    }
+                }
             }
         }
     }
