@@ -1,8 +1,9 @@
 //! The CI bench-regression gate.
 //!
-//! Compares a fresh `table1 --json` or `table2 --json` snapshot against the
-//! matching checked-in baseline (`BENCH_baseline.json` /
-//! `BENCH_baseline_table2.json`) — the snapshot kind is detected from the
+//! Compares a fresh `table1 --json`, `table2 --json` or `table_seq --json`
+//! snapshot against the matching checked-in baseline
+//! (`BENCH_baseline.json` / `BENCH_baseline_table2.json` /
+//! `BENCH_baseline_seq.json`) — the snapshot kind is detected from the
 //! document's `"table"` field:
 //!
 //! * **deterministic counters** (gate counts, SAT calls, merges, constants,
@@ -96,6 +97,31 @@ const TABLE2_TIME_ROW_FIELDS: &[&str] = &["total_b_s", "total_s_s"];
 /// The run-parameter header fields of a table2 snapshot.
 const TABLE2_HEADER_FIELDS: &[&str] = &["patterns", "sat_par_checked"];
 
+/// The deterministic per-benchmark counters of a `table_seq --json`
+/// sequential-sweeping snapshot; any drift fails.
+const SEQ_EXACT_ROW_FIELDS: &[&str] = &[
+    "latches",
+    "gates",
+    "levels",
+    "result",
+    "latches_after",
+    "seq_candidates",
+    "seq_ternary_constants",
+    "seq_refuted",
+    "seq_undet",
+    "ternary_iterations",
+    "ssat",
+    "tsat",
+    "merges",
+    "constants",
+];
+
+/// The time-like per-benchmark fields of a table_seq snapshot.
+const SEQ_TIME_ROW_FIELDS: &[&str] = &["total_s"];
+
+/// The run-parameter header fields of a table_seq snapshot.
+const SEQ_HEADER_FIELDS: &[&str] = &["patterns", "seq_depth", "sat_par_checked"];
+
 fn num_field(row: &Json, key: &str) -> Result<f64, String> {
     row.num(key)
         .ok_or_else(|| format!("missing numeric field '{key}'"))
@@ -119,21 +145,47 @@ fn compare(
         });
         return findings;
     }
-    if base_kind == "table2_sweeping" {
-        compare_table2(baseline, fresh, tolerance, time_floor, skip_times)
-    } else {
-        compare_table1(baseline, fresh, tolerance, time_floor, skip_times)
+    match base_kind {
+        "table2_sweeping" => compare_flat(
+            baseline,
+            fresh,
+            tolerance,
+            time_floor,
+            skip_times,
+            TABLE2_HEADER_FIELDS,
+            TABLE2_EXACT_ROW_FIELDS,
+            TABLE2_TIME_ROW_FIELDS,
+            "BENCH_baseline_table2.json",
+        ),
+        "table_seq_sequential" => compare_flat(
+            baseline,
+            fresh,
+            tolerance,
+            time_floor,
+            skip_times,
+            SEQ_HEADER_FIELDS,
+            SEQ_EXACT_ROW_FIELDS,
+            SEQ_TIME_ROW_FIELDS,
+            "BENCH_baseline_seq.json",
+        ),
+        _ => compare_table1(baseline, fresh, tolerance, time_floor, skip_times),
     }
 }
 
-/// Compares two `table2 --json` sweeping snapshots: exact SAT-call/merge
-/// counters per engine, wall-clock within tolerance.
-fn compare_table2(
+/// Compares two flat-row snapshots (`table2 --json`, `table_seq --json`):
+/// the given counters exactly, the given wall-clock fields within the
+/// tolerance/floor.
+#[allow(clippy::too_many_arguments)]
+fn compare_flat(
     baseline: &Json,
     fresh: &Json,
     tolerance: f64,
     time_floor: f64,
     skip_times: bool,
+    header_fields: &[&str],
+    exact_fields: &[&str],
+    time_fields: &[&str],
+    refresh_hint: &str,
 ) -> Findings {
     let mut findings = Findings::default();
     findings.check(baseline.str("scale") == fresh.str("scale"), || {
@@ -143,7 +195,7 @@ fn compare_table2(
             fresh.str("scale")
         )
     });
-    for &key in TABLE2_HEADER_FIELDS {
+    for &key in header_fields {
         let base = baseline.num(key).unwrap_or(1.0);
         let new = fresh.num(key).unwrap_or(1.0);
         findings.check(base == new, || {
@@ -166,7 +218,7 @@ fn compare_table2(
             findings.check(false, || format!("{name}: missing from the fresh snapshot"));
             continue;
         };
-        for &key in TABLE2_EXACT_ROW_FIELDS {
+        for &key in exact_fields {
             match (num_field(base_row, key), num_field(fresh_row, key)) {
                 (Ok(base), Ok(new)) => findings.check(base == new, || {
                     format!("{name}: {key} changed: baseline {base} vs fresh {new}")
@@ -175,7 +227,7 @@ fn compare_table2(
             }
         }
         if !skip_times {
-            for &key in TABLE2_TIME_ROW_FIELDS {
+            for &key in time_fields {
                 if let (Ok(base), Ok(new)) = (num_field(base_row, key), num_field(fresh_row, key)) {
                     findings.check(base < time_floor || new <= base * (1.0 + tolerance), || {
                         format!(
@@ -192,7 +244,7 @@ fn compare_table2(
         let name = fresh_row.str("benchmark").unwrap_or("<unnamed>");
         findings.check(
             base_rows.iter().any(|r| r.str("benchmark") == Some(name)),
-            || format!("{name}: not in the baseline (refresh BENCH_baseline_table2.json)"),
+            || format!("{name}: not in the baseline (refresh {refresh_hint})"),
         );
     }
     findings
@@ -422,7 +474,8 @@ fn main() {
         eprintln!(
             "if the change is intentional, refresh the baseline: \
              cargo run -p bench --release --bin table1 -- --json BENCH_baseline.json \
-             (or: --bin table2 -- --scale tiny --json BENCH_baseline_table2.json)"
+             (or: --bin table2 -- --scale tiny --json BENCH_baseline_table2.json, \
+             or: --bin table_seq -- --scale tiny --json BENCH_baseline_seq.json)"
         );
         std::process::exit(1);
     }
@@ -532,6 +585,52 @@ mod tests {
         assert!(compare(&base, &slow, 0.30, 0.0, true).failures.is_empty());
         let fast = table2_snapshot(0.010, 5, 25);
         assert!(compare(&base, &fast, 0.30, 0.0, false).failures.is_empty());
+    }
+
+    fn seq_snapshot(total_s: f64, latches_after: u64, refuted: u64) -> Json {
+        parse(&format!(
+            r#"{{"table": "table_seq_sequential", "scale": "Tiny", "patterns": 64,
+                "seq_depth": 1, "sat_par_checked": 4,
+                "rows": [
+                  {{"benchmark": "dup_s3", "pi": 4, "latches": 9, "gates": 60,
+                    "levels": 8, "result": 40, "latches_after": {latches_after},
+                    "seq_candidates": 5, "seq_ternary_constants": 1,
+                    "seq_refuted": {refuted}, "seq_undet": 0,
+                    "ternary_iterations": 2,
+                    "ssat": 0, "tsat": 10, "merges": 4, "constants": 1,
+                    "sim_s": 0.001, "sat_s": 0.002, "total_s": {total_s}}}
+                ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn table_seq_snapshots_gate_counters_exactly_and_times_with_tolerance() {
+        let base = seq_snapshot(0.050, 4, 0);
+        assert!(compare(&base, &base, 0.30, 0.0, false).failures.is_empty());
+        // Any sequential-counter drift fails: a surviving latch...
+        let drifted = seq_snapshot(0.050, 5, 0);
+        let findings = compare(&base, &drifted, 0.30, 0.0, false);
+        assert!(findings
+            .failures
+            .iter()
+            .any(|f| f.contains("latches_after")));
+        // ...or a refuted induction proof.
+        let refuted = seq_snapshot(0.050, 4, 1);
+        let findings = compare(&base, &refuted, 0.30, 0.0, false);
+        assert!(findings.failures.iter().any(|f| f.contains("seq_refuted")));
+        // Time gating follows the shared tolerance/floor/skip rules.
+        let slow = seq_snapshot(0.080, 4, 0);
+        assert!(!compare(&base, &slow, 0.30, 0.0, false).failures.is_empty());
+        assert!(compare(&base, &slow, 0.30, 0.1, false).failures.is_empty());
+        assert!(compare(&base, &slow, 0.30, 0.0, true).failures.is_empty());
+        // A table_seq snapshot never compares against another kind.
+        let table2 = table2_snapshot(0.050, 5, 25);
+        let findings = compare(&table2, &base, 0.30, 0.0, false);
+        assert!(findings
+            .failures
+            .iter()
+            .any(|f| f.contains("snapshot kinds differ")));
     }
 
     fn scripted_snapshot(gates_after: u64, rewrites: u64) -> Json {

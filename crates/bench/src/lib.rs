@@ -7,6 +7,9 @@
 //! * `table2` — regenerates Table II (SAT-sweeping: SAT calls, simulation
 //!   time and total runtime of the baseline FRAIG engine vs. the STP
 //!   engine on the HWMCC/IWLS-analog suite).
+//! * `table_seq` — the sequential-sweeping harness (latch merging by
+//!   ternary analysis + k-step induction on machines with planted
+//!   sequential redundancy, every sweep verified by the BMC oracle).
 //! * `ablation` — the design-choice ablations
 //!   (window refinement on/off, SAT-guided patterns on/off, window limit).
 //!

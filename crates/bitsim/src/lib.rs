@@ -9,6 +9,10 @@
 //!   under every pattern.
 //! * [`AigSimulator`] — word-parallel simulation of an AIG: one AND/XOR
 //!   instruction simulates 64 patterns at once.
+//! * [`ternary`] — X-valued two-plane simulation for sequential designs:
+//!   Kleene logic over a (value, care) signature pair per node, plus the
+//!   [`ternary_fixpoint`] initial-state analysis that seeds sequential
+//!   sweeping.
 //! * [`LutSimulator`] — simulation of a k-LUT network.  As the paper notes,
 //!   bit-parallel words do not help a k-LUT directly: the baseline extracts
 //!   the individual input bits of each pattern, forms the LUT index and looks
@@ -41,9 +45,14 @@ mod lut_sim;
 pub mod parallel;
 mod patterns;
 mod signature;
+pub mod ternary;
 
 pub use aig_sim::{AigSimState, AigSimulator};
 pub use arena::{ArenaPrefix, ArenaRows, SigRef, SignatureArena};
 pub use lut_sim::{LutSimState, LutSimulator};
 pub use patterns::{PatternError, PatternSet};
 pub use signature::Signature;
+pub use ternary::{
+    ternary_fixpoint, TernaryFixpoint, TernaryPatternSet, TernarySimState, TernarySimulator,
+    TernaryValue,
+};

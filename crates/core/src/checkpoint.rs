@@ -74,13 +74,18 @@ pub const CHECKPOINT_MAGIC: [u8; 8] = *b"STPSWCP\x01";
 /// `last_compaction_ce`); 3 = sweep service (canonical netlist
 /// fingerprint, wall-clock cadence `checkpoint_interval_millis`, stats
 /// `checkpoint_bytes`, and cheap checkpoints: cold solver-pool slots are
-/// stored as absent instead of as full snapshots).
-pub const CHECKPOINT_VERSION: u32 = 3;
+/// stored as absent instead of as full snapshots); 4 = sequential sweeping
+/// (config `seq_depth` plus the sequential progress counters
+/// `seq_candidates` / `seq_ternary_constants` / `seq_induction_refuted` /
+/// `seq_induction_undet` / `seq_ternary_iterations`).
+pub const CHECKPOINT_VERSION: u32 = 4;
 
-/// The oldest checkpoint format version this build still decodes.  A v2
-/// checkpoint decodes with the v3 additions defaulted: no wall-clock
-/// cadence, zero checkpoint-byte counter, every pool slot materialised, and
-/// an unknown (zero) canonical fingerprint.
+/// The oldest checkpoint format version this build still decodes.  An old
+/// checkpoint decodes with the later additions defaulted: v2 payloads get
+/// no wall-clock cadence, a zero checkpoint-byte counter, every pool slot
+/// materialised and an unknown (zero) canonical fingerprint; v2 and v3
+/// payloads get `seq_depth = 0` (combinational) and zeroed sequential
+/// counters.
 pub const MIN_CHECKPOINT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
@@ -283,6 +288,17 @@ pub struct SweepCheckpoint {
     /// Committed SAT queries per pool slot (drives deterministic hygiene
     /// resets, see [`crate::SweepConfig::solver_reset_interval`]).
     pub(crate) pool_committed: Vec<u64>,
+    /// Latch-correspondence candidates submitted to induction so far
+    /// (sequential checkpoints only; zero otherwise and for pre-v4 files).
+    pub(crate) seq_candidates: u64,
+    /// Latches substituted by constants from the ternary fixpoint alone.
+    pub(crate) seq_ternary_constants: u64,
+    /// Candidates refuted by a satisfiable base case so far.
+    pub(crate) seq_induction_refuted: u64,
+    /// Candidates left unknown (satisfiable step or exhausted budget) so far.
+    pub(crate) seq_induction_undet: u64,
+    /// Iterations the ternary fixpoint took (for report fidelity on resume).
+    pub(crate) seq_ternary_iterations: u64,
 }
 
 impl SweepCheckpoint {
@@ -438,6 +454,13 @@ impl SweepCheckpoint {
         for &c in &self.pool_committed {
             w.u64(c);
         }
+        if version >= 4 {
+            w.u64(self.seq_candidates);
+            w.u64(self.seq_ternary_constants);
+            w.u64(self.seq_induction_refuted);
+            w.u64(self.seq_induction_undet);
+            w.u64(self.seq_ternary_iterations);
+        }
         // Payload checksum (everything up to here, header included): bit
         // flips anywhere in the file are caught at decode time instead of
         // resuming into a silently different run.
@@ -561,6 +584,17 @@ impl SweepCheckpoint {
             pool
         };
         let pool_committed = r.u64_vec()?;
+        let (
+            seq_candidates,
+            seq_ternary_constants,
+            seq_induction_refuted,
+            seq_induction_undet,
+            seq_ternary_iterations,
+        ) = if version >= 4 {
+            (r.u64()?, r.u64()?, r.u64()?, r.u64()?, r.u64()?)
+        } else {
+            (0, 0, 0, 0, 0)
+        };
         if !r.is_empty() {
             return Err(CheckpointError::Corrupt("trailing bytes after payload"));
         }
@@ -589,6 +623,11 @@ impl SweepCheckpoint {
             main_solver,
             pool,
             pool_committed,
+            seq_candidates,
+            seq_ternary_constants,
+            seq_induction_refuted,
+            seq_induction_undet,
+            seq_ternary_iterations,
         })
     }
 
@@ -633,6 +672,9 @@ fn encode_config(w: &mut Writer, c: &SweepConfig, version: u32) {
     if version >= 3 {
         w.u64(c.checkpoint_interval_millis);
     }
+    if version >= 4 {
+        w.usize(c.seq_depth);
+    }
 }
 
 fn decode_config(r: &mut Reader<'_>, version: u32) -> Result<SweepConfig, CheckpointError> {
@@ -651,6 +693,7 @@ fn decode_config(r: &mut Reader<'_>, version: u32) -> Result<SweepConfig, Checkp
         solver_reset_interval: r.u64()?,
         compact_every: r.u64()?,
         checkpoint_interval_millis: if version >= 3 { r.u64()? } else { 0 },
+        seq_depth: if version >= 4 { r.usize()? } else { 0 },
     })
 }
 
@@ -1461,6 +1504,11 @@ mod tests {
             // exercises the presence-gated pool codec.
             pool: vec![Some(circuit.clone()), None, Some(circuit)],
             pool_committed: vec![2, 0, 1],
+            seq_candidates: 5,
+            seq_ternary_constants: 1,
+            seq_induction_refuted: 2,
+            seq_induction_undet: 1,
+            seq_ternary_iterations: 4,
         }
     }
 
@@ -1547,6 +1595,37 @@ mod tests {
         );
     }
 
+    /// Zeroes the fields a pre-v4 payload cannot carry.
+    fn clear_seq_fields(checkpoint: &mut SweepCheckpoint) {
+        checkpoint.config.seq_depth = 0;
+        checkpoint.seq_candidates = 0;
+        checkpoint.seq_ternary_constants = 0;
+        checkpoint.seq_induction_refuted = 0;
+        checkpoint.seq_induction_undet = 0;
+        checkpoint.seq_ternary_iterations = 0;
+    }
+
+    #[test]
+    fn v3_payloads_still_decode() {
+        // A genuine v3 payload: everything of v3 (canonical fingerprint,
+        // wall-clock cadence, cold pool slots) but no sequential fields.
+        // The v4 decoder must accept it and default seq_depth plus the
+        // sequential counters to zero.
+        let mut old = sample_checkpoint();
+        clear_seq_fields(&mut old);
+
+        let v3_bytes = old.encode_versioned(3);
+        assert_eq!(v3_bytes[8], 3, "the version field says v3");
+        let decoded = SweepCheckpoint::decode(&v3_bytes).expect("v3 decodes");
+        assert_eq!(decoded, old);
+        assert_eq!(decoded.config().seq_depth, 0);
+
+        // Re-encoding upgrades to the current version, state unchanged.
+        let upgraded = decoded.encode();
+        assert_eq!(upgraded[8], CHECKPOINT_VERSION as u8);
+        assert_eq!(SweepCheckpoint::decode(&upgraded).expect("decodes"), old);
+    }
+
     #[test]
     fn v2_payloads_still_decode() {
         // A genuine v2 payload: no canonical fingerprint, no wall-clock
@@ -1556,6 +1635,7 @@ mod tests {
         old.canonical_fingerprint = 0;
         old.config.checkpoint_interval_millis = 0;
         old.stats.checkpoint_bytes = 0;
+        clear_seq_fields(&mut old);
         let hot = old.pool[0].clone();
         for slot in &mut old.pool {
             slot.get_or_insert_with(|| hot.clone().expect("slot 0 is hot"));
@@ -1882,6 +1962,11 @@ mod tests {
                             .map(|(solver, hot)| hot.then(|| wrap(solver)))
                             .collect(),
                         pool_committed,
+                        seq_candidates: sat_calls % 97,
+                        seq_ternary_constants: committed % 13,
+                        seq_induction_refuted: sat_calls % 7,
+                        seq_induction_undet: committed % 5,
+                        seq_ternary_iterations: sat_calls % 31,
                     }
                 },
             )

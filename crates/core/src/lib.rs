@@ -36,6 +36,15 @@
 //!   deprecated thin shims over the builder.
 //! * [`cec`] — combinational equivalence checking used to verify every sweep
 //!   (the `&cec` analog).
+//! * `sequential` — sequential SAT-sweeping over latches, activated by
+//!   [`SweepConfig::seq_depth`] (see [`SweepConfig::sequential`]): ternary
+//!   fixpoint analysis of the initial states, multi-frame binary
+//!   refinement of latch-correspondence classes and k-step induction per
+//!   candidate pair, with the same determinism, budget and checkpoint
+//!   guarantees as the combinational engine ([`Sweeper::resume_run`]).
+//! * [`bmc`] — the bounded-model-checking sequential-equivalence oracle
+//!   ([`bmc::bmc_sec`]) the sequential test battery verifies every latch
+//!   merge against.
 //!
 //! The entry point is the [`Sweeper`] builder:
 //!
@@ -73,6 +82,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bmc;
 pub mod budget;
 pub mod cec;
 pub mod checkpoint;
@@ -86,11 +96,13 @@ pub mod pipeline;
 pub mod prover;
 pub mod report;
 pub mod resim;
+pub(crate) mod sequential;
 pub mod session;
 pub mod stp_sim;
 pub mod sweeper;
 pub mod window;
 
+pub use bmc::{bmc_sec, SecResult};
 pub use budget::{Budget, BudgetCause, CancelToken};
 pub use checkpoint::{netlist_fingerprint, CheckpointError, SweepCheckpoint};
 pub use error::SweepError;

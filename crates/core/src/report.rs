@@ -78,6 +78,17 @@ pub struct SweepConfig {
     /// disables the timer.  Set through [`SweepConfig::checkpoint_every_secs`],
     /// which stores whole milliseconds to keep the config `Copy + Eq`.
     pub checkpoint_interval_millis: u64,
+    /// Induction depth `k` of the sequential sweep.  `0` (the default) runs
+    /// the purely combinational sweep, ignoring any latch table; a nonzero
+    /// value switches [`crate::Sweeper::run`] to the sequential engine:
+    /// ternary (X-valued) fixpoint simulation from the initial state, latch
+    /// correspondence candidates refined by multi-frame binary simulation,
+    /// and each surviving candidate proved by `k`-step induction (base case
+    /// unrolled from the initial state, inductive step from a free state).
+    /// Set through [`SweepConfig::sequential`] or
+    /// [`SweepConfig::with_seq_depth`]; capped at [`MAX_SEQ_DEPTH`] by
+    /// [`SweepConfig::validate`].
+    pub seq_depth: usize,
 }
 
 impl Default for SweepConfig {
@@ -97,6 +108,7 @@ impl Default for SweepConfig {
             solver_reset_interval: 0,
             compact_every: 0,
             checkpoint_interval_millis: 0,
+            seq_depth: 0,
         }
     }
 }
@@ -104,6 +116,12 @@ impl Default for SweepConfig {
 /// The largest window (number of leaves) the paper's exhaustive STP window
 /// simulation supports: Section III-B restricts windows to at most 16 leaves.
 pub const MAX_WINDOW_LIMIT: usize = 16;
+
+/// The largest induction depth [`SweepConfig::validate`] accepts.  Each unit
+/// of depth unrolls another time frame into every base-case and inductive
+/// SAT query, so the cost grows linearly in `k` per query; depths beyond
+/// this bound are virtually always a configuration mistake.
+pub const MAX_SEQ_DEPTH: usize = 64;
 
 impl SweepConfig {
     /// The configuration used by the baseline FRAIG-style sweeper: random
@@ -149,6 +167,22 @@ impl SweepConfig {
             window_limit: 12,
             ..SweepConfig::default()
         }
+    }
+
+    /// The sequential-sweeping setting: the default combinational
+    /// configuration plus an induction depth of `k` (see
+    /// [`SweepConfig::seq_depth`]).  `k = 1` is classic signal
+    /// correspondence (simple induction); larger depths prove equivalences
+    /// that need more history.
+    pub fn sequential(k: usize) -> Self {
+        SweepConfig::default().with_seq_depth(k)
+    }
+
+    /// Sets the induction depth of the sequential sweep
+    /// (see [`SweepConfig::seq_depth`]; `0` = combinational).
+    pub fn with_seq_depth(mut self, k: usize) -> Self {
+        self.seq_depth = k;
+        self
     }
 
     /// Sets the number of initial simulation patterns.
@@ -291,6 +325,12 @@ impl SweepConfig {
                 "checkpoint_every_secs must be a finite, non-negative duration".into(),
             ));
         }
+        if self.seq_depth > MAX_SEQ_DEPTH {
+            return Err(SweepError::InvalidConfig(format!(
+                "seq_depth {} exceeds the maximum induction depth of {MAX_SEQ_DEPTH}",
+                self.seq_depth
+            )));
+        }
         Ok(())
     }
 }
@@ -352,6 +392,28 @@ pub struct SweepReport {
     /// regardless, so this counter is excluded from determinism-gated
     /// output.  `0` for sequential runs.
     pub steal_events: u64,
+    /// Latches of the input network (sequential sweeps only; `0` for
+    /// combinational runs, kept from the first pass when merging).
+    pub seq_latches_before: usize,
+    /// Latches surviving the sequential sweep (mirrors
+    /// [`SweepReport::gates_after`]: the later pass wins when merging).
+    pub seq_latches_after: usize,
+    /// Latch-correspondence candidates the sequential engine submitted to
+    /// `k`-step induction after ternary and multi-frame binary refinement.
+    pub seq_candidates: u64,
+    /// Latches proved stuck at a definite value by the ternary fixpoint
+    /// alone and substituted by constants without any SAT call.
+    pub seq_ternary_constants: u64,
+    /// Sequential candidates refuted by a satisfiable base case (a real
+    /// counter-example trace from the initial state).
+    pub seq_induction_refuted: u64,
+    /// Sequential candidates left unmerged because the inductive step was
+    /// satisfiable or a query exhausted its conflict budget — `k`-step
+    /// induction is incomplete, so these are "unknown", not refuted.
+    pub seq_induction_undet: u64,
+    /// Iterations the ternary fixpoint took to converge (at most
+    /// latches + 1; `0` for combinational runs).
+    pub ternary_iterations: u64,
     /// Time spent simulating (initial + counter-example simulation).
     pub simulation_time: Duration,
     /// Aggregate time spent inside SAT solvers, summed over the prover's
@@ -400,6 +462,12 @@ impl SweepReport {
         self.sat_parallel_conflicts += later.sat_parallel_conflicts;
         self.patterns_dropped += later.patterns_dropped;
         self.steal_events += later.steal_events;
+        self.seq_latches_after = later.seq_latches_after;
+        self.seq_candidates += later.seq_candidates;
+        self.seq_ternary_constants += later.seq_ternary_constants;
+        self.seq_induction_refuted += later.seq_induction_refuted;
+        self.seq_induction_undet += later.seq_induction_undet;
+        self.ternary_iterations += later.ternary_iterations;
         self.simulation_time += later.simulation_time;
         self.sat_time += later.sat_time;
         self.total_time += later.total_time;
@@ -488,7 +556,8 @@ mod tests {
             .checkpoint_every(50)
             .checkpoint_every_secs(1.5)
             .with_solver_reset_interval(128)
-            .compact_every(200);
+            .compact_every(200)
+            .with_seq_depth(2);
         assert_eq!(config.num_initial_patterns, 99);
         assert_eq!(config.conflict_limit, 7);
         assert_eq!(config.tfi_limit, 3);
@@ -500,6 +569,22 @@ mod tests {
         assert_eq!(config.checkpoint_interval_millis, 1500);
         assert_eq!(config.solver_reset_interval, 128);
         assert_eq!(config.compact_every, 200);
+        assert_eq!(config.seq_depth, 2);
+    }
+
+    #[test]
+    fn sequential_preset_sets_only_the_depth() {
+        let config = SweepConfig::sequential(3);
+        assert_eq!(config.seq_depth, 3);
+        assert_eq!(
+            SweepConfig {
+                seq_depth: 0,
+                ..config
+            },
+            SweepConfig::default(),
+            "everything else stays at the paper defaults"
+        );
+        config.validate().expect("the preset validates");
     }
 
     #[test]
@@ -549,6 +634,7 @@ mod tests {
             );
             assert_eq!(config.solver_reset_interval, 0, "resets are opt-in");
             assert_eq!(config.compact_every, 0, "compaction is opt-in");
+            assert_eq!(config.seq_depth, 0, "sequential sweeping is opt-in");
         }
     }
 
@@ -590,6 +676,10 @@ mod tests {
             .checkpoint_every_secs(0.25)
             .validate()
             .is_ok());
+        assert!(SweepConfig::sequential(MAX_SEQ_DEPTH + 1)
+            .validate()
+            .is_err());
+        assert!(SweepConfig::sequential(MAX_SEQ_DEPTH).validate().is_ok());
     }
 
     #[test]
@@ -601,6 +691,9 @@ mod tests {
             merges: 5,
             sat_calls_sat: 2,
             sat_calls_total: 4,
+            seq_latches_before: 7,
+            seq_latches_after: 6,
+            seq_candidates: 2,
             simulation_time: Duration::from_millis(10),
             ..SweepReport::default()
         };
@@ -621,6 +714,12 @@ mod tests {
             sat_parallel_conflicts: 1,
             patterns_dropped: 40,
             steal_events: 6,
+            seq_latches_after: 3,
+            seq_candidates: 4,
+            seq_ternary_constants: 1,
+            seq_induction_refuted: 2,
+            seq_induction_undet: 1,
+            ternary_iterations: 5,
             simulation_time: Duration::from_millis(5),
             ..SweepReport::default()
         };
@@ -641,6 +740,13 @@ mod tests {
         assert_eq!(first.sat_parallel_conflicts, 1);
         assert_eq!(first.patterns_dropped, 40);
         assert_eq!(first.steal_events, 6);
+        assert_eq!(first.seq_latches_before, 7, "merge keeps the origin");
+        assert_eq!(first.seq_latches_after, 3, "the later pass wins");
+        assert_eq!(first.seq_candidates, 6);
+        assert_eq!(first.seq_ternary_constants, 1);
+        assert_eq!(first.seq_induction_refuted, 2);
+        assert_eq!(first.seq_induction_undet, 1);
+        assert_eq!(first.ternary_iterations, 5);
         assert_eq!(first.simulation_time, Duration::from_millis(15));
     }
 
@@ -672,6 +778,9 @@ mod tests {
             num_threads: 4,
             sat_parallelism: 2,
             sat_batches: 3,
+            seq_latches_after: 5,
+            seq_candidates: 3,
+            ternary_iterations: 2,
             sat_time: Duration::from_millis(7),
             ..SweepReport::default()
         };
@@ -685,6 +794,8 @@ mod tests {
             sat_parallelism: 3,
             patterns_dropped: 12,
             steal_events: 6,
+            seq_latches_after: 4,
+            seq_induction_undet: 1,
             total_time: Duration::from_millis(20),
             ..SweepReport::default()
         };

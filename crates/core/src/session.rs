@@ -97,11 +97,11 @@ type Phase = PhasePod;
 /// checkpointed session ([`Sweeper::resume_from`]).
 #[derive(Default)]
 pub struct Sweeper<'o> {
-    engine: Engine,
-    config: SweepConfig,
-    budget: Budget,
-    observer: Option<&'o mut dyn Observer>,
-    round: usize,
+    pub(crate) engine: Engine,
+    pub(crate) config: SweepConfig,
+    pub(crate) budget: Budget,
+    pub(crate) observer: Option<&'o mut dyn Observer>,
+    pub(crate) round: usize,
 }
 
 impl<'o> Sweeper<'o> {
@@ -143,7 +143,18 @@ impl<'o> Sweeper<'o> {
     /// Validates the configuration and primes a [`SweepSession`]: the
     /// initial patterns are generated, the network simulated and the
     /// candidate classes built.
+    ///
+    /// Sessions are combinational; a configuration with
+    /// [`SweepConfig::seq_depth`] `> 0` is rejected here — sequential
+    /// sweeps run whole through [`Sweeper::run`] / [`Sweeper::resume_run`].
     pub fn begin<'n>(self, aig: &'n Aig) -> Result<SweepSession<'n, 'o>, SweepError> {
+        if self.config.seq_depth > 0 {
+            return Err(SweepError::InvalidConfig(
+                "sequential sweeps (seq_depth > 0) run through Sweeper::run or \
+                 Sweeper::resume_run, not through a SweepSession"
+                    .to_string(),
+            ));
+        }
         SweepSession::new(aig, self)
     }
 
@@ -175,14 +186,48 @@ impl<'o> Sweeper<'o> {
         aig: &'n Aig,
         checkpoint: &SweepCheckpoint,
     ) -> Result<SweepSession<'n, 'o>, SweepError> {
+        if checkpoint.config().seq_depth > 0 {
+            return Err(SweepError::CheckpointMismatch(
+                "the checkpoint was taken by the sequential engine; resume it \
+                 through Sweeper::resume_run"
+                    .to_string(),
+            ));
+        }
         SweepSession::resume(aig, self, checkpoint)
     }
 
     /// Runs the sweep to completion (or until the budget trips).
     ///
-    /// Shorthand for `self.begin(aig)?.run()`.
+    /// A configuration with [`SweepConfig::seq_depth`] `> 0` dispatches to
+    /// the sequential engine (ternary-fixpoint analysis plus k-step
+    /// induction over latch pairs); otherwise this is shorthand for
+    /// `self.begin(aig)?.run()`.
     pub fn run(self, aig: &Aig) -> Result<SweepResult, SweepError> {
+        if self.config.seq_depth > 0 {
+            return crate::sequential::run_sequential(self, aig, None);
+        }
         self.begin(aig)?.run()
+    }
+
+    /// Resumes a checkpointed run — combinational or sequential — to
+    /// completion, dispatching on the engine that took the checkpoint.
+    ///
+    /// Combinational checkpoints behave exactly like
+    /// `self.resume_from(aig, checkpoint)?.run()`; sequential checkpoints
+    /// (taken by a run with [`SweepConfig::seq_depth`] `> 0`) continue the
+    /// candidate loop from the committed cursor.  Both directions keep the
+    /// resume guarantee: committed SAT calls, counter-examples, merges and
+    /// output bytes are identical to an uninterrupted run's.
+    pub fn resume_run(
+        self,
+        aig: &Aig,
+        checkpoint: &SweepCheckpoint,
+    ) -> Result<SweepResult, SweepError> {
+        if checkpoint.config().seq_depth > 0 {
+            crate::sequential::run_sequential(self, aig, Some(checkpoint))
+        } else {
+            self.resume_from(aig, checkpoint)?.run()
+        }
     }
 }
 
@@ -764,6 +809,13 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                 .map(|(s, &dirty)| dirty.then(|| s.snapshot()))
                 .collect(),
             pool_committed: self.pool_committed.clone(),
+            // The sequential counters belong to the sequential engine's own
+            // checkpoints; a combinational session always writes zeros.
+            seq_candidates: 0,
+            seq_ternary_constants: 0,
+            seq_induction_refuted: 0,
+            seq_induction_undet: 0,
+            seq_ternary_iterations: 0,
         }
     }
 

@@ -149,6 +149,40 @@ pub struct Output {
     pub lit: Lit,
 }
 
+/// Initial (time-zero) value of a latch.
+///
+/// AIGER 1.9 reset semantics: a latch starts at 0, at 1, or undefined
+/// (`X`), in which case any Boolean initial value must be admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LatchInit {
+    /// Starts at 0 (the AIGER default).
+    #[default]
+    Zero,
+    /// Starts at 1.
+    One,
+    /// Uninitialised: both initial values are possible.
+    X,
+}
+
+/// A latch (sequential state element) of an [`Aig`].
+///
+/// Latches are represented *on top of* the combinational view: the latch's
+/// current-state value is an ordinary primary input (so every combinational
+/// algorithm — simulation, sweeping, cut enumeration — sees it without
+/// special cases) and its next-state function is an ordinary primary output.
+/// This struct records which input/output positions play those roles plus
+/// the initial value; sequential algorithms interpret it, combinational ones
+/// ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latch {
+    /// Position (in [`Aig::inputs`] order) of the current-state input.
+    pub state_input: usize,
+    /// Position (in [`Aig::outputs`] order) of the next-state output.
+    pub next_output: usize,
+    /// Initial value at time zero.
+    pub init: LatchInit,
+}
+
 /// An And-Inverter Graph.
 ///
 /// Construction performs constant propagation (`a ∧ 0 = 0`, `a ∧ 1 = a`,
@@ -173,6 +207,7 @@ pub struct Aig {
     inputs: Vec<NodeId>,
     input_names: Vec<String>,
     outputs: Vec<Output>,
+    latches: Vec<Latch>,
     strash: HashMap<(Lit, Lit), NodeId>,
 }
 
@@ -190,6 +225,7 @@ impl Aig {
             inputs: Vec::new(),
             input_names: Vec::new(),
             outputs: Vec::new(),
+            latches: Vec::new(),
             strash: HashMap::new(),
         }
     }
@@ -219,6 +255,102 @@ impl Aig {
             name: name.into(),
             lit,
         });
+    }
+
+    /// Adds a latch and returns the (positive) literal of its current-state
+    /// value.
+    ///
+    /// The current state becomes a primary input named `name`; the
+    /// next-state function becomes a primary output named `{name}_next`,
+    /// initially the latch's own state (a self-loop) until
+    /// [`Aig::set_latch_next`] installs the real transition function.
+    pub fn add_latch(&mut self, name: impl Into<String>, init: LatchInit) -> Lit {
+        let name = name.into();
+        let state_input = self.inputs.len();
+        let state = self.add_input(name.clone());
+        let next_output = self.outputs.len();
+        self.add_output(format!("{name}_next"), state);
+        self.latches.push(Latch {
+            state_input,
+            next_output,
+            init,
+        });
+        state
+    }
+
+    /// Installs the next-state function of latch `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_latch_next(&mut self, index: usize, next: Lit) {
+        let position = self.latches[index].next_output;
+        self.set_output_lit(position, next);
+    }
+
+    /// Registers an *existing* input/output pair as a latch.  This is the
+    /// low-level form used by the AIGER reader, which creates the state
+    /// inputs while parsing the latch section but can only attach the
+    /// next-state outputs once the gate section has been read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either position is out of range or if the input position is
+    /// already claimed by another latch.
+    pub fn define_latch(&mut self, state_input: usize, next_output: usize, init: LatchInit) {
+        assert!(state_input < self.inputs.len(), "latch input out of range");
+        assert!(
+            next_output < self.outputs.len(),
+            "latch output out of range"
+        );
+        assert!(
+            self.latches.iter().all(|l| l.state_input != state_input),
+            "input {state_input} is already a latch state"
+        );
+        self.latches.push(Latch {
+            state_input,
+            next_output,
+            init,
+        });
+    }
+
+    /// The latches, in declaration order.
+    pub fn latches(&self) -> &[Latch] {
+        &self.latches
+    }
+
+    /// Number of latches.
+    pub fn num_latches(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// The (positive) literal of latch `index`'s current-state input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn latch_state_lit(&self, index: usize) -> Lit {
+        Lit::positive(self.inputs[self.latches[index].state_input])
+    }
+
+    /// The literal driving latch `index`'s next-state function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn latch_next_lit(&self, index: usize) -> Lit {
+        self.outputs[self.latches[index].next_output].lit
+    }
+
+    /// The latch (if any) whose current state is input `position`.
+    pub fn latch_of_input(&self, position: usize) -> Option<usize> {
+        self.latches.iter().position(|l| l.state_input == position)
+    }
+
+    /// `true` if output `index` is the next-state function of some latch
+    /// (as opposed to a real primary output).
+    pub fn is_latch_next_output(&self, index: usize) -> bool {
+        self.latches.iter().any(|l| l.next_output == index)
     }
 
     /// Creates (or reuses) the AND of two literals.
@@ -537,6 +669,9 @@ impl Aig {
     /// re-running constant propagation and structural hashing.  Returns the
     /// cleaned AIG together with a map from old node ids to new literals
     /// (dead nodes map to `None`).
+    ///
+    /// Inputs and outputs keep their order and count, so latches survive
+    /// unchanged (their next-state cones are output cones and hence live).
     pub fn cleanup(&self) -> (Aig, Vec<Option<Lit>>) {
         let mut new = Aig::new();
         let mut map: Vec<Option<Lit>> = vec![None; self.nodes.len()];
@@ -578,6 +713,7 @@ impl Aig {
                 .complement_if(output.lit.is_complemented());
             new.add_output(output.name.clone(), lit);
         }
+        new.latches = self.latches.clone();
         (new, map)
     }
 
@@ -586,6 +722,11 @@ impl Aig {
     /// declaration order).  Returns the literals corresponding to `other`'s
     /// outputs.  `other`'s output names are not registered; the caller
     /// decides what to do with the returned literals (e.g. build a miter).
+    ///
+    /// Latch *state* inputs of `other` count as ordinary inputs here — the
+    /// caller supplies their frame values through `input_map`, which is
+    /// exactly what a sequential unrolling needs.  No latches are registered
+    /// on `self`.
     ///
     /// # Panics
     ///
@@ -621,6 +762,7 @@ impl Aig {
             outputs: self.num_outputs(),
             gates: self.num_ands(),
             depth: self.depth(),
+            latches: self.num_latches(),
         }
     }
 
@@ -896,5 +1038,55 @@ mod tests {
         assert_eq!(stats.outputs, 1);
         assert_eq!(stats.gates, 3);
         assert_eq!(stats.depth, 2);
+        assert_eq!(stats.latches, 0);
+    }
+
+    #[test]
+    fn latches_ride_on_the_combinational_view() {
+        let mut aig = Aig::new();
+        let en = aig.add_input("en");
+        let q = aig.add_latch("q", LatchInit::Zero);
+        let next = aig.mux(en, !q, q); // toggle while enabled
+        aig.set_latch_next(0, next);
+        aig.add_output("o", q);
+
+        assert_eq!(aig.num_latches(), 1);
+        assert_eq!(aig.num_inputs(), 2, "latch state is an input");
+        assert_eq!(aig.num_outputs(), 2, "latch next-state is an output");
+        assert_eq!(aig.latch_state_lit(0), q);
+        assert_eq!(aig.latch_next_lit(0), next);
+        assert_eq!(aig.latch_of_input(1), Some(0));
+        assert_eq!(aig.latch_of_input(0), None);
+        assert!(aig.is_latch_next_output(0));
+        assert!(!aig.is_latch_next_output(1));
+        assert_eq!(aig.latches()[0].init, LatchInit::Zero);
+        assert_eq!(aig.stats().latches, 1);
+    }
+
+    #[test]
+    fn cleanup_preserves_latches() {
+        let mut aig = Aig::new();
+        let d = aig.add_input("d");
+        let q = aig.add_latch("q", LatchInit::One);
+        let _dead = aig.xor(d, q);
+        let next = aig.and(d, !q);
+        aig.set_latch_next(0, next);
+        aig.add_output("o", q);
+        let (cleaned, _) = aig.cleanup();
+        assert_eq!(cleaned.num_latches(), 1);
+        assert_eq!(cleaned.latches(), aig.latches());
+        assert_eq!(cleaned.num_inputs(), 2);
+        assert_eq!(cleaned.num_outputs(), 2);
+        // The next-state cone is an output cone, so it survived the sweep.
+        assert!(!cleaned.latch_next_lit(0).is_constant());
+    }
+
+    #[test]
+    #[should_panic(expected = "already a latch state")]
+    fn define_latch_rejects_double_claims() {
+        let mut aig = Aig::new();
+        let q = aig.add_latch("q", LatchInit::X);
+        aig.add_output("o", q);
+        aig.define_latch(0, 1, LatchInit::Zero);
     }
 }

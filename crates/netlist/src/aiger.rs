@@ -1,12 +1,21 @@
 //! AIGER readers and writers (ASCII `aag` and binary `aig` formats).
 //!
-//! Sequential elements (latches) are supported by *combinational
-//! abstraction*: each latch output becomes an extra primary input and each
-//! latch next-state function becomes an extra primary output.  This matches
-//! how a combinational SAT sweeper treats the HWMCC model-checking
-//! benchmarks referenced in the paper.
+//! Sequential elements (latches) are read and written first-class, AIGER 1.9
+//! style: a latch line is `Q next [init]`, where the optional reset value is
+//! `0` (the default), `1`, or the latch's own literal for an uninitialised
+//! (`X`) latch.  Inside the [`Aig`] the latch keeps the *combinational
+//! abstraction* the sweeping engines rely on — its current state is an extra
+//! primary input, its next-state function an extra primary output — plus a
+//! [`crate::Latch`] record tying the two together with the reset value, so
+//! sequential algorithms (ternary initialisation, k-step unrolling) see the
+//! full transition system.
+//!
+//! Writers renumber canonically — real inputs first, then latch states,
+//! then AND gates in topological order — which is exactly the numbering the
+//! binary format mandates, and makes `write ∘ read` the identity on written
+//! files for the ASCII format too.
 
-use crate::{Aig, AigNode, Lit};
+use crate::{Aig, AigNode, LatchInit, Lit};
 use std::error::Error;
 use std::fmt;
 use std::fs;
@@ -124,20 +133,47 @@ fn map_lit(aiger_lit: usize, var_map: &[Option<Lit>]) -> Result<Lit, AigerError>
     Ok(base.complement_if(aiger_lit % 2 == 1))
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Parses the optional reset field of a latch line.  `q` is the latch's own
+/// (even) literal: AIGER 1.9 spells an uninitialised latch by using it as
+/// the reset value.
+fn parse_latch_init(field: Option<&str>, q: usize) -> Result<LatchInit, AigerError> {
+    match field {
+        None => Ok(LatchInit::Zero),
+        Some("0") => Ok(LatchInit::Zero),
+        Some("1") => Ok(LatchInit::One),
+        Some(text) => {
+            let value: usize = text
+                .parse()
+                .map_err(|_| format_err(format!("invalid latch reset value '{text}'")))?;
+            if value == q {
+                Ok(LatchInit::X)
+            } else {
+                Err(format_err(format!(
+                    "latch reset must be 0, 1 or the latch literal {q}, got {value}"
+                )))
+            }
+        }
+    }
+}
+
 fn finish(
     mut aig: Aig,
     var_map: &[Option<Lit>],
-    latch_next: &[usize],
+    latches: &[(usize, LatchInit)],
     output_lits: &[usize],
 ) -> Result<Aig, AigerError> {
     for (idx, &lit) in output_lits.iter().enumerate() {
         let lit = map_lit(lit, var_map)?;
         aig.add_output(format!("po{idx}"), lit);
     }
-    for (idx, &next) in latch_next.iter().enumerate() {
+    // Latch state inputs were created right after the real inputs; the
+    // next-state outputs go right after the real outputs.
+    let input_base = aig.num_inputs() - latches.len();
+    for (idx, &(next, init)) in latches.iter().enumerate() {
         let lit = map_lit(next, var_map)?;
+        let next_output = aig.num_outputs();
         aig.add_output(format!("latch_next{idx}"), lit);
+        aig.define_latch(input_base + idx, next_output, init);
     }
     Ok(aig)
 }
@@ -173,8 +209,8 @@ fn read_ascii(
         let input = aig.add_input(format!("pi{idx}"));
         var_map[lit / 2] = Some(input);
     }
-    // Latches: output side becomes an extra PI.
-    let mut latch_next = Vec::with_capacity(l);
+    // Latches: the state side becomes an extra PI; the reset field is kept.
+    let mut latches = Vec::with_capacity(l);
     for idx in 0..l {
         let line = next_line("latches")?;
         let mut parts = line.split_whitespace();
@@ -183,14 +219,18 @@ fn read_ascii(
             .ok_or_else(|| format_err("latch line missing literal"))?
             .parse()
             .map_err(|_| format_err("invalid latch literal"))?;
+        if q % 2 != 0 {
+            return Err(format_err("latch literal must be even"));
+        }
         let next: usize = parts
             .next()
             .ok_or_else(|| format_err("latch line missing next-state literal"))?
             .parse()
             .map_err(|_| format_err("invalid latch next-state literal"))?;
+        let init = parse_latch_init(parts.next(), q)?;
         let latch = aig.add_input(format!("latch{idx}"));
         var_map[q / 2] = Some(latch);
-        latch_next.push(next);
+        latches.push((next, init));
     }
     // Outputs.
     let mut output_lits = Vec::with_capacity(o);
@@ -243,7 +283,7 @@ fn read_ascii(
             ));
         }
     }
-    finish(aig, &var_map, &latch_next, &output_lits)
+    finish(aig, &var_map, &latches, &output_lits)
 }
 
 fn read_binary(
@@ -274,17 +314,21 @@ fn read_binary(
         *cursor += 1; // skip newline
         Ok(line)
     };
-    // Latches: "<next>" per line; latch outputs are variables i+1..=i+l.
-    let mut latch_next = Vec::with_capacity(l);
+    // Latches: "<next> [init]" per line; latch states are variables
+    // i+1..=i+l, which is also how an uninitialised reset value is spelled.
+    let mut latches = Vec::with_capacity(l);
     for idx in 0..l {
         let line = read_line(&mut cursor)?;
-        let next: usize = line
-            .trim()
+        let mut parts = line.split_whitespace();
+        let next: usize = parts
+            .next()
+            .ok_or_else(|| format_err("latch line missing next-state literal"))?
             .parse()
             .map_err(|_| format_err("invalid latch next-state literal"))?;
+        let init = parse_latch_init(parts.next(), 2 * (i + idx + 1))?;
         let latch = aig.add_input(format!("latch{idx}"));
         var_map[i + idx + 1] = Some(latch);
-        latch_next.push(next);
+        latches.push((next, init));
     }
     // Outputs.
     let mut output_lits = Vec::with_capacity(o);
@@ -328,52 +372,157 @@ fn read_binary(
         let lit = aig.and(f0, f1);
         var_map[lhs / 2] = Some(lit);
     }
-    finish(aig, &var_map, &latch_next, &output_lits)
+    finish(aig, &var_map, &latches, &output_lits)
 }
 
-/// Serialises an AIG to the ASCII AIGER format.
-pub fn write_aiger_string(aig: &Aig) -> String {
-    // Assign AIGER variable indices: inputs first, then AND nodes in
-    // topological (index) order.
-    let mut var_of_node: Vec<usize> = vec![0; aig.num_nodes()];
-    let mut next_var = 1usize;
-    for &input in aig.inputs() {
-        var_of_node[input] = next_var;
-        next_var += 1;
-    }
-    let mut and_nodes = Vec::new();
-    for id in aig.node_ids() {
-        if aig.node(id).is_and() {
-            var_of_node[id] = next_var;
+/// The canonical AIGER numbering shared by both writers: real inputs (in
+/// input order), then latch state inputs (in latch order), then AND nodes in
+/// topological (index) order — exactly what the binary format mandates.
+struct WriterPlan {
+    /// AIGER variable index of every node.
+    var_of_node: Vec<usize>,
+    /// AND node ids in emission order.
+    and_nodes: Vec<usize>,
+    /// Output indices that are *real* primary outputs (not latch-next).
+    real_outputs: Vec<usize>,
+    /// Number of real (non-latch) inputs.
+    num_real_inputs: usize,
+}
+
+impl WriterPlan {
+    fn new(aig: &Aig) -> Self {
+        let mut is_latch_input = vec![false; aig.num_inputs()];
+        let mut is_latch_output = vec![false; aig.num_outputs()];
+        for latch in aig.latches() {
+            is_latch_input[latch.state_input] = true;
+            is_latch_output[latch.next_output] = true;
+        }
+        let mut var_of_node: Vec<usize> = vec![0; aig.num_nodes()];
+        let mut next_var = 1usize;
+        for (position, &id) in aig.inputs().iter().enumerate() {
+            if !is_latch_input[position] {
+                var_of_node[id] = next_var;
+                next_var += 1;
+            }
+        }
+        for latch in aig.latches() {
+            var_of_node[aig.inputs()[latch.state_input]] = next_var;
             next_var += 1;
-            and_nodes.push(id);
+        }
+        let mut and_nodes = Vec::new();
+        for id in aig.node_ids() {
+            if aig.node(id).is_and() {
+                var_of_node[id] = next_var;
+                next_var += 1;
+                and_nodes.push(id);
+            }
+        }
+        let real_outputs = (0..aig.num_outputs())
+            .filter(|&idx| !is_latch_output[idx])
+            .collect();
+        WriterPlan {
+            var_of_node,
+            and_nodes,
+            real_outputs,
+            num_real_inputs: aig.num_inputs() - aig.num_latches(),
         }
     }
-    let lit_of =
-        |lit: Lit| -> usize { 2 * var_of_node[lit.node()] + lit.is_complemented() as usize };
-    let m = next_var - 1;
+
+    fn lit_of(&self, lit: Lit) -> usize {
+        2 * self.var_of_node[lit.node()] + lit.is_complemented() as usize
+    }
+
+    /// The `M I L O A` header fields.
+    fn header(&self, aig: &Aig) -> (usize, usize, usize, usize, usize) {
+        (
+            self.num_real_inputs + aig.num_latches() + self.and_nodes.len(),
+            self.num_real_inputs,
+            aig.num_latches(),
+            self.real_outputs.len(),
+            self.and_nodes.len(),
+        )
+    }
+
+    /// The latch line body `next [init]` (the reset field is omitted for the
+    /// default 0, `1` for one, and the latch's own literal for `X`).
+    fn latch_line(&self, aig: &Aig, index: usize) -> String {
+        let latch = aig.latches()[index];
+        let next = self.lit_of(aig.outputs()[latch.next_output].lit);
+        let q = 2 * self.var_of_node[aig.inputs()[latch.state_input]];
+        match latch.init {
+            LatchInit::Zero => format!("{next}"),
+            LatchInit::One => format!("{next} 1"),
+            LatchInit::X => format!("{next} {q}"),
+        }
+    }
+}
+
+/// Serialises an AIG to the ASCII AIGER format (latches written AIGER 1.9
+/// style, with reset values).
+pub fn write_aiger_string(aig: &Aig) -> String {
+    let plan = WriterPlan::new(aig);
+    let (m, i, l, o, a) = plan.header(aig);
     let mut out = String::new();
-    out.push_str(&format!(
-        "aag {} {} 0 {} {}\n",
-        m,
-        aig.num_inputs(),
-        aig.num_outputs(),
-        and_nodes.len()
-    ));
-    for &input in aig.inputs() {
-        out.push_str(&format!("{}\n", 2 * var_of_node[input]));
+    out.push_str(&format!("aag {m} {i} {l} {o} {a}\n"));
+    let mut is_latch_input = vec![false; aig.num_inputs()];
+    for latch in aig.latches() {
+        is_latch_input[latch.state_input] = true;
     }
-    for output in aig.outputs() {
-        out.push_str(&format!("{}\n", lit_of(output.lit)));
+    for (position, &id) in aig.inputs().iter().enumerate() {
+        if !is_latch_input[position] {
+            out.push_str(&format!("{}\n", 2 * plan.var_of_node[id]));
+        }
     }
-    for &id in &and_nodes {
+    for index in 0..aig.num_latches() {
+        let latch = aig.latches()[index];
+        let q = 2 * plan.var_of_node[aig.inputs()[latch.state_input]];
+        out.push_str(&format!("{q} {}\n", plan.latch_line(aig, index)));
+    }
+    for &idx in &plan.real_outputs {
+        out.push_str(&format!("{}\n", plan.lit_of(aig.outputs()[idx].lit)));
+    }
+    for &id in &plan.and_nodes {
         if let AigNode::And { fanin0, fanin1 } = aig.node(id) {
             out.push_str(&format!(
                 "{} {} {}\n",
-                2 * var_of_node[id],
-                lit_of(*fanin0),
-                lit_of(*fanin1)
+                2 * plan.var_of_node[id],
+                plan.lit_of(*fanin0),
+                plan.lit_of(*fanin1)
             ));
+        }
+    }
+    out
+}
+
+/// Serialises an AIG to the binary AIGER format (`aig` header, implicit
+/// input/latch variables, delta-coded AND gates).
+pub fn write_aiger_binary_bytes(aig: &Aig) -> Vec<u8> {
+    let plan = WriterPlan::new(aig);
+    let (m, i, l, o, a) = plan.header(aig);
+    let mut out = Vec::new();
+    out.extend_from_slice(format!("aig {m} {i} {l} {o} {a}\n").as_bytes());
+    for index in 0..aig.num_latches() {
+        out.extend_from_slice(format!("{}\n", plan.latch_line(aig, index)).as_bytes());
+    }
+    for &idx in &plan.real_outputs {
+        out.extend_from_slice(format!("{}\n", plan.lit_of(aig.outputs()[idx].lit)).as_bytes());
+    }
+    let mut write_delta = |mut value: usize| {
+        while value >= 0x80 {
+            out.push((value & 0x7f) as u8 | 0x80);
+            value >>= 7;
+        }
+        out.push(value as u8);
+    };
+    for &id in &plan.and_nodes {
+        if let AigNode::And { fanin0, fanin1 } = aig.node(id) {
+            let lhs = 2 * plan.var_of_node[id];
+            let (e0, e1) = (plan.lit_of(*fanin0), plan.lit_of(*fanin1));
+            // The binary format wants rhs0 >= rhs1; both are smaller than
+            // lhs because fanin variables are assigned before the gate's.
+            let (rhs0, rhs1) = if e0 >= e1 { (e0, e1) } else { (e1, e0) };
+            write_delta(lhs - rhs0);
+            write_delta(rhs0 - rhs1);
         }
     }
     out
@@ -386,6 +535,16 @@ pub fn write_aiger_string(aig: &Aig) -> String {
 /// Returns [`AigerError::Io`] on I/O failure.
 pub fn write_aiger(aig: &Aig, path: impl AsRef<Path>) -> Result<(), AigerError> {
     fs::write(path, write_aiger_string(aig))?;
+    Ok(())
+}
+
+/// Writes an AIG to a file in binary AIGER format.
+///
+/// # Errors
+///
+/// Returns [`AigerError::Io`] on I/O failure.
+pub fn write_aiger_binary(aig: &Aig, path: impl AsRef<Path>) -> Result<(), AigerError> {
+    fs::write(path, write_aiger_binary_bytes(aig))?;
     Ok(())
 }
 
@@ -468,6 +627,105 @@ mod tests {
         // One real PI plus one latch-output PI; one PO plus one latch-next PO.
         assert_eq!(aig.num_inputs(), 2);
         assert_eq!(aig.num_outputs(), 2);
+        // ...and the latch itself is registered first-class.
+        assert_eq!(aig.num_latches(), 1);
+        let latch = aig.latches()[0];
+        assert_eq!(latch.state_input, 1);
+        assert_eq!(latch.next_output, 1);
+        assert_eq!(latch.init, crate::LatchInit::Zero);
+    }
+
+    /// A toggle-with-enable register plus an uninitialised shadow latch.
+    fn sequential_aig() -> Aig {
+        let mut aig = Aig::new();
+        let en = aig.add_input("en");
+        let q = aig.add_latch("q", crate::LatchInit::One);
+        let s = aig.add_latch("s", crate::LatchInit::X);
+        let next = aig.mux(en, !q, q);
+        aig.set_latch_next(0, next);
+        aig.set_latch_next(1, !s);
+        let o = aig.and(q, s);
+        aig.add_output("o", o);
+        aig
+    }
+
+    #[test]
+    fn ascii_latch_round_trip_is_identity() {
+        let original = sequential_aig();
+        let text = write_aiger_string(&original);
+        let parsed = read_aiger_str(&text).unwrap();
+        assert_eq!(parsed.num_latches(), 2);
+        assert_eq!(parsed.latches()[0].init, crate::LatchInit::One);
+        assert_eq!(parsed.latches()[1].init, crate::LatchInit::X);
+        // write ∘ read is the identity on written files.
+        assert_eq!(write_aiger_string(&parsed), text);
+    }
+
+    #[test]
+    fn binary_latch_round_trip_preserves_the_transition_system() {
+        let original = sequential_aig();
+        let bytes = write_aiger_binary_bytes(&original);
+        let parsed = read_aiger_bytes(&bytes).unwrap();
+        assert_eq!(parsed.num_latches(), 2);
+        assert_eq!(parsed.latches()[0].init, crate::LatchInit::One);
+        assert_eq!(parsed.latches()[1].init, crate::LatchInit::X);
+        assert_eq!(parsed.num_inputs(), original.num_inputs());
+        assert_eq!(parsed.num_outputs(), original.num_outputs());
+        // Same transition system.  The reader orders real POs before
+        // latch-next outputs, so compare by role instead of raw position.
+        let eval_roles = |aig: &Aig, assignment: &[bool]| {
+            let values = aig.evaluate(assignment);
+            let pos: Vec<bool> = (0..aig.num_outputs())
+                .filter(|&idx| !aig.is_latch_next_output(idx))
+                .map(|idx| values[idx])
+                .collect();
+            let nexts: Vec<bool> = aig
+                .latches()
+                .iter()
+                .map(|l| values[l.next_output])
+                .collect();
+            (pos, nexts)
+        };
+        for i in 0..8usize {
+            let assignment: Vec<bool> = (0..3).map(|j| (i >> j) & 1 == 1).collect();
+            assert_eq!(
+                eval_roles(&parsed, &assignment),
+                eval_roles(&original, &assignment)
+            );
+        }
+        // And the binary writer is a fixpoint of its own read-back.
+        assert_eq!(write_aiger_binary_bytes(&parsed), bytes);
+    }
+
+    #[test]
+    fn binary_writer_agrees_with_ascii_writer() {
+        let original = sequential_aig();
+        let via_binary = read_aiger_bytes(&write_aiger_binary_bytes(&original)).unwrap();
+        let via_ascii = read_aiger_str(&write_aiger_string(&original)).unwrap();
+        assert_eq!(
+            write_aiger_string(&via_binary),
+            write_aiger_string(&via_ascii)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_latch_resets() {
+        // Reset literal that is neither 0, 1 nor the latch's own literal.
+        assert!(read_aiger_str("aag 3 1 1 1 1\n2\n4 6 2\n6\n6 2 4\n").is_err());
+        // Odd latch literal.
+        assert!(read_aiger_str("aag 3 1 1 1 1\n2\n5 6\n6\n6 2 4\n").is_err());
+        // Garbage reset field.
+        assert!(read_aiger_str("aag 3 1 1 1 1\n2\n4 6 zz\n6\n6 2 4\n").is_err());
+    }
+
+    #[test]
+    fn uninitialised_reset_uses_the_latch_literal() {
+        // "4 6 4": latch var 2 with reset = its own literal → X.
+        let aig = read_aiger_str("aag 3 1 1 1 1\n2\n4 6 4\n6\n6 2 4\n").unwrap();
+        assert_eq!(aig.latches()[0].init, crate::LatchInit::X);
+        // "4 6 1": constant-one reset.
+        let aig = read_aiger_str("aag 3 1 1 1 1\n2\n4 6 1\n6\n6 2 4\n").unwrap();
+        assert_eq!(aig.latches()[0].init, crate::LatchInit::One);
     }
 
     #[test]

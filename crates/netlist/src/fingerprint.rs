@@ -52,6 +52,7 @@ const TAG_INPUT: u64 = 0x5354_5000_0000_0002;
 const TAG_AND: u64 = 0x5354_5000_0000_0003;
 const TAG_SHAPE: u64 = 0x5354_5000_0000_0004;
 const COMPLEMENT_SALT: u64 = 0x5354_5000_0000_0005;
+const TAG_LATCH: u64 = 0x5354_5000_0000_0006;
 
 /// The canonical code of an edge: the driving node's code, salted when the
 /// edge is complemented.
@@ -67,8 +68,9 @@ fn edge_code(node_code: u64, lit: Lit) -> u64 {
 ///
 /// Invariant under node renumbering (any valid topological reordering of
 /// the same gates); sensitive to the gates themselves, edge complementation,
-/// input positions, output order and output polarities, and to dangling
-/// (unreferenced) logic.
+/// input positions, output order and output polarities, to dangling
+/// (unreferenced) logic, and — when present — to the latch table (positions
+/// and initial values).
 ///
 /// ```
 /// use netlist::{canonical_fingerprint, Aig};
@@ -120,6 +122,24 @@ pub fn canonical_fingerprint(aig: &Aig) -> u64 {
     acc = fold(acc, aig.num_outputs() as u64);
     for output in aig.outputs() {
         acc = fold(acc, edge_code(codes[output.lit.node()], output.lit));
+    }
+    // The latch section only contributes when latches exist, so the
+    // fingerprints of purely combinational networks are unchanged by the
+    // sequential extension (spilled-job keys, bench baselines).
+    if aig.num_latches() > 0 {
+        acc = fold(acc, fold(TAG_LATCH, aig.num_latches() as u64));
+        for latch in aig.latches() {
+            acc = fold(acc, latch.state_input as u64);
+            acc = fold(acc, latch.next_output as u64);
+            acc = fold(
+                acc,
+                match latch.init {
+                    crate::aig::LatchInit::Zero => 0,
+                    crate::aig::LatchInit::One => 1,
+                    crate::aig::LatchInit::X => 2,
+                },
+            );
+        }
     }
     acc = fold(acc, multiset);
     mix(acc)
@@ -294,6 +314,27 @@ mod tests {
         b.and(x, !y); // dangling
 
         assert_ne!(canonical_fingerprint(&a), canonical_fingerprint(&b));
+    }
+
+    #[test]
+    fn latch_registration_and_init_are_semantic() {
+        use crate::aig::LatchInit;
+        let build = |init: Option<LatchInit>| {
+            let mut aig = Aig::new();
+            let d = aig.add_input("d");
+            let q = aig.add_input("q");
+            let g = aig.and(d, !q);
+            aig.add_output("q_next", g);
+            if let Some(init) = init {
+                aig.define_latch(1, 0, init);
+            }
+            aig
+        };
+        let plain = canonical_fingerprint(&build(None));
+        let zero = canonical_fingerprint(&build(Some(LatchInit::Zero)));
+        let x = canonical_fingerprint(&build(Some(LatchInit::X)));
+        assert_ne!(plain, zero, "registering a latch changes the fingerprint");
+        assert_ne!(zero, x, "the init value changes the fingerprint");
     }
 
     #[test]

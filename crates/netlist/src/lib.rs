@@ -5,7 +5,10 @@
 //! * [`Aig`] — an And-Inverter Graph with complemented edges, structural
 //!   hashing, constant propagation at construction time, fanout counts,
 //!   levels, transitive-fanin queries and node substitution (the operations
-//!   SAT-sweeping needs).
+//!   SAT-sweeping needs).  Sequential designs carry a [`Latch`] table over
+//!   the combinational view: each latch's state is an extra input, its
+//!   next-state function an extra output, plus an initial value
+//!   ([`LatchInit`]).
 //! * [`Lit`] — an AIGER-style literal (`2 * node + complement`).
 //! * [`LutNetwork`] — a k-LUT network whose nodes carry explicit truth
 //!   tables; the target representation of the paper's STP simulator.
@@ -46,9 +49,10 @@ pub mod lut;
 pub mod lutmap;
 pub mod stats;
 
-pub use aig::{Aig, AigNode, Lit, NodeId};
+pub use aig::{Aig, AigNode, Latch, LatchInit, Lit, NodeId};
 pub use aiger::{
-    read_aiger, read_aiger_bytes, read_aiger_str, write_aiger, write_aiger_string, AigerError,
+    read_aiger, read_aiger_bytes, read_aiger_str, write_aiger, write_aiger_binary,
+    write_aiger_binary_bytes, write_aiger_string, AigerError,
 };
 pub use blif::{read_blif, read_blif_str, write_blif, write_blif_string, BlifError};
 pub use cuts::{Cut, CutSet};

@@ -249,6 +249,7 @@ impl LutNetwork {
             outputs: self.num_pos(),
             gates: self.num_luts(),
             depth: self.depth(),
+            latches: 0,
         }
     }
 

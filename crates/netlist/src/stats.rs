@@ -16,6 +16,10 @@ pub struct NetworkStats {
     /// Logic depth (number of gate levels on the longest input-to-output
     /// path).
     pub depth: usize,
+    /// Number of latches (zero for a purely combinational network).  The
+    /// latch state inputs / next-state outputs are *included* in `inputs`
+    /// and `outputs`, matching the combinational view of [`crate::Aig`].
+    pub latches: usize,
 }
 
 impl fmt::Display for NetworkStats {
@@ -24,7 +28,11 @@ impl fmt::Display for NetworkStats {
             f,
             "pi={} po={} gates={} depth={}",
             self.inputs, self.outputs, self.gates, self.depth
-        )
+        )?;
+        if self.latches > 0 {
+            write!(f, " latches={}", self.latches)?;
+        }
+        Ok(())
     }
 }
 
@@ -39,8 +47,21 @@ mod tests {
             outputs: 1,
             gates: 7,
             depth: 4,
+            latches: 0,
         };
         assert_eq!(s.to_string(), "pi=3 po=1 gates=7 depth=4");
+    }
+
+    #[test]
+    fn display_mentions_latches_only_when_present() {
+        let s = NetworkStats {
+            inputs: 3,
+            outputs: 2,
+            gates: 7,
+            depth: 4,
+            latches: 2,
+        };
+        assert_eq!(s.to_string(), "pi=3 po=2 gates=7 depth=4 latches=2");
     }
 
     #[test]

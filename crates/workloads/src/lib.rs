@@ -19,6 +19,10 @@
 //!   SAT-sweeping is measured on.
 //! * [`hwmcc`] — the 15-circuit HWMCC/IWLS-analog suite (base circuits plus
 //!   injected redundancy) used by the Table II harness.
+//! * [`sequential`] — sequential machines with planted latch equivalences
+//!   (duplicate and complemented-duplicate latches, reachable constants,
+//!   product-machine miters) plus the seeded single-gate mutation the
+//!   BMC-oracle differential battery uses as its negative control.
 //!
 //! ```
 //! use workloads::generators;
@@ -35,10 +39,15 @@ pub mod epfl;
 pub mod generators;
 pub mod hwmcc;
 pub mod redundant;
+pub mod sequential;
 
 pub use epfl::{epfl_suite, EpflBenchmark};
 pub use hwmcc::{hwmcc_suite, SweepBenchmark};
 pub use redundant::inject_redundancy;
+pub use sequential::{
+    flip_and_input, random_sequential_aig, sequential_miter, with_duplicate_latches,
+    SequentialWorkload,
+};
 
 /// The size class of a generated suite.
 ///

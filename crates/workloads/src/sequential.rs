@@ -1,0 +1,398 @@
+//! Sequential workloads with planted latch equivalences.
+//!
+//! The sequential sweeping engine is measured and differentially tested on
+//! circuits whose redundancy is *known by construction*:
+//!
+//! * [`random_sequential_aig`] — a seeded random machine whose latches have
+//!   **independent** next-state cones (each cone reads only the primary
+//!   inputs and that latch's own state).  Independence matters: a planted
+//!   duplicate of such a latch is provable by k-step induction *on its
+//!   own*, without assuming any other pair equal — which is exactly the
+//!   per-candidate proof obligation the engine discharges.
+//! * [`with_duplicate_latches`] — plants duplicate latches (every other one
+//!   complemented, with flipped initial value and negated next-state cone)
+//!   plus one reachable-constant latch, and records the expected merges.
+//! * [`sequential_miter`] — the product machine of two networks over shared
+//!   primary inputs; for two copies of the same machine every latch pair
+//!   `(l, n + l)` is a planted equivalence.
+//! * [`flip_and_input`] — the differential battery's seeded mutation: one
+//!   AND gate's input polarity flipped.  A sound oracle must reject the
+//!   mutant against the original.
+
+use netlist::{Aig, AigNode, LatchInit, Lit, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A sequential netlist together with its planted redundancy.
+#[derive(Debug, Clone)]
+pub struct SequentialWorkload {
+    /// The netlist.
+    pub aig: Aig,
+    /// Planted equivalent latch pairs `(duplicate, original, complemented)`
+    /// — latch indices into [`Aig::latches`].
+    pub equivalent_pairs: Vec<(usize, usize, bool)>,
+    /// Latches that hold a constant value in every reachable state.
+    pub constant_latches: Vec<usize>,
+}
+
+/// A seeded random sequential machine: `num_latches` latches whose
+/// next-state cones each read only the primary inputs and the latch's own
+/// state (`gates_per_latch` random AND/OR/XOR gates per cone), plus two
+/// observability outputs — the parity of all latch states and a random mix
+/// of states and inputs — so every latch is visible to an output-based
+/// equivalence oracle.
+///
+/// With `allow_x_init` the initial values are drawn from {0, 1, X},
+/// otherwise from {0, 1}.
+///
+/// # Panics
+///
+/// Panics if `num_inputs` or `num_latches` is zero.
+pub fn random_sequential_aig(
+    num_inputs: usize,
+    num_latches: usize,
+    gates_per_latch: usize,
+    allow_x_init: bool,
+    seed: u64,
+) -> Aig {
+    assert!(num_inputs > 0, "at least one primary input");
+    assert!(num_latches > 0, "at least one latch");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut aig = Aig::new();
+    let pis = aig.add_inputs("x", num_inputs);
+    let states: Vec<Lit> = (0..num_latches)
+        .map(|l| {
+            let init = match rng.gen_range(0..if allow_x_init { 4 } else { 3 }) {
+                0 | 1 => LatchInit::Zero,
+                2 => LatchInit::One,
+                _ => LatchInit::X,
+            };
+            aig.add_latch(format!("q{l}"), init)
+        })
+        .collect();
+    for (l, &state) in states.iter().enumerate() {
+        let mut pool: Vec<Lit> = pis.clone();
+        pool.push(state);
+        for _ in 0..gates_per_latch {
+            let pick = |rng: &mut StdRng, pool: &[Lit]| {
+                let lit = pool[rng.gen_range(0..pool.len())];
+                if rng.gen_bool(0.3) {
+                    !lit
+                } else {
+                    lit
+                }
+            };
+            let a = pick(&mut rng, &pool);
+            let b = pick(&mut rng, &pool);
+            let gate = match rng.gen_range(0..3) {
+                0 => aig.and(a, b),
+                1 => aig.or(a, b),
+                _ => aig.xor(a, b),
+            };
+            pool.push(gate);
+        }
+        let next = *pool.last().expect("pool is never empty");
+        aig.set_latch_next(l, next);
+    }
+    // Observability: any state divergence reaches a real primary output.
+    let parity = states.iter().fold(Lit::FALSE, |acc, &s| aig.xor(acc, s));
+    aig.add_output("parity", parity);
+    let mut mix = Lit::TRUE;
+    for &s in &states {
+        let x = pis[rng.gen_range(0..pis.len())];
+        let t = aig.or(s, x);
+        mix = aig.and(mix, t);
+    }
+    aig.add_output("mix", mix);
+    aig
+}
+
+/// Copies the cone of `root` inside `aig`, substituting the node
+/// `substitute.0` by the literal `substitute.1` (memoised; inputs and
+/// constants map to themselves).
+fn copy_cone(aig: &mut Aig, root: Lit, substitute: (NodeId, Lit)) -> Lit {
+    fn go(
+        aig: &mut Aig,
+        node: NodeId,
+        substitute: (NodeId, Lit),
+        memo: &mut HashMap<NodeId, Lit>,
+    ) -> Lit {
+        if node == substitute.0 {
+            return substitute.1;
+        }
+        if let Some(&lit) = memo.get(&node) {
+            return lit;
+        }
+        let lit = match aig.node(node).clone() {
+            AigNode::Const0 => Lit::FALSE,
+            AigNode::Input { .. } => Lit::positive(node),
+            AigNode::And { fanin0, fanin1 } => {
+                let f0 = go(aig, fanin0.node(), substitute, memo)
+                    .complement_if(fanin0.is_complemented());
+                let f1 = go(aig, fanin1.node(), substitute, memo)
+                    .complement_if(fanin1.is_complemented());
+                aig.and(f0, f1)
+            }
+        };
+        memo.insert(node, lit);
+        lit
+    }
+    let mut memo = HashMap::new();
+    go(aig, root.node(), substitute, &mut memo).complement_if(root.is_complemented())
+}
+
+fn flipped_init(init: LatchInit) -> LatchInit {
+    match init {
+        LatchInit::Zero => LatchInit::One,
+        LatchInit::One => LatchInit::Zero,
+        LatchInit::X => LatchInit::X,
+    }
+}
+
+/// Plants duplicates of the first `num_dups` concretely-initialised latches
+/// of `base` — every other duplicate complemented (flipped initial value,
+/// next-state cone rebuilt over the negated duplicate state and negated) —
+/// plus one latch that provably holds 0 in every reachable state.  A parity
+/// output over the planted latches keeps them observable.
+///
+/// Returns the workload with the expected latch merges: each duplicate pair
+/// individually provable by 1-step induction (the duplicate's cone differs
+/// from the original's only in the substituted state variable), and the
+/// constant latch discoverable by ternary fixpoint analysis alone.
+pub fn with_duplicate_latches(base: &Aig, num_dups: usize) -> SequentialWorkload {
+    let mut aig = base.clone();
+    let mut equivalent_pairs = Vec::new();
+    let mut planted_states = Vec::new();
+    let originals: Vec<usize> = (0..base.num_latches())
+        .filter(|&l| base.latches()[l].init != LatchInit::X)
+        .take(num_dups)
+        .collect();
+    for (i, &r) in originals.iter().enumerate() {
+        let complemented = i % 2 == 1;
+        let latch = aig.latches()[r];
+        let init = if complemented {
+            flipped_init(latch.init)
+        } else {
+            latch.init
+        };
+        let r_state = aig.latch_state_lit(r);
+        let r_next = aig.outputs()[latch.next_output].lit;
+        let name = format!("{}_dup", aig.input_name(latch.state_input));
+        let t_state = aig.add_latch(name, init);
+        let t_index = aig.num_latches() - 1;
+        // Invariant `t == r ^ complemented`, so references to `r`'s state
+        // inside the copied cone become `t ^ complemented`, and the whole
+        // next-state function is complemented back.
+        let substitute = (r_state.node(), t_state.complement_if(complemented));
+        let copied = copy_cone(&mut aig, r_next, substitute);
+        aig.set_latch_next(t_index, copied.complement_if(complemented));
+        equivalent_pairs.push((t_index, r, complemented));
+        planted_states.push(t_state);
+    }
+    // A latch that never leaves its 0 initial value: next = state AND pi0.
+    let k_state = aig.add_latch("kconst", LatchInit::Zero);
+    let k_index = aig.num_latches() - 1;
+    let pi0 = Lit::positive(aig.inputs()[0]);
+    let k_next = aig.and(k_state, pi0);
+    aig.set_latch_next(k_index, k_next);
+    planted_states.push(k_state);
+    // Observability for every planted latch.
+    let parity = planted_states
+        .iter()
+        .fold(Lit::FALSE, |acc, &s| aig.xor(acc, s));
+    aig.add_output("planted_parity", parity);
+    SequentialWorkload {
+        aig,
+        equivalent_pairs,
+        constant_latches: vec![k_index],
+    }
+}
+
+/// The product machine of `a` and `b` over shared primary inputs (matched
+/// by position among the non-latch inputs): one netlist holding both
+/// networks' latches and real outputs.  For `b` equal to `a` up to
+/// renaming, every latch pair `(l, a.num_latches() + l)` is a planted
+/// equivalence.
+///
+/// # Panics
+///
+/// Panics if the networks disagree in their number of real primary inputs.
+pub fn sequential_miter(a: &Aig, b: &Aig) -> Aig {
+    let real_pis = |net: &Aig| -> Vec<usize> {
+        (0..net.num_inputs())
+            .filter(|&p| net.latch_of_input(p).is_none())
+            .collect()
+    };
+    let a_pis = real_pis(a);
+    let b_pis = real_pis(b);
+    assert_eq!(
+        a_pis.len(),
+        b_pis.len(),
+        "the networks disagree in their number of real primary inputs"
+    );
+    let mut miter = Aig::new();
+    let shared: Vec<Lit> = a_pis
+        .iter()
+        .map(|&p| miter.add_input(a.input_name(p)))
+        .collect();
+    let append_net = |miter: &mut Aig, net: &Aig, pis: &[usize], tag: &str| {
+        // Latch states become fresh inputs, everything else maps to the
+        // shared primary inputs.
+        let mut input_map = vec![Lit::FALSE; net.num_inputs()];
+        for (&p, &lit) in pis.iter().zip(&shared) {
+            input_map[p] = lit;
+        }
+        let mut state_positions = Vec::with_capacity(net.num_latches());
+        for latch in net.latches() {
+            let name = format!("{}{tag}", net.input_name(latch.state_input));
+            state_positions.push(miter.num_inputs());
+            input_map[latch.state_input] = miter.add_input(name);
+        }
+        let outs = miter.append(net, &input_map);
+        let next_of_output: HashMap<usize, usize> = net
+            .latches()
+            .iter()
+            .enumerate()
+            .map(|(l, latch)| (latch.next_output, l))
+            .collect();
+        let mut latch_defs = Vec::with_capacity(net.num_latches());
+        for (i, out) in net.outputs().iter().enumerate() {
+            let position = miter.num_outputs();
+            miter.add_output(format!("{}{tag}", out.name), outs[i]);
+            if let Some(&l) = next_of_output.get(&i) {
+                latch_defs.push((l, position));
+            }
+        }
+        for (l, output_position) in latch_defs {
+            miter.define_latch(state_positions[l], output_position, net.latches()[l].init);
+        }
+    };
+    append_net(&mut miter, a, &a_pis, "");
+    append_net(&mut miter, b, &b_pis, "_b");
+    miter
+}
+
+/// Rebuilds `aig` with the first-input polarity of one AND gate flipped —
+/// the gate is the `seed % num_ands`-th AND in topological order.  Input,
+/// output and latch positions are preserved.  Returns `None` when the
+/// network has no AND gates.
+pub fn flip_and_input(aig: &Aig, seed: u64) -> Option<Aig> {
+    let ands: Vec<NodeId> = aig.and_ids().collect();
+    if ands.is_empty() {
+        return None;
+    }
+    let victim = ands[(seed % ands.len() as u64) as usize];
+    let mut mutant = Aig::new();
+    let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
+    for (position, &node) in aig.inputs().iter().enumerate() {
+        map[node] = mutant.add_input(aig.input_name(position));
+    }
+    for id in aig.node_ids() {
+        let AigNode::And { fanin0, fanin1 } = aig.node(id).clone() else {
+            continue;
+        };
+        let mut f0 = map[fanin0.node()].complement_if(fanin0.is_complemented());
+        let f1 = map[fanin1.node()].complement_if(fanin1.is_complemented());
+        if id == victim {
+            f0 = !f0;
+        }
+        map[id] = mutant.and(f0, f1);
+    }
+    for out in aig.outputs() {
+        let lit = map[out.lit.node()].complement_if(out.lit.is_complemented());
+        mutant.add_output(out.name.clone(), lit);
+    }
+    for latch in aig.latches() {
+        mutant.define_latch(latch.state_input, latch.next_output, latch.init);
+    }
+    Some(mutant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_sequential_is_deterministic_and_observable() {
+        let a = random_sequential_aig(4, 6, 5, false, 11);
+        let b = random_sequential_aig(4, 6, 5, false, 11);
+        assert_eq!(a.num_ands(), b.num_ands());
+        assert_eq!(a.num_latches(), 6);
+        // 4 PIs + 6 latch states; 2 observability outputs + 6 next-states.
+        assert_eq!(a.num_inputs(), 10);
+        assert_eq!(a.num_outputs(), 8);
+        assert!(a.latches().iter().all(|l| l.init != LatchInit::X));
+        let c = random_sequential_aig(4, 6, 5, true, 13);
+        assert_eq!(c.num_latches(), 6);
+    }
+
+    #[test]
+    fn duplicates_simulate_in_lockstep_with_their_originals() {
+        let base = random_sequential_aig(3, 4, 4, false, 5);
+        let workload = with_duplicate_latches(&base, 3);
+        let aig = &workload.aig;
+        assert_eq!(workload.equivalent_pairs.len(), 3);
+        assert_eq!(aig.num_latches(), base.num_latches() + 3 + 1);
+        // Walk a few concrete steps: the duplicate state must track the
+        // original (complemented as planted) and the constant latch must
+        // stay 0.
+        let latches = aig.latches();
+        let mut state: Vec<bool> = latches.iter().map(|l| l.init == LatchInit::One).collect();
+        let mut inputs = vec![false; aig.num_inputs()];
+        for step in 0..8 {
+            for (p, v) in inputs.iter_mut().enumerate() {
+                if aig.latch_of_input(p).is_none() {
+                    *v = (step * 31 + p * 7) % 3 == 0;
+                }
+            }
+            for (l, latch) in latches.iter().enumerate() {
+                inputs[latch.state_input] = state[l];
+            }
+            let outputs = aig.evaluate(&inputs);
+            for &(dup, orig, complemented) in &workload.equivalent_pairs {
+                assert_eq!(
+                    state[dup],
+                    state[orig] ^ complemented,
+                    "step {step}: duplicate {dup} diverged from {orig}"
+                );
+            }
+            for &k in &workload.constant_latches {
+                assert!(!state[k], "step {step}: constant latch {k} left 0");
+            }
+            state = latches
+                .iter()
+                .map(|latch| outputs[latch.next_output])
+                .collect();
+        }
+    }
+
+    #[test]
+    fn miter_of_a_machine_with_itself_pairs_every_latch() {
+        let base = random_sequential_aig(3, 4, 4, false, 9);
+        let miter = sequential_miter(&base, &base);
+        assert_eq!(miter.num_latches(), 2 * base.num_latches());
+        let real_pis = (0..miter.num_inputs())
+            .filter(|&p| miter.latch_of_input(p).is_none())
+            .count();
+        assert_eq!(real_pis, 3);
+        // Both copies' initial values agree pairwise.
+        for l in 0..base.num_latches() {
+            assert_eq!(
+                miter.latches()[l].init,
+                miter.latches()[base.num_latches() + l].init
+            );
+        }
+    }
+
+    #[test]
+    fn flipping_an_and_input_changes_the_function() {
+        let base = random_sequential_aig(3, 4, 4, false, 21);
+        let mutant = flip_and_input(&base, 0).expect("the machine has AND gates");
+        assert_eq!(mutant.num_inputs(), base.num_inputs());
+        assert_eq!(mutant.num_outputs(), base.num_outputs());
+        assert_eq!(mutant.num_latches(), base.num_latches());
+        // Same latch positions and initial values.
+        assert_eq!(mutant.latches(), base.latches());
+    }
+}

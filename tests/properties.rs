@@ -3,13 +3,17 @@
 //! agreement, simulator agreement, sweep equivalence).
 
 use proptest::prelude::*;
-use stp_sat_sweep::bitsim::{AigSimulator, LutSimulator, PatternSet};
-use stp_sat_sweep::netlist::aiger::write_aiger_string;
-use stp_sat_sweep::netlist::{lutmap, Aig, Lit};
+use stp_sat_sweep::bitsim::{
+    ternary_fixpoint, AigSimulator, LutSimulator, PatternSet, TernaryPatternSet, TernarySimulator,
+    TernaryValue,
+};
+use stp_sat_sweep::netlist::aiger::{read_aiger_str, write_aiger_string};
+use stp_sat_sweep::netlist::{lutmap, Aig, LatchInit, Lit};
 use stp_sat_sweep::stp::{canonical_form, canonical_form_enumerated, BoolVec, Expr};
 use stp_sat_sweep::stp_sweep::stp_sim::StpSimulator;
 use stp_sat_sweep::stp_sweep::{cec, sweeper, SweepConfig, SweepReport};
 use stp_sat_sweep::workloads::inject_redundancy;
+use stp_sat_sweep::workloads::sequential::random_sequential_aig;
 use stp_sat_sweep::{Engine, Pipeline, Sweeper};
 
 /// A random Boolean expression over `num_vars` variables with bounded depth.
@@ -508,6 +512,143 @@ fn work_stealing_is_thread_count_invariant_on_wide_levels() {
                 stp_par.signature(id),
                 "LUT node {id} differs at {threads} threads"
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Ternary simulation abstracts binary simulation: on any pattern, every
+    /// input position left definite pins the corresponding binary value, and
+    /// wherever the ternary output is definite it must equal the binary
+    /// output of *every* concretisation of the `X` positions — checked
+    /// against both binary engines (`Aig::evaluate` and the signature-based
+    /// [`AigSimulator`]).
+    #[test]
+    fn ternary_simulation_abstracts_binary(
+        spec in arb_aig(),
+        bits in any::<u64>(),
+        xmask in any::<u64>(),
+        flips in any::<u64>(),
+    ) {
+        let aig = build_aig(&spec);
+        let n = aig.num_inputs();
+        let base: Vec<bool> = (0..n).map(|i| bits >> (i % 64) & 1 == 1).collect();
+        let is_x: Vec<bool> = (0..n).map(|i| xmask >> (i % 64) & 1 == 1).collect();
+
+        let mut patterns = TernaryPatternSet::new(n);
+        let ternary_pattern: Vec<TernaryValue> = (0..n)
+            .map(|i| if is_x[i] { TernaryValue::X } else { TernaryValue::from_bool(base[i]) })
+            .collect();
+        patterns.push_pattern(&ternary_pattern);
+        let state = TernarySimulator::new(&aig).run(&patterns);
+
+        // Two concretisations of the X positions: all-as-base and
+        // base-xor-flips.
+        for variant in 0..2u64 {
+            let assignment: Vec<bool> = (0..n)
+                .map(|i| {
+                    if is_x[i] && variant == 1 {
+                        base[i] ^ (flips >> (i % 64) & 1 == 1)
+                    } else {
+                        base[i]
+                    }
+                })
+                .collect();
+            let evaluated = aig.evaluate(&assignment);
+            let mut binary_patterns = PatternSet::new(n);
+            binary_patterns.push_pattern(&assignment);
+            let sim = AigSimulator::new(&aig).run(&binary_patterns);
+            for (o, output) in aig.outputs().iter().enumerate() {
+                let simulated = sim
+                    .signature(output.lit.node())
+                    .get_bit(0)
+                    ^ output.lit.is_complemented();
+                prop_assert_eq!(evaluated[o], simulated);
+                if let Some(value) = state.output_value(&aig, o, 0).concrete() {
+                    prop_assert_eq!(value, evaluated[o]);
+                }
+            }
+        }
+
+        // A fully definite pattern loses nothing: the ternary result is
+        // definite everywhere and equals the binary result.
+        let mut definite = TernaryPatternSet::new(n);
+        definite.push_pattern(
+            &base.iter().map(|&b| TernaryValue::from_bool(b)).collect::<Vec<_>>(),
+        );
+        let definite_state = TernarySimulator::new(&aig).run(&definite);
+        let evaluated = aig.evaluate(&base);
+        for (o, _) in aig.outputs().iter().enumerate() {
+            prop_assert_eq!(
+                definite_state.output_value(&aig, o, 0).concrete(),
+                Some(evaluated[o])
+            );
+        }
+    }
+
+    /// AIGER round trip of sequential networks, including `X` initial
+    /// values: write → read → write is byte-identical, and the latch
+    /// structure (count, initial values, state names) survives.
+    #[test]
+    fn aiger_latch_round_trip(
+        num_inputs in 1usize..5,
+        num_latches in 1usize..6,
+        gates in 1usize..7,
+        allow_x in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let aig = random_sequential_aig(num_inputs, num_latches, gates, allow_x, seed);
+        let text = write_aiger_string(&aig);
+        let back = read_aiger_str(&text).expect("own output must parse");
+        prop_assert_eq!(write_aiger_string(&back), text);
+        prop_assert_eq!(back.num_latches(), aig.num_latches());
+        prop_assert_eq!(back.num_inputs(), aig.num_inputs());
+        prop_assert_eq!(back.num_outputs(), aig.num_outputs());
+        for (ours, theirs) in aig.latches().iter().zip(back.latches()) {
+            prop_assert_eq!(ours.init, theirs.init);
+        }
+        // AIGER carries no symbol table, so names change — with concrete
+        // initial states the BMC oracle still proves the round trip
+        // behaviour-preserving.  (X-init latches are excluded because the
+        // oracle shares frame-0 unknowns by name.)
+        if aig.latches().iter().all(|l| l.init != LatchInit::X) {
+            let verdict = stp_sat_sweep::bmc_sec(&aig, &back, 3, 100_000);
+            prop_assert!(verdict.equivalent, "round trip changed behaviour: {:?}", verdict);
+        }
+    }
+
+    /// The ternary initial-state fixpoint is monotone (a latch only ever
+    /// widens from a definite value to `X`, never back, and never flips)
+    /// and terminates within `num_latches + 1` rounds.
+    #[test]
+    fn ternary_fixpoint_is_monotone_and_terminates(
+        num_inputs in 1usize..5,
+        num_latches in 1usize..6,
+        gates in 1usize..7,
+        allow_x in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let aig = random_sequential_aig(num_inputs, num_latches, gates, allow_x, seed);
+        let fix = ternary_fixpoint(&aig);
+        prop_assert!(fix.iterations <= aig.num_latches() + 1);
+        prop_assert_eq!(fix.values.len(), aig.num_latches());
+        prop_assert_eq!(fix.trajectories.len(), aig.num_latches());
+        for (l, (latch, trajectory)) in
+            aig.latches().iter().zip(&fix.trajectories).enumerate()
+        {
+            prop_assert_eq!(trajectory.len(), fix.iterations + 1);
+            prop_assert_eq!(trajectory[0], TernaryValue::from_init(latch.init));
+            prop_assert_eq!(*trajectory.last().unwrap(), fix.values[l]);
+            for step in trajectory.windows(2) {
+                let widened = step[0] != step[1];
+                prop_assert!(
+                    !widened || step[1] == TernaryValue::X,
+                    "latch {} moved {:?} -> {:?}: not a widening",
+                    l, step[0], step[1]
+                );
+            }
         }
     }
 }
