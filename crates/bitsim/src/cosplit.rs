@@ -1,0 +1,308 @@
+//! # cosplit — the online co-split statistic behind refinement-aware batching
+//!
+//! SAT-sweeping commits counter-examples one at a time, and every committed
+//! counter-example refines *all* candidate equivalence classes at once.  Two
+//! classes that keep splitting on the same counter-examples are entangled:
+//! speculatively proving candidates from both in one batch wastes the later
+//! slot, because the earlier candidate's counter-example invalidates it.  Two
+//! classes that never co-split are (empirically) independent and batch well
+//! even when their structural supports overlap — which is exactly the case
+//! PI-support-disjoint batching gives up on for arithmetic circuits.
+//!
+//! [`CoSplitTable`] learns that statistic online.  Each committed
+//! counter-example reports the set of class representatives it split (one
+//! *event*); the table counts per-representative splits and ordered-pair
+//! co-splits.  Each committed *proof* (an UNSAT SAT call against a class
+//! member) is also recorded ([`CoSplitTable::record_proof`]) — a class that
+//! keeps surviving committed SAT queries without splitting is stable, and
+//! stability is the common case on arithmetic circuits where disproofs are
+//! rare but supports overlap everywhere.  A class's *observation* count is
+//! its splits plus its survived proofs.  [`CoSplitTable::independent`] then
+//! answers the batching question with three-valued logic:
+//!
+//! * `Some(false)` — the pair has co-split before: do not batch them.
+//! * `Some(true)`  — both classes have been observed (split or survived a
+//!   proof) at least `min_obs` times and never split together: batch freely.
+//! * `None`        — not enough evidence either way: the caller falls back to
+//!   its prior (support disjointness).
+//!
+//! The table is fed only from *committed* refinements, so its contents — and
+//! therefore every batch formed from it — are identical for every worker
+//! count, batch policy and shard count (see the determinism contract in
+//! `ARCHITECTURE.md`).  [`CoSplitTable::snapshot`] produces a canonical
+//! sorted form for the checkpoint codec so that resumed runs keep forming
+//! the same batches as uninterrupted ones.
+//!
+//! ```
+//! use bitsim::CoSplitTable;
+//!
+//! let mut table = CoSplitTable::new();
+//! table.record_event(&[3, 7]); // one CE split the classes of reps 3 and 7
+//! table.record_event(&[3]);
+//! table.record_proof(9); // the class of rep 9 survived a committed proof
+//! table.record_proof(9);
+//!
+//! assert_eq!(table.splits(3), 2);
+//! assert_eq!(table.cosplits(3, 7), 1);
+//! assert_eq!(table.observations(9), 2);
+//! assert_eq!(table.independent(3, 7, 2), Some(false)); // co-split before
+//! assert_eq!(table.independent(3, 9, 2), Some(true)); // both seen, never together
+//! assert_eq!(table.independent(3, 11, 2), None); // rep 11 never observed
+//! ```
+
+use netlist::NodeId;
+use std::collections::HashMap;
+
+/// Pairwise counts are only recorded among the first `MAX_PAIR_EVENT` (sorted)
+/// representatives of an event.  A counter-example that shatters hundreds of
+/// classes carries almost no pairwise signal (everything co-splits with
+/// everything), and recording it would cost O(k²) table entries; the per-rep
+/// split counts are still recorded in full.
+pub const MAX_PAIR_EVENT: usize = 64;
+
+/// Online per-class split statistics fed from committed counter-example
+/// refinements.  See the [module docs](self) for the batching semantics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoSplitTable {
+    /// How many committed counter-examples split the class of each rep.
+    splits: HashMap<NodeId, u32>,
+    /// How many committed SAT proofs each rep's class survived unsplit.
+    proofs: HashMap<NodeId, u32>,
+    /// How many committed counter-examples split both classes of a rep pair
+    /// (keyed with the smaller rep first).
+    cosplits: HashMap<(NodeId, NodeId), u32>,
+    /// Total number of recorded events.
+    events: u64,
+}
+
+/// A canonical (sorted) serializable form of a [`CoSplitTable`], used by the
+/// `stp-sweep` checkpoint codec.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoSplitSnapshot {
+    /// `(representative, split count)` pairs, sorted by representative.
+    pub splits: Vec<(NodeId, u32)>,
+    /// `(representative, survived proof count)` pairs, sorted.
+    pub proofs: Vec<(NodeId, u32)>,
+    /// `(rep_a, rep_b, co-split count)` triples with `rep_a < rep_b`, sorted.
+    pub cosplits: Vec<(NodeId, NodeId, u32)>,
+    /// Total number of recorded events.
+    pub events: u64,
+}
+
+impl CoSplitTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one committed counter-example event: `reps` is the set of
+    /// representatives (of the classes that the counter-example split),
+    /// deduplicated.  Order does not matter.
+    pub fn record_event(&mut self, reps: &[NodeId]) {
+        if reps.is_empty() {
+            return;
+        }
+        self.events += 1;
+        let mut sorted: Vec<NodeId> = reps.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &r in &sorted {
+            *self.splits.entry(r).or_insert(0) += 1;
+        }
+        let pairwise = &sorted[..sorted.len().min(MAX_PAIR_EVENT)];
+        for (i, &a) in pairwise.iter().enumerate() {
+            for &b in &pairwise[i + 1..] {
+                *self.cosplits.entry((a, b)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Records one committed SAT proof that the class of `rep` survived
+    /// without splitting (an UNSAT query against one of its members).
+    pub fn record_proof(&mut self, rep: NodeId) {
+        *self.proofs.entry(rep).or_insert(0) += 1;
+    }
+
+    /// How many committed counter-examples split the class of `rep`.
+    pub fn splits(&self, rep: NodeId) -> u32 {
+        self.splits.get(&rep).copied().unwrap_or(0)
+    }
+
+    /// How many committed SAT proofs the class of `rep` survived unsplit.
+    pub fn proofs(&self, rep: NodeId) -> u32 {
+        self.proofs.get(&rep).copied().unwrap_or(0)
+    }
+
+    /// Total committed observations of `rep`'s class: splits plus survived
+    /// proofs.  The batching evidence threshold is measured against this.
+    pub fn observations(&self, rep: NodeId) -> u32 {
+        self.splits(rep).saturating_add(self.proofs(rep))
+    }
+
+    /// How many committed counter-examples split the classes of both `a` and
+    /// `b` (symmetric).
+    pub fn cosplits(&self, a: NodeId, b: NodeId) -> u32 {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.cosplits.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Total number of recorded events.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Three-valued independence verdict for batching the classes of `a` and
+    /// `b` together: `Some(false)` if they have ever co-split, `Some(true)`
+    /// if both have at least `min_obs` [`observations`](Self::observations)
+    /// (splits or survived proofs) and never co-split, `None` when there is
+    /// not enough evidence (caller falls back to its prior).  `a == b` is
+    /// never independent.
+    pub fn independent(&self, a: NodeId, b: NodeId, min_obs: u32) -> Option<bool> {
+        if a == b {
+            return Some(false);
+        }
+        if self.cosplits(a, b) > 0 {
+            return Some(false);
+        }
+        if self.observations(a).min(self.observations(b)) >= min_obs {
+            return Some(true);
+        }
+        None
+    }
+
+    /// Canonical sorted snapshot for serialization.
+    pub fn snapshot(&self) -> CoSplitSnapshot {
+        let mut splits: Vec<(NodeId, u32)> = self.splits.iter().map(|(&r, &c)| (r, c)).collect();
+        splits.sort_unstable();
+        let mut proofs: Vec<(NodeId, u32)> = self.proofs.iter().map(|(&r, &c)| (r, c)).collect();
+        proofs.sort_unstable();
+        let mut cosplits: Vec<(NodeId, NodeId, u32)> = self
+            .cosplits
+            .iter()
+            .map(|(&(a, b), &c)| (a, b, c))
+            .collect();
+        cosplits.sort_unstable();
+        CoSplitSnapshot {
+            splits,
+            proofs,
+            cosplits,
+            events: self.events,
+        }
+    }
+
+    /// Rebuilds a table from a snapshot.
+    pub fn from_snapshot(snap: &CoSplitSnapshot) -> Self {
+        Self {
+            splits: snap.splits.iter().copied().collect(),
+            proofs: snap.proofs.iter().copied().collect(),
+            cosplits: snap.cosplits.iter().map(|&(a, b, c)| ((a, b), c)).collect(),
+            events: snap.events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_event_counts_splits_and_pairs() {
+        let mut t = CoSplitTable::new();
+        t.record_event(&[5, 2, 2, 9]); // duplicates collapse
+        t.record_event(&[2]);
+        assert_eq!(t.events(), 2);
+        assert_eq!(t.splits(2), 2);
+        assert_eq!(t.splits(5), 1);
+        assert_eq!(t.splits(9), 1);
+        assert_eq!(t.splits(42), 0);
+        assert_eq!(t.cosplits(2, 5), 1);
+        assert_eq!(t.cosplits(5, 2), 1); // symmetric
+        assert_eq!(t.cosplits(5, 9), 1);
+        assert_eq!(t.cosplits(2, 42), 0);
+    }
+
+    #[test]
+    fn empty_events_are_ignored() {
+        let mut t = CoSplitTable::new();
+        t.record_event(&[]);
+        assert_eq!(t.events(), 0);
+        assert_eq!(t, CoSplitTable::new());
+    }
+
+    #[test]
+    fn independence_three_valued_logic() {
+        let mut t = CoSplitTable::new();
+        t.record_event(&[1, 2]);
+        t.record_event(&[1]);
+        t.record_event(&[3]);
+        t.record_event(&[3]);
+        // co-split once => dependent regardless of counts
+        assert_eq!(t.independent(1, 2, 1), Some(false));
+        // both observed >= min_obs, never together => independent
+        assert_eq!(t.independent(1, 3, 2), Some(true));
+        // raise the bar and the evidence is insufficient
+        assert_eq!(t.independent(1, 3, 3), None);
+        // unobserved rep => no evidence
+        assert_eq!(t.independent(1, 99, 1), None);
+        // a class is never independent of itself
+        assert_eq!(t.independent(3, 3, 1), Some(false));
+    }
+
+    #[test]
+    fn survived_proofs_count_as_observations() {
+        let mut t = CoSplitTable::new();
+        t.record_proof(4);
+        t.record_proof(4);
+        t.record_proof(8);
+        assert_eq!(t.proofs(4), 2);
+        assert_eq!(t.splits(4), 0);
+        assert_eq!(t.observations(4), 2);
+        // 8 has only one observation: below the bar
+        assert_eq!(t.independent(4, 8, 2), None);
+        t.record_proof(8);
+        // two stable classes that never co-split are independent
+        assert_eq!(t.independent(4, 8, 2), Some(true));
+        // splits and proofs pool into one observation count
+        t.record_event(&[6]);
+        t.record_proof(6);
+        assert_eq!(t.observations(6), 2);
+        assert_eq!(t.independent(4, 6, 2), Some(true));
+        // proofs never create pairwise entanglement
+        assert_eq!(t.cosplits(4, 8), 0);
+        // events only counts counter-example refinements
+        assert_eq!(t.events(), 1);
+    }
+
+    #[test]
+    fn oversized_events_skip_tail_pairs_but_count_all_splits() {
+        let mut t = CoSplitTable::new();
+        let reps: Vec<NodeId> = (0..MAX_PAIR_EVENT + 8).collect();
+        t.record_event(&reps);
+        for &r in &reps {
+            assert_eq!(t.splits(r), 1);
+        }
+        // pairs among the first MAX_PAIR_EVENT sorted reps only
+        assert_eq!(t.cosplits(0, MAX_PAIR_EVENT - 1), 1);
+        assert_eq!(t.cosplits(0, MAX_PAIR_EVENT), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_is_canonical() {
+        let mut t = CoSplitTable::new();
+        t.record_event(&[7, 3]);
+        t.record_event(&[3, 11]);
+        t.record_event(&[5]);
+        t.record_proof(9);
+        t.record_proof(2);
+        let snap = t.snapshot();
+        assert!(snap.splits.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(snap.proofs.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(snap
+            .cosplits
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        let back = CoSplitTable::from_snapshot(&snap);
+        assert_eq!(back, t);
+        assert_eq!(back.snapshot(), snap);
+    }
+}

@@ -17,6 +17,27 @@
 //! fixpoint value is still a definite 0/1 holds that value in **every**
 //! reachable state, and the per-latch trajectories seed the candidate
 //! equivalence classes of sequential SAT-sweeping.
+//!
+//! ```
+//! use bitsim::{ternary_fixpoint, TernaryValue};
+//! use netlist::{Aig, LatchInit};
+//!
+//! // `stuck` can never leave 0 (its next state is `stuck AND x`), while
+//! // `live` toggles freely; the fixpoint proves exactly that without a
+//! // single SAT call.
+//! let mut aig = Aig::new();
+//! let x = aig.add_input("x");
+//! let live = aig.add_latch("live", LatchInit::Zero);
+//! let stuck = aig.add_latch("stuck", LatchInit::Zero);
+//! let live_next = aig.xor(live, x);
+//! let stuck_next = aig.and(stuck, x);
+//! aig.set_latch_next(0, live_next);
+//! aig.set_latch_next(1, stuck_next);
+//!
+//! let fixpoint = ternary_fixpoint(&aig);
+//! assert_eq!(fixpoint.values[0], TernaryValue::X);    // live: unknown
+//! assert_eq!(fixpoint.values[1], TernaryValue::Zero); // stuck-at-0
+//! ```
 
 use crate::arena::SignatureArena;
 use crate::kernels;

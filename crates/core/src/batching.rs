@@ -1,0 +1,242 @@
+//! Speculative batch-formation policies (see [`BatchPolicy`]).
+//!
+//! The session's batch former walks the pending candidates in canonical
+//! order and extends the current batch while [`admits`] accepts the next
+//! live candidate; the first rejected candidate **terminates** the batch
+//! (prefix formation — see the `crate::prover` module docs for why that,
+//! plus slot-keyed solvers and pre-query restore, makes every policy commit
+//! byte-identical results).  The policy therefore only decides how *long*
+//! the admitted prefix gets:
+//!
+//! * [`BatchPolicy::SupportDisjoint`] — the PR 4 prior: admit while the
+//!   candidate's proof cone shares no primary input with the batch.
+//! * [`BatchPolicy::RefinementAware`] — admit while the candidate's class
+//!   is *learned-independent* of every class in the batch (never co-split
+//!   by a committed counter-example, each observed splitting at least
+//!   [`MIN_COSPLIT_OBSERVATIONS`] times — see [`CoSplitTable`]); fall back
+//!   to the support prior while the evidence is insufficient.
+//!
+//! Formation reads only committed state (the co-split table advances on
+//! committed refinements alone), so the batch sequence is a pure function
+//! of the sweep state — independent of `sat_parallelism`, `num_threads`
+//! and shard count.
+
+use crate::prover::SupportIndex;
+use crate::report::BatchPolicy;
+use bitsim::CoSplitTable;
+use netlist::NodeId;
+
+/// Minimum committed observations (splits plus survived proofs) on *both*
+/// classes of a pair before "never co-split" counts as evidence of
+/// independence.  Below the threshold the refinement-aware policy falls back
+/// to the support prior: a class that has never been observed may simply
+/// never have been tested.
+pub const MIN_COSPLIT_OBSERVATIONS: u32 = 1;
+
+/// Whether `candidate`'s proof cone (candidate plus `drivers`) is
+/// support-disjoint from the accumulated batch support `acc`.
+pub fn support_disjoint(
+    supports: &SupportIndex,
+    candidate: NodeId,
+    drivers: &[(NodeId, bool)],
+    acc: &[u64],
+) -> bool {
+    supports.disjoint(candidate, acc) && drivers.iter().all(|&(d, _)| supports.disjoint(d, acc))
+}
+
+/// Whether the batch former admits `candidate` (class representative
+/// `rep`, driver list `drivers`) into a non-empty batch whose members'
+/// class representatives are `batch_reps` and whose accumulated support is
+/// `acc`.  An empty batch admits any live candidate; callers skip the call.
+#[allow(clippy::too_many_arguments)]
+pub fn admits(
+    policy: BatchPolicy,
+    cosplit: &CoSplitTable,
+    supports: &SupportIndex,
+    candidate: NodeId,
+    rep: NodeId,
+    drivers: &[(NodeId, bool)],
+    acc: &[u64],
+    batch_reps: &[NodeId],
+) -> bool {
+    match policy {
+        BatchPolicy::SupportDisjoint => support_disjoint(supports, candidate, drivers, acc),
+        BatchPolicy::RefinementAware => {
+            // Same class (`rep == other`) and ever-co-split pairs are
+            // rejected outright; a fully learned-independent candidate is
+            // admitted regardless of support overlap; anything short of
+            // full evidence falls back to the support prior.
+            let mut learned_independent = true;
+            for &other in batch_reps {
+                match cosplit.independent(rep, other, MIN_COSPLIT_OBSERVATIONS) {
+                    Some(false) => return false,
+                    Some(true) => {}
+                    None => learned_independent = false,
+                }
+            }
+            learned_independent || support_disjoint(supports, candidate, drivers, acc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::Aig;
+
+    /// Three AND cones over disjoint input pairs, plus one cone overlapping
+    /// the first.
+    fn fixture() -> (Aig, NodeId, NodeId, NodeId, NodeId) {
+        let mut aig = Aig::new();
+        let xs = aig.add_inputs("x", 6);
+        let a = aig.and(xs[0], xs[1]).node();
+        let b = aig.and(xs[2], xs[3]).node();
+        let c = aig.and(xs[4], xs[5]).node();
+        let d = aig.and(xs[0], xs[2]).node(); // overlaps a and b
+        aig.add_output("a", netlist::Lit::positive(a));
+        aig.add_output("b", netlist::Lit::positive(b));
+        aig.add_output("c", netlist::Lit::positive(c));
+        aig.add_output("d", netlist::Lit::positive(d));
+        (aig, a, b, c, d)
+    }
+
+    #[test]
+    fn support_policy_rejects_overlapping_cones() {
+        let (aig, a, b, _c, d) = fixture();
+        let supports = SupportIndex::build(&aig);
+        let cosplit = CoSplitTable::new();
+        let mut acc = supports.empty_accumulator();
+        supports.accumulate(a, &mut acc);
+        let admit = |cand, reps: &[NodeId]| {
+            admits(
+                BatchPolicy::SupportDisjoint,
+                &cosplit,
+                &supports,
+                cand,
+                cand,
+                &[],
+                &acc,
+                reps,
+            )
+        };
+        assert!(admit(b, &[a]));
+        assert!(!admit(d, &[a]), "d shares x0 with a");
+    }
+
+    #[test]
+    fn refinement_aware_falls_back_to_the_support_prior() {
+        let (aig, a, b, _c, d) = fixture();
+        let supports = SupportIndex::build(&aig);
+        let cosplit = CoSplitTable::new(); // no observations at all
+        let mut acc = supports.empty_accumulator();
+        supports.accumulate(a, &mut acc);
+        let admit = |cand, reps: &[NodeId]| {
+            admits(
+                BatchPolicy::RefinementAware,
+                &cosplit,
+                &supports,
+                cand,
+                cand,
+                &[],
+                &acc,
+                reps,
+            )
+        };
+        // No evidence: behaves exactly like the support prior.
+        assert!(admit(b, &[a]));
+        assert!(!admit(d, &[a]));
+    }
+
+    #[test]
+    fn refinement_aware_admits_learned_independent_overlapping_cones() {
+        let (aig, a, _b, _c, d) = fixture();
+        let supports = SupportIndex::build(&aig);
+        let mut cosplit = CoSplitTable::new();
+        // a and d each split twice, never together.
+        cosplit.record_event(&[a]);
+        cosplit.record_event(&[a]);
+        cosplit.record_event(&[d]);
+        cosplit.record_event(&[d]);
+        let mut acc = supports.empty_accumulator();
+        supports.accumulate(a, &mut acc);
+        assert!(
+            admits(
+                BatchPolicy::RefinementAware,
+                &cosplit,
+                &supports,
+                d,
+                d,
+                &[],
+                &acc,
+                &[a],
+            ),
+            "learned independence overrides the support overlap"
+        );
+        // The same pair under the support prior stays rejected.
+        assert!(!admits(
+            BatchPolicy::SupportDisjoint,
+            &cosplit,
+            &supports,
+            d,
+            d,
+            &[],
+            &acc,
+            &[a],
+        ));
+    }
+
+    #[test]
+    fn refinement_aware_rejects_cosplitting_classes() {
+        let (aig, a, b, c, _d) = fixture();
+        let supports = SupportIndex::build(&aig);
+        let mut cosplit = CoSplitTable::new();
+        cosplit.record_event(&[b, c]); // b and c co-split once
+        cosplit.record_event(&[b]);
+        cosplit.record_event(&[c]);
+        let mut acc = supports.empty_accumulator();
+        supports.accumulate(b, &mut acc);
+        // c is support-disjoint from b, but they have co-split: rejected.
+        assert!(!admits(
+            BatchPolicy::RefinementAware,
+            &cosplit,
+            &supports,
+            c,
+            c,
+            &[],
+            &acc,
+            &[b],
+        ));
+        // a has no co-split history with b and disjoint support: admitted.
+        assert!(admits(
+            BatchPolicy::RefinementAware,
+            &cosplit,
+            &supports,
+            a,
+            a,
+            &[],
+            &acc,
+            &[b],
+        ));
+    }
+
+    #[test]
+    fn same_class_members_never_batch_together() {
+        let (aig, a, _b, _c, _d) = fixture();
+        let supports = SupportIndex::build(&aig);
+        let mut cosplit = CoSplitTable::new();
+        cosplit.record_event(&[a]);
+        cosplit.record_event(&[a]);
+        let acc = supports.empty_accumulator();
+        // Candidate from the same class (same rep) as a batch member.
+        assert!(!admits(
+            BatchPolicy::RefinementAware,
+            &cosplit,
+            &supports,
+            a,
+            a,
+            &[],
+            &acc,
+            &[a],
+        ));
+    }
+}

@@ -52,7 +52,7 @@ use crate::observer::StatsObserver;
 use crate::prover::{ProofItem, ProofOutcome, ProofResult};
 use crate::report::SweepConfig;
 use crate::session::Engine;
-use bitsim::Signature;
+use bitsim::{CoSplitSnapshot, Signature};
 use netlist::{Aig, AigNode, Lit, NodeId};
 use satsolver::{
     CircuitSatSnapshot, ClauseSnapshot, QueryStats, SatLit, SolverConfig, SolverSnapshot,
@@ -77,15 +77,23 @@ pub const CHECKPOINT_MAGIC: [u8; 8] = *b"STPSWCP\x01";
 /// stored as absent instead of as full snapshots); 4 = sequential sweeping
 /// (config `seq_depth` plus the sequential progress counters
 /// `seq_candidates` / `seq_ternary_constants` / `seq_induction_refuted` /
-/// `seq_induction_undet` / `seq_ternary_iterations`).
-pub const CHECKPOINT_VERSION: u32 = 4;
+/// `seq_induction_undet` / `seq_ternary_iterations`); 5 = refinement-aware
+/// batching and sharded sweeps (config `shards` / `batch_policy`, stats
+/// `sat_batch_committed`, the co-split table, per-item solver slots and
+/// the in-flight batch's commit count plus pre-query solver snapshots —
+/// the shard wire format).
+pub const CHECKPOINT_VERSION: u32 = 5;
 
 /// The oldest checkpoint format version this build still decodes.  An old
 /// checkpoint decodes with the later additions defaulted: v2 payloads get
 /// no wall-clock cadence, a zero checkpoint-byte counter, every pool slot
 /// materialised and an unknown (zero) canonical fingerprint; v2 and v3
 /// payloads get `seq_depth = 0` (combinational) and zeroed sequential
-/// counters.
+/// counters; pre-v5 payloads get no shards, the support-disjoint batch
+/// policy (the only policy those builds had), an empty co-split table,
+/// positional solver slots and no pre-query snapshots — resuming a pre-v5
+/// *in-flight batch* is therefore best-effort: an invalidated speculative
+/// query cannot be erased from its solver slot without its snapshot.
 pub const MIN_CHECKPOINT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
@@ -191,17 +199,26 @@ pub fn netlist_fingerprint(aig: &Aig) -> u64 {
 /// untouched) and are re-proved on resume; items with real results are
 /// replayed verbatim, so the resumed commit sequence is exactly the one an
 /// uninterrupted run would have produced.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct InflightPod {
     pub items: Vec<ProofItem>,
     pub results: Vec<ProofResult>,
+    /// Per-item solver snapshot taken immediately before the item's SAT
+    /// query (`None` for item 0 — always valid at commit — and for items
+    /// that issued no query or were already committed).  Restoring one
+    /// erases an invalidated speculative query from its slot, keeping
+    /// slot state a pure function of the committed sequence.
+    pub pre_query: Vec<Option<CircuitSatSnapshot>>,
     pub next: usize,
+    /// Results accepted at the barrier so far (committed items; the
+    /// invalidated ones are excluded) — feeds `sat_batch_committed`.
+    pub committed: usize,
     pub settled: usize,
     pub conflicts: usize,
 }
 
 /// The serialisable execution cursor of a session.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) enum PhasePod {
     /// Primed, nothing proved yet.
     Start,
@@ -270,6 +287,11 @@ pub struct SweepCheckpoint {
     /// deterministic [`crate::SweepConfig::compact_every`] cadence across a
     /// resume).
     pub(crate) last_compaction_ce: u64,
+    /// The learned co-split table feeding refinement-aware batch formation
+    /// (canonically sorted; empty for pre-v5 checkpoints).  Carried so a
+    /// resumed run forms the identical batches — and therefore counts the
+    /// identical conflicts and barriers — as an uninterrupted one.
+    pub(crate) cosplit: CoSplitSnapshot,
     pub(crate) simulation_time: Duration,
     pub(crate) sat_time: Duration,
     /// Wall-clock already consumed before this checkpoint (added to the
@@ -386,7 +408,7 @@ impl SweepCheckpoint {
         });
         encode_config(&mut w, &self.config, version);
         w.usize(self.round);
-        encode_phase(&mut w, &self.phase);
+        encode_phase(&mut w, &self.phase, version);
         w.usize(self.merge_log.len());
         for &(node, lit) in &self.merge_log {
             w.usize(node);
@@ -461,6 +483,9 @@ impl SweepCheckpoint {
             w.u64(self.seq_induction_undet);
             w.u64(self.seq_ternary_iterations);
         }
+        if version >= 5 {
+            encode_cosplit(&mut w, &self.cosplit);
+        }
         // Payload checksum (everything up to here, header included): bit
         // flips anywhere in the file are caught at decode time instead of
         // resuming into a silently different run.
@@ -508,7 +533,7 @@ impl SweepCheckpoint {
         };
         let config = decode_config(&mut r, version)?;
         let round = r.usize()?;
-        let phase = decode_phase(&mut r)?;
+        let phase = decode_phase(&mut r, version)?;
         let merge_log = {
             let len = r.vec_len(12)?;
             let mut log = Vec::with_capacity(len);
@@ -595,6 +620,11 @@ impl SweepCheckpoint {
         } else {
             (0, 0, 0, 0, 0)
         };
+        let cosplit = if version >= 5 {
+            decode_cosplit(&mut r)?
+        } else {
+            CoSplitSnapshot::default()
+        };
         if !r.is_empty() {
             return Err(CheckpointError::Corrupt("trailing bytes after payload"));
         }
@@ -617,6 +647,7 @@ impl SweepCheckpoint {
             sweep_sat_calls,
             committed_candidates,
             last_compaction_ce,
+            cosplit,
             simulation_time,
             sat_time,
             elapsed,
@@ -675,6 +706,13 @@ fn encode_config(w: &mut Writer, c: &SweepConfig, version: u32) {
     if version >= 4 {
         w.usize(c.seq_depth);
     }
+    if version >= 5 {
+        w.usize(c.shards);
+        w.u8(match c.batch_policy {
+            crate::report::BatchPolicy::SupportDisjoint => 0,
+            crate::report::BatchPolicy::RefinementAware => 1,
+        });
+    }
 }
 
 fn decode_config(r: &mut Reader<'_>, version: u32) -> Result<SweepConfig, CheckpointError> {
@@ -694,6 +732,17 @@ fn decode_config(r: &mut Reader<'_>, version: u32) -> Result<SweepConfig, Checkp
         compact_every: r.u64()?,
         checkpoint_interval_millis: if version >= 3 { r.u64()? } else { 0 },
         seq_depth: if version >= 4 { r.usize()? } else { 0 },
+        shards: if version >= 5 { r.usize()? } else { 0 },
+        // Pre-v5 builds only had the support-disjointness prior.
+        batch_policy: if version >= 5 {
+            match r.u8()? {
+                0 => crate::report::BatchPolicy::SupportDisjoint,
+                1 => crate::report::BatchPolicy::RefinementAware,
+                _ => return Err(CheckpointError::Corrupt("unknown batch policy tag")),
+            }
+        } else {
+            crate::report::BatchPolicy::SupportDisjoint
+        },
     })
 }
 
@@ -719,6 +768,9 @@ fn encode_stats(w: &mut Writer, s: &StatsObserver, version: u32) {
     if version >= 3 {
         w.u64(s.checkpoint_bytes);
     }
+    if version >= 5 {
+        w.u64(s.sat_batch_committed);
+    }
 }
 
 fn decode_stats(r: &mut Reader<'_>, version: u32) -> Result<StatsObserver, CheckpointError> {
@@ -742,13 +794,74 @@ fn decode_stats(r: &mut Reader<'_>, version: u32) -> Result<StatsObserver, Check
         compactions: r.u64()?,
         patterns_dropped: r.u64()?,
         checkpoint_bytes: if version >= 3 { r.u64()? } else { 0 },
+        sat_batch_committed: if version >= 5 { r.u64()? } else { 0 },
         // Pipeline-level pass brackets are not part of a sweep session's
         // state: a resumed session starts outside any pass manager.
         passes: 0,
     })
 }
 
-fn encode_phase(w: &mut Writer, phase: &PhasePod) {
+fn encode_cosplit(w: &mut Writer, s: &CoSplitSnapshot) {
+    w.usize(s.splits.len());
+    for &(rep, count) in &s.splits {
+        w.usize(rep);
+        w.u32(count);
+    }
+    w.usize(s.proofs.len());
+    for &(rep, count) in &s.proofs {
+        w.usize(rep);
+        w.u32(count);
+    }
+    w.usize(s.cosplits.len());
+    for &(a, b, count) in &s.cosplits {
+        w.usize(a);
+        w.usize(b);
+        w.u32(count);
+    }
+    w.u64(s.events);
+}
+
+fn decode_cosplit(r: &mut Reader<'_>) -> Result<CoSplitSnapshot, CheckpointError> {
+    let splits = {
+        let len = r.vec_len(12)?;
+        let mut splits = Vec::with_capacity(len);
+        for _ in 0..len {
+            let rep = r.usize()?;
+            let count = r.u32()?;
+            splits.push((rep, count));
+        }
+        splits
+    };
+    let proofs = {
+        let len = r.vec_len(12)?;
+        let mut proofs = Vec::with_capacity(len);
+        for _ in 0..len {
+            let rep = r.usize()?;
+            let count = r.u32()?;
+            proofs.push((rep, count));
+        }
+        proofs
+    };
+    let cosplits = {
+        let len = r.vec_len(20)?;
+        let mut cosplits = Vec::with_capacity(len);
+        for _ in 0..len {
+            let a = r.usize()?;
+            let b = r.usize()?;
+            let count = r.u32()?;
+            cosplits.push((a, b, count));
+        }
+        cosplits
+    };
+    Ok(CoSplitSnapshot {
+        splits,
+        proofs,
+        cosplits,
+        events: r.u64()?,
+    })
+}
+
+fn encode_phase(w: &mut Writer, phase: &PhasePod, version: u32) {
     match phase {
         PhasePod::Start => w.u8(0),
         PhasePod::Constants { queue, next } => {
@@ -778,7 +891,7 @@ fn encode_phase(w: &mut Writer, phase: &PhasePod) {
                     w.boolean(true);
                     w.usize(inflight.items.len());
                     for item in &inflight.items {
-                        encode_proof_item(w, item);
+                        encode_proof_item(w, item, version);
                     }
                     w.usize(inflight.results.len());
                     for result in &inflight.results {
@@ -787,6 +900,17 @@ fn encode_phase(w: &mut Writer, phase: &PhasePod) {
                     w.usize(inflight.next);
                     w.usize(inflight.settled);
                     w.usize(inflight.conflicts);
+                    if version >= 5 {
+                        w.usize(inflight.committed);
+                        // Presence-gated pre-query snapshots, like the pool.
+                        w.usize(inflight.pre_query.len());
+                        for snap in &inflight.pre_query {
+                            w.boolean(snap.is_some());
+                            if let Some(snap) = snap {
+                                encode_circuit_snapshot(w, snap);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -794,7 +918,7 @@ fn encode_phase(w: &mut Writer, phase: &PhasePod) {
     }
 }
 
-fn decode_phase(r: &mut Reader<'_>) -> Result<PhasePod, CheckpointError> {
+fn decode_phase(r: &mut Reader<'_>, version: u32) -> Result<PhasePod, CheckpointError> {
     match r.u8()? {
         0 => Ok(PhasePod::Start),
         1 => {
@@ -820,20 +944,42 @@ fn decode_phase(r: &mut Reader<'_>) -> Result<PhasePod, CheckpointError> {
             let inflight = if r.boolean()? {
                 let items_len = r.vec_len(3)?;
                 let mut items = Vec::with_capacity(items_len);
-                for _ in 0..items_len {
-                    items.push(decode_proof_item(r)?);
+                for index in 0..items_len {
+                    items.push(decode_proof_item(r, version, index)?);
                 }
                 let results_len = r.vec_len(3)?;
                 let mut results = Vec::with_capacity(results_len);
                 for _ in 0..results_len {
                     results.push(decode_proof_result(r)?);
                 }
+                let next = r.usize()?;
+                let settled = r.usize()?;
+                let conflicts = r.usize()?;
+                let (committed, pre_query) = if version >= 5 {
+                    let committed = r.usize()?;
+                    let len = r.vec_len(1)?;
+                    let mut pre_query = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        if r.boolean()? {
+                            pre_query.push(Some(decode_circuit_snapshot(r)?));
+                        } else {
+                            pre_query.push(None);
+                        }
+                    }
+                    (committed, pre_query)
+                } else {
+                    // Best-effort pre-v5 resume: no snapshots to restore
+                    // from, and the barrier count restarts at zero.
+                    (0, vec![None; items_len])
+                };
                 Some(InflightPod {
                     items,
                     results,
-                    next: r.usize()?,
-                    settled: r.usize()?,
-                    conflicts: r.usize()?,
+                    pre_query,
+                    next,
+                    committed,
+                    settled,
+                    conflicts,
                 })
             } else {
                 None
@@ -849,7 +995,7 @@ fn decode_phase(r: &mut Reader<'_>) -> Result<PhasePod, CheckpointError> {
     }
 }
 
-fn encode_proof_item(w: &mut Writer, item: &ProofItem) {
+fn encode_proof_item(w: &mut Writer, item: &ProofItem, version: u32) {
     w.usize(item.candidate);
     w.usize(item.attempts);
     w.usize(item.drivers.len());
@@ -857,9 +1003,18 @@ fn encode_proof_item(w: &mut Writer, item: &ProofItem) {
         w.usize(driver);
         w.boolean(complemented);
     }
+    if version >= 5 {
+        w.usize(item.slot);
+    }
 }
 
-fn decode_proof_item(r: &mut Reader<'_>) -> Result<ProofItem, CheckpointError> {
+/// `index` is the item's position in its batch — pre-v5 payloads carried no
+/// slot field because slots *were* positional.
+fn decode_proof_item(
+    r: &mut Reader<'_>,
+    version: u32,
+    index: usize,
+) -> Result<ProofItem, CheckpointError> {
     let candidate = r.usize()?;
     let attempts = r.usize()?;
     let len = r.vec_len(9)?;
@@ -869,10 +1024,12 @@ fn decode_proof_item(r: &mut Reader<'_>) -> Result<ProofItem, CheckpointError> {
         let complemented = r.boolean()?;
         drivers.push((driver, complemented));
     }
+    let slot = if version >= 5 { r.usize()? } else { index };
     Ok(ProofItem {
         candidate,
         attempts,
         drivers,
+        slot,
     })
 }
 
@@ -1455,6 +1612,9 @@ mod tests {
                         candidate: 9,
                         attempts: 1,
                         drivers: vec![(4, true), (5, false)],
+                        // Candidate-keyed (9 % 16), deliberately non-zero so
+                        // the codec test catches positional fallbacks.
+                        slot: 9,
                     }],
                     results: vec![ProofResult {
                         verdicts: vec![(4, false)],
@@ -1465,7 +1625,11 @@ mod tests {
                         attempts_used: 2,
                         sat_time: Duration::from_micros(42),
                     }],
+                    // A populated pre-query snapshot exercises the
+                    // presence-gated codec branch.
+                    pre_query: vec![Some(circuit.clone())],
                     next: 0,
+                    committed: 0,
                     settled: 0,
                     conflicts: 1,
                 }),
@@ -1496,6 +1660,12 @@ mod tests {
             sweep_sat_calls: 3,
             committed_candidates: 4,
             last_compaction_ce: 2,
+            cosplit: CoSplitSnapshot {
+                splits: vec![(4, 2), (7, 1), (9, 3)],
+                proofs: vec![(5, 4), (9, 1)],
+                cosplits: vec![(4, 7, 1), (7, 9, 2)],
+                events: 5,
+            },
             simulation_time: Duration::from_millis(12),
             sat_time: Duration::from_millis(7),
             elapsed: Duration::from_millis(20),
@@ -1605,6 +1775,50 @@ mod tests {
         checkpoint.seq_ternary_iterations = 0;
     }
 
+    /// Normalises the fields a pre-v5 payload cannot carry to their decode
+    /// defaults: no shards, the support-disjoint policy, an empty co-split
+    /// table, positional slots and no pre-query snapshots.
+    fn clear_v5_fields(checkpoint: &mut SweepCheckpoint) {
+        checkpoint.config.shards = 0;
+        checkpoint.config.batch_policy = crate::report::BatchPolicy::SupportDisjoint;
+        checkpoint.stats.sat_batch_committed = 0;
+        checkpoint.cosplit = CoSplitSnapshot::default();
+        if let PhasePod::Merging {
+            inflight: Some(pod),
+            ..
+        } = &mut checkpoint.phase
+        {
+            for (index, item) in pod.items.iter_mut().enumerate() {
+                item.slot = index;
+            }
+            pod.pre_query = vec![None; pod.items.len()];
+            pod.committed = 0;
+        }
+    }
+
+    #[test]
+    fn v4_payloads_still_decode() {
+        // A genuine v4 payload: sequential fields present, but no batching
+        // policy, shards, co-split table, slots or pre-query snapshots.
+        let mut old = sample_checkpoint();
+        clear_v5_fields(&mut old);
+
+        let v4_bytes = old.encode_versioned(4);
+        assert_eq!(v4_bytes[8], 4, "the version field says v4");
+        let decoded = SweepCheckpoint::decode(&v4_bytes).expect("v4 decodes");
+        assert_eq!(decoded, old);
+        assert_eq!(decoded.config().shards, 0);
+        assert_eq!(
+            decoded.config().batch_policy,
+            crate::report::BatchPolicy::SupportDisjoint
+        );
+
+        // Re-encoding upgrades to the current version, state unchanged.
+        let upgraded = decoded.encode();
+        assert_eq!(upgraded[8], CHECKPOINT_VERSION as u8);
+        assert_eq!(SweepCheckpoint::decode(&upgraded).expect("decodes"), old);
+    }
+
     #[test]
     fn v3_payloads_still_decode() {
         // A genuine v3 payload: everything of v3 (canonical fingerprint,
@@ -1613,6 +1827,7 @@ mod tests {
         // sequential counters to zero.
         let mut old = sample_checkpoint();
         clear_seq_fields(&mut old);
+        clear_v5_fields(&mut old);
 
         let v3_bytes = old.encode_versioned(3);
         assert_eq!(v3_bytes[8], 3, "the version field says v3");
@@ -1636,6 +1851,7 @@ mod tests {
         old.config.checkpoint_interval_millis = 0;
         old.stats.checkpoint_bytes = 0;
         clear_seq_fields(&mut old);
+        clear_v5_fields(&mut old);
         let hot = old.pool[0].clone();
         for slot in &mut old.pool {
             slot.get_or_insert_with(|| hot.clone().expect("slot 0 is hot"));
@@ -1781,17 +1997,23 @@ mod tests {
                 if !present {
                     return None;
                 }
+                let num_items = items.len();
                 Some(InflightPod {
                     items: items
                         .into_iter()
-                        .map(|(candidate, attempts, drivers)| ProofItem {
+                        .enumerate()
+                        .map(|(index, (candidate, attempts, drivers))| ProofItem {
                             candidate,
                             attempts,
                             drivers,
+                            // Candidate-keyed slots, like the live engine.
+                            slot: (candidate + index) % crate::prover::MAX_BATCH,
                         })
                         .collect(),
                     results,
+                    pre_query: vec![None; num_items],
                     next,
+                    committed: next / 2,
                     settled,
                     conflicts,
                 })
@@ -1952,6 +2174,12 @@ mod tests {
                         sweep_sat_calls: sat_calls,
                         committed_candidates: committed,
                         last_compaction_ce: sat_calls / 2,
+                        cosplit: CoSplitSnapshot {
+                            splits: vec![(3, (sat_calls % 9) as u32 + 1)],
+                            proofs: vec![(6, (committed % 7) as u32 + 1)],
+                            cosplits: vec![(3, 8, (committed % 5) as u32 + 1)],
+                            events: sat_calls % 17,
+                        },
                         simulation_time: Duration::ZERO,
                         sat_time: Duration::ZERO,
                         elapsed: Duration::ZERO,

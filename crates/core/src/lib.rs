@@ -14,11 +14,14 @@
 //!   STP sweeper (Algorithm 2), driven through the [`Sweeper`] builder:
 //!   engine selection ([`Engine`]), progress [`Observer`]s, resource
 //!   [`Budget`]s with partial results, and typed [`SweepError`]s.
-//! * [`prover`] — parallel SAT proving over TFI-disjoint candidate
-//!   batches ([`ParallelProver`]): speculative per-item proofs on a
-//!   deterministic solver pool, committed at a barrier in canonical
-//!   candidate order so every [`SweepConfig::sat_parallelism`] commits the
-//!   identical sweep.
+//! * [`prover`] / [`batching`] — parallel SAT proving over speculative
+//!   candidate batches ([`ParallelProver`]): prefix batch formation under a
+//!   pluggable [`BatchPolicy`] (support-disjointness prior, or the
+//!   refinement-aware policy learning from the co-split statistic), slot-keyed
+//!   solver pools with pre-query snapshots, optional sharded proving
+//!   ([`SweepConfig::shards`]), all committed at a barrier in canonical
+//!   candidate order so every [`SweepConfig::sat_parallelism`], policy and
+//!   shard count commits the identical sweep.
 //! * [`passes`] / [`pipeline`] — the optimisation-pass framework: a
 //!   [`Pass`] trait with structural cleanups, cut-based NPN rewriting
 //!   ([`passes::Rewrite`]), the [`passes::Dc2`] fixpoint loop, sweeps and
@@ -36,7 +39,7 @@
 //!   deprecated thin shims over the builder.
 //! * [`cec`] — combinational equivalence checking used to verify every sweep
 //!   (the `&cec` analog).
-//! * `sequential` — sequential SAT-sweeping over latches, activated by
+//! * [`sequential`] — sequential SAT-sweeping over latches, activated by
 //!   [`SweepConfig::seq_depth`] (see [`SweepConfig::sequential`]): ternary
 //!   fixpoint analysis of the initial states, multi-frame binary
 //!   refinement of latch-correspondence classes and k-step induction per
@@ -82,6 +85,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batching;
 pub mod bmc;
 pub mod budget;
 pub mod cec;
@@ -96,7 +100,7 @@ pub mod pipeline;
 pub mod prover;
 pub mod report;
 pub mod resim;
-pub(crate) mod sequential;
+pub mod sequential;
 pub mod session;
 pub mod stp_sim;
 pub mod sweeper;
@@ -109,6 +113,6 @@ pub use error::SweepError;
 pub use observer::{NoopObserver, Observer, SatCallOutcome, StatsObserver};
 pub use passes::{ParsePassError, Pass, PassCtx};
 pub use pipeline::{PassManager, PassReport, Pipeline, PipelineResult};
-pub use prover::{ParallelProver, SupportIndex};
-pub use report::{SweepConfig, SweepReport, SweepResult};
+pub use prover::{shard_slots, BatchProof, ParallelProver, SupportIndex};
+pub use report::{BatchPolicy, SweepConfig, SweepReport, SweepResult};
 pub use session::{Engine, SweepSession, Sweeper};

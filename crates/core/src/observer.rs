@@ -83,14 +83,23 @@ pub trait Observer {
     }
 
     /// A parallel SAT-proving batch was committed at its barrier: `batch` is
-    /// the zero-based batch index within the round, `settled` the number of
-    /// candidates whose results were committed, and `conflicts` the number
+    /// the zero-based batch index within the round, `committed` the number
+    /// of speculative results accepted at the barrier, `settled` how many of
+    /// those finished their candidate (a committed counter-example refines
+    /// classes but leaves its candidate pending), and `conflicts` the number
     /// of speculative SAT calls discarded because an earlier commit in the
     /// same batch invalidated them.  The batch sequence — and therefore this
     /// event stream — is identical for every
-    /// [`crate::SweepConfig::sat_parallelism`].
-    fn on_batch_proved(&mut self, batch: usize, settled: usize, conflicts: usize) {
-        let _ = (batch, settled, conflicts);
+    /// [`crate::SweepConfig::sat_parallelism`], batch policy and shard
+    /// count.
+    fn on_batch_proved(
+        &mut self,
+        batch: usize,
+        committed: usize,
+        settled: usize,
+        conflicts: usize,
+    ) {
+        let _ = (batch, committed, settled, conflicts);
     }
 
     /// A periodic checkpoint was captured (every
@@ -175,6 +184,8 @@ pub struct StatsObserver {
     pub resim_skipped_nodes: u64,
     /// Parallel SAT-proving batches committed.
     pub sat_batches: u64,
+    /// Speculative results accepted at batch commit barriers, summed.
+    pub sat_batch_committed: u64,
     /// Speculative SAT calls discarded at batch commit barriers.
     pub sat_parallel_conflicts: u64,
     /// Periodic checkpoints captured (not part of [`SweepReport`]: a
@@ -222,6 +233,7 @@ impl StatsObserver {
             resim_nodes: self.resim_nodes,
             resim_skipped_nodes: self.resim_skipped_nodes,
             sat_batches: self.sat_batches,
+            sat_batch_committed: self.sat_batch_committed,
             sat_parallel_conflicts: self.sat_parallel_conflicts,
             patterns_dropped: self.patterns_dropped,
             ..SweepReport::default()
@@ -272,8 +284,15 @@ impl Observer for StatsObserver {
         self.resim_skipped_nodes += skipped as u64;
     }
 
-    fn on_batch_proved(&mut self, _batch: usize, _settled: usize, conflicts: usize) {
+    fn on_batch_proved(
+        &mut self,
+        _batch: usize,
+        committed: usize,
+        _settled: usize,
+        conflicts: usize,
+    ) {
         self.sat_batches += 1;
+        self.sat_batch_committed += committed as u64;
         self.sat_parallel_conflicts += conflicts as u64;
     }
 
@@ -311,8 +330,8 @@ mod tests {
         stats.on_simulation_verdict(5, 3, true);
         stats.on_simulation_verdict(6, 3, false);
         stats.on_resimulation(3, 5, 95);
-        stats.on_batch_proved(0, 4, 0);
-        stats.on_batch_proved(1, 2, 3);
+        stats.on_batch_proved(0, 5, 4, 0);
+        stats.on_batch_proved(1, 2, 2, 3);
         stats.on_compaction(96, 160);
 
         assert_eq!(stats.rounds, 1);
@@ -330,6 +349,7 @@ mod tests {
         assert_eq!(stats.resim_nodes, 5);
         assert_eq!(stats.resim_skipped_nodes, 95);
         assert_eq!(stats.sat_batches, 2);
+        assert_eq!(stats.sat_batch_committed, 7);
         assert_eq!(stats.sat_parallel_conflicts, 3);
         assert_eq!(stats.compactions, 1);
         assert_eq!(stats.patterns_dropped, 160);
@@ -342,6 +362,7 @@ mod tests {
         assert_eq!(report.resim_nodes, 5);
         assert_eq!(report.resim_skipped_nodes, 95);
         assert_eq!(report.sat_batches, 2);
+        assert_eq!(report.sat_batch_committed, 7);
         assert_eq!(report.sat_parallel_conflicts, 3);
         assert_eq!(report.patterns_dropped, 160);
         assert_eq!(report.gates_before, 0, "gate counts belong to the session");
@@ -357,6 +378,6 @@ mod tests {
         noop.on_class_refined(0, 0);
         noop.on_simulation_verdict(1, 2, true);
         noop.on_resimulation(0, 0, 0);
-        noop.on_batch_proved(0, 0, 0);
+        noop.on_batch_proved(0, 0, 0, 0);
     }
 }

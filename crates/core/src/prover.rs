@@ -1,55 +1,90 @@
-//! Parallel SAT proving over independent candidate pairs.
+//! Parallel SAT proving over speculative candidate batches.
 //!
 //! PR 3 made simulation scale with worker threads, which left the SAT
 //! solver as the engine's serial bottleneck: every candidate/driver pair was
 //! proved one after the other on a single incremental solver.  This module
-//! turns the per-round candidate queue into **TFI-disjoint batches** that
-//! are proved concurrently — one [`CircuitSat`] instance per proof attempt,
-//! workers under [`std::thread::scope`] — while keeping the sweep
-//! **deterministic for every `sat_parallelism`**:
+//! proves **batches** of candidates concurrently — one [`CircuitSat`] slot
+//! per proof attempt, workers under [`std::thread::scope`] — while keeping
+//! the sweep **byte-identical for every `sat_parallelism` × `num_threads` ×
+//! batch policy × shard count**.  The guarantee rests on three rules:
 //!
-//! 1. **Batch formation** (in the session) walks the pending candidates in
-//!    canonical order and greedily selects up to [`MAX_BATCH`] candidates
-//!    whose proof cones (candidate plus every driver, measured by their
-//!    primary-input support) are pairwise disjoint.  Formation never looks
-//!    at the worker count, so the batch sequence is a pure function of the
-//!    sweep state.
-//! 2. **Proving** ([`ParallelProver::prove_batch`]) runs every
-//!    [`ProofItem`] independently on a **deterministically assigned
-//!    solver**: the session keeps a pool of [`MAX_BATCH`] persistent
-//!    [`CircuitSat`] instances and item `i` of every batch always runs on
-//!    pool slot `i`.  Within a batch the slots are disjoint, so workers
-//!    never contend; across batches each slot's query history is a pure
-//!    function of the (deterministic) batch sequence — never of worker
-//!    count or scheduling — so every slot keeps the learned clauses and
-//!    lazily encoded cones of its past queries without breaking
-//!    determinism.  Items are distributed over the workers through a
-//!    work-stealing queue; since item results do not depend on *which*
-//!    worker ran them, any schedule commits the same sweep.
-//! 3. **Commitment** (in the session) replays the results at a barrier, in
-//!    canonical candidate order.  Before replaying an item the session
-//!    re-derives the driver list the sequential engine would examine at
-//!    this point; if an earlier commit (a merge or a counter-example
-//!    refinement) changed the consumed prefix, the speculative result is
-//!    **discarded** — counted in [`crate::SweepReport::sat_parallel_conflicts`]
-//!    — and the candidate is retried in a later batch.  Every committed SAT
-//!    call, counter-example and merge is therefore identical for any
-//!    `sat_parallelism` and any `num_threads`.
+//! 1. **Prefix batch formation** (in the session) walks the pending
+//!    candidates in canonical order and extends the batch while the next
+//!    live candidate is *compatible* with it (by the configured
+//!    [`crate::report::BatchPolicy`]) and its solver slot is free; the
+//!    first incompatible candidate **terminates** the batch — it is never
+//!    skipped over.  Batches are therefore always a prefix of the canonical
+//!    candidate order, so the commit order of candidates is the strict
+//!    sequential order no matter how batches are cut.
+//! 2. **Slot-keyed proving** ([`ParallelProver::prove_batch`]): every item
+//!    carries its solver slot, fixed by its candidate id
+//!    (`candidate % MAX_BATCH`, see [`ProofItem::slot`]) — *not* by its
+//!    position in the batch — and runs on that slot of the session's
+//!    persistent pool.  Which worker thread runs an item never changes what
+//!    the item computes.
+//! 3. **Commit-time validation with slot restore** (in the session): at the
+//!    barrier the results replay in item order.  Before replaying an item
+//!    the session re-derives the driver list the sequential engine would
+//!    examine; if an earlier commit (a merge or a counter-example
+//!    refinement) changed it, the speculative result is **discarded**
+//!    (counted in [`crate::SweepReport::sat_parallel_conflicts`]) *and the
+//!    slot solver is restored to its pre-query snapshot* (captured by the
+//!    worker just before the query), so a discarded query leaves no trace
+//!    in the slot's clause/activity history.  The candidate retries in a
+//!    later batch.
 //!
-//! The TFI-disjointness rule does not *guarantee* that a committed
-//! counter-example leaves later items valid (a counter-example assigns all
-//! primary inputs and refines every candidate class), it only makes
-//! invalidation unlikely; the commit-time validation is what carries the
-//! determinism guarantee.
+//! Together these make the committed operation sequence — SAT queries per
+//! slot, counter-examples, merges, and hence the output AIGER — equal *by
+//! construction* to the one a batch-size-1 sequential sweep would commit:
+//! rule 1 fixes the candidate order, rule 3 fixes each slot's committed
+//! query history, and each committed query's answer is a pure function of
+//! its slot history.  Batch policies and shard counts only change how much
+//! speculative work is wasted, never what is committed.
+//!
+//! [`ParallelProver::prove_batch_sharded`] proves the same batches under a
+//! fixed partition of the slot space into `K` contiguous shards
+//! ([`shard_slots`]), each proved sequentially by an isolated sub-worker —
+//! the thread-local rehearsal of distributing slot ranges across processes
+//! through the checkpoint codec (see `ARCHITECTURE.md`).
+//!
+//! ```
+//! use netlist::{Aig, Lit};
+//! use satsolver::CircuitSat;
+//! use stp_sweep::prover::{ParallelProver, ProofItem, ProofOutcome, WorkerBudget, MAX_BATCH};
+//! use stp_sweep::Budget;
+//! use std::time::Instant;
+//!
+//! let mut aig = Aig::new();
+//! let xs = aig.add_inputs("x", 2);
+//! let f = aig.and(xs[0], xs[1]);
+//! let g = aig.and(xs[1], xs[0]); // same function, distinct node
+//! aig.add_output("f", f);
+//! aig.add_output("g", g);
+//!
+//! let item = ProofItem {
+//!     candidate: g.node(),
+//!     attempts: 0,
+//!     drivers: vec![(f.node(), false)],
+//!     slot: g.node() % MAX_BATCH,
+//! };
+//! let mut pool: Vec<CircuitSat> = (0..MAX_BATCH).map(|_| CircuitSat::new(&aig)).collect();
+//! let budget = Budget::unlimited();
+//! let worker_budget = WorkerBudget::new(&budget, Instant::now(), 0);
+//! let prover = ParallelProver::new(&aig, None, 10_000, 4);
+//! let proof = prover.prove_batch(std::slice::from_ref(&item), &mut pool, &worker_budget);
+//! assert!(matches!(proof.results[0].outcome, ProofOutcome::Merge { .. }));
+//! ```
 
 use crate::observer::SatCallOutcome;
 use crate::window::WindowIndex;
 use netlist::{Aig, AigNode, Lit, NodeId};
-use satsolver::{CircuitSat, EquivOutcome};
+use satsolver::{CircuitSat, CircuitSatSnapshot, EquivOutcome};
+use std::ops::Range;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Maximum number of candidates per batch.
+/// Number of solver slots in the session pool and the hard cap on batch
+/// size.
 ///
 /// Deliberately independent of `sat_parallelism` (batch formation must be
 /// identical for every worker count); bounds the speculative work thrown
@@ -67,6 +102,15 @@ pub struct ProofItem {
     pub attempts: usize,
     /// Candidate drivers in class order: `(driver, complemented)`.
     pub drivers: Vec<(NodeId, bool)>,
+    /// The solver-pool slot this item runs on: `candidate % MAX_BATCH`.
+    ///
+    /// Keying the slot by the (immutable) candidate id instead of the batch
+    /// position means a candidate that retries after an invalidation lands
+    /// on the *same* solver again, and — together with the pre-query
+    /// restore — each slot's committed query history is independent of how
+    /// batches were cut.  Batch formation never admits two items with the
+    /// same slot.
+    pub slot: usize,
 }
 
 /// Terminal decision of one proof item.
@@ -115,6 +159,20 @@ pub struct ProofResult {
     pub sat_time: Duration,
 }
 
+/// The output of proving one batch: results in item order, plus for every
+/// item that issued a SAT query from a position that can be invalidated
+/// (every position but the first) a snapshot of its slot solver taken just
+/// before the query.  The session restores the snapshot if commit-time
+/// validation discards the result, erasing the discarded query from the
+/// slot's history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchProof {
+    /// One result per item, in item order.
+    pub results: Vec<ProofResult>,
+    /// One optional pre-query slot snapshot per item, in item order.
+    pub pre_query: Vec<Option<CircuitSatSnapshot>>,
+}
+
 /// Cooperative budget view handed to the workers: the wall-clock deadline
 /// and cancellation are re-checked inside the batch so a tripped budget
 /// stops speculative proving early (the authoritative check happens on the
@@ -145,6 +203,15 @@ impl<'b> WorkerBudget<'b> {
             .exceeded(self.started, self.committed_sat_calls)
             .is_some()
     }
+}
+
+/// The contiguous slot range shard `shard` of `shards` owns when the pool
+/// holds `num_slots` slots — the same arithmetic on every participant, so a
+/// future cross-process reconciliation can recompute ownership from the
+/// shard count alone.
+pub fn shard_slots(shards: usize, shard: usize, num_slots: usize) -> Range<usize> {
+    debug_assert!(shard < shards);
+    (shard * num_slots / shards)..((shard + 1) * num_slots / shards)
 }
 
 /// The batch prover: owns the immutable per-run context and fans batches
@@ -178,54 +245,80 @@ impl<'a> ParallelProver<'a> {
         }
     }
 
+    /// Checks the batch's slot assignment against the pool and returns, for
+    /// each pool slot, the index of the item that owns it.
+    fn item_of_slot(items: &[ProofItem], num_slots: usize) -> Vec<Option<usize>> {
+        let mut owner: Vec<Option<usize>> = vec![None; num_slots];
+        for (index, item) in items.iter().enumerate() {
+            assert!(
+                item.slot < num_slots,
+                "item slot {} outside the {num_slots}-slot pool",
+                item.slot
+            );
+            assert!(
+                owner[item.slot].is_none(),
+                "two batch items share solver slot {}",
+                item.slot
+            );
+            owner[item.slot] = Some(index);
+        }
+        owner
+    }
+
     /// Proves every item of a batch and returns the results in item order.
     ///
-    /// `solvers` is the session's persistent solver pool; item `i` runs on
-    /// `solvers[i]`, so the pool must hold at least one slot per item.
-    /// Results are a pure function of `(self.aig, self.windows,
-    /// self.conflict_limit, items, slot histories)` — never of the worker
-    /// count or scheduling — because the item→solver assignment is fixed
-    /// before any worker starts and batch sequences are themselves
-    /// deterministic.  Only the `Aborted` outcome depends on the budget,
-    /// and a budget that aborts a worker also trips the authoritative
-    /// session-side check.
+    /// `solvers` is the session's full persistent pool; item `i` runs on
+    /// `solvers[items[i].slot]` (slots are unique within a batch — batch
+    /// formation guarantees it, and this method asserts it).  Results are a
+    /// pure function of `(self.aig, self.windows, self.conflict_limit,
+    /// items, slot histories)` — never of the worker count or scheduling —
+    /// because the item→solver assignment is fixed before any worker starts
+    /// and batch sequences are themselves deterministic.  Only the
+    /// `Aborted` outcome depends on the budget, and a budget that aborts a
+    /// worker also trips the authoritative session-side check.
     ///
     /// # Panics
     ///
-    /// Panics if `solvers` holds fewer slots than `items`.
+    /// Panics if an item's slot is outside the pool or two items share a
+    /// slot.
     pub fn prove_batch(
         &self,
         items: &[ProofItem],
         solvers: &mut [CircuitSat<'_>],
         budget: &WorkerBudget<'_>,
-    ) -> Vec<ProofResult> {
-        assert!(
-            solvers.len() >= items.len(),
-            "the solver pool must hold one slot per batch item"
-        );
+    ) -> BatchProof {
+        let owner = Self::item_of_slot(items, solvers.len());
         if items.is_empty() {
-            return Vec::new();
+            return BatchProof {
+                results: Vec::new(),
+                pre_query: Vec::new(),
+            };
         }
+        // Fixed item→solver pairing: unit `i` always runs item `i` on the
+        // item's own slot, whatever distributes the units over workers.
+        let mut units: Vec<(usize, &ProofItem, &mut CircuitSat<'_>)> = solvers
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(slot, solver)| owner[slot].map(|i| (i, &items[i], solver)))
+            .collect();
+        units.sort_by_key(|&(index, _, _)| index);
         let workers = self.num_workers.min(items.len());
         if workers <= 1 {
-            return items
-                .iter()
-                .zip(solvers.iter_mut())
-                .map(|(item, solver)| self.prove_item(item, solver, budget))
-                .collect();
+            let mut results = Vec::with_capacity(items.len());
+            let mut pre_query = Vec::with_capacity(items.len());
+            for (index, item, solver) in units {
+                let (result, snap) = self.prove_item(item, solver, budget, index > 0);
+                results.push(result);
+                pre_query.push(snap);
+            }
+            return BatchProof { results, pre_query };
         }
-        // Fixed item→solver pairing, work-stealing distribution: the queue
-        // only decides *who* runs a unit, never *what* the unit computes.
-        let work: Mutex<Vec<(usize, &ProofItem, &mut CircuitSat<'_>)>> = Mutex::new(
-            items
-                .iter()
-                .enumerate()
-                .zip(solvers.iter_mut())
-                .map(|((index, item), solver)| (index, item, solver))
-                .rev()
-                .collect(),
-        );
-        let mut slots: Vec<Option<ProofResult>> = items.iter().map(|_| None).collect();
+        // Work-stealing distribution: the queue only decides *who* runs a
+        // unit, never *what* the unit computes.
+        units.reverse();
+        let work: Mutex<Vec<(usize, &ProofItem, &mut CircuitSat<'_>)>> = Mutex::new(units);
+        let mut results: Vec<Option<ProofResult>> = items.iter().map(|_| None).collect();
+        let mut pre_query: Vec<Option<CircuitSatSnapshot>> = items.iter().map(|_| None).collect();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -237,47 +330,131 @@ impl<'a> ParallelProver<'a> {
                             let Some((index, item, solver)) = unit else {
                                 break;
                             };
-                            produced.push((index, self.prove_item(item, solver, budget)));
+                            produced
+                                .push((index, self.prove_item(item, solver, budget, index > 0)));
                         }
                         produced
                     })
                 })
                 .collect();
             for handle in handles {
-                for (index, result) in handle.join().expect("prover worker panicked") {
-                    slots[index] = Some(result);
+                for (index, (result, snap)) in handle.join().expect("prover worker panicked") {
+                    results[index] = Some(result);
+                    pre_query[index] = snap;
                 }
             }
         });
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every item was claimed by a worker"))
-            .collect()
+        BatchProof {
+            results: results
+                .into_iter()
+                .map(|slot| slot.expect("every item was claimed by a worker"))
+                .collect(),
+            pre_query,
+        }
+    }
+
+    /// Proves a batch under a `shards`-way partition of the slot space:
+    /// shard `k` owns the contiguous slot range [`shard_slots`]`(shards, k,
+    /// solvers.len())` and proves its items **sequentially in item order**
+    /// on an isolated sub-worker thread.  Results are identical to
+    /// [`prove_batch`](Self::prove_batch) for every shard count — the
+    /// item→slot pairing, per-item computation and pre-query snapshots do
+    /// not change, only which thread runs them — which is exactly the
+    /// property the sharded-sweep proptests pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same slot-assignment violations as `prove_batch`.
+    pub fn prove_batch_sharded(
+        &self,
+        items: &[ProofItem],
+        solvers: &mut [CircuitSat<'_>],
+        budget: &WorkerBudget<'_>,
+        shards: usize,
+    ) -> BatchProof {
+        let num_slots = solvers.len();
+        // Validate the slot assignment (in range, collision-free) exactly as
+        // `prove_batch` does; the shard partition below relies on it.
+        let _ = Self::item_of_slot(items, num_slots);
+        if items.is_empty() {
+            return BatchProof {
+                results: Vec::new(),
+                pre_query: Vec::new(),
+            };
+        }
+        let shards = shards.clamp(1, num_slots);
+        let mut results: Vec<Option<ProofResult>> = items.iter().map(|_| None).collect();
+        let mut pre_query: Vec<Option<CircuitSatSnapshot>> = items.iter().map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut rest = &mut solvers[..];
+            let mut handles = Vec::new();
+            for shard in 0..shards {
+                let range = shard_slots(shards, shard, num_slots);
+                let taken = std::mem::take(&mut rest);
+                let (head, tail) = taken.split_at_mut(range.len());
+                rest = tail;
+                // Item indices this shard owns, in item order.
+                let mine: Vec<usize> = (0..items.len())
+                    .filter(|&i| range.contains(&items[i].slot))
+                    .collect();
+                if mine.is_empty() {
+                    continue;
+                }
+                let start = range.start;
+                handles.push(scope.spawn(move || {
+                    let mut produced = Vec::new();
+                    for index in mine {
+                        let item = &items[index];
+                        let solver = &mut head[item.slot - start];
+                        produced.push((index, self.prove_item(item, solver, budget, index > 0)));
+                    }
+                    produced
+                }));
+            }
+            for handle in handles {
+                for (index, (result, snap)) in handle.join().expect("shard worker panicked") {
+                    results[index] = Some(result);
+                    pre_query[index] = snap;
+                }
+            }
+        });
+        BatchProof {
+            results: results
+                .into_iter()
+                .map(|slot| slot.expect("every item belongs to exactly one shard"))
+                .collect(),
+            pre_query,
+        }
     }
 
     /// Proves a single item on its pool solver, outside any batch — used by
     /// the session to re-prove an item whose speculative proof was aborted
     /// by a budget stop (the aborted worker never touched its solver slot,
     /// so re-proving on the restored slot reproduces exactly the query an
-    /// uninterrupted run would have issued).
+    /// uninterrupted run would have issued).  `want_snapshot` requests the
+    /// pre-query snapshot, as for mid-batch items.
     pub fn prove_one(
         &self,
         item: &ProofItem,
         solver: &mut CircuitSat<'_>,
         budget: &WorkerBudget<'_>,
-    ) -> ProofResult {
-        self.prove_item(item, solver, budget)
+        want_snapshot: bool,
+    ) -> (ProofResult, Option<CircuitSatSnapshot>) {
+        self.prove_item(item, solver, budget, want_snapshot)
     }
 
     /// Proves one item: the window-refinement filter followed by at most one
     /// SAT query on the item's pool solver — exactly one iteration of the
-    /// sequential engine's per-candidate loop.
+    /// sequential engine's per-candidate loop.  When `want_snapshot` is set
+    /// the slot is snapshotted immediately before the (at most one) query so
+    /// the session can undo it if the result is invalidated at commit.
     fn prove_item(
         &self,
         item: &ProofItem,
         solver: &mut CircuitSat<'_>,
         budget: &WorkerBudget<'_>,
-    ) -> ProofResult {
+        want_snapshot: bool,
+    ) -> (ProofResult, Option<CircuitSatSnapshot>) {
         let mut verdicts = Vec::new();
         let mut attempts_used = 0usize;
         for &(driver, complemented) in &item.drivers {
@@ -290,30 +467,37 @@ impl<'a> ParallelProver<'a> {
                     }
                     Some(true) => {
                         verdicts.push((driver, true));
-                        return ProofResult {
-                            verdicts,
-                            sat_outcome: None,
-                            outcome: ProofOutcome::Merge {
-                                driver,
-                                complemented,
-                                by_simulation: true,
+                        return (
+                            ProofResult {
+                                verdicts,
+                                sat_outcome: None,
+                                outcome: ProofOutcome::Merge {
+                                    driver,
+                                    complemented,
+                                    by_simulation: true,
+                                },
+                                attempts_used,
+                                sat_time: Duration::ZERO,
                             },
-                            attempts_used,
-                            sat_time: Duration::ZERO,
-                        };
+                            None,
+                        );
                     }
                     None => {}
                 }
             }
             if budget.exhausted() {
-                return ProofResult {
-                    verdicts,
-                    sat_outcome: None,
-                    outcome: ProofOutcome::Aborted,
-                    attempts_used,
-                    sat_time: Duration::ZERO,
-                };
+                return (
+                    ProofResult {
+                        verdicts,
+                        sat_outcome: None,
+                        outcome: ProofOutcome::Aborted,
+                        attempts_used,
+                        sat_time: Duration::ZERO,
+                    },
+                    None,
+                );
             }
+            let snapshot = want_snapshot.then(|| solver.snapshot());
             let sat_start = Instant::now();
             let outcome = solver.prove_equivalent(
                 Lit::positive(item.candidate),
@@ -338,27 +522,33 @@ impl<'a> ParallelProver<'a> {
                     (SatCallOutcome::Undetermined, ProofOutcome::DontTouch)
                 }
             };
-            return ProofResult {
+            return (
+                ProofResult {
+                    verdicts,
+                    sat_outcome: Some(kind),
+                    outcome: terminal,
+                    attempts_used,
+                    sat_time,
+                },
+                snapshot,
+            );
+        }
+        (
+            ProofResult {
                 verdicts,
-                sat_outcome: Some(kind),
-                outcome: terminal,
+                sat_outcome: None,
+                outcome: ProofOutcome::Exhausted,
                 attempts_used,
-                sat_time,
-            };
-        }
-        ProofResult {
-            verdicts,
-            sat_outcome: None,
-            outcome: ProofOutcome::Exhausted,
-            attempts_used,
-            sat_time: Duration::ZERO,
-        }
+                sat_time: Duration::ZERO,
+            },
+            None,
+        )
     }
 }
 
 /// Per-node primary-input support bitsets, the cheap cone-overlap measure
-/// behind TFI-disjoint batching: two nodes whose supports are disjoint have
-/// disjoint transitive-fanin cones (up to constant-only logic).
+/// behind support-disjoint batching: two nodes whose supports are disjoint
+/// have disjoint transitive-fanin cones (up to constant-only logic).
 #[derive(Debug, Clone)]
 pub struct SupportIndex {
     words_per_node: usize,
@@ -436,6 +626,19 @@ mod tests {
         (aig, vec![f1, f2, g1, h1])
     }
 
+    fn fresh_pool(aig: &Aig) -> Vec<CircuitSat<'_>> {
+        (0..MAX_BATCH).map(|_| CircuitSat::new(aig)).collect()
+    }
+
+    fn item(candidate: NodeId, drivers: Vec<(NodeId, bool)>) -> ProofItem {
+        ProofItem {
+            candidate,
+            attempts: 0,
+            drivers,
+            slot: candidate % MAX_BATCH,
+        }
+    }
+
     #[test]
     fn supports_follow_the_fanin_cones() {
         let (aig, gates) = sample_aig();
@@ -458,6 +661,19 @@ mod tests {
     }
 
     #[test]
+    fn shard_slots_partition_the_pool() {
+        for shards in 1..=MAX_BATCH {
+            let mut covered = Vec::new();
+            for shard in 0..shards {
+                let range = shard_slots(shards, shard, MAX_BATCH);
+                covered.extend(range);
+            }
+            let expected: Vec<usize> = (0..MAX_BATCH).collect();
+            assert_eq!(covered, expected, "{shards} shards");
+        }
+    }
+
+    #[test]
     fn prove_batch_results_are_worker_count_independent() {
         let (aig, gates) = sample_aig();
         let f1 = gates[0].node();
@@ -465,26 +681,18 @@ mod tests {
         let g1 = gates[2].node();
         let h1 = gates[3].node();
         let items = vec![
-            ProofItem {
-                candidate: f2,
-                attempts: 0,
-                drivers: vec![(f1, true)], // f2 == !f1
-            },
-            ProofItem {
-                candidate: h1,
-                attempts: 0,
-                drivers: vec![(g1, false)], // h1 != g1: counter-example
-            },
+            item(f2, vec![(f1, true)]),  // f2 == !f1
+            item(h1, vec![(g1, false)]), // h1 != g1: counter-example
         ];
         let budget = Budget::unlimited();
         let worker_budget = WorkerBudget::new(&budget, Instant::now(), 0);
         let mut reference: Option<Vec<ProofResult>> = None;
         for workers in [1usize, 2, 4] {
             // A fresh pool per worker count: slot histories must match.
-            let mut solvers: Vec<CircuitSat> =
-                (0..items.len()).map(|_| CircuitSat::new(&aig)).collect();
+            let mut solvers = fresh_pool(&aig);
             let prover = ParallelProver::new(&aig, None, 10_000, workers);
-            let results = prover.prove_batch(&items, &mut solvers, &worker_budget);
+            let proof = prover.prove_batch(&items, &mut solvers, &worker_budget);
+            let results = proof.results;
             assert_eq!(results.len(), 2);
             assert!(matches!(
                 results[0].outcome,
@@ -499,6 +707,9 @@ mod tests {
                 results[1].outcome,
                 ProofOutcome::CounterExample { .. }
             ));
+            // Item 0 never needs a pre-query snapshot; item 1 issued a query.
+            assert!(proof.pre_query[0].is_none());
+            assert!(proof.pre_query[1].is_some());
             if let Some(reference) = &reference {
                 for (a, b) in reference.iter().zip(&results) {
                     assert_eq!(a.outcome, b.outcome, "{workers} workers");
@@ -513,20 +724,94 @@ mod tests {
     }
 
     #[test]
+    fn sharded_proving_matches_unsharded_for_every_shard_count() {
+        let (aig, gates) = sample_aig();
+        let f1 = gates[0].node();
+        let f2 = gates[1].node();
+        let g1 = gates[2].node();
+        let h1 = gates[3].node();
+        let items = vec![
+            item(f2, vec![(f1, true)]),
+            item(h1, vec![(g1, false)]),
+            item(g1, vec![(f1, false)]),
+        ];
+        let budget = Budget::unlimited();
+        let worker_budget = WorkerBudget::new(&budget, Instant::now(), 0);
+        let mut solvers = fresh_pool(&aig);
+        let prover = ParallelProver::new(&aig, None, 10_000, 4);
+        let reference = prover.prove_batch(&items, &mut solvers, &worker_budget);
+        // Wall-clock query times vary run to run; zero them before
+        // comparing — everything else must be identical.
+        let detimed = |results: &[ProofResult]| -> Vec<ProofResult> {
+            results
+                .iter()
+                .cloned()
+                .map(|mut r| {
+                    r.sat_time = Duration::ZERO;
+                    r
+                })
+                .collect()
+        };
+        for shards in [1usize, 2, 4, MAX_BATCH] {
+            let mut solvers = fresh_pool(&aig);
+            let proof = prover.prove_batch_sharded(&items, &mut solvers, &worker_budget, shards);
+            assert_eq!(
+                detimed(&proof.results),
+                detimed(&reference.results),
+                "{shards} shards"
+            );
+            assert_eq!(
+                proof
+                    .pre_query
+                    .iter()
+                    .map(Option::is_some)
+                    .collect::<Vec<_>>(),
+                reference
+                    .pre_query
+                    .iter()
+                    .map(Option::is_some)
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn restoring_a_pre_query_snapshot_erases_the_query() {
+        let (aig, gates) = sample_aig();
+        let f1 = gates[0].node();
+        let f2 = gates[1].node();
+        let g1 = gates[2].node();
+        let h1 = gates[3].node();
+        let items = vec![item(f2, vec![(f1, true)]), item(h1, vec![(g1, false)])];
+        let budget = Budget::unlimited();
+        let worker_budget = WorkerBudget::new(&budget, Instant::now(), 0);
+        let mut solvers = fresh_pool(&aig);
+        let prover = ParallelProver::new(&aig, None, 10_000, 1);
+        let proof = prover.prove_batch(&items, &mut solvers, &worker_budget);
+        let slot = items[1].slot;
+        let polluted = solvers[slot].snapshot();
+        let pre = proof.pre_query[1].clone().expect("item 1 issued a query");
+        assert_ne!(polluted, pre, "the query must have changed the solver");
+        // Restore, then re-prove: the slot behaves as if the first query
+        // never happened.
+        solvers[slot] = CircuitSat::from_snapshot(&aig, &pre).expect("snapshot restores");
+        let (replayed, _) = prover.prove_one(&items[1], &mut solvers[slot], &worker_budget, false);
+        assert_eq!(replayed.outcome, proof.results[1].outcome);
+        assert_eq!(solvers[slot].snapshot(), polluted);
+    }
+
+    #[test]
     fn exhausted_budget_aborts_before_the_sat_query() {
         let (aig, gates) = sample_aig();
-        let items = vec![ProofItem {
-            candidate: gates[1].node(),
-            attempts: 0,
-            drivers: vec![(gates[0].node(), true)],
-        }];
+        let items = vec![item(gates[1].node(), vec![(gates[0].node(), true)])];
         let budget = Budget::unlimited().with_max_sat_calls(0);
         let worker_budget = WorkerBudget::new(&budget, Instant::now(), 0);
-        let mut solvers = vec![CircuitSat::new(&aig)];
+        let mut solvers = fresh_pool(&aig);
         let prover = ParallelProver::new(&aig, None, 10_000, 2);
-        let results = prover.prove_batch(&items, &mut solvers, &worker_budget);
-        assert!(matches!(results[0].outcome, ProofOutcome::Aborted));
-        assert_eq!(results[0].sat_outcome, None);
+        let proof = prover.prove_batch(&items, &mut solvers, &worker_budget);
+        assert!(matches!(proof.results[0].outcome, ProofOutcome::Aborted));
+        assert_eq!(proof.results[0].sat_outcome, None);
+        assert!(proof.pre_query[0].is_none());
     }
 
     #[test]
@@ -536,16 +821,13 @@ mod tests {
         let f1 = gates[0].node();
         let f2 = gates[1].node();
         let g1 = gates[2].node();
-        let items = vec![ProofItem {
-            candidate: f2,
-            attempts: 0,
-            drivers: vec![(g1, false), (f1, true)],
-        }];
+        let items = vec![item(f2, vec![(g1, false), (f1, true)])];
         let budget = Budget::unlimited();
         let worker_budget = WorkerBudget::new(&budget, Instant::now(), 0);
-        let mut solvers = vec![CircuitSat::new(&aig)];
+        let mut solvers = fresh_pool(&aig);
         let prover = ParallelProver::new(&aig, Some(&windows), 10_000, 1);
-        let results = prover.prove_batch(&items, &mut solvers, &worker_budget);
+        let proof = prover.prove_batch(&items, &mut solvers, &worker_budget);
+        let results = &proof.results;
         // g1 disproved by its window, f1 proved by its window: no SAT call.
         assert_eq!(results[0].verdicts, vec![(g1, false), (f1, true)]);
         assert_eq!(results[0].sat_outcome, None);
@@ -557,5 +839,23 @@ mod tests {
             }
         ));
         assert_eq!(results[0].attempts_used, 2);
+    }
+
+    #[test]
+    fn duplicate_slots_are_rejected() {
+        let (aig, gates) = sample_aig();
+        let f1 = gates[0].node();
+        let mut a = item(gates[1].node(), vec![(f1, true)]);
+        let mut b = item(gates[2].node(), vec![(f1, false)]);
+        a.slot = 3;
+        b.slot = 3;
+        let budget = Budget::unlimited();
+        let worker_budget = WorkerBudget::new(&budget, Instant::now(), 0);
+        let mut solvers = fresh_pool(&aig);
+        let prover = ParallelProver::new(&aig, None, 10_000, 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            prover.prove_batch(&[a, b], &mut solvers, &worker_budget)
+        }));
+        assert!(result.is_err());
     }
 }

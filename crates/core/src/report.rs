@@ -5,6 +5,32 @@ use netlist::Aig;
 use std::fmt;
 use std::time::Duration;
 
+/// How the engine selects which pending candidates to prove speculatively
+/// in one SAT batch (see the `crate::prover` module docs for the commit
+/// protocol that makes every policy commit identical results).
+///
+/// The policy only decides how far the batch former extends the canonical
+/// prefix of pending candidates — it can never change which SAT calls,
+/// counter-examples or merges are *committed*, only how much speculative
+/// work is wasted ([`SweepReport::sat_parallel_conflicts`]) and how large
+/// committed batches get ([`SweepReport::sat_batch_committed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// The PR 4 prior: extend the batch while the candidate's proof cone
+    /// (candidate plus drivers, measured by primary-input support) is
+    /// disjoint from everything already in the batch.  Safe but near-serial
+    /// on arithmetic circuits, where all candidates share most inputs.
+    SupportDisjoint,
+    /// The learned policy (the default): extend the batch while the
+    /// candidate's class and every class already in the batch have never
+    /// been split by the same committed counter-example — falling back to
+    /// support-disjointness while a pair lacks observations (see
+    /// [`bitsim::CoSplitTable`]).  Classes that refine independently batch
+    /// together even when their supports overlap.
+    #[default]
+    RefinementAware,
+}
+
 /// Configuration of a SAT-sweeping run.
 ///
 /// The defaults correspond to the setting of the paper's evaluation: a TFI /
@@ -89,6 +115,21 @@ pub struct SweepConfig {
     /// [`SweepConfig::with_seq_depth`]; capped at [`MAX_SEQ_DEPTH`] by
     /// [`SweepConfig::validate`].
     pub seq_depth: usize,
+    /// The speculative batch-formation policy (see [`BatchPolicy`]).
+    /// Either policy commits byte-identical results; they differ only in
+    /// how much SAT parallelism a batch exposes.
+    pub batch_policy: BatchPolicy,
+    /// Number of shards the solver-slot space is partitioned into for
+    /// proving (see [`crate::prover::ParallelProver::prove_batch_sharded`]).
+    /// `0` (the default) disables sharding and proves batches with
+    /// [`SweepConfig::sat_parallelism`] work-stealing workers; `k ≥ 1`
+    /// assigns each of the `k` contiguous slot ranges to one isolated
+    /// sub-worker.  Every value commits byte-identical results; sharding
+    /// exists as the in-process rehearsal for distributing slot ranges
+    /// across processes (the checkpoint codec carries the shard config as
+    /// the wire format).  Capped at [`crate::prover::MAX_BATCH`] by
+    /// [`SweepConfig::validate`].
+    pub shards: usize,
 }
 
 impl Default for SweepConfig {
@@ -109,6 +150,8 @@ impl Default for SweepConfig {
             compact_every: 0,
             checkpoint_interval_millis: 0,
             seq_depth: 0,
+            batch_policy: BatchPolicy::RefinementAware,
+            shards: 0,
         }
     }
 }
@@ -278,6 +321,20 @@ impl SweepConfig {
         self
     }
 
+    /// Sets the speculative batch-formation policy (see [`BatchPolicy`]).
+    pub fn batch_policy(mut self, policy: BatchPolicy) -> Self {
+        self.batch_policy = policy;
+        self
+    }
+
+    /// Sets the number of proving shards (see [`SweepConfig::shards`];
+    /// `0` disables sharding).  Every shard count commits byte-identical
+    /// results.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Checks the configuration for values the engines cannot work with.
     ///
     /// Invalid values used to be clamped or to silently misbehave; the
@@ -292,7 +349,9 @@ impl SweepConfig {
     ///   restricts exhaustive windows to at most 16 leaves);
     /// * `num_threads` must be nonzero (1 = sequential);
     /// * [`SweepConfig::checkpoint_every_secs`] must have been given a
-    ///   finite, non-negative duration.
+    ///   finite, non-negative duration;
+    /// * `shards` must be at most [`crate::prover::MAX_BATCH`] (one shard
+    ///   needs at least one solver slot).
     pub fn validate(&self) -> Result<(), SweepError> {
         if self.num_initial_patterns == 0 {
             return Err(SweepError::InvalidConfig(
@@ -329,6 +388,13 @@ impl SweepConfig {
             return Err(SweepError::InvalidConfig(format!(
                 "seq_depth {} exceeds the maximum induction depth of {MAX_SEQ_DEPTH}",
                 self.seq_depth
+            )));
+        }
+        if self.shards > crate::prover::MAX_BATCH {
+            return Err(SweepError::InvalidConfig(format!(
+                "shards {} exceeds the solver pool of {} slots",
+                self.shards,
+                crate::prover::MAX_BATCH
             )));
         }
         Ok(())
@@ -377,6 +443,12 @@ pub struct SweepReport {
     /// SAT-proving batches committed (each batch is one barrier of the
     /// parallel prover; identical for every `sat_parallelism`).
     pub sat_batches: u64,
+    /// Speculative proof results accepted at commit barriers, summed over
+    /// batches.  `sat_batch_committed / sat_batches` is the mean committed
+    /// batch size — the utilisation measure refinement-aware batching
+    /// optimises (see [`SweepConfig::batch_policy`]).  Identical for every
+    /// `sat_parallelism` and shard count.
+    pub sat_batch_committed: u64,
     /// Speculative SAT calls discarded at the commit barrier because an
     /// earlier commit in the same batch invalidated them.  These are *not*
     /// part of [`SweepReport::sat_calls_total`]; they measure wasted
@@ -459,6 +531,7 @@ impl SweepReport {
         self.num_threads = self.num_threads.max(later.num_threads);
         self.sat_parallelism = self.sat_parallelism.max(later.sat_parallelism);
         self.sat_batches += later.sat_batches;
+        self.sat_batch_committed += later.sat_batch_committed;
         self.sat_parallel_conflicts += later.sat_parallel_conflicts;
         self.patterns_dropped += later.patterns_dropped;
         self.steal_events += later.steal_events;
@@ -557,7 +630,9 @@ mod tests {
             .checkpoint_every_secs(1.5)
             .with_solver_reset_interval(128)
             .compact_every(200)
-            .with_seq_depth(2);
+            .with_seq_depth(2)
+            .batch_policy(BatchPolicy::SupportDisjoint)
+            .shards(2);
         assert_eq!(config.num_initial_patterns, 99);
         assert_eq!(config.conflict_limit, 7);
         assert_eq!(config.tfi_limit, 3);
@@ -570,6 +645,8 @@ mod tests {
         assert_eq!(config.solver_reset_interval, 128);
         assert_eq!(config.compact_every, 200);
         assert_eq!(config.seq_depth, 2);
+        assert_eq!(config.batch_policy, BatchPolicy::SupportDisjoint);
+        assert_eq!(config.shards, 2);
     }
 
     #[test]
@@ -635,6 +712,12 @@ mod tests {
             assert_eq!(config.solver_reset_interval, 0, "resets are opt-in");
             assert_eq!(config.compact_every, 0, "compaction is opt-in");
             assert_eq!(config.seq_depth, 0, "sequential sweeping is opt-in");
+            assert_eq!(
+                config.batch_policy,
+                BatchPolicy::RefinementAware,
+                "the learned batch former is the default"
+            );
+            assert_eq!(config.shards, 0, "sharding is opt-in");
         }
     }
 
@@ -680,6 +763,14 @@ mod tests {
             .validate()
             .is_err());
         assert!(SweepConfig::sequential(MAX_SEQ_DEPTH).validate().is_ok());
+        assert!(SweepConfig::default()
+            .shards(crate::prover::MAX_BATCH + 1)
+            .validate()
+            .is_err());
+        assert!(SweepConfig::default()
+            .shards(crate::prover::MAX_BATCH)
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -711,6 +802,7 @@ mod tests {
             num_threads: 4,
             sat_parallelism: 2,
             sat_batches: 3,
+            sat_batch_committed: 5,
             sat_parallel_conflicts: 1,
             patterns_dropped: 40,
             steal_events: 6,
@@ -737,6 +829,7 @@ mod tests {
         assert_eq!(first.num_threads, 4, "merge keeps the maximum");
         assert_eq!(first.sat_parallelism, 2, "merge keeps the maximum");
         assert_eq!(first.sat_batches, 3);
+        assert_eq!(first.sat_batch_committed, 5);
         assert_eq!(first.sat_parallel_conflicts, 1);
         assert_eq!(first.patterns_dropped, 40);
         assert_eq!(first.steal_events, 6);

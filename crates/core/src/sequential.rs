@@ -36,6 +36,34 @@
 //! engine.  Budget stops and periodic checkpoints happen at candidate
 //! boundaries; a resumed run recomputes the deterministic analysis and
 //! continues from the committed-candidate cursor.
+//!
+//! The whole flow is driven through the ordinary [`crate::Sweeper`]
+//! builder — a nonzero [`SweepConfig::sequential`] depth is the only
+//! switch.  A duplicated latch is found and merged like so:
+//!
+//! ```
+//! use netlist::{Aig, LatchInit};
+//! use stp_sweep::{Engine, SweepConfig, Sweeper};
+//!
+//! // Two identical latches: q2 mirrors q1's init and transition.
+//! let mut aig = Aig::new();
+//! let x = aig.add_input("x");
+//! let q1 = aig.add_latch("q1", LatchInit::Zero);
+//! let q2 = aig.add_latch("q2", LatchInit::Zero);
+//! let n1 = aig.xor(q1, x);
+//! let n2 = aig.xor(q2, x);
+//! aig.set_latch_next(0, n1);
+//! aig.set_latch_next(1, n2);
+//! let y = aig.and(q1, q2);
+//! aig.add_output("y", y);
+//!
+//! let result = Sweeper::new(Engine::Stp)
+//!     .config(SweepConfig::sequential(1)) // k-step induction depth 1
+//!     .run(&aig)
+//!     .expect("valid config, unlimited budget");
+//! assert_eq!(result.report.seq_latches_before, 2);
+//! assert_eq!(result.report.seq_latches_after, 1);
+//! ```
 
 use crate::budget::BudgetCause;
 use crate::checkpoint::{netlist_fingerprint, PhasePod, SweepCheckpoint};
@@ -593,6 +621,7 @@ fn build_seq_checkpoint(
         sweep_sat_calls: run.stats.sat_calls_total(),
         committed_candidates: run.cursor as u64,
         last_compaction_ce: 0,
+        cosplit: bitsim::CoSplitSnapshot::default(),
         simulation_time,
         sat_time: run.sat_time,
         elapsed,

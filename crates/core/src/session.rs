@@ -44,6 +44,7 @@
 //! assert_eq!(stats.merges, result.report.merges);
 //! ```
 
+use crate::batching;
 use crate::budget::{Budget, BudgetCause};
 use crate::checkpoint::{netlist_fingerprint, InflightPod, PhasePod, SweepCheckpoint};
 use crate::equiv::EquivClasses;
@@ -56,7 +57,7 @@ use crate::prover::{
 use crate::report::{SweepConfig, SweepResult};
 use crate::resim::{self, ResimEngine};
 use crate::window::WindowIndex;
-use bitsim::{AigSimulator, PatternSet, Signature};
+use bitsim::{AigSimulator, CoSplitTable, PatternSet, Signature};
 use netlist::{Aig, Lit, NodeId};
 use satsolver::{CircuitSat, EquivOutcome};
 use std::collections::HashMap;
@@ -299,6 +300,12 @@ pub struct SweepSession<'n, 'o> {
     /// `stats.counterexamples` advances by the cadence.  Checkpointed, so a
     /// resumed run compacts at the same points as an uninterrupted one.
     last_compaction_ce: u64,
+    /// Online co-split statistic feeding the refinement-aware batch policy
+    /// ([`crate::batching`]).  Advanced only on *committed* counter-example
+    /// refinements, so its contents — and therefore batch formation — are
+    /// identical for every `sat_parallelism`, worker count and shard count.
+    /// Checkpointed (codec v5) so resumed runs form the same batches.
+    cosplit: CoSplitTable,
     /// Work-stealing claims beyond each worker's first, summed over the
     /// session's parallel simulations (diagnostic; see
     /// [`crate::SweepReport::steal_events`]).
@@ -363,6 +370,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                 last_checkpoint: 0,
                 last_checkpoint_instant: started,
                 last_compaction_ce: 0,
+                cosplit: CoSplitTable::new(),
                 steal_events: 0,
                 primed: false,
                 stop_checkpoint: None,
@@ -437,6 +445,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             last_checkpoint: 0,
             last_checkpoint_instant: started,
             last_compaction_ce: 0,
+            cosplit: CoSplitTable::new(),
             steal_events: state.steal_events(),
             primed: true,
             stop_checkpoint: None,
@@ -558,11 +567,16 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                     ));
                 }
                 if let Some(batch) = inflight {
+                    let mut seen_slots = [false; MAX_BATCH];
                     let items_ok = batch.items.len() <= MAX_BATCH
                         && batch.results.len() == batch.items.len()
+                        && batch.pre_query.len() == batch.items.len()
                         && batch.next <= batch.items.len()
+                        && batch.committed <= batch.next
                         && batch.items.iter().all(|item| {
                             in_range(item.candidate)
+                                && item.slot < MAX_BATCH
+                                && !std::mem::replace(&mut seen_slots[item.slot], true)
                                 && item.drivers.iter().all(|&(d, _)| in_range(d))
                         });
                     if !items_ok {
@@ -646,6 +660,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             last_checkpoint: checkpoint.committed_candidates,
             last_checkpoint_instant: Instant::now(),
             last_compaction_ce: checkpoint.last_compaction_ce,
+            cosplit: CoSplitTable::from_snapshot(&checkpoint.cosplit),
             // Steal counts are wall-clock diagnostics of *this* leg; they are
             // deliberately not carried across a resume.
             steal_events: 0,
@@ -795,6 +810,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             sweep_sat_calls: self.sweep_sat_calls,
             committed_candidates: self.committed_candidates,
             last_compaction_ce: self.last_compaction_ce,
+            cosplit: self.cosplit.snapshot(),
             simulation_time: self.simulation_time,
             sat_time: self.sat_time,
             elapsed: self.elapsed_base + self.started.elapsed(),
@@ -909,10 +925,17 @@ impl<'n, 'o> SweepSession<'n, 'o> {
         }
     }
 
-    fn notify_batch_proved(&mut self, batch: usize, settled: usize, conflicts: usize) {
-        self.stats.on_batch_proved(batch, settled, conflicts);
+    fn notify_batch_proved(
+        &mut self,
+        batch: usize,
+        committed: usize,
+        settled: usize,
+        conflicts: usize,
+    ) {
+        self.stats
+            .on_batch_proved(batch, committed, settled, conflicts);
         if let Some(obs) = self.observer.as_mut() {
-            obs.on_batch_proved(batch, settled, conflicts);
+            obs.on_batch_proved(batch, committed, settled, conflicts);
         }
     }
 
@@ -1017,11 +1040,17 @@ impl<'n, 'o> SweepSession<'n, 'o> {
     // ------------------------------------------------------------------
 
     /// Derives the driver list the engine examines next for `candidate`,
-    /// given the attempts already consumed: class members that precede the
-    /// candidate in topological order, bounded by the TFI limit.  `None`
-    /// means the candidate is settled (merged, don't-touch, out of budgeted
-    /// attempts, classless, its class's representative, or driverless).
-    fn next_drivers(&self, candidate: NodeId, attempts: usize) -> Option<Vec<(NodeId, bool)>> {
+    /// given the attempts already consumed — class members that precede the
+    /// candidate in topological order, bounded by the TFI limit — plus the
+    /// candidate's class representative (the key the batch former's co-split
+    /// lookups are made under).  `None` means the candidate is settled
+    /// (merged, don't-touch, out of budgeted attempts, classless, its
+    /// class's representative, or driverless).
+    fn next_drivers_with_rep(
+        &self,
+        candidate: NodeId,
+        attempts: usize,
+    ) -> Option<(NodeId, Vec<(NodeId, bool)>)> {
         if self.merged[candidate].is_some()
             || self.dont_touch[candidate]
             || attempts >= self.config.tfi_limit
@@ -1044,7 +1073,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
         if drivers.is_empty() {
             None
         } else {
-            Some(drivers)
+            Some((class.representative(), drivers))
         }
     }
 
@@ -1060,16 +1089,19 @@ impl<'n, 'o> SweepSession<'n, 'o> {
         pending.insert(pos, (candidate, attempts));
     }
 
-    /// The pairwise-merging phase: the candidate queue is partitioned into
-    /// TFI-disjoint batches, every batch is proved speculatively by the
-    /// [`ParallelProver`] (on the persistent solver pool, up to
-    /// [`SweepConfig::sat_parallelism`] workers), and the results are
-    /// committed at a deterministic barrier in canonical candidate order —
-    /// a result whose assumed driver list no longer matches the replayed
-    /// state is discarded (`sat_parallel_conflicts`) and the candidate is
-    /// retried in a later batch.  See [`crate::prover`] for the protocol;
-    /// the committed SAT calls, counter-examples and merges are identical
-    /// for every `sat_parallelism` and `num_threads`.
+    /// The pairwise-merging phase: the candidate queue is cut into prefix
+    /// batches under the configured [`crate::report::BatchPolicy`], every
+    /// batch is proved speculatively by the [`ParallelProver`] (on the
+    /// persistent candidate-keyed solver pool, up to
+    /// [`SweepConfig::sat_parallelism`] workers, optionally sharded —
+    /// [`SweepConfig::shards`]), and the results are committed at a
+    /// deterministic barrier in canonical candidate order — a result whose
+    /// assumed driver list no longer matches the replayed state is
+    /// discarded (`sat_parallel_conflicts`), its solver slot restored from
+    /// the pre-query snapshot, and the candidate retried in a later batch.
+    /// See [`crate::prover`] for the protocol; the committed SAT calls,
+    /// counter-examples and merges are identical for every
+    /// `sat_parallelism`, `num_threads`, batch policy and shard count.
     ///
     /// Returns `true` when the phase completes, `false` on a budget stop
     /// (with the stop checkpoint captured, half-committed batch included).
@@ -1159,12 +1191,17 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                 }
             }
 
-            // Batch formation: greedily take pending candidates (in order)
-            // whose proof cones are support-disjoint from the batch so far.
-            // Settled candidates are resolved on the way; conflicting ones
-            // stay pending for a later batch.  Nothing here depends on
-            // `sat_parallelism`.
+            // Batch formation: take the maximal *prefix* of live pending
+            // candidates (in canonical order) that the batch policy admits.
+            // Settled candidates are resolved on the way; the first live
+            // candidate the policy rejects — or whose solver slot collides —
+            // TERMINATES the batch instead of being skipped, so the
+            // committed operation sequence is the strict canonical order
+            // under every policy (see [`crate::batching`]).  Nothing here
+            // depends on `sat_parallelism` or the shard count.
             let mut batch: Vec<ProofItem> = Vec::new();
+            let mut batch_reps: Vec<NodeId> = Vec::new();
+            let mut used_slots = [false; MAX_BATCH];
             let mut acc = supports.empty_accumulator();
             let mut i = 0usize;
             // Indices (ascending) of entries leaving `pending` this round —
@@ -1173,26 +1210,43 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             let mut drop_indices: Vec<usize> = Vec::new();
             while i < pending.len() && batch.len() < MAX_BATCH {
                 let (candidate, attempts) = pending[i];
-                let Some(drivers) = self.next_drivers(candidate, attempts) else {
+                let Some((rep, drivers)) = self.next_drivers_with_rep(candidate, attempts) else {
                     drop_indices.push(i);
                     i += 1;
                     continue;
                 };
-                let disjoint = batch.is_empty()
-                    || (supports.disjoint(candidate, &acc)
-                        && drivers.iter().all(|&(d, _)| supports.disjoint(d, &acc)));
-                if disjoint {
-                    supports.accumulate(candidate, &mut acc);
-                    for &(driver, _) in &drivers {
-                        supports.accumulate(driver, &mut acc);
-                    }
-                    batch.push(ProofItem {
-                        candidate,
-                        attempts,
-                        drivers,
-                    });
-                    drop_indices.push(i);
+                // Solver slots are keyed on the candidate id, so a slot's
+                // incremental state is a pure function of the committed
+                // queries it served — independent of batch shapes.
+                let slot = candidate % MAX_BATCH;
+                let admitted = !used_slots[slot]
+                    && (batch.is_empty()
+                        || batching::admits(
+                            self.config.batch_policy,
+                            &self.cosplit,
+                            supports,
+                            candidate,
+                            rep,
+                            &drivers,
+                            &acc,
+                            &batch_reps,
+                        ));
+                if !admitted {
+                    break;
                 }
+                used_slots[slot] = true;
+                supports.accumulate(candidate, &mut acc);
+                for &(driver, _) in &drivers {
+                    supports.accumulate(driver, &mut acc);
+                }
+                batch_reps.push(rep);
+                batch.push(ProofItem {
+                    candidate,
+                    attempts,
+                    drivers,
+                    slot,
+                });
+                drop_indices.push(i);
                 i += 1;
             }
             if !drop_indices.is_empty() {
@@ -1212,7 +1266,9 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             }
 
             // Speculative proving: pure per-item work, any scheduling.
-            let results = {
+            // Sharded mode partitions the slot range across isolated
+            // sub-workers; both paths produce the identical [`BatchProof`].
+            let proof = {
                 let windows = if self.engine == Engine::Stp && self.config.window_refinement {
                     self.windows.as_ref()
                 } else {
@@ -1226,17 +1282,28 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                 );
                 let worker_budget =
                     WorkerBudget::new(&self.budget, self.started, self.sweep_sat_calls);
-                // Slots 0..batch.len() are handed to the prover and may
-                // mutate even on aborted items — conservatively dirty.
-                for dirty in self.pool_dirty.iter_mut().take(batch.len()) {
-                    *dirty = true;
+                // The items' slots are handed to the prover and may mutate
+                // even on aborted items — conservatively dirty.
+                for item in &batch {
+                    self.pool_dirty[item.slot] = true;
                 }
-                prover.prove_batch(&batch, &mut self.solver_pool[..batch.len()], &worker_budget)
+                if self.config.shards > 0 {
+                    prover.prove_batch_sharded(
+                        &batch,
+                        &mut self.solver_pool,
+                        &worker_budget,
+                        self.config.shards,
+                    )
+                } else {
+                    prover.prove_batch(&batch, &mut self.solver_pool, &worker_budget)
+                }
             };
             *inflight = Some(InflightPod {
                 items: batch,
-                results,
+                results: proof.results,
+                pre_query: proof.pre_query,
                 next: 0,
+                committed: 0,
                 settled: 0,
                 conflicts: 0,
             });
@@ -1283,7 +1350,12 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                 // partial event — the resumed run completes it and emits
                 // the single, cumulative event an uninterrupted run would.)
                 let done = inflight_slot.take().expect("inflight batch present");
-                self.notify_batch_proved(*batch_index, done.settled, done.conflicts);
+                self.notify_batch_proved(
+                    *batch_index,
+                    done.committed,
+                    done.settled,
+                    done.conflicts,
+                );
                 *batch_index += 1;
                 self.committed_candidates += done.settled as u64;
                 return true;
@@ -1302,7 +1374,7 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                 if !self.within_budget() {
                     return false;
                 }
-                let fresh = {
+                let (fresh, snapshot) = {
                     let windows = if self.engine == Engine::Stp && self.config.window_refinement {
                         self.windows.as_ref()
                     } else {
@@ -1316,13 +1388,17 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                     );
                     let worker_budget =
                         WorkerBudget::new(&self.budget, self.started, self.sweep_sat_calls);
-                    self.pool_dirty[index] = true;
-                    prover.prove_one(&item, &mut self.solver_pool[index], &worker_budget)
+                    self.pool_dirty[item.slot] = true;
+                    prover.prove_one(
+                        &item,
+                        &mut self.solver_pool[item.slot],
+                        &worker_budget,
+                        index > 0,
+                    )
                 };
-                inflight_slot
-                    .as_mut()
-                    .expect("inflight batch present")
-                    .results[index] = fresh;
+                let inflight = inflight_slot.as_mut().expect("inflight batch present");
+                inflight.results[index] = fresh;
+                inflight.pre_query[index] = snapshot;
                 continue;
             }
 
@@ -1330,10 +1406,10 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             // what the engine would examine here; for an exhausted item
             // the whole list must match (the engine would examine every
             // driver of the re-derived list).
-            let current = self.next_drivers(item.candidate, item.attempts);
+            let current = self.next_drivers_with_rep(item.candidate, item.attempts);
             let valid = match (&current, &result.outcome) {
-                (Some(d), ProofOutcome::Exhausted) => *d == item.drivers,
-                (Some(d), _) => {
+                (Some((_, d)), ProofOutcome::Exhausted) => *d == item.drivers,
+                (Some((_, d)), _) => {
                     let used = result.attempts_used.min(item.drivers.len());
                     d.len() >= used && d[..used] == item.drivers[..used]
                 }
@@ -1341,7 +1417,19 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             };
             let inflight = inflight_slot.as_mut().expect("inflight batch present");
             if !valid {
-                inflight.conflicts += usize::from(result.sat_outcome.is_some());
+                if result.sat_outcome.is_some() {
+                    inflight.conflicts += 1;
+                    // The invalidated query polluted its solver slot with
+                    // assumptions and possibly learned clauses from a state
+                    // the committed sequence never visits — restore the
+                    // pre-query snapshot, erasing the query, so slot state
+                    // stays a pure function of the committed sequence.
+                    if let Some(snap) = inflight.pre_query[index].take() {
+                        self.solver_pool[item.slot] =
+                            CircuitSat::from_snapshot(self.original, &snap)
+                                .expect("pre-query snapshot was taken against this network");
+                    }
+                }
                 inflight.next += 1;
                 // The discarded query still burned solver time.
                 self.sat_time += result.sat_time;
@@ -1358,14 +1446,27 @@ impl<'n, 'o> SweepSession<'n, 'o> {
                 return false;
             }
             inflight.next += 1;
+            inflight.committed += 1;
+            // The committed result's pre-query snapshot is dead weight from
+            // here on — drop it so checkpoints only carry snapshots for the
+            // still-uncommitted tail.
+            inflight.pre_query[index] = None;
             for &(driver, equivalent) in &result.verdicts {
                 self.notify_simulation_verdict(item.candidate, driver, equivalent);
             }
             if let Some(kind) = result.sat_outcome {
                 self.sat_time += result.sat_time;
                 self.sweep_sat_calls += 1;
-                self.pool_committed[index] += 1;
+                self.pool_committed[item.slot] += 1;
                 self.notify_sat_call(kind);
+                if matches!(kind, SatCallOutcome::Unsat) {
+                    // The candidate's class survived a committed proof
+                    // unsplit — stability evidence for the refinement-aware
+                    // batch former (see [`bitsim::CoSplitTable`]).
+                    if let Some((rep, _)) = &current {
+                        self.cosplit.record_proof(*rep);
+                    }
+                }
             }
             match &result.outcome {
                 ProofOutcome::Merge {
@@ -1463,7 +1564,12 @@ impl<'n, 'o> SweepSession<'n, 'o> {
             };
         let event = self.resim.record_event(targets.len(), &evaluated);
         self.notify_resimulation(event.targets, event.resimulated, event.skipped);
-        let moved = self.classes.refine(&new_signatures);
+        let outcome = self.classes.refine_tracked(&new_signatures);
+        // Feed the co-split statistic from the *committed* refinement (the
+        // only kind this path ever sees): which classes this counter-example
+        // split, and which split together.
+        self.cosplit.record_event(&outcome.split_representatives);
+        let moved = outcome.moved;
         self.simulation_time += sim_start.elapsed();
         let num_classes = self.classes.classes().len();
         self.notify_class_refined(num_classes, moved);

@@ -23,11 +23,16 @@ use stp_sweep::Engine;
 /// * **2** — `Submit` carries a pass script (the
 ///   [`stp_sweep::PassManager::parse`] grammar); empty means "run the
 ///   engine's plain sweep", exactly what a v1 submission requests.
+/// * **3** — `Submit` carries a shard count for the sweep
+///   ([`stp_sweep::SweepConfig::shards`]); `0` means "unsharded", exactly
+///   what every earlier submission requests.  Sharding never changes
+///   committed results, so a defaulted field is purely a scheduling
+///   preference, not a behaviour drift.
 ///
-/// This build always *encodes* version 2 but *decodes* any version from
-/// [`MIN_PROTOCOL_VERSION`] up, defaulting the fields a v1 peer could not
-/// have sent — so old clients can still submit and drive jobs.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// This build always *encodes* version 3 but *decodes* any version from
+/// [`MIN_PROTOCOL_VERSION`] up, defaulting the fields an older peer could
+/// not have sent — so old clients can still submit and drive jobs.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Oldest payload version this build still decodes.
 pub const MIN_PROTOCOL_VERSION: u8 = 1;
@@ -108,6 +113,10 @@ pub enum Request {
         /// engine's plain sweep — the only behaviour protocol v1 could
         /// request, and what v1 submissions decode to.
         passes: String,
+        /// Shard count for the sweep ([`stp_sweep::SweepConfig::shards`]);
+        /// `0` runs unsharded — the only behaviour protocols v1/v2 could
+        /// request, and what their submissions decode to.
+        shards: u32,
     },
     /// Ask for the state of one job.
     Status {
@@ -240,6 +249,10 @@ impl Enc {
 
     fn u8(&mut self, value: u8) {
         self.buf.push(value);
+    }
+
+    fn u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_be_bytes());
     }
 
     fn u64(&mut self, value: u64) {
@@ -409,6 +422,7 @@ impl Request {
                 preset,
                 aiger,
                 passes,
+                shards,
             } => {
                 let mut enc = Enc::new(REQ_SUBMIT);
                 enc.u8(priority.to_u8());
@@ -416,6 +430,7 @@ impl Request {
                 enc.u8(preset.to_u8());
                 enc.bytes(aiger);
                 enc.str(passes);
+                enc.u32(*shards);
                 enc.buf
             }
             Request::Status { id } => {
@@ -454,6 +469,8 @@ impl Request {
                 } else {
                     String::new()
                 },
+                // A v1/v2 peer cannot ask for sharding: unsharded.
+                shards: if dec.version >= 3 { dec.u32()? } else { 0 },
             },
             REQ_STATUS => Request::Status { id: dec.u64()? },
             REQ_CANCEL => Request::Cancel { id: dec.u64()? },
@@ -605,6 +622,7 @@ mod tests {
                 preset: Preset::Thorough,
                 aiger: b"aag 0 0 0 0 0\n".to_vec(),
                 passes: String::new(),
+                shards: 0,
             },
             Request::Submit {
                 priority: Priority::High,
@@ -612,6 +630,7 @@ mod tests {
                 preset: Preset::Paper,
                 aiger: b"aag 0 0 0 0 0\n".to_vec(),
                 passes: "strash;rewrite;sweep(stp);verify".into(),
+                shards: 4,
             },
             Request::Status { id: 7 },
             Request::Cancel { id: u64::MAX },
@@ -722,6 +741,38 @@ mod tests {
                 preset: Preset::Fast,
                 aiger: aiger.to_vec(),
                 passes: String::new(),
+                shards: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn v2_submits_decode_to_unsharded_jobs() {
+        // A hand-built v2 Submit: pass script present, no trailing shard
+        // count.  It decodes to shards = 0 — the unsharded sweep a v2 peer
+        // was asking for all along.
+        let aiger = b"aag 0 0 0 0 0\n";
+        let passes = b"strash;sweep(stp)";
+        let mut v2_submit: Vec<u8> = vec![
+            2, // version
+            super::REQ_SUBMIT,
+            Priority::High.to_u8(),
+            engine_to_u8(Engine::Baseline),
+            Preset::Paper.to_u8(),
+        ];
+        v2_submit.extend_from_slice(&(aiger.len() as u32).to_be_bytes());
+        v2_submit.extend_from_slice(aiger);
+        v2_submit.extend_from_slice(&(passes.len() as u32).to_be_bytes());
+        v2_submit.extend_from_slice(passes);
+        assert_eq!(
+            Request::decode(&v2_submit).expect("v2 submit"),
+            Request::Submit {
+                priority: Priority::High,
+                engine: Engine::Baseline,
+                preset: Preset::Paper,
+                aiger: aiger.to_vec(),
+                passes: "strash;sweep(stp)".into(),
+                shards: 0,
             }
         );
     }
@@ -753,11 +804,13 @@ mod tests {
             preset: Preset::Fast,
             aiger: vec![0; 8],
             passes: String::new(),
+            shards: 0,
         }
         .encode();
-        // ... the AIGER length prefix sits before the 8 AIGER bytes and
-        // the (empty) pass-script string's own 4-byte length.
-        let len_at = lying.len() - 4 - 8 - 4;
+        // ... the AIGER length prefix sits before the 8 AIGER bytes, the
+        // (empty) pass-script string's own 4-byte length, and the 4-byte
+        // shard count.
+        let len_at = lying.len() - 4 - 4 - 8 - 4;
         lying[len_at..len_at + 4].copy_from_slice(&u32::MAX.to_be_bytes());
         assert!(Request::decode(&lying).is_err());
     }

@@ -105,6 +105,10 @@ struct Job {
     /// jobs run whole pipelines per slice and are never mid-script
     /// resumable, so they keep no checkpoint.
     passes: String,
+    /// Shard count of the sweep; 0 runs unsharded.  Sharding never changes
+    /// committed results, so it is a scheduling preference the dedup check
+    /// still treats as a setting.
+    shards: u32,
     aig: Arc<Aig>,
     state: JobState,
     /// Latest suspension checkpoint, encoded.
@@ -171,6 +175,7 @@ struct Claim {
     engine: Engine,
     preset: Preset,
     passes: String,
+    shards: u32,
     checkpoint: Option<Vec<u8>>,
     token: CancelToken,
     quantum: Duration,
@@ -253,6 +258,7 @@ impl SweepService {
                         engine: recovered.job.engine,
                         preset: recovered.job.preset,
                         passes: recovered.job.passes,
+                        shards: recovered.job.shards,
                         aig: Arc::new(aig),
                         state: if has_checkpoint {
                             JobState::Suspended
@@ -309,7 +315,7 @@ impl SweepService {
         preset: Preset,
         aiger: &[u8],
     ) -> Result<(JobId, bool), String> {
-        self.submit_with_passes(priority, engine, preset, "", aiger)
+        self.submit_with_options(priority, engine, preset, "", 0, aiger)
     }
 
     /// Submits a netlist with an optional pass script (the
@@ -327,6 +333,23 @@ impl SweepService {
         passes: &str,
         aiger: &[u8],
     ) -> Result<(JobId, bool), String> {
+        self.submit_with_options(priority, engine, preset, passes, 0, aiger)
+    }
+
+    /// Like [`SweepService::submit_with_passes`], plus a shard count for
+    /// the sweep ([`stp_sweep::SweepConfig::shards`]; `0` runs unsharded).
+    /// Sharding never changes committed results — the daemon battery pins
+    /// sharded jobs byte-identical to unsharded ones — so the knob only
+    /// trades peak memory against candidate-ordering locality.
+    pub fn submit_with_options(
+        &self,
+        priority: Priority,
+        engine: Engine,
+        preset: Preset,
+        passes: &str,
+        shards: u32,
+        aiger: &[u8],
+    ) -> Result<(JobId, bool), String> {
         if self.inner.shutdown.load(Ordering::Relaxed) {
             return Err("the service is shutting down".into());
         }
@@ -339,9 +362,13 @@ impl SweepService {
         let mut state = self.lock();
         if let Some(&id) = state.by_fp.get(&fp) {
             let job = state.jobs.get_mut(&id).expect("by_fp is consistent");
-            if job.engine != engine || job.preset != preset || job.passes != passes {
+            if job.engine != engine
+                || job.preset != preset
+                || job.passes != passes
+                || job.shards != shards
+            {
                 return Err(format!(
-                    "job {id} already sweeps this netlist under {}/{}{}; \
+                    "job {id} already sweeps this netlist under {}/{}{}{}; \
                      cancel it first to change settings",
                     job.engine,
                     job.preset,
@@ -349,6 +376,11 @@ impl SweepService {
                         String::new()
                     } else {
                         format!(" with passes \"{}\"", job.passes)
+                    },
+                    if job.shards == 0 {
+                        String::new()
+                    } else {
+                        format!(" with {} shards", job.shards)
                     }
                 ));
             }
@@ -377,6 +409,7 @@ impl SweepService {
             engine,
             preset,
             passes: passes.to_string(),
+            shards,
             aig: Arc::new(aig),
             state: JobState::Queued,
             checkpoint: None,
@@ -432,6 +465,7 @@ impl SweepService {
                         preset: job.preset,
                         aiger: write_aiger_string(&job.aig).into_bytes(),
                         passes: job.passes.clone(),
+                        shards: job.shards,
                     },
                 );
             }
@@ -625,6 +659,7 @@ fn worker_loop(inner: &Arc<Inner>) {
                         engine: job.engine,
                         preset: job.preset,
                         passes: job.passes.clone(),
+                        shards: job.shards,
                         checkpoint: job.checkpoint.clone(),
                         token,
                         quantum: inner
@@ -650,7 +685,7 @@ fn run_slice(inner: &Arc<Inner>, claim: Claim) {
         .with_deadline(claim.quantum)
         .with_cancel_token(claim.token.clone());
     let scripted = !claim.passes.is_empty();
-    let mut config = effective_config(claim.preset);
+    let mut config = effective_config(claim.preset).shards(claim.shards as usize);
     if !scripted && inner.spill.is_some() && inner.checkpoint_every_secs > 0.0 {
         config = config.checkpoint_every_secs(inner.checkpoint_every_secs);
     }

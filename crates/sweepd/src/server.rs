@@ -94,7 +94,9 @@ fn dispatch(service: &SweepService, request: &Request) -> Response {
             preset,
             aiger,
             passes,
-        } => match service.submit_with_passes(*priority, *engine, *preset, passes, aiger) {
+            shards,
+        } => match service.submit_with_options(*priority, *engine, *preset, passes, *shards, aiger)
+        {
             Ok((id, adopted)) => Response::Submitted { id, adopted },
             Err(reason) => Response::Error(reason),
         },

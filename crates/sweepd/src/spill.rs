@@ -26,10 +26,14 @@ use crate::job::{engine_from_u8, engine_to_u8, Priority};
 use crate::protocol::Preset;
 use stp_sweep::Engine;
 
-/// Current `.job` format: v1 plus a trailing pass script.
-const JOB_MAGIC: &[u8; 4] = b"SWJ2";
+/// Current `.job` format: v2 plus a trailing shard count.
+const JOB_MAGIC: &[u8; 4] = b"SWJ3";
+/// The pre-shard `.job` format, still accepted by [`SpillDir::read_job`]
+/// (its jobs run unsharded).
+const JOB_MAGIC_V2: &[u8; 4] = b"SWJ2";
 /// The pre-pass-script `.job` format, still accepted by
-/// [`SpillDir::read_job`] (its jobs carry an empty script).
+/// [`SpillDir::read_job`] (its jobs carry an empty script and run
+/// unsharded).
 const JOB_MAGIC_V1: &[u8; 4] = b"SWJ1";
 const CKPT_MAGIC: &[u8; 4] = b"SWC1";
 
@@ -58,6 +62,10 @@ pub struct SpilledJob {
     /// Pass script of a scripted submission; empty for a plain sweep
     /// (and for every job recovered from a v1 `.job` file).
     pub passes: String,
+    /// Shard count of the sweep ([`stp_sweep::SweepConfig::shards`]);
+    /// `0` — unsharded — for every job recovered from a v1/v2 `.job`
+    /// file.
+    pub shards: u32,
 }
 
 /// One job recovered by [`SpillDir::scan`].
@@ -159,19 +167,22 @@ impl SpillDir {
         payload.extend_from_slice(&job.aiger);
         payload.extend_from_slice(&(job.passes.len() as u32).to_be_bytes());
         payload.extend_from_slice(job.passes.as_bytes());
+        payload.extend_from_slice(&job.shards.to_be_bytes());
         Self::write_atomic(&self.job_path(fp), JOB_MAGIC, &payload)
     }
 
     /// Reads a submission back; `Ok(None)` when no `.job` file exists.
-    /// Both the current (`SWJ2`) and the original (`SWJ1`) layouts are
-    /// accepted; v1 jobs come back with an empty pass script.
+    /// The current (`SWJ3`) and both older (`SWJ2`, `SWJ1`) layouts are
+    /// accepted; v2 jobs come back unsharded, v1 jobs additionally with
+    /// an empty pass script.
     pub fn read_job(&self, fp: u64) -> io::Result<Option<SpilledJob>> {
         let Some((which, payload)) =
-            Self::read_verified_any(&self.job_path(fp), &[JOB_MAGIC, JOB_MAGIC_V1])?
+            Self::read_verified_any(&self.job_path(fp), &[JOB_MAGIC, JOB_MAGIC_V2, JOB_MAGIC_V1])?
         else {
             return Ok(None);
         };
-        let is_v1 = which == 1;
+        let is_v1 = which == 2;
+        let has_shards = which == 0;
         let corrupt = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
         if payload.len() < 11 {
             return Err(corrupt("job record truncated"));
@@ -184,11 +195,11 @@ impl SpillDir {
             .checked_add(len)
             .filter(|&end| end <= payload.len())
             .ok_or_else(|| corrupt("job record length mismatch"))?;
-        let passes = if is_v1 {
+        let (passes, shards) = if is_v1 {
             if payload.len() != aiger_end {
                 return Err(corrupt("job record length mismatch"));
             }
-            String::new()
+            (String::new(), 0)
         } else {
             if payload.len() < aiger_end + 4 {
                 return Err(corrupt("job record truncated"));
@@ -198,11 +209,22 @@ impl SpillDir {
                     .try_into()
                     .expect("4 bytes"),
             ) as usize;
-            if payload.len() != aiger_end + 4 + passes_len {
+            let passes_end = aiger_end
+                .checked_add(4 + passes_len)
+                .filter(|&end| end <= payload.len())
+                .ok_or_else(|| corrupt("job record length mismatch"))?;
+            let tail = if has_shards { 4 } else { 0 };
+            if payload.len() != passes_end + tail {
                 return Err(corrupt("job record length mismatch"));
             }
-            String::from_utf8(payload[aiger_end + 4..].to_vec())
-                .map_err(|_| corrupt("non-UTF-8 pass script"))?
+            let passes = String::from_utf8(payload[aiger_end + 4..passes_end].to_vec())
+                .map_err(|_| corrupt("non-UTF-8 pass script"))?;
+            let shards = if has_shards {
+                u32::from_be_bytes(payload[passes_end..].try_into().expect("4 bytes"))
+            } else {
+                0
+            };
+            (passes, shards)
         };
         Ok(Some(SpilledJob {
             priority,
@@ -210,6 +232,7 @@ impl SpillDir {
             preset,
             aiger: payload[11..aiger_end].to_vec(),
             passes,
+            shards,
         }))
     }
 
@@ -289,6 +312,7 @@ mod tests {
             preset: Preset::Fast,
             aiger: b"aag 1 1 0 1 0\n2\n2\n".to_vec(),
             passes: String::new(),
+            shards: 0,
         }
     }
 
@@ -297,6 +321,7 @@ mod tests {
         let spill = SpillDir::open(fresh_dir("script")).expect("open");
         let scripted = SpilledJob {
             passes: "strash;rewrite;sweep(stp);verify".into(),
+            shards: 4,
             ..sample_job()
         };
         spill.write_job(0xC0, &scripted).expect("write");
@@ -316,7 +341,26 @@ mod tests {
         bytes.extend_from_slice(&fnv64(&bytes).to_be_bytes());
         fs::write(spill.path().join(format!("{:016x}.job", 0xC1u64)), &bytes).expect("write v1");
         assert_eq!(spill.read_job(0xC1).expect("read v1"), Some(v1));
-        assert_eq!(spill.scan().expect("scan").len(), 2);
+
+        // A `.job` file spilled by a pre-shard build: SWJ2 magic, a pass
+        // script, no trailing shard count.  It must read back unsharded.
+        let v2 = SpilledJob {
+            passes: "strash;sweep(stp)".into(),
+            ..sample_job()
+        };
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(JOB_MAGIC_V2);
+        bytes.push(v2.priority.to_u8());
+        bytes.push(engine_to_u8(v2.engine));
+        bytes.push(v2.preset.to_u8());
+        bytes.extend_from_slice(&(v2.aiger.len() as u64).to_be_bytes());
+        bytes.extend_from_slice(&v2.aiger);
+        bytes.extend_from_slice(&(v2.passes.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(v2.passes.as_bytes());
+        bytes.extend_from_slice(&fnv64(&bytes).to_be_bytes());
+        fs::write(spill.path().join(format!("{:016x}.job", 0xC2u64)), &bytes).expect("write v2");
+        assert_eq!(spill.read_job(0xC2).expect("read v2"), Some(v2));
+        assert_eq!(spill.scan().expect("scan").len(), 3);
         let _ = fs::remove_dir_all(spill.path());
     }
 

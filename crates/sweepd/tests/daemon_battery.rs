@@ -417,6 +417,7 @@ fn scripted_jobs_match_in_process_pipelines_and_recover_from_spill() {
             preset: Preset::Fast,
             aiger: aiger_bytes(&other),
             passes: script.to_string(),
+            shards: 0,
         },
     )
     .expect("job spills");
@@ -441,6 +442,64 @@ fn scripted_jobs_match_in_process_pipelines_and_recover_from_spill() {
         "crash-recovered scripted output differs from the in-process pipeline"
     );
     assert_eq!(counters, JobCounters::from_report(&want.report));
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&spill);
+}
+
+#[test]
+fn a_sharded_job_matches_the_unsharded_reference() {
+    // Sharding is a scheduling preference, not a behaviour: a job swept
+    // over 3 shards — sliced on a tiny quantum, with within-slice
+    // checkpoints spilled and resumed — must produce the same AIGER bytes
+    // and committed counters as the unsharded, uninterrupted reference.
+    let aig = inject_redundancy(&generators::barrel_shifter(16), 0.5, 21);
+    let spill = fresh_dir("sharded");
+    let service = SweepService::start(ServiceConfig {
+        workers: 2,
+        quantum: Duration::from_millis(2),
+        spill_dir: Some(spill.clone()),
+        checkpoint_every_secs: 0.05,
+    })
+    .expect("service starts");
+    let (id, adopted) = service
+        .submit_with_options(
+            Priority::Normal,
+            Engine::Stp,
+            Preset::Fast,
+            "",
+            3,
+            &aiger_bytes(&aig),
+        )
+        .expect("submit succeeds");
+    assert!(!adopted);
+
+    // A resubmission under a different shard count is a settings conflict,
+    // same as changing the engine or the script.
+    let err = service
+        .submit_with_options(
+            Priority::Normal,
+            Engine::Stp,
+            Preset::Fast,
+            "",
+            2,
+            &aiger_bytes(&aig),
+        )
+        .expect_err("a conflicting shard count is refused");
+    assert!(
+        err.contains("3 shards"),
+        "the error names the shards: {err}"
+    );
+
+    let info = service.wait(id, WAIT).expect("job finishes");
+    assert_eq!(info.state, JobState::Done);
+    let (aiger, counters) = service.fetch(id).expect("done job has output");
+    let (want_aiger, want_counters) = reference(Engine::Stp, Preset::Fast, &aig);
+    assert_eq!(
+        String::from_utf8(aiger).expect("AIGER is text"),
+        want_aiger,
+        "sharded daemon output differs from the unsharded reference"
+    );
+    assert_eq!(counters, want_counters);
     service.shutdown();
     let _ = std::fs::remove_dir_all(&spill);
 }

@@ -14,7 +14,7 @@ use stp_sat_sweep::stp_sweep::stp_sim::StpSimulator;
 use stp_sat_sweep::stp_sweep::{cec, sweeper, SweepConfig, SweepReport};
 use stp_sat_sweep::workloads::inject_redundancy;
 use stp_sat_sweep::workloads::sequential::random_sequential_aig;
-use stp_sat_sweep::{Engine, Pipeline, Sweeper};
+use stp_sat_sweep::{BatchPolicy, Engine, Pipeline, Sweeper};
 
 /// A random Boolean expression over `num_vars` variables with bounded depth.
 fn arb_expr(num_vars: usize, depth: u32) -> impl Strategy<Value = Expr> {
@@ -210,6 +210,65 @@ proptest! {
                             prop_assert_eq!(r.resim_nodes, s.resim_nodes);
                             prop_assert_eq!(r.proved_by_simulation, s.proved_by_simulation);
                             prop_assert_eq!(r.disproved_by_simulation, s.disproved_by_simulation);
+                            prop_assert_eq!(&aiger, reference_aiger);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The sharding and batch-policy battery: for both engines, every shard
+    /// count in {0 (unsharded), 1, 2, 4} crossed with both batch policies
+    /// commits identical SAT calls, identical merges and byte-identical
+    /// AIGER output.  Batch *shapes* (and therefore `sat_batches` and the
+    /// conflict count) may differ between policies — the committed operation
+    /// sequence must not.
+    #[test]
+    fn sharded_and_policy_sweeps_commit_identically(spec in arb_aig(), seed in 0u64..500) {
+        let aig = build_aig(&spec);
+        let redundant = inject_redundancy(&aig, 0.4, seed);
+        let base = SweepConfig {
+            num_initial_patterns: 16, // few patterns: SAT finds counter-examples
+            sat_guided_patterns: false,
+            ..SweepConfig::default()
+        };
+        for engine in [Engine::Stp, Engine::Baseline] {
+            let mut reference: Option<(stp_sat_sweep::SweepResult, String)> = None;
+            for policy in [BatchPolicy::SupportDisjoint, BatchPolicy::RefinementAware] {
+                // Shards must not even change batch shapes within a policy.
+                let mut policy_reference: Option<stp_sat_sweep::SweepReport> = None;
+                for shards in [0usize, 1, 2, 4] {
+                    let run = Sweeper::new(engine)
+                        .config(base.sat_parallelism(4).batch_policy(policy).shards(shards))
+                        .run(&redundant)
+                        .expect("valid config");
+                    let aiger = write_aiger_string(&run.aig);
+                    if let Some(p) = &policy_reference {
+                        prop_assert_eq!(run.report.sat_batches, p.sat_batches);
+                        prop_assert_eq!(
+                            run.report.sat_batch_committed,
+                            p.sat_batch_committed
+                        );
+                        prop_assert_eq!(
+                            run.report.sat_parallel_conflicts,
+                            p.sat_parallel_conflicts
+                        );
+                    } else {
+                        policy_reference = Some(run.report);
+                    }
+                    match &reference {
+                        None => reference = Some((run, aiger)),
+                        Some((reference, reference_aiger)) => {
+                            let (r, s) = (&run.report, &reference.report);
+                            prop_assert_eq!(r.sat_calls_total, s.sat_calls_total);
+                            prop_assert_eq!(r.sat_calls_sat, s.sat_calls_sat);
+                            prop_assert_eq!(r.sat_calls_unsat, s.sat_calls_unsat);
+                            prop_assert_eq!(r.sat_calls_undet, s.sat_calls_undet);
+                            prop_assert_eq!(r.merges, s.merges);
+                            prop_assert_eq!(r.constants, s.constants);
+                            prop_assert_eq!(r.resim_events, s.resim_events);
+                            prop_assert_eq!(r.resim_nodes, s.resim_nodes);
                             prop_assert_eq!(&aiger, reference_aiger);
                         }
                     }
